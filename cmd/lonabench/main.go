@@ -1,0 +1,100 @@
+// Command lonabench regenerates the paper's evaluation: Figures 1–6
+// (runtime vs top-k for SUM and AVG on the three networks) and the
+// ablation experiments A1–A6 defined in DESIGN.md. Output is markdown
+// (stdout or -out file) plus optional per-experiment CSV.
+//
+// A full run at -scale 1 takes tens of minutes (the differential index for
+// the citation network dominates); -scale 0.1 gives a minutes-long pass
+// that preserves every qualitative shape.
+//
+// Usage:
+//
+//	lonabench -experiments all -scale 0.1 -out EXPERIMENTS-run.md
+//	lonabench -experiments F1,F4 -scale 1 -repeats 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		experiments = flag.String("experiments", "all", "comma-separated experiment ids (F1..F6, A1..A6) or 'all'")
+		scale       = flag.Float64("scale", 1.0, "dataset scale multiplier")
+		seed        = flag.Int64("seed", 20100301, "session seed")
+		repeats     = flag.Int("repeats", 1, "timed repetitions per query (min kept)")
+		workers     = flag.Int("workers", 0, "worker goroutines for index builds (0 = GOMAXPROCS)")
+		out         = flag.String("out", "", "write the markdown report to this file (default stdout)")
+		csvDir      = flag.String("csv-dir", "", "also write one CSV per experiment into this directory")
+		quiet       = flag.Bool("quiet", false, "suppress progress logging")
+	)
+	flag.Parse()
+	if err := run(*experiments, *scale, *seed, *repeats, *workers, *out, *csvDir, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "lonabench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiments string, scale float64, seed int64, repeats, workers int, out, csvDir string, quiet bool) error {
+	ids := bench.ExperimentIDs()
+	if experiments != "all" {
+		ids = nil
+		for _, id := range strings.Split(experiments, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+
+	w := bench.NewWorkspace(bench.Config{Scale: scale, Seed: seed, Repeats: repeats, Workers: workers})
+	if !quiet {
+		w.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "  "+format+"\n", args...)
+		}
+	}
+
+	var report strings.Builder
+	fmt.Fprintf(&report, "# LONA experiment run\n\nscale=%v seed=%d repeats=%d date=%s\n\n",
+		scale, seed, repeats, time.Now().Format("2006-01-02"))
+
+	for _, id := range ids {
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "running %s…\n", id)
+		}
+		start := time.Now()
+		res, err := w.Run(id)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", id, err)
+		}
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "%s done in %.1fs\n", id, time.Since(start).Seconds())
+		}
+		report.WriteString(res.Markdown())
+		report.WriteString("\n")
+
+		if csvDir != "" {
+			if err := os.MkdirAll(csvDir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(csvDir, res.ID+".csv")
+			if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
+				return fmt.Errorf("writing %s: %w", path, err)
+			}
+		}
+	}
+
+	if out == "" {
+		fmt.Print(report.String())
+		return nil
+	}
+	if err := os.WriteFile(out, []byte(report.String()), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote report to %s\n", out)
+	return nil
+}

@@ -1,0 +1,89 @@
+package lona_test
+
+import (
+	"fmt"
+
+	lona "repro"
+)
+
+// A minimal end-to-end query: build a path graph, score its nodes, and ask
+// for the top-2 nodes by 2-hop SUM.
+func ExampleNewEngine() {
+	b := lona.NewGraphBuilder(4, false)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	engine, err := lona.NewEngine(b.Build(), []float64{0.9, 0.1, 0.8, 0.2}, 2)
+	if err != nil {
+		panic(err)
+	}
+	results, _, err := engine.TopK(lona.AlgoForward, 2, lona.Sum, nil)
+	if err != nil {
+		panic(err)
+	}
+	for i, r := range results {
+		fmt.Printf("#%d node %d F=%.1f\n", i+1, r.Node, r.Value)
+	}
+	// Output:
+	// #1 node 1 F=2.0
+	// #2 node 2 F=2.0
+}
+
+// The planner picks BackwardNaive when almost every score is zero —
+// distribution then touches only the relevant sliver of the network.
+func ExampleNewPlanner() {
+	b := lona.NewGraphBuilder(100, false)
+	for i := 0; i+1 < 100; i++ {
+		b.AddEdge(i, i+1)
+	}
+	scores := make([]float64, 100)
+	scores[50] = 1
+	engine, err := lona.NewEngine(b.Build(), scores, 2)
+	if err != nil {
+		panic(err)
+	}
+	plan := lona.NewPlanner(engine).Choose(3, lona.Sum)
+	fmt.Println(plan.Algorithm)
+	// Output:
+	// Backward-Naive
+}
+
+// A materialized view keeps top-k answers fresh while scores change: one
+// BFS per update instead of a full recomputation.
+func ExampleNewView() {
+	b := lona.NewGraphBuilder(5, false)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 4)
+	view, err := lona.NewView(b.Build(), []float64{0, 0, 0, 0, 0}, 1)
+	if err != nil {
+		panic(err)
+	}
+	if _, err := view.UpdateScore(2, 1); err != nil {
+		panic(err)
+	}
+	top, err := view.TopK(1, lona.Sum)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("node %d F=%.0f\n", top[0].Node, top[0].Value)
+	// Output:
+	// node 1 F=1
+}
+
+// Attribute tables derive relevance functions from node properties — here
+// a boolean predicate over Λ.
+func ExampleNewAttributeTable() {
+	attrs := lona.NewAttributeTable(3)
+	if err := attrs.AddBool("rpg_fan", []bool{true, false, true}); err != nil {
+		panic(err)
+	}
+	scores, err := attrs.RelevanceBool("rpg_fan")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(scores)
+	// Output:
+	// [1 0 1]
+}

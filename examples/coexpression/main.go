@@ -1,0 +1,101 @@
+// Gene co-expression: the paper's biology scenario — "the number of times
+// a gene is co-expressed with a group of known genes in co-expression
+// networks". We build a module-structured co-expression network (planted
+// partition: genes inside a functional module are densely co-expressed),
+// mark a known pathway gene set, and use the COUNT aggregate to rank genes
+// by how many known genes sit within two co-expression hops — the standard
+// guilt-by-association screen for function prediction.
+//
+// The screen should surface unannotated genes from the same module as the
+// known set; the example verifies that property explicitly.
+//
+// Run with:
+//
+//	go run ./examples/coexpression [-genes 3000] [-modules 30]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	lona "repro"
+)
+
+func main() {
+	genes := flag.Int("genes", 3000, "number of genes")
+	modules := flag.Int("modules", 30, "number of co-expression modules")
+	flag.Parse()
+
+	// Genes within a module co-express densely; cross-module edges are
+	// rare background correlation. Node g belongs to module g % modules.
+	g := lona.CommunityNetwork(*genes, *modules, 0.08, 0.0005, 99)
+	fmt.Printf("co-expression network: %d genes, %d edges, %d modules\n",
+		g.NumNodes(), g.NumEdges(), *modules)
+
+	// Known pathway: 25 annotated genes, all from module 7.
+	const pathwayModule = 7
+	rng := rand.New(rand.NewSource(4))
+	known := make([]float64, *genes)
+	annotated := map[int]bool{}
+	for len(annotated) < 25 {
+		gene := pathwayModule + (*modules)*rng.Intn(*genes / *modules)
+		if !annotated[gene] {
+			annotated[gene] = true
+			known[gene] = 1
+		}
+	}
+	fmt.Printf("known pathway: %d annotated genes from module %d\n\n", len(annotated), pathwayModule)
+
+	engine, err := lona.NewEngine(g, known, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// COUNT: how many known genes within 2 co-expression hops. Backward
+	// processing shines here — only 25 of 3000 genes have non-zero scores,
+	// so distribution touches a sliver of the network.
+	top, stats, err := engine.TopK(lona.AlgoBackward, 15, lona.Count, &lona.Options{Gamma: 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("backward query stats: distributed=%d (of %d genes), verified=%d\n\n",
+		stats.Distributed, *genes, stats.Evaluated)
+
+	fmt.Println("guilt-by-association candidates (top 2-hop known-gene counts):")
+	fmt.Printf("%4s %8s %14s %10s %12s\n", "rank", "gene", "known in 2hop", "module", "annotated?")
+	hits, novel := 0, 0
+	for i, r := range top {
+		module := r.Node % *modules
+		mark := ""
+		if annotated[r.Node] {
+			mark = "yes"
+		} else {
+			mark = "NO ← candidate"
+			if module == pathwayModule {
+				novel++
+			}
+		}
+		if module == pathwayModule {
+			hits++
+		}
+		fmt.Printf("%4d %8d %14.0f %10d %12s\n", i+1, r.Node, r.Value, module, mark)
+	}
+	fmt.Printf("\n%d of %d top genes are from the true pathway module; %d are novel candidates.\n",
+		hits, len(top), novel)
+	if hits < len(top)/2 {
+		log.Fatal("screen failed: the pathway module did not dominate the ranking")
+	}
+
+	// AVG variant: normalizing by neighborhood size ranks small, purely
+	// pathway-adjacent neighborhoods above big hubs.
+	avgTop, _, err := engine.TopK(lona.AlgoBackward, 5, lona.Avg, &lona.Options{Gamma: 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nAVG-normalized view (pathway density rather than raw count):")
+	for i, r := range avgTop {
+		fmt.Printf("  #%d gene %d density %.4f (module %d)\n", i+1, r.Node, r.Value, r.Node%*modules)
+	}
+}

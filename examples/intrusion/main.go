@@ -1,0 +1,86 @@
+// Intrusion analysis: the paper's security scenario — an "intrusion
+// network" where nodes are IP addresses and edges are attack contacts.
+// Flagged attacker IPs get relevance 1 (the paper's r=0.2 binary setting,
+// Figure 3); the query ranks IPs by how many flagged attackers operate
+// within two hops, surfacing coordination hubs and likely staging points.
+//
+// This is the workload where backward processing dominates: 80% of nodes
+// have score zero and are skipped outright by distribution.
+//
+// Run with:
+//
+//	go run ./examples/intrusion [-ips 75000] [-k 15]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	lona "repro"
+)
+
+func main() {
+	ips := flag.Int("ips", 75000, "number of IP addresses")
+	k := flag.Int("k", 15, "suspects to report")
+	flag.Parse()
+
+	scale := float64(*ips) / 150000
+	g := lona.IntrusionNetwork(scale, 404)
+	fmt.Printf("intrusion network: %d IPs, %d attack contacts\n", g.NumNodes(), g.NumEdges())
+
+	flags := lona.BinaryScores(g.NumNodes(), 0.2, 405)
+	flagged := 0
+	for _, f := range flags {
+		if f == 1 {
+			flagged++
+		}
+	}
+	fmt.Printf("flagged attacker IPs: %d (%.0f%%)\n\n", flagged, 100*float64(flagged)/float64(g.NumNodes()))
+
+	engine, err := lona.NewEngine(g, flags, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Compare the naive scan against backward processing on the same query.
+	begin := time.Now()
+	baseTop, baseStats, err := engine.TopK(lona.AlgoBase, *k, lona.Sum, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseTime := time.Since(begin)
+
+	begin = time.Now()
+	top, stats, err := engine.TopK(lona.AlgoBackward, *k, lona.Sum, &lona.Options{Gamma: 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	backTime := time.Since(begin)
+
+	fmt.Printf("naive scan:          %.4fs (evaluated %d IPs)\n", baseTime.Seconds(), baseStats.Evaluated)
+	fmt.Printf("backward processing: %.4fs (distributed %d, verified %d)\n",
+		backTime.Seconds(), stats.Distributed, stats.Evaluated)
+	if backTime < baseTime {
+		fmt.Printf("speedup: %.1f×\n", baseTime.Seconds()/backTime.Seconds())
+	}
+
+	fmt.Printf("\ntop %d coordination hubs (flagged attackers within 2 hops):\n", *k)
+	fmt.Printf("%4s %10s %18s %14s\n", "rank", "IP node", "attackers in 2hop", "flagged itself")
+	for i, r := range top {
+		self := "no"
+		if flags[r.Node] == 1 {
+			self = "yes"
+		}
+		fmt.Printf("%4d %10d %18.0f %14s\n", i+1, r.Node, r.Value, self)
+	}
+
+	// The two strategies must agree.
+	for i := range top {
+		if top[i].Value != baseTop[i].Value {
+			log.Fatalf("backward disagreed with base at rank %d", i+1)
+		}
+	}
+	fmt.Println("\nbackward processing matched the naive scan exactly.")
+}

@@ -1,0 +1,89 @@
+// Social recommendation: the paper's motivating scenario — "identify the
+// popularity of a game console in one's social circle". We simulate a
+// collaboration-style social network, assign each member an interest score
+// for the console (the paper's mixture relevance with a 1% blacking ratio
+// of die-hard fans), and find the members whose 2-hop circles are the most
+// interested: the natural seeding set for a marketing campaign.
+//
+// The example also shows why LONA matters operationally: the same query is
+// answered by the naive scan and by both pruning algorithms, with work
+// counters printed side by side.
+//
+// Run with:
+//
+//	go run ./examples/social [-members 20000] [-k 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	lona "repro"
+)
+
+func main() {
+	members := flag.Int("members", 20000, "network size (nodes)")
+	k := flag.Int("k", 10, "how many campaign seeds to select")
+	flag.Parse()
+
+	scale := float64(*members) / 40000
+	fmt.Printf("building a %d-member social network…\n", *members)
+	g := lona.CollaborationNetwork(scale, 2026)
+	fmt.Printf("network: %d members, %d friendships\n", g.NumNodes(), g.NumEdges())
+
+	// Interest in the console: 1%% are die-hard fans (score 1), everyone
+	// else has a small exponential interest smoothed along friendships.
+	scores := lona.MixtureScores(g, 0.01, 7)
+
+	engine, err := lona.NewEngine(g, scores, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("precomputing the differential index (one-time, reused by every campaign query)…")
+	start := time.Now()
+	engine.PrepareNeighborhoodIndex(0)
+	engine.PrepareDifferentialIndex(0)
+	fmt.Printf("indexes ready in %.2fs\n\n", time.Since(start).Seconds())
+
+	type outcome struct {
+		algo    lona.Algorithm
+		seconds float64
+		stats   lona.QueryStats
+		top     []lona.Result
+	}
+	var outcomes []outcome
+	for _, algo := range []lona.Algorithm{lona.AlgoBase, lona.AlgoForward, lona.AlgoBackward} {
+		begin := time.Now()
+		top, stats, err := engine.TopK(algo, *k, lona.Sum,
+			&lona.Options{Gamma: 0.2, Order: lona.OrderDegreeDesc})
+		if err != nil {
+			log.Fatal(err)
+		}
+		outcomes = append(outcomes, outcome{algo, time.Since(begin).Seconds(), stats, top})
+	}
+
+	fmt.Printf("%-10s %9s %11s %9s %12s\n", "algorithm", "time (s)", "evaluated", "pruned", "distributed")
+	for _, o := range outcomes {
+		fmt.Printf("%-10s %9.4f %11d %9d %12d\n",
+			o.algo, o.seconds, o.stats.Evaluated, o.stats.Pruned, o.stats.Distributed)
+	}
+
+	fmt.Printf("\ntop %d campaign seeds (identical across algorithms):\n", *k)
+	fmt.Printf("%4s %8s %16s %22s\n", "rank", "member", "circle interest", "own interest (f)")
+	for i, r := range outcomes[0].top {
+		fmt.Printf("%4d %8d %16.3f %22.3f\n", i+1, r.Node, r.Value, scores[r.Node])
+	}
+
+	// Sanity: the pruning algorithms agreed with the scan.
+	for _, o := range outcomes[1:] {
+		for i := range o.top {
+			if o.top[i].Value-outcomes[0].top[i].Value > 1e-9 ||
+				outcomes[0].top[i].Value-o.top[i].Value > 1e-9 {
+				log.Fatalf("%v disagreed with Base at rank %d", o.algo, i+1)
+			}
+		}
+	}
+	fmt.Println("\nall algorithms returned the same ranking — pruning is lossless.")
+}

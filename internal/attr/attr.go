@@ -1,0 +1,268 @@
+// Package attr implements the paper's node-attribute model: "Most of
+// social and biological networks often have a node attribute set, denoted
+// as Λ = {a1, a2, …, at}. Each node has a value for these attributes".
+// Relevance functions (problem P1) are then derived from attributes — a
+// boolean predicate ("is interested in online RPG games"), a normalized
+// numeric attribute, a categorical match, or a learned classifier score
+// ("how likely a user is a database expert") — and handed to the core
+// engine as a relevance vector.
+package attr
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind is an attribute's type.
+type Kind uint8
+
+const (
+	// Bool attributes hold flags (e.g. "plays RPGs").
+	Bool Kind = iota
+	// Numeric attributes hold real values (e.g. "posts per week").
+	Numeric
+	// Categorical attributes hold one label per node out of a small set
+	// (e.g. "country").
+	Categorical
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Bool:
+		return "bool"
+	case Numeric:
+		return "numeric"
+	case Categorical:
+		return "categorical"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Attribute is one column of Λ: a named, typed value per node.
+type Attribute struct {
+	Name   string
+	Kind   Kind
+	Bools  []bool    // Kind == Bool
+	Nums   []float64 // Kind == Numeric
+	Cats   []int32   // Kind == Categorical: index into Labels
+	Labels []string  // Kind == Categorical: distinct label set
+}
+
+func (a *Attribute) len() int {
+	switch a.Kind {
+	case Bool:
+		return len(a.Bools)
+	case Numeric:
+		return len(a.Nums)
+	default:
+		return len(a.Cats)
+	}
+}
+
+// Table is a node-attribute set Λ over a fixed node count.
+type Table struct {
+	n     int
+	attrs []*Attribute
+	index map[string]*Attribute
+}
+
+// NewTable returns an empty attribute table for n nodes.
+func NewTable(n int) *Table {
+	if n < 0 {
+		panic("attr: negative node count")
+	}
+	return &Table{n: n, index: make(map[string]*Attribute)}
+}
+
+// NumNodes returns the node count.
+func (t *Table) NumNodes() int { return t.n }
+
+// Names lists attributes in insertion order.
+func (t *Table) Names() []string {
+	names := make([]string, len(t.attrs))
+	for i, a := range t.attrs {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// Attribute returns the named attribute.
+func (t *Table) Attribute(name string) (*Attribute, error) {
+	a, ok := t.index[name]
+	if !ok {
+		return nil, fmt.Errorf("attr: no attribute %q", name)
+	}
+	return a, nil
+}
+
+func (t *Table) add(a *Attribute) error {
+	if _, dup := t.index[a.Name]; dup {
+		return fmt.Errorf("attr: duplicate attribute %q", a.Name)
+	}
+	if a.len() != t.n {
+		return fmt.Errorf("attr: attribute %q has %d values for %d nodes", a.Name, a.len(), t.n)
+	}
+	t.attrs = append(t.attrs, a)
+	t.index[a.Name] = a
+	return nil
+}
+
+// AddBool adds a boolean attribute.
+func (t *Table) AddBool(name string, values []bool) error {
+	return t.add(&Attribute{Name: name, Kind: Bool, Bools: values})
+}
+
+// AddNumeric adds a numeric attribute; values must be finite.
+func (t *Table) AddNumeric(name string, values []float64) error {
+	for v, x := range values {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("attr: attribute %q node %d is not finite: %v", name, v, x)
+		}
+	}
+	return t.add(&Attribute{Name: name, Kind: Numeric, Nums: values})
+}
+
+// AddCategorical adds a categorical attribute: cats[v] indexes labels.
+func (t *Table) AddCategorical(name string, cats []int32, labels []string) error {
+	for v, c := range cats {
+		if c < 0 || int(c) >= len(labels) {
+			return fmt.Errorf("attr: attribute %q node %d has label index %d of %d", name, v, c, len(labels))
+		}
+	}
+	return t.add(&Attribute{Name: name, Kind: Categorical, Cats: cats, Labels: labels})
+}
+
+// RelevanceBool derives the 0/1 relevance f(v) = [attribute is true] —
+// the paper's "if a user recommends a movie or not".
+func (t *Table) RelevanceBool(name string) ([]float64, error) {
+	a, err := t.Attribute(name)
+	if err != nil {
+		return nil, err
+	}
+	if a.Kind != Bool {
+		return nil, fmt.Errorf("attr: %q is %v, want bool", name, a.Kind)
+	}
+	scores := make([]float64, t.n)
+	for v, b := range a.Bools {
+		if b {
+			scores[v] = 1
+		}
+	}
+	return scores, nil
+}
+
+// RelevanceNumeric derives f(v) by min-max normalizing a numeric
+// attribute into [0,1]; a constant attribute maps to all zeros.
+func (t *Table) RelevanceNumeric(name string) ([]float64, error) {
+	a, err := t.Attribute(name)
+	if err != nil {
+		return nil, err
+	}
+	if a.Kind != Numeric {
+		return nil, fmt.Errorf("attr: %q is %v, want numeric", name, a.Kind)
+	}
+	scores := make([]float64, t.n)
+	if t.n == 0 {
+		return scores, nil
+	}
+	lo, hi := a.Nums[0], a.Nums[0]
+	for _, x := range a.Nums {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if hi == lo {
+		return scores, nil
+	}
+	for v, x := range a.Nums {
+		scores[v] = (x - lo) / (hi - lo)
+	}
+	return scores, nil
+}
+
+// RelevanceCategory derives f(v) = [attribute == label].
+func (t *Table) RelevanceCategory(name, label string) ([]float64, error) {
+	a, err := t.Attribute(name)
+	if err != nil {
+		return nil, err
+	}
+	if a.Kind != Categorical {
+		return nil, fmt.Errorf("attr: %q is %v, want categorical", name, a.Kind)
+	}
+	target := int32(-1)
+	for i, l := range a.Labels {
+		if l == label {
+			target = int32(i)
+			break
+		}
+	}
+	if target == -1 {
+		return nil, fmt.Errorf("attr: attribute %q has no label %q (labels: %v)", name, label, a.Labels)
+	}
+	scores := make([]float64, t.n)
+	for v, c := range a.Cats {
+		if c == target {
+			scores[v] = 1
+		}
+	}
+	return scores, nil
+}
+
+// LogisticModel is a linear classifier over attributes squashed through a
+// sigmoid — the paper's P1 "classification function, e.g., how likely a
+// user is a database expert". Bool features contribute their weight when
+// true; numeric features contribute weight × min-max-normalized value;
+// categorical features are not supported (one-hot them as bools).
+type LogisticModel struct {
+	Bias    float64
+	Weights map[string]float64
+}
+
+// Relevance evaluates the model on every node, yielding scores in (0,1).
+func (m LogisticModel) Relevance(t *Table) ([]float64, error) {
+	type term struct {
+		weight float64
+		bools  []bool
+		nums   []float64 // pre-normalized
+	}
+	terms := make([]term, 0, len(m.Weights))
+	for name, weight := range m.Weights {
+		a, err := t.Attribute(name)
+		if err != nil {
+			return nil, err
+		}
+		switch a.Kind {
+		case Bool:
+			terms = append(terms, term{weight: weight, bools: a.Bools})
+		case Numeric:
+			normalized, err := t.RelevanceNumeric(name)
+			if err != nil {
+				return nil, err
+			}
+			terms = append(terms, term{weight: weight, nums: normalized})
+		default:
+			return nil, fmt.Errorf("attr: logistic model cannot use %v attribute %q (one-hot it)", a.Kind, name)
+		}
+	}
+	scores := make([]float64, t.n)
+	for v := range scores {
+		z := m.Bias
+		for _, tm := range terms {
+			switch {
+			case tm.bools != nil:
+				if tm.bools[v] {
+					z += tm.weight
+				}
+			default:
+				z += tm.weight * tm.nums[v]
+			}
+		}
+		scores[v] = 1 / (1 + math.Exp(-z))
+	}
+	return scores, nil
+}

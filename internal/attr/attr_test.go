@@ -1,0 +1,202 @@
+package attr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableBasics(t *testing.T) {
+	tab := NewTable(3)
+	if tab.NumNodes() != 3 {
+		t.Fatalf("NumNodes = %d", tab.NumNodes())
+	}
+	if err := tab.AddBool("rpg", []bool{true, false, true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddNumeric("posts", []float64{1, 5, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddCategorical("country", []int32{0, 1, 0}, []string{"us", "jp"}); err != nil {
+		t.Fatal(err)
+	}
+	names := tab.Names()
+	if len(names) != 3 || names[0] != "rpg" || names[2] != "country" {
+		t.Fatalf("Names = %v", names)
+	}
+	if _, err := tab.Attribute("missing"); err == nil {
+		t.Fatal("missing attribute found")
+	}
+}
+
+func TestTableRejectsBadInput(t *testing.T) {
+	tab := NewTable(2)
+	if err := tab.AddBool("x", []bool{true}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if err := tab.AddBool("x", []bool{true, false}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddBool("x", []bool{false, false}); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if err := tab.AddNumeric("n", []float64{1, math.NaN()}); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	if err := tab.AddNumeric("n", []float64{1, math.Inf(1)}); err == nil {
+		t.Fatal("Inf accepted")
+	}
+	if err := tab.AddCategorical("c", []int32{0, 5}, []string{"a"}); err == nil {
+		t.Fatal("out-of-range label index accepted")
+	}
+}
+
+func TestRelevanceBool(t *testing.T) {
+	tab := NewTable(4)
+	if err := tab.AddBool("fan", []bool{true, false, false, true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddNumeric("age", []float64{20, 30, 40, 50}); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := tab.RelevanceBool("fan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 0, 0, 1}
+	for i := range want {
+		if scores[i] != want[i] {
+			t.Fatalf("scores = %v, want %v", scores, want)
+		}
+	}
+	if _, err := tab.RelevanceBool("age"); err == nil {
+		t.Fatal("numeric attribute served as bool")
+	}
+}
+
+func TestRelevanceNumericNormalization(t *testing.T) {
+	tab := NewTable(3)
+	if err := tab.AddNumeric("score", []float64{10, 20, 15}); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := tab.RelevanceNumeric("score")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[0] != 0 || scores[1] != 1 || scores[2] != 0.5 {
+		t.Fatalf("normalized = %v, want [0 1 0.5]", scores)
+	}
+	// Constant attribute: all zeros, not NaN.
+	if err := tab.AddNumeric("flat", []float64{7, 7, 7}); err != nil {
+		t.Fatal(err)
+	}
+	flat, err := tab.RelevanceNumeric("flat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range flat {
+		if s != 0 {
+			t.Fatalf("flat attribute normalized to %v", flat)
+		}
+	}
+}
+
+func TestRelevanceCategory(t *testing.T) {
+	tab := NewTable(4)
+	if err := tab.AddCategorical("country", []int32{0, 1, 1, 2}, []string{"us", "jp", "de"}); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := tab.RelevanceCategory("country", "jp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 1, 1, 0}
+	for i := range want {
+		if scores[i] != want[i] {
+			t.Fatalf("scores = %v, want %v", scores, want)
+		}
+	}
+	if _, err := tab.RelevanceCategory("country", "fr"); err == nil {
+		t.Fatal("unknown label accepted")
+	}
+}
+
+func TestLogisticModel(t *testing.T) {
+	tab := NewTable(3)
+	if err := tab.AddBool("expert_flag", []bool{true, false, false}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddNumeric("answers", []float64{0, 50, 100}); err != nil {
+		t.Fatal(err)
+	}
+	model := LogisticModel{
+		Bias:    -2,
+		Weights: map[string]float64{"expert_flag": 3, "answers": 4},
+	}
+	scores, err := model.Relevance(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0: z = -2 + 3 = 1 → σ(1) ≈ 0.731
+	// Node 1: z = -2 + 4·0.5 = 0 → 0.5
+	// Node 2: z = -2 + 4·1 = 2 → σ(2) ≈ 0.881
+	wantApprox := []float64{0.731, 0.5, 0.881}
+	for i, w := range wantApprox {
+		if math.Abs(scores[i]-w) > 0.001 {
+			t.Fatalf("scores = %v, want ≈ %v", scores, wantApprox)
+		}
+	}
+}
+
+func TestLogisticModelRejectsCategorical(t *testing.T) {
+	tab := NewTable(2)
+	if err := tab.AddCategorical("c", []int32{0, 0}, []string{"x"}); err != nil {
+		t.Fatal(err)
+	}
+	model := LogisticModel{Weights: map[string]float64{"c": 1}}
+	if _, err := model.Relevance(tab); err == nil {
+		t.Fatal("categorical feature accepted")
+	}
+	model = LogisticModel{Weights: map[string]float64{"missing": 1}}
+	if _, err := model.Relevance(tab); err == nil {
+		t.Fatal("missing feature accepted")
+	}
+}
+
+// Property: logistic scores are always valid relevance values in (0,1).
+func TestLogisticAlwaysValidProperty(t *testing.T) {
+	property := func(flags []bool, weight, bias float64) bool {
+		if len(flags) == 0 {
+			return true
+		}
+		if math.IsNaN(weight) || math.IsInf(weight, 0) || math.IsNaN(bias) || math.IsInf(bias, 0) {
+			return true // quick can generate non-finite floats; skip them
+		}
+		tab := NewTable(len(flags))
+		if err := tab.AddBool("f", flags); err != nil {
+			return false
+		}
+		scores, err := LogisticModel{Bias: bias, Weights: map[string]float64{"f": weight}}.Relevance(tab)
+		if err != nil {
+			return false
+		}
+		for _, s := range scores {
+			if math.IsNaN(s) || s < 0 || s > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Bool.String() != "bool" || Numeric.String() != "numeric" || Categorical.String() != "categorical" {
+		t.Fatal("Kind names wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind must print")
+	}
+}

@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps harness tests fast: tiny datasets, single repeat.
+func tinyConfig() Config {
+	return Config{Scale: 0.01, Seed: 42, Repeats: 1, Workers: 2}
+}
+
+func TestConfigNormalization(t *testing.T) {
+	c := Config{}.normalized()
+	if c.Scale != 1 || c.Seed == 0 || c.Repeats != 1 {
+		t.Fatalf("normalized zero config = %+v", c)
+	}
+	c = Config{Scale: 0.5, Seed: 7, Repeats: 3}.normalized()
+	if c.Scale != 0.5 || c.Seed != 7 || c.Repeats != 3 {
+		t.Fatalf("normalization clobbered explicit values: %+v", c)
+	}
+}
+
+func TestDatasetKindString(t *testing.T) {
+	if Collaboration.String() != "Collaboration" || Citation.String() != "Citation" || Intrusion.String() != "Intrusion" {
+		t.Fatal("dataset names wrong")
+	}
+	if DatasetKind(9).String() == "" {
+		t.Fatal("unknown dataset must still print")
+	}
+}
+
+func TestWorkspaceMemoizesGraphs(t *testing.T) {
+	w := NewWorkspace(tinyConfig())
+	a, err := w.Graph(Collaboration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.Graph(Collaboration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("workspace regenerated a memoized dataset")
+	}
+}
+
+func TestWorkspaceEngineMemoized(t *testing.T) {
+	w := NewWorkspace(tinyConfig())
+	a, err := w.Engine(Intrusion, BinaryScores, 0.2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.Engine(Intrusion, BinaryScores, 0.2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("workspace rebuilt a memoized engine")
+	}
+	c, err := w.Engine(Intrusion, BinaryScores, 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatal("different h shared an engine")
+	}
+}
+
+func TestRunFigureSmoke(t *testing.T) {
+	w := NewWorkspace(tinyConfig())
+	res, err := w.RunFigure(PaperFigures[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "F1" {
+		t.Fatalf("ID = %s", res.ID)
+	}
+	wantRows := len(DefaultKs) * len(figureAlgos)
+	if len(res.Rows) != wantRows {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), wantRows)
+	}
+	labels := res.Labels()
+	if len(labels) != 3 || labels[0] != "Base" {
+		t.Fatalf("labels = %v", labels)
+	}
+	xs := res.Xs()
+	if len(xs) != len(DefaultKs) || xs[0] != 1 || xs[len(xs)-1] != 300 {
+		t.Fatalf("xs = %v", xs)
+	}
+	for _, row := range res.Rows {
+		if row.Sec < 0 {
+			t.Fatalf("negative time %v", row.Sec)
+		}
+	}
+}
+
+func TestRunAllExperimentIDs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment smoke in -short mode")
+	}
+	w := NewWorkspace(tinyConfig())
+	for _, id := range ExperimentIDs() {
+		res, err := w.Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(res.Rows) == 0 {
+			t.Fatalf("%s produced no rows", id)
+		}
+		md := res.Markdown()
+		if !strings.Contains(md, res.ID) || !strings.Contains(md, "|") {
+			t.Fatalf("%s markdown malformed:\n%s", id, md)
+		}
+		csv := res.CSV()
+		if !strings.HasPrefix(csv, "experiment,x,label,seconds\n") {
+			t.Fatalf("%s csv malformed:\n%s", id, csv)
+		}
+		if strings.Count(csv, "\n") != len(res.Rows)+1 {
+			t.Fatalf("%s csv row count mismatch", id)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	w := NewWorkspace(tinyConfig())
+	if _, err := w.Run("F99"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestMarkdownPivot(t *testing.T) {
+	res := &Result{
+		ID: "T", Title: "test", XName: "k",
+		Rows: []Row{
+			{X: 1, Label: "A", Sec: 0.5},
+			{X: 1, Label: "B", Sec: 0.25},
+			{X: 2, Label: "A", Sec: 1},
+		},
+	}
+	md := res.Markdown()
+	if !strings.Contains(md, "| k | A (s) | B (s) |") {
+		t.Fatalf("missing header:\n%s", md)
+	}
+	if !strings.Contains(md, "0.5000") || !strings.Contains(md, "0.2500") {
+		t.Fatalf("missing cells:\n%s", md)
+	}
+	// Missing (2, B) cell renders as dash.
+	if !strings.Contains(md, "–") {
+		t.Fatalf("missing-cell marker absent:\n%s", md)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		1:      "1",
+		0.01:   "0.01",
+		0.2:    "0.2",
+		300:    "300",
+		0.0001: "0.0001",
+		0:      "0",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Fatalf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestScoresKinds(t *testing.T) {
+	w := NewWorkspace(tinyConfig())
+	g, err := w.Graph(Citation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix, err := w.Scores(g, MixtureScores, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix) != g.NumNodes() {
+		t.Fatal("mixture length mismatch")
+	}
+	bin, err := w.Scores(g, BinaryScores, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range bin {
+		if s != 0 && s != 1 {
+			t.Fatalf("binary scores contain %v", s)
+		}
+	}
+	if _, err := w.Scores(g, RelevanceKind(9), 0.1); err == nil {
+		t.Fatal("unknown relevance kind accepted")
+	}
+}

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/topk"
+)
+
+// BackwardNaive answers a top-k query with Algorithm 2: every node with a
+// non-zero score distributes it to all nodes within h hops (itself
+// included), after which the accumulated values are exact and the top k
+// are selected. Its cost equals Base on dense score vectors but shrinks
+// proportionally when scores are sparse — the 0-1 binary setting the paper
+// highlights, where zero nodes "have no contribution to the aggregate
+// values" and are skipped outright.
+//
+// Requires an undirected graph: distribution relies on v ∈ S_h(u) ⇔
+// u ∈ S_h(v).
+func (e *Engine) BackwardNaive(k int, agg Aggregate) ([]Result, QueryStats, error) {
+	if err := e.checkQuery(k, agg, AlgoBackwardNaive); err != nil {
+		return nil, QueryStats{}, err
+	}
+	n := e.g.NumNodes()
+	acc := make([]float64, n)
+	t := graph.NewTraverser(e.g)
+	var stats QueryStats
+
+	for u := 0; u < n; u++ {
+		switch agg {
+		case Sum, Avg:
+			mass := e.scores[u]
+			if mass == 0 {
+				continue
+			}
+			size := 0
+			t.VisitWithin(u, e.h, func(v, _ int) {
+				acc[v] += mass
+				size++
+			})
+			stats.Distributed++
+			stats.Visited += size
+		case WeightedSum:
+			mass := e.scores[u]
+			if mass == 0 {
+				continue
+			}
+			// Undirected BFS distances are symmetric, so distributing
+			// mass/dist accumulates exactly Σ f(v)/dist(u,v) at each node.
+			size := 0
+			t.VisitWithin(u, e.h, func(v, dist int) {
+				size++
+				if dist <= 1 {
+					acc[v] += mass
+					return
+				}
+				acc[v] += mass / float64(dist)
+			})
+			stats.Distributed++
+			stats.Visited += size
+		case Count:
+			if e.scores[u] == 0 {
+				continue
+			}
+			size := 0
+			t.VisitWithin(u, e.h, func(v, _ int) {
+				acc[v]++
+				size++
+			})
+			stats.Distributed++
+			stats.Visited += size
+		case Max:
+			mass := e.scores[u]
+			if mass == 0 {
+				continue // zero can never raise a maximum below the 0 floor
+			}
+			size := 0
+			t.VisitWithin(u, e.h, func(v, _ int) {
+				if mass > acc[v] {
+					acc[v] = mass
+				}
+				size++
+			})
+			stats.Distributed++
+			stats.Visited += size
+		}
+	}
+
+	list := topk.New(k)
+	if agg == Avg {
+		nix := e.PrepareNeighborhoodIndex(0)
+		for v := 0; v < n; v++ {
+			list.Offer(v, acc[v]/float64(nix.N(v)))
+		}
+	} else {
+		for v := 0; v < n; v++ {
+			list.Offer(v, acc[v])
+		}
+	}
+	return list.Items(), stats, nil
+}
+
+// Backward answers a top-k query with LONA-Backward: nodes whose
+// bound-score is at least gamma distribute it backward in descending score
+// order; Equation 3 (tightened — see below) then upper-bounds every node's
+// aggregate, and nodes are exactly verified in descending bound order,
+// stopping as soon as no remaining bound can beat the k-th exact value.
+//
+// With P(v) the partial sum accumulated at v, l(v) the number of nodes
+// that scanned v, and fRest the largest score among nodes that did NOT
+// distribute (known exactly because scores are sorted — a tightening of
+// the paper's f(u_l), which is always >= fRest):
+//
+//	F̄_sum(v) = P(v) + f(v)·[v undistributed] + fRest·(N(v) − l(v) − [v undistributed])
+//
+// gamma = 0 distributes every non-zero node, making the SUM bounds exact
+// at BackwardNaive's distribution cost; larger gamma trades bound
+// tightness for less distribution work (ablation benchmark A2 sweeps it).
+func (e *Engine) Backward(k int, agg Aggregate, gamma float64) ([]Result, QueryStats, error) {
+	if err := e.checkQuery(k, agg, AlgoBackward); err != nil {
+		return nil, QueryStats{}, err
+	}
+	if gamma < 0 || gamma > 1 {
+		return nil, QueryStats{}, fmt.Errorf("core: backward threshold γ=%v outside [0,1]", gamma)
+	}
+	nix := e.PrepareNeighborhoodIndex(0)
+	n := e.g.NumNodes()
+	var stats QueryStats
+
+	// The cached non-zero list is sorted by descending bound-score; the
+	// prefix with score >= gamma distributes, and the first score below
+	// gamma bounds every undistributed node's mass (fRest).
+	nonZero := e.nonZeroFor(agg)
+	cut := sort.Search(len(nonZero), func(i int) bool { return nonZero[i].score < gamma })
+	fRest := 0.0
+	if cut < len(nonZero) {
+		fRest = nonZero[cut].score
+	}
+
+	partial := make([]float64, n)
+	scanCount := make([]int32, n)
+	distributed := make([]bool, n)
+	t := graph.NewTraverser(e.g)
+	for _, sc := range nonZero[:cut] {
+		u := int(sc.node)
+		distributed[u] = true
+		size := 0
+		mass := sc.score
+		t.VisitWithin(u, e.h, func(v, _ int) {
+			partial[v] += mass
+			scanCount[v]++
+			size++
+		})
+		stats.Distributed++
+		stats.Visited += size
+	}
+
+	// Upper-bound every node (Equation 3, tightened) in the aggregate's
+	// value domain, then verify candidates in descending bound order via a
+	// max-heap — only the nodes whose bound can still beat the running
+	// k-th value are ever exactly evaluated.
+	heap := make([]backwardCandidate, n)
+	for v := 0; v < n; v++ {
+		unknown := float64(nix.N(v)) - float64(scanCount[v])
+		boundSum := partial[v]
+		if !distributed[v] {
+			boundSum += e.boundScore(v, agg) // v's own mass is known exactly
+			unknown--
+		}
+		if unknown > 0 {
+			boundSum += fRest * unknown
+		}
+		heap[v] = backwardCandidate{int32(v), finishValue(agg, boundSum, nix.N(v))}
+	}
+	heapifyCandidates(heap)
+
+	// Stopping is strict (<) so value ties resolve identically to Base.
+	list := topk.New(k)
+	for len(heap) > 0 {
+		top := heap[0]
+		if list.Full() && top.bound < list.Bound() {
+			break
+		}
+		heap[0] = heap[len(heap)-1]
+		heap = heap[:len(heap)-1]
+		if len(heap) > 0 {
+			downCandidate(heap, 0)
+		}
+		value, _, size := e.evaluate(t, int(top.node), agg)
+		stats.Evaluated++
+		stats.Visited += size
+		list.Offer(int(top.node), value)
+	}
+	return list.Items(), stats, nil
+}
+
+// backwardCandidate is a node with its Equation 3 upper bound.
+type backwardCandidate struct {
+	node  int32
+	bound float64
+}
+
+// heapifyCandidates arranges h as a max-heap on bound.
+func heapifyCandidates(h []backwardCandidate) {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		downCandidate(h, i)
+	}
+}
+
+func downCandidate(h []backwardCandidate, i int) {
+	n := len(h)
+	for {
+		left, right := 2*i+1, 2*i+2
+		largest := i
+		if left < n && h[left].bound > h[largest].bound {
+			largest = left
+		}
+		if right < n && h[right].bound > h[largest].bound {
+			largest = right
+		}
+		if largest == i {
+			return
+		}
+		h[i], h[largest] = h[largest], h[i]
+		i = largest
+	}
+}
+
+// BackwardBound exposes the Equation 3 upper bound LONA-Backward would
+// assign to node v under threshold gamma. Tests use it to verify bound
+// admissibility; it re-runs the distribution, so it is test-only in cost.
+func (e *Engine) BackwardBound(v int, agg Aggregate, gamma float64) float64 {
+	nix := e.PrepareNeighborhoodIndex(0)
+	n := e.g.NumNodes()
+	type scored struct {
+		node  int32
+		score float64
+	}
+	nonZero := make([]scored, 0, n/4)
+	for u := 0; u < n; u++ {
+		if s := e.boundScore(u, agg); s > 0 {
+			nonZero = append(nonZero, scored{int32(u), s})
+		}
+	}
+	sort.SliceStable(nonZero, func(i, j int) bool { return nonZero[i].score > nonZero[j].score })
+
+	partialV := 0.0
+	scans := 0
+	selfDistributed := false
+	fRest := 0.0
+	t := graph.NewTraverser(e.g)
+	for _, sc := range nonZero {
+		if sc.score < gamma {
+			fRest = sc.score
+			break
+		}
+		if int(sc.node) == v {
+			selfDistributed = true
+		}
+		t.VisitWithin(int(sc.node), e.h, func(w, _ int) {
+			if w == v {
+				partialV += sc.score
+				scans++
+			}
+		})
+	}
+	unknown := float64(nix.N(v)) - float64(scans)
+	boundSum := partialV
+	if !selfDistributed {
+		boundSum += e.boundScore(v, agg)
+		unknown--
+	}
+	if unknown > 0 {
+		boundSum += fRest * unknown
+	}
+	return finishValue(agg, boundSum, nix.N(v))
+}

@@ -1,0 +1,474 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// randomGraph builds a small random undirected graph for cross-checking.
+func randomGraph(n, m int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n, false)
+	for i := 0; i < m; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+// randomScores returns a relevance vector mixing zeros, ones, and
+// fractional values — exercising all pruning regimes.
+func randomScores(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	scores := make([]float64, n)
+	for v := range scores {
+		switch rng.Intn(4) {
+		case 0:
+			scores[v] = 0
+		case 1:
+			scores[v] = 1
+		default:
+			scores[v] = rng.Float64()
+		}
+	}
+	return scores
+}
+
+func mustEngine(t *testing.T, g *graph.Graph, scores []float64, h int) *Engine {
+	t.Helper()
+	e, err := NewEngine(g, scores, h)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	return e
+}
+
+// approxEq tolerates last-ulp differences from summation order: the same
+// mathematical aggregate computed by BFS order (Base) and by distribution
+// order (Backward) can differ by a few ulps.
+func approxEq(a, b float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Abs(a)
+	if math.Abs(b) > scale {
+		scale = math.Abs(b)
+	}
+	return diff <= 1e-9*(1+scale)
+}
+
+// sameResults compares two top-k answers. Values must agree pairwise
+// (within FP tolerance). Node lists must agree except where values tie
+// with the k-th value: FP jitter can legally permute which of several
+// equal-valued nodes sits on the boundary.
+func sameResults(a, b []Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if len(a) == 0 {
+		return true
+	}
+	for i := range a {
+		if !approxEq(a[i].Value, b[i].Value) {
+			return false
+		}
+	}
+	kth := a[len(a)-1].Value
+	inA := make(map[int]struct{}, len(a))
+	inB := make(map[int]struct{}, len(b))
+	for i := range a {
+		inA[a[i].Node] = struct{}{}
+		inB[b[i].Node] = struct{}{}
+	}
+	for _, r := range a {
+		if _, ok := inB[r.Node]; !ok && !approxEq(r.Value, kth) {
+			return false
+		}
+	}
+	for _, r := range b {
+		if _, ok := inA[r.Node]; !ok && !approxEq(r.Value, kth) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	g := randomGraph(5, 8, 1)
+	if _, err := NewEngine(nil, nil, 1); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := NewEngine(g, make([]float64, 3), 1); err == nil {
+		t.Fatal("wrong score length accepted")
+	}
+	if _, err := NewEngine(g, make([]float64, 5), -1); err == nil {
+		t.Fatal("negative h accepted")
+	}
+	bad := make([]float64, 5)
+	bad[2] = 1.5
+	if _, err := NewEngine(g, bad, 1); err == nil {
+		t.Fatal("score > 1 accepted")
+	}
+	bad[2] = math.NaN()
+	if _, err := NewEngine(g, bad, 1); err == nil {
+		t.Fatal("NaN score accepted")
+	}
+	bad[2] = -0.1
+	if _, err := NewEngine(g, bad, 1); err == nil {
+		t.Fatal("negative score accepted")
+	}
+	if _, err := NewEngine(g, make([]float64, 5), 2); err != nil {
+		t.Fatalf("valid engine rejected: %v", err)
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	g := randomGraph(6, 10, 2)
+	e := mustEngine(t, g, randomScores(6, 2), 1)
+	if _, _, err := e.Base(0, Sum); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, _, err := e.Base(-3, Sum); err == nil {
+		t.Fatal("negative k accepted")
+	}
+	if _, _, err := e.Forward(2, Max, OrderNatural); err == nil {
+		t.Fatal("Forward accepted MAX")
+	}
+	if _, _, err := e.Backward(2, Max, 0); err == nil {
+		t.Fatal("Backward accepted MAX")
+	}
+	if _, _, err := e.Backward(2, Sum, -0.5); err == nil {
+		t.Fatal("negative gamma accepted")
+	}
+	if _, _, err := e.Backward(2, Sum, 1.5); err == nil {
+		t.Fatal("gamma > 1 accepted")
+	}
+}
+
+func TestBackwardRejectsDirectedGraphs(t *testing.T) {
+	b := graph.NewBuilder(4, true)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.Build()
+	e := mustEngine(t, g, []float64{1, 1, 1, 0}, 1)
+	if _, _, err := e.BackwardNaive(2, Sum); err == nil {
+		t.Fatal("BackwardNaive accepted a directed graph")
+	}
+	if _, _, err := e.Backward(2, Sum, 0); err == nil {
+		t.Fatal("Backward accepted a directed graph")
+	}
+	// Forward processing is direction-agnostic and must still work.
+	if _, _, err := e.Base(2, Sum); err != nil {
+		t.Fatalf("Base on directed graph: %v", err)
+	}
+	if _, _, err := e.Forward(2, Sum, OrderNatural); err != nil {
+		t.Fatalf("Forward on directed graph: %v", err)
+	}
+}
+
+func TestBaseOnHandCheckedStar(t *testing.T) {
+	// Star: hub 0 with leaves 1..4. h=1.
+	b := graph.NewBuilder(5, false)
+	for i := 1; i < 5; i++ {
+		b.AddEdge(0, i)
+	}
+	g := b.Build()
+	scores := []float64{0.5, 1, 0, 0.25, 0.25}
+	e := mustEngine(t, g, scores, 1)
+
+	results, stats, err := e.Base(2, Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// F(0) = 0.5+1+0+0.25+0.25 = 2.0; F(1) = 1+0.5 = 1.5;
+	// F(3)=F(4)=0.75; F(2)=0.5.
+	if results[0].Node != 0 || math.Abs(results[0].Value-2.0) > 1e-12 {
+		t.Fatalf("top = %+v, want node 0 value 2.0", results[0])
+	}
+	if results[1].Node != 1 || math.Abs(results[1].Value-1.5) > 1e-12 {
+		t.Fatalf("second = %+v, want node 1 value 1.5", results[1])
+	}
+	if stats.Evaluated != 5 {
+		t.Fatalf("Evaluated = %d, want 5", stats.Evaluated)
+	}
+
+	avg, _, err := e.Base(1, Avg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AVG: hub 2.0/5 = 0.4; node 1: 1.5/2 = 0.75 → winner node 1.
+	if avg[0].Node != 1 || math.Abs(avg[0].Value-0.75) > 1e-12 {
+		t.Fatalf("AVG top = %+v, want node 1 value 0.75", avg[0])
+	}
+}
+
+// TestAllAlgorithmsAgree is the central correctness test: every algorithm
+// must return the identical (node, value) list on randomized inputs, for
+// every supported aggregate, hop radius, and k.
+func TestAllAlgorithmsAgree(t *testing.T) {
+	aggs := []Aggregate{Sum, Avg, WeightedSum, Count}
+	for trial := 0; trial < 12; trial++ {
+		seed := int64(100 + trial)
+		n := 20 + trial*7
+		g := randomGraph(n, 3*n, seed)
+		scores := randomScores(n, seed)
+		for _, h := range []int{1, 2, 3} {
+			e := mustEngine(t, g, scores, h)
+			for _, agg := range aggs {
+				for _, k := range []int{1, 3, n / 2, n + 5} {
+					want, _, err := e.Base(k, agg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, algo := range []Algorithm{AlgoBaseParallel, AlgoForward, AlgoForwardDist, AlgoBackwardNaive, AlgoBackward} {
+						got, _, err := e.TopK(algo, k, agg, &Options{Gamma: 0.3, Workers: 4})
+						if err != nil {
+							t.Fatalf("trial %d h=%d %v k=%d %v: %v", trial, h, agg, k, algo, err)
+						}
+						if !sameResults(got, want) {
+							t.Fatalf("trial %d h=%d %v k=%d: %v disagrees with Base\n got %v\nwant %v",
+								trial, h, agg, k, algo, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAlgorithmsAgreeOnBinaryScores covers the sparse 0/1 regime where
+// BackwardNaive's zero-skipping and LONA-Backward's exact bounds kick in,
+// and where value ties are pervasive (stress for deterministic ordering).
+func TestAlgorithmsAgreeOnBinaryScores(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		seed := int64(500 + trial)
+		n := 40 + trial*11
+		g := randomGraph(n, 2*n, seed)
+		rng := rand.New(rand.NewSource(seed))
+		scores := make([]float64, n)
+		for v := range scores {
+			if rng.Float64() < 0.1 {
+				scores[v] = 1
+			}
+		}
+		e := mustEngine(t, g, scores, 2)
+		for _, agg := range []Aggregate{Sum, Avg, Count} {
+			want, _, err := e.Base(5, agg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, algo := range []Algorithm{AlgoForward, AlgoBackwardNaive, AlgoBackward} {
+				got, _, err := e.TopK(algo, 5, agg, &Options{Gamma: 0.5})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sameResults(got, want) {
+					t.Fatalf("trial %d %v %v: got %v want %v", trial, agg, algo, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestAgreementAcrossGammas(t *testing.T) {
+	g := randomGraph(60, 180, 9)
+	scores := randomScores(60, 9)
+	e := mustEngine(t, g, scores, 2)
+	want, _, err := e.Base(7, Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gamma := range []float64{0, 0.1, 0.25, 0.5, 0.9, 1} {
+		got, _, err := e.Backward(7, Sum, gamma)
+		if err != nil {
+			t.Fatalf("gamma=%v: %v", gamma, err)
+		}
+		if !sameResults(got, want) {
+			t.Fatalf("gamma=%v: got %v want %v", gamma, got, want)
+		}
+	}
+}
+
+func TestAgreementAcrossQueueOrders(t *testing.T) {
+	g := randomGraph(50, 150, 17)
+	scores := randomScores(50, 17)
+	e := mustEngine(t, g, scores, 2)
+	want, _, err := e.Base(6, Avg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, order := range []QueueOrder{OrderNatural, OrderDegreeDesc, OrderScoreDesc} {
+		got, _, err := e.Forward(6, Avg, order)
+		if err != nil {
+			t.Fatalf("order=%v: %v", order, err)
+		}
+		if !sameResults(got, want) {
+			t.Fatalf("order=%v: got %v want %v", order, got, want)
+		}
+	}
+}
+
+func TestMaxAggregateBaseVsBackwardNaive(t *testing.T) {
+	g := randomGraph(30, 90, 21)
+	scores := randomScores(30, 21)
+	e := mustEngine(t, g, scores, 2)
+	want, _, err := e.Base(4, Max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := e.BackwardNaive(4, Max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameResults(got, want) {
+		t.Fatalf("MAX: BackwardNaive %v != Base %v", got, want)
+	}
+}
+
+func TestKLargerThanGraph(t *testing.T) {
+	g := randomGraph(10, 20, 23)
+	scores := randomScores(10, 23)
+	e := mustEngine(t, g, scores, 2)
+	for _, algo := range []Algorithm{AlgoBase, AlgoForward, AlgoBackwardNaive, AlgoBackward} {
+		results, _, err := e.TopK(algo, 50, Sum, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if len(results) != 10 {
+			t.Fatalf("%v returned %d results, want all 10 nodes", algo, len(results))
+		}
+	}
+}
+
+func TestAllZeroScores(t *testing.T) {
+	g := randomGraph(15, 30, 29)
+	e := mustEngine(t, g, make([]float64, 15), 2)
+	for _, algo := range []Algorithm{AlgoBase, AlgoForward, AlgoBackwardNaive, AlgoBackward} {
+		results, _, err := e.TopK(algo, 3, Sum, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if len(results) != 3 {
+			t.Fatalf("%v returned %d results", algo, len(results))
+		}
+		for _, r := range results {
+			if r.Value != 0 {
+				t.Fatalf("%v returned non-zero value on all-zero scores: %+v", algo, r)
+			}
+		}
+	}
+}
+
+func TestZeroHopRadius(t *testing.T) {
+	// h=0: F(u) = f(u); top-k is just the highest-scored nodes.
+	g := randomGraph(12, 24, 31)
+	scores := randomScores(12, 31)
+	e := mustEngine(t, g, scores, 0)
+	want, _, err := e.Base(3, Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range want {
+		if math.Abs(r.Value-scores[r.Node]) > 1e-12 {
+			t.Fatalf("h=0 result %d = %+v, want value f(node)", i, r)
+		}
+	}
+	got, _, err := e.Backward(3, Sum, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameResults(got, want) {
+		t.Fatalf("h=0: Backward %v != Base %v", got, want)
+	}
+}
+
+func TestDisconnectedGraph(t *testing.T) {
+	// Two components; aggregates must never leak across.
+	b := graph.NewBuilder(6, false)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	g := b.Build()
+	scores := []float64{1, 1, 1, 0, 0, 0}
+	e := mustEngine(t, g, scores, 2)
+	results, _, err := e.Base(6, Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Node >= 3 && r.Value != 0 {
+			t.Fatalf("component leak: node %d has value %v", r.Node, r.Value)
+		}
+		if r.Node < 3 && r.Value != 3 {
+			t.Fatalf("node %d value %v, want 3 (whole component within 2 hops)", r.Node, r.Value)
+		}
+	}
+}
+
+func TestStatsAreReported(t *testing.T) {
+	g := randomGraph(100, 300, 37)
+	scores := randomScores(100, 37)
+	e := mustEngine(t, g, scores, 2)
+
+	_, base, err := e.Base(5, Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Evaluated != 100 || base.Visited == 0 {
+		t.Fatalf("Base stats = %+v", base)
+	}
+
+	_, fwd, err := e.Forward(5, Sum, OrderDegreeDesc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fwd.Evaluated+fwd.Pruned > 100 {
+		t.Fatalf("Forward stats account for more nodes than exist: %+v", fwd)
+	}
+	if fwd.Evaluated == 0 {
+		t.Fatalf("Forward evaluated nothing: %+v", fwd)
+	}
+
+	_, bwd, err := e.Backward(5, Sum, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bwd.Distributed == 0 {
+		t.Fatalf("Backward distributed nothing: %+v", bwd)
+	}
+}
+
+func TestTopKDispatchUnknownAlgorithm(t *testing.T) {
+	g := randomGraph(5, 8, 41)
+	e := mustEngine(t, g, make([]float64, 5), 1)
+	if _, _, err := e.TopK(Algorithm(99), 1, Sum, nil); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	cases := map[string]string{
+		Sum.String():            "SUM",
+		Avg.String():            "AVG",
+		WeightedSum.String():    "WSUM",
+		Count.String():          "COUNT",
+		Max.String():            "MAX",
+		AlgoBase.String():       "Base",
+		AlgoForward.String():    "Forward",
+		AlgoBackward.String():   "Backward",
+		OrderNatural.String():   "natural",
+		OrderScoreDesc.String(): "score-desc",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Fatalf("String() = %q, want %q", got, want)
+		}
+	}
+	if Aggregate(200).String() == "" || Algorithm(200).String() == "" || QueueOrder(200).String() == "" {
+		t.Fatal("unknown enum values must still print")
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/topk"
+)
+
+// This file implements the paper's second stated property as a standalone
+// pruning technique: "given the distribution of attribute values, it is
+// possible to estimate the upper-bound value of aggregates". The bound
+// needs no per-edge index — only the sorted score distribution — making it
+// the index-free forward counterpart the paper says it is "looking for".
+//
+// For any node v, S_h(v) contains N(v) nodes, so
+//
+//	F_sum(v) <= top(N(v))     where top(m) = sum of the m largest scores
+//
+// and processing nodes in descending N(v) order makes the bound sequence
+// non-increasing: the scan can stop outright at the first node whose bound
+// cannot beat the current k-th value.
+
+// distributionPrefix returns prefix sums of the scores sorted descending:
+// prefix[m] = sum of the m largest scores (prefix[0] = 0).
+func (e *Engine) distributionPrefix(agg Aggregate) []float64 {
+	n := e.g.NumNodes()
+	sorted := make([]float64, n)
+	for v := 0; v < n; v++ {
+		sorted[v] = e.boundScore(v, agg)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	prefix := make([]float64, n+1)
+	for i, s := range sorted {
+		prefix[i+1] = prefix[i] + s
+	}
+	return prefix
+}
+
+// ForwardDist answers a top-k query by forward processing in descending
+// N(v) order with the distribution upper bound. It requires only the N(v)
+// index (no differential index). For SUM the bound sequence is
+// non-increasing in N(v), so the first failing bound terminates the scan;
+// for AVG the bound top(N(v))/N(v) is not monotone in N(v) and every node
+// must be bound-checked (but most are skipped without BFS).
+func (e *Engine) ForwardDist(k int, agg Aggregate) ([]Result, QueryStats, error) {
+	if err := e.checkQuery(k, agg, AlgoForwardDist); err != nil {
+		return nil, QueryStats{}, err
+	}
+	nix := e.PrepareNeighborhoodIndex(0)
+	prefix := e.distributionPrefix(agg)
+
+	// Nodes in descending N(v): counting sort over neighborhood sizes.
+	n := e.g.NumNodes()
+	maxN := 0
+	for v := 0; v < n; v++ {
+		if s := nix.N(v); s > maxN {
+			maxN = s
+		}
+	}
+	counts := make([]int32, maxN+2)
+	for v := 0; v < n; v++ {
+		counts[maxN-nix.N(v)+1]++
+	}
+	for i := 1; i < len(counts); i++ {
+		counts[i] += counts[i-1]
+	}
+	order := make([]int32, n)
+	for v := 0; v < n; v++ {
+		slot := maxN - nix.N(v)
+		order[counts[slot]] = int32(v)
+		counts[slot]++
+	}
+
+	t := graph.NewTraverser(e.g)
+	list := topk.New(k)
+	var stats QueryStats
+	for _, v32 := range order {
+		v := int(v32)
+		nv := nix.N(v)
+		bound := finishValue(agg, prefix[nv], nv)
+		if list.Full() && bound < list.Bound() {
+			if agg != Avg {
+				// SUM-family: bounds only shrink from here — stop.
+				stats.Pruned += n - stats.Evaluated - stats.Pruned
+				break
+			}
+			stats.Pruned++
+			continue
+		}
+		value, _, size := e.evaluate(t, v, agg)
+		stats.Evaluated++
+		stats.Visited += size
+		list.Offer(v, value)
+	}
+	return list.Items(), stats, nil
+}
+
+// DistributionBound exposes the distribution upper bound top(N(v)) for
+// tests: the sum of the N(v) largest bound-scores, finished into the
+// aggregate's value domain.
+func (e *Engine) DistributionBound(v int, agg Aggregate) float64 {
+	nix := e.PrepareNeighborhoodIndex(0)
+	prefix := e.distributionPrefix(agg)
+	return finishValue(agg, prefix[nix.N(v)], nix.N(v))
+}

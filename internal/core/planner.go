@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Planner chooses a query strategy from cheap statistics of the engine's
+// inputs — the decision a database optimizer would make. The evaluation
+// (Figures 1–6 and ablation A1) shows no single LONA algorithm dominates:
+// backward processing wins when high scores are rare (small effective
+// blacking mass), forward pruning wins when scores are dense and the
+// differential index already exists, and the naive scan is unbeatable on
+// tiny graphs where setup costs dominate.
+type Planner struct {
+	e *Engine
+}
+
+// NewPlanner returns a planner over e.
+func NewPlanner(e *Engine) *Planner { return &Planner{e: e} }
+
+// Plan is the planner's decision with its rationale.
+type Plan struct {
+	Algorithm Algorithm
+	Options   Options
+	Reason    string
+}
+
+// Choose picks a strategy for a (k, aggregate) query.
+//
+// Heuristics, in order:
+//   - MAX has no transferable bound: Base (parallel if the graph is big).
+//   - Directed graphs cannot distribute backward: Forward if the
+//     differential index exists, otherwise Base.
+//   - Sparse scores (few non-zero) make distribution almost free:
+//     BackwardNaive below ~5% density, LONA-Backward below ~40% "heavy"
+//     density with γ at the distribution knee.
+//   - Otherwise Forward when the differential index is already built
+//     (its offline cost must not be charged to one query), else
+//     LONA-Backward with a γ that distributes roughly the top decile.
+func (p *Planner) Choose(k int, agg Aggregate) Plan {
+	e := p.e
+	n := e.g.NumNodes()
+	if n == 0 {
+		return Plan{Algorithm: AlgoBase, Reason: "empty graph"}
+	}
+	if agg == Max {
+		return Plan{Algorithm: AlgoBase, Reason: "MAX has no pruning bound"}
+	}
+	if e.g.Directed() {
+		if e.dix != nil {
+			return Plan{Algorithm: AlgoForward, Options: Options{Order: orderForAgg(agg)},
+				Reason: "directed graph; differential index available"}
+		}
+		return Plan{Algorithm: AlgoBase, Reason: "directed graph without differential index"}
+	}
+
+	nonZero := 0
+	heavy := 0 // scores >= 0.5: the mass that dominates SUM answers
+	for v := 0; v < n; v++ {
+		s := e.boundScore(v, agg)
+		if s > 0 {
+			nonZero++
+		}
+		if s >= 0.5 {
+			heavy++
+		}
+	}
+	density := float64(nonZero) / float64(n)
+	switch {
+	case density <= 0.05:
+		return Plan{Algorithm: AlgoBackwardNaive,
+			Reason: fmt.Sprintf("only %.1f%% non-zero scores: full distribution is cheap and exact", 100*density)}
+	case float64(heavy)/float64(n) <= 0.4:
+		gamma := p.gammaKnee()
+		return Plan{Algorithm: AlgoBackward, Options: Options{Gamma: gamma},
+			Reason: fmt.Sprintf("light score mass (%.1f%% heavy): partial distribution at γ=%.2f", 100*float64(heavy)/float64(n), gamma)}
+	case e.dix != nil:
+		return Plan{Algorithm: AlgoForward, Options: Options{Order: orderForAgg(agg)},
+			Reason: "dense scores with a prebuilt differential index"}
+	default:
+		gamma := p.gammaKnee()
+		return Plan{Algorithm: AlgoBackward, Options: Options{Gamma: gamma},
+			Reason: fmt.Sprintf("dense scores, no index: partial distribution at γ=%.2f", gamma)}
+	}
+}
+
+// gammaKnee picks the distribution threshold so that roughly the top 10%
+// of non-zero scores distribute — the knee the A2 ablation identifies
+// (lower γ over-distributes, higher γ over-verifies).
+func (p *Planner) gammaKnee() float64 {
+	scores := p.e.scores
+	nonZero := make([]float64, 0, len(scores)/4)
+	for _, s := range scores {
+		if s > 0 {
+			nonZero = append(nonZero, s)
+		}
+	}
+	if len(nonZero) == 0 {
+		return 0.5
+	}
+	sort.Float64s(nonZero)
+	idx := len(nonZero) - 1 - len(nonZero)/10 // 90th percentile
+	if idx < 0 {
+		idx = 0
+	}
+	gamma := nonZero[idx]
+	if gamma > 1 {
+		gamma = 1
+	}
+	return gamma
+}
+
+func orderForAgg(agg Aggregate) QueueOrder {
+	if agg == Avg {
+		return OrderScoreDesc
+	}
+	return OrderDegreeDesc
+}
+
+// TopK plans and executes in one call — the "auto" mode of cmd/lona.
+func (p *Planner) TopK(k int, agg Aggregate) ([]Result, QueryStats, Plan, error) {
+	plan := p.Choose(k, agg)
+	results, stats, err := p.e.TopK(plan.Algorithm, k, agg, &plan.Options)
+	return results, stats, plan, err
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestViewMatchesEngineInitially(t *testing.T) {
+	g := randomGraph(50, 150, 3)
+	scores := randomScores(50, 3)
+	v, err := NewView(g, scores, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := mustEngine(t, g, scores, 2)
+	for _, agg := range []Aggregate{Sum, Avg, Count} {
+		want, _, err := e.Base(10, agg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := v.TopK(10, agg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameResults(got, want) {
+			t.Fatalf("%v: view %v != engine %v", agg, got, want)
+		}
+	}
+}
+
+func TestViewIncrementalUpdates(t *testing.T) {
+	g := randomGraph(60, 180, 5)
+	scores := randomScores(60, 5)
+	v, err := NewView(g, scores, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	current := append([]float64(nil), scores...)
+	for step := 0; step < 200; step++ {
+		node := rng.Intn(60)
+		var newScore float64
+		switch rng.Intn(3) {
+		case 0:
+			newScore = 0
+		case 1:
+			newScore = 1
+		default:
+			newScore = rng.Float64()
+		}
+		if _, err := v.UpdateScore(node, newScore); err != nil {
+			t.Fatal(err)
+		}
+		current[node] = newScore
+
+		if step%20 != 0 {
+			continue
+		}
+		// Cross-check against a fresh engine over the updated scores.
+		e := mustEngine(t, g, current, 2)
+		for _, agg := range []Aggregate{Sum, Avg, Count} {
+			want, _, err := e.Base(8, agg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := v.TopK(8, agg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameResults(got, want) {
+				t.Fatalf("step %d %v: view %v != engine %v", step, agg, got, want)
+			}
+		}
+	}
+}
+
+func TestViewUpdateTouchedCount(t *testing.T) {
+	// Path 0-1-2-3-4, h=1: updating node 2 touches S_1(2) = {1,2,3}.
+	b := graph.NewBuilder(5, false)
+	for i := 0; i+1 < 5; i++ {
+		b.AddEdge(i, i+1)
+	}
+	g := b.Build()
+	v, err := NewView(g, []float64{0, 0, 0, 0, 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	touched, err := v.UpdateScore(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if touched != 3 {
+		t.Fatalf("touched = %d, want 3", touched)
+	}
+	if v.Sum(1) != 0.5 || v.Sum(2) != 0.5 || v.Sum(3) != 0.5 {
+		t.Fatalf("sums not repaired: %v %v %v", v.Sum(1), v.Sum(2), v.Sum(3))
+	}
+	if v.Sum(0) != 0 || v.Sum(4) != 0 {
+		t.Fatal("update leaked beyond the 1-hop neighborhood")
+	}
+	// No-op update touches nothing.
+	touched, err = v.UpdateScore(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if touched != 0 {
+		t.Fatalf("no-op update touched %d", touched)
+	}
+	if v.Score(2) != 0.5 {
+		t.Fatalf("Score(2) = %v", v.Score(2))
+	}
+}
+
+func TestViewValidation(t *testing.T) {
+	g := randomGraph(10, 20, 7)
+	scores := make([]float64, 10)
+	v, err := NewView(g, scores, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.UpdateScore(-1, 0.5); err == nil {
+		t.Fatal("negative node accepted")
+	}
+	if _, err := v.UpdateScore(10, 0.5); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+	if _, err := v.UpdateScore(0, 1.5); err == nil {
+		t.Fatal("score > 1 accepted")
+	}
+	if _, err := v.UpdateScore(0, math.NaN()); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	if _, err := v.TopK(0, Sum); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := v.TopK(3, Max); err == nil {
+		t.Fatal("MAX accepted by view")
+	}
+	db := graph.NewBuilder(3, true)
+	db.AddEdge(0, 1)
+	if _, err := NewView(db.Build(), make([]float64, 3), 1); err == nil {
+		t.Fatal("directed graph accepted")
+	}
+}
+
+// Property: after any update sequence, incremental state equals Rebuild.
+func TestViewNeverDriftsProperty(t *testing.T) {
+	property := func(seed int64, updates []uint16) bool {
+		n := 30
+		g := randomGraph(n, 90, seed)
+		scores := randomScores(n, seed)
+		v, err := NewView(g, scores, 2)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for _, raw := range updates {
+			node := int(raw) % n
+			if _, err := v.UpdateScore(node, rng.Float64()); err != nil {
+				return false
+			}
+		}
+		incremental := append([]float64(nil), v.sums...)
+		v.Rebuild()
+		for u := range incremental {
+			if math.Abs(incremental[u]-v.sums[u]) > 1e-7 {
+				t.Logf("seed=%d node %d drifted: %v vs %v", seed, u, incremental[u], v.sums[u])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentQueriesOnSharedEngine(t *testing.T) {
+	// After indexes (and cached orders) exist, an Engine must serve
+	// concurrent queries; all must agree with the serial answer.
+	g := randomGraph(120, 360, 11)
+	scores := randomScores(120, 11)
+	e := mustEngine(t, g, scores, 2)
+	e.PrepareNeighborhoodIndex(2)
+	e.PrepareDifferentialIndex(2)
+	want, _, err := e.Base(10, Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	errs := make(chan error, goroutines)
+	for i := 0; i < goroutines; i++ {
+		go func(i int) {
+			algo := []Algorithm{AlgoBase, AlgoForward, AlgoBackward, AlgoBackwardNaive}[i%4]
+			got, _, err := e.TopK(algo, 10, Sum, &Options{Gamma: 0.3})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !sameResults(got, want) {
+				errs <- errMismatch
+				return
+			}
+			errs <- nil
+		}(i)
+	}
+	for i := 0; i < goroutines; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var errMismatch = &mismatchError{}
+
+type mismatchError struct{}
+
+func (*mismatchError) Error() string { return "concurrent query disagreed with serial Base" }

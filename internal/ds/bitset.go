@@ -1,0 +1,65 @@
+package ds
+
+import "math/bits"
+
+// Bitset is a fixed-capacity set of small non-negative integers packed into
+// 64-bit words. Construct with NewBitset.
+type Bitset struct {
+	words []uint64
+	n     int
+}
+
+// NewBitset returns a Bitset covering ids in [0, n).
+func NewBitset(n int) *Bitset {
+	return &Bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the size of the covered range.
+func (b *Bitset) Len() int { return b.n }
+
+// Set adds id to the set.
+func (b *Bitset) Set(id int) { b.words[id>>6] |= 1 << uint(id&63) }
+
+// Clear removes id from the set.
+func (b *Bitset) Clear(id int) { b.words[id>>6] &^= 1 << uint(id&63) }
+
+// Test reports whether id is in the set.
+func (b *Bitset) Test(id int) bool { return b.words[id>>6]&(1<<uint(id&63)) != 0 }
+
+// Count returns the number of set bits.
+func (b *Bitset) Count() int {
+	total := 0
+	for _, w := range b.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// Zero clears every bit.
+func (b *Bitset) Zero() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Union ors other into b. Both must cover the same range.
+func (b *Bitset) Union(other *Bitset) {
+	if other.n != b.n {
+		panic("ds: Bitset Union with mismatched sizes")
+	}
+	for i, w := range other.words {
+		b.words[i] |= w
+	}
+}
+
+// IntersectCount returns |b ∩ other| without materializing the result.
+func (b *Bitset) IntersectCount(other *Bitset) int {
+	if other.n != b.n {
+		panic("ds: Bitset IntersectCount with mismatched sizes")
+	}
+	total := 0
+	for i, w := range other.words {
+		total += bits.OnesCount64(b.words[i] & w)
+	}
+	return total
+}

@@ -1,0 +1,263 @@
+package ds
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEpochMarkAndReset(t *testing.T) {
+	e := NewEpoch(10)
+	if e.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", e.Len())
+	}
+	if e.Marked(3) {
+		t.Fatal("fresh epoch reports node 3 marked")
+	}
+	if already := e.Mark(3); already {
+		t.Fatal("first Mark reported already-marked")
+	}
+	if !e.Marked(3) {
+		t.Fatal("Mark(3) did not stick")
+	}
+	if already := e.Mark(3); !already {
+		t.Fatal("second Mark did not report already-marked")
+	}
+	e.Reset()
+	if e.Marked(3) {
+		t.Fatal("Reset did not clear mark")
+	}
+}
+
+func TestEpochUnmark(t *testing.T) {
+	e := NewEpoch(4)
+	e.Mark(2)
+	e.Unmark(2)
+	if e.Marked(2) {
+		t.Fatal("Unmark did not clear")
+	}
+	e.Unmark(1) // unmarking an unmarked id must be a no-op
+	if e.Marked(1) {
+		t.Fatal("Unmark marked an id")
+	}
+}
+
+func TestEpochGrow(t *testing.T) {
+	e := NewEpoch(2)
+	e.Mark(1)
+	e.Grow(8)
+	if e.Len() != 8 {
+		t.Fatalf("Len after Grow = %d, want 8", e.Len())
+	}
+	if !e.Marked(1) {
+		t.Fatal("Grow lost existing mark")
+	}
+	if e.Marked(7) {
+		t.Fatal("grown range reports marked")
+	}
+	e.Grow(4) // shrinking request is a no-op
+	if e.Len() != 8 {
+		t.Fatalf("Len after no-op Grow = %d, want 8", e.Len())
+	}
+}
+
+func TestEpochGenerationWrap(t *testing.T) {
+	e := NewEpoch(3)
+	e.Mark(0)
+	e.gen = ^uint32(0) // force the wrap path on next Reset
+	e.Reset()
+	if e.gen != 1 {
+		t.Fatalf("gen after wrap = %d, want 1", e.gen)
+	}
+	for id := 0; id < 3; id++ {
+		if e.Marked(id) {
+			t.Fatalf("node %d marked after wrap reset", id)
+		}
+	}
+}
+
+func TestEpochManyResetsStayCorrect(t *testing.T) {
+	e := NewEpoch(5)
+	for round := 0; round < 1000; round++ {
+		id := round % 5
+		if e.Marked(id) {
+			t.Fatalf("round %d: stale mark on %d", round, id)
+		}
+		e.Mark(id)
+		e.Reset()
+	}
+}
+
+func TestIntQueueFIFO(t *testing.T) {
+	var q IntQueue
+	if !q.Empty() {
+		t.Fatal("zero-value queue not empty")
+	}
+	for i := 0; i < 100; i++ {
+		q.Push(i)
+	}
+	if q.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", q.Len())
+	}
+	for i := 0; i < 100; i++ {
+		if got := q.Pop(); got != i {
+			t.Fatalf("Pop = %d, want %d", got, i)
+		}
+	}
+	if !q.Empty() {
+		t.Fatal("queue not empty after draining")
+	}
+}
+
+func TestIntQueueInterleaved(t *testing.T) {
+	var q IntQueue
+	next := 0
+	pushed := 0
+	rng := rand.New(rand.NewSource(7))
+	for step := 0; step < 20000; step++ {
+		if q.Empty() || rng.Intn(2) == 0 {
+			q.Push(pushed)
+			pushed++
+		} else {
+			if got := q.Pop(); got != next {
+				t.Fatalf("step %d: Pop = %d, want %d", step, got, next)
+			}
+			next++
+		}
+	}
+	for !q.Empty() {
+		if got := q.Pop(); got != next {
+			t.Fatalf("drain: Pop = %d, want %d", got, next)
+		}
+		next++
+	}
+	if next != pushed {
+		t.Fatalf("drained %d, pushed %d", next, pushed)
+	}
+}
+
+func TestIntQueuePopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pop on empty queue did not panic")
+		}
+	}()
+	var q IntQueue
+	q.Pop()
+}
+
+func TestIntQueueReset(t *testing.T) {
+	var q IntQueue
+	q.Push(1)
+	q.Push(2)
+	q.Reset()
+	if !q.Empty() || q.Len() != 0 {
+		t.Fatal("Reset did not empty queue")
+	}
+	q.Push(9)
+	if got := q.Pop(); got != 9 {
+		t.Fatalf("Pop after Reset = %d, want 9", got)
+	}
+}
+
+func TestIntStackLIFO(t *testing.T) {
+	var s IntStack
+	for i := 0; i < 10; i++ {
+		s.Push(i)
+	}
+	for i := 9; i >= 0; i-- {
+		if got := s.Pop(); got != i {
+			t.Fatalf("Pop = %d, want %d", got, i)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pop on empty stack did not panic")
+		}
+	}()
+	s.Pop()
+}
+
+func TestBitsetBasics(t *testing.T) {
+	b := NewBitset(130) // crosses word boundaries
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", b.Len())
+	}
+	for _, id := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Test(id) {
+			t.Fatalf("fresh bitset has bit %d", id)
+		}
+		b.Set(id)
+		if !b.Test(id) {
+			t.Fatalf("Set(%d) did not stick", id)
+		}
+	}
+	if b.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", b.Count())
+	}
+	b.Clear(64)
+	if b.Test(64) || b.Count() != 7 {
+		t.Fatal("Clear(64) failed")
+	}
+	b.Zero()
+	if b.Count() != 0 {
+		t.Fatal("Zero left bits set")
+	}
+}
+
+func TestBitsetUnionAndIntersect(t *testing.T) {
+	a := NewBitset(200)
+	b := NewBitset(200)
+	for i := 0; i < 200; i += 2 {
+		a.Set(i)
+	}
+	for i := 0; i < 200; i += 3 {
+		b.Set(i)
+	}
+	// multiples of 6 in [0,200): 34 of them
+	if got := a.IntersectCount(b); got != 34 {
+		t.Fatalf("IntersectCount = %d, want 34", got)
+	}
+	a.Union(b)
+	want := 0
+	for i := 0; i < 200; i++ {
+		if i%2 == 0 || i%3 == 0 {
+			want++
+		}
+	}
+	if got := a.Count(); got != want {
+		t.Fatalf("Count after union = %d, want %d", got, want)
+	}
+}
+
+func TestBitsetMismatchedSizesPanic(t *testing.T) {
+	a := NewBitset(10)
+	b := NewBitset(20)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Union of mismatched sizes did not panic")
+		}
+	}()
+	a.Union(b)
+}
+
+func TestBitsetQuickSetTest(t *testing.T) {
+	property := func(ids []uint16) bool {
+		b := NewBitset(1 << 16)
+		ref := make(map[int]bool)
+		for _, raw := range ids {
+			id := int(raw)
+			b.Set(id)
+			ref[id] = true
+		}
+		for id := range ref {
+			if !b.Test(id) {
+				return false
+			}
+		}
+		return b.Count() == len(ref)
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,67 @@
+// Package ds provides small allocation-conscious data structures shared by
+// the graph engine and the LONA algorithms: epoch-based visited markers,
+// integer queues, and bitsets.
+//
+// These are deliberately minimal. Graph traversal over large networks is
+// dominated by cache behaviour; the types here avoid per-query allocation
+// and per-query clearing by using generation counters and reusable buffers.
+package ds
+
+// Epoch is a visited-set over the integer range [0, n) that can be reset in
+// O(1) by bumping a generation counter instead of clearing the backing
+// array. A fresh Epoch (or one after Reset) reports every element unmarked.
+//
+// The zero value is not usable; construct with NewEpoch.
+type Epoch struct {
+	gen   uint32
+	marks []uint32
+}
+
+// NewEpoch returns an Epoch covering ids in [0, n).
+func NewEpoch(n int) *Epoch {
+	return &Epoch{gen: 1, marks: make([]uint32, n)}
+}
+
+// Len returns the size of the covered range.
+func (e *Epoch) Len() int { return len(e.marks) }
+
+// Grow extends the covered range to at least n, preserving current marks.
+func (e *Epoch) Grow(n int) {
+	if n <= len(e.marks) {
+		return
+	}
+	grown := make([]uint32, n)
+	copy(grown, e.marks)
+	e.marks = grown
+}
+
+// Reset unmarks every element in O(1) amortized. When the 32-bit generation
+// counter wraps, the backing array is cleared once to stay correct.
+func (e *Epoch) Reset() {
+	e.gen++
+	if e.gen == 0 { // wrapped: stale marks from generation 0 could alias
+		for i := range e.marks {
+			e.marks[i] = 0
+		}
+		e.gen = 1
+	}
+}
+
+// Mark marks id and reports whether it was already marked this generation.
+func (e *Epoch) Mark(id int) (already bool) {
+	if e.marks[id] == e.gen {
+		return true
+	}
+	e.marks[id] = e.gen
+	return false
+}
+
+// Marked reports whether id is marked in the current generation.
+func (e *Epoch) Marked(id int) bool { return e.marks[id] == e.gen }
+
+// Unmark removes the mark on id, if any.
+func (e *Epoch) Unmark(id int) {
+	if e.marks[id] == e.gen {
+		e.marks[id] = 0
+	}
+}

@@ -1,0 +1,70 @@
+package ds
+
+// IntQueue is a FIFO queue of ints backed by a reusable slice. Push/Pop are
+// amortized O(1). It is designed for BFS frontiers: Reset reclaims the
+// buffer without freeing it, so repeated traversals do not allocate.
+//
+// The zero value is ready to use.
+type IntQueue struct {
+	buf  []int
+	head int
+}
+
+// Reset empties the queue but keeps its capacity.
+func (q *IntQueue) Reset() {
+	q.buf = q.buf[:0]
+	q.head = 0
+}
+
+// Len returns the number of queued elements.
+func (q *IntQueue) Len() int { return len(q.buf) - q.head }
+
+// Empty reports whether the queue has no elements.
+func (q *IntQueue) Empty() bool { return q.head >= len(q.buf) }
+
+// Push appends v to the back of the queue.
+func (q *IntQueue) Push(v int) {
+	// Compact when the dead prefix dominates, to bound memory on long runs.
+	if q.head > 1024 && q.head*2 > len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	q.buf = append(q.buf, v)
+}
+
+// Pop removes and returns the front element. It panics on an empty queue;
+// callers are expected to guard with Empty or Len.
+func (q *IntQueue) Pop() int {
+	if q.Empty() {
+		panic("ds: Pop on empty IntQueue")
+	}
+	v := q.buf[q.head]
+	q.head++
+	return v
+}
+
+// IntStack is a LIFO stack of ints with a reusable buffer.
+// The zero value is ready to use.
+type IntStack struct {
+	buf []int
+}
+
+// Reset empties the stack but keeps its capacity.
+func (s *IntStack) Reset() { s.buf = s.buf[:0] }
+
+// Len returns the number of stacked elements.
+func (s *IntStack) Len() int { return len(s.buf) }
+
+// Push appends v to the top of the stack.
+func (s *IntStack) Push(v int) { s.buf = append(s.buf, v) }
+
+// Pop removes and returns the top element. It panics on an empty stack.
+func (s *IntStack) Pop() int {
+	if len(s.buf) == 0 {
+		panic("ds: Pop on empty IntStack")
+	}
+	v := s.buf[len(s.buf)-1]
+	s.buf = s.buf[:len(s.buf)-1]
+	return v
+}

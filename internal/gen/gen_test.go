@@ -1,0 +1,264 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestErdosRenyiEdgeCount(t *testing.T) {
+	g := ErdosRenyi(100, 250, 1)
+	if g.NumNodes() != 100 {
+		t.Fatalf("nodes = %d, want 100", g.NumNodes())
+	}
+	if g.NumEdges() != 250 {
+		t.Fatalf("edges = %d, want exactly 250 (distinct sampling)", g.NumEdges())
+	}
+}
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	a := ErdosRenyi(50, 100, 7)
+	b := ErdosRenyi(50, 100, 7)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different edge counts")
+	}
+	for u := 0; u < 50; u++ {
+		na, nb := a.Neighbors(u), b.Neighbors(u)
+		if len(na) != len(nb) {
+			t.Fatalf("node %d: degree differs across same-seed runs", u)
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatalf("node %d: adjacency differs across same-seed runs", u)
+			}
+		}
+	}
+	c := ErdosRenyi(50, 100, 8)
+	same := true
+	for u := 0; u < 50 && same; u++ {
+		na, nc := a.Neighbors(u), c.Neighbors(u)
+		if len(na) != len(nc) {
+			same = false
+			break
+		}
+		for i := range na {
+			if na[i] != nc[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestErdosRenyiRejectsOverfull(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("m > max possible did not panic")
+		}
+	}()
+	ErdosRenyi(4, 7, 1) // max is 6
+}
+
+func TestBarabasiAlbertShape(t *testing.T) {
+	g := BarabasiAlbert(2000, 3, 11)
+	if g.NumNodes() != 2000 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	s := graph.ComputeStats(g, 0)
+	if s.Isolated != 0 {
+		t.Fatalf("%d isolated nodes in a BA graph", s.Isolated)
+	}
+	if s.Components != 1 {
+		t.Fatalf("BA graph has %d components, want 1", s.Components)
+	}
+	// Scale-free: the max degree should dwarf the median.
+	if s.MaxDegree < 5*s.MedianDegree {
+		t.Fatalf("degrees not heavy-tailed: max %d vs median %d", s.MaxDegree, s.MedianDegree)
+	}
+	// Each of the n-m-1 grown nodes adds m distinct edges, plus the m seed
+	// path edges; duplicates are impossible by construction.
+	wantEdges := 3 + (2000-4)*3
+	if g.NumEdges() != wantEdges {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), wantEdges)
+	}
+}
+
+func TestBarabasiAlbertRejectsBadParams(t *testing.T) {
+	for _, c := range []struct{ n, m int }{{5, 0}, {3, 3}, {3, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("BarabasiAlbert(%d,%d) did not panic", c.n, c.m)
+				}
+			}()
+			BarabasiAlbert(c.n, c.m, 1)
+		}()
+	}
+}
+
+func TestWattsStrogatzShape(t *testing.T) {
+	g := WattsStrogatz(500, 4, 0.1, 13)
+	if g.NumNodes() != 500 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	// Edge count is preserved by rewiring (each rewire replaces one edge,
+	// failed rewires keep the original).
+	if got := g.NumEdges(); got != 500*4 {
+		t.Fatalf("edges = %d, want 2000", got)
+	}
+	s := graph.ComputeStats(g, 200)
+	if s.GlobalClustering < 0.2 {
+		t.Fatalf("clustering %v too low for beta=0.1 small world", s.GlobalClustering)
+	}
+}
+
+func TestWattsStrogatzBetaOneStillValid(t *testing.T) {
+	g := WattsStrogatz(100, 3, 1.0, 17)
+	if g.NumNodes() != 100 {
+		t.Fatal("wrong node count")
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("no edges after full rewiring")
+	}
+}
+
+func TestConfigurationModelApproximatesDegrees(t *testing.T) {
+	degrees := PowerLawDegrees(1000, 2.5, 2, 50, 19)
+	g := ConfigurationModel(degrees, 19)
+	if g.NumNodes() != 1000 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	wantStubs := 0
+	for _, d := range degrees {
+		wantStubs += d
+	}
+	// Erased configuration model loses a few stubs to rejection; demand
+	// at least 90% of the target mass.
+	if got := 2 * g.NumEdges(); got < wantStubs*9/10 {
+		t.Fatalf("stub mass %d < 90%% of target %d", got, wantStubs)
+	}
+}
+
+func TestPowerLawDegreesProperties(t *testing.T) {
+	property := func(seedRaw uint32) bool {
+		seed := int64(seedRaw)
+		degrees := PowerLawDegrees(300, 2.2, 1, 40, seed)
+		sum := 0
+		for _, d := range degrees {
+			if d < 1 || d > 41 { // +1 allowed on degrees[0] for parity
+				return false
+			}
+			sum += d
+		}
+		return sum%2 == 0
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlantedPartitionCommunityBias(t *testing.T) {
+	g := PlantedPartition(200, 4, 0.3, 0.01, 23)
+	within, across := 0, 0
+	for u := 0; u < 200; u++ {
+		for _, v := range g.Neighbors(u) {
+			if CommunityOf(u, 4) == CommunityOf(int(v), 4) {
+				within++
+			} else {
+				across++
+			}
+		}
+	}
+	if within <= across {
+		t.Fatalf("within=%d not dominant over across=%d", within, across)
+	}
+}
+
+func TestCollaborationShape(t *testing.T) {
+	g := Collaboration(0.1, 31) // ~4k nodes for test speed
+	s := graph.ComputeStats(g, 500)
+	if s.Nodes < 3000 {
+		t.Fatalf("nodes = %d, want ~4000", s.Nodes)
+	}
+	// Collaboration networks are clique-heavy: clustering must be high.
+	if s.GlobalClustering < 0.15 {
+		t.Fatalf("clustering %v too low for a co-authorship simulation", s.GlobalClustering)
+	}
+	if s.MaxDegree < 3*s.MedianDegree {
+		t.Fatalf("degree distribution not skewed: max %d median %d", s.MaxDegree, s.MedianDegree)
+	}
+}
+
+func TestCollaborationFullScaleTargets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale generation in -short mode")
+	}
+	g := Collaboration(1.0, 31)
+	if n := g.NumNodes(); n != 40000 {
+		t.Fatalf("nodes = %d, want 40000", n)
+	}
+	m := g.NumEdges()
+	if m < 120000 || m > 260000 {
+		t.Fatalf("edges = %d, want ~180k (120k-260k band)", m)
+	}
+}
+
+func TestCitationShape(t *testing.T) {
+	g := Citation(0.05, 37) // 10k nodes
+	s := graph.ComputeStats(g, 300)
+	if s.Nodes != 10000 {
+		t.Fatalf("nodes = %d, want 10000", s.Nodes)
+	}
+	meanDeg := 2 * float64(s.Edges) / float64(s.Nodes)
+	if meanDeg < 4 || meanDeg > 16 {
+		t.Fatalf("mean degree %v outside citation-like band [4,16]", meanDeg)
+	}
+	// Citation graphs: hubs exist (heavily cited patents).
+	if s.MaxDegree < 10*s.MedianDegree {
+		t.Fatalf("no hubs: max %d vs median %d", s.MaxDegree, s.MedianDegree)
+	}
+	// And clustering is much lower than collaboration graphs.
+	if s.GlobalClustering > 0.2 {
+		t.Fatalf("clustering %v too high for a citation simulation", s.GlobalClustering)
+	}
+}
+
+func TestIntrusionShape(t *testing.T) {
+	g := Intrusion(0.1, 41) // 15k nodes
+	s := graph.ComputeStats(g, 0)
+	if s.Nodes != 15000 {
+		t.Fatalf("nodes = %d, want 15000", s.Nodes)
+	}
+	ratio := float64(s.Edges) / float64(s.Nodes)
+	// The defining property of the IPsec graph: edges ≈ 1.7 × nodes.
+	if ratio < 0.8 || ratio > 3.5 {
+		t.Fatalf("edge/node ratio %v outside sparse band", ratio)
+	}
+	if s.MaxDegree < 50 {
+		t.Fatalf("max degree %d: no scanner hubs", s.MaxDegree)
+	}
+	if s.MedianDegree > 6 {
+		t.Fatalf("median degree %d: background traffic too dense", s.MedianDegree)
+	}
+}
+
+func TestDatasetScaleValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive scale did not panic")
+		}
+	}()
+	Collaboration(0, 1)
+}
+
+func TestDatasetsDeterministic(t *testing.T) {
+	a := Intrusion(0.02, 5)
+	b := Intrusion(0.02, 5)
+	if a.NumEdges() != b.NumEdges() || a.NumNodes() != b.NumNodes() {
+		t.Fatal("same-seed datasets differ")
+	}
+}

@@ -1,0 +1,194 @@
+// Package graph is the in-memory network substrate used by every LONA
+// algorithm: a compressed-sparse-row (CSR) adjacency structure, reusable
+// h-hop breadth-first traversers, and the two precomputed indexes the paper
+// relies on — the h-hop neighborhood-size index N(v) and the per-edge
+// differential index delta(v−u) = |S(v)\S(u)| (Section III).
+//
+// The paper assumes memory-resident networks ("having them on disk would
+// not be practical in terms of graph traversal"); this package makes the
+// same assumption and optimizes for cache-friendly traversal: node ids are
+// dense ints in [0, NumNodes()), adjacency is a single int32 slice, and all
+// per-traversal state lives in reusable scratch buffers.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable graph in CSR form. Construct with a Builder.
+//
+// For an undirected graph every edge is stored as two arcs, one per
+// direction; Neighbors(u) therefore always lists every node adjacent to u.
+// For a directed graph Neighbors(u) lists out-neighbors only.
+type Graph struct {
+	directed bool
+	offsets  []int64 // len NumNodes()+1; arc range of node u is [offsets[u], offsets[u+1])
+	adj      []int32 // arc targets, sorted ascending within each node
+}
+
+// NumNodes returns the number of nodes. Node ids are 0..NumNodes()-1.
+func (g *Graph) NumNodes() int { return len(g.offsets) - 1 }
+
+// NumArcs returns the number of stored arcs (directed edges). An undirected
+// graph with m edges has 2m arcs.
+func (g *Graph) NumArcs() int { return len(g.adj) }
+
+// NumEdges returns the number of logical edges: arcs for a directed graph,
+// arcs/2 for an undirected one (self-loops are rejected at build time).
+func (g *Graph) NumEdges() int {
+	if g.directed {
+		return len(g.adj)
+	}
+	return len(g.adj) / 2
+}
+
+// Directed reports whether the graph stores one-way arcs.
+func (g *Graph) Directed() bool { return g.directed }
+
+// Degree returns the number of arcs leaving u.
+func (g *Graph) Degree(u int) int { return int(g.offsets[u+1] - g.offsets[u]) }
+
+// Neighbors returns the adjacency list of u as a shared, read-only slice
+// sorted by node id. Callers must not modify it.
+func (g *Graph) Neighbors(u int) []int32 { return g.adj[g.offsets[u]:g.offsets[u+1]] }
+
+// ArcRange returns the [lo, hi) positions of u's arcs inside the global arc
+// array. Arc positions index parallel per-arc data such as the differential
+// index.
+func (g *Graph) ArcRange(u int) (lo, hi int64) { return g.offsets[u], g.offsets[u+1] }
+
+// HasEdge reports whether an arc u -> v exists, by binary search.
+func (g *Graph) HasEdge(u, v int) bool {
+	nbrs := g.Neighbors(u)
+	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= int32(v) })
+	return i < len(nbrs) && nbrs[i] == int32(v)
+}
+
+// MaxDegree returns the largest degree in the graph, or 0 for an empty one.
+func (g *Graph) MaxDegree() int {
+	best := 0
+	for u := 0; u < g.NumNodes(); u++ {
+		if d := g.Degree(u); d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Builder accumulates edges and produces an immutable Graph. It tolerates
+// duplicate edges (collapsed at Build time) and rejects self-loops, which
+// would make N(v) and the differential index ambiguous.
+type Builder struct {
+	n        int
+	directed bool
+	src, dst []int32
+}
+
+// NewBuilder returns a Builder for a graph with n nodes. Set directed to
+// store one-way arcs; otherwise AddEdge(u, v) creates both u->v and v->u.
+func NewBuilder(n int, directed bool) *Builder {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Builder{n: n, directed: directed}
+}
+
+// NumNodes returns the node count the builder was created with.
+func (b *Builder) NumNodes() int { return b.n }
+
+// AddEdge records an edge between u and v. It panics on out-of-range ids
+// or self-loops — both indicate generator or loader bugs, not user input,
+// so failing loudly is the right behaviour.
+func (b *Builder) AddEdge(u, v int) {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop on node %d", u))
+	}
+	b.src = append(b.src, int32(u))
+	b.dst = append(b.dst, int32(v))
+}
+
+// TryAddEdge is AddEdge that reports invalid input instead of panicking.
+// Loaders reading untrusted files should use this form.
+func (b *Builder) TryAddEdge(u, v int) error {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop on node %d", u)
+	}
+	b.src = append(b.src, int32(u))
+	b.dst = append(b.dst, int32(v))
+	return nil
+}
+
+// NumPendingEdges returns how many AddEdge calls have been recorded
+// (before deduplication).
+func (b *Builder) NumPendingEdges() int { return len(b.src) }
+
+// Build produces the CSR graph. Duplicate edges are collapsed. The builder
+// remains usable (further AddEdge calls affect only later Builds).
+func (b *Builder) Build() *Graph {
+	// Materialize arcs: one per direction for undirected graphs.
+	arcs := len(b.src)
+	if !b.directed {
+		arcs *= 2
+	}
+	asrc := make([]int32, 0, arcs)
+	adst := make([]int32, 0, arcs)
+	for i := range b.src {
+		asrc = append(asrc, b.src[i])
+		adst = append(adst, b.dst[i])
+		if !b.directed {
+			asrc = append(asrc, b.dst[i])
+			adst = append(adst, b.src[i])
+		}
+	}
+
+	// Counting sort by source into CSR, then sort and dedupe each list.
+	offsets := make([]int64, b.n+1)
+	for _, s := range asrc {
+		offsets[s+1]++
+	}
+	for i := 0; i < b.n; i++ {
+		offsets[i+1] += offsets[i]
+	}
+	adj := make([]int32, len(asrc))
+	cursor := make([]int64, b.n)
+	copy(cursor, offsets[:b.n])
+	for i, s := range asrc {
+		adj[cursor[s]] = adst[i]
+		cursor[s]++
+	}
+
+	compact := adj[:0]
+	newOffsets := make([]int64, b.n+1)
+	for u := 0; u < b.n; u++ {
+		lo, hi := offsets[u], offsets[u+1]
+		list := adj[lo:hi]
+		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+		prev := int32(-1)
+		for _, v := range list {
+			if v != prev {
+				compact = append(compact, v)
+				prev = v
+			}
+		}
+		newOffsets[u+1] = int64(len(compact))
+	}
+	finalAdj := make([]int32, len(compact))
+	copy(finalAdj, compact)
+	return &Graph{directed: b.directed, offsets: newOffsets, adj: finalAdj}
+}
+
+// FromEdges is a convenience constructor building a graph in one call.
+func FromEdges(n int, directed bool, edges [][2]int) *Graph {
+	b := NewBuilder(n, directed)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}

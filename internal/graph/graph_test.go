@@ -1,0 +1,373 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// pathGraph returns 0-1-2-...-n-1.
+func pathGraph(n int) *Graph {
+	b := NewBuilder(n, false)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.Build()
+}
+
+// starGraph returns node 0 connected to 1..n-1.
+func starGraph(n int) *Graph {
+	b := NewBuilder(n, false)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, i)
+	}
+	return b.Build()
+}
+
+func TestBuilderBasics(t *testing.T) {
+	g := FromEdges(4, false, [][2]int{{0, 1}, {1, 2}, {2, 3}, {0, 2}})
+	if g.NumNodes() != 4 {
+		t.Fatalf("NumNodes = %d, want 4", g.NumNodes())
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("NumEdges = %d, want 4", g.NumEdges())
+	}
+	if g.NumArcs() != 8 {
+		t.Fatalf("NumArcs = %d, want 8", g.NumArcs())
+	}
+	if g.Directed() {
+		t.Fatal("undirected graph reports directed")
+	}
+	wantNbrs := map[int][]int32{
+		0: {1, 2},
+		1: {0, 2},
+		2: {0, 1, 3},
+		3: {2},
+	}
+	for u, want := range wantNbrs {
+		got := g.Neighbors(u)
+		if len(got) != len(want) {
+			t.Fatalf("Neighbors(%d) = %v, want %v", u, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Neighbors(%d) = %v, want %v", u, got, want)
+			}
+		}
+	}
+}
+
+func TestBuilderDeduplicates(t *testing.T) {
+	b := NewBuilder(3, false)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0) // same undirected edge
+	b.AddEdge(0, 1) // duplicate
+	g := b.Build()
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1 after dedup", g.NumEdges())
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 1 {
+		t.Fatal("duplicate edges inflated degrees")
+	}
+}
+
+func TestBuilderDirected(t *testing.T) {
+	b := NewBuilder(3, true)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.Build()
+	if !g.Directed() {
+		t.Fatal("directed graph reports undirected")
+	}
+	if g.NumEdges() != 2 || g.NumArcs() != 2 {
+		t.Fatalf("edges/arcs = %d/%d, want 2/2", g.NumEdges(), g.NumArcs())
+	}
+	if g.Degree(1) != 1 {
+		t.Fatalf("out-degree(1) = %d, want 1", g.Degree(1))
+	}
+	if g.Degree(2) != 0 {
+		t.Fatalf("out-degree(2) = %d, want 0", g.Degree(2))
+	}
+}
+
+func TestBuilderPanicsOnSelfLoop(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self-loop did not panic")
+		}
+	}()
+	b := NewBuilder(2, false)
+	b.AddEdge(1, 1)
+}
+
+func TestBuilderPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range edge did not panic")
+		}
+	}()
+	b := NewBuilder(2, false)
+	b.AddEdge(0, 5)
+}
+
+func TestTryAddEdgeErrors(t *testing.T) {
+	b := NewBuilder(3, false)
+	if err := b.TryAddEdge(0, 0); err == nil {
+		t.Fatal("TryAddEdge accepted self-loop")
+	}
+	if err := b.TryAddEdge(-1, 1); err == nil {
+		t.Fatal("TryAddEdge accepted negative id")
+	}
+	if err := b.TryAddEdge(0, 3); err == nil {
+		t.Fatal("TryAddEdge accepted id >= n")
+	}
+	if err := b.TryAddEdge(0, 2); err != nil {
+		t.Fatalf("TryAddEdge rejected valid edge: %v", err)
+	}
+	if b.NumPendingEdges() != 1 {
+		t.Fatalf("NumPendingEdges = %d, want 1", b.NumPendingEdges())
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := FromEdges(5, false, [][2]int{{0, 1}, {1, 3}, {3, 4}})
+	cases := []struct {
+		u, v int
+		want bool
+	}{
+		{0, 1, true}, {1, 0, true}, {1, 3, true}, {0, 3, false},
+		{4, 3, true}, {2, 0, false}, {2, 4, false},
+	}
+	for _, c := range cases {
+		if got := g.HasEdge(c.u, c.v); got != c.want {
+			t.Fatalf("HasEdge(%d,%d) = %v, want %v", c.u, c.v, got, c.want)
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBuilder(0, false).Build()
+	if g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Fatal("empty graph has nodes or edges")
+	}
+	if g.MaxDegree() != 0 {
+		t.Fatal("empty graph has positive max degree")
+	}
+}
+
+func TestIsolatedNodes(t *testing.T) {
+	g := FromEdges(5, false, [][2]int{{0, 1}}) // 2,3,4 isolated
+	for _, u := range []int{2, 3, 4} {
+		if g.Degree(u) != 0 {
+			t.Fatalf("Degree(%d) = %d, want 0", u, g.Degree(u))
+		}
+		if len(g.Neighbors(u)) != 0 {
+			t.Fatalf("Neighbors(%d) not empty", u)
+		}
+	}
+}
+
+func TestTraverserPathDistances(t *testing.T) {
+	g := pathGraph(6) // 0-1-2-3-4-5
+	tr := NewTraverser(g)
+	dists := map[int]int{}
+	tr.VisitWithin(2, 2, func(v, d int) { dists[v] = d })
+	want := map[int]int{2: 0, 1: 1, 3: 1, 0: 2, 4: 2}
+	if len(dists) != len(want) {
+		t.Fatalf("visited %v, want %v", dists, want)
+	}
+	for v, d := range want {
+		if dists[v] != d {
+			t.Fatalf("dist[%d] = %d, want %d", v, dists[v], d)
+		}
+	}
+}
+
+func TestTraverserZeroHops(t *testing.T) {
+	g := starGraph(4)
+	tr := NewTraverser(g)
+	if n := tr.CountWithin(0, 0); n != 1 {
+		t.Fatalf("CountWithin(0,0) = %d, want 1 (self only)", n)
+	}
+	tr.VisitWithin(1, 0, func(v, d int) {
+		if v != 1 || d != 0 {
+			t.Fatalf("zero-hop visit (%d,%d)", v, d)
+		}
+	})
+}
+
+func TestTraverserNegativeHopsVisitsNothing(t *testing.T) {
+	g := starGraph(3)
+	tr := NewTraverser(g)
+	called := false
+	tr.VisitWithin(0, -1, func(int, int) { called = true })
+	if called {
+		t.Fatal("negative h visited nodes")
+	}
+}
+
+func TestTraverserVisitsEachNodeOnce(t *testing.T) {
+	// Dense graph with many redundant paths: each node must appear once.
+	b := NewBuilder(8, false)
+	for u := 0; u < 8; u++ {
+		for v := u + 1; v < 8; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	g := b.Build()
+	tr := NewTraverser(g)
+	seen := map[int]int{}
+	tr.VisitWithin(0, 3, func(v, _ int) { seen[v]++ })
+	if len(seen) != 8 {
+		t.Fatalf("visited %d nodes, want 8", len(seen))
+	}
+	for v, c := range seen {
+		if c != 1 {
+			t.Fatalf("node %d visited %d times", v, c)
+		}
+	}
+}
+
+func TestTraverserReusableAcrossCalls(t *testing.T) {
+	g := pathGraph(10)
+	tr := NewTraverser(g)
+	for src := 0; src < 10; src++ {
+		want := 1 // self
+		if src > 0 {
+			want++
+		}
+		if src < 9 {
+			want++
+		}
+		if got := tr.CountWithin(src, 1); got != want {
+			t.Fatalf("CountWithin(%d,1) = %d, want %d", src, got, want)
+		}
+	}
+}
+
+func TestCountMatchesBruteForceBFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		n := 10 + rng.Intn(40)
+		b := NewBuilder(n, false)
+		m := rng.Intn(3 * n)
+		for i := 0; i < m; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		tr := NewTraverser(g)
+		for h := 0; h <= 3; h++ {
+			for src := 0; src < n; src++ {
+				want := len(bruteForceWithin(g, src, h))
+				if got := tr.CountWithin(src, h); got != want {
+					t.Fatalf("trial %d: CountWithin(%d,%d) = %d, want %d", trial, src, h, got, want)
+				}
+			}
+		}
+	}
+}
+
+// bruteForceWithin computes S_h(src) with a simple O(h·V·E) relaxation.
+func bruteForceWithin(g *Graph, src, h int) map[int]int {
+	dist := map[int]int{src: 0}
+	for round := 0; round < h; round++ {
+		next := map[int]int{}
+		for u, d := range dist {
+			next[u] = d
+		}
+		for u, d := range dist {
+			for _, v := range g.Neighbors(u) {
+				if _, ok := next[int(v)]; !ok || next[int(v)] > d+1 {
+					if cur, ok := next[int(v)]; !ok || cur > d+1 {
+						next[int(v)] = d + 1
+					}
+				}
+			}
+		}
+		dist = next
+	}
+	return dist
+}
+
+func TestCollectWithinOrderAndReuse(t *testing.T) {
+	g := pathGraph(5)
+	tr := NewTraverser(g)
+	buf := tr.CollectWithin(0, 2, nil)
+	want := []int32{0, 1, 2}
+	if len(buf) != len(want) {
+		t.Fatalf("CollectWithin = %v, want %v", buf, want)
+	}
+	for i := range want {
+		if buf[i] != want[i] {
+			t.Fatalf("CollectWithin = %v, want %v (BFS order)", buf, want)
+		}
+	}
+	buf = tr.CollectWithin(4, 1, buf[:0])
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	if len(buf) != 2 || buf[0] != 3 || buf[1] != 4 {
+		t.Fatalf("reused CollectWithin = %v, want [3 4]", buf)
+	}
+}
+
+func TestSumWithin(t *testing.T) {
+	g := starGraph(5)
+	scores := []float64{0.5, 1, 0, 0.25, 0.25}
+	tr := NewTraverser(g)
+	sum, size := tr.SumWithin(0, 1, scores)
+	if size != 5 {
+		t.Fatalf("size = %d, want 5", size)
+	}
+	if sum != 2.0 {
+		t.Fatalf("sum = %v, want 2.0", sum)
+	}
+	// Leaf at h=1 sees only itself and the hub.
+	sum, size = tr.SumWithin(3, 1, scores)
+	if size != 2 || sum != 0.75 {
+		t.Fatalf("leaf sum/size = %v/%d, want 0.75/2", sum, size)
+	}
+}
+
+func TestWeightedSumWithin(t *testing.T) {
+	g := pathGraph(4) // 0-1-2-3
+	scores := []float64{1, 1, 1, 1}
+	tr := NewTraverser(g)
+	sum, size := tr.WeightedSumWithin(0, 3, scores)
+	if size != 4 {
+		t.Fatalf("size = %d, want 4", size)
+	}
+	want := 1.0 + 1.0 + 0.5 + 1.0/3.0 // self + d1 + d2 + d3
+	if diff := sum - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("weighted sum = %v, want %v", sum, want)
+	}
+}
+
+func TestMaxAndCountWithin(t *testing.T) {
+	g := pathGraph(5)
+	scores := []float64{0, 0.3, 0, 0.9, 0}
+	tr := NewTraverser(g)
+	max, size := tr.MaxWithin(0, 2, scores)
+	if size != 3 || max != 0.3 {
+		t.Fatalf("max/size = %v/%d, want 0.3/3", max, size)
+	}
+	count, size := tr.CountPositiveWithin(2, 1, scores)
+	if size != 3 || count != 2 {
+		t.Fatalf("count/size = %d/%d, want 2/3", count, size)
+	}
+}
+
+func TestEccentricity(t *testing.T) {
+	g := pathGraph(7)
+	tr := NewTraverser(g)
+	if ecc := tr.Eccentricity(0, 10); ecc != 6 {
+		t.Fatalf("Eccentricity(0) = %d, want 6", ecc)
+	}
+	if ecc := tr.Eccentricity(3, 10); ecc != 3 {
+		t.Fatalf("Eccentricity(3) = %d, want 3", ecc)
+	}
+	if ecc := tr.Eccentricity(0, 2); ecc != 2 {
+		t.Fatalf("capped Eccentricity = %d, want 2", ecc)
+	}
+}

@@ -1,0 +1,172 @@
+package graph
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/ds"
+)
+
+// NeighborhoodIndex stores N(v) = |S_h(v)| for every node: the number of
+// nodes within h hops of v, including v itself. Both pruning bounds
+// (Equations 1–3) and every AVG query consult it. Building it costs one
+// full forward pass, amortized across the query workload exactly as the
+// paper's precomputed indexes are.
+type NeighborhoodIndex struct {
+	H    int
+	Size []int32 // Size[v] = N(v)
+}
+
+// N returns N(v).
+func (ix *NeighborhoodIndex) N(v int) int { return int(ix.Size[v]) }
+
+// BuildNeighborhoodIndex computes N(v) for all v with the given number of
+// workers (<=0 means GOMAXPROCS).
+func BuildNeighborhoodIndex(g *Graph, h, workers int) *NeighborhoodIndex {
+	if h < 0 {
+		panic("graph: negative hop radius")
+	}
+	n := g.NumNodes()
+	ix := &NeighborhoodIndex{H: h, Size: make([]int32, n)}
+	parallelNodes(n, workers, func(lo, hi int) {
+		t := NewTraverser(g)
+		for u := lo; u < hi; u++ {
+			ix.Size[u] = int32(t.CountWithin(u, h))
+		}
+	})
+	return ix
+}
+
+// DifferentialIndex stores, for every arc (u -> v) at global arc position
+// p, Delta[p] = |S_h(v) \ S_h(u)|: how many of v's h-hop neighbors are not
+// h-hop neighbors of u. Section III uses it to bound a neighbor's aggregate
+// from an exactly-evaluated node:
+//
+//	F_sum(v) <= F_sum(u) + delta(v−u)            (because 0 <= f <= 1)
+//
+// The index is symmetric-cost to build (each arc requires walking S_h(v)
+// against a marked S_h(u)) and is the precomputed structure the paper
+// trades for forward-query speed.
+type DifferentialIndex struct {
+	H     int
+	Delta []int32 // parallel to Graph.adj; Delta[p] = |S(adj[p]) \ S(arcSource(p))|
+}
+
+// DeltaArc returns delta(v−u) for the arc at global position p, where u is
+// the arc's source and v its target.
+func (dx *DifferentialIndex) DeltaArc(p int64) int { return int(dx.Delta[p]) }
+
+// BuildDifferentialIndex computes the per-arc differential index for hop
+// radius h using the given number of workers (<=0 means GOMAXPROCS).
+//
+// Per node u it marks S_h(u) once and then, for each neighbor v, walks
+// S_h(v) counting unmarked nodes — O(Σ_(u,v)∈E |S_h(v)|) total, an offline
+// cost the paper accepts ("needs to be pre-computed and stored").
+func BuildDifferentialIndex(g *Graph, h, workers int) *DifferentialIndex {
+	if h < 0 {
+		panic("graph: negative hop radius")
+	}
+	dx := &DifferentialIndex{H: h, Delta: make([]int32, g.NumArcs())}
+	parallelNodes(g.NumNodes(), workers, func(lo, hi int) {
+		outer := NewTraverser(g) // marks S_h(u)
+		inner := NewTraverser(g) // walks S_h(v)
+		for u := lo; u < hi; u++ {
+			outer.seen.Reset()
+			outer.markWithin(u, h)
+			arcLo, arcHi := g.ArcRange(u)
+			for p := arcLo; p < arcHi; p++ {
+				v := int(g.adj[p])
+				missing := 0
+				inner.VisitWithin(v, h, func(w, _ int) {
+					if !outer.seen.Marked(w) {
+						missing++
+					}
+				})
+				dx.Delta[p] = int32(missing)
+			}
+		}
+	})
+	return dx
+}
+
+// markWithin marks S_h(src) in t.seen without invoking a visitor. The
+// caller must have Reset t.seen; marks survive until the next Reset.
+func (t *Traverser) markWithin(src, h int) {
+	t.queue = t.queue[:0]
+	t.seen.Mark(src)
+	t.queue = append(t.queue, int32(src))
+	levelStart := 0
+	for dist := 1; dist <= h; dist++ {
+		levelEnd := len(t.queue)
+		if levelStart == levelEnd {
+			return
+		}
+		for i := levelStart; i < levelEnd; i++ {
+			u := int(t.queue[i])
+			for _, v := range t.g.Neighbors(u) {
+				if !t.seen.Mark(int(v)) {
+					t.queue = append(t.queue, v)
+				}
+			}
+		}
+		levelStart = levelEnd
+	}
+}
+
+// DeltaBruteForce computes |S_h(v) \ S_h(u)| directly with fresh state.
+// It exists for index-verification tests and small-graph tooling.
+func DeltaBruteForce(g *Graph, u, v, h int) int {
+	su := ds.NewBitset(g.NumNodes())
+	t := NewTraverser(g)
+	t.VisitWithin(u, h, func(w, _ int) { su.Set(w) })
+	missing := 0
+	t.VisitWithin(v, h, func(w, _ int) {
+		if !su.Test(w) {
+			missing++
+		}
+	})
+	return missing
+}
+
+// parallelNodes splits [0, n) into contiguous chunks and runs body(lo, hi)
+// on each chunk from its own goroutine.
+func parallelNodes(n, workers int, body func(lo, hi int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// CheckIndexCompatibility validates that an index built for one hop radius
+// is not silently used for another — a class of bug that produces wrong
+// (not slow) answers.
+func CheckIndexCompatibility(h int, nix *NeighborhoodIndex, dix *DifferentialIndex) error {
+	if nix != nil && nix.H != h {
+		return fmt.Errorf("graph: neighborhood index built for h=%d, query uses h=%d", nix.H, h)
+	}
+	if dix != nil && dix.H != h {
+		return fmt.Errorf("graph: differential index built for h=%d, query uses h=%d", dix.H, h)
+	}
+	return nil
+}

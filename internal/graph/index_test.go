@@ -1,0 +1,205 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomGraph(n, m int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n, false)
+	for i := 0; i < m; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+func TestNeighborhoodIndexMatchesTraversal(t *testing.T) {
+	g := randomGraph(80, 200, 1)
+	for h := 0; h <= 3; h++ {
+		ix := BuildNeighborhoodIndex(g, h, 1)
+		if ix.H != h {
+			t.Fatalf("index H = %d, want %d", ix.H, h)
+		}
+		tr := NewTraverser(g)
+		for u := 0; u < g.NumNodes(); u++ {
+			if want := tr.CountWithin(u, h); ix.N(u) != want {
+				t.Fatalf("h=%d: N(%d) = %d, want %d", h, u, ix.N(u), want)
+			}
+		}
+	}
+}
+
+func TestNeighborhoodIndexParallelMatchesSerial(t *testing.T) {
+	g := randomGraph(300, 900, 2)
+	serial := BuildNeighborhoodIndex(g, 2, 1)
+	parallel := BuildNeighborhoodIndex(g, 2, 8)
+	for u := 0; u < g.NumNodes(); u++ {
+		if serial.N(u) != parallel.N(u) {
+			t.Fatalf("N(%d): serial %d != parallel %d", u, serial.N(u), parallel.N(u))
+		}
+	}
+}
+
+func TestNeighborhoodIndexZeroHops(t *testing.T) {
+	g := randomGraph(20, 40, 3)
+	ix := BuildNeighborhoodIndex(g, 0, 1)
+	for u := 0; u < g.NumNodes(); u++ {
+		if ix.N(u) != 1 {
+			t.Fatalf("h=0: N(%d) = %d, want 1", u, ix.N(u))
+		}
+	}
+}
+
+func TestDifferentialIndexMatchesBruteForce(t *testing.T) {
+	for _, h := range []int{1, 2, 3} {
+		g := randomGraph(60, 150, int64(10+h))
+		dx := BuildDifferentialIndex(g, h, 1)
+		for u := 0; u < g.NumNodes(); u++ {
+			lo, hi := g.ArcRange(u)
+			nbrs := g.Neighbors(u)
+			for i, p := 0, lo; p < hi; i, p = i+1, p+1 {
+				v := int(nbrs[i])
+				want := DeltaBruteForce(g, u, v, h)
+				if got := dx.DeltaArc(p); got != want {
+					t.Fatalf("h=%d: delta(%d−%d) = %d, want %d", h, v, u, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDifferentialIndexParallelMatchesSerial(t *testing.T) {
+	g := randomGraph(150, 500, 4)
+	serial := BuildDifferentialIndex(g, 2, 1)
+	parallel := BuildDifferentialIndex(g, 2, 8)
+	if len(serial.Delta) != len(parallel.Delta) {
+		t.Fatal("index sizes differ")
+	}
+	for p := range serial.Delta {
+		if serial.Delta[p] != parallel.Delta[p] {
+			t.Fatalf("Delta[%d]: serial %d != parallel %d", p, serial.Delta[p], parallel.Delta[p])
+		}
+	}
+}
+
+// The identity delta(v−u) = N(v) − |S(u) ∩ S(v)| must hold by definition.
+func TestDifferentialIdentityProperty(t *testing.T) {
+	property := func(seed int64) bool {
+		g := randomGraph(40, 100, seed)
+		h := 2
+		nix := BuildNeighborhoodIndex(g, h, 1)
+		dx := BuildDifferentialIndex(g, h, 1)
+		tr := NewTraverser(g)
+		for u := 0; u < g.NumNodes(); u++ {
+			su := map[int]bool{}
+			tr.VisitWithin(u, h, func(w, _ int) { su[w] = true })
+			lo, hi := g.ArcRange(u)
+			nbrs := g.Neighbors(u)
+			for i, p := 0, lo; p < hi; i, p = i+1, p+1 {
+				v := int(nbrs[i])
+				inter := 0
+				tr.VisitWithin(v, h, func(w, _ int) {
+					if su[w] {
+						inter++
+					}
+				})
+				if dx.DeltaArc(p) != nix.N(v)-inter {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeltaSymmetricEndpointsDiffer(t *testing.T) {
+	// On a star, the hub's neighborhood strictly contains each leaf's,
+	// so delta(leaf−hub) = 0 while delta(hub−leaf) > 0 for n > 2.
+	b := NewBuilder(5, false)
+	for i := 1; i < 5; i++ {
+		b.AddEdge(0, i)
+	}
+	g := b.Build()
+	dx := BuildDifferentialIndex(g, 1, 1)
+
+	lo, _ := g.ArcRange(0) // hub's first arc targets leaf 1: delta(1−0)
+	if got := dx.DeltaArc(lo); got != 0 {
+		t.Fatalf("delta(leaf−hub) = %d, want 0", got)
+	}
+	lo1, _ := g.ArcRange(1) // leaf 1's only arc targets hub: delta(0−1)
+	if got := dx.DeltaArc(lo1); got != 3 {
+		t.Fatalf("delta(hub−leaf) = %d, want 3 (leaves 2,3,4)", got)
+	}
+}
+
+func TestCheckIndexCompatibility(t *testing.T) {
+	g := randomGraph(10, 20, 6)
+	nix := BuildNeighborhoodIndex(g, 2, 1)
+	dix := BuildDifferentialIndex(g, 2, 1)
+	if err := CheckIndexCompatibility(2, nix, dix); err != nil {
+		t.Fatalf("matching h rejected: %v", err)
+	}
+	if err := CheckIndexCompatibility(1, nix, nil); err == nil {
+		t.Fatal("mismatched neighborhood index accepted")
+	}
+	if err := CheckIndexCompatibility(3, nil, dix); err == nil {
+		t.Fatal("mismatched differential index accepted")
+	}
+	if err := CheckIndexCompatibility(5, nil, nil); err != nil {
+		t.Fatalf("nil indexes rejected: %v", err)
+	}
+}
+
+func TestBuildIndexPanicsOnNegativeH(t *testing.T) {
+	g := randomGraph(5, 5, 7)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative h did not panic")
+		}
+	}()
+	BuildNeighborhoodIndex(g, -1, 1)
+}
+
+func TestStatsOnKnownGraph(t *testing.T) {
+	// Triangle plus an isolated node.
+	b := NewBuilder(4, false)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	g := b.Build()
+	s := ComputeStats(g, 4)
+	if s.Nodes != 4 || s.Edges != 3 {
+		t.Fatalf("nodes/edges = %d/%d, want 4/3", s.Nodes, s.Edges)
+	}
+	if s.Isolated != 1 {
+		t.Fatalf("Isolated = %d, want 1", s.Isolated)
+	}
+	if s.Components != 2 || s.LargestCC != 3 {
+		t.Fatalf("components/largest = %d/%d, want 2/3", s.Components, s.LargestCC)
+	}
+	if s.GlobalClustering != 1.0 {
+		t.Fatalf("clustering = %v, want 1.0 (triangle)", s.GlobalClustering)
+	}
+	if s.MaxDegree != 2 || s.MinDegree != 0 {
+		t.Fatalf("degree range = [%d,%d], want [0,2]", s.MinDegree, s.MaxDegree)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := starGraph(5) // hub degree 4, leaves degree 1
+	hist := DegreeHistogram(g)
+	if len(hist) != 5 {
+		t.Fatalf("histogram length %d, want 5", len(hist))
+	}
+	if hist[1] != 4 || hist[4] != 1 {
+		t.Fatalf("histogram = %v, want 4 nodes of degree 1 and 1 of degree 4", hist)
+	}
+}

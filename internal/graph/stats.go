@@ -1,0 +1,139 @@
+package graph
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/ds"
+)
+
+// Stats summarizes a graph's structure. The generators' tests use it to
+// check that simulated datasets actually have the shape the paper's real
+// datasets have (heavy-tailed degrees, high/low clustering, etc.).
+type Stats struct {
+	Nodes            int
+	Edges            int
+	MinDegree        int
+	MaxDegree        int
+	MeanDegree       float64
+	MedianDegree     int
+	DegreeP90        int
+	DegreeP99        int
+	Isolated         int     // nodes with degree 0
+	Components       int     // connected components (undirected sense)
+	LargestCC        int     // size of the largest component
+	GlobalClustering float64 // transitivity estimated on a node sample
+}
+
+// ComputeStats returns summary statistics. clusteringSample bounds how many
+// nodes the clustering estimate touches (0 disables it; it is the only
+// super-linear part).
+func ComputeStats(g *Graph, clusteringSample int) Stats {
+	n := g.NumNodes()
+	s := Stats{Nodes: n, Edges: g.NumEdges(), MinDegree: math.MaxInt}
+	if n == 0 {
+		s.MinDegree = 0
+		return s
+	}
+	degrees := make([]int, n)
+	sum := 0
+	for u := 0; u < n; u++ {
+		d := g.Degree(u)
+		degrees[u] = d
+		sum += d
+		if d < s.MinDegree {
+			s.MinDegree = d
+		}
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+		if d == 0 {
+			s.Isolated++
+		}
+	}
+	s.MeanDegree = float64(sum) / float64(n)
+	sorted := append([]int(nil), degrees...)
+	sort.Ints(sorted)
+	s.MedianDegree = sorted[n/2]
+	s.DegreeP90 = sorted[(n*90)/100]
+	s.DegreeP99 = sorted[(n*99)/100]
+	s.Components, s.LargestCC = componentCount(g)
+	if clusteringSample > 0 {
+		s.GlobalClustering = clusteringEstimate(g, clusteringSample)
+	}
+	return s
+}
+
+// componentCount returns the number of weakly connected components and the
+// size of the largest one. Directed arcs are treated as undirected for
+// this purpose only when the graph is undirected; for directed graphs the
+// count is over out-reachability unions, which suffices for the sanity
+// checks this is used in.
+func componentCount(g *Graph) (count, largest int) {
+	n := g.NumNodes()
+	seen := ds.NewBitset(n)
+	var queue ds.IntQueue
+	for start := 0; start < n; start++ {
+		if seen.Test(start) {
+			continue
+		}
+		count++
+		size := 0
+		queue.Reset()
+		queue.Push(start)
+		seen.Set(start)
+		for !queue.Empty() {
+			u := queue.Pop()
+			size++
+			for _, v := range g.Neighbors(u) {
+				if !seen.Test(int(v)) {
+					seen.Set(int(v))
+					queue.Push(int(v))
+				}
+			}
+		}
+		if size > largest {
+			largest = size
+		}
+	}
+	return count, largest
+}
+
+// clusteringEstimate returns the fraction of connected triples that close
+// into triangles, computed over the first sample nodes (deterministic, so
+// tests are stable).
+func clusteringEstimate(g *Graph, sample int) float64 {
+	n := g.NumNodes()
+	if sample > n {
+		sample = n
+	}
+	var triangles, triples int64
+	for u := 0; u < sample; u++ {
+		nbrs := g.Neighbors(u)
+		d := len(nbrs)
+		if d < 2 {
+			continue
+		}
+		triples += int64(d) * int64(d-1) / 2
+		for i := 0; i < d; i++ {
+			for j := i + 1; j < d; j++ {
+				if g.HasEdge(int(nbrs[i]), int(nbrs[j])) {
+					triangles++
+				}
+			}
+		}
+	}
+	if triples == 0 {
+		return 0
+	}
+	return float64(triangles) / float64(triples)
+}
+
+// DegreeHistogram returns counts[d] = number of nodes with degree d.
+func DegreeHistogram(g *Graph) []int {
+	counts := make([]int, g.MaxDegree()+1)
+	for u := 0; u < g.NumNodes(); u++ {
+		counts[g.Degree(u)]++
+	}
+	return counts
+}

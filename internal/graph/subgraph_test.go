@@ -1,0 +1,158 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInducedSubgraphBasic(t *testing.T) {
+	// 0-1-2-3 path plus 0-2 chord; take {0, 2, 3}.
+	g := FromEdges(4, false, [][2]int{{0, 1}, {1, 2}, {2, 3}, {0, 2}})
+	sub, original, err := InducedSubgraph(g, []int{0, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumNodes() != 3 {
+		t.Fatalf("nodes = %d", sub.NumNodes())
+	}
+	// Kept edges: (0,2) and (2,3) → new ids (0,1) and (1,2).
+	if sub.NumEdges() != 2 || !sub.HasEdge(0, 1) || !sub.HasEdge(1, 2) || sub.HasEdge(0, 2) {
+		t.Fatalf("edge structure wrong: %d edges", sub.NumEdges())
+	}
+	want := []int{0, 2, 3}
+	for i, w := range want {
+		if original[i] != w {
+			t.Fatalf("original = %v, want %v", original, want)
+		}
+	}
+}
+
+func TestInducedSubgraphRejectsBadInput(t *testing.T) {
+	g := pathGraph(5)
+	if _, _, err := InducedSubgraph(g, []int{0, 9}); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+	if _, _, err := InducedSubgraph(g, []int{1, 1}); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+	empty, _, err := InducedSubgraph(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.NumNodes() != 0 {
+		t.Fatal("empty selection produced nodes")
+	}
+}
+
+func TestInducedSubgraphDirected(t *testing.T) {
+	b := NewBuilder(4, true)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	g := b.Build()
+	sub, _, err := InducedSubgraph(g, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sub.Directed() {
+		t.Fatal("directedness lost")
+	}
+	if !sub.HasEdge(0, 1) || sub.HasEdge(1, 0) {
+		t.Fatal("directed arcs wrong")
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	// Components {0,1,2}, {3,4}, {5}.
+	g := FromEdges(6, false, [][2]int{{0, 1}, {1, 2}, {3, 4}})
+	nodes := LargestComponent(g)
+	want := []int{0, 1, 2}
+	if len(nodes) != 3 {
+		t.Fatalf("largest component = %v", nodes)
+	}
+	for i, w := range want {
+		if nodes[i] != w {
+			t.Fatalf("largest component = %v, want %v", nodes, want)
+		}
+	}
+	if LargestComponent(NewBuilder(0, false).Build()) != nil {
+		t.Fatal("empty graph has a component")
+	}
+}
+
+func TestRelabelByDegreePreservesStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	b := NewBuilder(60, false)
+	for i := 0; i < 180; i++ {
+		u, v := rng.Intn(60), rng.Intn(60)
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	g := b.Build()
+	relabeled, original := RelabelByDegree(g)
+	if relabeled.NumNodes() != g.NumNodes() || relabeled.NumEdges() != g.NumEdges() {
+		t.Fatal("relabeling changed size")
+	}
+	// Degrees must be non-increasing in the new id order...
+	for u := 1; u < relabeled.NumNodes(); u++ {
+		if relabeled.Degree(u) > relabeled.Degree(u-1) {
+			t.Fatalf("degrees not sorted at %d: %d > %d", u, relabeled.Degree(u), relabeled.Degree(u-1))
+		}
+	}
+	// ...and every edge must map back to an original edge.
+	for u := 0; u < relabeled.NumNodes(); u++ {
+		for _, v := range relabeled.Neighbors(u) {
+			if !g.HasEdge(original[u], original[int(v)]) {
+				t.Fatalf("edge (%d,%d) has no preimage", u, v)
+			}
+		}
+	}
+}
+
+// Property: an induced subgraph over a random node subset keeps exactly
+// the edges with both endpoints selected.
+func TestInducedSubgraphProperty(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(20)
+		g := randomGraph(n, 3*n, seed)
+		keep := make([]int, 0, n)
+		inSet := make(map[int]bool)
+		for v := 0; v < n; v++ {
+			if rng.Intn(2) == 0 {
+				keep = append(keep, v)
+				inSet[v] = true
+			}
+		}
+		sub, original, err := InducedSubgraph(g, keep)
+		if err != nil {
+			return false
+		}
+		// Count edges of g inside the set.
+		want := 0
+		for u := 0; u < n; u++ {
+			if !inSet[u] {
+				continue
+			}
+			for _, v := range g.Neighbors(u) {
+				if int(v) > u && inSet[int(v)] {
+					want++
+				}
+			}
+		}
+		if sub.NumEdges() != want {
+			return false
+		}
+		for i, old := range original {
+			if keep[i] != old {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

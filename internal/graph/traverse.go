@@ -1,0 +1,138 @@
+package graph
+
+import (
+	"repro/internal/ds"
+)
+
+// Traverser runs h-hop breadth-first expansions over one graph while
+// reusing all scratch state (visited marks, frontier queue). A Traverser is
+// not safe for concurrent use; create one per goroutine — they are cheap
+// relative to the graph and amortize to zero allocation per traversal.
+type Traverser struct {
+	g     *Graph
+	seen  *ds.Epoch
+	queue []int32 // frontier storage: nodes in BFS order, level-delimited by counts
+}
+
+// NewTraverser returns a Traverser over g.
+func NewTraverser(g *Graph) *Traverser {
+	return &Traverser{g: g, seen: ds.NewEpoch(g.NumNodes())}
+}
+
+// Graph returns the graph this traverser walks.
+func (t *Traverser) Graph() *Graph { return t.g }
+
+// VisitWithin calls visit(v, dist) exactly once for every node v whose
+// BFS distance from src is at most h, including src itself at distance 0.
+// Visits occur in non-decreasing distance order. h < 0 visits nothing.
+func (t *Traverser) VisitWithin(src, h int, visit func(v, dist int)) {
+	if h < 0 {
+		return
+	}
+	t.seen.Reset()
+	t.queue = t.queue[:0]
+	t.seen.Mark(src)
+	t.queue = append(t.queue, int32(src))
+	visit(src, 0)
+
+	levelStart := 0
+	for dist := 1; dist <= h; dist++ {
+		levelEnd := len(t.queue)
+		if levelStart == levelEnd {
+			return // frontier exhausted before reaching h hops
+		}
+		for i := levelStart; i < levelEnd; i++ {
+			u := int(t.queue[i])
+			for _, v := range t.g.Neighbors(u) {
+				if t.seen.Mark(int(v)) {
+					continue
+				}
+				t.queue = append(t.queue, v)
+				visit(int(v), dist)
+			}
+		}
+		levelStart = levelEnd
+	}
+}
+
+// CountWithin returns N(src) = |S_h(src)|, the number of nodes within h
+// hops of src including src itself.
+func (t *Traverser) CountWithin(src, h int) int {
+	count := 0
+	t.VisitWithin(src, h, func(int, int) { count++ })
+	return count
+}
+
+// CollectWithin appends S_h(src), in BFS order, to buf and returns it.
+// Pass buf[:0] to reuse a previous buffer.
+func (t *Traverser) CollectWithin(src, h int, buf []int32) []int32 {
+	t.VisitWithin(src, h, func(v, _ int) { buf = append(buf, int32(v)) })
+	return buf
+}
+
+// SumWithin returns the sum of score[v] over v in S_h(src) together with
+// N(src). This is the exact forward evaluation F_sum(src) from
+// Definition 2, fused with the neighborhood count so one BFS serves both
+// SUM and AVG.
+func (t *Traverser) SumWithin(src, h int, score []float64) (sum float64, size int) {
+	t.VisitWithin(src, h, func(v, _ int) {
+		sum += score[v]
+		size++
+	})
+	return sum, size
+}
+
+// WeightedSumWithin returns Σ score[v] / dist(src, v) over S_h(src)\{src}
+// plus score[src] itself, following footnote 1 of the paper with
+// w(u, v) = 1/shortest-distance. The source's own score has weight 1.
+func (t *Traverser) WeightedSumWithin(src, h int, score []float64) (sum float64, size int) {
+	t.VisitWithin(src, h, func(v, dist int) {
+		size++
+		if dist == 0 {
+			sum += score[v]
+			return
+		}
+		sum += score[v] / float64(dist)
+	})
+	return sum, size
+}
+
+// MaxWithin returns the maximum score over S_h(src) and N(src).
+// The maximum of an empty neighborhood cannot occur (src is always
+// included), so the result is well-defined.
+func (t *Traverser) MaxWithin(src, h int, score []float64) (max float64, size int) {
+	first := true
+	t.VisitWithin(src, h, func(v, _ int) {
+		size++
+		if first || score[v] > max {
+			max = score[v]
+			first = false
+		}
+	})
+	return max, size
+}
+
+// CountPositiveWithin returns the number of nodes in S_h(src) with a
+// strictly positive score (the COUNT aggregate over relevant nodes) and
+// N(src).
+func (t *Traverser) CountPositiveWithin(src, h int, score []float64) (count, size int) {
+	t.VisitWithin(src, h, func(v, _ int) {
+		size++
+		if score[v] > 0 {
+			count++
+		}
+	})
+	return count, size
+}
+
+// Eccentricity returns the largest BFS distance reachable from src within
+// limit hops (capped at limit). Useful for dataset statistics.
+func (t *Traverser) Eccentricity(src, limit int) int {
+	far := 0
+	t.VisitWithin(src, limit, func(_, dist int) {
+		if dist > far {
+			far = dist
+		}
+	})
+	return far
+}

@@ -1,0 +1,139 @@
+package netio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// errReader fails after delivering a prefix, simulating a truncated pipe
+// or failing disk mid-read.
+type errReader struct {
+	data  []byte
+	pos   int
+	errAt int
+}
+
+var errInjected = errors.New("injected I/O failure")
+
+func (r *errReader) Read(p []byte) (int, error) {
+	if r.pos >= r.errAt {
+		return 0, errInjected
+	}
+	n := copy(p, r.data[r.pos:min(len(r.data), r.errAt)])
+	r.pos += n
+	if n == 0 {
+		return 0, errInjected
+	}
+	return n, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestReadBinaryGraphPropagatesIOErrors(t *testing.T) {
+	g := gen.ErdosRenyi(20, 40, 1)
+	var buf bytes.Buffer
+	if err := WriteBinaryGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, errAt := range []int{0, 4, 12, 40, len(data) / 2} {
+		_, err := ReadBinaryGraph(&errReader{data: data, errAt: errAt})
+		if err == nil {
+			t.Fatalf("errAt=%d: no error surfaced", errAt)
+		}
+	}
+}
+
+func TestReadEdgeListPropagatesIOErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, gen.ErdosRenyi(20, 40, 2)); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadEdgeList(&errReader{data: data, errAt: len(data) / 2}); err == nil {
+		t.Fatal("mid-stream failure not surfaced")
+	}
+}
+
+func TestReadScoresPropagatesIOErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteScores(&buf, []float64{0.1, 0.2, 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, errAt := range []int{0, 6, 14, 20} {
+		if _, err := ReadScores(&errReader{data: data, errAt: errAt}); err == nil {
+			t.Fatalf("errAt=%d: no error surfaced", errAt)
+		}
+	}
+}
+
+func TestReadGMLPropagatesIOErrors(t *testing.T) {
+	input := `graph [ node [ id 0 ] node [ id 1 ] edge [ source 0 target 1 ] ]`
+	if _, _, err := ReadGML(&errReader{data: []byte(input), errAt: len(input) / 2}); err == nil {
+		t.Fatal("mid-stream failure not surfaced")
+	}
+}
+
+// failWriter rejects writes after a budget, simulating a full disk.
+type failWriter struct {
+	budget int
+}
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.budget <= 0 {
+		return 0, errInjected
+	}
+	n := len(p)
+	if n > w.budget {
+		n = w.budget
+	}
+	w.budget -= n
+	if n < len(p) {
+		return n, errInjected
+	}
+	return n, nil
+}
+
+func TestWritersPropagateIOErrors(t *testing.T) {
+	g := gen.ErdosRenyi(50, 150, 3)
+	if err := WriteBinaryGraph(&failWriter{budget: 16}, g); err == nil {
+		t.Fatal("binary graph writer swallowed failure")
+	}
+	if err := WriteEdgeList(&failWriter{budget: 16}, g); err == nil {
+		t.Fatal("edge list writer swallowed failure")
+	}
+	if err := WriteGML(&failWriter{budget: 16}, g); err == nil {
+		t.Fatal("GML writer swallowed failure")
+	}
+	scores := make([]float64, 4096)
+	if err := WriteScores(&failWriter{budget: 16}, scores); err == nil {
+		t.Fatal("scores writer swallowed failure")
+	}
+}
+
+func TestReadGMLWhitespaceAndCommentsRobust(t *testing.T) {
+	input := "Creator \"x\"\n# comment line\ngraph\t[\nnode\n[\nid\n3\n]\nnode [ id 4 ]\nedge [ source 3 target 4 ]\n]\n"
+	g, ids, err := ReadGML(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("nodes/edges = %d/%d", g.NumNodes(), g.NumEdges())
+	}
+	if ids[0] != 3 || ids[1] != 4 {
+		t.Fatalf("ids = %v", ids)
+	}
+}
+
+var _ io.Reader = (*errReader)(nil)

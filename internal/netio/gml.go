@@ -1,0 +1,308 @@
+package netio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// ReadGML parses the subset of the GML format that public network
+// archives use (Newman's cond-mat 2005 — the paper's first dataset — ships
+// as GML):
+//
+//	graph [
+//	  directed 0
+//	  node [ id 7 label "..." ]
+//	  edge [ source 7 target 12 ]
+//	]
+//
+// Node ids may be arbitrary non-negative integers; they are densified to
+// 0..n-1 in first-appearance order, and the returned ids slice maps dense
+// id → original GML id. Unknown keys and nested blocks are skipped, so
+// files with weights, labels, or layout hints load fine. Self-loops are
+// dropped (the engine rejects them) rather than failing the file.
+func ReadGML(r io.Reader) (g *graph.Graph, ids []int, err error) {
+	tokens, err := tokenizeGML(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	p := &gmlParser{tokens: tokens}
+	// Skip header keys (Creator, Version, …) until the graph block.
+	for {
+		tok, ok := p.next()
+		if !ok {
+			return nil, nil, fmt.Errorf("netio: GML has no graph block")
+		}
+		if tok == "graph" {
+			break
+		}
+		if err := p.skipValue(tok); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := p.expect("["); err != nil {
+		return nil, nil, err
+	}
+
+	directed := false
+	dense := map[int]int{}
+	var original []int
+	intern := func(gmlID int) int {
+		if id, ok := dense[gmlID]; ok {
+			return id
+		}
+		id := len(original)
+		dense[gmlID] = id
+		original = append(original, gmlID)
+		return id
+	}
+	type edge struct{ u, v int }
+	var edges []edge
+
+	for {
+		tok, ok := p.next()
+		if !ok {
+			return nil, nil, fmt.Errorf("netio: GML graph block not closed")
+		}
+		switch tok {
+		case "]":
+			b := graph.NewBuilder(len(original), directed)
+			for _, e := range edges {
+				if e.u == e.v {
+					continue // tolerated: drop self-loops
+				}
+				b.AddEdge(e.u, e.v)
+			}
+			g := b.Build()
+			return g, original, nil
+		case "directed":
+			val, err := p.intValue("directed")
+			if err != nil {
+				return nil, nil, err
+			}
+			directed = val != 0
+		case "node":
+			fields, err := p.block()
+			if err != nil {
+				return nil, nil, err
+			}
+			id, ok := fields["id"]
+			if !ok {
+				return nil, nil, fmt.Errorf("netio: GML node block without id")
+			}
+			intern(id)
+		case "edge":
+			fields, err := p.block()
+			if err != nil {
+				return nil, nil, err
+			}
+			src, okS := fields["source"]
+			dst, okT := fields["target"]
+			if !okS || !okT {
+				return nil, nil, fmt.Errorf("netio: GML edge block missing source/target")
+			}
+			edges = append(edges, edge{intern(src), intern(dst)})
+		default:
+			// Unknown top-level key: skip its value (scalar or block).
+			if err := p.skipValue(tok); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+}
+
+// tokenizeGML splits a GML stream into tokens: brackets, bare words,
+// numbers, and quoted strings (returned with quotes stripped and a marker
+// prefix so the parser can tell them from bare words).
+func tokenizeGML(r io.Reader) ([]string, error) {
+	br := bufio.NewReader(r)
+	var tokens []string
+	var current strings.Builder
+	flush := func() {
+		if current.Len() > 0 {
+			tokens = append(tokens, current.String())
+			current.Reset()
+		}
+	}
+	inString := false
+	for {
+		ch, _, err := br.ReadRune()
+		if err == io.EOF {
+			if inString {
+				return nil, fmt.Errorf("netio: GML string not terminated")
+			}
+			flush()
+			return tokens, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("netio: reading GML: %w", err)
+		}
+		if inString {
+			if ch == '"' {
+				tokens = append(tokens, "\x00"+current.String()) // string marker
+				current.Reset()
+				inString = false
+				continue
+			}
+			current.WriteRune(ch)
+			continue
+		}
+		switch {
+		case ch == '"':
+			flush()
+			inString = true
+		case ch == '[' || ch == ']':
+			flush()
+			tokens = append(tokens, string(ch))
+		case ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r':
+			flush()
+		case ch == '#': // comment to end of line (non-standard but common)
+			flush()
+			for {
+				c, _, err := br.ReadRune()
+				if err != nil || c == '\n' {
+					break
+				}
+			}
+		default:
+			current.WriteRune(ch)
+		}
+	}
+}
+
+type gmlParser struct {
+	tokens []string
+	pos    int
+}
+
+func (p *gmlParser) next() (string, bool) {
+	if p.pos >= len(p.tokens) {
+		return "", false
+	}
+	tok := p.tokens[p.pos]
+	p.pos++
+	return tok, true
+}
+
+func (p *gmlParser) expect(want string) error {
+	tok, ok := p.next()
+	if !ok {
+		return fmt.Errorf("netio: GML ended, expected %q", want)
+	}
+	if tok != want {
+		return fmt.Errorf("netio: GML expected %q, got %q", want, tok)
+	}
+	return nil
+}
+
+func (p *gmlParser) intValue(key string) (int, error) {
+	tok, ok := p.next()
+	if !ok {
+		return 0, fmt.Errorf("netio: GML key %q without value", key)
+	}
+	v, err := strconv.Atoi(strings.TrimPrefix(tok, "\x00"))
+	if err != nil {
+		return 0, fmt.Errorf("netio: GML key %q has non-integer value %q", key, tok)
+	}
+	return v, nil
+}
+
+// block parses "[ key value ... ]" collecting integer-valued fields;
+// nested blocks and non-integer values are skipped.
+func (p *gmlParser) block() (map[string]int, error) {
+	if err := p.expect("["); err != nil {
+		return nil, err
+	}
+	fields := map[string]int{}
+	for {
+		tok, ok := p.next()
+		if !ok {
+			return nil, fmt.Errorf("netio: GML block not closed")
+		}
+		if tok == "]" {
+			return fields, nil
+		}
+		key := tok
+		if err := p.skipOrCapture(key, fields); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// skipOrCapture consumes key's value; integers are recorded into fields.
+func (p *gmlParser) skipOrCapture(key string, fields map[string]int) error {
+	tok, ok := p.next()
+	if !ok {
+		return fmt.Errorf("netio: GML key %q without value", key)
+	}
+	if tok == "[" {
+		p.pos-- // rewind so skipValue sees the bracket
+		return p.skipValue(key)
+	}
+	if v, err := strconv.Atoi(strings.TrimPrefix(tok, "\x00")); err == nil {
+		fields[key] = v
+	}
+	return nil
+}
+
+// skipValue consumes the value following an unknown key: a scalar token or
+// a balanced [...] block.
+func (p *gmlParser) skipValue(key string) error {
+	tok, ok := p.next()
+	if !ok {
+		return fmt.Errorf("netio: GML key %q without value", key)
+	}
+	if tok != "[" {
+		return nil
+	}
+	depth := 1
+	for depth > 0 {
+		t, ok := p.next()
+		if !ok {
+			return fmt.Errorf("netio: GML block under %q not closed", key)
+		}
+		switch t {
+		case "[":
+			depth++
+		case "]":
+			depth--
+		}
+	}
+	return nil
+}
+
+// WriteGML writes g in GML form with dense ids, interoperable with
+// standard network tooling.
+func WriteGML(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	directed := 0
+	if g.Directed() {
+		directed = 1
+	}
+	if _, err := fmt.Fprintf(bw, "graph [\n  directed %d\n", directed); err != nil {
+		return err
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		if _, err := fmt.Fprintf(bw, "  node [ id %d ]\n", u); err != nil {
+			return err
+		}
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if !g.Directed() && int(v) < u {
+				continue
+			}
+			if _, err := fmt.Fprintf(bw, "  edge [ source %d target %d ]\n", u, v); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := fmt.Fprintln(bw, "]"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,148 @@
+package netio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// rebuildDirected copies an undirected graph's arcs into a directed one.
+func rebuildDirected(src *graph.Graph) *graph.Graph {
+	b := graph.NewBuilder(src.NumNodes(), true)
+	for u := 0; u < src.NumNodes(); u++ {
+		for _, v := range src.Neighbors(u) {
+			b.AddEdge(u, int(v))
+		}
+	}
+	return b.Build()
+}
+
+const sampleGML = `
+# a cond-mat-style file
+Creator "test"
+graph [
+  directed 0
+  node [ id 10 label "alice" ]
+  node [ id 20 label "bob" ]
+  node [
+    id 30
+    label "carol"
+    graphics [ x 1.5 y 2.5 ]
+  ]
+  edge [ source 10 target 20 value 2 ]
+  edge [ source 20 target 30 ]
+  edge [ source 30 target 30 ]
+]
+`
+
+func TestReadGMLSample(t *testing.T) {
+	g, ids, err := ReadGML(strings.NewReader(sampleGML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 {
+		t.Fatalf("nodes = %d, want 3", g.NumNodes())
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges = %d, want 2 (self-loop dropped)", g.NumEdges())
+	}
+	if g.Directed() {
+		t.Fatal("undirected flag lost")
+	}
+	want := []int{10, 20, 30}
+	for i, w := range want {
+		if ids[i] != w {
+			t.Fatalf("ids = %v, want %v", ids, want)
+		}
+	}
+	// alice(0)-bob(1), bob(1)-carol(2)
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 2) || g.HasEdge(0, 2) {
+		t.Fatal("edge structure wrong")
+	}
+}
+
+func TestReadGMLDirected(t *testing.T) {
+	input := `graph [ directed 1 node [ id 0 ] node [ id 1 ] edge [ source 0 target 1 ] ]`
+	g, _, err := ReadGML(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Directed() {
+		t.Fatal("directed flag lost")
+	}
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Fatal("directed arc wrong")
+	}
+}
+
+func TestReadGMLImplicitNodes(t *testing.T) {
+	// Edges referencing never-declared nodes must still intern them.
+	input := `graph [ edge [ source 5 target 9 ] ]`
+	g, ids, err := ReadGML(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("nodes/edges = %d/%d", g.NumNodes(), g.NumEdges())
+	}
+	if ids[0] != 5 || ids[1] != 9 {
+		t.Fatalf("ids = %v", ids)
+	}
+}
+
+func TestReadGMLMalformed(t *testing.T) {
+	cases := []struct{ name, input string }{
+		{"empty", ""},
+		{"no graph", "node [ id 1 ]"},
+		{"unclosed graph", "graph [ node [ id 1 ]"},
+		{"unclosed node", "graph [ node [ id 1 ]"},
+		{"node without id", "graph [ node [ label \"x\" ] ]"},
+		{"edge without target", "graph [ edge [ source 1 ] ]"},
+		{"unterminated string", "graph [ node [ id 1 label \"x ] ]"},
+		{"directed without value", "graph [ directed"},
+	}
+	for _, c := range cases {
+		if _, _, err := ReadGML(strings.NewReader(c.input)); err == nil {
+			t.Fatalf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestGMLRoundTrip(t *testing.T) {
+	g := gen.ErdosRenyi(40, 90, 8)
+	var buf bytes.Buffer
+	if err := WriteGML(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, ids, err := ReadGML(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, back) {
+		t.Fatal("GML round trip changed the graph")
+	}
+	for i, id := range ids {
+		if i != id {
+			t.Fatalf("dense writer produced non-identity ids: %v", ids[:5])
+		}
+	}
+}
+
+func TestGMLRoundTripDirected(t *testing.T) {
+	base := gen.ErdosRenyi(10, 20, 9) // undirected base; rebuild as directed
+	db := rebuildDirected(base)
+	var buf bytes.Buffer
+	if err := WriteGML(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	back, _, err := ReadGML(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(db, back) {
+		t.Fatal("directed GML round trip changed the graph")
+	}
+}

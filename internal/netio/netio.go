@@ -1,0 +1,295 @@
+// Package netio persists graphs and relevance-score vectors. Two graph
+// formats are supported:
+//
+//   - a human-readable text edge list ("u v" per line, with a header
+//     comment carrying the node count and directedness), interoperable
+//     with the usual network-dataset archives;
+//   - a compact little-endian binary CSR format for the multi-million-node
+//     simulated datasets, so `lonabench` does not re-generate per run.
+//
+// Score vectors have matching text and binary forms. All readers validate
+// structure and fail with descriptive errors rather than building corrupt
+// in-memory graphs.
+package netio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// WriteEdgeList writes g as a text edge list. Undirected edges appear once
+// (u < v); directed arcs appear as stored.
+func WriteEdgeList(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	directed := 0
+	if g.Directed() {
+		directed = 1
+	}
+	if _, err := fmt.Fprintf(bw, "# lona-edgelist nodes=%d directed=%d\n", g.NumNodes(), directed); err != nil {
+		return err
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if !g.Directed() && int(v) < u {
+				continue // emit each undirected edge once
+			}
+			if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the text format written by WriteEdgeList. Lines
+// starting with '#' other than the header are ignored, so hand-annotated
+// files load fine.
+func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("netio: empty edge list (missing header): %w", sc.Err())
+	}
+	header := sc.Text()
+	nodes, directed, err := parseHeader(header)
+	if err != nil {
+		return nil, err
+	}
+	b := graph.NewBuilder(nodes, directed)
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("netio: line %d: want 'u v', got %q", line, text)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("netio: line %d: bad source %q: %v", line, fields[0], err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("netio: line %d: bad target %q: %v", line, fields[1], err)
+		}
+		if err := b.TryAddEdge(u, v); err != nil {
+			return nil, fmt.Errorf("netio: line %d: %v", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("netio: reading edge list: %w", err)
+	}
+	return b.Build(), nil
+}
+
+func parseHeader(header string) (nodes int, directed bool, err error) {
+	if !strings.HasPrefix(header, "# lona-edgelist") {
+		return 0, false, fmt.Errorf("netio: bad header %q (want '# lona-edgelist nodes=N directed=0|1')", header)
+	}
+	for _, field := range strings.Fields(header)[2:] {
+		key, value, ok := strings.Cut(field, "=")
+		if !ok {
+			return 0, false, fmt.Errorf("netio: malformed header field %q", field)
+		}
+		switch key {
+		case "nodes":
+			nodes, err = strconv.Atoi(value)
+			if err != nil || nodes < 0 {
+				return 0, false, fmt.Errorf("netio: bad node count %q", value)
+			}
+		case "directed":
+			switch value {
+			case "0":
+				directed = false
+			case "1":
+				directed = true
+			default:
+				return 0, false, fmt.Errorf("netio: bad directed flag %q", value)
+			}
+		default:
+			return 0, false, fmt.Errorf("netio: unknown header field %q", key)
+		}
+	}
+	return nodes, directed, nil
+}
+
+// Binary graph format:
+//
+//	magic "LONAGRPH" | version u32 | flags u32 (bit0 = directed)
+//	| nodes u64 | arcs u64 | offsets [(nodes+1) × u64] | adj [arcs × u32]
+const (
+	graphMagic    = "LONAGRPH"
+	graphVersion  = 1
+	flagDirected  = 1 << 0
+	scoresMagic   = "LONASCRS"
+	scoresVersion = 1
+)
+
+// WriteBinaryGraph writes g in the binary CSR format.
+func WriteBinaryGraph(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(graphMagic); err != nil {
+		return err
+	}
+	flags := uint32(0)
+	if g.Directed() {
+		flags |= flagDirected
+	}
+	n := g.NumNodes()
+	header := []uint64{uint64(graphVersion)<<32 | uint64(flags), uint64(n), uint64(g.NumArcs())}
+	for _, h := range header {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	var off uint64
+	for u := 0; u <= n; u++ {
+		if u < n {
+			if err := binary.Write(bw, binary.LittleEndian, off); err != nil {
+				return err
+			}
+			off += uint64(g.Degree(u))
+			continue
+		}
+		if err := binary.Write(bw, binary.LittleEndian, off); err != nil {
+			return err
+		}
+	}
+	for u := 0; u < n; u++ {
+		nbrs := g.Neighbors(u)
+		if err := binary.Write(bw, binary.LittleEndian, nbrs); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinaryGraph parses the binary CSR format, validating magic, version,
+// offsets monotonicity, and arc-target ranges.
+func ReadBinaryGraph(r io.Reader) (*graph.Graph, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(graphMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("netio: reading graph magic: %w", err)
+	}
+	if string(magic) != graphMagic {
+		return nil, fmt.Errorf("netio: bad magic %q, want %q", magic, graphMagic)
+	}
+	var verFlags, nodes64, arcs64 uint64
+	for _, p := range []*uint64{&verFlags, &nodes64, &arcs64} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("netio: reading graph header: %w", err)
+		}
+	}
+	version := uint32(verFlags >> 32)
+	flags := uint32(verFlags)
+	if version != graphVersion {
+		return nil, fmt.Errorf("netio: unsupported graph format version %d", version)
+	}
+	if nodes64 > math.MaxInt32 {
+		return nil, fmt.Errorf("netio: node count %d exceeds int32 id space", nodes64)
+	}
+	n := int(nodes64)
+	arcs := int(arcs64)
+	directed := flags&flagDirected != 0
+
+	offsets := make([]uint64, n+1)
+	if err := binary.Read(br, binary.LittleEndian, offsets); err != nil {
+		return nil, fmt.Errorf("netio: reading offsets: %w", err)
+	}
+	if offsets[0] != 0 || offsets[n] != uint64(arcs) {
+		return nil, fmt.Errorf("netio: offsets endpoints [%d,%d] inconsistent with %d arcs", offsets[0], offsets[n], arcs)
+	}
+	adj := make([]int32, arcs)
+	if err := binary.Read(br, binary.LittleEndian, adj); err != nil {
+		return nil, fmt.Errorf("netio: reading adjacency: %w", err)
+	}
+
+	b := graph.NewBuilder(n, directed)
+	for u := 0; u < n; u++ {
+		if offsets[u] > offsets[u+1] {
+			return nil, fmt.Errorf("netio: offsets not monotone at node %d", u)
+		}
+		for p := offsets[u]; p < offsets[u+1]; p++ {
+			v := int(adj[p])
+			if !directed && v < u {
+				continue // each undirected edge is present twice in CSR
+			}
+			if err := b.TryAddEdge(u, v); err != nil {
+				return nil, fmt.Errorf("netio: arc %d: %v", p, err)
+			}
+		}
+	}
+	g := b.Build()
+	if g.NumArcs() != arcs {
+		return nil, fmt.Errorf("netio: rebuilt graph has %d arcs, file declared %d", g.NumArcs(), arcs)
+	}
+	return g, nil
+}
+
+// WriteScores writes a relevance vector in binary form:
+//
+//	magic "LONASCRS" | version u32 | count u64 | values [count × f64]
+func WriteScores(w io.Writer, scores []float64) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(scoresMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(scoresVersion)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(scores))); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, scores); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadScores parses the binary score format and validates every value is a
+// legal relevance in [0,1].
+func ReadScores(r io.Reader) ([]float64, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(scoresMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("netio: reading scores magic: %w", err)
+	}
+	if string(magic) != scoresMagic {
+		return nil, fmt.Errorf("netio: bad scores magic %q", magic)
+	}
+	var version uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("netio: reading scores version: %w", err)
+	}
+	if version != scoresVersion {
+		return nil, fmt.Errorf("netio: unsupported scores version %d", version)
+	}
+	var count uint64
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("netio: reading scores count: %w", err)
+	}
+	if count > 1<<33 {
+		return nil, fmt.Errorf("netio: score count %d implausibly large", count)
+	}
+	scores := make([]float64, count)
+	if err := binary.Read(br, binary.LittleEndian, scores); err != nil {
+		return nil, fmt.Errorf("netio: reading score values: %w", err)
+	}
+	for v, s := range scores {
+		if math.IsNaN(s) || s < 0 || s > 1 {
+			return nil, fmt.Errorf("netio: node %d score %v outside [0,1]", v, s)
+		}
+	}
+	return scores, nil
+}

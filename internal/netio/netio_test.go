@@ -1,0 +1,228 @@
+package netio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func graphsEqual(a, b *graph.Graph) bool {
+	if a.NumNodes() != b.NumNodes() || a.NumArcs() != b.NumArcs() || a.Directed() != b.Directed() {
+		return false
+	}
+	for u := 0; u < a.NumNodes(); u++ {
+		na, nb := a.Neighbors(u), b.Neighbors(u)
+		if len(na) != len(nb) {
+			return false
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestEdgeListRoundTripUndirected(t *testing.T) {
+	g := gen.ErdosRenyi(50, 120, 1)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, back) {
+		t.Fatal("edge-list round trip changed the graph")
+	}
+}
+
+func TestEdgeListRoundTripDirected(t *testing.T) {
+	b := graph.NewBuilder(5, true)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	b.AddEdge(4, 3)
+	g := b.Build()
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Directed() {
+		t.Fatal("directedness lost")
+	}
+	if !graphsEqual(g, back) {
+		t.Fatal("directed edge-list round trip changed the graph")
+	}
+}
+
+func TestEdgeListIgnoresCommentsAndBlanks(t *testing.T) {
+	input := "# lona-edgelist nodes=3 directed=0\n\n# a comment\n0 1\n\n1 2\n"
+	g, err := ReadEdgeList(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges = %d, want 2", g.NumEdges())
+	}
+}
+
+func TestEdgeListRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name, input string
+	}{
+		{"empty", ""},
+		{"bad header", "nodes=3\n0 1\n"},
+		{"bad node count", "# lona-edgelist nodes=x directed=0\n"},
+		{"bad directed flag", "# lona-edgelist nodes=3 directed=2\n"},
+		{"unknown field", "# lona-edgelist nodes=3 directed=0 color=red\n"},
+		{"three fields", "# lona-edgelist nodes=3 directed=0\n0 1 2\n"},
+		{"non-numeric", "# lona-edgelist nodes=3 directed=0\na b\n"},
+		{"out of range", "# lona-edgelist nodes=3 directed=0\n0 9\n"},
+		{"self loop", "# lona-edgelist nodes=3 directed=0\n1 1\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(c.input)); err == nil {
+			t.Fatalf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestBinaryGraphRoundTrip(t *testing.T) {
+	for _, directed := range []bool{false, true} {
+		b := graph.NewBuilder(30, directed)
+		g0 := gen.ErdosRenyi(30, 60, 2)
+		for u := 0; u < 30; u++ {
+			for _, v := range g0.Neighbors(u) {
+				if directed || int(v) > u {
+					b.AddEdge(u, int(v))
+				}
+			}
+		}
+		g := b.Build()
+		var buf bytes.Buffer
+		if err := WriteBinaryGraph(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadBinaryGraph(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !graphsEqual(g, back) {
+			t.Fatalf("binary round trip changed the graph (directed=%v)", directed)
+		}
+	}
+}
+
+func TestBinaryGraphRoundTripProperty(t *testing.T) {
+	property := func(seedRaw uint32) bool {
+		g := gen.ErdosRenyi(40, 100, int64(seedRaw))
+		var buf bytes.Buffer
+		if err := WriteBinaryGraph(&buf, g); err != nil {
+			return false
+		}
+		back, err := ReadBinaryGraph(&buf)
+		if err != nil {
+			return false
+		}
+		return graphsEqual(g, back)
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryGraphRejectsCorruption(t *testing.T) {
+	g := gen.ErdosRenyi(10, 20, 3)
+	var buf bytes.Buffer
+	if err := WriteBinaryGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Truncations at every interesting boundary must error, not panic.
+	for _, cut := range []int{0, 4, 8, 20, len(good) / 2, len(good) - 1} {
+		if _, err := ReadBinaryGraph(bytes.NewReader(good[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Corrupt magic.
+	bad := append([]byte(nil), good...)
+	bad[0] = 'X'
+	if _, err := ReadBinaryGraph(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Corrupt version (high word of the first header u64).
+	bad = append([]byte(nil), good...)
+	bad[8+7] = 0xFF
+	if _, err := ReadBinaryGraph(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestScoresRoundTrip(t *testing.T) {
+	scores := []float64{0, 0.25, 0.5, 1, 0.0001}
+	var buf bytes.Buffer
+	if err := WriteScores(&buf, scores); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadScores(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(scores) {
+		t.Fatalf("length %d, want %d", len(back), len(scores))
+	}
+	for i := range scores {
+		if back[i] != scores[i] {
+			t.Fatalf("score[%d] = %v, want %v", i, back[i], scores[i])
+		}
+	}
+}
+
+func TestScoresEmptyRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteScores(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadScores(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 0 {
+		t.Fatalf("empty round trip produced %d scores", len(back))
+	}
+}
+
+func TestScoresRejectInvalid(t *testing.T) {
+	// Out-of-range values written raw must be rejected on read.
+	var buf bytes.Buffer
+	if err := WriteScores(&buf, []float64{0.5}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Overwrite the single float64 payload (last 8 bytes) with 2.0 bits.
+	for i := 0; i < 8; i++ {
+		raw[len(raw)-8+i] = 0
+	}
+	raw[len(raw)-1] = 0x40 // float64(2.0) little-endian: 00..00 40
+	if _, err := ReadScores(bytes.NewReader(raw)); err == nil {
+		t.Fatal("score 2.0 accepted")
+	}
+	if _, err := ReadScores(strings.NewReader("garbage")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadScores(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}

@@ -1,0 +1,208 @@
+// Package relevance produces the per-node relevance scores f : V -> [0,1]
+// that parameterize every aggregation query (problem P1 in the paper).
+//
+// Section V of the paper designs a mixture function "to mimic the setting
+// of relevance functions in real-life applications": a random assignment
+// component f_r whose value is exponentially distributed with a blacking
+// ratio r controlling the fraction of nodes pinned to 1, plus a random
+// walk smoothing component f_w that spreads relevance along edges. This
+// package implements both components, the mixture, and the plain binary
+// function used by backward processing's zero-skipping argument.
+package relevance
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Validate reports whether scores is a legal relevance vector for g:
+// one entry per node, every value in [0,1], no NaNs.
+func Validate(g *graph.Graph, scores []float64) error {
+	if len(scores) != g.NumNodes() {
+		return fmt.Errorf("relevance: %d scores for %d nodes", len(scores), g.NumNodes())
+	}
+	for v, s := range scores {
+		if math.IsNaN(s) || s < 0 || s > 1 {
+			return fmt.Errorf("relevance: node %d has score %v outside [0,1]", v, s)
+		}
+	}
+	return nil
+}
+
+// Exponential returns the random assignment function f_r: with probability
+// blackingRatio a node is assigned exactly 1 ("blacked"); otherwise its
+// score is drawn from an exponential distribution with the given mean,
+// truncated to [0,1). Matches the paper's description of f_r.
+func Exponential(n int, blackingRatio, mean float64, seed int64) []float64 {
+	if blackingRatio < 0 || blackingRatio > 1 {
+		panic(fmt.Sprintf("relevance: blacking ratio %v outside [0,1]", blackingRatio))
+	}
+	if mean <= 0 {
+		panic("relevance: exponential mean must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	scores := make([]float64, n)
+	for v := range scores {
+		if rng.Float64() < blackingRatio {
+			scores[v] = 1
+			continue
+		}
+		x := rng.ExpFloat64() * mean
+		if x >= 1 {
+			x = math.Nextafter(1, 0) // truncate: only blacked nodes score exactly 1
+		}
+		scores[v] = x
+	}
+	return scores
+}
+
+// Binary returns a 0/1 relevance function where a blackingRatio fraction of
+// nodes (chosen uniformly) score 1 and everyone else scores 0. This is the
+// sparse setting in which BackwardNaive can skip zero nodes entirely.
+func Binary(n int, blackingRatio float64, seed int64) []float64 {
+	if blackingRatio < 0 || blackingRatio > 1 {
+		panic(fmt.Sprintf("relevance: blacking ratio %v outside [0,1]", blackingRatio))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	scores := make([]float64, n)
+	target := int(math.Round(blackingRatio * float64(n)))
+	perm := rng.Perm(n)
+	for i := 0; i < target; i++ {
+		scores[perm[i]] = 1
+	}
+	return scores
+}
+
+// RandomWalk returns the smoothing component f_w: starting from seed
+// scores, it runs the given number of push iterations in which each node
+// keeps (1-alpha) of its mass and spreads alpha evenly to its neighbors,
+// then rescales into [0,1]. The result concentrates relevance around
+// seeded regions of the graph — the "social circle" effect the paper's
+// queries measure.
+func RandomWalk(g *graph.Graph, seedScores []float64, alpha float64, iterations int) []float64 {
+	if alpha < 0 || alpha > 1 {
+		panic(fmt.Sprintf("relevance: walk alpha %v outside [0,1]", alpha))
+	}
+	if iterations < 0 {
+		panic("relevance: negative walk iterations")
+	}
+	n := g.NumNodes()
+	if len(seedScores) != n {
+		panic(fmt.Sprintf("relevance: %d seeds for %d nodes", len(seedScores), n))
+	}
+	cur := append([]float64(nil), seedScores...)
+	next := make([]float64, n)
+	for it := 0; it < iterations; it++ {
+		for v := range next {
+			next[v] = 0
+		}
+		for u := 0; u < n; u++ {
+			mass := cur[u]
+			if mass == 0 {
+				continue
+			}
+			deg := g.Degree(u)
+			if deg == 0 {
+				next[u] += mass
+				continue
+			}
+			next[u] += (1 - alpha) * mass
+			share := alpha * mass / float64(deg)
+			for _, v := range g.Neighbors(u) {
+				next[v] += share
+			}
+		}
+		cur, next = next, cur
+	}
+	// Rescale to [0,1]; total mass is conserved so max > 0 unless all zero.
+	max := 0.0
+	for _, s := range cur {
+		if s > max {
+			max = s
+		}
+	}
+	if max > 0 {
+		for v := range cur {
+			cur[v] /= max
+		}
+	}
+	return cur
+}
+
+// MixtureParams configures Mixture. Zero values are replaced by the
+// defaults used throughout the evaluation (documented per field).
+type MixtureParams struct {
+	BlackingRatio float64 // fraction of nodes assigned exactly 1 (paper's r); no default — 0 means none
+	ExpMean       float64 // mean of the exponential component; default 0.05
+	WalkAlpha     float64 // neighbor-spread fraction per iteration; default 0.5
+	WalkIters     int     // smoothing iterations; default 2
+	WalkWeight    float64 // final blend: f = (1-w)·f_r + w·f_w; default 0.3
+}
+
+func (p *MixtureParams) applyDefaults() {
+	if p.ExpMean == 0 {
+		p.ExpMean = 0.05
+	}
+	if p.WalkAlpha == 0 {
+		p.WalkAlpha = 0.5
+	}
+	if p.WalkIters == 0 {
+		p.WalkIters = 2
+	}
+	if p.WalkWeight == 0 {
+		p.WalkWeight = 0.3
+	}
+}
+
+// Mixture builds the paper's evaluation relevance function: the blend of
+// the exponential random assignment f_r and the random walk smoothing f_w.
+// Blacked nodes stay pinned at exactly 1 so the blacking ratio is
+// preserved through the blend.
+func Mixture(g *graph.Graph, params MixtureParams, seed int64) []float64 {
+	params.applyDefaults()
+	n := g.NumNodes()
+	fr := Exponential(n, params.BlackingRatio, params.ExpMean, seed)
+	fw := RandomWalk(g, fr, params.WalkAlpha, params.WalkIters)
+	scores := make([]float64, n)
+	w := params.WalkWeight
+	for v := range scores {
+		if fr[v] == 1 {
+			scores[v] = 1
+			continue
+		}
+		s := (1-w)*fr[v] + w*fw[v]
+		if s >= 1 {
+			s = math.Nextafter(1, 0)
+		}
+		scores[v] = s
+	}
+	return scores
+}
+
+// Uniform returns a constant relevance vector; useful in tests where every
+// node should contribute equally (SUM then counts neighborhood size).
+func Uniform(n int, value float64) []float64 {
+	if value < 0 || value > 1 {
+		panic(fmt.Sprintf("relevance: uniform value %v outside [0,1]", value))
+	}
+	scores := make([]float64, n)
+	for v := range scores {
+		scores[v] = value
+	}
+	return scores
+}
+
+// NonZeroCount returns how many nodes have a strictly positive score —
+// the quantity that determines BackwardNaive's cost.
+func NonZeroCount(scores []float64) int {
+	count := 0
+	for _, s := range scores {
+		if s > 0 {
+			count++
+		}
+	}
+	return count
+}

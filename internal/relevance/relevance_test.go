@@ -1,0 +1,259 @@
+package relevance
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestExponentialRange(t *testing.T) {
+	scores := Exponential(5000, 0.01, 0.05, 1)
+	ones := 0
+	for v, s := range scores {
+		if s < 0 || s > 1 {
+			t.Fatalf("node %d score %v outside [0,1]", v, s)
+		}
+		if s == 1 {
+			ones++
+		}
+	}
+	// Blacking ratio 1%: expect ~50 ones, generously banded.
+	if ones < 20 || ones > 110 {
+		t.Fatalf("blacked count %d far from 1%% of 5000", ones)
+	}
+}
+
+func TestExponentialBlackingExtremes(t *testing.T) {
+	all := Exponential(100, 1, 0.05, 2)
+	for v, s := range all {
+		if s != 1 {
+			t.Fatalf("r=1: node %d score %v, want 1", v, s)
+		}
+	}
+	none := Exponential(100, 0, 0.05, 2)
+	for v, s := range none {
+		if s == 1 {
+			t.Fatalf("r=0: node %d blacked", v)
+		}
+	}
+}
+
+func TestExponentialValidation(t *testing.T) {
+	for _, c := range []struct{ r, mean float64 }{{-0.1, 0.05}, {1.1, 0.05}, {0.5, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Exponential(r=%v, mean=%v) did not panic", c.r, c.mean)
+				}
+			}()
+			Exponential(10, c.r, c.mean, 1)
+		}()
+	}
+}
+
+func TestBinaryExactCount(t *testing.T) {
+	scores := Binary(1000, 0.2, 3)
+	count := 0
+	for _, s := range scores {
+		switch s {
+		case 0:
+			// fine
+		case 1:
+			count++
+		default:
+			t.Fatalf("binary score %v", s)
+		}
+	}
+	if count != 200 {
+		t.Fatalf("blacked %d of 1000, want exactly 200", count)
+	}
+}
+
+func TestBinaryDeterministic(t *testing.T) {
+	a := Binary(500, 0.1, 9)
+	b := Binary(500, 0.1, 9)
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("same-seed Binary differs at node %d", v)
+		}
+	}
+}
+
+func TestRandomWalkConcentratesNearSeeds(t *testing.T) {
+	// Path graph with a single seeded endpoint: after smoothing, scores
+	// must decay monotonically away from the seed.
+	b := graph.NewBuilder(10, false)
+	for i := 0; i+1 < 10; i++ {
+		b.AddEdge(i, i+1)
+	}
+	g := b.Build()
+	seeds := make([]float64, 10)
+	seeds[0] = 1
+	scores := RandomWalk(g, seeds, 0.5, 3)
+	// The endpoint seed leaks half its mass per iteration while receiving
+	// only half of node 1's share, so the maximum lands on node 1
+	// (hand-computed: pre-rescale masses .3125, .46875, .1875, .03125).
+	if scores[1] != 1 {
+		t.Fatalf("max not at node 1: %v", scores[:5])
+	}
+	if !(scores[1] > scores[2] && scores[2] > scores[3] && scores[3] > 0) {
+		t.Fatalf("scores not decaying with distance: %v", scores[:5])
+	}
+	// Three iterations move mass at most three hops: nodes 4.. stay zero.
+	for i := 4; i < 10; i++ {
+		if scores[i] != 0 {
+			t.Fatalf("node %d reached in 3 iterations: %v", i, scores)
+		}
+	}
+}
+
+func TestRandomWalkZeroIterationsIsIdentity(t *testing.T) {
+	g := gen.ErdosRenyi(20, 40, 4)
+	seeds := Binary(20, 0.3, 4)
+	scores := RandomWalk(g, seeds, 0.5, 0)
+	for v := range seeds {
+		if scores[v] != seeds[v] {
+			t.Fatalf("0-iteration walk changed node %d: %v -> %v", v, seeds[v], scores[v])
+		}
+	}
+}
+
+func TestRandomWalkIsolatedNodesKeepMass(t *testing.T) {
+	g := graph.NewBuilder(3, false).Build() // all isolated
+	seeds := []float64{0.5, 0, 1}
+	scores := RandomWalk(g, seeds, 0.7, 5)
+	// Rescaled by max (1): relative order preserved exactly.
+	if scores[0] != 0.5 || scores[1] != 0 || scores[2] != 1 {
+		t.Fatalf("isolated-node walk = %v, want [0.5 0 1]", scores)
+	}
+}
+
+func TestRandomWalkValidation(t *testing.T) {
+	g := gen.ErdosRenyi(5, 5, 1)
+	seeds := make([]float64, 5)
+	for _, alpha := range []float64{-0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("alpha=%v did not panic", alpha)
+				}
+			}()
+			RandomWalk(g, seeds, alpha, 1)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("negative iterations did not panic")
+			}
+		}()
+		RandomWalk(g, seeds, 0.5, -1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("mismatched seed length did not panic")
+			}
+		}()
+		RandomWalk(g, make([]float64, 3), 0.5, 1)
+	}()
+}
+
+func TestMixtureValidAndPreservesBlacking(t *testing.T) {
+	g := gen.BarabasiAlbert(2000, 3, 5)
+	scores := Mixture(g, MixtureParams{BlackingRatio: 0.05}, 6)
+	if err := Validate(g, scores); err != nil {
+		t.Fatalf("Mixture produced invalid scores: %v", err)
+	}
+	ones := 0
+	for _, s := range scores {
+		if s == 1 {
+			ones++
+		}
+	}
+	if ones < 50 || ones > 160 {
+		t.Fatalf("blacked %d of 2000, want ~100", ones)
+	}
+	// Non-blacked nodes must be strictly below 1 so the ratio is exact.
+	below := 0
+	for _, s := range scores {
+		if s > 0 && s < 1 {
+			below++
+		}
+	}
+	if below == 0 {
+		t.Fatal("mixture produced no fractional scores")
+	}
+}
+
+func TestMixtureDeterministic(t *testing.T) {
+	g := gen.ErdosRenyi(300, 900, 7)
+	a := Mixture(g, MixtureParams{BlackingRatio: 0.01}, 8)
+	b := Mixture(g, MixtureParams{BlackingRatio: 0.01}, 8)
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("same-seed Mixture differs at node %d", v)
+		}
+	}
+}
+
+func TestUniform(t *testing.T) {
+	scores := Uniform(10, 0.5)
+	for _, s := range scores {
+		if s != 0.5 {
+			t.Fatalf("Uniform produced %v", s)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uniform(1.5) did not panic")
+		}
+	}()
+	Uniform(3, 1.5)
+}
+
+func TestValidateCatchesBadVectors(t *testing.T) {
+	g := gen.ErdosRenyi(4, 4, 2)
+	if err := Validate(g, make([]float64, 3)); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	bad := make([]float64, 4)
+	bad[1] = math.NaN()
+	if err := Validate(g, bad); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	bad[1] = 2
+	if err := Validate(g, bad); err == nil {
+		t.Fatal("out-of-range accepted")
+	}
+	bad[1] = 0.5
+	if err := Validate(g, bad); err != nil {
+		t.Fatalf("valid vector rejected: %v", err)
+	}
+}
+
+func TestNonZeroCount(t *testing.T) {
+	if got := NonZeroCount([]float64{0, 0.1, 0, 1, 0}); got != 2 {
+		t.Fatalf("NonZeroCount = %d, want 2", got)
+	}
+	if got := NonZeroCount(nil); got != 0 {
+		t.Fatalf("NonZeroCount(nil) = %d, want 0", got)
+	}
+}
+
+// Property: any mixture over any graph stays a valid relevance function.
+func TestMixtureAlwaysValidProperty(t *testing.T) {
+	property := func(seedRaw uint32, rRaw uint8) bool {
+		seed := int64(seedRaw)
+		r := float64(rRaw%100) / 100
+		g := gen.ErdosRenyi(60, 150, seed)
+		scores := Mixture(g, MixtureParams{BlackingRatio: r}, seed+1)
+		return Validate(g, scores) == nil
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

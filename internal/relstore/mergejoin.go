@@ -1,0 +1,84 @@
+package relstore
+
+import "sort"
+
+// MergeJoin performs the same inner equi-join as HashJoin but by sorting
+// both sides on their key and merging — the plan a relational optimizer
+// picks when inputs are large relative to memory or already sorted. Output
+// schema and row multiset match HashJoin exactly (row order may differ);
+// the tests enforce the equivalence, and the A5 experiment's conclusion is
+// robust to the join implementation either way.
+func MergeJoin(left, right *Table, leftKey, rightKey string) (*Table, error) {
+	lk, err := left.intCol(leftKey)
+	if err != nil {
+		return nil, err
+	}
+	rk, err := right.intCol(rightKey)
+	if err != nil {
+		return nil, err
+	}
+
+	lorder := sortedRowOrder(lk.Ints)
+	rorder := sortedRowOrder(rk.Ints)
+
+	var leftRows, rightRows []int32
+	li, ri := 0, 0
+	for li < len(lorder) && ri < len(rorder) {
+		lval := lk.Ints[lorder[li]]
+		rval := rk.Ints[rorder[ri]]
+		switch {
+		case lval < rval:
+			li++
+		case lval > rval:
+			ri++
+		default:
+			// Emit the cross product of the two equal-key runs.
+			lEnd := li
+			for lEnd < len(lorder) && lk.Ints[lorder[lEnd]] == lval {
+				lEnd++
+			}
+			rEnd := ri
+			for rEnd < len(rorder) && rk.Ints[rorder[rEnd]] == rval {
+				rEnd++
+			}
+			for i := li; i < lEnd; i++ {
+				for j := ri; j < rEnd; j++ {
+					leftRows = append(leftRows, lorder[i])
+					rightRows = append(rightRows, rorder[j])
+				}
+			}
+			li, ri = lEnd, rEnd
+		}
+	}
+
+	out := &Table{}
+	usedNames := map[string]bool{}
+	for i := range left.Columns {
+		c := gatherColumn(&left.Columns[i], leftRows)
+		usedNames[c.Name] = true
+		out.Columns = append(out.Columns, c)
+	}
+	for i := range right.Columns {
+		src := &right.Columns[i]
+		if src.Name == rightKey {
+			continue
+		}
+		c := gatherColumn(src, rightRows)
+		if usedNames[c.Name] {
+			c.Name = "right_" + c.Name
+		}
+		out.Columns = append(out.Columns, c)
+	}
+	return out, nil
+}
+
+// sortedRowOrder returns row indices ordered by key value (stable, so
+// equal keys keep their original relative order).
+func sortedRowOrder(keys []int64) []int32 {
+	order := make([]int32, len(keys))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.SliceStable(order, func(i, j int) bool { return keys[order[i]] < keys[order[j]] })
+	return order
+}

@@ -1,0 +1,156 @@
+package relstore
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// joinSignature reduces a join result over (src, dst/right_dst)-style int
+// tables to a sorted multiset for order-insensitive comparison.
+func joinSignature(t *Table) ([]string, error) {
+	rows := t.NumRows()
+	sig := make([]string, rows)
+	for r := 0; r < rows; r++ {
+		line := ""
+		for i := range t.Columns {
+			c := &t.Columns[i]
+			if c.Kind == Int64 {
+				line += "|" + itoa(c.Ints[r])
+			} else {
+				line += "|f"
+			}
+		}
+		sig[r] = line
+	}
+	sort.Strings(sig)
+	return sig, nil
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [24]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+func TestMergeJoinMatchesHashJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 20; trial++ {
+		nl, nr := rng.Intn(50), rng.Intn(50)
+		lk := make([]int64, nl)
+		lv := make([]int64, nl)
+		rk := make([]int64, nr)
+		rv := make([]int64, nr)
+		for i := range lk {
+			lk[i] = int64(rng.Intn(10)) // few keys: many duplicate runs
+			lv[i] = int64(i)
+		}
+		for i := range rk {
+			rk[i] = int64(rng.Intn(10))
+			rv[i] = int64(100 + i)
+		}
+		left, err := NewIntTable([]string{"k", "lv"}, lk, lv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		right, err := NewIntTable([]string{"k", "rv"}, rk, rv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hashed, err := HashJoin(left, right, "k", "k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged, err := MergeJoin(left, right, "k", "k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs, err := joinSignature(hashed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := joinSignature(merged)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hs) != len(ms) {
+			t.Fatalf("trial %d: hash %d rows, merge %d rows", trial, len(hs), len(ms))
+		}
+		for i := range hs {
+			if hs[i] != ms[i] {
+				t.Fatalf("trial %d row %d: %q vs %q", trial, i, hs[i], ms[i])
+			}
+		}
+	}
+}
+
+func TestMergeJoinEmptySides(t *testing.T) {
+	empty, err := NewIntTable([]string{"k"}, []int64{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := NewIntTable([]string{"k", "v"}, []int64{1, 2}, []int64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := MergeJoin(empty, full, "k", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 0 {
+		t.Fatalf("empty join produced %d rows", out.NumRows())
+	}
+	if _, err := MergeJoin(full, full, "missing", "k"); err == nil {
+		t.Fatal("missing key column accepted")
+	}
+}
+
+func TestMergeJoinPropertyEquivalence(t *testing.T) {
+	property := func(lkRaw, rkRaw []uint8) bool {
+		lk := make([]int64, len(lkRaw))
+		for i, v := range lkRaw {
+			lk[i] = int64(v % 16)
+		}
+		rk := make([]int64, len(rkRaw))
+		for i, v := range rkRaw {
+			rk[i] = int64(v % 16)
+		}
+		left, err := NewIntTable([]string{"k"}, lk)
+		if err != nil {
+			return false
+		}
+		right, err := NewIntTable([]string{"k"}, rk)
+		if err != nil {
+			return false
+		}
+		hashed, err := HashJoin(left, right, "k", "k")
+		if err != nil {
+			return false
+		}
+		merged, err := MergeJoin(left, right, "k", "k")
+		if err != nil {
+			return false
+		}
+		return hashed.NumRows() == merged.NumRows()
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

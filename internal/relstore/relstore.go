@@ -1,0 +1,369 @@
+// Package relstore is a deliberately small column-oriented relational
+// engine: typed columns, hash joins, distinct, group-by aggregation, and
+// order-by-limit. It exists to make the paper's motivating claim testable —
+// that answering 2-hop neighborhood aggregation through a relational query
+// plan ("it has to self-join two gigantic edge tables") is far slower than
+// graph-native processing. Benchmark A5 runs the relational plan in
+// NeighborhoodTopK against LONA on the same data.
+package relstore
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind is a column type.
+type Kind uint8
+
+const (
+	// Int64 columns hold node ids and counts.
+	Int64 Kind = iota
+	// Float64 columns hold scores and aggregates.
+	Float64
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Int64:
+		return "int64"
+	case Float64:
+		return "float64"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Column is a named, typed column. Exactly one of Ints/Floats is used,
+// selected by Kind.
+type Column struct {
+	Name   string
+	Kind   Kind
+	Ints   []int64
+	Floats []float64
+}
+
+// Len returns the number of rows in the column.
+func (c *Column) Len() int {
+	if c.Kind == Int64 {
+		return len(c.Ints)
+	}
+	return len(c.Floats)
+}
+
+// Table is a set of equal-length columns.
+type Table struct {
+	Columns []Column
+}
+
+// NumRows returns the table's row count (0 for a table with no columns).
+func (t *Table) NumRows() int {
+	if len(t.Columns) == 0 {
+		return 0
+	}
+	return t.Columns[0].Len()
+}
+
+// Validate checks the column lengths agree and names are unique.
+func (t *Table) Validate() error {
+	seen := map[string]bool{}
+	rows := -1
+	for i := range t.Columns {
+		c := &t.Columns[i]
+		if seen[c.Name] {
+			return fmt.Errorf("relstore: duplicate column %q", c.Name)
+		}
+		seen[c.Name] = true
+		if rows == -1 {
+			rows = c.Len()
+		} else if c.Len() != rows {
+			return fmt.Errorf("relstore: column %q has %d rows, want %d", c.Name, c.Len(), rows)
+		}
+	}
+	return nil
+}
+
+// Col returns a pointer to the named column.
+func (t *Table) Col(name string) (*Column, error) {
+	for i := range t.Columns {
+		if t.Columns[i].Name == name {
+			return &t.Columns[i], nil
+		}
+	}
+	return nil, fmt.Errorf("relstore: no column %q", name)
+}
+
+func (t *Table) intCol(name string) (*Column, error) {
+	c, err := t.Col(name)
+	if err != nil {
+		return nil, err
+	}
+	if c.Kind != Int64 {
+		return nil, fmt.Errorf("relstore: column %q is %v, want int64", name, c.Kind)
+	}
+	return c, nil
+}
+
+func (t *Table) floatCol(name string) (*Column, error) {
+	c, err := t.Col(name)
+	if err != nil {
+		return nil, err
+	}
+	if c.Kind != Float64 {
+		return nil, fmt.Errorf("relstore: column %q is %v, want float64", name, c.Kind)
+	}
+	return c, nil
+}
+
+// NewIntTable builds a table of int64 columns from parallel slices.
+func NewIntTable(names []string, cols ...[]int64) (*Table, error) {
+	if len(names) != len(cols) {
+		return nil, fmt.Errorf("relstore: %d names for %d columns", len(names), len(cols))
+	}
+	t := &Table{}
+	for i, name := range names {
+		t.Columns = append(t.Columns, Column{Name: name, Kind: Int64, Ints: cols[i]})
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// HashJoin performs an inner equi-join of left and right on
+// left.leftKey = right.rightKey (both int64). The output contains every
+// left column followed by every right column except rightKey; name
+// collisions get a "right_" prefix, mirroring what a SQL planner's alias
+// would do.
+func HashJoin(left, right *Table, leftKey, rightKey string) (*Table, error) {
+	lk, err := left.intCol(leftKey)
+	if err != nil {
+		return nil, err
+	}
+	rk, err := right.intCol(rightKey)
+	if err != nil {
+		return nil, err
+	}
+	// Build phase over the smaller side would be the real optimizer move;
+	// for clarity we always build on the right, as the textbook plan does.
+	build := make(map[int64][]int32, right.NumRows())
+	for row := 0; row < right.NumRows(); row++ {
+		key := rk.Ints[row]
+		build[key] = append(build[key], int32(row))
+	}
+
+	var leftRows, rightRows []int32
+	for row := 0; row < left.NumRows(); row++ {
+		for _, m := range build[lk.Ints[row]] {
+			leftRows = append(leftRows, int32(row))
+			rightRows = append(rightRows, m)
+		}
+	}
+
+	out := &Table{}
+	usedNames := map[string]bool{}
+	for i := range left.Columns {
+		c := gatherColumn(&left.Columns[i], leftRows)
+		usedNames[c.Name] = true
+		out.Columns = append(out.Columns, c)
+	}
+	for i := range right.Columns {
+		src := &right.Columns[i]
+		if src.Name == rightKey {
+			continue // equal to leftKey by the join predicate
+		}
+		c := gatherColumn(src, rightRows)
+		if usedNames[c.Name] {
+			c.Name = "right_" + c.Name
+		}
+		out.Columns = append(out.Columns, c)
+	}
+	return out, nil
+}
+
+func gatherColumn(src *Column, rows []int32) Column {
+	out := Column{Name: src.Name, Kind: src.Kind}
+	if src.Kind == Int64 {
+		out.Ints = make([]int64, len(rows))
+		for i, r := range rows {
+			out.Ints[i] = src.Ints[r]
+		}
+		return out
+	}
+	out.Floats = make([]float64, len(rows))
+	for i, r := range rows {
+		out.Floats[i] = src.Floats[r]
+	}
+	return out
+}
+
+// Project returns a table with only the named columns, in order.
+func Project(t *Table, names ...string) (*Table, error) {
+	out := &Table{}
+	for _, name := range names {
+		c, err := t.Col(name)
+		if err != nil {
+			return nil, err
+		}
+		out.Columns = append(out.Columns, *c)
+	}
+	return out, out.Validate()
+}
+
+// Distinct removes duplicate rows over the two named int64 columns
+// (the shape every neighborhood-reachability deduplication needs).
+func Distinct(t *Table, a, b string) (*Table, error) {
+	ca, err := t.intCol(a)
+	if err != nil {
+		return nil, err
+	}
+	cb, err := t.intCol(b)
+	if err != nil {
+		return nil, err
+	}
+	type pair struct{ x, y int64 }
+	seen := make(map[pair]struct{}, t.NumRows())
+	outA := make([]int64, 0, t.NumRows())
+	outB := make([]int64, 0, t.NumRows())
+	for row := 0; row < t.NumRows(); row++ {
+		p := pair{ca.Ints[row], cb.Ints[row]}
+		if _, dup := seen[p]; dup {
+			continue
+		}
+		seen[p] = struct{}{}
+		outA = append(outA, p.x)
+		outB = append(outB, p.y)
+	}
+	return NewIntTable([]string{a, b}, outA, outB)
+}
+
+// UnionAll concatenates tables with identical schemas.
+func UnionAll(tables ...*Table) (*Table, error) {
+	if len(tables) == 0 {
+		return &Table{}, nil
+	}
+	first := tables[0]
+	out := &Table{Columns: make([]Column, len(first.Columns))}
+	for i := range first.Columns {
+		out.Columns[i] = Column{Name: first.Columns[i].Name, Kind: first.Columns[i].Kind}
+	}
+	for _, t := range tables {
+		if len(t.Columns) != len(out.Columns) {
+			return nil, fmt.Errorf("relstore: UnionAll schema mismatch: %d vs %d columns", len(t.Columns), len(out.Columns))
+		}
+		for i := range t.Columns {
+			src := &t.Columns[i]
+			dst := &out.Columns[i]
+			if src.Name != dst.Name || src.Kind != dst.Kind {
+				return nil, fmt.Errorf("relstore: UnionAll column %d mismatch: %s/%v vs %s/%v",
+					i, src.Name, src.Kind, dst.Name, dst.Kind)
+			}
+			if src.Kind == Int64 {
+				dst.Ints = append(dst.Ints, src.Ints...)
+			} else {
+				dst.Floats = append(dst.Floats, src.Floats...)
+			}
+		}
+	}
+	return out, out.Validate()
+}
+
+// GroupBySum groups by the int64 key column and sums the float64 value
+// column, producing columns (key, "sum").
+func GroupBySum(t *Table, key, value string) (*Table, error) {
+	ck, err := t.intCol(key)
+	if err != nil {
+		return nil, err
+	}
+	cv, err := t.floatCol(value)
+	if err != nil {
+		return nil, err
+	}
+	sums := make(map[int64]float64, t.NumRows())
+	for row := 0; row < t.NumRows(); row++ {
+		sums[ck.Ints[row]] += cv.Floats[row]
+	}
+	keys := make([]int64, 0, len(sums))
+	for k := range sums {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	outK := make([]int64, len(keys))
+	outV := make([]float64, len(keys))
+	for i, k := range keys {
+		outK[i] = k
+		outV[i] = sums[k]
+	}
+	return &Table{Columns: []Column{
+		{Name: key, Kind: Int64, Ints: outK},
+		{Name: "sum", Kind: Float64, Floats: outV},
+	}}, nil
+}
+
+// GroupByCount groups by the int64 key column and counts rows, producing
+// columns (key, "count") with count as float64 for aggregate uniformity.
+func GroupByCount(t *Table, key string) (*Table, error) {
+	ck, err := t.intCol(key)
+	if err != nil {
+		return nil, err
+	}
+	counts := make(map[int64]float64, t.NumRows())
+	for row := 0; row < t.NumRows(); row++ {
+		counts[ck.Ints[row]]++
+	}
+	keys := make([]int64, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	outK := make([]int64, len(keys))
+	outV := make([]float64, len(keys))
+	for i, k := range keys {
+		outK[i] = k
+		outV[i] = counts[k]
+	}
+	return &Table{Columns: []Column{
+		{Name: key, Kind: Int64, Ints: outK},
+		{Name: "count", Kind: Float64, Floats: outV},
+	}}, nil
+}
+
+// OrderByLimit sorts by the float64 column descending (ties: ascending
+// int64 key, matching LONA's deterministic tie-break) and keeps k rows.
+func OrderByLimit(t *Table, key, value string, k int) (*Table, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("relstore: negative limit %d", k)
+	}
+	ck, err := t.intCol(key)
+	if err != nil {
+		return nil, err
+	}
+	cv, err := t.floatCol(value)
+	if err != nil {
+		return nil, err
+	}
+	order := make([]int32, t.NumRows())
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if cv.Floats[a] != cv.Floats[b] {
+			return cv.Floats[a] > cv.Floats[b]
+		}
+		return ck.Ints[a] < ck.Ints[b]
+	})
+	if k < len(order) {
+		order = order[:k]
+	}
+	outK := make([]int64, len(order))
+	outV := make([]float64, len(order))
+	for i, r := range order {
+		outK[i] = ck.Ints[r]
+		outV[i] = cv.Floats[r]
+	}
+	return &Table{Columns: []Column{
+		{Name: key, Kind: Int64, Ints: outK},
+		{Name: value, Kind: Float64, Floats: outV},
+	}}, nil
+}

@@ -1,0 +1,238 @@
+package relstore
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/relevance"
+)
+
+func TestTableValidate(t *testing.T) {
+	good := &Table{Columns: []Column{
+		{Name: "a", Kind: Int64, Ints: []int64{1, 2}},
+		{Name: "b", Kind: Float64, Floats: []float64{0.5, 0.7}},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid table rejected: %v", err)
+	}
+	dup := &Table{Columns: []Column{
+		{Name: "a", Kind: Int64, Ints: []int64{1}},
+		{Name: "a", Kind: Int64, Ints: []int64{2}},
+	}}
+	if err := dup.Validate(); err == nil {
+		t.Fatal("duplicate column accepted")
+	}
+	ragged := &Table{Columns: []Column{
+		{Name: "a", Kind: Int64, Ints: []int64{1, 2}},
+		{Name: "b", Kind: Int64, Ints: []int64{1}},
+	}}
+	if err := ragged.Validate(); err == nil {
+		t.Fatal("ragged table accepted")
+	}
+}
+
+func TestColTypeChecks(t *testing.T) {
+	tab, err := NewIntTable([]string{"x"}, []int64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Col("missing"); err == nil {
+		t.Fatal("missing column found")
+	}
+	if _, err := tab.floatCol("x"); err == nil {
+		t.Fatal("int column served as float")
+	}
+	if _, err := tab.intCol("x"); err != nil {
+		t.Fatalf("int column rejected: %v", err)
+	}
+}
+
+func TestHashJoinBasic(t *testing.T) {
+	left, _ := NewIntTable([]string{"src", "dst"}, []int64{0, 0, 1}, []int64{1, 2, 2})
+	right, _ := NewIntTable([]string{"src", "dst"}, []int64{1, 2, 2}, []int64{9, 8, 7})
+	out, err := HashJoin(left, right, "dst", "src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Matches: (0,1)x(1,9); (0,2)x(2,8),(2,7); (1,2)x(2,8),(2,7) = 5 rows.
+	if out.NumRows() != 5 {
+		t.Fatalf("join rows = %d, want 5", out.NumRows())
+	}
+	// Collided column name gets prefixed.
+	if _, err := out.Col("right_dst"); err != nil {
+		t.Fatalf("right_dst missing: %v", err)
+	}
+}
+
+func TestHashJoinNoMatches(t *testing.T) {
+	left, _ := NewIntTable([]string{"k", "v"}, []int64{1}, []int64{2})
+	right, _ := NewIntTable([]string{"k", "w"}, []int64{5}, []int64{6})
+	out, err := HashJoin(left, right, "k", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 0 {
+		t.Fatalf("join of disjoint keys produced %d rows", out.NumRows())
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	tab, _ := NewIntTable([]string{"a", "b"},
+		[]int64{1, 1, 2, 1, 2}, []int64{5, 5, 6, 7, 6})
+	out, err := Distinct(tab, "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 3 {
+		t.Fatalf("distinct rows = %d, want 3", out.NumRows())
+	}
+}
+
+func TestUnionAllSchemaChecks(t *testing.T) {
+	a, _ := NewIntTable([]string{"x", "y"}, []int64{1}, []int64{2})
+	b, _ := NewIntTable([]string{"x", "y"}, []int64{3, 4}, []int64{5, 6})
+	out, err := UnionAll(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 3 {
+		t.Fatalf("union rows = %d, want 3", out.NumRows())
+	}
+	mismatched, _ := NewIntTable([]string{"x", "z"}, []int64{1}, []int64{2})
+	if _, err := UnionAll(a, mismatched); err == nil {
+		t.Fatal("schema mismatch accepted")
+	}
+}
+
+func TestGroupBySumAndCount(t *testing.T) {
+	tab := &Table{Columns: []Column{
+		{Name: "k", Kind: Int64, Ints: []int64{2, 1, 2, 1, 2}},
+		{Name: "v", Kind: Float64, Floats: []float64{1, 2, 3, 4, 5}},
+	}}
+	sums, err := GroupBySum(tab, "k", "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keys sorted ascending: 1 -> 6, 2 -> 9.
+	kc, _ := sums.intCol("k")
+	vc, _ := sums.floatCol("sum")
+	if kc.Ints[0] != 1 || vc.Floats[0] != 6 || kc.Ints[1] != 2 || vc.Floats[1] != 9 {
+		t.Fatalf("GroupBySum = %v / %v", kc.Ints, vc.Floats)
+	}
+	counts, err := GroupByCount(tab, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, _ := counts.floatCol("count")
+	if cc.Floats[0] != 2 || cc.Floats[1] != 3 {
+		t.Fatalf("GroupByCount = %v", cc.Floats)
+	}
+}
+
+func TestOrderByLimit(t *testing.T) {
+	tab := &Table{Columns: []Column{
+		{Name: "k", Kind: Int64, Ints: []int64{10, 20, 30, 40}},
+		{Name: "v", Kind: Float64, Floats: []float64{1, 3, 3, 2}},
+	}}
+	out, err := OrderByLimit(tab, "k", "v", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kc, _ := out.intCol("k")
+	// Ties at 3 break toward the smaller key: 20 before 30.
+	want := []int64{20, 30, 40}
+	for i, w := range want {
+		if kc.Ints[i] != w {
+			t.Fatalf("OrderByLimit keys = %v, want %v", kc.Ints, want)
+		}
+	}
+	if _, err := OrderByLimit(tab, "k", "v", -1); err == nil {
+		t.Fatal("negative limit accepted")
+	}
+	all, _ := OrderByLimit(tab, "k", "v", 100)
+	if all.NumRows() != 4 {
+		t.Fatalf("limit beyond size returned %d rows", all.NumRows())
+	}
+}
+
+func TestEdgeAndScoreTables(t *testing.T) {
+	g := gen.ErdosRenyi(20, 40, 1)
+	edges := EdgeTable(g)
+	if edges.NumRows() != g.NumArcs() {
+		t.Fatalf("edge table rows = %d, want %d arcs", edges.NumRows(), g.NumArcs())
+	}
+	scores := relevance.Uniform(20, 0.5)
+	st := ScoreTable(scores)
+	if st.NumRows() != 20 {
+		t.Fatalf("score table rows = %d", st.NumRows())
+	}
+}
+
+// TestRelationalPlanMatchesGraphEngine is the point of this package: the
+// SQL-style plan must produce exactly the same top-k answer as LONA's Base
+// so the A5 benchmark compares execution models, not semantics.
+func TestRelationalPlanMatchesGraphEngine(t *testing.T) {
+	for _, average := range []bool{false, true} {
+		for _, h := range []int{1, 2} {
+			for trial := 0; trial < 5; trial++ {
+				seed := int64(trial + 1)
+				g := gen.ErdosRenyi(60, 180, seed)
+				scores := relevance.Mixture(g, relevance.MixtureParams{BlackingRatio: 0.05}, seed)
+				e, err := core.NewEngine(g, scores, h)
+				if err != nil {
+					t.Fatal(err)
+				}
+				agg := core.Sum
+				if average {
+					agg = core.Avg
+				}
+				want, _, err := e.Base(10, agg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := NeighborhoodTopK(g, scores, h, 10, average)
+				if err != nil {
+					t.Fatal(err)
+				}
+				kc, _ := got.intCol("src")
+				vc, _ := got.floatCol("sum")
+				if len(kc.Ints) != len(want) {
+					t.Fatalf("h=%d avg=%v: %d rows, want %d", h, average, len(kc.Ints), len(want))
+				}
+				for i := range want {
+					if int(kc.Ints[i]) != want[i].Node {
+						t.Fatalf("h=%d avg=%v row %d: node %d, want %d", h, average, i, kc.Ints[i], want[i].Node)
+					}
+					if math.Abs(vc.Floats[i]-want[i].Value) > 1e-9 {
+						t.Fatalf("h=%d avg=%v row %d: value %v, want %v", h, average, i, vc.Floats[i], want[i].Value)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNeighborhoodTopKValidation(t *testing.T) {
+	g := gen.ErdosRenyi(10, 20, 3)
+	scores := relevance.Uniform(10, 0.5)
+	if _, err := NeighborhoodTopK(g, scores, 3, 5, false); err == nil {
+		t.Fatal("h=3 accepted")
+	}
+	if _, err := NeighborhoodTopK(g, scores, 2, 0, false); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := NeighborhoodTopK(g, scores[:5], 2, 5, false); err == nil {
+		t.Fatal("short score vector accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Int64.String() != "int64" || Float64.String() != "float64" {
+		t.Fatal("Kind.String wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind must still print")
+	}
+}

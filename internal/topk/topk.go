@@ -1,0 +1,127 @@
+// Package topk maintains the k highest-scoring (node, value) pairs seen so
+// far — problem P3 of the paper. It is a bounded min-heap keyed by value;
+// the heap root is the running top-k lower bound ("topklbound" in
+// Algorithm 1), the threshold every pruning rule compares against.
+package topk
+
+import "sort"
+
+// Item is a scored node.
+type Item struct {
+	Node  int
+	Value float64
+}
+
+// List keeps the k items with the highest Value. Ties are broken toward the
+// smaller node id so results are deterministic across algorithms.
+// Construct with New.
+type List struct {
+	k    int
+	heap []Item // min-heap on (Value, then reversed Node): root = weakest kept item
+}
+
+// New returns an empty List with capacity k. k must be positive.
+func New(k int) *List {
+	if k <= 0 {
+		panic("topk: k must be positive")
+	}
+	return &List{k: k, heap: make([]Item, 0, k)}
+}
+
+// K returns the configured capacity.
+func (l *List) K() int { return l.k }
+
+// Len returns the number of items currently held (<= k).
+func (l *List) Len() int { return len(l.heap) }
+
+// Full reports whether k items are held, i.e. whether Bound is meaningful
+// as a pruning threshold.
+func (l *List) Full() bool { return len(l.heap) == l.k }
+
+// Bound returns the current top-k lower bound: the k-th highest value seen,
+// or 0 if fewer than k items are held (aggregates are non-negative, so 0 is
+// the vacuous bound Algorithm 1 starts from).
+func (l *List) Bound() float64 {
+	if !l.Full() {
+		return 0
+	}
+	return l.heap[0].Value
+}
+
+// weaker reports whether a should be evicted before b: lower value first,
+// and among equal values the larger node id first (so the surviving set is
+// the smallest ids, matching sorted-order tie breaking).
+func weaker(a, b Item) bool {
+	if a.Value != b.Value {
+		return a.Value < b.Value
+	}
+	return a.Node > b.Node
+}
+
+// Offer considers (node, value) for inclusion and reports whether it was
+// kept. A full list rejects values that do not beat the current bound.
+func (l *List) Offer(node int, value float64) bool {
+	it := Item{Node: node, Value: value}
+	if len(l.heap) < l.k {
+		l.heap = append(l.heap, it)
+		l.up(len(l.heap) - 1)
+		return true
+	}
+	if !weaker(l.heap[0], it) {
+		return false
+	}
+	l.heap[0] = it
+	l.down(0)
+	return true
+}
+
+// WouldKeep reports whether Offer(node, value) would currently be kept,
+// without mutating the list.
+func (l *List) WouldKeep(node int, value float64) bool {
+	if len(l.heap) < l.k {
+		return true
+	}
+	return weaker(l.heap[0], Item{Node: node, Value: value})
+}
+
+// Items returns the kept items sorted by descending value (ascending node
+// id among ties). The returned slice is freshly allocated.
+func (l *List) Items() []Item {
+	out := make([]Item, len(l.heap))
+	copy(out, l.heap)
+	sort.Slice(out, func(i, j int) bool { return weaker(out[j], out[i]) })
+	return out
+}
+
+// Reset empties the list, keeping capacity.
+func (l *List) Reset() { l.heap = l.heap[:0] }
+
+func (l *List) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !weaker(l.heap[i], l.heap[parent]) {
+			return
+		}
+		l.heap[i], l.heap[parent] = l.heap[parent], l.heap[i]
+		i = parent
+	}
+}
+
+func (l *List) down(i int) {
+	n := len(l.heap)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && weaker(l.heap[left], l.heap[smallest]) {
+			smallest = left
+		}
+		if right < n && weaker(l.heap[right], l.heap[smallest]) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		l.heap[i], l.heap[smallest] = l.heap[smallest], l.heap[i]
+		i = smallest
+	}
+}

@@ -1,0 +1,206 @@
+package topk
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsNonPositiveK(t *testing.T) {
+	for _, k := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New(%d) did not panic", k)
+				}
+			}()
+			New(k)
+		}()
+	}
+}
+
+func TestBoundBeforeFull(t *testing.T) {
+	l := New(3)
+	if l.Bound() != 0 {
+		t.Fatalf("empty Bound = %v, want 0", l.Bound())
+	}
+	l.Offer(1, 5)
+	l.Offer(2, 7)
+	if l.Full() {
+		t.Fatal("list full with 2 of 3 items")
+	}
+	if l.Bound() != 0 {
+		t.Fatalf("partial Bound = %v, want 0 (vacuous)", l.Bound())
+	}
+	l.Offer(3, 1)
+	if !l.Full() {
+		t.Fatal("list not full with 3 items")
+	}
+	if l.Bound() != 1 {
+		t.Fatalf("Bound = %v, want 1", l.Bound())
+	}
+}
+
+func TestOfferEvictsWeakest(t *testing.T) {
+	l := New(2)
+	l.Offer(10, 1)
+	l.Offer(20, 2)
+	if kept := l.Offer(30, 3); !kept {
+		t.Fatal("stronger item rejected")
+	}
+	if kept := l.Offer(40, 0.5); kept {
+		t.Fatal("weaker item kept")
+	}
+	items := l.Items()
+	if len(items) != 2 || items[0].Node != 30 || items[1].Node != 20 {
+		t.Fatalf("Items = %v, want [{30 3} {20 2}]", items)
+	}
+}
+
+func TestTieBreakPrefersSmallerNode(t *testing.T) {
+	l := New(2)
+	l.Offer(5, 1)
+	l.Offer(9, 1)
+	l.Offer(2, 1) // same value, smaller id: must displace node 9
+	items := l.Items()
+	if items[0].Node != 2 || items[1].Node != 5 {
+		t.Fatalf("tie-break Items = %v, want nodes [2 5]", items)
+	}
+	if kept := l.Offer(7, 1); kept {
+		t.Fatal("equal value with larger id than every kept node was accepted")
+	}
+}
+
+func TestItemsSortedDescending(t *testing.T) {
+	l := New(5)
+	values := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	for node, v := range values {
+		l.Offer(node, v)
+	}
+	items := l.Items()
+	for i := 1; i < len(items); i++ {
+		if items[i].Value > items[i-1].Value {
+			t.Fatalf("Items not sorted: %v", items)
+		}
+	}
+	if items[0].Value != 9 {
+		t.Fatalf("top value = %v, want 9", items[0].Value)
+	}
+}
+
+func TestReset(t *testing.T) {
+	l := New(2)
+	l.Offer(1, 10)
+	l.Reset()
+	if l.Len() != 0 || l.Full() {
+		t.Fatal("Reset did not clear")
+	}
+	if l.Bound() != 0 {
+		t.Fatal("Bound after Reset is not vacuous")
+	}
+}
+
+func TestWouldKeepMatchesOffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	l := New(4)
+	for i := 0; i < 500; i++ {
+		node := rng.Intn(100)
+		value := float64(rng.Intn(20))
+		would := l.WouldKeep(node, value)
+		did := l.Offer(node, value)
+		if would != did {
+			t.Fatalf("step %d: WouldKeep=%v but Offer=%v for (%d,%v)", i, would, did, node, value)
+		}
+	}
+}
+
+// referenceTopK computes the expected result by full sort under the
+// (value desc, node asc) comparator.
+func referenceTopK(items []Item, k int) []Item {
+	sorted := append([]Item(nil), items...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Value != sorted[j].Value {
+			return sorted[i].Value > sorted[j].Value
+		}
+		return sorted[i].Node < sorted[j].Node
+	})
+	if len(sorted) > k {
+		sorted = sorted[:k]
+	}
+	return sorted
+}
+
+func equalItems(a, b []Item) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAgainstReferenceRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(8)
+		n := rng.Intn(50)
+		l := New(k)
+		all := make([]Item, 0, n)
+		for node := 0; node < n; node++ {
+			v := float64(rng.Intn(10)) / 2 // force ties
+			all = append(all, Item{Node: node, Value: v})
+			l.Offer(node, v)
+		}
+		want := referenceTopK(all, k)
+		got := l.Items()
+		if !equalItems(got, want) {
+			t.Fatalf("trial %d (k=%d,n=%d): got %v want %v", trial, k, n, got, want)
+		}
+	}
+}
+
+func TestOrderIndependence(t *testing.T) {
+	// The kept set must be a pure function of the offered multiset: offer
+	// the same items in shuffled orders and demand identical results.
+	rng := rand.New(rand.NewSource(3))
+	base := make([]Item, 60)
+	for i := range base {
+		base[i] = Item{Node: i, Value: float64(rng.Intn(6))}
+	}
+	l := New(7)
+	for _, it := range base {
+		l.Offer(it.Node, it.Value)
+	}
+	want := l.Items()
+	for shuffle := 0; shuffle < 20; shuffle++ {
+		perm := rng.Perm(len(base))
+		l2 := New(7)
+		for _, idx := range perm {
+			l2.Offer(base[idx].Node, base[idx].Value)
+		}
+		if got := l2.Items(); !equalItems(got, want) {
+			t.Fatalf("shuffle %d: got %v want %v", shuffle, got, want)
+		}
+	}
+}
+
+func TestQuickHeapMatchesReference(t *testing.T) {
+	property := func(raw []uint8, kRaw uint8) bool {
+		k := int(kRaw%10) + 1
+		l := New(k)
+		all := make([]Item, len(raw))
+		for node, r := range raw {
+			v := float64(r % 16)
+			all[node] = Item{Node: node, Value: v}
+			l.Offer(node, v)
+		}
+		return equalItems(l.Items(), referenceTopK(all, k))
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,204 @@
+// Package lona is the public API of this repository: a Go implementation
+// of the LONA (Local Neighborhood Aggregation) framework from "Top-K
+// Aggregation Queries over Large Networks" (Yan, He, Zhu, Han — ICDE 2010).
+//
+// A top-k neighborhood aggregation query asks: over a network with a
+// relevance score f(v) ∈ [0,1] on every node, which k nodes have the
+// highest aggregate (SUM, AVG, …) of f over their h-hop neighborhoods?
+// These queries power "popularity in your social circle" features,
+// co-expression lookups in biology, and scanner detection in network
+// security — the paper's three evaluation domains.
+//
+// # Quick start
+//
+//	g := lona.NewGraphBuilder(4, false)
+//	g.AddEdge(0, 1)
+//	g.AddEdge(1, 2)
+//	g.AddEdge(2, 3)
+//	engine, err := lona.NewEngine(g.Build(), []float64{0.9, 0.1, 0.8, 0.2}, 2)
+//	if err != nil { ... }
+//	results, stats, err := engine.TopK(lona.AlgoForward, 2, lona.Sum, nil)
+//
+// Three query strategies are provided, all returning identical answers:
+// the naive Base scan, LONA-Forward (differential-index pruning), and
+// LONA-Backward (partial score distribution with upper-bound verification)
+// — plus Algorithm 2's BackwardNaive, a parallel Base, and h-hop weighted,
+// COUNT and MAX aggregate variants.
+//
+// The examples/ directory contains runnable scenarios and cmd/lonabench
+// regenerates every figure of the paper's evaluation; see README.md and
+// EXPERIMENTS.md.
+package lona
+
+import (
+	"io"
+
+	"repro/internal/attr"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/netio"
+	"repro/internal/relevance"
+)
+
+// Graph is an immutable CSR network; build one with NewGraphBuilder or a
+// generator, or load one with ReadGraph.
+type Graph = graph.Graph
+
+// GraphBuilder accumulates edges and produces a Graph.
+type GraphBuilder = graph.Builder
+
+// NewGraphBuilder returns a builder for a graph with n nodes; undirected
+// unless directed is set.
+func NewGraphBuilder(n int, directed bool) *GraphBuilder {
+	return graph.NewBuilder(n, directed)
+}
+
+// Engine answers top-k neighborhood aggregation queries; construct with
+// NewEngine.
+type Engine = core.Engine
+
+// NewEngine validates the (graph, scores, hop-radius) triple and returns a
+// query engine. Scores must lie in [0,1], one per node.
+func NewEngine(g *Graph, scores []float64, h int) (*Engine, error) {
+	return core.NewEngine(g, scores, h)
+}
+
+// Result is one (node, value) entry of a top-k answer.
+type Result = core.Result
+
+// QueryStats reports evaluation/pruning/distribution counts for a query.
+type QueryStats = core.QueryStats
+
+// Options tunes a query (backward threshold γ, forward queue order,
+// parallelism).
+type Options = core.Options
+
+// Aggregate selects the neighborhood aggregation function.
+type Aggregate = core.Aggregate
+
+// Aggregates supported by the engine. Sum and Avg are the paper's two
+// primary functions; WeightedSum is footnote 1's distance-weighted
+// variant; Count and Max are natural extensions.
+const (
+	Sum         = core.Sum
+	Avg         = core.Avg
+	WeightedSum = core.WeightedSum
+	Count       = core.Count
+	Max         = core.Max
+)
+
+// Algorithm selects a query strategy.
+type Algorithm = core.Algorithm
+
+// Algorithms. AlgoBase is the paper's comparison baseline; AlgoForward and
+// AlgoBackward are the LONA contributions.
+const (
+	AlgoBase          = core.AlgoBase
+	AlgoBaseParallel  = core.AlgoBaseParallel
+	AlgoForward       = core.AlgoForward
+	AlgoBackwardNaive = core.AlgoBackwardNaive
+	AlgoBackward      = core.AlgoBackward
+	AlgoForwardDist   = core.AlgoForwardDist
+)
+
+// Planner chooses a query strategy from cheap input statistics, like a
+// database optimizer; see NewPlanner.
+type Planner = core.Planner
+
+// Plan is a planner decision with its rationale.
+type Plan = core.Plan
+
+// NewPlanner returns a cost-based algorithm chooser over the engine.
+func NewPlanner(e *Engine) *Planner { return core.NewPlanner(e) }
+
+// AttributeTable is the paper's node-attribute set Λ = {a1,…,at}; derive
+// relevance vectors from it with its Relevance* methods or LogisticModel.
+type AttributeTable = attr.Table
+
+// NewAttributeTable returns an empty attribute table for n nodes.
+func NewAttributeTable(n int) *AttributeTable { return attr.NewTable(n) }
+
+// LogisticModel is a classifier-style relevance function over attributes
+// (problem P1's "how likely a user is a database expert").
+type LogisticModel = attr.LogisticModel
+
+// QueueOrder selects LONA-Forward's processing order.
+type QueueOrder = core.QueueOrder
+
+// Queue orders for LONA-Forward.
+const (
+	OrderNatural    = core.OrderNatural
+	OrderDegreeDesc = core.OrderDegreeDesc
+	OrderScoreDesc  = core.OrderScoreDesc
+)
+
+// View is a materialized neighborhood-aggregate view with incremental
+// maintenance under relevance updates — the dynamic-network extension for
+// workloads like the paper's "large, dynamic intrusion network".
+type View = core.View
+
+// NewView materializes F_sum for every node and keeps it consistent under
+// UpdateScore calls at O(|S_h(v)|) per update.
+func NewView(g *Graph, scores []float64, h int) (*View, error) {
+	return core.NewView(g, scores, h)
+}
+
+// CollaborationNetwork simulates a co-authorship network in the shape of
+// the paper's cond-mat 2005 dataset (~40k nodes / ~180k edges at scale 1).
+func CollaborationNetwork(scale float64, seed int64) *Graph {
+	return gen.Collaboration(gen.DatasetScale(scale), seed)
+}
+
+// CitationNetwork simulates a patent-citation network in the shape of the
+// paper's cite75_99 dataset (scaled; see DESIGN.md §4).
+func CitationNetwork(scale float64, seed int64) *Graph {
+	return gen.Citation(gen.DatasetScale(scale), seed)
+}
+
+// IntrusionNetwork simulates a sparse hub-dominated IP contact network in
+// the shape of the paper's proprietary IPsec dataset.
+func IntrusionNetwork(scale float64, seed int64) *Graph {
+	return gen.Intrusion(gen.DatasetScale(scale), seed)
+}
+
+// CommunityNetwork builds a planted-partition graph: communities of
+// n/communities nodes each, with intra-community edge probability pin and
+// inter-community probability pout. Node u belongs to community
+// u % communities. Useful for module-structured domains such as gene
+// co-expression networks.
+func CommunityNetwork(n, communities int, pin, pout float64, seed int64) *Graph {
+	return gen.PlantedPartition(n, communities, pin, pout, seed)
+}
+
+// MixtureScores builds the paper's evaluation relevance function: an
+// exponential random assignment with the given blacking ratio r (fraction
+// of nodes pinned to 1) blended with a random-walk smoothing over g.
+func MixtureScores(g *Graph, blackingRatio float64, seed int64) []float64 {
+	return relevance.Mixture(g, relevance.MixtureParams{BlackingRatio: blackingRatio}, seed)
+}
+
+// BinaryScores builds a sparse 0/1 relevance vector with the given
+// blacking ratio.
+func BinaryScores(n int, blackingRatio float64, seed int64) []float64 {
+	return relevance.Binary(n, blackingRatio, seed)
+}
+
+// WriteGraph writes g in the binary CSR format.
+func WriteGraph(w io.Writer, g *Graph) error { return netio.WriteBinaryGraph(w, g) }
+
+// ReadGraph reads a binary CSR graph.
+func ReadGraph(r io.Reader) (*Graph, error) { return netio.ReadBinaryGraph(r) }
+
+// WriteScores writes a relevance vector in binary form.
+func WriteScores(w io.Writer, scores []float64) error { return netio.WriteScores(w, scores) }
+
+// ReadScores reads a binary relevance vector.
+func ReadScores(r io.Reader) ([]float64, error) { return netio.ReadScores(r) }
+
+// ReadGML parses a GML network file (the format public archives such as
+// Newman's cond-mat 2005 use). ids maps dense node id → original GML id.
+func ReadGML(r io.Reader) (g *Graph, ids []int, err error) { return netio.ReadGML(r) }
+
+// WriteGML writes g as a GML file interoperable with standard tooling.
+func WriteGML(w io.Writer, g *Graph) error { return netio.WriteGML(w, g) }

@@ -1,0 +1,120 @@
+package lona_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	lona "repro"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	b := lona.NewGraphBuilder(4, false)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	g := b.Build()
+
+	engine, err := lona.NewEngine(g, []float64{0.9, 0.1, 0.8, 0.2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, stats, err := engine.TopK(lona.AlgoForward, 2, lona.Sum, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	// Path 0-1-2-3, h=2: F(1)=0.9+0.1+0.8+0.2=2.0 (covers all),
+	// F(2)=2.0 too; tie broken toward node 1.
+	if results[0].Node != 1 || math.Abs(results[0].Value-2.0) > 1e-12 {
+		t.Fatalf("top = %+v", results[0])
+	}
+	if stats.Evaluated == 0 {
+		t.Fatal("no work recorded")
+	}
+}
+
+func TestFacadeGenerators(t *testing.T) {
+	g := lona.CollaborationNetwork(0.01, 1)
+	if g.NumNodes() == 0 || g.NumEdges() == 0 {
+		t.Fatal("empty collaboration network")
+	}
+	c := lona.CitationNetwork(0.01, 1)
+	if c.NumNodes() == 0 {
+		t.Fatal("empty citation network")
+	}
+	i := lona.IntrusionNetwork(0.01, 1)
+	if i.NumNodes() == 0 {
+		t.Fatal("empty intrusion network")
+	}
+}
+
+func TestFacadeScores(t *testing.T) {
+	g := lona.CollaborationNetwork(0.01, 2)
+	mix := lona.MixtureScores(g, 0.05, 3)
+	if len(mix) != g.NumNodes() {
+		t.Fatal("mixture length mismatch")
+	}
+	bin := lona.BinaryScores(100, 0.25, 3)
+	ones := 0
+	for _, s := range bin {
+		if s == 1 {
+			ones++
+		}
+	}
+	if ones != 25 {
+		t.Fatalf("binary blacked %d of 100, want 25", ones)
+	}
+}
+
+func TestFacadeIO(t *testing.T) {
+	g := lona.CitationNetwork(0.005, 4)
+	var gbuf, sbuf bytes.Buffer
+	if err := lona.WriteGraph(&gbuf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := lona.ReadGraph(&gbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != g.NumNodes() || back.NumArcs() != g.NumArcs() {
+		t.Fatal("graph IO round trip mismatch")
+	}
+	scores := lona.MixtureScores(g, 0.01, 5)
+	if err := lona.WriteScores(&sbuf, scores); err != nil {
+		t.Fatal(err)
+	}
+	got, err := lona.ReadScores(&sbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(scores) {
+		t.Fatal("scores IO round trip mismatch")
+	}
+}
+
+func TestFacadeEndToEndAcrossAlgorithms(t *testing.T) {
+	g := lona.IntrusionNetwork(0.02, 6)
+	scores := lona.BinaryScores(g.NumNodes(), 0.2, 6)
+	engine, err := lona.NewEngine(g, scores, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _, err := engine.TopK(lona.AlgoBase, 10, lona.Avg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []lona.Algorithm{lona.AlgoForward, lona.AlgoBackward, lona.AlgoBackwardNaive, lona.AlgoBaseParallel} {
+		got, _, err := engine.TopK(algo, 10, lona.Avg, &lona.Options{Gamma: 0.5})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		for i := range base {
+			if math.Abs(got[i].Value-base[i].Value) > 1e-9 {
+				t.Fatalf("%v value %d: %v vs %v", algo, i, got[i].Value, base[i].Value)
+			}
+		}
+	}
+}
