@@ -5,7 +5,8 @@
 //
 // These run at a reduced dataset scale so `go test -bench=.` completes in
 // minutes on one core; `cmd/lonabench` runs the same specs at full scale
-// and writes EXPERIMENTS.md. Set LONA_BENCH_SCALE to override.
+// and writes a markdown report (-out) plus BENCH_serving.json. Set
+// LONA_BENCH_SCALE to override.
 package lona_test
 
 import (

@@ -151,37 +151,13 @@ func loadOrGenerate(graphPath, scoresPath, dataset string, scale float64, seed i
 }
 
 func parseAggregate(name string) (lona.Aggregate, error) {
-	switch name {
-	case "sum":
-		return lona.Sum, nil
-	case "avg":
-		return lona.Avg, nil
-	case "wsum":
-		return lona.WeightedSum, nil
-	case "count":
-		return lona.Count, nil
-	case "max":
-		return lona.Max, nil
-	default:
-		return 0, fmt.Errorf("unknown aggregate %q (want sum, avg, wsum, count, or max)", name)
-	}
+	return lona.ParseAggregate(name)
 }
 
 func parseAlgorithm(name string) (lona.Algorithm, error) {
-	switch name {
-	case "base":
-		return lona.AlgoBase, nil
-	case "parallel":
-		return lona.AlgoBaseParallel, nil
-	case "forward":
-		return lona.AlgoForward, nil
-	case "forward-dist":
-		return lona.AlgoForwardDist, nil
-	case "backward":
-		return lona.AlgoBackward, nil
-	case "backward-naive":
-		return lona.AlgoBackwardNaive, nil
-	default:
+	algo, err := lona.ParseAlgorithm(name)
+	if err != nil {
 		return 0, fmt.Errorf("unknown algorithm %q (want auto, base, parallel, forward, forward-dist, backward, or backward-naive)", name)
 	}
+	return algo, nil
 }

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	lona "repro"
+)
+
+func TestParseAggregate(t *testing.T) {
+	cases := []struct {
+		name    string
+		want    lona.Aggregate
+		wantErr bool
+	}{
+		{name: "sum", want: lona.Sum},
+		{name: "avg", want: lona.Avg},
+		{name: "wsum", want: lona.WeightedSum},
+		{name: "count", want: lona.Count},
+		{name: "max", want: lona.Max},
+		{name: "SUM", want: lona.Sum}, // names are case-insensitive
+		{name: "", wantErr: true},
+		{name: "median", wantErr: true},
+		{name: "sum ", wantErr: true},
+	}
+	for _, tc := range cases {
+		got, err := parseAggregate(tc.name)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("parseAggregate(%q) accepted, got %v", tc.name, got)
+			} else if !strings.Contains(err.Error(), "unknown aggregate") {
+				t.Errorf("parseAggregate(%q) error %q lacks context", tc.name, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseAggregate(%q): %v", tc.name, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("parseAggregate(%q) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	cases := []struct {
+		name    string
+		want    lona.Algorithm
+		wantErr bool
+	}{
+		{name: "base", want: lona.AlgoBase},
+		{name: "parallel", want: lona.AlgoBaseParallel},
+		{name: "forward", want: lona.AlgoForward},
+		{name: "forward-dist", want: lona.AlgoForwardDist},
+		{name: "backward", want: lona.AlgoBackward},
+		{name: "backward-naive", want: lona.AlgoBackwardNaive},
+		{name: "Forward", want: lona.AlgoForward}, // names are case-insensitive
+		{name: "", wantErr: true},
+		{name: "auto", wantErr: true}, // handled before parseAlgorithm
+		{name: "dijkstra", wantErr: true},
+	}
+	for _, tc := range cases {
+		got, err := parseAlgorithm(tc.name)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("parseAlgorithm(%q) accepted, got %v", tc.name, got)
+			} else if !strings.Contains(err.Error(), "unknown algorithm") {
+				t.Errorf("parseAlgorithm(%q) error %q lacks context", tc.name, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseAlgorithm(%q): %v", tc.name, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("parseAlgorithm(%q) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestRunGeneratedDataset drives the full CLI path on a tiny generated
+// dataset — the arg-parsing layer glued to a real query.
+func TestRunGeneratedDataset(t *testing.T) {
+	err := run("", "", "intrusion", 0.02, 7, "binary", 0.2, 5, 2, "sum", "auto", 0.2)
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if err := run("", "", "nosuch", 1, 7, "binary", 0.2, 5, 2, "sum", "auto", 0.2); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if err := run("", "", "intrusion", 0.02, 7, "binary", 0.2, 5, 2, "median", "auto", 0.2); err == nil {
+		t.Fatal("unknown aggregate accepted")
+	}
+	if err := run("", "", "", 1, 7, "binary", 0.2, 5, 2, "sum", "auto", 0.2); err == nil {
+		t.Fatal("missing inputs accepted")
+	}
+}

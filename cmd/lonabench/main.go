@@ -1,6 +1,8 @@
 // Command lonabench regenerates the paper's evaluation: Figures 1–6
-// (runtime vs top-k for SUM and AVG on the three networks) and the
-// ablation experiments A1–A6 defined in DESIGN.md. Output is markdown
+// (runtime vs top-k for SUM and AVG on the three networks), the ablation
+// experiments A1–A7 defined in DESIGN.md, and the S1 serving benchmark
+// (lonad's cold / cached / post-update latency and throughput, also
+// written as machine-readable BENCH_serving.json). Output is markdown
 // (stdout or -out file) plus optional per-experiment CSV.
 //
 // A full run at -scale 1 takes tens of minutes (the differential index for
@@ -14,6 +16,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,23 +29,24 @@ import (
 
 func main() {
 	var (
-		experiments = flag.String("experiments", "all", "comma-separated experiment ids (F1..F6, A1..A6) or 'all'")
+		experiments = flag.String("experiments", "all", "comma-separated experiment ids (F1..F6, A1..A7, S1) or 'all'")
 		scale       = flag.Float64("scale", 1.0, "dataset scale multiplier")
 		seed        = flag.Int64("seed", 20100301, "session seed")
 		repeats     = flag.Int("repeats", 1, "timed repetitions per query (min kept)")
 		workers     = flag.Int("workers", 0, "worker goroutines for index builds (0 = GOMAXPROCS)")
 		out         = flag.String("out", "", "write the markdown report to this file (default stdout)")
 		csvDir      = flag.String("csv-dir", "", "also write one CSV per experiment into this directory")
+		servingJSON = flag.String("serving-json", "BENCH_serving.json", "write the S1 serving summary to this file (empty disables)")
 		quiet       = flag.Bool("quiet", false, "suppress progress logging")
 	)
 	flag.Parse()
-	if err := run(*experiments, *scale, *seed, *repeats, *workers, *out, *csvDir, *quiet); err != nil {
+	if err := run(*experiments, *scale, *seed, *repeats, *workers, *out, *csvDir, *servingJSON, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "lonabench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiments string, scale float64, seed int64, repeats, workers int, out, csvDir string, quiet bool) error {
+func run(experiments string, scale float64, seed int64, repeats, workers int, out, csvDir, servingJSON string, quiet bool) error {
 	ids := bench.ExperimentIDs()
 	if experiments != "all" {
 		ids = nil
@@ -67,7 +71,28 @@ func run(experiments string, scale float64, seed int64, repeats, workers int, ou
 			fmt.Fprintf(os.Stderr, "running %s…\n", id)
 		}
 		start := time.Now()
-		res, err := w.Run(id)
+		var res *bench.Result
+		var err error
+		if id == "S1" {
+			// The serving benchmark also yields a machine-readable summary
+			// so the perf trajectory across PRs is tracked mechanically.
+			var summary *bench.ServingSummary
+			res, summary, err = w.RunServingDetailed()
+			if err == nil && servingJSON != "" {
+				blob, jerr := json.MarshalIndent(summary, "", "  ")
+				if jerr != nil {
+					return jerr
+				}
+				if werr := os.WriteFile(servingJSON, append(blob, '\n'), 0o644); werr != nil {
+					return fmt.Errorf("writing %s: %w", servingJSON, werr)
+				}
+				if !quiet {
+					fmt.Fprintf(os.Stderr, "wrote serving summary to %s\n", servingJSON)
+				}
+			}
+		} else {
+			res, err = w.Run(id)
+		}
 		if err != nil {
 			return fmt.Errorf("experiment %s: %w", id, err)
 		}

@@ -375,7 +375,7 @@ func ExperimentIDs() []string {
 	for _, f := range PaperFigures {
 		ids = append(ids, f.ID)
 	}
-	ids = append(ids, "A1", "A2", "A3", "A4", "A5", "A6", "A7")
+	ids = append(ids, "A1", "A2", "A3", "A4", "A5", "A6", "A7", "S1")
 	return ids
 }
 
@@ -401,6 +401,8 @@ func (w *Workspace) Run(id string) (*Result, error) {
 		return w.RunPartitioned()
 	case "A7":
 		return w.RunDistBound()
+	case "S1":
+		return w.RunServing()
 	default:
 		known := ExperimentIDs()
 		sort.Strings(known)

@@ -1,0 +1,43 @@
+package bench
+
+import "testing"
+
+// TestRunServingSmoke runs S1 on a small-but-real dataset and checks the
+// acceptance bar: cached-query p50 at least 10× below cold-query p50. The
+// gap is normally three orders of magnitude (a map lookup vs a pruned
+// engine query), so 10× leaves ample headroom for noisy CI machines.
+func TestRunServingSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serving benchmark takes seconds")
+	}
+	w := NewWorkspace(Config{Scale: 0.1, Seed: 42, Workers: 2})
+	res, sum, err := w.RunServingDetailed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "S1" || len(res.Rows) != 3 {
+		t.Fatalf("unexpected result shape: id=%s rows=%d", res.ID, len(res.Rows))
+	}
+	for _, label := range []string{"cold", "cached", "post-update"} {
+		if _, ok := res.cell(float64(sum.K), label); !ok {
+			t.Fatalf("missing %q row", label)
+		}
+	}
+	if sum.ColdP50US <= 0 || sum.CachedP50US <= 0 || sum.PostUpdateP50US <= 0 {
+		t.Fatalf("non-positive latencies: %+v", sum)
+	}
+	if sum.SpeedupP50 < 10 {
+		t.Fatalf("cached p50 (%.1fµs) is only %.1f× below cold p50 (%.1fµs); want >= 10×",
+			sum.CachedP50US, sum.SpeedupP50, sum.ColdP50US)
+	}
+	if sum.CachedQPS <= 0 {
+		t.Fatalf("QPS = %v", sum.CachedQPS)
+	}
+	if sum.CacheHitRate <= 0.5 {
+		t.Fatalf("hit rate %.3f suspiciously low for a repeat-heavy run", sum.CacheHitRate)
+	}
+	// The markdown/CSV renderers must accept the grid.
+	if res.Markdown() == "" || res.CSV() == "" {
+		t.Fatal("empty rendering")
+	}
+}

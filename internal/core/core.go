@@ -117,11 +117,12 @@ type Result = topk.Item
 
 // QueryStats reports what a query execution did — the quantities the
 // paper's pruning techniques are designed to shrink.
+// The JSON names are the serving API's wire format (internal/server).
 type QueryStats struct {
-	Evaluated   int // nodes whose neighborhood was exactly aggregated
-	Pruned      int // nodes skipped by a pruning bound
-	Distributed int // nodes that backward-distributed their score
-	Visited     int // total neighborhood memberships touched (BFS work)
+	Evaluated   int `json:"evaluated"`   // nodes whose neighborhood was exactly aggregated
+	Pruned      int `json:"pruned"`      // nodes skipped by a pruning bound
+	Distributed int `json:"distributed"` // nodes that backward-distributed their score
+	Visited     int `json:"visited"`     // total neighborhood memberships touched (BFS work)
 }
 
 // Options tunes a query beyond (algorithm, k, aggregate).
@@ -171,15 +172,19 @@ func (o QueueOrder) String() string {
 // construction from query time, matching the paper's treatment of the
 // differential index as precomputed.
 //
-// An Engine is safe for concurrent queries after the indexes it needs are
-// built (Prepare methods are not safe to race with queries).
+// An Engine is safe for concurrent queries; the first query to need an
+// index builds it under ixMu while racing queries wait for the result.
 type Engine struct {
 	g      *graph.Graph
 	scores []float64
 	h      int
 
-	nix *graph.NeighborhoodIndex
-	dix *graph.DifferentialIndex
+	// ixMu guards the lazy builds of the topology-only indexes, so
+	// concurrent first queries (or a long-lived server skipping eager
+	// preparation) are safe.
+	ixMu sync.Mutex
+	nix  *graph.NeighborhoodIndex
+	dix  *graph.DifferentialIndex
 
 	// Lazily built, immutable once published (scores and topology never
 	// change): processing queues per order and descending non-zero score
@@ -227,8 +232,37 @@ func (e *Engine) Scores() []float64 { return e.scores }
 // H returns the hop radius.
 func (e *Engine) H() int { return e.h }
 
+// WithScores returns a new Engine over the same (graph, h) pair with a
+// different relevance vector. The topology-only indexes (neighborhood and
+// differential) are shared with the receiver — they depend only on (G, h),
+// so a long-lived server can refresh its scores without paying index
+// construction again. Score-dependent caches (processing queues, non-zero
+// distribution lists) are rebuilt lazily by the new engine.
+func (e *Engine) WithScores(scores []float64) (*Engine, error) {
+	ne, err := NewEngine(e.g, scores, e.h)
+	if err != nil {
+		return nil, err
+	}
+	e.ixMu.Lock()
+	ne.nix = e.nix
+	ne.dix = e.dix
+	e.ixMu.Unlock()
+	return ne, nil
+}
+
+// HasDifferentialIndex reports whether the differential index is already
+// built, without building it — what the planner's "is the index free?"
+// heuristic asks.
+func (e *Engine) HasDifferentialIndex() bool {
+	e.ixMu.Lock()
+	defer e.ixMu.Unlock()
+	return e.dix != nil
+}
+
 // PrepareNeighborhoodIndex builds (or returns) the N(v) index.
 func (e *Engine) PrepareNeighborhoodIndex(workers int) *graph.NeighborhoodIndex {
+	e.ixMu.Lock()
+	defer e.ixMu.Unlock()
 	if e.nix == nil {
 		e.nix = graph.BuildNeighborhoodIndex(e.g, e.h, workers)
 	}
@@ -238,6 +272,8 @@ func (e *Engine) PrepareNeighborhoodIndex(workers int) *graph.NeighborhoodIndex 
 // PrepareDifferentialIndex builds (or returns) the per-edge differential
 // index used by LONA-Forward.
 func (e *Engine) PrepareDifferentialIndex(workers int) *graph.DifferentialIndex {
+	e.ixMu.Lock()
+	defer e.ixMu.Unlock()
 	if e.dix == nil {
 		e.dix = graph.BuildDifferentialIndex(e.g, e.h, workers)
 	}

@@ -472,3 +472,37 @@ func TestStringers(t *testing.T) {
 		t.Fatal("unknown enum values must still print")
 	}
 }
+
+// TestWithScoresSharesIndexes verifies a rebuilt engine reuses the
+// topology-only indexes and answers correctly for the new scores.
+func TestWithScoresSharesIndexes(t *testing.T) {
+	g := randomGraph(80, 240, 23)
+	e := mustEngine(t, g, randomScores(80, 23), 2)
+	nix := e.PrepareNeighborhoodIndex(0)
+	dix := e.PrepareDifferentialIndex(0)
+
+	newScores := randomScores(80, 24)
+	ne, err := e.WithScores(newScores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ne.PrepareNeighborhoodIndex(0) != nix || ne.PrepareDifferentialIndex(0) != dix {
+		t.Fatal("WithScores rebuilt the topology-only indexes instead of sharing them")
+	}
+	want, _, err := ne.Base(10, Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []Algorithm{AlgoForward, AlgoBackward, AlgoBackwardNaive, AlgoForwardDist} {
+		got, _, err := ne.TopK(algo, 10, Sum, &Options{Gamma: 0.3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameResults(got, want) {
+			t.Fatalf("%v on rebuilt engine disagrees with Base", algo)
+		}
+	}
+	if _, err := e.WithScores([]float64{0.5}); err == nil {
+		t.Fatal("WithScores accepted a wrong-length score vector")
+	}
+}

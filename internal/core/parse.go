@@ -1,0 +1,49 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseAggregate maps an aggregate's wire/flag name (case-insensitive) to
+// its enum. This is the single source of truth for the names cmd/lona's
+// flags and internal/server's JSON API accept.
+func ParseAggregate(name string) (Aggregate, error) {
+	switch strings.ToLower(name) {
+	case "sum":
+		return Sum, nil
+	case "avg":
+		return Avg, nil
+	case "wsum":
+		return WeightedSum, nil
+	case "count":
+		return Count, nil
+	case "max":
+		return Max, nil
+	default:
+		return 0, fmt.Errorf("unknown aggregate %q (want sum, avg, wsum, count, or max)", name)
+	}
+}
+
+// ParseAlgorithm maps an engine algorithm's wire/flag name
+// (case-insensitive) to its enum. Serving-level modes such as "auto" and
+// "view" are not algorithms and are handled by the callers before this
+// point.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	switch strings.ToLower(name) {
+	case "base":
+		return AlgoBase, nil
+	case "parallel":
+		return AlgoBaseParallel, nil
+	case "forward":
+		return AlgoForward, nil
+	case "forward-dist":
+		return AlgoForwardDist, nil
+	case "backward":
+		return AlgoBackward, nil
+	case "backward-naive":
+		return AlgoBackwardNaive, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q (want base, parallel, forward, forward-dist, backward, or backward-naive)", name)
+	}
+}

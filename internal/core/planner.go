@@ -48,7 +48,7 @@ func (p *Planner) Choose(k int, agg Aggregate) Plan {
 		return Plan{Algorithm: AlgoBase, Reason: "MAX has no pruning bound"}
 	}
 	if e.g.Directed() {
-		if e.dix != nil {
+		if e.HasDifferentialIndex() {
 			return Plan{Algorithm: AlgoForward, Options: Options{Order: orderForAgg(agg)},
 				Reason: "directed graph; differential index available"}
 		}
@@ -75,7 +75,7 @@ func (p *Planner) Choose(k int, agg Aggregate) Plan {
 		gamma := p.gammaKnee()
 		return Plan{Algorithm: AlgoBackward, Options: Options{Gamma: gamma},
 			Reason: fmt.Sprintf("light score mass (%.1f%% heavy): partial distribution at γ=%.2f", 100*float64(heavy)/float64(n), gamma)}
-	case e.dix != nil:
+	case e.HasDifferentialIndex():
 		return Plan{Algorithm: AlgoForward, Options: Options{Order: orderForAgg(agg)},
 			Reason: "dense scores with a prebuilt differential index"}
 	default:

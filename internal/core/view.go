@@ -24,6 +24,21 @@ import (
 // Only SUM and AVG are maintainable this way (COUNT changes only on
 // zero-crossings, which this view also handles; MAX is not decrementable
 // without recount and is unsupported).
+//
+// # Concurrency contract
+//
+// A View is NOT internally synchronized. It is safe under the standard
+// RWMutex discipline, which internal/server relies on and
+// TestViewRWMutexDiscipline verifies under the race detector:
+//
+//   - Readers (Score, Sum, TopK, ScoresCopy) may run concurrently with
+//     each other: they only load from scores/sums/counts and never touch
+//     the shared Traverser.
+//   - Writers (UpdateScore, Rebuild) require exclusive access: they mutate
+//     the materialized arrays and reuse the View's single Traverser.
+//
+// Concurrent readers with no writer are safe; any writer must exclude both
+// readers and other writers.
 type View struct {
 	g      *graph.Graph
 	h      int
@@ -68,6 +83,10 @@ func NewView(g *graph.Graph, scores []float64, h int) (*View, error) {
 
 // Score returns the current relevance of node u.
 func (v *View) Score(u int) float64 { return v.scores[u] }
+
+// ScoresCopy returns a snapshot copy of the current relevance vector —
+// what a server hands to Engine.WithScores after an update batch.
+func (v *View) ScoresCopy() []float64 { return append([]float64(nil), v.scores...) }
 
 // Sum returns the materialized F_sum(u).
 func (v *View) Sum(u int) float64 { return v.sums[u] }

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -221,3 +222,94 @@ var errMismatch = &mismatchError{}
 type mismatchError struct{}
 
 func (*mismatchError) Error() string { return "concurrent query disagreed with serial Base" }
+
+// TestViewRWMutexDiscipline exercises the concurrency contract View's doc
+// comment promises: concurrent readers, exclusive writers, safe under the
+// race detector, and consistent with a fresh engine once writes quiesce.
+func TestViewRWMutexDiscipline(t *testing.T) {
+	const n = 100
+	g := randomGraph(n, 300, 17)
+	scores := randomScores(n, 17)
+	v, err := NewView(g, scores, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.RWMutex
+	stop := make(chan struct{})
+	readErrs := make(chan error, 4)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					readErrs <- nil
+					return
+				default:
+				}
+				mu.RLock()
+				_, err := v.TopK(5, Sum)
+				_ = v.Sum(id)
+				_ = v.Score(id)
+				mu.RUnlock()
+				if err != nil {
+					readErrs <- err
+					return
+				}
+			}
+		}(i)
+	}
+
+	rng := rand.New(rand.NewSource(18))
+	for ev := 0; ev < 400; ev++ {
+		mu.Lock()
+		_, err := v.UpdateScore(rng.Intn(n), rng.Float64())
+		mu.Unlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	for i := 0; i < 4; i++ {
+		if err := <-readErrs; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Once writers quiesce, the view agrees with a fresh engine over a
+	// snapshot of its scores.
+	e := mustEngine(t, g, v.ScoresCopy(), 2)
+	want, _, err := e.Base(10, Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.TopK(10, Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameResults(got, want) {
+		t.Fatalf("post-quiesce view %v != fresh engine %v", got, want)
+	}
+}
+
+// TestViewScoresCopyIsSnapshot verifies the copy does not alias the view's
+// mutable vector.
+func TestViewScoresCopyIsSnapshot(t *testing.T) {
+	g := randomGraph(20, 40, 19)
+	v, err := NewView(g, randomScores(20, 19), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := v.ScoresCopy()
+	before := snap[3]
+	if _, err := v.UpdateScore(3, 1-before); err != nil {
+		t.Fatal(err)
+	}
+	if snap[3] != before {
+		t.Fatal("ScoresCopy aliased the view's score vector")
+	}
+}

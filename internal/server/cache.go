@@ -1,0 +1,101 @@
+package server
+
+import (
+	"container/list"
+	"hash/maphash"
+	"sync"
+)
+
+// shardedCache is a fixed-capacity LRU result cache split into shards so
+// concurrent lookups from many serving goroutines do not serialize on one
+// mutex. Keys embed the server's generation counter, so a score update —
+// which bumps the generation — implicitly invalidates every cached answer:
+// stale-generation entries are never looked up again and age out of the
+// LRU naturally. No scan-and-evict pass is ever needed.
+type shardedCache struct {
+	seed   maphash.Seed
+	shards []cacheShard
+}
+
+// cacheShard is one independently locked LRU segment.
+type cacheShard struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List               // front = most recently used
+	m   map[string]*list.Element // key -> element whose Value is *cacheEntry
+}
+
+type cacheEntry struct {
+	key string
+	val *Answer
+}
+
+// newShardedCache builds a cache with the given total capacity spread over
+// shards (both forced to sane minimums).
+func newShardedCache(capacity, shards int) *shardedCache {
+	if shards < 1 {
+		shards = 1
+	}
+	if capacity < shards {
+		capacity = shards
+	}
+	c := &shardedCache{
+		seed:   maphash.MakeSeed(),
+		shards: make([]cacheShard, shards),
+	}
+	per := (capacity + shards - 1) / shards
+	for i := range c.shards {
+		c.shards[i] = cacheShard{cap: per, ll: list.New(), m: make(map[string]*list.Element)}
+	}
+	return c
+}
+
+func (c *shardedCache) shard(key string) *cacheShard {
+	return &c.shards[maphash.String(c.seed, key)%uint64(len(c.shards))]
+}
+
+// get returns the cached answer for key, promoting it to most-recent.
+func (c *shardedCache) get(key string) (*Answer, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.m[key]
+	if !ok {
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// put inserts (or refreshes) key, evicting the shard's least-recently-used
+// entry when the shard is full.
+func (c *shardedCache) put(key string, val *Answer) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		s.ll.MoveToFront(el)
+		return
+	}
+	if s.ll.Len() >= s.cap {
+		oldest := s.ll.Back()
+		if oldest != nil {
+			s.ll.Remove(oldest)
+			delete(s.m, oldest.Value.(*cacheEntry).key)
+		}
+	}
+	s.m[key] = s.ll.PushFront(&cacheEntry{key: key, val: val})
+}
+
+// len returns the number of live entries across all shards.
+func (c *shardedCache) len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newShardedCache(4, 1) // one shard so the LRU order is global
+	ans := func(id int) *Answer { return &Answer{ElapsedUS: int64(id)} }
+	for i := 0; i < 4; i++ {
+		c.put(fmt.Sprintf("k%d", i), ans(i))
+	}
+	if c.len() != 4 {
+		t.Fatalf("len = %d, want 4", c.len())
+	}
+	// Touch k0 so k1 is now the oldest, then overflow.
+	if _, ok := c.get("k0"); !ok {
+		t.Fatal("k0 missing")
+	}
+	c.put("k4", ans(4))
+	if _, ok := c.get("k1"); ok {
+		t.Fatal("k1 should have been evicted as least-recently-used")
+	}
+	for _, key := range []string{"k0", "k2", "k3", "k4"} {
+		if _, ok := c.get(key); !ok {
+			t.Fatalf("%s missing after eviction", key)
+		}
+	}
+	// Refreshing an existing key must not grow the cache.
+	c.put("k4", ans(40))
+	if c.len() != 4 {
+		t.Fatalf("len = %d after refresh, want 4", c.len())
+	}
+	if v, _ := c.get("k4"); v.ElapsedUS != 40 {
+		t.Fatalf("refresh did not replace the value (got %d)", v.ElapsedUS)
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := newShardedCache(256, 16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (w*31+i)%100)
+				if v, ok := c.get(key); ok {
+					_ = v.ElapsedUS
+				}
+				c.put(key, &Answer{ElapsedUS: int64(i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.len() == 0 || c.len() > 100 {
+		t.Fatalf("unexpected cache size %d", c.len())
+	}
+}
+
+func TestCacheDegenerateSizes(t *testing.T) {
+	// Capacity smaller than the shard count still yields a working cache.
+	c := newShardedCache(1, 16)
+	c.put("a", &Answer{})
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("tiny cache dropped its only entry")
+	}
+	c = newShardedCache(0, 0)
+	c.put("a", &Answer{})
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("zero-config cache unusable")
+	}
+}
+
+func TestSingleflightCollapses(t *testing.T) {
+	var g flightGroup
+	var executions atomic.Int64
+	gate := make(chan struct{})    // holds the leader inside fn
+	started := make(chan struct{}) // closed once the leader is inside fn
+
+	// Leader: enters fn and blocks on the gate.
+	leaderDone := make(chan *Answer, 1)
+	go func() {
+		val, _, _ := g.do("key", func() (*Answer, error) {
+			close(started)
+			<-gate
+			executions.Add(1)
+			return &Answer{ElapsedUS: 99}, nil
+		})
+		leaderDone <- val
+	}()
+	<-started
+
+	// Waiters pile up behind the in-flight call; the leader cannot finish
+	// until the gate opens, so every waiter that reaches do() joins it.
+	const waiters = 7
+	var wg sync.WaitGroup
+	var shared atomic.Int64
+	vals := make(chan *Answer, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			val, err, wasShared := g.do("key", func() (*Answer, error) {
+				executions.Add(1)
+				return &Answer{}, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			if wasShared {
+				shared.Add(1)
+			}
+			vals <- val
+		}()
+	}
+	// Give the waiters time to block, then release the leader. A waiter
+	// that somehow had not reached do() yet re-executes fn, which the
+	// shared/executions accounting below tolerates as long as collapsing
+	// happened at all.
+	time.Sleep(50 * time.Millisecond)
+	close(gate)
+	leaderVal := <-leaderDone
+	wg.Wait()
+	close(vals)
+
+	if leaderVal == nil || leaderVal.ElapsedUS != 99 {
+		t.Fatalf("leader got %+v", leaderVal)
+	}
+	if shared.Load() == 0 {
+		t.Fatal("no caller was collapsed onto the in-flight execution")
+	}
+	if got := executions.Load(); got != 1 {
+		t.Fatalf("fn executed %d times for one key, want 1", got)
+	}
+	for val := range vals {
+		if val != leaderVal {
+			t.Fatal("a collapsed caller received a different answer than the leader")
+		}
+	}
+}

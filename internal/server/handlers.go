@@ -1,0 +1,120 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Handler returns the server's HTTP API as a standard http.Handler, ready
+// for http.Server or httptest.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/topk", s.handleTopK)
+	mux.HandleFunc("/v1/scores", s.handleScores)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/health", s.handleHealth)
+	return mux
+}
+
+// errorBody is every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(body) // the connection is the only failure mode here
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// decodeBody strictly decodes one JSON object into dst.
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("invalid request body: %w", err)
+	}
+	return nil
+}
+
+func requirePost(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req QueryRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ans, err := s.TopK(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ans)
+}
+
+// scoresRequest is the /v1/scores body.
+type scoresRequest struct {
+	Updates []ScoreUpdate `json:"updates"`
+}
+
+func (s *Server) handleScores(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req scoresRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.ApplyUpdates(req.Updates)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// healthBody is the /v1/health response.
+type healthBody struct {
+	OK         bool   `json:"ok"`
+	Nodes      int    `json:"nodes"`
+	Edges      int    `json:"edges"`
+	H          int    `json:"h"`
+	Directed   bool   `json:"directed"`
+	View       bool   `json:"view"` // materialized view present (undirected graphs)
+	Generation uint64 `json:"generation"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	g := s.engine.Graph()
+	body := healthBody{
+		OK: true, Nodes: g.NumNodes(), Edges: g.NumEdges(), H: s.engine.H(),
+		Directed: g.Directed(), View: s.view != nil, Generation: s.gen,
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, body)
+}

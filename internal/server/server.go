@@ -1,0 +1,467 @@
+// Package server is lonad's serving subsystem: a long-lived, concurrent
+// top-k query service over one (graph, relevance, h) triple. It wraps a
+// core.Engine / core.View pair behind an HTTP/JSON API:
+//
+//	POST /v1/topk   — answer a top-k query; algorithm "auto" delegates to
+//	                  the cost-based planner per request
+//	POST /v1/scores — apply a batch of relevance updates atomically
+//	GET  /v1/stats  — cache hit rate, per-algorithm latency histograms,
+//	                  summed engine work counters
+//	GET  /v1/health — liveness plus dataset shape
+//
+// # Serving architecture
+//
+// The server is a generation machine. Reads are lock-free after a brief
+// RLock to snapshot (generation, engine): each generation's Engine is
+// immutable (core guarantees concurrent queries are safe once indexes are
+// built), so queries run without holding any lock. A score batch takes the
+// write lock, repairs the materialized View incrementally (O(|S_h(v)|) per
+// update), rebuilds the Engine from a snapshot of the new scores via
+// Engine.WithScores — sharing the topology-only indexes, so rebuilds cost
+// O(n) validation, not index construction — and bumps the generation.
+//
+// Results are cached in a sharded LRU keyed by
+// (k, aggregate, algorithm, options, generation): repeats at an unchanged
+// generation are O(1), and any update invalidates implicitly because the
+// new generation changes every key — no scan-and-evict. Concurrent
+// identical cold queries collapse to one execution via singleflight.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Options tunes a Server; the zero value is a sensible default.
+type Options struct {
+	// CacheCapacity is the total result-cache capacity in entries
+	// (default 4096; <0 disables caching).
+	CacheCapacity int
+	// CacheShards is the number of independently locked cache segments
+	// (default 16).
+	CacheShards int
+	// Workers bounds index-build and parallel-scan goroutines
+	// (<=0 = GOMAXPROCS).
+	Workers int
+	// SkipIndexes skips eager index construction; the first query to need
+	// an index builds it lazily instead (core serializes racing builds).
+	// Until the differential index exists the planner avoids Forward.
+	// Intended for tests and tiny datasets.
+	SkipIndexes bool
+}
+
+// Server answers top-k queries and applies score updates; construct with
+// New and expose via Handler. All exported methods are safe for concurrent
+// use.
+type Server struct {
+	opts Options
+	g    *graph.Graph // immutable; shared by every generation's engine
+
+	// mu guards the generation state below, RWMutex-style: queries take a
+	// brief RLock to snapshot (gen, engine, view); update batches take the
+	// write lock for the duration of the view repair + engine rebuild.
+	mu     sync.RWMutex
+	gen    uint64
+	engine *core.Engine // immutable per generation; safe lock-free after snapshot
+	view   *core.View   // materialized aggregates; nil for directed graphs
+
+	cache   *shardedCache // nil when caching is disabled
+	flight  flightGroup
+	metrics *metrics
+
+	// planMu guards the per-generation plan cache. The planner's decision
+	// depends only on (scores, index presence, aggregate) — all fixed
+	// within a generation — so its O(n) statistics scan runs once per
+	// (generation, aggregate) instead of per cold query.
+	planMu  sync.Mutex
+	planGen uint64
+	plans   map[core.Aggregate]core.Plan
+}
+
+// Answer is one computed (or cached) query response body — the /v1/topk
+// wire format, and what Server.TopK returns for in-process callers.
+type Answer struct {
+	Generation uint64          `json:"generation"`
+	Algorithm  string          `json:"algorithm"` // algorithm actually executed
+	Planned    bool            `json:"planned"`   // true when "auto" chose it
+	Reason     string          `json:"reason,omitempty"`
+	Cached     bool            `json:"cached"`
+	Results    []core.Result   `json:"results"`
+	Stats      core.QueryStats `json:"stats"`
+	ElapsedUS  int64           `json:"elapsed_us"` // execution time when computed
+}
+
+// New validates the inputs and builds a ready-to-serve Server. For
+// undirected graphs a materialized View is kept alongside the Engine
+// (enabling incremental update repair and the "view" algorithm); directed
+// graphs serve engine-only and apply updates as plain score writes.
+func New(g *graph.Graph, scores []float64, h int, opts Options) (*Server, error) {
+	if opts.CacheCapacity == 0 {
+		opts.CacheCapacity = 4096
+	}
+	if opts.CacheShards <= 0 {
+		opts.CacheShards = 16
+	}
+	engine, err := core.NewEngine(g, scores, h)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{opts: opts, g: g, engine: engine, metrics: newMetrics()}
+	if opts.CacheCapacity > 0 {
+		s.cache = newShardedCache(opts.CacheCapacity, opts.CacheShards)
+	}
+	if !g.Directed() {
+		if s.view, err = core.NewView(g, scores, h); err != nil {
+			return nil, err
+		}
+	}
+	if !opts.SkipIndexes {
+		// Prepared eagerly so the first queries don't stall behind index
+		// construction; WithScores rebuilds share these, so it is one
+		// build per server lifetime, not per generation.
+		engine.PrepareNeighborhoodIndex(opts.Workers)
+		engine.PrepareDifferentialIndex(opts.Workers)
+	}
+	return s, nil
+}
+
+// Generation returns the current score generation (0 at startup, +1 per
+// applied update batch).
+func (s *Server) Generation() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gen
+}
+
+// QueryRequest is the decoded /v1/topk body. Aggregate and Algorithm are
+// the lowercase names cmd/lona uses; Algorithm additionally accepts "auto"
+// (the planner decides) and "view" (serve from the materialized view).
+type QueryRequest struct {
+	K         int     `json:"k"`
+	Aggregate string  `json:"aggregate"`
+	Algorithm string  `json:"algorithm,omitempty"` // default "auto"
+	Gamma     float64 `json:"gamma,omitempty"`
+	Order     string  `json:"order,omitempty"` // natural | degree-desc | score-desc
+	Workers   int     `json:"workers,omitempty"`
+}
+
+// algoView is the extra serving-only "algorithm": answer from the
+// materialized view's O(n) scan, no traversal at all.
+const algoView = "view"
+
+// normalize validates the request and fills defaults.
+func (r *QueryRequest) normalize(s *Server) (agg core.Aggregate, order core.QueueOrder, err error) {
+	if r.K <= 0 {
+		return 0, 0, fmt.Errorf("k must be positive, got %d", r.K)
+	}
+	// Canonicalize the strings that participate in the cache key.
+	r.Aggregate = strings.ToLower(r.Aggregate)
+	r.Algorithm = strings.ToLower(r.Algorithm)
+	agg, err = ParseAggregate(r.Aggregate)
+	if err != nil {
+		return 0, 0, err
+	}
+	if r.Algorithm == "" {
+		r.Algorithm = "auto"
+	}
+	switch r.Algorithm {
+	case "auto":
+	case algoView:
+		if s.view == nil {
+			return 0, 0, errors.New(`algorithm "view" requires an undirected graph`)
+		}
+	default:
+		if _, err := ParseAlgorithm(r.Algorithm); err != nil {
+			return 0, 0, err
+		}
+	}
+	switch r.Order {
+	case "", "natural":
+		order = core.OrderNatural
+	case "degree-desc":
+		order = core.OrderDegreeDesc
+	case "score-desc":
+		order = core.OrderScoreDesc
+	default:
+		return 0, 0, fmt.Errorf("unknown order %q (want natural, degree-desc, or score-desc)", r.Order)
+	}
+	if r.Gamma < 0 || r.Gamma > 1 {
+		return 0, 0, fmt.Errorf("gamma %v outside [0,1]", r.Gamma)
+	}
+	// Canonicalize option fields the chosen path ignores, so equivalent
+	// requests share one cache key and one in-flight execution: gamma only
+	// steers Backward, the queue order only steers Forward, and the
+	// auto/view paths choose their own options.
+	switch r.Algorithm {
+	case "auto", algoView:
+		r.Gamma, r.Order = 0, ""
+	default:
+		algo, _ := ParseAlgorithm(r.Algorithm)
+		if algo != core.AlgoBackward {
+			r.Gamma = 0
+		}
+		if algo != core.AlgoForward {
+			r.Order = ""
+		}
+	}
+	return agg, order, nil
+}
+
+// cacheKey identifies a query result within one generation. Everything
+// that can change the response body participates.
+func (r *QueryRequest) cacheKey(gen uint64) string {
+	var b strings.Builder
+	b.WriteString(strconv.FormatUint(gen, 10))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(r.K))
+	b.WriteByte('|')
+	b.WriteString(r.Aggregate)
+	b.WriteByte('|')
+	b.WriteString(r.Algorithm)
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatFloat(r.Gamma, 'g', -1, 64))
+	b.WriteByte('|')
+	b.WriteString(r.Order)
+	return b.String()
+}
+
+// TopK answers a query, consulting the cache first and collapsing
+// concurrent identical cold queries.
+func (s *Server) TopK(req QueryRequest) (*Answer, error) {
+	agg, order, err := req.normalize(s)
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.RLock()
+	gen, engine, view := s.gen, s.engine, s.view
+	s.mu.RUnlock()
+
+	key := req.cacheKey(gen)
+	if s.cache != nil {
+		if ans, ok := s.cache.get(key); ok {
+			s.metrics.hits.Add(1)
+			s.metrics.hist("cache").observe(0)
+			hit := *ans
+			hit.Cached = true
+			return &hit, nil
+		}
+	}
+
+	ans, err, shared := s.flight.do(key, func() (*Answer, error) {
+		return s.execute(req, agg, order, gen, engine, view)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if shared {
+		s.metrics.collapsed.Add(1)
+	} else {
+		s.metrics.misses.Add(1)
+		if s.cache != nil {
+			s.cache.put(key, ans)
+		}
+	}
+	return ans, nil
+}
+
+// execute runs the query against one generation's immutable engine (or the
+// live view, under RLock so it cannot race an update batch).
+func (s *Server) execute(req QueryRequest, agg core.Aggregate, order core.QueueOrder,
+	gen uint64, engine *core.Engine, view *core.View) (*Answer, error) {
+
+	ans := &Answer{Generation: gen, Algorithm: req.Algorithm}
+	start := time.Now()
+
+	switch req.Algorithm {
+	case algoView:
+		// The view is mutated in place by update batches, so hold the read
+		// lock for the scan (View's documented RWMutex discipline). The
+		// generation is re-read because the scan observes the live view,
+		// which may be newer than the snapshot taken for the cache key.
+		s.mu.RLock()
+		ans.Generation = s.gen
+		results, err := view.TopK(req.K, agg)
+		s.mu.RUnlock()
+		if err != nil {
+			return nil, err
+		}
+		ans.Results = results
+
+	case "auto":
+		plan := s.planFor(gen, engine, req.K, agg)
+		results, stats, err := engine.TopK(plan.Algorithm, req.K, agg, &plan.Options)
+		if err != nil {
+			return nil, err
+		}
+		ans.Results, ans.Stats = results, stats
+		ans.Algorithm = plan.Algorithm.String()
+		ans.Planned = true
+		ans.Reason = plan.Reason
+
+	default:
+		algo, _ := ParseAlgorithm(req.Algorithm) // validated in normalize
+		opts := core.Options{Gamma: req.Gamma, Order: order, Workers: req.Workers}
+		if opts.Workers <= 0 {
+			opts.Workers = s.opts.Workers
+		}
+		// Clamp wire-supplied parallelism: beyond the core count it only
+		// buys goroutine and per-worker-state overhead, and an uncapped
+		// value would let one request allocate O(n) traversers.
+		if max := runtime.GOMAXPROCS(0); opts.Workers > max {
+			opts.Workers = max
+		}
+		results, stats, err := engine.TopK(algo, req.K, agg, &opts)
+		if err != nil {
+			return nil, err
+		}
+		ans.Results, ans.Stats = results, stats
+		// Report core's canonical name so explicitly requested and
+		// planner-chosen runs share one latency histogram per algorithm.
+		ans.Algorithm = algo.String()
+	}
+
+	elapsed := time.Since(start)
+	ans.ElapsedUS = elapsed.Microseconds()
+	if ans.Results == nil {
+		ans.Results = []core.Result{}
+	}
+	s.metrics.recordQuery(ans.Algorithm, elapsed, ans.Stats)
+	return ans, nil
+}
+
+// planFor returns the planner's decision for (gen, agg), consulting the
+// plan cache first. k does not participate: Planner.Choose's heuristics
+// ignore it. Queries racing a generation bump simply recompute; only the
+// newest generation's plans are kept.
+func (s *Server) planFor(gen uint64, engine *core.Engine, k int, agg core.Aggregate) core.Plan {
+	s.planMu.Lock()
+	if s.planGen == gen {
+		if plan, ok := s.plans[agg]; ok {
+			s.planMu.Unlock()
+			return plan
+		}
+	}
+	s.planMu.Unlock()
+
+	plan := core.NewPlanner(engine).Choose(k, agg)
+
+	s.planMu.Lock()
+	if s.planGen < gen || s.plans == nil {
+		s.planGen = gen
+		s.plans = make(map[core.Aggregate]core.Plan)
+	}
+	if s.planGen == gen {
+		s.plans[agg] = plan
+	}
+	s.planMu.Unlock()
+	return plan
+}
+
+// ScoreUpdate is one relevance mutation of an update batch.
+type ScoreUpdate struct {
+	Node  int     `json:"node"`
+	Score float64 `json:"score"`
+}
+
+// UpdateResult reports what an applied batch did.
+type UpdateResult struct {
+	Generation uint64 `json:"generation"` // generation after the batch
+	Applied    int    `json:"applied"`    // mutations applied
+	Touched    int    `json:"touched"`    // aggregates repaired in the view (0 when engine-only)
+	ElapsedUS  int64  `json:"elapsed_us"`
+}
+
+// ApplyUpdates applies a score batch atomically: the batch is validated up
+// front, then applied under the write lock; the engine is rebuilt on a
+// snapshot of the new scores and the generation is bumped, implicitly
+// invalidating every cached result. Queries already in flight finish
+// against the previous generation's engine.
+func (s *Server) ApplyUpdates(updates []ScoreUpdate) (*UpdateResult, error) {
+	if len(updates) == 0 {
+		return nil, errors.New("empty update batch")
+	}
+	n := s.g.NumNodes() // the graph is immutable, so no lock for validation
+	for i, u := range updates {
+		if u.Node < 0 || u.Node >= n {
+			return nil, fmt.Errorf("update %d: node %d out of range [0,%d)", i, u.Node, n)
+		}
+		if math.IsNaN(u.Score) || u.Score < 0 || u.Score > 1 {
+			return nil, fmt.Errorf("update %d: score %v outside [0,1]", i, u.Score)
+		}
+	}
+
+	start := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	res := &UpdateResult{Applied: len(updates)}
+	var newScores []float64
+	if s.view != nil {
+		for _, u := range updates {
+			touched, err := s.view.UpdateScore(u.Node, u.Score)
+			if err != nil {
+				// Unreachable after upfront validation; surface it anyway.
+				return nil, err
+			}
+			res.Touched += touched
+		}
+		newScores = s.view.ScoresCopy()
+	} else {
+		newScores = append([]float64(nil), s.engine.Scores()...)
+		for _, u := range updates {
+			newScores[u.Node] = u.Score
+		}
+	}
+
+	engine, err := s.engine.WithScores(newScores)
+	if err != nil {
+		return nil, err
+	}
+	s.engine = engine
+	s.gen++
+	res.Generation = s.gen
+	res.ElapsedUS = time.Since(start).Microseconds()
+	s.metrics.updates.Add(1)
+	s.metrics.mutations.Add(int64(len(updates)))
+	return res, nil
+}
+
+// Stats snapshots the serving metrics.
+func (s *Server) Stats() Stats {
+	st := s.metrics.snapshot()
+	s.mu.RLock()
+	st.Generation = s.gen
+	g := s.engine.Graph()
+	st.Nodes, st.Edges, st.H = g.NumNodes(), int64(g.NumEdges()), s.engine.H()
+	s.mu.RUnlock()
+	if s.cache != nil {
+		st.Cache.Entries = s.cache.len()
+	}
+	return st
+}
+
+// ParseAggregate maps the wire name of an aggregate to core's enum; the
+// names match cmd/lona's flags.
+func ParseAggregate(name string) (core.Aggregate, error) {
+	return core.ParseAggregate(name)
+}
+
+// ParseAlgorithm maps the wire name of an engine algorithm to core's enum.
+// "auto" and "view" are serving-level modes handled before this point.
+func ParseAlgorithm(name string) (core.Algorithm, error) {
+	algo, err := core.ParseAlgorithm(name)
+	if err != nil {
+		return 0, fmt.Errorf("unknown algorithm %q (want auto, view, base, parallel, forward, forward-dist, backward, or backward-naive)", name)
+	}
+	return algo, nil
+}

@@ -1,0 +1,59 @@
+package server
+
+import (
+	"errors"
+	"sync"
+)
+
+// flightGroup collapses concurrent duplicate work: while one goroutine
+// computes the answer for a key, later callers with the same key wait for
+// that result instead of repeating the computation. This is the standard
+// singleflight pattern (x/sync/singleflight), reimplemented here because
+// the repository takes no external dependencies.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	val *Answer
+	err error
+}
+
+// do runs fn once per key among concurrent callers. shared reports whether
+// the caller received another goroutine's in-flight result.
+//
+// If fn panics, the panic propagates to the leading caller (net/http
+// recovers handler panics per-connection), but waiters are still released
+// with an error and the key is removed — a panicking query must not poison
+// its cache key forever.
+func (g *flightGroup) do(key string, fn func() (*Answer, error)) (val *Answer, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	completed := false
+	defer func() {
+		if !completed {
+			c.val, c.err = nil, errors.New("server: in-flight query panicked")
+		}
+		c.wg.Done()
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+	}()
+	c.val, c.err = fn()
+	completed = true
+	return c.val, c.err, false
+}

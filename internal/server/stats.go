@@ -1,0 +1,192 @@
+package server
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// latencyHist is a lock-free log2-bucketed latency histogram: bucket i
+// holds observations in [2^(i-1), 2^i) microseconds. Quantiles read the
+// bucket upper bound, so reported p50/p99 are conservative (within 2× of
+// the true value) — accurate enough to watch orders-of-magnitude effects
+// like cache hits vs cold queries.
+type latencyHist struct {
+	count   atomic.Int64
+	sumUS   atomic.Int64
+	buckets [48]atomic.Int64
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	i := bits.Len64(uint64(us))
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.count.Add(1)
+	h.sumUS.Add(us)
+	h.buckets[i].Add(1)
+}
+
+// quantile returns the bucket-upper-bound estimate of quantile q in [0,1].
+func (h *latencyHist) quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen > rank {
+			return float64(uint64(1) << i) // bucket upper bound in µs
+		}
+	}
+	return float64(uint64(1) << (len(h.buckets) - 1))
+}
+
+// LatencySummary is one histogram rendered for /v1/stats.
+type LatencySummary struct {
+	Count  int64   `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P99US  float64 `json:"p99_us"`
+}
+
+func (h *latencyHist) summary() LatencySummary {
+	n := h.count.Load()
+	s := LatencySummary{Count: n, P50US: h.quantile(0.50), P99US: h.quantile(0.99)}
+	if n > 0 {
+		s.MeanUS = float64(h.sumUS.Load()) / float64(n)
+	}
+	return s
+}
+
+// metrics aggregates everything /v1/stats reports. Counters are atomic;
+// the label → histogram map is guarded by mu (labels are few and stable,
+// so the map rarely grows past the first requests).
+type metrics struct {
+	start     time.Time
+	hits      atomic.Int64
+	misses    atomic.Int64
+	collapsed atomic.Int64
+	updates   atomic.Int64
+	mutations atomic.Int64
+
+	// Engine work counters summed over every executed (non-cached) query.
+	evaluated   atomic.Int64
+	pruned      atomic.Int64
+	distributed atomic.Int64
+	visited     atomic.Int64
+
+	mu    sync.RWMutex
+	hists map[string]*latencyHist
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), hists: make(map[string]*latencyHist)}
+}
+
+// hist returns the histogram for an algorithm label, creating it on first
+// use.
+func (m *metrics) hist(label string) *latencyHist {
+	m.mu.RLock()
+	h, ok := m.hists[label]
+	m.mu.RUnlock()
+	if ok {
+		return h
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h, ok = m.hists[label]; ok {
+		return h
+	}
+	h = &latencyHist{}
+	m.hists[label] = h
+	return h
+}
+
+func (m *metrics) recordQuery(label string, d time.Duration, stats core.QueryStats) {
+	m.hist(label).observe(d)
+	m.evaluated.Add(int64(stats.Evaluated))
+	m.pruned.Add(int64(stats.Pruned))
+	m.distributed.Add(int64(stats.Distributed))
+	m.visited.Add(int64(stats.Visited))
+}
+
+// CacheStats is the cache section of /v1/stats.
+type CacheStats struct {
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	HitRate   float64 `json:"hit_rate"`
+	Entries   int     `json:"entries"`
+	Collapsed int64   `json:"collapsed"` // duplicate in-flight queries absorbed by singleflight
+}
+
+// EngineStats sums the core.QueryStats of every executed query — the
+// quantities the paper's pruning bounds shrink. A healthy cache keeps
+// these flat while queries repeat.
+type EngineStats struct {
+	Evaluated   int64 `json:"evaluated"`
+	Pruned      int64 `json:"pruned"`
+	Distributed int64 `json:"distributed"`
+	Visited     int64 `json:"visited"`
+}
+
+// Stats is the full /v1/stats response.
+type Stats struct {
+	Generation    uint64                    `json:"generation"`
+	UptimeSeconds float64                   `json:"uptime_seconds"`
+	Nodes         int                       `json:"nodes"`
+	Edges         int64                     `json:"edges"`
+	H             int                       `json:"h"`
+	UpdateBatches int64                     `json:"update_batches"`
+	Mutations     int64                     `json:"mutations"`
+	Cache         CacheStats                `json:"cache"`
+	Engine        EngineStats               `json:"engine"`
+	Latency       map[string]LatencySummary `json:"latency"`
+}
+
+func (m *metrics) snapshot() Stats {
+	s := Stats{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		UpdateBatches: m.updates.Load(),
+		Mutations:     m.mutations.Load(),
+		Cache: CacheStats{
+			Hits:      m.hits.Load(),
+			Misses:    m.misses.Load(),
+			Collapsed: m.collapsed.Load(),
+		},
+		Engine: EngineStats{
+			Evaluated:   m.evaluated.Load(),
+			Pruned:      m.pruned.Load(),
+			Distributed: m.distributed.Load(),
+			Visited:     m.visited.Load(),
+		},
+		Latency: make(map[string]LatencySummary),
+	}
+	if total := s.Cache.Hits + s.Cache.Misses; total > 0 {
+		s.Cache.HitRate = float64(s.Cache.Hits) / float64(total)
+	}
+	m.mu.RLock()
+	labels := make([]string, 0, len(m.hists))
+	for label := range m.hists {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	for _, label := range labels {
+		s.Latency[label] = m.hists[label].summary()
+	}
+	m.mu.RUnlock()
+	return s
+}

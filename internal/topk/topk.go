@@ -6,10 +6,11 @@ package topk
 
 import "sort"
 
-// Item is a scored node.
+// Item is a scored node. The JSON names are the serving API's wire format
+// (internal/server).
 type Item struct {
-	Node  int
-	Value float64
+	Node  int     `json:"node"`
+	Value float64 `json:"value"`
 }
 
 // List keeps the k items with the highest Value. Ties are broken toward the

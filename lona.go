@@ -25,9 +25,10 @@
 // — plus Algorithm 2's BackwardNaive, a parallel Base, and h-hop weighted,
 // COUNT and MAX aggregate variants.
 //
-// The examples/ directory contains runnable scenarios and cmd/lonabench
-// regenerates every figure of the paper's evaluation; see README.md and
-// EXPERIMENTS.md.
+// The examples/ directory contains runnable scenarios, cmd/lonabench
+// regenerates every figure of the paper's evaluation, and cmd/lonad serves
+// queries as a long-lived daemon; see README.md for a quickstart and the
+// package map.
 package lona
 
 import (
@@ -39,6 +40,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/netio"
 	"repro/internal/relevance"
+	"repro/internal/server"
 )
 
 // Graph is an immutable CSR network; build one with NewGraphBuilder or a
@@ -112,6 +114,17 @@ type Plan = core.Plan
 // NewPlanner returns a cost-based algorithm chooser over the engine.
 func NewPlanner(e *Engine) *Planner { return core.NewPlanner(e) }
 
+// ParseAggregate maps an aggregate's flag/wire name (case-insensitive,
+// e.g. "sum", "avg") to its enum — the single name mapping shared by
+// cmd/lona and the serving API.
+func ParseAggregate(name string) (Aggregate, error) { return core.ParseAggregate(name) }
+
+// ParseAlgorithm maps an engine algorithm's flag/wire name
+// (case-insensitive, e.g. "forward", "backward-naive") to its enum.
+// Serving-level modes ("auto", "view") are not algorithms and are handled
+// by the callers.
+func ParseAlgorithm(name string) (Algorithm, error) { return core.ParseAlgorithm(name) }
+
 // AttributeTable is the paper's node-attribute set Λ = {a1,…,at}; derive
 // relevance vectors from it with its Relevance* methods or LogisticModel.
 type AttributeTable = attr.Table
@@ -142,6 +155,36 @@ type View = core.View
 // UpdateScore calls at O(|S_h(v)|) per update.
 func NewView(g *Graph, scores []float64, h int) (*View, error) {
 	return core.NewView(g, scores, h)
+}
+
+// Server is a long-lived concurrent query service over one
+// (graph, relevance, h) triple: an HTTP/JSON front-end to the engine with
+// a generation-keyed result cache, singleflight collapsing of duplicate
+// in-flight queries, live score updates repairing a materialized View, and
+// serving metrics. cmd/lonad wraps it as a daemon; construct with
+// NewServer and mount Handler() on any http.Server.
+type Server = server.Server
+
+// ServerOptions tunes a Server (cache capacity and sharding, worker
+// parallelism). The zero value is a sensible default.
+type ServerOptions = server.Options
+
+// ServerQueryRequest is a decoded /v1/topk request, usable directly
+// against Server.TopK for in-process serving.
+type ServerQueryRequest = server.QueryRequest
+
+// ServerScoreUpdate is one relevance mutation of a /v1/scores batch.
+type ServerScoreUpdate = server.ScoreUpdate
+
+// ServerAnswer is a query response — /v1/topk's wire format, returned
+// directly by Server.TopK for in-process callers.
+type ServerAnswer = server.Answer
+
+// NewServer validates the inputs and returns a ready-to-serve Server:
+// engine indexes prepared, materialized view built (undirected graphs),
+// cache and metrics initialized.
+func NewServer(g *Graph, scores []float64, h int, opts ServerOptions) (*Server, error) {
+	return server.New(g, scores, h, opts)
 }
 
 // CollaborationNetwork simulates a co-authorship network in the shape of
