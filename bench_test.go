@@ -10,6 +10,7 @@
 package lona_test
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strconv"
@@ -68,8 +69,10 @@ func benchFigure(b *testing.B, spec bench.FigureSpec) {
 			b.Run(fmt.Sprintf("%s/k=%d", algo, k), func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					if _, _, err := e.TopK(algo, k, spec.Agg,
-						&core.Options{Gamma: spec.Gamma, Order: bench.OrderFor(spec.Agg)}); err != nil {
+					if _, err := e.Run(context.Background(), core.Query{
+						Algorithm: algo, K: k, Aggregate: spec.Agg,
+						Options: core.Options{Gamma: spec.Gamma, Order: bench.OrderFor(spec.Agg)},
+					}); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -160,7 +163,7 @@ func BenchmarkA5Relational(b *testing.B) {
 	b.Run("Base", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, _, err := e.TopK(lona.AlgoBase, 100, lona.Sum, nil); err != nil {
+			if _, err := e.Run(context.Background(), lona.Query{Algorithm: lona.AlgoBase, K: 100, Aggregate: lona.Sum}); err != nil {
 				b.Fatal(err)
 			}
 		}

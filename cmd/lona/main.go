@@ -9,10 +9,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	lona "repro"
@@ -32,16 +35,24 @@ func main() {
 		aggName    = flag.String("agg", "sum", "aggregate: sum | avg | wsum | count | max")
 		algoName   = flag.String("algo", "forward", "algorithm: auto | base | parallel | forward | forward-dist | backward | backward-naive")
 		gamma      = flag.Float64("gamma", 0.2, "LONA-Backward distribution threshold γ")
+		timeout    = flag.Duration("timeout", 0, "abandon the query after this long (0 = no deadline)")
+		budget     = flag.Int("budget", 0, "max h-hop traversals before returning a best-effort answer (0 = unlimited)")
 	)
 	flag.Parse()
-	if err := run(*graphPath, *scoresPath, *dataset, *scale, *seed, *relKind, *r, *k, *h, *aggName, *algoName, *gamma); err != nil {
+
+	// Ctrl-C cancels the in-flight query cooperatively instead of killing
+	// the process mid-print.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *graphPath, *scoresPath, *dataset, *scale, *seed, *relKind, *r, *k, *h, *aggName, *algoName, *gamma, *timeout, *budget); err != nil {
 		fmt.Fprintln(os.Stderr, "lona:", err)
 		os.Exit(1)
 	}
 }
 
-func run(graphPath, scoresPath, dataset string, scale float64, seed int64,
-	relKind string, r float64, k, h int, aggName, algoName string, gamma float64) error {
+func run(ctx context.Context, graphPath, scoresPath, dataset string, scale float64, seed int64,
+	relKind string, r float64, k, h int, aggName, algoName string, gamma float64,
+	timeout time.Duration, budget int) error {
 
 	g, scores, err := loadOrGenerate(graphPath, scoresPath, dataset, scale, seed, relKind, r)
 	if err != nil {
@@ -53,22 +64,13 @@ func run(graphPath, scoresPath, dataset string, scale float64, seed int64,
 	if err != nil {
 		return err
 	}
-	engine, err := lona.NewEngine(g, scores, h)
+	algo, err := parseAlgorithm(algoName)
 	if err != nil {
 		return err
 	}
-
-	var algo lona.Algorithm
-	opts := lona.Options{Gamma: gamma, Order: lona.OrderDegreeDesc}
-	if algoName == "auto" {
-		plan := lona.NewPlanner(engine).Choose(k, agg)
-		algo, opts = plan.Algorithm, plan.Options
-		fmt.Printf("planner chose %v — %s\n", algo, plan.Reason)
-	} else {
-		algo, err = parseAlgorithm(algoName)
-		if err != nil {
-			return err
-		}
+	engine, err := lona.NewEngine(g, scores, h)
+	if err != nil {
+		return err
 	}
 	if algo == lona.AlgoForward {
 		start := time.Now()
@@ -76,18 +78,37 @@ func run(graphPath, scoresPath, dataset string, scale float64, seed int64,
 		engine.PrepareDifferentialIndex(0)
 		fmt.Printf("indexes built in %.2fs (precomputed, reusable across queries)\n", time.Since(start).Seconds())
 	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 
 	start := time.Now()
-	results, stats, err := engine.TopK(algo, k, agg, &opts)
+	ans, err := engine.Run(ctx, lona.Query{
+		Algorithm: algo,
+		K:         k,
+		Aggregate: agg,
+		Options:   lona.Options{Gamma: gamma, Order: lona.OrderDegreeDesc},
+		Budget:    budget,
+	})
 	if err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
 
+	executed := algo
+	if ans.Plan != nil {
+		executed = ans.Plan.Algorithm
+		fmt.Printf("planner chose %v — %s\n", executed, ans.Plan.Reason)
+	}
 	fmt.Printf("top-%d %s via %s in %.4fs (evaluated=%d pruned=%d distributed=%d)\n",
-		k, agg, algo, elapsed.Seconds(), stats.Evaluated, stats.Pruned, stats.Distributed)
+		k, agg, executed, elapsed.Seconds(), ans.Stats.Evaluated, ans.Stats.Pruned, ans.Stats.Distributed)
+	if ans.Truncated {
+		fmt.Printf("note: traversal budget %d exhausted — best-effort answer\n", budget)
+	}
 	fmt.Println("rank  node        F(node)")
-	for i, res := range results {
+	for i, res := range ans.Results {
 		fmt.Printf("%4d  %-10d  %.6f\n", i+1, res.Node, res.Value)
 	}
 	return nil

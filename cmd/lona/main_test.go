@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -56,8 +58,8 @@ func TestParseAlgorithm(t *testing.T) {
 		{name: "backward", want: lona.AlgoBackward},
 		{name: "backward-naive", want: lona.AlgoBackwardNaive},
 		{name: "Forward", want: lona.AlgoForward}, // names are case-insensitive
+		{name: "auto", want: lona.AlgoAuto},       // the planner chooses
 		{name: "", wantErr: true},
-		{name: "auto", wantErr: true}, // handled before parseAlgorithm
 		{name: "dijkstra", wantErr: true},
 	}
 	for _, tc := range cases {
@@ -83,17 +85,29 @@ func TestParseAlgorithm(t *testing.T) {
 // TestRunGeneratedDataset drives the full CLI path on a tiny generated
 // dataset — the arg-parsing layer glued to a real query.
 func TestRunGeneratedDataset(t *testing.T) {
-	err := run("", "", "intrusion", 0.02, 7, "binary", 0.2, 5, 2, "sum", "auto", 0.2)
+	ctx := context.Background()
+	err := run(ctx, "", "", "intrusion", 0.02, 7, "binary", 0.2, 5, 2, "sum", "auto", 0.2, 0, 0)
 	if err != nil {
 		t.Fatalf("run failed: %v", err)
 	}
-	if err := run("", "", "nosuch", 1, 7, "binary", 0.2, 5, 2, "sum", "auto", 0.2); err == nil {
+	if err := run(ctx, "", "", "nosuch", 1, 7, "binary", 0.2, 5, 2, "sum", "auto", 0.2, 0, 0); err == nil {
 		t.Fatal("unknown dataset accepted")
 	}
-	if err := run("", "", "intrusion", 0.02, 7, "binary", 0.2, 5, 2, "median", "auto", 0.2); err == nil {
+	if err := run(ctx, "", "", "intrusion", 0.02, 7, "binary", 0.2, 5, 2, "median", "auto", 0.2, 0, 0); err == nil {
 		t.Fatal("unknown aggregate accepted")
 	}
-	if err := run("", "", "", 1, 7, "binary", 0.2, 5, 2, "sum", "auto", 0.2); err == nil {
+	if err := run(ctx, "", "", "", 1, 7, "binary", 0.2, 5, 2, "sum", "auto", 0.2, 0, 0); err == nil {
 		t.Fatal("missing inputs accepted")
+	}
+}
+
+// TestRunCancelled: a pre-cancelled context aborts the query and surfaces
+// the context error through the CLI path.
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(ctx, "", "", "intrusion", 0.02, 7, "binary", 0.2, 5, 2, "sum", "base", 0.2, 0, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

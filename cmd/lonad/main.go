@@ -1,27 +1,39 @@
 // Command lonad serves top-k neighborhood aggregation queries over HTTP as
 // a long-lived daemon: a cached, concurrent front-end to the LONA engine
-// with live relevance updates.
+// with live relevance updates, per-request deadlines, and graceful
+// shutdown.
 //
 // Examples:
 //
 //	lonad -dataset collaboration -scale 0.5 -addr :8080
-//	lonad -graph collab.graph -scores collab.scores -hops 2
+//	lonad -graph collab.graph -scores collab.scores -hops 2 -drain 5s
 //
 // Endpoints (JSON):
 //
-//	POST /v1/topk   {"k":10,"aggregate":"sum","algorithm":"auto"}
+//	POST /v1/topk   {"k":10,"aggregate":"sum","algorithm":"auto",
+//	                 "timeout_ms":250,"budget":0,"candidates":[]}
 //	POST /v1/scores {"updates":[{"node":17,"score":0.9}]}
 //	GET  /v1/stats
 //	GET  /v1/health
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections, drains
+// in-flight requests for up to -drain, then cancels any queries still
+// running (they abort cooperatively via context) and exits.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	lona "repro"
@@ -38,18 +50,19 @@ func main() {
 		relKind    = flag.String("relevance", "mixture", "relevance when generating: mixture | binary")
 		r          = flag.Float64("r", 0.01, "blacking ratio when generating")
 		h          = flag.Int("hops", 2, "neighborhood radius h")
-		cacheCap   = flag.Int("cache", 4096, "result cache capacity in entries (<=0 disables)")
+		cacheBytes = flag.Int64("cache-bytes", 16<<20, "result cache capacity in approximate bytes (<=0 disables)")
 		workers    = flag.Int("workers", 0, "index-build/parallel-scan goroutines (0 = GOMAXPROCS)")
+		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline for in-flight requests")
 	)
 	flag.Parse()
-	if err := run(*addr, *graphPath, *scoresPath, *dataset, *scale, *seed, *relKind, *r, *h, *cacheCap, *workers); err != nil {
+	if err := run(*addr, *graphPath, *scoresPath, *dataset, *scale, *seed, *relKind, *r, *h, *cacheBytes, *workers, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "lonad:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, graphPath, scoresPath, dataset string, scale float64, seed int64,
-	relKind string, r float64, h, cacheCap, workers int) error {
+	relKind string, r float64, h int, cacheBytes int64, workers int, drain time.Duration) error {
 
 	g, scores, err := loadOrGenerate(graphPath, scoresPath, dataset, scale, seed, relKind, r)
 	if err != nil {
@@ -58,20 +71,81 @@ func run(addr, graphPath, scoresPath, dataset string, scale float64, seed int64,
 	log.Printf("network: %d nodes, %d edges; h=%d", g.NumNodes(), g.NumEdges(), h)
 
 	start := time.Now()
-	cache := cacheCap
-	if cache <= 0 {
-		cache = -1 // ServerOptions: negative disables, zero means default
+	if cacheBytes <= 0 {
+		cacheBytes = -1 // ServerOptions: negative disables, zero means default
 	}
 	srv, err := lona.NewServer(g, scores, h, lona.ServerOptions{
-		CacheCapacity: cache,
-		Workers:       workers,
+		CacheBytes: cacheBytes,
+		Workers:    workers,
 	})
 	if err != nil {
 		return err
 	}
 	log.Printf("server ready in %.2fs (indexes prepared, view materialized)", time.Since(start).Seconds())
-	log.Printf("serving on %s — POST /v1/topk, POST /v1/scores, GET /v1/stats, GET /v1/health", addr)
-	return http.ListenAndServe(addr, srv.Handler())
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("serving on %s — POST /v1/topk, POST /v1/scores, GET /v1/stats, GET /v1/health", ln.Addr())
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return serveUntilDone(sigCtx, srv.Handler(), ln, drain)
+}
+
+// serveUntilDone serves HTTP on ln until ctx is done (a termination
+// signal), then shuts down gracefully: stop accepting, drain in-flight
+// requests up to the drain deadline, and cancel whatever is still running
+// — in-flight engine queries observe their request contexts and abort
+// cooperatively — before force-closing.
+func serveUntilDone(ctx context.Context, handler http.Handler, ln net.Listener, drain time.Duration) error {
+	// Every request context derives from baseCtx; cancelling it aborts any
+	// engine queries still running once the drain deadline has passed. The
+	// shutdown mark lets handlers answer those with a retryable 503
+	// instead of mistaking the cancellation for a client disconnect.
+	var draining atomic.Bool
+	baseCtx, cancelQueries := context.WithCancel(context.Background())
+	baseCtx = lona.MarkServerShutdown(baseCtx, draining.Load)
+	defer cancelQueries()
+	httpSrv := &http.Server{
+		Handler:     handler,
+		BaseContext: func(net.Listener) context.Context { return baseCtx },
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutdown: draining in-flight requests (deadline %s)", drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	err := httpSrv.Shutdown(shutdownCtx)
+	// Only now do cancellations mean "the server aborted you" (503); a
+	// client that disconnected during the drain window itself still
+	// classified as a client abandonment (499).
+	draining.Store(true)
+	cancelQueries()
+	if err != nil {
+		log.Printf("shutdown: drain deadline exceeded, aborting in-flight queries")
+		// The cancelled queries return within a poll stride; give their
+		// handlers a moment to flush the 503s before force-closing.
+		flushCtx, cancelFlush := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancelFlush()
+		if err := httpSrv.Shutdown(flushCtx); err != nil {
+			_ = httpSrv.Close()
+		}
+	}
+	if serr := <-serveErr; serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+		return serr
+	}
+	log.Printf("shutdown: done")
+	return nil
 }
 
 // loadOrGenerate mirrors cmd/lona's input handling so the two binaries

@@ -1,13 +1,15 @@
 package lona_test
 
 import (
+	"context"
 	"fmt"
 
 	lona "repro"
 )
 
 // A minimal end-to-end query: build a path graph, score its nodes, and ask
-// for the top-2 nodes by 2-hop SUM.
+// for the top-2 nodes by 2-hop SUM. A Query executed by Run is the one
+// query shape everywhere; the context could carry a deadline.
 func ExampleNewEngine() {
 	b := lona.NewGraphBuilder(4, false)
 	b.AddEdge(0, 1)
@@ -17,11 +19,11 @@ func ExampleNewEngine() {
 	if err != nil {
 		panic(err)
 	}
-	results, _, err := engine.TopK(lona.AlgoForward, 2, lona.Sum, nil)
+	ans, err := engine.Run(context.Background(), lona.Query{Algorithm: lona.AlgoForward, K: 2, Aggregate: lona.Sum})
 	if err != nil {
 		panic(err)
 	}
-	for i, r := range results {
+	for i, r := range ans.Results {
 		fmt.Printf("#%d node %d F=%.1f\n", i+1, r.Node, r.Value)
 	}
 	// Output:
@@ -30,7 +32,9 @@ func ExampleNewEngine() {
 }
 
 // The planner picks BackwardNaive when almost every score is zero —
-// distribution then touches only the relevant sliver of the network.
+// distribution then touches only the relevant sliver of the network. A
+// zero Query.Algorithm (AlgoAuto) invokes it implicitly and the Answer
+// records the decision.
 func ExampleNewPlanner() {
 	b := lona.NewGraphBuilder(100, false)
 	for i := 0; i+1 < 100; i++ {
@@ -42,8 +46,11 @@ func ExampleNewPlanner() {
 	if err != nil {
 		panic(err)
 	}
-	plan := lona.NewPlanner(engine).Choose(3, lona.Sum)
-	fmt.Println(plan.Algorithm)
+	ans, err := engine.Run(context.Background(), lona.Query{K: 3, Aggregate: lona.Sum})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ans.Plan.Algorithm)
 	// Output:
 	// Backward-Naive
 }
@@ -63,11 +70,11 @@ func ExampleNewView() {
 	if _, err := view.UpdateScore(2, 1); err != nil {
 		panic(err)
 	}
-	top, err := view.TopK(1, lona.Sum)
+	top, err := view.Run(context.Background(), lona.Query{K: 1, Aggregate: lona.Sum})
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("node %d F=%.0f\n", top[0].Node, top[0].Value)
+	fmt.Printf("node %d F=%.0f\n", top.Results[0].Node, top.Results[0].Value)
 	// Output:
 	// node 1 F=1
 }

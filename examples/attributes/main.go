@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -76,12 +77,12 @@ func main() {
 	}
 
 	// The planner inspects the score distribution and picks the strategy.
-	planner := lona.NewPlanner(engine)
-	results, stats, plan, err := planner.TopK(10, lona.Sum)
+	ans, err := lona.NewPlanner(engine).Run(context.Background(), lona.Query{K: 10, Aggregate: lona.Sum})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("planner chose %v — %s\n", plan.Algorithm, plan.Reason)
+	results, stats := ans.Results, ans.Stats
+	fmt.Printf("planner chose %v — %s\n", ans.Plan.Algorithm, ans.Plan.Reason)
 	fmt.Printf("query work: evaluated=%d pruned=%d distributed=%d\n\n",
 		stats.Evaluated, stats.Pruned, stats.Distributed)
 
@@ -109,12 +110,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	euTop, _, err := euEngine.TopK(lona.AlgoBackward, 3, lona.Sum, &lona.Options{Gamma: 0.2})
+	euAns, err := euEngine.Run(context.Background(), lona.Query{
+		Algorithm: lona.AlgoBackward, K: 3, Aggregate: lona.Sum, Options: lona.Options{Gamma: 0.2},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nbest three seeds counting only EU buyers in their circles:")
-	for i, r := range euTop {
+	for i, r := range euAns.Results {
 		fmt.Printf("  #%d member %d (EU circle score %.2f)\n", i+1, r.Node, r.Value)
 	}
 }

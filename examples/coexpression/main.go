@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -56,10 +57,13 @@ func main() {
 	// COUNT: how many known genes within 2 co-expression hops. Backward
 	// processing shines here — only 25 of 3000 genes have non-zero scores,
 	// so distribution touches a sliver of the network.
-	top, stats, err := engine.TopK(lona.AlgoBackward, 15, lona.Count, &lona.Options{Gamma: 0.5})
+	ans, err := engine.Run(context.Background(), lona.Query{
+		Algorithm: lona.AlgoBackward, K: 15, Aggregate: lona.Count, Options: lona.Options{Gamma: 0.5},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	top, stats := ans.Results, ans.Stats
 	fmt.Printf("backward query stats: distributed=%d (of %d genes), verified=%d\n\n",
 		stats.Distributed, *genes, stats.Evaluated)
 
@@ -90,12 +94,14 @@ func main() {
 
 	// AVG variant: normalizing by neighborhood size ranks small, purely
 	// pathway-adjacent neighborhoods above big hubs.
-	avgTop, _, err := engine.TopK(lona.AlgoBackward, 5, lona.Avg, &lona.Options{Gamma: 0.5})
+	avgAns, err := engine.Run(context.Background(), lona.Query{
+		Algorithm: lona.AlgoBackward, K: 5, Aggregate: lona.Avg, Options: lona.Options{Gamma: 0.5},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nAVG-normalized view (pathway density rather than raw count):")
-	for i, r := range avgTop {
+	for i, r := range avgAns.Results {
 		fmt.Printf("  #%d gene %d density %.4f (module %d)\n", i+1, r.Node, r.Value, r.Node%*modules)
 	}
 }

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -38,10 +39,12 @@ func main() {
 	}
 	fmt.Printf("materialized 2-hop aggregate view in %.3fs\n\n", time.Since(begin).Seconds())
 
-	top, err := view.TopK(5, lona.Sum)
+	viewQuery := lona.Query{K: 5, Aggregate: lona.Sum}
+	ans, err := view.Run(context.Background(), viewQuery)
 	if err != nil {
 		log.Fatal(err)
 	}
+	top := ans.Results
 	fmt.Println("initial top-5 coordination hubs:")
 	for i, r := range top {
 		fmt.Printf("  #%d IP %d — %.0f flagged attackers within 2 hops\n", i+1, r.Node, r.Value)
@@ -71,10 +74,11 @@ func main() {
 		1e6*streamDur.Seconds()/float64(*events),
 		float64(totalTouched)/float64(*events))
 
-	top, err = view.TopK(5, lona.Sum)
+	ans, err = view.Run(context.Background(), viewQuery)
 	if err != nil {
 		log.Fatal(err)
 	}
+	top = ans.Results
 	fmt.Println("\ntop-5 after the event stream (always-fresh, no recomputation):")
 	for i, r := range top {
 		fmt.Printf("  #%d IP %d — %.0f flagged attackers within 2 hops\n", i+1, r.Node, r.Value)
@@ -86,10 +90,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fresh, _, err := engine.TopK(lona.AlgoBackward, 5, lona.Sum, &lona.Options{Gamma: 0.5})
+	freshAns, err := engine.Run(context.Background(), lona.Query{
+		Algorithm: lona.AlgoBackward, K: 5, Aggregate: lona.Sum, Options: lona.Options{Gamma: 0.5},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	fresh := freshAns.Results
 	fmt.Printf("\nfull re-query for comparison: %.3fs — and it agrees:\n", time.Since(begin).Seconds())
 	for i := range fresh {
 		if fresh[i].Value != top[i].Value {

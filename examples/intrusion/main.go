@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -45,19 +46,24 @@ func main() {
 	}
 
 	// Compare the naive scan against backward processing on the same query.
+	ctx := context.Background()
 	begin := time.Now()
-	baseTop, baseStats, err := engine.TopK(lona.AlgoBase, *k, lona.Sum, nil)
+	base, err := engine.Run(ctx, lona.Query{Algorithm: lona.AlgoBase, K: *k, Aggregate: lona.Sum})
 	if err != nil {
 		log.Fatal(err)
 	}
 	baseTime := time.Since(begin)
+	baseTop, baseStats := base.Results, base.Stats
 
 	begin = time.Now()
-	top, stats, err := engine.TopK(lona.AlgoBackward, *k, lona.Sum, &lona.Options{Gamma: 0.5})
+	back, err := engine.Run(ctx, lona.Query{
+		Algorithm: lona.AlgoBackward, K: *k, Aggregate: lona.Sum, Options: lona.Options{Gamma: 0.5},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	backTime := time.Since(begin)
+	top, stats := back.Results, back.Stats
 
 	fmt.Printf("naive scan:          %.4fs (evaluated %d IPs)\n", baseTime.Seconds(), baseStats.Evaluated)
 	fmt.Printf("backward processing: %.4fs (distributed %d, verified %d)\n",

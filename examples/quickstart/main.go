@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -44,26 +45,40 @@ func main() {
 
 	fmt.Println("Who has the most product-enthusiastic 2-hop circle?")
 	fmt.Println()
+	ctx := context.Background()
 	for _, algo := range []lona.Algorithm{lona.AlgoBase, lona.AlgoForward, lona.AlgoBackward, lona.AlgoBackwardNaive} {
-		results, stats, err := engine.TopK(algo, 2, lona.Sum, &lona.Options{Gamma: 0.2})
+		ans, err := engine.Run(ctx, lona.Query{
+			Algorithm: algo, K: 2, Aggregate: lona.Sum, Options: lona.Options{Gamma: 0.2},
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-15s", algo)
-		for _, r := range results {
+		for _, r := range ans.Results {
 			fmt.Printf("  person %d (F=%.2f)", r.Node, r.Value)
 		}
 		fmt.Printf("   [evaluated %d, pruned %d, distributed %d]\n",
-			stats.Evaluated, stats.Pruned, stats.Distributed)
+			ans.Stats.Evaluated, ans.Stats.Pruned, ans.Stats.Distributed)
 	}
 
 	fmt.Println()
 	fmt.Println("AVG instead of SUM rewards small, uniformly keen circles:")
-	results, _, err := engine.TopK(lona.AlgoForward, 2, lona.Avg, nil)
+	avg, err := engine.Run(ctx, lona.Query{Algorithm: lona.AlgoForward, K: 2, Aggregate: lona.Avg})
 	if err != nil {
 		log.Fatal(err)
 	}
-	for i, r := range results {
+	for i, r := range avg.Results {
 		fmt.Printf("  #%d person %d (avg %.3f over its 2-hop circle)\n", i+1, r.Node, r.Value)
 	}
+
+	// Candidates restrict who may be ranked without changing who counts:
+	// the best seed in group two, still scored over its full 2-hop circle.
+	groupTwo := lona.Query{K: 1, Aggregate: lona.Sum, Candidates: []int{5, 6, 7, 8, 9}}
+	restricted, err := engine.Run(ctx, groupTwo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Printf("best seed within group two: person %d (F=%.2f, planner chose %v)\n",
+		restricted.Results[0].Node, restricted.Results[0].Value, restricted.Plan.Algorithm)
 }

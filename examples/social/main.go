@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -56,12 +57,14 @@ func main() {
 	var outcomes []outcome
 	for _, algo := range []lona.Algorithm{lona.AlgoBase, lona.AlgoForward, lona.AlgoBackward} {
 		begin := time.Now()
-		top, stats, err := engine.TopK(algo, *k, lona.Sum,
-			&lona.Options{Gamma: 0.2, Order: lona.OrderDegreeDesc})
+		ans, err := engine.Run(context.Background(), lona.Query{
+			Algorithm: algo, K: *k, Aggregate: lona.Sum,
+			Options: lona.Options{Gamma: 0.2, Order: lona.OrderDegreeDesc},
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		outcomes = append(outcomes, outcome{algo, time.Since(begin).Seconds(), stats, top})
+		outcomes = append(outcomes, outcome{algo, time.Since(begin).Seconds(), ans.Stats, ans.Results})
 	}
 
 	fmt.Printf("%-10s %9s %11s %9s %12s\n", "algorithm", "time (s)", "evaluated", "pruned", "distributed")

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -70,8 +71,11 @@ func (w *Workspace) RunFigure(spec FigureSpec) (*Result, error) {
 		for _, algo := range figureAlgos {
 			var stats core.QueryStats
 			sec, err := w.timeQuery(func() error {
-				var err error
-				_, stats, err = e.TopK(algo, k, spec.Agg, &core.Options{Gamma: spec.Gamma, Order: OrderFor(spec.Agg)})
+				ans, err := e.Run(context.Background(), core.Query{
+					Algorithm: algo, K: k, Aggregate: spec.Agg,
+					Options: core.Options{Gamma: spec.Gamma, Order: OrderFor(spec.Agg)},
+				})
+				stats = ans.Stats
 				return err
 			})
 			if err != nil {
@@ -108,7 +112,10 @@ func (w *Workspace) RunBlackingSweep() (*Result, error) {
 		}
 		for _, algo := range figureAlgos {
 			sec, err := w.timeQuery(func() error {
-				_, _, err := e.TopK(algo, 100, core.Sum, &core.Options{Gamma: 0.2, Order: core.OrderDegreeDesc})
+				_, err := e.Run(context.Background(), core.Query{
+					Algorithm: algo, K: 100, Aggregate: core.Sum,
+					Options: core.Options{Gamma: 0.2, Order: core.OrderDegreeDesc},
+				})
 				return err
 			})
 			if err != nil {
@@ -172,7 +179,10 @@ func (w *Workspace) RunHopSweep() (*Result, error) {
 		}
 		for _, algo := range figureAlgos {
 			sec, err := w.timeQuery(func() error {
-				_, _, err := e.TopK(algo, 100, core.Sum, &core.Options{Gamma: 0.2, Order: core.OrderDegreeDesc})
+				_, err := e.Run(context.Background(), core.Query{
+					Algorithm: algo, K: 100, Aggregate: core.Sum,
+					Options: core.Options{Gamma: 0.2, Order: core.OrderDegreeDesc},
+				})
 				return err
 			})
 			if err != nil {
@@ -258,7 +268,10 @@ func (w *Workspace) RunRelational() (*Result, error) {
 
 		for _, algo := range []core.Algorithm{core.AlgoBase, core.AlgoForward} {
 			sec, err := sub.timeQuery(func() error {
-				_, _, err := e.TopK(algo, 100, core.Sum, &core.Options{Order: core.OrderDegreeDesc})
+				_, err := e.Run(context.Background(), core.Query{
+					Algorithm: algo, K: 100, Aggregate: core.Sum,
+					Options: core.Options{Order: core.OrderDegreeDesc},
+				})
 				return err
 			})
 			if err != nil {
@@ -351,8 +364,11 @@ func (w *Workspace) RunDistBound() (*Result, error) {
 			for _, algo := range []core.Algorithm{core.AlgoBase, core.AlgoForward, core.AlgoForwardDist} {
 				var stats core.QueryStats
 				sec, err := w.timeQuery(func() error {
-					var err error
-					_, stats, err = e.TopK(algo, k, core.Sum, &core.Options{Order: core.OrderDegreeDesc})
+					ans, err := e.Run(context.Background(), core.Query{
+						Algorithm: algo, K: k, Aggregate: core.Sum,
+						Options: core.Options{Order: core.OrderDegreeDesc},
+					})
+					stats = ans.Stats
 					return err
 				})
 				if err != nil {

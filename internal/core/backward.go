@@ -8,47 +8,50 @@ import (
 	"repro/internal/topk"
 )
 
-// BackwardNaive answers a top-k query with Algorithm 2: every node with a
-// non-zero score distributes it to all nodes within h hops (itself
+// runBackwardNaive answers a top-k query with Algorithm 2: every node with
+// a non-zero score distributes it to all nodes within h hops (itself
 // included), after which the accumulated values are exact and the top k
 // are selected. Its cost equals Base on dense score vectors but shrinks
 // proportionally when scores are sparse — the 0-1 binary setting the paper
 // highlights, where zero nodes "have no contribution to the aggregate
 // values" and are skipped outright.
 //
+// Candidates restrict only the final selection: every non-zero node still
+// distributes, because non-candidate scores contribute to candidate
+// aggregates.
+//
 // Requires an undirected graph: distribution relies on v ∈ S_h(u) ⇔
 // u ∈ S_h(v).
-func (e *Engine) BackwardNaive(k int, agg Aggregate) ([]Result, QueryStats, error) {
-	if err := e.checkQuery(k, agg, AlgoBackwardNaive); err != nil {
-		return nil, QueryStats{}, err
-	}
+func (e *Engine) runBackwardNaive(x *exec) (Answer, error) {
 	n := e.g.NumNodes()
+	agg := x.q.Aggregate
 	acc := make([]float64, n)
 	t := graph.NewTraverser(e.g)
 	var stats QueryStats
 
+	undistributedFrom := n // first node the budget prevented from distributing
 	for u := 0; u < n; u++ {
+		mass := e.scores[u]
+		if mass == 0 {
+			continue
+		}
+		if err := x.step(x.ctx); err != nil {
+			return Answer{}, err
+		}
+		if !x.spend() {
+			undistributedFrom = u
+			break
+		}
+		size := 0
 		switch agg {
 		case Sum, Avg:
-			mass := e.scores[u]
-			if mass == 0 {
-				continue
-			}
-			size := 0
 			t.VisitWithin(u, e.h, func(v, _ int) {
 				acc[v] += mass
 				size++
 			})
-			stats.Distributed++
-			stats.Visited += size
 		case WeightedSum:
-			mass := e.scores[u]
-			if mass == 0 {
-				continue
-			}
 			// Undirected BFS distances are symmetric, so distributing
 			// mass/dist accumulates exactly Σ f(v)/dist(u,v) at each node.
-			size := 0
 			t.VisitWithin(u, e.h, func(v, dist int) {
 				size++
 				if dist <= 1 {
@@ -57,51 +60,67 @@ func (e *Engine) BackwardNaive(k int, agg Aggregate) ([]Result, QueryStats, erro
 				}
 				acc[v] += mass / float64(dist)
 			})
-			stats.Distributed++
-			stats.Visited += size
 		case Count:
-			if e.scores[u] == 0 {
-				continue
-			}
-			size := 0
 			t.VisitWithin(u, e.h, func(v, _ int) {
 				acc[v]++
 				size++
 			})
-			stats.Distributed++
-			stats.Visited += size
 		case Max:
-			mass := e.scores[u]
-			if mass == 0 {
-				continue // zero can never raise a maximum below the 0 floor
-			}
-			size := 0
 			t.VisitWithin(u, e.h, func(v, _ int) {
 				if mass > acc[v] {
 					acc[v] = mass
 				}
 				size++
 			})
-			stats.Distributed++
-			stats.Visited += size
+		}
+		stats.Distributed++
+		stats.Visited += size
+	}
+	// Budget truncation: nodes past the cutoff never distributed, so they
+	// have not credited even their own exactly-known mass. Add it so the
+	// best-effort ranking matches runBackward's truncation fallback.
+	for v := undistributedFrom; v < n; v++ {
+		mass := e.scores[v]
+		if mass == 0 {
+			continue
+		}
+		switch agg {
+		case Sum, Avg, WeightedSum:
+			acc[v] += mass
+		case Count:
+			acc[v]++
+		case Max:
+			if mass > acc[v] {
+				acc[v] = mass
+			}
 		}
 	}
 
-	list := topk.New(k)
+	list := topk.New(x.q.K)
 	if agg == Avg {
 		nix := e.PrepareNeighborhoodIndex(0)
 		for v := 0; v < n; v++ {
-			list.Offer(v, acc[v]/float64(nix.N(v)))
+			if x.eligible(v) {
+				list.Offer(v, acc[v]/float64(nix.N(v)))
+			}
 		}
 	} else {
 		for v := 0; v < n; v++ {
-			list.Offer(v, acc[v])
+			if x.eligible(v) {
+				list.Offer(v, acc[v])
+			}
 		}
 	}
-	return list.Items(), stats, nil
+	return Answer{Results: list.Items(), Stats: stats}, nil
 }
 
-// Backward answers a top-k query with LONA-Backward: nodes whose
+// BackwardNaive is runBackwardNaive behind the positional convenience
+// signature, with no cancellation, candidates, or budget.
+func (e *Engine) BackwardNaive(k int, agg Aggregate) ([]Result, QueryStats, error) {
+	return e.positional(Query{Algorithm: AlgoBackwardNaive, K: k, Aggregate: agg})
+}
+
+// runBackward answers a top-k query with LONA-Backward: nodes whose
 // bound-score is at least gamma distribute it backward in descending score
 // order; Equation 3 (tightened — see below) then upper-bounds every node's
 // aggregate, and nodes are exactly verified in descending bound order,
@@ -117,13 +136,16 @@ func (e *Engine) BackwardNaive(k int, agg Aggregate) ([]Result, QueryStats, erro
 // gamma = 0 distributes every non-zero node, making the SUM bounds exact
 // at BackwardNaive's distribution cost; larger gamma trades bound
 // tightness for less distribution work (ablation benchmark A2 sweeps it).
-func (e *Engine) Backward(k int, agg Aggregate, gamma float64) ([]Result, QueryStats, error) {
-	if err := e.checkQuery(k, agg, AlgoBackward); err != nil {
-		return nil, QueryStats{}, err
-	}
+//
+// Candidates restrict the bound heap and the verification loop, not the
+// distribution. Both distributions and verifications spend budget; a
+// truncated run returns the best verified prefix.
+func (e *Engine) runBackward(x *exec) (Answer, error) {
+	gamma := x.q.Options.Gamma
 	if gamma < 0 || gamma > 1 {
-		return nil, QueryStats{}, fmt.Errorf("core: backward threshold γ=%v outside [0,1]", gamma)
+		return Answer{}, fmt.Errorf("core: backward threshold γ=%v outside [0,1]", gamma)
 	}
+	agg := x.q.Aggregate
 	nix := e.PrepareNeighborhoodIndex(0)
 	n := e.g.NumNodes()
 	var stats QueryStats
@@ -143,6 +165,12 @@ func (e *Engine) Backward(k int, agg Aggregate, gamma float64) ([]Result, QueryS
 	distributed := make([]bool, n)
 	t := graph.NewTraverser(e.g)
 	for _, sc := range nonZero[:cut] {
+		if err := x.step(x.ctx); err != nil {
+			return Answer{}, err
+		}
+		if !x.spend() {
+			break
+		}
 		u := int(sc.node)
 		distributed[u] = true
 		size := 0
@@ -155,13 +183,39 @@ func (e *Engine) Backward(k int, agg Aggregate, gamma float64) ([]Result, QueryS
 		stats.Distributed++
 		stats.Visited += size
 	}
+	// estimate is the best-effort value a budget-truncated run reports for
+	// an unverified node: its accumulated partial sum plus its own exactly
+	// known mass when it has not distributed. Both truncation paths below
+	// must use it — the budget-monotonicity guarantee TestRunBudgetTruncates
+	// guards depends on the two estimates agreeing.
+	estimate := func(v int) float64 {
+		est := partial[v]
+		if !distributed[v] {
+			est += e.boundScore(v, agg)
+		}
+		return finishValue(agg, est, nix.N(v))
+	}
+	if x.truncated {
+		// The partial sums are incomplete, so Equation 3 no longer bounds
+		// anything; fall back to ranking candidates by what did accumulate.
+		list := topk.New(x.q.K)
+		for v := 0; v < n; v++ {
+			if x.eligible(v) {
+				list.Offer(v, estimate(v))
+			}
+		}
+		return Answer{Results: list.Items(), Stats: stats}, nil
+	}
 
-	// Upper-bound every node (Equation 3, tightened) in the aggregate's
-	// value domain, then verify candidates in descending bound order via a
-	// max-heap — only the nodes whose bound can still beat the running
-	// k-th value are ever exactly evaluated.
-	heap := make([]backwardCandidate, n)
+	// Upper-bound every candidate (Equation 3, tightened) in the
+	// aggregate's value domain, then verify candidates in descending bound
+	// order via a max-heap — only the nodes whose bound can still beat the
+	// running k-th value are ever exactly evaluated.
+	heap := make([]backwardCandidate, 0, n)
 	for v := 0; v < n; v++ {
+		if !x.eligible(v) {
+			continue
+		}
 		unknown := float64(nix.N(v)) - float64(scanCount[v])
 		boundSum := partial[v]
 		if !distributed[v] {
@@ -171,15 +225,29 @@ func (e *Engine) Backward(k int, agg Aggregate, gamma float64) ([]Result, QueryS
 		if unknown > 0 {
 			boundSum += fRest * unknown
 		}
-		heap[v] = backwardCandidate{int32(v), finishValue(agg, boundSum, nix.N(v))}
+		heap = append(heap, backwardCandidate{int32(v), finishValue(agg, boundSum, nix.N(v))})
 	}
 	heapifyCandidates(heap)
 
 	// Stopping is strict (<) so value ties resolve identically to Base.
-	list := topk.New(k)
+	list := topk.New(x.q.K)
 	for len(heap) > 0 {
 		top := heap[0]
 		if list.Full() && top.bound < list.Bound() {
+			break
+		}
+		if err := x.step(x.ctx); err != nil {
+			return Answer{}, err
+		}
+		if !x.spend() {
+			// Budget died mid-verification. Top the list up with the
+			// unverified candidates' estimates so the best-effort answer
+			// never shrinks when the budget grows (a budget landing exactly
+			// between distribution and verification must not return fewer
+			// results than a smaller one).
+			for _, c := range heap {
+				list.Offer(int(c.node), estimate(int(c.node)))
+			}
 			break
 		}
 		heap[0] = heap[len(heap)-1]
@@ -192,7 +260,13 @@ func (e *Engine) Backward(k int, agg Aggregate, gamma float64) ([]Result, QueryS
 		stats.Visited += size
 		list.Offer(int(top.node), value)
 	}
-	return list.Items(), stats, nil
+	return Answer{Results: list.Items(), Stats: stats}, nil
+}
+
+// Backward is runBackward behind the positional convenience signature,
+// with no cancellation, candidates, or budget.
+func (e *Engine) Backward(k int, agg Aggregate, gamma float64) ([]Result, QueryStats, error) {
+	return e.positional(Query{Algorithm: AlgoBackward, K: k, Aggregate: agg, Options: Options{Gamma: gamma}})
 }
 
 // backwardCandidate is a node with its Equation 3 upper bound.

@@ -8,35 +8,54 @@ import (
 	"repro/internal/topk"
 )
 
-// Base answers a top-k query by naive forward processing: every node's
-// h-hop neighborhood is expanded and aggregated, and a size-k heap keeps
-// the best. This is the paper's "Base" comparator in Figures 1–6; its cost
-// is Θ(Σ_u work(S_h(u))) regardless of k or the score distribution.
-func (e *Engine) Base(k int, agg Aggregate) ([]Result, QueryStats, error) {
-	if err := e.checkQuery(k, agg, AlgoBase); err != nil {
-		return nil, QueryStats{}, err
-	}
+// runBase answers a top-k query by naive forward processing: every
+// candidate's h-hop neighborhood is expanded and aggregated, and a size-k
+// heap keeps the best. This is the paper's "Base" comparator in Figures
+// 1–6; its cost is Θ(Σ_u work(S_h(u))) regardless of k or the score
+// distribution.
+func (e *Engine) runBase(x *exec) (Answer, error) {
 	t := graph.NewTraverser(e.g)
-	list := topk.New(k)
+	list := topk.New(x.q.K)
 	var stats QueryStats
 	for u := 0; u < e.g.NumNodes(); u++ {
-		value, _, size := e.evaluate(t, u, agg)
+		if !x.eligible(u) {
+			continue
+		}
+		if err := x.step(x.ctx); err != nil {
+			return Answer{}, err
+		}
+		if !x.spend() {
+			break
+		}
+		value, _, size := e.evaluate(t, u, x.q.Aggregate)
 		stats.Evaluated++
 		stats.Visited += size
 		list.Offer(u, value)
 	}
-	return list.Items(), stats, nil
+	return Answer{Results: list.Items(), Stats: stats}, nil
 }
 
-// BaseParallel is Base with the node range fanned out across workers, each
-// holding its own traverser and local heap; heaps merge at the end. Results
-// are identical to Base (the top-k set is order-independent). It exists as
-// an engineering baseline: the evaluation shows LONA's pruning beats even a
-// parallel scan because pruning removes work instead of spreading it.
-func (e *Engine) BaseParallel(k int, agg Aggregate, workers int) ([]Result, QueryStats, error) {
-	if err := e.checkQuery(k, agg, AlgoBaseParallel); err != nil {
-		return nil, QueryStats{}, err
-	}
+// Base is runBase behind the positional convenience signature, with no
+// cancellation, candidates, or budget.
+func (e *Engine) Base(k int, agg Aggregate) ([]Result, QueryStats, error) {
+	return e.positional(Query{Algorithm: AlgoBase, K: k, Aggregate: agg})
+}
+
+// runBaseParallel is Base with the node range fanned out across workers,
+// each holding its own traverser and local heap; heaps merge at the end.
+// Results are identical to Base (the top-k set is order-independent). It
+// exists as an engineering baseline: the evaluation shows LONA's pruning
+// beats even a parallel scan because pruning removes work instead of
+// spreading it.
+//
+// Cancellation is per worker: each polls the shared context and bails,
+// and the merge reports the context's error. A budget is allocated
+// greedily over each worker's eligible nodes in range order, so a
+// truncated parallel scan evaluates exactly the nodes the sequential scan
+// would have — deterministic, and no budget is stranded on node ranges
+// that hold few candidates.
+func (e *Engine) runBaseParallel(x *exec) (Answer, error) {
+	workers := x.q.Options.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -45,16 +64,53 @@ func (e *Engine) BaseParallel(k int, agg Aggregate, workers int) ([]Result, Quer
 		workers = n
 	}
 	if workers <= 1 {
-		return e.Base(k, agg)
+		return e.runBase(x)
+	}
+	chunk := (n + workers - 1) / workers
+
+	// Per-worker budget slices, waterfall-allocated against each range's
+	// eligible-node count. A zero slice is a meter that is already
+	// exhausted, not an unlimited one.
+	var allocs []int
+	if x.q.Budget > 0 {
+		allocs = make([]int, workers)
+		remaining := x.q.Budget
+		for w := 0; w < workers && remaining > 0; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			eligible := hi - lo
+			if x.cand != nil {
+				eligible = 0
+				for u := lo; u < hi; u++ {
+					if x.cand[u] {
+						eligible++
+					}
+				}
+			}
+			take := eligible
+			if take > remaining {
+				take = remaining
+			}
+			allocs[w] = take
+			remaining -= take
+		}
+	}
+	meterFor := func(w int) meter {
+		if allocs == nil {
+			return meter{budget: -1}
+		}
+		return meter{budget: allocs[w]}
 	}
 
 	type partial struct {
-		items []Result
-		stats QueryStats
+		items     []Result
+		stats     QueryStats
+		truncated bool
 	}
 	parts := make([]partial, workers)
 	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		hi := lo + chunk
@@ -67,28 +123,49 @@ func (e *Engine) BaseParallel(k int, agg Aggregate, workers int) ([]Result, Quer
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			m := meterFor(w)
 			t := graph.NewTraverser(e.g)
-			list := topk.New(k)
+			list := topk.New(x.q.K)
 			var stats QueryStats
 			for u := lo; u < hi; u++ {
-				value, _, size := e.evaluate(t, u, agg)
+				if x.cand != nil && !x.cand[u] {
+					continue
+				}
+				if err := m.step(x.ctx); err != nil {
+					break // the merge re-reads ctx.Err and reports it
+				}
+				if !m.spend() {
+					break
+				}
+				value, _, size := e.evaluate(t, u, x.q.Aggregate)
 				stats.Evaluated++
 				stats.Visited += size
 				list.Offer(u, value)
 			}
-			parts[w] = partial{items: list.Items(), stats: stats}
+			parts[w] = partial{items: list.Items(), stats: stats, truncated: m.truncated}
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	if err := x.ctx.Err(); err != nil {
+		return Answer{}, err
+	}
 
-	merged := topk.New(k)
+	merged := topk.New(x.q.K)
 	var stats QueryStats
+	truncated := false
 	for _, p := range parts {
 		for _, it := range p.items {
 			merged.Offer(it.Node, it.Value)
 		}
 		stats.Evaluated += p.stats.Evaluated
 		stats.Visited += p.stats.Visited
+		truncated = truncated || p.truncated
 	}
-	return merged.Items(), stats, nil
+	return Answer{Results: merged.Items(), Stats: stats, Truncated: truncated}, nil
+}
+
+// BaseParallel is runBaseParallel behind the positional convenience
+// signature, with no cancellation, candidates, or budget.
+func (e *Engine) BaseParallel(k int, agg Aggregate, workers int) ([]Result, QueryStats, error) {
+	return e.positional(Query{Algorithm: AlgoBaseParallel, K: k, Aggregate: agg, Options: Options{Workers: workers}})
 }

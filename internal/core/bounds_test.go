@@ -202,7 +202,7 @@ func TestEquivalencePropertyQuick(t *testing.T) {
 			return false
 		}
 		for _, algo := range []Algorithm{AlgoForward, AlgoBackwardNaive, AlgoBackward} {
-			got, _, err := e.TopK(algo, k, agg, &Options{Gamma: 0.25})
+			got, _, err := topK(e, algo, k, agg, &Options{Gamma: 0.25})
 			if err != nil || !sameResults(got, want) {
 				t.Logf("seed=%d k=%d agg=%v algo=%v: got %v want %v err=%v", seed, k, agg, algo, got, want, err)
 				return false

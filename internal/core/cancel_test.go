@@ -1,0 +1,493 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/relevance"
+)
+
+// collabEngine builds the acceptance-scale engine once: the scale-0.2
+// collaboration network with the paper's mixture relevance at h=3 — a
+// query heavy enough (hundreds of milliseconds for Base) that wall-clock
+// cancellation timing dwarfs the scheduler's timer-delivery granularity.
+var (
+	collabOnce   sync.Once
+	collabShared *Engine
+)
+
+func collabEngine(t *testing.T) *Engine {
+	t.Helper()
+	collabOnce.Do(func() {
+		g := gen.Collaboration(gen.DatasetScale(0.2), 20100301)
+		scores := relevance.Mixture(g, relevance.MixtureParams{BlackingRatio: 0.01}, 20100302)
+		e, err := NewEngine(g, scores, 3)
+		if err != nil {
+			panic(err)
+		}
+		collabShared = e
+	})
+	return collabShared
+}
+
+// countingCtx counts Err() polls and reports cancellation after a preset
+// number of them. Cancelling "after half the polls the uncancelled run
+// performs" gives a deterministic mid-query cancellation, independent of
+// timer delivery and scheduler granularity (which on busy CPUs can lag a
+// real context's cancellation by several milliseconds).
+type countingCtx struct {
+	context.Context
+	calls *atomic.Int64
+	after int64 // cancel at poll number > after; 0 = never, just count
+}
+
+func (c countingCtx) Err() error {
+	n := c.calls.Add(1)
+	if c.after > 0 && n > c.after {
+		return context.Canceled
+	}
+	return c.Context.Err()
+}
+
+// cancellableQueries is every strategy with its options, each valid on the
+// undirected test graphs.
+var cancellableQueries = []Query{
+	{Algorithm: AlgoBase, K: 10, Aggregate: Sum},
+	{Algorithm: AlgoBaseParallel, K: 10, Aggregate: Sum, Options: Options{Workers: 4}},
+	{Algorithm: AlgoForward, K: 10, Aggregate: Sum, Options: Options{Order: OrderDegreeDesc}},
+	{Algorithm: AlgoForwardDist, K: 10, Aggregate: Avg},
+	{Algorithm: AlgoBackwardNaive, K: 10, Aggregate: Sum},
+	{Algorithm: AlgoBackward, K: 10, Aggregate: Sum, Options: Options{Gamma: 0.1}},
+}
+
+// TestRunPreCancelled: an already-cancelled context returns
+// context.Canceled from every algorithm before any traversal, and the
+// engine stays fully usable afterwards.
+func TestRunPreCancelled(t *testing.T) {
+	g := randomGraph(60, 180, 91)
+	e := mustEngine(t, g, randomScores(60, 91), 2)
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, q := range cancellableQueries {
+		ans, err := e.Run(cancelled, q)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%v: err = %v, want context.Canceled", q.Algorithm, err)
+		}
+		if ans.Results != nil {
+			t.Fatalf("%v: cancelled query leaked a partial answer", q.Algorithm)
+		}
+		// Reusability: the same engine answers the same query correctly.
+		want, _, err := e.Base(q.K, q.Aggregate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.Run(context.Background(), q)
+		if err != nil {
+			t.Fatalf("%v after cancel: %v", q.Algorithm, err)
+		}
+		if !sameResults(got.Results, want) {
+			t.Fatalf("%v after cancel disagreed with Base", q.Algorithm)
+		}
+	}
+	// The planner path and the View observe cancellation too.
+	if _, err := e.Run(cancelled, Query{K: 5, Aggregate: Sum}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("AlgoAuto: err = %v, want context.Canceled", err)
+	}
+	v, err := NewView(g, e.Scores(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Run(cancelled, Query{K: 5, Aggregate: Sum}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("View.Run: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunCancelMidQuery cancels every algorithm — including the parallel
+// scan's workers — deterministically halfway through its context polls:
+// the run must return context.Canceled promptly and leave the engine
+// reusable with correct answers.
+func TestRunCancelMidQuery(t *testing.T) {
+	g := randomGraph(500, 1500, 92)
+	scores := randomScores(500, 92)
+	e := mustEngine(t, g, scores, 2)
+
+	for _, q := range cancellableQueries {
+		q := q
+		t.Run(q.Algorithm.String(), func(t *testing.T) {
+			// Calibrate: count how often an uncancelled run polls.
+			var count atomic.Int64
+			if _, err := e.Run(countingCtx{Context: context.Background(), calls: &count}, q); err != nil {
+				t.Fatal(err)
+			}
+			polls := count.Load()
+			if polls < 2 {
+				t.Fatalf("%v polled the context %d times over 500 nodes; loops are not cooperative", q.Algorithm, polls)
+			}
+
+			// Cancel halfway through the polls: a genuine mid-query abort.
+			var again atomic.Int64
+			ans, err := e.Run(countingCtx{Context: context.Background(), calls: &again, after: polls / 2}, q)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("%v: err = %v, want context.Canceled", q.Algorithm, err)
+			}
+			if ans.Results != nil {
+				t.Fatalf("%v: aborted query leaked results", q.Algorithm)
+			}
+			// Promptness in poll units: the loop must stop within one poll
+			// stride of the cancellation point, not keep traversing. The
+			// parallel scan may add one lagging poll per worker.
+			if got := again.Load(); got > polls/2+int64(q.Options.Workers)+2 {
+				t.Fatalf("%v kept polling after cancellation: %d polls, cancel at %d", q.Algorithm, got, polls/2)
+			}
+
+			// The engine survives and still agrees with Base.
+			want, _, err := e.Base(q.K, q.Aggregate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := e.Run(context.Background(), q)
+			if err != nil {
+				t.Fatalf("%v after mid-query cancel: %v", q.Algorithm, err)
+			}
+			if !sameResults(got.Results, want) {
+				t.Fatalf("%v diverged from Base after a cancelled run", q.Algorithm)
+			}
+		})
+	}
+}
+
+// TestRunCancellationPromptAtScale is the wall-clock acceptance test: on
+// the scale-0.2 collaboration graph, a cancelled Engine.Run returns its
+// context error well before the uncancelled query's runtime.
+func TestRunCancellationPromptAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("acceptance-scale graph")
+	}
+	e := collabEngine(t)
+	q := Query{Algorithm: AlgoBase, K: 100, Aggregate: Sum}
+
+	start := time.Now()
+	if _, err := e.Run(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	uncancelled := time.Since(start)
+
+	// Cancel a quarter of the way in. The floor keeps the delay far above
+	// the scheduler's timer-delivery granularity (~10ms under load).
+	delay := uncancelled / 4
+	if delay < 20*time.Millisecond {
+		delay = 20 * time.Millisecond
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	timer := time.AfterFunc(delay, cancel)
+	defer timer.Stop()
+	defer cancel()
+
+	start = time.Now()
+	_, err := e.Run(ctx, q)
+	aborted := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v after %v (uncancelled %v), want context.Canceled", err, aborted, uncancelled)
+	}
+	if uncancelled > 4*delay && aborted > uncancelled/2 {
+		t.Fatalf("cancelled run took %v, want well under the uncancelled %v", aborted, uncancelled)
+	}
+
+	// The engine remains usable at full scale.
+	if _, err := e.Run(context.Background(), Query{Algorithm: AlgoBase, K: 10, Aggregate: Sum, Budget: 50}); err != nil {
+		t.Fatalf("engine unusable after scale cancellation: %v", err)
+	}
+}
+
+// TestRunDeadlineAtScale: a deadline far shorter than the query surfaces
+// context.DeadlineExceeded.
+func TestRunDeadlineAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("acceptance-scale graph")
+	}
+	e := collabEngine(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+	defer cancel()
+	_, err := e.Run(ctx, Query{Algorithm: AlgoBase, K: 100, Aggregate: Sum})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestRunBudgetTruncates: the traversal budget caps work and flags the
+// answer, an unlimited budget does not, and budget semantics hold per
+// algorithm family (evaluations for forward processing, distributions for
+// backward).
+func TestRunBudgetTruncates(t *testing.T) {
+	g := randomGraph(120, 360, 93)
+	e := mustEngine(t, g, randomScores(120, 93), 2)
+
+	full, err := e.Run(context.Background(), Query{Algorithm: AlgoBase, K: 10, Aggregate: Sum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Truncated {
+		t.Fatal("unbudgeted query reported truncation")
+	}
+	if full.Stats.Evaluated != 120 {
+		t.Fatalf("Base evaluated %d, want 120", full.Stats.Evaluated)
+	}
+
+	capped, err := e.Run(context.Background(), Query{Algorithm: AlgoBase, K: 10, Aggregate: Sum, Budget: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !capped.Truncated {
+		t.Fatal("budgeted query not flagged truncated")
+	}
+	if capped.Stats.Evaluated != 7 {
+		t.Fatalf("budget 7 evaluated %d nodes", capped.Stats.Evaluated)
+	}
+	if len(capped.Results) == 0 {
+		t.Fatal("truncated query returned no best-effort results")
+	}
+
+	// A budget at least the full work leaves the answer exact and unflagged.
+	exact, err := e.Run(context.Background(), Query{Algorithm: AlgoBase, K: 10, Aggregate: Sum, Budget: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Truncated {
+		t.Fatal("sufficient budget reported truncation")
+	}
+	if !sameResults(exact.Results, full.Results) {
+		t.Fatal("sufficient budget changed the answer")
+	}
+
+	// Parallel scan: the budget is split across workers and still capped.
+	par, err := e.Run(context.Background(), Query{Algorithm: AlgoBaseParallel, K: 10, Aggregate: Sum,
+		Options: Options{Workers: 4}, Budget: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !par.Truncated || par.Stats.Evaluated > 8 {
+		t.Fatalf("parallel budget 8: truncated=%v evaluated=%d", par.Truncated, par.Stats.Evaluated)
+	}
+
+	// Candidates concentrated in one worker's node range must not strand
+	// budget on candidate-free ranges: a budget covering the whole set
+	// yields the exact answer, untruncated (regression: an even split
+	// gave the loaded range a quarter of the budget).
+	cands := make([]int, 30)
+	for i := range cands {
+		cands[i] = i // all in the first of four worker ranges
+	}
+	seq, err := e.Run(context.Background(), Query{Algorithm: AlgoBase, K: 10, Aggregate: Sum, Candidates: cands})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parC, err := e.Run(context.Background(), Query{Algorithm: AlgoBaseParallel, K: 10, Aggregate: Sum,
+		Options: Options{Workers: 4}, Candidates: cands, Budget: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parC.Truncated {
+		t.Fatal("budget equal to the candidate count still truncated the parallel scan")
+	}
+	if !sameResults(parC.Results, seq.Results) {
+		t.Fatalf("budgeted parallel candidates diverged: %v vs %v", parC.Results, seq.Results)
+	}
+
+	// BackwardNaive truncation credits undistributed nodes' own mass, so
+	// a high-score node late in id order still ranks by at least itself.
+	bn, err := e.Run(context.Background(), Query{Algorithm: AlgoBackwardNaive, K: 120, Aggregate: Sum, Budget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bn.Truncated {
+		t.Fatal("backward-naive budget 1 not flagged truncated")
+	}
+	rank := make(map[int]float64, len(bn.Results))
+	for _, r := range bn.Results {
+		rank[r.Node] = r.Value
+	}
+	for v, s := range e.Scores() {
+		if got, ok := rank[v]; ok && got < s-1e-9 {
+			t.Fatalf("truncated backward-naive ranked node %d at %v, below its own score %v", v, got, s)
+		}
+	}
+
+	// Backward: distributions spend the same budget.
+	back, err := e.Run(context.Background(), Query{Algorithm: AlgoBackward, K: 10, Aggregate: Sum, Budget: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Truncated {
+		t.Fatal("backward budget 3 not flagged truncated")
+	}
+	if spent := back.Stats.Distributed + back.Stats.Evaluated; spent > 3 {
+		t.Fatalf("backward spent %d traversals on budget 3", spent)
+	}
+
+	if _, err := e.Run(context.Background(), Query{Algorithm: AlgoBase, K: 10, Aggregate: Sum, Budget: -1}); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+
+	// Monotonicity at the distribution/verification boundary (regression:
+	// a budget exhausted exactly between the two phases used to return an
+	// empty list while a strictly smaller budget returned a full one).
+	unbudgeted, err := e.Run(context.Background(), Query{Algorithm: AlgoBackward, K: 10, Aggregate: Sum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := unbudgeted.Stats.Distributed
+	for _, b := range []int{d - 1, d, d + 1} {
+		ans, err := e.Run(context.Background(), Query{Algorithm: AlgoBackward, K: 10, Aggregate: Sum, Budget: b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ans.Results) != 10 {
+			t.Fatalf("backward budget %d (distributions=%d) returned %d results, want a full best-effort 10", b, d, len(ans.Results))
+		}
+	}
+}
+
+// TestRunCandidates: a candidate restriction ranks exactly the candidate
+// set — with non-candidate scores still contributing — identically across
+// every algorithm, matching a brute-force filter of the full Base ranking.
+func TestRunCandidates(t *testing.T) {
+	for trial := 0; trial < 6; trial++ {
+		seed := int64(500 + trial)
+		n := 40 + trial*13
+		g := randomGraph(n, 3*n, seed)
+		scores := randomScores(n, seed)
+		e := mustEngine(t, g, scores, 2)
+
+		// Ground truth: full Base ranking over all n, filtered to the set.
+		all, _, err := e.Base(n, Sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cands := make([]int, 0, n/3)
+		inSet := make(map[int]bool)
+		for v := 0; v < n; v += 3 {
+			cands = append(cands, v)
+			inSet[v] = true
+		}
+		want := make([]Result, 0, 10)
+		for _, r := range all {
+			if inSet[r.Node] {
+				want = append(want, r)
+				if len(want) == 10 {
+					break
+				}
+			}
+		}
+
+		for _, algo := range Algorithms {
+			got, err := e.Run(context.Background(), Query{
+				Algorithm: algo, K: 10, Aggregate: Sum, Candidates: cands,
+				Options: Options{Gamma: 0.3, Workers: 3},
+			})
+			if err != nil {
+				t.Fatalf("trial %d %v: %v", trial, algo, err)
+			}
+			if !sameResults(got.Results, want) {
+				t.Fatalf("trial %d %v candidates: got %v want %v", trial, algo, got.Results, want)
+			}
+			for _, r := range got.Results {
+				if !inSet[r.Node] {
+					t.Fatalf("trial %d %v ranked non-candidate %d", trial, algo, r.Node)
+				}
+			}
+		}
+
+		// The view agrees under the same restriction.
+		v, err := NewView(g, scores, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vans, err := v.Run(context.Background(), Query{K: 10, Aggregate: Sum, Candidates: cands})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameResults(vans.Results, want) {
+			t.Fatalf("trial %d view candidates: got %v want %v", trial, vans.Results, want)
+		}
+	}
+}
+
+// TestRunCandidateValidation: out-of-range candidates are rejected by both
+// the engine and the view; duplicates are tolerated.
+func TestRunCandidateValidation(t *testing.T) {
+	g := randomGraph(20, 60, 95)
+	scores := randomScores(20, 95)
+	e := mustEngine(t, g, scores, 1)
+	if _, err := e.Run(context.Background(), Query{Algorithm: AlgoBase, K: 3, Aggregate: Sum, Candidates: []int{5, 20}}); err == nil {
+		t.Fatal("out-of-range candidate accepted")
+	}
+	if _, err := e.Run(context.Background(), Query{Algorithm: AlgoBase, K: 3, Aggregate: Sum, Candidates: []int{-1}}); err == nil {
+		t.Fatal("negative candidate accepted")
+	}
+	dup, err := e.Run(context.Background(), Query{Algorithm: AlgoBase, K: 3, Aggregate: Sum, Candidates: []int{4, 4, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dup.Results) != 1 || dup.Results[0].Node != 4 {
+		t.Fatalf("duplicate candidates gave %v, want just node 4", dup.Results)
+	}
+	v, err := NewView(g, scores, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Run(context.Background(), Query{K: 3, Aggregate: Sum, Candidates: []int{21}}); err == nil {
+		t.Fatal("view accepted out-of-range candidate")
+	}
+}
+
+// TestRunConcurrentWithCancellations races cancelled and uncancelled
+// queries on one shared engine under -race: cancellation must not corrupt
+// the lazily built shared state the next query reads.
+func TestRunConcurrentWithCancellations(t *testing.T) {
+	g := randomGraph(150, 450, 97)
+	scores := randomScores(150, 97)
+	e := mustEngine(t, g, scores, 2)
+	want, _, err := e.Base(10, Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 12)
+	for w := 0; w < 12; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			q := cancellableQueries[w%len(cancellableQueries)]
+			q.K = 10
+			for i := 0; i < 10; i++ {
+				if w%2 == 0 {
+					ctx, cancel := context.WithCancel(context.Background())
+					cancel()
+					if _, err := e.Run(ctx, q); !errors.Is(err, context.Canceled) {
+						errs <- err
+						return
+					}
+				} else if ans, err := e.Run(context.Background(), q); err != nil {
+					errs <- err
+					return
+				} else if q.Aggregate == Sum && !sameResults(ans.Results, want) {
+					errs <- errors.New(q.Algorithm.String() + ": racing query diverged from Base")
+					return
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < 12; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+//lint:file-ignore SA1019 this file deliberately exercises the deprecated positional shims.
+
+// Deprecated-shim coverage: the positional TopK entry points must remain
+// exact delegates of Run so out-of-tree callers migrate at their own pace.
+// Every other test in this package uses the Query/Run API.
+package core
+
+import "testing"
+
+func TestDeprecatedEngineTopKDelegatesToRun(t *testing.T) {
+	g := randomGraph(40, 120, 77)
+	scores := randomScores(40, 77)
+	e := mustEngine(t, g, scores, 2)
+
+	want, _, err := e.Base(10, Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := e.TopK(AlgoBackward, 10, Sum, &Options{Gamma: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameResults(got, want) {
+		t.Fatalf("shim answer %v != Base %v", got, want)
+	}
+	if stats.Distributed == 0 && stats.Evaluated == 0 {
+		t.Fatal("shim returned no work stats")
+	}
+	// nil options and the auto algorithm still work through the shim.
+	if _, _, err := e.TopK(AlgoBase, 5, Sum, nil); err != nil {
+		t.Fatalf("nil options: %v", err)
+	}
+	if _, _, err := e.TopK(AlgoAuto, 5, Sum, nil); err != nil {
+		t.Fatalf("auto via shim: %v", err)
+	}
+	if _, _, err := e.TopK(Algorithm(99), 1, Sum, nil); err == nil {
+		t.Fatal("unknown algorithm accepted through the shim")
+	}
+}
+
+func TestDeprecatedPlannerTopKDelegatesToRun(t *testing.T) {
+	g := randomGraph(60, 180, 79)
+	scores := randomScores(60, 79)
+	e := mustEngine(t, g, scores, 2)
+	want, _, err := e.Base(8, Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, plan, err := NewPlanner(e).TopK(8, Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameResults(got, want) {
+		t.Fatalf("planner shim (%v) disagreed with Base", plan.Algorithm)
+	}
+	if plan.Reason == "" {
+		t.Fatal("planner shim lost the plan rationale")
+	}
+}
+
+func TestDeprecatedViewTopKDelegatesToRun(t *testing.T) {
+	g := randomGraph(50, 150, 81)
+	scores := randomScores(50, 81)
+	v, err := NewView(g, scores, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := viewTopK(v, 7, Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.TopK(7, Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameResults(got, want) {
+		t.Fatalf("view shim %v != Run %v", got, want)
+	}
+	if _, err := v.TopK(0, Sum); err == nil {
+		t.Fatal("k=0 accepted through the view shim")
+	}
+	if _, err := v.TopK(3, Max); err == nil {
+		t.Fatal("MAX accepted through the view shim")
+	}
+}

@@ -20,6 +20,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -71,8 +72,12 @@ func (a Aggregate) String() string {
 type Algorithm uint8
 
 const (
+	// AlgoAuto — the zero value, so a zero Query plans itself — delegates
+	// the choice of strategy to the cost-based Planner; the Answer then
+	// carries the Plan it picked.
+	AlgoAuto Algorithm = iota
 	// AlgoBase is naive forward processing (the paper's "Base").
-	AlgoBase Algorithm = iota
+	AlgoBase
 	// AlgoBaseParallel is Base fanned out over worker goroutines; an
 	// engineering baseline showing pruning wins even against parallelism.
 	AlgoBaseParallel
@@ -92,6 +97,8 @@ const (
 // String returns the algorithm's name as used in the paper's figures.
 func (a Algorithm) String() string {
 	switch a {
+	case AlgoAuto:
+		return "Auto"
 	case AlgoBase:
 		return "Base"
 	case AlgoBaseParallel:
@@ -109,7 +116,8 @@ func (a Algorithm) String() string {
 	}
 }
 
-// Algorithms lists every strategy, in bench display order.
+// Algorithms lists every executable strategy (AlgoAuto, a planner
+// delegation rather than a strategy, is excluded), in bench display order.
 var Algorithms = []Algorithm{AlgoBase, AlgoBaseParallel, AlgoForward, AlgoForwardDist, AlgoBackwardNaive, AlgoBackward}
 
 // Result is one entry of a top-k answer.
@@ -194,6 +202,15 @@ type Engine struct {
 	queues       map[QueueOrder][]int32
 	nonZeroSum   []scoredNode // boundScore under SUM-family, descending
 	nonZeroCount []scoredNode // boundScore under COUNT, descending
+	plans        map[planKey]Plan
+}
+
+// planKey caches planner decisions per aggregate and index presence — the
+// only inputs to Choose that are not frozen at engine construction
+// (HasDifferentialIndex flips false→true at most once).
+type planKey struct {
+	agg    Aggregate
+	hasDix bool
 }
 
 // scoredNode pairs a node with its bound-score for distribution ordering.
@@ -281,26 +298,21 @@ func (e *Engine) PrepareDifferentialIndex(workers int) *graph.DifferentialIndex 
 }
 
 // TopK dispatches to the chosen algorithm. opts may be nil for defaults.
+//
+// Deprecated: use Run with a Query — the positional form cannot be
+// cancelled or deadlined and cannot express candidates or a budget.
 func (e *Engine) TopK(algo Algorithm, k int, agg Aggregate, opts *Options) ([]Result, QueryStats, error) {
 	if opts == nil {
 		opts = &Options{}
 	}
-	switch algo {
-	case AlgoBase:
-		return e.Base(k, agg)
-	case AlgoBaseParallel:
-		return e.BaseParallel(k, agg, opts.Workers)
-	case AlgoForward:
-		return e.Forward(k, agg, opts.Order)
-	case AlgoBackwardNaive:
-		return e.BackwardNaive(k, agg)
-	case AlgoBackward:
-		return e.Backward(k, agg, opts.Gamma)
-	case AlgoForwardDist:
-		return e.ForwardDist(k, agg)
-	default:
-		return nil, QueryStats{}, fmt.Errorf("core: unknown algorithm %v", algo)
-	}
+	return e.positional(Query{Algorithm: algo, K: k, Aggregate: agg, Options: *opts})
+}
+
+// positional adapts Run to the positional methods' return shape with an
+// uncancellable context.
+func (e *Engine) positional(q Query) ([]Result, QueryStats, error) {
+	ans, err := e.Run(context.Background(), q)
+	return ans.Results, ans.Stats, err
 }
 
 // checkQuery validates common parameters and aggregate support.

@@ -39,6 +39,16 @@ func randomScores(n int, seed int64) []float64 {
 	return scores
 }
 
+// topK adapts the Query/Run API to the positional shape the cross-checking
+// tests were written against.
+func topK(e *Engine, algo Algorithm, k int, agg Aggregate, opts *Options) ([]Result, QueryStats, error) {
+	q := Query{Algorithm: algo, K: k, Aggregate: agg}
+	if opts != nil {
+		q.Options = *opts
+	}
+	return e.positional(q)
+}
+
 func mustEngine(t *testing.T, g *graph.Graph, scores []float64, h int) *Engine {
 	t.Helper()
 	e, err := NewEngine(g, scores, h)
@@ -224,7 +234,7 @@ func TestAllAlgorithmsAgree(t *testing.T) {
 						t.Fatal(err)
 					}
 					for _, algo := range []Algorithm{AlgoBaseParallel, AlgoForward, AlgoForwardDist, AlgoBackwardNaive, AlgoBackward} {
-						got, _, err := e.TopK(algo, k, agg, &Options{Gamma: 0.3, Workers: 4})
+						got, _, err := topK(e, algo, k, agg, &Options{Gamma: 0.3, Workers: 4})
 						if err != nil {
 							t.Fatalf("trial %d h=%d %v k=%d %v: %v", trial, h, agg, k, algo, err)
 						}
@@ -261,7 +271,7 @@ func TestAlgorithmsAgreeOnBinaryScores(t *testing.T) {
 				t.Fatal(err)
 			}
 			for _, algo := range []Algorithm{AlgoForward, AlgoBackwardNaive, AlgoBackward} {
-				got, _, err := e.TopK(algo, 5, agg, &Options{Gamma: 0.5})
+				got, _, err := topK(e, algo, 5, agg, &Options{Gamma: 0.5})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -333,7 +343,7 @@ func TestKLargerThanGraph(t *testing.T) {
 	scores := randomScores(10, 23)
 	e := mustEngine(t, g, scores, 2)
 	for _, algo := range []Algorithm{AlgoBase, AlgoForward, AlgoBackwardNaive, AlgoBackward} {
-		results, _, err := e.TopK(algo, 50, Sum, nil)
+		results, _, err := topK(e, algo, 50, Sum, nil)
 		if err != nil {
 			t.Fatalf("%v: %v", algo, err)
 		}
@@ -347,7 +357,7 @@ func TestAllZeroScores(t *testing.T) {
 	g := randomGraph(15, 30, 29)
 	e := mustEngine(t, g, make([]float64, 15), 2)
 	for _, algo := range []Algorithm{AlgoBase, AlgoForward, AlgoBackwardNaive, AlgoBackward} {
-		results, _, err := e.TopK(algo, 3, Sum, nil)
+		results, _, err := topK(e, algo, 3, Sum, nil)
 		if err != nil {
 			t.Fatalf("%v: %v", algo, err)
 		}
@@ -445,7 +455,7 @@ func TestStatsAreReported(t *testing.T) {
 func TestTopKDispatchUnknownAlgorithm(t *testing.T) {
 	g := randomGraph(5, 8, 41)
 	e := mustEngine(t, g, make([]float64, 5), 1)
-	if _, _, err := e.TopK(Algorithm(99), 1, Sum, nil); err == nil {
+	if _, _, err := topK(e, Algorithm(99), 1, Sum, nil); err == nil {
 		t.Fatal("unknown algorithm accepted")
 	}
 }
@@ -494,7 +504,7 @@ func TestWithScoresSharesIndexes(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, algo := range []Algorithm{AlgoForward, AlgoBackward, AlgoBackwardNaive, AlgoForwardDist} {
-		got, _, err := ne.TopK(algo, 10, Sum, &Options{Gamma: 0.3})
+		got, _, err := topK(ne, algo, 10, Sum, &Options{Gamma: 0.3})
 		if err != nil {
 			t.Fatal(err)
 		}

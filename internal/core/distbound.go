@@ -37,16 +37,14 @@ func (e *Engine) distributionPrefix(agg Aggregate) []float64 {
 	return prefix
 }
 
-// ForwardDist answers a top-k query by forward processing in descending
+// runForwardDist answers a top-k query by forward processing in descending
 // N(v) order with the distribution upper bound. It requires only the N(v)
 // index (no differential index). For SUM the bound sequence is
 // non-increasing in N(v), so the first failing bound terminates the scan;
 // for AVG the bound top(N(v))/N(v) is not monotone in N(v) and every node
 // must be bound-checked (but most are skipped without BFS).
-func (e *Engine) ForwardDist(k int, agg Aggregate) ([]Result, QueryStats, error) {
-	if err := e.checkQuery(k, agg, AlgoForwardDist); err != nil {
-		return nil, QueryStats{}, err
-	}
+func (e *Engine) runForwardDist(x *exec) (Answer, error) {
+	agg := x.q.Aggregate
 	nix := e.PrepareNeighborhoodIndex(0)
 	prefix := e.distributionPrefix(agg)
 
@@ -72,28 +70,57 @@ func (e *Engine) ForwardDist(k int, agg Aggregate) ([]Result, QueryStats, error)
 		counts[slot]++
 	}
 
+	// eligibleLeft tracks how many candidates the scan has not yet
+	// decided, so the SUM-family early stop can account them as pruned.
+	eligibleLeft := n
+	if x.cand != nil {
+		eligibleLeft = 0
+		for v := 0; v < n; v++ {
+			if x.cand[v] {
+				eligibleLeft++
+			}
+		}
+	}
+
 	t := graph.NewTraverser(e.g)
-	list := topk.New(k)
+	list := topk.New(x.q.K)
 	var stats QueryStats
 	for _, v32 := range order {
 		v := int(v32)
+		if !x.eligible(v) {
+			continue
+		}
+		if err := x.step(x.ctx); err != nil {
+			return Answer{}, err
+		}
 		nv := nix.N(v)
 		bound := finishValue(agg, prefix[nv], nv)
 		if list.Full() && bound < list.Bound() {
 			if agg != Avg {
 				// SUM-family: bounds only shrink from here — stop.
-				stats.Pruned += n - stats.Evaluated - stats.Pruned
+				stats.Pruned += eligibleLeft
 				break
 			}
 			stats.Pruned++
+			eligibleLeft--
 			continue
+		}
+		if !x.spend() {
+			break
 		}
 		value, _, size := e.evaluate(t, v, agg)
 		stats.Evaluated++
 		stats.Visited += size
 		list.Offer(v, value)
+		eligibleLeft--
 	}
-	return list.Items(), stats, nil
+	return Answer{Results: list.Items(), Stats: stats}, nil
+}
+
+// ForwardDist is runForwardDist behind the positional convenience
+// signature, with no cancellation, candidates, or budget.
+func (e *Engine) ForwardDist(k int, agg Aggregate) ([]Result, QueryStats, error) {
+	return e.positional(Query{Algorithm: AlgoForwardDist, K: k, Aggregate: agg})
 }
 
 // DistributionBound exposes the distribution upper bound top(N(v)) for

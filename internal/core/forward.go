@@ -5,7 +5,7 @@ import (
 	"repro/internal/topk"
 )
 
-// Forward answers a top-k query with LONA-Forward (Algorithm 1): naive
+// runForward answers a top-k query with LONA-Forward (Algorithm 1): naive
 // forward processing augmented with differential-index pruning. After a
 // node u is exactly evaluated, every 1-hop neighbor v gets the upper bound
 //
@@ -17,32 +17,41 @@ import (
 // keeps the result byte-identical to Base under the deterministic
 // (value desc, id asc) tie-break.
 //
+// Under a candidate restriction only candidates are evaluated, pruned, or
+// offered; every evaluated node still bounds its neighbors, so the proof
+// obligation (each candidate evaluated or pruned with a certified bound)
+// is unchanged.
+//
 // The differential index and the N(v) index are built on first use; call
 // PrepareDifferentialIndex / PrepareNeighborhoodIndex beforehand to pay
 // that cost explicitly (the paper treats both as precomputed).
-func (e *Engine) Forward(k int, agg Aggregate, order QueueOrder) ([]Result, QueryStats, error) {
-	if err := e.checkQuery(k, agg, AlgoForward); err != nil {
-		return nil, QueryStats{}, err
-	}
+func (e *Engine) runForward(x *exec) (Answer, error) {
 	nix := e.PrepareNeighborhoodIndex(0)
 	dix := e.PrepareDifferentialIndex(0)
 	if err := graph.CheckIndexCompatibility(e.h, nix, dix); err != nil {
-		return nil, QueryStats{}, err
+		return Answer{}, err
 	}
 
 	n := e.g.NumNodes()
-	queue := e.queueFor(order)
+	agg := x.q.Aggregate
+	queue := e.queueFor(x.q.Options.Order)
 	pruned := make([]bool, n)
 	processed := make([]bool, n)
 	t := graph.NewTraverser(e.g)
-	list := topk.New(k)
+	list := topk.New(x.q.K)
 	var stats QueryStats
 
 	for _, u32 := range queue {
 		u := int(u32)
 		processed[u] = true
-		if pruned[u] {
+		if pruned[u] || !x.eligible(u) {
 			continue
+		}
+		if err := x.step(x.ctx); err != nil {
+			return Answer{}, err
+		}
+		if !x.spend() {
+			break
 		}
 		value, boundSum, size := e.evaluate(t, u, agg)
 		stats.Evaluated++
@@ -57,7 +66,7 @@ func (e *Engine) Forward(k int, agg Aggregate, order QueueOrder) ([]Result, Quer
 		nbrs := e.g.Neighbors(u)
 		for i, p := 0, arcLo; p < arcHi; i, p = i+1, p+1 {
 			v := int(nbrs[i])
-			if pruned[v] || processed[v] {
+			if pruned[v] || processed[v] || !x.eligible(v) {
 				continue
 			}
 			nv := nix.N(v)
@@ -71,7 +80,13 @@ func (e *Engine) Forward(k int, agg Aggregate, order QueueOrder) ([]Result, Quer
 			}
 		}
 	}
-	return list.Items(), stats, nil
+	return Answer{Results: list.Items(), Stats: stats}, nil
+}
+
+// Forward is runForward behind the positional convenience signature, with
+// no cancellation, candidates, or budget.
+func (e *Engine) Forward(k int, agg Aggregate, order QueueOrder) ([]Result, QueryStats, error) {
+	return e.positional(Query{Algorithm: AlgoForward, K: k, Aggregate: agg, Options: Options{Order: order}})
 }
 
 // ForwardBound exposes Equation 1/2's upper bound for a single evaluated

@@ -26,11 +26,13 @@ func ParseAggregate(name string) (Aggregate, error) {
 }
 
 // ParseAlgorithm maps an engine algorithm's wire/flag name
-// (case-insensitive) to its enum. Serving-level modes such as "auto" and
-// "view" are not algorithms and are handled by the callers before this
-// point.
+// (case-insensitive) to its enum. "auto" maps to AlgoAuto (the planner
+// chooses); the serving-level "view" mode is not an algorithm and is
+// handled by internal/server before this point.
 func ParseAlgorithm(name string) (Algorithm, error) {
 	switch strings.ToLower(name) {
+	case "auto":
+		return AlgoAuto, nil
 	case "base":
 		return AlgoBase, nil
 	case "parallel":
@@ -44,6 +46,6 @@ func ParseAlgorithm(name string) (Algorithm, error) {
 	case "backward-naive":
 		return AlgoBackwardNaive, nil
 	default:
-		return 0, fmt.Errorf("unknown algorithm %q (want base, parallel, forward, forward-dist, backward, or backward-naive)", name)
+		return 0, fmt.Errorf("unknown algorithm %q (want auto, base, parallel, forward, forward-dist, backward, or backward-naive)", name)
 	}
 }

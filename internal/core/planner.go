@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
@@ -118,9 +119,24 @@ func orderForAgg(agg Aggregate) QueueOrder {
 	return OrderDegreeDesc
 }
 
-// TopK plans and executes in one call — the "auto" mode of cmd/lona.
+// Run plans and executes in one call — the same context-aware shape as
+// Engine.Run, with the algorithm choice always delegated to the planner
+// (q.Algorithm is overridden by AlgoAuto). The returned Answer carries the
+// chosen Plan.
+func (p *Planner) Run(ctx context.Context, q Query) (Answer, error) {
+	q.Algorithm = AlgoAuto
+	return p.e.Run(ctx, q)
+}
+
+// TopK plans and executes in one call.
+//
+// Deprecated: use Run with a Query — the positional form cannot be
+// cancelled or deadlined and cannot express candidates or a budget.
 func (p *Planner) TopK(k int, agg Aggregate) ([]Result, QueryStats, Plan, error) {
-	plan := p.Choose(k, agg)
-	results, stats, err := p.e.TopK(plan.Algorithm, k, agg, &plan.Options)
-	return results, stats, plan, err
+	ans, err := p.Run(context.Background(), Query{K: k, Aggregate: agg})
+	plan := Plan{}
+	if ans.Plan != nil {
+		plan = *ans.Plan
+	}
+	return ans.Results, ans.Stats, plan, err
 }

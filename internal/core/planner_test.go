@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -161,14 +162,14 @@ func TestPlannerTopKExecutes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, _, plan, err := NewPlanner(e).TopK(7, Sum)
+	ans, err := NewPlanner(e).Run(context.Background(), Query{K: 7, Aggregate: Sum})
 	if err != nil {
-		t.Fatalf("plan %v: %v", plan, err)
+		t.Fatalf("plan %v: %v", ans.Plan, err)
 	}
-	if !sameResults(got, want) {
-		t.Fatalf("planned execution (%v) disagreed with Base", plan.Algorithm)
+	if !sameResults(ans.Results, want) {
+		t.Fatalf("planned execution (%v) disagreed with Base", ans.Plan.Algorithm)
 	}
-	if plan.Reason == "" {
+	if ans.Plan == nil || ans.Plan.Reason == "" {
 		t.Fatal("plan has no rationale")
 	}
 }

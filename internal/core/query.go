@@ -1,0 +1,216 @@
+package core
+
+import (
+	"context"
+	"fmt"
+)
+
+// Query is the first-class description of a top-k neighborhood aggregation
+// request — the single shape every execution surface (Engine, Planner,
+// View, and the serving API) accepts. Describing a query as a value rather
+// than a positional call is what lets one entry point carry cancellation,
+// candidate restriction, and an early-termination budget uniformly, the
+// way adaptive distributed top-k systems treat queries as described
+// objects with a budget rather than ad-hoc calls.
+//
+// The zero Algorithm is AlgoAuto: the cost-based planner chooses the
+// strategy, and the resulting Answer carries the Plan it picked.
+type Query struct {
+	// Algorithm selects the strategy; AlgoAuto (the zero value) delegates
+	// the choice to the planner.
+	Algorithm Algorithm
+	// K is the number of results to return.
+	K int
+	// Aggregate selects the neighborhood aggregation function.
+	Aggregate Aggregate
+	// Options tunes the chosen algorithm (γ, queue order, workers). With
+	// AlgoAuto the planner supplies these; only a caller-set Workers value
+	// is preserved.
+	Options Options
+	// Candidates optionally restricts which nodes may appear in the
+	// result. Scores of non-candidate nodes still contribute to their
+	// neighbors' aggregates — the restriction is on who is ranked, not on
+	// who counts. An empty slice means every node is a candidate.
+	Candidates []int
+	// Budget caps the number of h-hop traversals (exact evaluations plus
+	// backward distributions) the query may perform; 0 means unlimited.
+	// When the budget runs out the query stops early and returns the best
+	// answer found so far with Answer.Truncated set — Fagin-style early
+	// termination for latency-bound serving.
+	Budget int
+}
+
+// Answer bundles everything one query execution produced.
+type Answer struct {
+	// Results is the top-k list, best first.
+	Results []Result
+	// Stats reports the work the execution performed.
+	Stats QueryStats
+	// Plan is the planner's decision when AlgoAuto chose the strategy;
+	// nil when the caller named an algorithm explicitly.
+	Plan *Plan
+	// Truncated reports that Budget stopped the query before it could
+	// certify the exact answer; Results are best-effort.
+	Truncated bool
+}
+
+// Run executes a query, the single entry point behind every query surface.
+// It is safe for concurrent use. The context is honored cooperatively: the
+// algorithm loops poll ctx.Err() every few iterations, so a cancelled or
+// deadlined query returns the context's error promptly (without a partial
+// answer) and leaves the engine fully reusable.
+func (e *Engine) Run(ctx context.Context, q Query) (Answer, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var plan *Plan
+	if q.Algorithm == AlgoAuto {
+		p := e.planFor(q.K, q.Aggregate)
+		workers := q.Options.Workers
+		q.Algorithm, q.Options = p.Algorithm, p.Options
+		if q.Options.Workers <= 0 {
+			q.Options.Workers = workers
+		}
+		plan = &p
+	}
+	if err := e.checkQuery(q.K, q.Aggregate, q.Algorithm); err != nil {
+		return Answer{}, err
+	}
+	if q.Budget < 0 {
+		return Answer{}, fmt.Errorf("core: negative budget %d", q.Budget)
+	}
+	cand, err := candidateMask(e.g.NumNodes(), q.Candidates)
+	if err != nil {
+		return Answer{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return Answer{}, err
+	}
+
+	x := &exec{ctx: ctx, q: &q, cand: cand, meter: newMeter(q.Budget)}
+	var ans Answer
+	switch q.Algorithm {
+	case AlgoBase:
+		ans, err = e.runBase(x)
+	case AlgoBaseParallel:
+		ans, err = e.runBaseParallel(x)
+	case AlgoForward:
+		ans, err = e.runForward(x)
+	case AlgoBackwardNaive:
+		ans, err = e.runBackwardNaive(x)
+	case AlgoBackward:
+		ans, err = e.runBackward(x)
+	case AlgoForwardDist:
+		ans, err = e.runForwardDist(x)
+	default:
+		return Answer{}, fmt.Errorf("core: unknown algorithm %v", q.Algorithm)
+	}
+	if err != nil {
+		return Answer{}, err
+	}
+	ans.Plan = plan
+	ans.Truncated = ans.Truncated || x.truncated
+	return ans, nil
+}
+
+// exec carries the per-execution state the algorithm loops share: the
+// query, the candidate mask, and the cancellation/budget meter.
+type exec struct {
+	ctx  context.Context
+	q    *Query
+	cand []bool // nil = every node is eligible
+	meter
+}
+
+// eligible reports whether node v may appear in the result.
+func (x *exec) eligible(v int) bool { return x.cand == nil || x.cand[v] }
+
+// planFor returns the planner's decision for agg, memoized on the engine:
+// the choice reads only immutable engine state plus index presence, so
+// repeated AlgoAuto queries must not re-pay Choose's O(n) statistics scan
+// (and gammaKnee's sort) every call. k is not part of the key — Choose's
+// heuristics ignore it.
+func (e *Engine) planFor(k int, agg Aggregate) Plan {
+	key := planKey{agg: agg, hasDix: e.HasDifferentialIndex()}
+	e.mu.Lock()
+	if p, ok := e.plans[key]; ok {
+		e.mu.Unlock()
+		return p
+	}
+	e.mu.Unlock()
+
+	p := NewPlanner(e).Choose(k, agg)
+
+	e.mu.Lock()
+	if e.plans == nil {
+		e.plans = make(map[planKey]Plan)
+	}
+	e.plans[key] = p
+	e.mu.Unlock()
+	return p
+}
+
+// candidateMask validates candidate ids against an n-node graph and
+// returns their membership mask, or nil when the query ranks every node.
+// Shared by Engine.Run and View.Run so candidate semantics cannot diverge.
+func candidateMask(n int, candidates []int) ([]bool, error) {
+	if len(candidates) == 0 {
+		return nil, nil
+	}
+	mask := make([]bool, n)
+	for _, v := range candidates {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("core: candidate node %d out of range [0,%d)", v, n)
+		}
+		mask[v] = true
+	}
+	return mask, nil
+}
+
+// ctxPollEvery is how many outer-loop iterations (each at most one h-hop
+// traversal) pass between context polls. Small enough that cancellation
+// lands within a handful of BFS expansions, large enough that the atomic
+// load inside ctx.Err never shows up in a profile.
+const ctxPollEvery = 64
+
+// meter enforces a query's cooperative-cancellation and budget contract.
+// Each h-hop traversal calls step once (context poll) and spend once
+// (budget accounting).
+type meter struct {
+	ticks     int
+	budget    int // remaining traversals; <0 = unlimited
+	truncated bool
+}
+
+func newMeter(budget int) meter {
+	if budget <= 0 {
+		budget = -1
+	}
+	return meter{budget: budget}
+}
+
+// step polls the context every ctxPollEvery calls; the first call always
+// polls so an already-cancelled context returns before any work.
+func (m *meter) step(ctx context.Context) error {
+	if m.ticks%ctxPollEvery == 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	m.ticks++
+	return nil
+}
+
+// spend consumes one traversal of budget, reporting false — and marking
+// the execution truncated — once the budget is exhausted.
+func (m *meter) spend() bool {
+	if m.budget < 0 {
+		return true
+	}
+	if m.budget == 0 {
+		m.truncated = true
+		return false
+	}
+	m.budget--
+	return true
+}

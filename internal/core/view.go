@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -31,9 +32,9 @@ import (
 // RWMutex discipline, which internal/server relies on and
 // TestViewRWMutexDiscipline verifies under the race detector:
 //
-//   - Readers (Score, Sum, TopK, ScoresCopy) may run concurrently with
-//     each other: they only load from scores/sums/counts and never touch
-//     the shared Traverser.
+//   - Readers (Score, Sum, Run, TopK, ScoresCopy) may run concurrently
+//     with each other: they only load from scores/sums/counts and never
+//     touch the shared Traverser.
 //   - Writers (UpdateScore, Rebuild) require exclusive access: they mutate
 //     the materialized arrays and reuse the View's single Traverser.
 //
@@ -121,30 +122,64 @@ func (v *View) UpdateScore(node int, newScore float64) (touched int, err error) 
 	return touched, nil
 }
 
-// TopK answers a top-k query from the materialized state: one linear heap
-// scan, no traversal. Supported aggregates: Sum, Avg, Count.
-func (v *View) TopK(k int, agg Aggregate) ([]Result, error) {
-	if k <= 0 {
-		return nil, fmt.Errorf("core: k must be positive, got %d", k)
+// Run answers a top-k query from the materialized state — the same
+// context-aware Query shape as Engine.Run, served by one linear heap scan
+// with no traversal. Supported aggregates: Sum, Avg, Count. The Algorithm
+// field is ignored (the view has exactly one way to answer) and Budget is
+// moot: the scan performs no h-hop traversals, so nothing spends budget.
+// Candidates restrict the scan; the context is polled periodically so even
+// the O(n) scan of a huge network is abandonable.
+//
+// Run is a reader under the View's RWMutex discipline (see the type docs).
+func (v *View) Run(ctx context.Context, q Query) (Answer, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	list := topk.New(k)
-	switch agg {
+	if q.K <= 0 {
+		return Answer{}, fmt.Errorf("core: k must be positive, got %d", q.K)
+	}
+	var value func(u int) float64
+	switch q.Aggregate {
 	case Sum:
-		for u := range v.sums {
-			list.Offer(u, v.sums[u])
-		}
+		value = func(u int) float64 { return v.sums[u] }
 	case Avg:
-		for u := range v.sums {
-			list.Offer(u, v.sums[u]/float64(v.nix.N(u)))
-		}
+		value = func(u int) float64 { return v.sums[u] / float64(v.nix.N(u)) }
 	case Count:
-		for u := range v.counts {
-			list.Offer(u, float64(v.counts[u]))
-		}
+		value = func(u int) float64 { return float64(v.counts[u]) }
 	default:
-		return nil, fmt.Errorf("core: View does not support %v (only SUM, AVG, COUNT)", agg)
+		return Answer{}, fmt.Errorf("core: View does not support %v (only SUM, AVG, COUNT)", q.Aggregate)
 	}
-	return list.Items(), nil
+	cand, err := candidateMask(v.g.NumNodes(), q.Candidates)
+	if err != nil {
+		return Answer{}, err
+	}
+
+	// Polling granularity: the per-node work here is a couple of loads,
+	// so a coarser stride than the engine's per-traversal cadence still
+	// cancels within microseconds.
+	const viewPollEvery = 8192
+	list := topk.New(q.K)
+	for u := range v.sums {
+		if u%viewPollEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return Answer{}, err
+			}
+		}
+		if cand != nil && !cand[u] {
+			continue
+		}
+		list.Offer(u, value(u))
+	}
+	return Answer{Results: list.Items()}, nil
+}
+
+// TopK answers a top-k query from the materialized state.
+//
+// Deprecated: use Run with a Query — the positional form cannot be
+// cancelled or deadlined and cannot express candidates.
+func (v *View) TopK(k int, agg Aggregate) ([]Result, error) {
+	ans, err := v.Run(context.Background(), Query{K: k, Aggregate: agg})
+	return ans.Results, err
 }
 
 // Rebuild recomputes the materialized state from scratch; used by tests to

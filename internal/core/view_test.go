@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sync"
@@ -9,6 +10,13 @@ import (
 
 	"repro/internal/graph"
 )
+
+// viewTopK adapts the Query/Run API to the positional shape these tests
+// were written against.
+func viewTopK(v *View, k int, agg Aggregate) ([]Result, error) {
+	ans, err := v.Run(context.Background(), Query{K: k, Aggregate: agg})
+	return ans.Results, err
+}
 
 func TestViewMatchesEngineInitially(t *testing.T) {
 	g := randomGraph(50, 150, 3)
@@ -23,7 +31,7 @@ func TestViewMatchesEngineInitially(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := v.TopK(10, agg)
+		got, err := viewTopK(v, 10, agg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -68,7 +76,7 @@ func TestViewIncrementalUpdates(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			got, err := v.TopK(8, agg)
+			got, err := viewTopK(v, 8, agg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -135,10 +143,10 @@ func TestViewValidation(t *testing.T) {
 	if _, err := v.UpdateScore(0, math.NaN()); err == nil {
 		t.Fatal("NaN accepted")
 	}
-	if _, err := v.TopK(0, Sum); err == nil {
+	if _, err := viewTopK(v, 0, Sum); err == nil {
 		t.Fatal("k=0 accepted")
 	}
-	if _, err := v.TopK(3, Max); err == nil {
+	if _, err := viewTopK(v, 3, Max); err == nil {
 		t.Fatal("MAX accepted by view")
 	}
 	db := graph.NewBuilder(3, true)
@@ -198,7 +206,7 @@ func TestConcurrentQueriesOnSharedEngine(t *testing.T) {
 	for i := 0; i < goroutines; i++ {
 		go func(i int) {
 			algo := []Algorithm{AlgoBase, AlgoForward, AlgoBackward, AlgoBackwardNaive}[i%4]
-			got, _, err := e.TopK(algo, 10, Sum, &Options{Gamma: 0.3})
+			got, _, err := topK(e, algo, 10, Sum, &Options{Gamma: 0.3})
 			if err != nil {
 				errs <- err
 				return
@@ -251,7 +259,7 @@ func TestViewRWMutexDiscipline(t *testing.T) {
 				default:
 				}
 				mu.RLock()
-				_, err := v.TopK(5, Sum)
+				_, err := viewTopK(v, 5, Sum)
 				_ = v.Sum(id)
 				_ = v.Score(id)
 				mu.RUnlock()
@@ -287,7 +295,7 @@ func TestViewRWMutexDiscipline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := v.TopK(10, Sum)
+	got, err := viewTopK(v, 10, Sum)
 	if err != nil {
 		t.Fatal(err)
 	}

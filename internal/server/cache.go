@@ -6,10 +6,15 @@ import (
 	"sync"
 )
 
-// shardedCache is a fixed-capacity LRU result cache split into shards so
+// shardedCache is a byte-capacity LRU result cache split into shards so
 // concurrent lookups from many serving goroutines do not serialize on one
-// mutex. Keys embed the server's generation counter, so a score update —
-// which bumps the generation — implicitly invalidates every cached answer:
+// mutex. Capacity is accounted in approximate bytes of cached answers
+// (entrySize), not entry count, so one giant k=100000 result cannot crowd
+// out thousands of small answers' worth of budget unnoticed — the number
+// /v1/stats reports as cache_bytes is the same number eviction enforces.
+//
+// Keys embed the server's generation counter, so a score update — which
+// bumps the generation — implicitly invalidates every cached answer:
 // stale-generation entries are never looked up again and age out of the
 // LRU naturally. No scan-and-evict pass is ever needed.
 type shardedCache struct {
@@ -19,33 +24,45 @@ type shardedCache struct {
 
 // cacheShard is one independently locked LRU segment.
 type cacheShard struct {
-	mu  sync.Mutex
-	cap int
-	ll  *list.List               // front = most recently used
-	m   map[string]*list.Element // key -> element whose Value is *cacheEntry
+	mu       sync.Mutex
+	capBytes int64
+	bytes    int64
+	ll       *list.List               // front = most recently used
+	m        map[string]*list.Element // key -> element whose Value is *cacheEntry
 }
 
 type cacheEntry struct {
-	key string
-	val *Answer
+	key  string
+	val  *Answer
+	size int64
 }
 
-// newShardedCache builds a cache with the given total capacity spread over
-// shards (both forced to sane minimums).
-func newShardedCache(capacity, shards int) *shardedCache {
+// entrySize approximates the resident cost of one cache entry: the key,
+// the answer struct with its string fields, the result slice (16 bytes per
+// (node, value) pair), and fixed map/list bookkeeping overhead.
+func entrySize(key string, val *Answer) int64 {
+	const overhead = 160 // list.Element + map bucket share + struct headers
+	size := int64(overhead + len(key) + len(val.Algorithm) + len(val.Reason))
+	size += int64(len(val.Results)) * 16
+	return size
+}
+
+// newShardedCache builds a cache with the given total byte capacity spread
+// over shards (both forced to sane minimums).
+func newShardedCache(capacityBytes int64, shards int) *shardedCache {
 	if shards < 1 {
 		shards = 1
 	}
-	if capacity < shards {
-		capacity = shards
+	if capacityBytes < 1 {
+		capacityBytes = 1
 	}
 	c := &shardedCache{
 		seed:   maphash.MakeSeed(),
 		shards: make([]cacheShard, shards),
 	}
-	per := (capacity + shards - 1) / shards
+	per := (capacityBytes + int64(shards) - 1) / int64(shards)
 	for i := range c.shards {
-		c.shards[i] = cacheShard{cap: per, ll: list.New(), m: make(map[string]*list.Element)}
+		c.shards[i] = cacheShard{capBytes: per, ll: list.New(), m: make(map[string]*list.Element)}
 	}
 	return c
 }
@@ -67,25 +84,41 @@ func (c *shardedCache) get(key string) (*Answer, bool) {
 	return el.Value.(*cacheEntry).val, true
 }
 
-// put inserts (or refreshes) key, evicting the shard's least-recently-used
-// entry when the shard is full.
+// put inserts (or refreshes) key, evicting least-recently-used entries
+// until the shard fits its byte budget again. An entry larger than the
+// whole shard budget is still admitted alone (the shard briefly holds just
+// it), so pathological requests degrade capacity, not correctness.
 func (c *shardedCache) put(key string, val *Answer) {
 	s := c.shard(key)
+	size := entrySize(key, val)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.m[key]; ok {
-		el.Value.(*cacheEntry).val = val
+		entry := el.Value.(*cacheEntry)
+		s.bytes += size - entry.size
+		entry.val, entry.size = val, size
 		s.ll.MoveToFront(el)
+		s.evictOverflowLocked()
 		return
 	}
-	if s.ll.Len() >= s.cap {
+	s.m[key] = s.ll.PushFront(&cacheEntry{key: key, val: val, size: size})
+	s.bytes += size
+	s.evictOverflowLocked()
+}
+
+// evictOverflowLocked drops LRU entries until the shard is within budget,
+// always keeping at least the most recent entry.
+func (s *cacheShard) evictOverflowLocked() {
+	for s.bytes > s.capBytes && s.ll.Len() > 1 {
 		oldest := s.ll.Back()
-		if oldest != nil {
-			s.ll.Remove(oldest)
-			delete(s.m, oldest.Value.(*cacheEntry).key)
+		if oldest == nil {
+			return
 		}
+		entry := oldest.Value.(*cacheEntry)
+		s.ll.Remove(oldest)
+		delete(s.m, entry.key)
+		s.bytes -= entry.size
 	}
-	s.m[key] = s.ll.PushFront(&cacheEntry{key: key, val: val})
 }
 
 // len returns the number of live entries across all shards.
@@ -98,4 +131,26 @@ func (c *shardedCache) len() int {
 		s.mu.Unlock()
 	}
 	return n
+}
+
+// bytes returns the approximate resident bytes across all shards.
+func (c *shardedCache) bytes() int64 {
+	var total int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		total += s.bytes
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// capacityBytes returns the configured total byte capacity (after
+// per-shard rounding).
+func (c *shardedCache) capacityBytes() int64 {
+	var total int64
+	for i := range c.shards {
+		total += c.shards[i].capBytes
+	}
+	return total
 }

@@ -1,47 +1,108 @@
 package server
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/core"
 )
 
-func TestCacheLRUEviction(t *testing.T) {
-	c := newShardedCache(4, 1) // one shard so the LRU order is global
+func TestCacheLRUEvictionByBytes(t *testing.T) {
 	ans := func(id int) *Answer { return &Answer{ElapsedUS: int64(id)} }
+	key := func(id int) string { return fmt.Sprintf("k%d", id) }
+	per := entrySize(key(0), ans(0)) // all entries in this test are this size
+	// One shard so the LRU order is global; capacity for exactly 4 entries.
+	c := newShardedCache(4*per, 1)
+
 	for i := 0; i < 4; i++ {
-		c.put(fmt.Sprintf("k%d", i), ans(i))
+		c.put(key(i), ans(i))
 	}
 	if c.len() != 4 {
 		t.Fatalf("len = %d, want 4", c.len())
+	}
+	if got := c.bytes(); got != 4*per {
+		t.Fatalf("bytes = %d, want %d", got, 4*per)
 	}
 	// Touch k0 so k1 is now the oldest, then overflow.
 	if _, ok := c.get("k0"); !ok {
 		t.Fatal("k0 missing")
 	}
-	c.put("k4", ans(4))
+	c.put(key(4), ans(4))
 	if _, ok := c.get("k1"); ok {
 		t.Fatal("k1 should have been evicted as least-recently-used")
 	}
-	for _, key := range []string{"k0", "k2", "k3", "k4"} {
-		if _, ok := c.get(key); !ok {
-			t.Fatalf("%s missing after eviction", key)
+	for _, k := range []string{"k0", "k2", "k3", "k4"} {
+		if _, ok := c.get(k); !ok {
+			t.Fatalf("%s missing after eviction", k)
 		}
 	}
 	// Refreshing an existing key must not grow the cache.
-	c.put("k4", ans(40))
+	c.put(key(4), ans(40))
 	if c.len() != 4 {
 		t.Fatalf("len = %d after refresh, want 4", c.len())
 	}
 	if v, _ := c.get("k4"); v.ElapsedUS != 40 {
 		t.Fatalf("refresh did not replace the value (got %d)", v.ElapsedUS)
 	}
+	if got := c.bytes(); got > 4*per {
+		t.Fatalf("bytes = %d after refresh, want <= %d", got, 4*per)
+	}
+}
+
+// TestCacheBigResultEvictsMore: byte accounting means one large answer
+// costs as many evictions as its size, where entry-count accounting would
+// have charged it one slot.
+func TestCacheBigResultEvictsMore(t *testing.T) {
+	small := &Answer{}
+	per := entrySize("k00", small)
+	c := newShardedCache(8*per, 1)
+	for i := 0; i < 8; i++ {
+		c.put(fmt.Sprintf("k%02d", i), small)
+	}
+	if c.len() != 8 {
+		t.Fatalf("len = %d, want 8", c.len())
+	}
+	// A result list worth roughly 4 small entries of bytes.
+	big := &Answer{Results: make([]core.Result, int(4*per)/16)}
+	c.put("big", big)
+	if _, ok := c.get("big"); !ok {
+		t.Fatal("big entry not admitted")
+	}
+	if got := c.len(); got >= 8 {
+		t.Fatalf("len = %d after big insert, want several evictions", got)
+	}
+	if got, max := c.bytes(), c.capacityBytes(); got > max {
+		t.Fatalf("bytes %d exceed capacity %d", got, max)
+	}
+}
+
+// TestCacheOversizedEntryAdmitted: an entry larger than the whole shard
+// budget still caches (alone) instead of thrashing.
+func TestCacheOversizedEntryAdmitted(t *testing.T) {
+	c := newShardedCache(64, 1) // tiny budget
+	huge := &Answer{Results: make([]core.Result, 1000)}
+	c.put("huge", huge)
+	if _, ok := c.get("huge"); !ok {
+		t.Fatal("oversized entry dropped; should be admitted alone")
+	}
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1", c.len())
+	}
+	// The next put evicts it: the shard never holds two over-budget
+	// entries.
+	c.put("next", &Answer{})
+	if _, ok := c.get("huge"); ok {
+		t.Fatal("oversized entry survived a subsequent insert over budget")
+	}
 }
 
 func TestCacheConcurrentAccess(t *testing.T) {
-	c := newShardedCache(256, 16)
+	c := newShardedCache(256*entrySize("k00", &Answer{}), 16)
 	var wg sync.WaitGroup
 	for w := 0; w < 8; w++ {
 		wg.Add(1)
@@ -60,10 +121,13 @@ func TestCacheConcurrentAccess(t *testing.T) {
 	if c.len() == 0 || c.len() > 100 {
 		t.Fatalf("unexpected cache size %d", c.len())
 	}
+	if c.bytes() <= 0 || c.bytes() > c.capacityBytes() {
+		t.Fatalf("bytes %d outside (0, %d]", c.bytes(), c.capacityBytes())
+	}
 }
 
 func TestCacheDegenerateSizes(t *testing.T) {
-	// Capacity smaller than the shard count still yields a working cache.
+	// A byte budget smaller than one entry still yields a working cache.
 	c := newShardedCache(1, 16)
 	c.put("a", &Answer{})
 	if _, ok := c.get("a"); !ok {
@@ -76,6 +140,44 @@ func TestCacheDegenerateSizes(t *testing.T) {
 	}
 }
 
+// TestSingleflightWaiterHonorsOwnContext: a caller collapsed onto a
+// long-running flight still observes its own deadline instead of being
+// held hostage by the unbounded leader.
+func TestSingleflightWaiterHonorsOwnContext(t *testing.T) {
+	var g flightGroup
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		_, _, _ = g.do(context.Background(), "key", func() (*Answer, error) {
+			close(started)
+			<-gate
+			return &Answer{}, nil
+		})
+	}()
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err, shared := g.do(ctx, "key", func() (*Answer, error) {
+		t.Error("waiter executed instead of joining the flight")
+		return nil, nil
+	})
+	if !shared {
+		t.Fatal("waiter did not join the in-flight call")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("waiter blocked %v past its deadline", waited)
+	}
+	close(gate)
+	<-leaderDone
+}
+
 func TestSingleflightCollapses(t *testing.T) {
 	var g flightGroup
 	var executions atomic.Int64
@@ -85,7 +187,7 @@ func TestSingleflightCollapses(t *testing.T) {
 	// Leader: enters fn and blocks on the gate.
 	leaderDone := make(chan *Answer, 1)
 	go func() {
-		val, _, _ := g.do("key", func() (*Answer, error) {
+		val, _, _ := g.do(context.Background(), "key", func() (*Answer, error) {
 			close(started)
 			<-gate
 			executions.Add(1)
@@ -105,7 +207,7 @@ func TestSingleflightCollapses(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			val, err, wasShared := g.do("key", func() (*Answer, error) {
+			val, err, wasShared := g.do(context.Background(), "key", func() (*Answer, error) {
 				executions.Add(1)
 				return &Answer{}, nil
 			})

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -63,12 +64,50 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	ans, err := s.TopK(req)
-	if err != nil {
+	// r.Context() is cancelled when the client disconnects (and when the
+	// daemon's drain deadline passes during shutdown); Run tightens it
+	// with the request's timeout_ms.
+	ans, err := s.Run(r.Context(), req)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, ans)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, err)
+	case errors.Is(err, context.Canceled) && shuttingDown(r.Context()):
+		// The server abandoned the query at its drain deadline; the client
+		// may well still be connected and deserves a retryable status.
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, context.Canceled):
+		// The client is gone; nothing useful can be written. Surface a
+		// status anyway for intermediaries that are still listening.
+		writeError(w, statusClientClosedRequest, err)
+	default:
 		writeError(w, http.StatusBadRequest, err)
-		return
 	}
-	writeJSON(w, http.StatusOK, ans)
+}
+
+// statusClientClosedRequest is nginx's de-facto standard 499 for requests
+// abandoned by the client; net/http has no named constant for it.
+const statusClientClosedRequest = 499
+
+// shutdownKey marks contexts whose cancellation means "the server is
+// draining", not "the client went away".
+type shutdownKey struct{}
+
+// MarkShutdown returns a context whose descendants report server-initiated
+// cancellation through the probe. A daemon passes the result as its
+// http.Server BaseContext and flips the probe to true before cancelling
+// in-flight requests at its drain deadline, so those queries fail 503
+// (retryable) rather than 499 (client abandoned).
+func MarkShutdown(ctx context.Context, drained func() bool) context.Context {
+	return context.WithValue(ctx, shutdownKey{}, drained)
+}
+
+// shuttingDown reports whether ctx descends from MarkShutdown with the
+// probe now true.
+func shuttingDown(ctx context.Context) bool {
+	probe, _ := ctx.Value(shutdownKey{}).(func() bool)
+	return probe != nil && probe()
 }
 
 // scoresRequest is the /v1/scores body.

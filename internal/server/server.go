@@ -3,10 +3,14 @@
 // core.Engine / core.View pair behind an HTTP/JSON API:
 //
 //	POST /v1/topk   — answer a top-k query; algorithm "auto" delegates to
-//	                  the cost-based planner per request
+//	                  the cost-based planner per request. Requests may set
+//	                  timeout_ms (server-side deadline), budget (max h-hop
+//	                  traversals), and candidates (restrict ranked nodes),
+//	                  and are aborted when the client disconnects.
 //	POST /v1/scores — apply a batch of relevance updates atomically
-//	GET  /v1/stats  — cache hit rate, per-algorithm latency histograms,
-//	                  summed engine work counters
+//	GET  /v1/stats  — cache hit rate and byte usage, per-algorithm latency
+//	                  histograms, summed engine work counters,
+//	                  timeout/cancellation counters
 //	GET  /v1/health — liveness plus dataset shape
 //
 // # Serving architecture
@@ -20,18 +24,28 @@
 // Engine.WithScores — sharing the topology-only indexes, so rebuilds cost
 // O(n) validation, not index construction — and bumps the generation.
 //
-// Results are cached in a sharded LRU keyed by
-// (k, aggregate, algorithm, options, generation): repeats at an unchanged
-// generation are O(1), and any update invalidates implicitly because the
-// new generation changes every key — no scan-and-evict. Concurrent
-// identical cold queries collapse to one execution via singleflight.
+// Every query runs under its request's context: the HTTP handler passes
+// r.Context() (cancelled on client disconnect) down through Server.Run
+// into core's cooperative cancellation, optionally tightened by the
+// request's timeout_ms. An abandoned query stops within a few BFS
+// expansions and frees its goroutine.
+//
+// Results are cached in a sharded, byte-accounted LRU keyed by
+// (k, aggregate, algorithm, options, candidates, budget, generation):
+// repeats at an unchanged generation are O(1), and any update invalidates
+// implicitly because the new generation changes every key — no
+// scan-and-evict. Concurrent identical cold queries collapse to one
+// execution via singleflight; if the one executing caller is cancelled,
+// a surviving waiter re-executes instead of inheriting the cancellation.
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -43,9 +57,9 @@ import (
 
 // Options tunes a Server; the zero value is a sensible default.
 type Options struct {
-	// CacheCapacity is the total result-cache capacity in entries
-	// (default 4096; <0 disables caching).
-	CacheCapacity int
+	// CacheBytes is the result cache's total capacity in approximate
+	// bytes of cached answers (default 16 MiB; <0 disables caching).
+	CacheBytes int64
 	// CacheShards is the number of independently locked cache segments
 	// (default 16).
 	CacheShards int
@@ -58,6 +72,10 @@ type Options struct {
 	// Intended for tests and tiny datasets.
 	SkipIndexes bool
 }
+
+// defaultCacheBytes is the result cache capacity when Options.CacheBytes
+// is zero.
+const defaultCacheBytes = 16 << 20
 
 // Server answers top-k queries and applies score updates; construct with
 // New and expose via Handler. All exported methods are safe for concurrent
@@ -77,24 +95,17 @@ type Server struct {
 	cache   *shardedCache // nil when caching is disabled
 	flight  flightGroup
 	metrics *metrics
-
-	// planMu guards the per-generation plan cache. The planner's decision
-	// depends only on (scores, index presence, aggregate) — all fixed
-	// within a generation — so its O(n) statistics scan runs once per
-	// (generation, aggregate) instead of per cold query.
-	planMu  sync.Mutex
-	planGen uint64
-	plans   map[core.Aggregate]core.Plan
 }
 
 // Answer is one computed (or cached) query response body — the /v1/topk
-// wire format, and what Server.TopK returns for in-process callers.
+// wire format, and what Server.Run returns for in-process callers.
 type Answer struct {
 	Generation uint64          `json:"generation"`
 	Algorithm  string          `json:"algorithm"` // algorithm actually executed
 	Planned    bool            `json:"planned"`   // true when "auto" chose it
 	Reason     string          `json:"reason,omitempty"`
 	Cached     bool            `json:"cached"`
+	Truncated  bool            `json:"truncated,omitempty"` // budget stopped the query early
 	Results    []core.Result   `json:"results"`
 	Stats      core.QueryStats `json:"stats"`
 	ElapsedUS  int64           `json:"elapsed_us"` // execution time when computed
@@ -105,8 +116,8 @@ type Answer struct {
 // (enabling incremental update repair and the "view" algorithm); directed
 // graphs serve engine-only and apply updates as plain score writes.
 func New(g *graph.Graph, scores []float64, h int, opts Options) (*Server, error) {
-	if opts.CacheCapacity == 0 {
-		opts.CacheCapacity = 4096
+	if opts.CacheBytes == 0 {
+		opts.CacheBytes = defaultCacheBytes
 	}
 	if opts.CacheShards <= 0 {
 		opts.CacheShards = 16
@@ -116,8 +127,8 @@ func New(g *graph.Graph, scores []float64, h int, opts Options) (*Server, error)
 		return nil, err
 	}
 	s := &Server{opts: opts, g: g, engine: engine, metrics: newMetrics()}
-	if opts.CacheCapacity > 0 {
-		s.cache = newShardedCache(opts.CacheCapacity, opts.CacheShards)
+	if opts.CacheBytes > 0 {
+		s.cache = newShardedCache(opts.CacheBytes, opts.CacheShards)
 	}
 	if !g.Directed() {
 		if s.view, err = core.NewView(g, scores, h); err != nil {
@@ -152,6 +163,15 @@ type QueryRequest struct {
 	Gamma     float64 `json:"gamma,omitempty"`
 	Order     string  `json:"order,omitempty"` // natural | degree-desc | score-desc
 	Workers   int     `json:"workers,omitempty"`
+	// TimeoutMS is a server-side deadline for this request in
+	// milliseconds; 0 means no extra deadline beyond the caller's context.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Budget caps the query's h-hop traversals (core.Query.Budget); a
+	// truncated answer sets "truncated": true.
+	Budget int `json:"budget,omitempty"`
+	// Candidates restricts which nodes may be ranked
+	// (core.Query.Candidates). Empty means every node.
+	Candidates []int `json:"candidates,omitempty"`
 }
 
 // algoView is the extra serving-only "algorithm": answer from the
@@ -197,13 +217,32 @@ func (r *QueryRequest) normalize(s *Server) (agg core.Aggregate, order core.Queu
 	if r.Gamma < 0 || r.Gamma > 1 {
 		return 0, 0, fmt.Errorf("gamma %v outside [0,1]", r.Gamma)
 	}
+	if r.TimeoutMS < 0 {
+		return 0, 0, fmt.Errorf("timeout_ms %d is negative", r.TimeoutMS)
+	}
+	if r.Budget < 0 {
+		return 0, 0, fmt.Errorf("budget %d is negative", r.Budget)
+	}
+	if err := r.canonicalizeCandidates(s.g.NumNodes()); err != nil {
+		return 0, 0, err
+	}
 	// Canonicalize option fields the chosen path ignores, so equivalent
 	// requests share one cache key and one in-flight execution: gamma only
 	// steers Backward, the queue order only steers Forward, and the
-	// auto/view paths choose their own options.
+	// auto/view paths choose their own options. timeout_ms never affects
+	// the answer and is excluded from the key entirely. Workers is zeroed
+	// except for the explicit parallel scan — the only path that consumes
+	// it (the planner never chooses it) — where a budget splits across
+	// per-worker node ranges and so changes the answer; the clamp below
+	// runs before the cache key is built so over-core worker counts
+	// collapse onto one entry.
 	switch r.Algorithm {
 	case "auto", algoView:
 		r.Gamma, r.Order = 0, ""
+		r.Workers = 0
+		if r.Algorithm == algoView {
+			r.Budget = 0 // the view scan performs no traversals to budget
+		}
 	default:
 		algo, _ := ParseAlgorithm(r.Algorithm)
 		if algo != core.AlgoBackward {
@@ -212,12 +251,47 @@ func (r *QueryRequest) normalize(s *Server) (agg core.Aggregate, order core.Queu
 		if algo != core.AlgoForward {
 			r.Order = ""
 		}
+		if algo != core.AlgoBaseParallel {
+			r.Workers = 0
+		}
+	}
+	if r.Workers < 0 {
+		r.Workers = 0
+	}
+	if max := runtime.GOMAXPROCS(0); r.Workers > max {
+		r.Workers = max
 	}
 	return agg, order, nil
 }
 
+// canonicalizeCandidates validates the candidate ids and rewrites them
+// sorted and deduplicated, so requests naming the same set in any order
+// share one cache key and one in-flight execution.
+func (r *QueryRequest) canonicalizeCandidates(n int) error {
+	if len(r.Candidates) == 0 {
+		r.Candidates = nil
+		return nil
+	}
+	seen := make(map[int]struct{}, len(r.Candidates))
+	out := make([]int, 0, len(r.Candidates))
+	for _, v := range r.Candidates {
+		if v < 0 || v >= n {
+			return fmt.Errorf("candidate node %d out of range [0,%d)", v, n)
+		}
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	r.Candidates = out
+	return nil
+}
+
 // cacheKey identifies a query result within one generation. Everything
-// that can change the response body participates.
+// that can change the response body participates (timeout_ms does not —
+// it changes only whether the query finishes, never its answer).
 func (r *QueryRequest) cacheKey(gen uint64) string {
 	var b strings.Builder
 	b.WriteString(strconv.FormatUint(gen, 10))
@@ -231,15 +305,37 @@ func (r *QueryRequest) cacheKey(gen uint64) string {
 	b.WriteString(strconv.FormatFloat(r.Gamma, 'g', -1, 64))
 	b.WriteByte('|')
 	b.WriteString(r.Order)
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(r.Workers))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(r.Budget))
+	b.WriteByte('|')
+	for i, v := range r.Candidates {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(v))
+	}
 	return b.String()
 }
 
-// TopK answers a query, consulting the cache first and collapsing
-// concurrent identical cold queries.
-func (s *Server) TopK(req QueryRequest) (*Answer, error) {
+// Run answers a query under ctx, consulting the cache first and collapsing
+// concurrent identical cold queries. The request's timeout_ms, when set,
+// tightens ctx with a deadline. A context error (the caller went away or
+// the deadline passed) is returned as-is and recorded in the
+// timeout/cancellation counters.
+func (s *Server) Run(ctx context.Context, req QueryRequest) (*Answer, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	agg, order, err := req.normalize(s)
 	if err != nil {
 		return nil, err
+	}
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
 	}
 
 	s.mu.RLock()
@@ -257,10 +353,25 @@ func (s *Server) TopK(req QueryRequest) (*Answer, error) {
 		}
 	}
 
-	ans, err, shared := s.flight.do(key, func() (*Answer, error) {
-		return s.execute(req, agg, order, gen, engine, view)
-	})
+	run := func() (*Answer, error) {
+		return s.execute(ctx, req, agg, order, gen, engine, view)
+	}
+	ans, err, shared := s.flight.do(ctx, key, run)
+	// A shared context error means the caller that executed the flight was
+	// cancelled — not necessarily us (our own expiry mid-wait yields
+	// ctx.Err() != nil and falls through). Live callers retry through the
+	// flight group, so all survivors of an abandoned flight collapse onto
+	// one re-execution instead of stampeding the engine; after repeated
+	// leader cancellations, fall back to executing directly.
+	for retries := 0; shared && isContextErr(err) && ctx.Err() == nil && retries < 2; retries++ {
+		ans, err, shared = s.flight.do(ctx, key, run)
+	}
+	if shared && isContextErr(err) && ctx.Err() == nil {
+		ans, err = run()
+		shared = false
+	}
 	if err != nil {
+		s.metrics.noteQueryAborted(err)
 		return nil, err
 	}
 	if shared {
@@ -274,9 +385,23 @@ func (s *Server) TopK(req QueryRequest) (*Answer, error) {
 	return ans, nil
 }
 
+// TopK answers a query with an uncancellable context.
+//
+// Deprecated: use Run — TopK cannot honor timeout_ms tighter than the
+// query's runtime, client disconnects, or any caller-side deadline.
+func (s *Server) TopK(req QueryRequest) (*Answer, error) {
+	return s.Run(context.Background(), req)
+}
+
+// isContextErr reports whether err is (or wraps) a context cancellation
+// or deadline error.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // execute runs the query against one generation's immutable engine (or the
 // live view, under RLock so it cannot race an update batch).
-func (s *Server) execute(req QueryRequest, agg core.Aggregate, order core.QueueOrder,
+func (s *Server) execute(ctx context.Context, req QueryRequest, agg core.Aggregate, order core.QueueOrder,
 	gen uint64, engine *core.Engine, view *core.View) (*Answer, error) {
 
 	ans := &Answer{Generation: gen, Algorithm: req.Algorithm}
@@ -290,41 +415,53 @@ func (s *Server) execute(req QueryRequest, agg core.Aggregate, order core.QueueO
 		// which may be newer than the snapshot taken for the cache key.
 		s.mu.RLock()
 		ans.Generation = s.gen
-		results, err := view.TopK(req.K, agg)
+		res, err := view.Run(ctx, core.Query{K: req.K, Aggregate: agg, Candidates: req.Candidates})
 		s.mu.RUnlock()
 		if err != nil {
 			return nil, err
 		}
-		ans.Results = results
+		ans.Results = res.Results
 
 	case "auto":
-		plan := s.planFor(gen, engine, req.K, agg)
-		results, stats, err := engine.TopK(plan.Algorithm, req.K, agg, &plan.Options)
+		// AlgoAuto delegates to the planner; the engine memoizes the
+		// decision per instance, and each generation is a fresh
+		// WithScores engine, so the plan's O(n) statistics scan runs once
+		// per (generation, aggregate), not per cold query.
+		res, err := engine.Run(ctx, core.Query{
+			Algorithm:  core.AlgoAuto,
+			K:          req.K,
+			Aggregate:  agg,
+			Candidates: req.Candidates,
+			Budget:     req.Budget,
+		})
 		if err != nil {
 			return nil, err
 		}
-		ans.Results, ans.Stats = results, stats
-		ans.Algorithm = plan.Algorithm.String()
+		ans.Results, ans.Stats, ans.Truncated = res.Results, res.Stats, res.Truncated
+		ans.Algorithm = res.Plan.Algorithm.String()
 		ans.Planned = true
-		ans.Reason = plan.Reason
+		ans.Reason = res.Plan.Reason
 
 	default:
 		algo, _ := ParseAlgorithm(req.Algorithm) // validated in normalize
+		// Wire-supplied parallelism was already clamped to GOMAXPROCS by
+		// normalize, before the cache key was built.
 		opts := core.Options{Gamma: req.Gamma, Order: order, Workers: req.Workers}
 		if opts.Workers <= 0 {
 			opts.Workers = s.opts.Workers
 		}
-		// Clamp wire-supplied parallelism: beyond the core count it only
-		// buys goroutine and per-worker-state overhead, and an uncapped
-		// value would let one request allocate O(n) traversers.
-		if max := runtime.GOMAXPROCS(0); opts.Workers > max {
-			opts.Workers = max
-		}
-		results, stats, err := engine.TopK(algo, req.K, agg, &opts)
+		res, err := engine.Run(ctx, core.Query{
+			Algorithm:  algo,
+			K:          req.K,
+			Aggregate:  agg,
+			Options:    opts,
+			Candidates: req.Candidates,
+			Budget:     req.Budget,
+		})
 		if err != nil {
 			return nil, err
 		}
-		ans.Results, ans.Stats = results, stats
+		ans.Results, ans.Stats, ans.Truncated = res.Results, res.Stats, res.Truncated
 		// Report core's canonical name so explicitly requested and
 		// planner-chosen runs share one latency histogram per algorithm.
 		ans.Algorithm = algo.String()
@@ -337,34 +474,6 @@ func (s *Server) execute(req QueryRequest, agg core.Aggregate, order core.QueueO
 	}
 	s.metrics.recordQuery(ans.Algorithm, elapsed, ans.Stats)
 	return ans, nil
-}
-
-// planFor returns the planner's decision for (gen, agg), consulting the
-// plan cache first. k does not participate: Planner.Choose's heuristics
-// ignore it. Queries racing a generation bump simply recompute; only the
-// newest generation's plans are kept.
-func (s *Server) planFor(gen uint64, engine *core.Engine, k int, agg core.Aggregate) core.Plan {
-	s.planMu.Lock()
-	if s.planGen == gen {
-		if plan, ok := s.plans[agg]; ok {
-			s.planMu.Unlock()
-			return plan
-		}
-	}
-	s.planMu.Unlock()
-
-	plan := core.NewPlanner(engine).Choose(k, agg)
-
-	s.planMu.Lock()
-	if s.planGen < gen || s.plans == nil {
-		s.planGen = gen
-		s.plans = make(map[core.Aggregate]core.Plan)
-	}
-	if s.planGen == gen {
-		s.plans[agg] = plan
-	}
-	s.planMu.Unlock()
-	return plan
 }
 
 // ScoreUpdate is one relevance mutation of an update batch.
@@ -446,6 +555,8 @@ func (s *Server) Stats() Stats {
 	s.mu.RUnlock()
 	if s.cache != nil {
 		st.Cache.Entries = s.cache.len()
+		st.Cache.Bytes = s.cache.bytes()
+		st.Cache.CapacityBytes = s.cache.capacityBytes()
 	}
 	return st
 }
@@ -456,8 +567,9 @@ func ParseAggregate(name string) (core.Aggregate, error) {
 	return core.ParseAggregate(name)
 }
 
-// ParseAlgorithm maps the wire name of an engine algorithm to core's enum.
-// "auto" and "view" are serving-level modes handled before this point.
+// ParseAlgorithm maps the wire name of an engine algorithm (including
+// "auto") to core's enum. The serving-level "view" mode is handled before
+// this point.
 func ParseAlgorithm(name string) (core.Algorithm, error) {
 	algo, err := core.ParseAlgorithm(name)
 	if err != nil {

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math"
 	"math/rand"
@@ -13,6 +14,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 )
+
+// ctx is the background context shared by the tests that do not exercise
+// cancellation; see cancel_test.go for the ones that do.
+var ctx = context.Background()
 
 // testGraph builds a connected random undirected graph, mirroring the
 // core package's test helper.
@@ -111,7 +116,7 @@ func TestConcurrentQueriesAndUpdates(t *testing.T) {
 					return
 				default:
 				}
-				_, err := s.TopK(QueryRequest{K: 5 + i, Aggregate: "sum", Algorithm: algo, Gamma: 0.3})
+				_, err := s.Run(ctx, QueryRequest{K: 5 + i, Aggregate: "sum", Algorithm: algo, Gamma: 0.3})
 				if err != nil && firstErr == nil {
 					firstErr = err
 				}
@@ -157,7 +162,7 @@ func TestConcurrentQueriesAndUpdates(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, algo := range []string{"auto", "view", "base", "backward"} {
-			ans, err := s.TopK(QueryRequest{K: 10, Aggregate: agg, Algorithm: algo})
+			ans, err := s.Run(ctx, QueryRequest{K: 10, Aggregate: agg, Algorithm: algo})
 			if err != nil {
 				t.Fatalf("%s/%s: %v", agg, algo, err)
 			}
@@ -176,7 +181,7 @@ func TestCacheHitOnRepeat(t *testing.T) {
 	s := mustServer(t, g, testScores(80, 33), 2, Options{})
 
 	req := QueryRequest{K: 10, Aggregate: "sum", Algorithm: "backward", Gamma: 0.2}
-	cold, err := s.TopK(req)
+	cold, err := s.Run(ctx, req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +196,7 @@ func TestCacheHitOnRepeat(t *testing.T) {
 	evaluatedAfterCold := st.Engine.Evaluated
 
 	for i := 0; i < 3; i++ {
-		hit, err := s.TopK(req)
+		hit, err := s.Run(ctx, req)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -226,14 +231,14 @@ func TestUpdateInvalidatesCache(t *testing.T) {
 	s := mustServer(t, b.Build(), scores, 1, Options{SkipIndexes: true})
 
 	req := QueryRequest{K: 1, Aggregate: "sum", Algorithm: "base"}
-	before, err := s.TopK(req)
+	before, err := s.Run(ctx, req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if before.Generation != 0 || before.Results[0].Value != 0 {
 		t.Fatalf("unexpected initial answer %+v", before)
 	}
-	if _, err := s.TopK(req); err != nil {
+	if _, err := s.Run(ctx, req); err != nil {
 		t.Fatal(err)
 	}
 	if st := s.Stats(); st.Cache.Hits != 1 {
@@ -253,7 +258,7 @@ func TestUpdateInvalidatesCache(t *testing.T) {
 		t.Fatalf("touched = %d, want 4", res.Touched)
 	}
 
-	after, err := s.TopK(req)
+	after, err := s.Run(ctx, req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,15 +304,15 @@ func TestQueryValidation(t *testing.T) {
 		{K: 5, Aggregate: "max", Algorithm: "forward"}, // MAX has no forward bound
 	}
 	for _, req := range bad {
-		if _, err := s.TopK(req); err == nil {
+		if _, err := s.Run(ctx, req); err == nil {
 			t.Errorf("request %+v accepted", req)
 		}
 	}
 	// Uppercase names and the default algorithm are fine.
-	if _, err := s.TopK(QueryRequest{K: 5, Aggregate: "SUM"}); err != nil {
+	if _, err := s.Run(ctx, QueryRequest{K: 5, Aggregate: "SUM"}); err != nil {
 		t.Errorf("uppercase aggregate rejected: %v", err)
 	}
-	if _, err := s.TopK(QueryRequest{K: 3, Aggregate: "max", Algorithm: "base"}); err != nil {
+	if _, err := s.Run(ctx, QueryRequest{K: 3, Aggregate: "max", Algorithm: "base"}); err != nil {
 		t.Errorf("MAX via base rejected: %v", err)
 	}
 }
@@ -431,20 +436,20 @@ func TestDirectedGraphServing(t *testing.T) {
 	if s.view != nil {
 		t.Fatal("directed server built a view")
 	}
-	if _, err := s.TopK(QueryRequest{K: 5, Aggregate: "sum", Algorithm: "view"}); err == nil {
+	if _, err := s.Run(ctx, QueryRequest{K: 5, Aggregate: "sum", Algorithm: "view"}); err == nil {
 		t.Fatal(`"view" accepted on a directed graph`)
 	}
-	if _, err := s.TopK(QueryRequest{K: 5, Aggregate: "sum", Algorithm: "backward"}); err == nil {
+	if _, err := s.Run(ctx, QueryRequest{K: 5, Aggregate: "sum", Algorithm: "backward"}); err == nil {
 		t.Fatal("backward accepted on a directed graph")
 	}
-	before, err := s.TopK(QueryRequest{K: 5, Aggregate: "sum", Algorithm: "base"})
+	before, err := s.Run(ctx, QueryRequest{K: 5, Aggregate: "sum", Algorithm: "base"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := s.ApplyUpdates([]ScoreUpdate{{Node: before.Results[0].Node, Score: 0}}); err != nil {
 		t.Fatal(err)
 	}
-	after, err := s.TopK(QueryRequest{K: 5, Aggregate: "sum", Algorithm: "base"})
+	after, err := s.Run(ctx, QueryRequest{K: 5, Aggregate: "sum", Algorithm: "base"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -460,10 +465,10 @@ func TestCacheKeyCanonicalization(t *testing.T) {
 	g := testGraph(40, 120, 41)
 	s := mustServer(t, g, testScores(40, 41), 2, Options{SkipIndexes: true})
 
-	if _, err := s.TopK(QueryRequest{K: 5, Aggregate: "sum", Algorithm: "auto", Gamma: 0.2}); err != nil {
+	if _, err := s.Run(ctx, QueryRequest{K: 5, Aggregate: "sum", Algorithm: "auto", Gamma: 0.2}); err != nil {
 		t.Fatal(err)
 	}
-	ans, err := s.TopK(QueryRequest{K: 5, Aggregate: "sum", Algorithm: "auto", Gamma: 0.7, Order: "degree-desc"})
+	ans, err := s.Run(ctx, QueryRequest{K: 5, Aggregate: "sum", Algorithm: "auto", Gamma: 0.7, Order: "degree-desc"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -471,10 +476,10 @@ func TestCacheKeyCanonicalization(t *testing.T) {
 		t.Fatal("auto queries differing only in ignored options did not share a cache key")
 	}
 
-	if _, err := s.TopK(QueryRequest{K: 5, Aggregate: "sum", Algorithm: "base", Gamma: 0.1}); err != nil {
+	if _, err := s.Run(ctx, QueryRequest{K: 5, Aggregate: "sum", Algorithm: "base", Gamma: 0.1}); err != nil {
 		t.Fatal(err)
 	}
-	ans, err = s.TopK(QueryRequest{K: 5, Aggregate: "sum", Algorithm: "base", Gamma: 0.9})
+	ans, err = s.Run(ctx, QueryRequest{K: 5, Aggregate: "sum", Algorithm: "base", Gamma: 0.9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -483,10 +488,10 @@ func TestCacheKeyCanonicalization(t *testing.T) {
 	}
 
 	// For Backward, gamma is load-bearing and must keep keys distinct.
-	if _, err := s.TopK(QueryRequest{K: 5, Aggregate: "sum", Algorithm: "backward", Gamma: 0.1}); err != nil {
+	if _, err := s.Run(ctx, QueryRequest{K: 5, Aggregate: "sum", Algorithm: "backward", Gamma: 0.1}); err != nil {
 		t.Fatal(err)
 	}
-	ans, err = s.TopK(QueryRequest{K: 5, Aggregate: "sum", Algorithm: "backward", Gamma: 0.9})
+	ans, err = s.Run(ctx, QueryRequest{K: 5, Aggregate: "sum", Algorithm: "backward", Gamma: 0.9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -526,7 +531,7 @@ func TestConcurrentUpdateBatchesAndLazyIndexes(t *testing.T) {
 			defer wg.Done()
 			algo := []string{"forward", "backward", "auto", "view"}[w%4]
 			for q := 0; q < 15; q++ {
-				if _, err := s.TopK(QueryRequest{K: 5, Aggregate: "sum", Algorithm: algo, Gamma: 0.3}); err != nil {
+				if _, err := s.Run(ctx, QueryRequest{K: 5, Aggregate: "sum", Algorithm: algo, Gamma: 0.3}); err != nil {
 					errs <- err
 					return
 				}
@@ -552,7 +557,7 @@ func TestConcurrentUpdateBatchesAndLazyIndexes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := s.TopK(QueryRequest{K: 8, Aggregate: "sum"})
+	got, err := s.Run(ctx, QueryRequest{K: 8, Aggregate: "sum"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"sync"
 )
@@ -9,37 +10,45 @@ import (
 // computes the answer for a key, later callers with the same key wait for
 // that result instead of repeating the computation. This is the standard
 // singleflight pattern (x/sync/singleflight), reimplemented here because
-// the repository takes no external dependencies.
+// the repository takes no external dependencies — extended so that a
+// waiter's own context bounds its wait: a request with a tight timeout_ms
+// (or a disconnecting client) gets its context error at its deadline even
+// while an identical unbounded query keeps computing.
 type flightGroup struct {
 	mu sync.Mutex
 	m  map[string]*flightCall
 }
 
 type flightCall struct {
-	wg  sync.WaitGroup
-	val *Answer
-	err error
+	done chan struct{} // closed when val/err are set
+	val  *Answer
+	err  error
 }
 
 // do runs fn once per key among concurrent callers. shared reports whether
-// the caller received another goroutine's in-flight result.
+// the caller joined another goroutine's in-flight execution; a joined
+// caller whose ctx expires first abandons the wait and returns its own
+// context error (the execution itself keeps running for the others).
 //
-// If fn panics, the panic propagates to the leading caller (net/http
+// If fn panics, the panic propagates to the executing caller (net/http
 // recovers handler panics per-connection), but waiters are still released
 // with an error and the key is removed — a panicking query must not poison
 // its cache key forever.
-func (g *flightGroup) do(key string, fn func() (*Answer, error)) (val *Answer, err error, shared bool) {
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (*Answer, error)) (val *Answer, err error, shared bool) {
 	g.mu.Lock()
 	if g.m == nil {
 		g.m = make(map[string]*flightCall)
 	}
 	if c, ok := g.m[key]; ok {
 		g.mu.Unlock()
-		c.wg.Wait()
-		return c.val, c.err, true
+		select {
+		case <-c.done:
+			return c.val, c.err, true
+		case <-ctx.Done():
+			return nil, ctx.Err(), true
+		}
 	}
-	c := &flightCall{}
-	c.wg.Add(1)
+	c := &flightCall{done: make(chan struct{})}
 	g.m[key] = c
 	g.mu.Unlock()
 
@@ -48,7 +57,7 @@ func (g *flightGroup) do(key string, fn func() (*Answer, error)) (val *Answer, e
 		if !completed {
 			c.val, c.err = nil, errors.New("server: in-flight query panicked")
 		}
-		c.wg.Done()
+		close(c.done)
 		g.mu.Lock()
 		delete(g.m, key)
 		g.mu.Unlock()

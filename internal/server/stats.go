@@ -1,6 +1,8 @@
 package server
 
 import (
+	"context"
+	"errors"
 	"math/bits"
 	"sort"
 	"sync"
@@ -83,6 +85,12 @@ type metrics struct {
 	updates   atomic.Int64
 	mutations atomic.Int64
 
+	// Context-abort counters: queries abandoned at a deadline (the
+	// request's timeout_ms or a caller deadline) vs. cancelled outright
+	// (client disconnect, shutdown drain).
+	timeouts atomic.Int64
+	cancels  atomic.Int64
+
 	// Engine work counters summed over every executed (non-cached) query.
 	evaluated   atomic.Int64
 	pruned      atomic.Int64
@@ -116,6 +124,17 @@ func (m *metrics) hist(label string) *latencyHist {
 	return h
 }
 
+// noteQueryAborted classifies a query error into the timeout/cancellation
+// counters; non-context errors (validation and the like) are not counted.
+func (m *metrics) noteQueryAborted(err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		m.timeouts.Add(1)
+	case errors.Is(err, context.Canceled):
+		m.cancels.Add(1)
+	}
+}
+
 func (m *metrics) recordQuery(label string, d time.Duration, stats core.QueryStats) {
 	m.hist(label).observe(d)
 	m.evaluated.Add(int64(stats.Evaluated))
@@ -131,6 +150,10 @@ type CacheStats struct {
 	HitRate   float64 `json:"hit_rate"`
 	Entries   int     `json:"entries"`
 	Collapsed int64   `json:"collapsed"` // duplicate in-flight queries absorbed by singleflight
+	// Bytes is the approximate resident size of all cached answers — the
+	// same per-entry sizing eviction enforces against CapacityBytes.
+	Bytes         int64 `json:"cache_bytes"`
+	CapacityBytes int64 `json:"cache_capacity_bytes"`
 }
 
 // EngineStats sums the core.QueryStats of every executed query — the
@@ -152,6 +175,8 @@ type Stats struct {
 	H             int                       `json:"h"`
 	UpdateBatches int64                     `json:"update_batches"`
 	Mutations     int64                     `json:"mutations"`
+	QueryTimeouts int64                     `json:"query_timeouts"` // queries abandoned at a deadline
+	QueryCancels  int64                     `json:"query_cancels"`  // queries cancelled by the caller
 	Cache         CacheStats                `json:"cache"`
 	Engine        EngineStats               `json:"engine"`
 	Latency       map[string]LatencySummary `json:"latency"`
@@ -162,6 +187,8 @@ func (m *metrics) snapshot() Stats {
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		UpdateBatches: m.updates.Load(),
 		Mutations:     m.mutations.Load(),
+		QueryTimeouts: m.timeouts.Load(),
+		QueryCancels:  m.cancels.Load(),
 		Cache: CacheStats{
 			Hits:      m.hits.Load(),
 			Misses:    m.misses.Load(),

@@ -11,13 +11,24 @@
 //
 // # Quick start
 //
+// A query is a lona.Query value executed by Run — one context-aware entry
+// point shared by the Engine, the Planner, the View, and the serving API:
+//
 //	g := lona.NewGraphBuilder(4, false)
 //	g.AddEdge(0, 1)
 //	g.AddEdge(1, 2)
 //	g.AddEdge(2, 3)
 //	engine, err := lona.NewEngine(g.Build(), []float64{0.9, 0.1, 0.8, 0.2}, 2)
 //	if err != nil { ... }
-//	results, stats, err := engine.TopK(lona.AlgoForward, 2, lona.Sum, nil)
+//	ans, err := engine.Run(ctx, lona.Query{K: 2, Aggregate: lona.Sum})
+//	// ans.Results, ans.Stats; ans.Plan records the planner's choice.
+//
+// A zero Algorithm (AlgoAuto) lets the cost-based planner choose the
+// strategy; naming one (AlgoForward, AlgoBackward, …) runs it directly.
+// The context cancels or deadlines the query cooperatively: the algorithm
+// loops poll it, return its error promptly, and leave the engine reusable.
+// A Query can also restrict the ranked nodes (Candidates) and cap the
+// work spent (Budget) for Fagin-style early termination.
 //
 // Three query strategies are provided, all returning identical answers:
 // the naive Base scan, LONA-Forward (differential-index pruning), and
@@ -32,6 +43,7 @@
 package lona
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/attr"
@@ -66,6 +78,16 @@ func NewEngine(g *Graph, scores []float64, h int) (*Engine, error) {
 	return core.NewEngine(g, scores, h)
 }
 
+// Query is the first-class description of a top-k request: algorithm
+// (AlgoAuto delegates to the planner), k, aggregate, options, an optional
+// candidate restriction, and an optional traversal budget. Execute it with
+// Engine.Run, Planner.Run, or View.Run.
+type Query = core.Query
+
+// Answer bundles a query's results, work stats, the planner's Plan when
+// AlgoAuto chose the strategy, and whether a Budget truncated the run.
+type Answer = core.Answer
+
 // Result is one (node, value) entry of a top-k answer.
 type Result = core.Result
 
@@ -93,9 +115,11 @@ const (
 // Algorithm selects a query strategy.
 type Algorithm = core.Algorithm
 
-// Algorithms. AlgoBase is the paper's comparison baseline; AlgoForward and
-// AlgoBackward are the LONA contributions.
+// Algorithms. AlgoAuto (the zero value) delegates the choice to the
+// cost-based planner; AlgoBase is the paper's comparison baseline;
+// AlgoForward and AlgoBackward are the LONA contributions.
 const (
+	AlgoAuto          = core.AlgoAuto
 	AlgoBase          = core.AlgoBase
 	AlgoBaseParallel  = core.AlgoBaseParallel
 	AlgoForward       = core.AlgoForward
@@ -165,20 +189,31 @@ func NewView(g *Graph, scores []float64, h int) (*View, error) {
 // NewServer and mount Handler() on any http.Server.
 type Server = server.Server
 
-// ServerOptions tunes a Server (cache capacity and sharding, worker
-// parallelism). The zero value is a sensible default.
+// ServerOptions tunes a Server (cache capacity in bytes and sharding,
+// worker parallelism). The zero value is a sensible default.
 type ServerOptions = server.Options
 
-// ServerQueryRequest is a decoded /v1/topk request, usable directly
-// against Server.TopK for in-process serving.
+// ServerQueryRequest is a decoded /v1/topk request — including the
+// per-request timeout_ms deadline, traversal budget, and candidate
+// restriction — usable directly against Server.Run for in-process serving.
 type ServerQueryRequest = server.QueryRequest
 
 // ServerScoreUpdate is one relevance mutation of a /v1/scores batch.
 type ServerScoreUpdate = server.ScoreUpdate
 
 // ServerAnswer is a query response — /v1/topk's wire format, returned
-// directly by Server.TopK for in-process callers.
+// directly by Server.Run for in-process callers.
 type ServerAnswer = server.Answer
+
+// MarkServerShutdown returns a context whose descendants report
+// server-initiated cancellation: pass the result as an http.Server
+// BaseContext and flip the probe to true before cancelling in-flight
+// requests at a drain deadline, so abandoned queries answer 503
+// (retryable) instead of 499 (client gone). cmd/lonad uses it for
+// graceful shutdown.
+func MarkServerShutdown(ctx context.Context, drained func() bool) context.Context {
+	return server.MarkShutdown(ctx, drained)
+}
 
 // NewServer validates the inputs and returns a ready-to-serve Server:
 // engine indexes prepared, materialized view built (undirected graphs),

@@ -2,6 +2,7 @@ package lona_test
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 
@@ -19,20 +20,31 @@ func TestQuickstartFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	results, stats, err := engine.TopK(lona.AlgoForward, 2, lona.Sum, nil)
+	ans, err := engine.Run(context.Background(), lona.Query{Algorithm: lona.AlgoForward, K: 2, Aggregate: lona.Sum})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 2 {
-		t.Fatalf("got %d results", len(results))
+	if len(ans.Results) != 2 {
+		t.Fatalf("got %d results", len(ans.Results))
 	}
 	// Path 0-1-2-3, h=2: F(1)=0.9+0.1+0.8+0.2=2.0 (covers all),
 	// F(2)=2.0 too; tie broken toward node 1.
-	if results[0].Node != 1 || math.Abs(results[0].Value-2.0) > 1e-12 {
-		t.Fatalf("top = %+v", results[0])
+	if ans.Results[0].Node != 1 || math.Abs(ans.Results[0].Value-2.0) > 1e-12 {
+		t.Fatalf("top = %+v", ans.Results[0])
 	}
-	if stats.Evaluated == 0 {
+	if ans.Stats.Evaluated == 0 {
 		t.Fatal("no work recorded")
+	}
+	// The zero algorithm plans itself and reports the plan.
+	auto, err := engine.Run(context.Background(), lona.Query{K: 2, Aggregate: lona.Sum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Plan == nil || auto.Plan.Reason == "" {
+		t.Fatalf("AlgoAuto answer has no plan: %+v", auto)
+	}
+	if math.Abs(auto.Results[0].Value-ans.Results[0].Value) > 1e-12 {
+		t.Fatalf("planned answer %v != forward answer %v", auto.Results[0], ans.Results[0])
 	}
 }
 
@@ -102,18 +114,20 @@ func TestFacadeEndToEndAcrossAlgorithms(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, _, err := engine.TopK(lona.AlgoBase, 10, lona.Avg, nil)
+	base, err := engine.Run(context.Background(), lona.Query{Algorithm: lona.AlgoBase, K: 10, Aggregate: lona.Avg})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, algo := range []lona.Algorithm{lona.AlgoForward, lona.AlgoBackward, lona.AlgoBackwardNaive, lona.AlgoBaseParallel} {
-		got, _, err := engine.TopK(algo, 10, lona.Avg, &lona.Options{Gamma: 0.5})
+		got, err := engine.Run(context.Background(), lona.Query{
+			Algorithm: algo, K: 10, Aggregate: lona.Avg, Options: lona.Options{Gamma: 0.5},
+		})
 		if err != nil {
 			t.Fatalf("%v: %v", algo, err)
 		}
-		for i := range base {
-			if math.Abs(got[i].Value-base[i].Value) > 1e-9 {
-				t.Fatalf("%v value %d: %v vs %v", algo, i, got[i].Value, base[i].Value)
+		for i := range base.Results {
+			if math.Abs(got.Results[i].Value-base.Results[i].Value) > 1e-9 {
+				t.Fatalf("%v value %d: %v vs %v", algo, i, got.Results[i].Value, base.Results[i].Value)
 			}
 		}
 	}
