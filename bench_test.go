@@ -187,7 +187,31 @@ func BenchmarkA6Partitioned(b *testing.B) {
 		b.Run(fmt.Sprintf("parts=%d", parts), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := x.TopKSum(100); err != nil {
+				if _, _, err := x.Run(context.Background(), core.Query{K: 100, Aggregate: core.Sum}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkS2Cluster is the distributed-serving benchmark: the cluster
+// coordinator fanning one query out across partition-local engines,
+// in-process. cmd/lonabench runs the full S2 grid (with the HTTP
+// transport point and the single-engine baseline) and writes
+// BENCH_cluster.json.
+func BenchmarkS2Cluster(b *testing.B) {
+	g := lona.CollaborationNetwork(benchScale(), 20100301)
+	scores := lona.MixtureScores(g, 0.01, 20100302)
+	for _, parts := range []int{2, 4, 8} {
+		coord, err := lona.NewLocalCoordinator(g, scores, 2, parts, lona.CoordinatorOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("parts=%d", parts), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := coord.Run(context.Background(), lona.Query{K: 100, Aggregate: lona.Sum, Algorithm: lona.AlgoBase}); err != nil {
 					b.Fatal(err)
 				}
 			}

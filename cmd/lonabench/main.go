@@ -37,16 +37,32 @@ func main() {
 		out         = flag.String("out", "", "write the markdown report to this file (default stdout)")
 		csvDir      = flag.String("csv-dir", "", "also write one CSV per experiment into this directory")
 		servingJSON = flag.String("serving-json", "BENCH_serving.json", "write the S1 serving summary to this file (empty disables)")
+		clusterJSON = flag.String("cluster-json", "BENCH_cluster.json", "write the S2 sharded-execution summary to this file (empty disables)")
 		quiet       = flag.Bool("quiet", false, "suppress progress logging")
 	)
 	flag.Parse()
-	if err := run(*experiments, *scale, *seed, *repeats, *workers, *out, *csvDir, *servingJSON, *quiet); err != nil {
+	if err := run(*experiments, *scale, *seed, *repeats, *workers, *out, *csvDir, *servingJSON, *clusterJSON, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "lonabench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiments string, scale float64, seed int64, repeats, workers int, out, csvDir, servingJSON string, quiet bool) error {
+// writeSummary marshals a machine-readable benchmark summary to path.
+func writeSummary(path string, summary any, quiet bool) error {
+	blob, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "wrote summary to %s\n", path)
+	}
+	return nil
+}
+
+func run(experiments string, scale float64, seed int64, repeats, workers int, out, csvDir, servingJSON, clusterJSON string, quiet bool) error {
 	ids := bench.ExperimentIDs()
 	if experiments != "all" {
 		ids = nil
@@ -73,24 +89,26 @@ func run(experiments string, scale float64, seed int64, repeats, workers int, ou
 		start := time.Now()
 		var res *bench.Result
 		var err error
-		if id == "S1" {
-			// The serving benchmark also yields a machine-readable summary
+		switch id {
+		case "S1":
+			// The serving benchmarks also yield machine-readable summaries
 			// so the perf trajectory across PRs is tracked mechanically.
 			var summary *bench.ServingSummary
 			res, summary, err = w.RunServingDetailed()
 			if err == nil && servingJSON != "" {
-				blob, jerr := json.MarshalIndent(summary, "", "  ")
-				if jerr != nil {
-					return jerr
-				}
-				if werr := os.WriteFile(servingJSON, append(blob, '\n'), 0o644); werr != nil {
-					return fmt.Errorf("writing %s: %w", servingJSON, werr)
-				}
-				if !quiet {
-					fmt.Fprintf(os.Stderr, "wrote serving summary to %s\n", servingJSON)
+				if werr := writeSummary(servingJSON, summary, quiet); werr != nil {
+					return werr
 				}
 			}
-		} else {
+		case "S2":
+			var summary *bench.ClusterSummary
+			res, summary, err = w.RunClusterDetailed()
+			if err == nil && clusterJSON != "" {
+				if werr := writeSummary(clusterJSON, summary, quiet); werr != nil {
+					return werr
+				}
+			}
+		default:
 			res, err = w.Run(id)
 		}
 		if err != nil {

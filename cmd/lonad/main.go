@@ -8,13 +8,27 @@
 //	lonad -dataset collaboration -scale 0.5 -addr :8080
 //	lonad -graph collab.graph -scores collab.scores -hops 2 -drain 5s
 //
+//	# one process, 4 partition-local engines:
+//	lonad -dataset collaboration -shards 4
+//
+//	# one worker process per shard, plus a coordinator fanning out to them:
+//	lonad -dataset collaboration -shards 2 -shard-worker -shard-index 0 -addr :9001
+//	lonad -dataset collaboration -shards 2 -shard-worker -shard-index 1 -addr :9002
+//	lonad -dataset collaboration -shard-peers http://localhost:9001,http://localhost:9002
+//
 // Endpoints (JSON):
 //
-//	POST /v1/topk   {"k":10,"aggregate":"sum","algorithm":"auto",
-//	                 "timeout_ms":250,"budget":0,"candidates":[]}
-//	POST /v1/scores {"updates":[{"node":17,"score":0.9}]}
+//	POST /v1/topk    {"k":10,"aggregate":"sum","algorithm":"auto",
+//	                  "timeout_ms":250,"budget":0,"candidates":[]}
+//	POST /v1/scores  {"updates":[{"node":17,"score":0.9}]}
+//	POST /v1/reshard {"shards":8}
 //	GET  /v1/stats
 //	GET  /v1/health
+//
+// In -shard-worker mode the daemon instead serves the shard protocol
+// (/v1/shard/query, /v1/shard/bound, /v1/shard/scores, /v1/shard/health)
+// for one partition of the dataset; dataset flags must match the
+// coordinator's so every process derives the same partitioning.
 //
 // On SIGINT/SIGTERM the daemon stops accepting connections, drains
 // in-flight requests for up to -drain, then cancels any queries still
@@ -53,45 +67,124 @@ func main() {
 		cacheBytes = flag.Int64("cache-bytes", 16<<20, "result cache capacity in approximate bytes (<=0 disables)")
 		workers    = flag.Int("workers", 0, "index-build/parallel-scan goroutines (0 = GOMAXPROCS)")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline for in-flight requests")
+
+		shards      = flag.Int("shards", 1, "partition the network into this many shards (in-process engines, or parts for -shard-worker)")
+		shardWorker = flag.Bool("shard-worker", false, "serve one shard of the -shards partitioning instead of the full query API")
+		shardIndex  = flag.Int("shard-index", 0, "which shard this worker owns (with -shard-worker)")
+		shardPeers  = flag.String("shard-peers", "", "comma-separated shard-worker base URLs, in shard-index order; queries fan out to them")
 	)
 	flag.Parse()
-	if err := run(*addr, *graphPath, *scoresPath, *dataset, *scale, *seed, *relKind, *r, *h, *cacheBytes, *workers, *drain); err != nil {
+	cfg := config{
+		addr: *addr, graphPath: *graphPath, scoresPath: *scoresPath,
+		dataset: *dataset, scale: *scale, seed: *seed, relKind: *relKind, r: *r,
+		h: *h, cacheBytes: *cacheBytes, workers: *workers, drain: *drain,
+		shards: *shards, shardWorker: *shardWorker, shardIndex: *shardIndex,
+		shardPeers: *shardPeers,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "lonad:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, graphPath, scoresPath, dataset string, scale float64, seed int64,
-	relKind string, r float64, h int, cacheBytes int64, workers int, drain time.Duration) error {
+// config carries the parsed flag set.
+type config struct {
+	addr                  string
+	graphPath, scoresPath string
+	dataset               string
+	scale                 float64
+	seed                  int64
+	relKind               string
+	r                     float64
+	h                     int
+	cacheBytes            int64
+	workers               int
+	drain                 time.Duration
+	shards                int
+	shardWorker           bool
+	shardIndex            int
+	shardPeers            string
+}
 
-	g, scores, err := loadOrGenerate(graphPath, scoresPath, dataset, scale, seed, relKind, r)
+// peerList splits -shard-peers into trimmed, non-empty URLs.
+func (c config) peerList() []string {
+	var peers []string
+	for _, p := range strings.Split(c.shardPeers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	return peers
+}
+
+func run(cfg config) error {
+	peers := cfg.peerList()
+	switch {
+	case cfg.shardWorker && len(peers) > 0:
+		return fmt.Errorf("-shard-worker and -shard-peers are mutually exclusive")
+	case cfg.shardWorker && (cfg.shardIndex < 0 || cfg.shardIndex >= cfg.shards):
+		return fmt.Errorf("-shard-index %d outside the %d-shard partitioning", cfg.shardIndex, cfg.shards)
+	case cfg.shards < 1:
+		return fmt.Errorf("-shards must be at least 1, got %d", cfg.shards)
+	}
+
+	g, scores, err := loadOrGenerate(cfg.graphPath, cfg.scoresPath, cfg.dataset, cfg.scale, cfg.seed, cfg.relKind, cfg.r)
 	if err != nil {
 		return err
 	}
-	log.Printf("network: %d nodes, %d edges; h=%d", g.NumNodes(), g.NumEdges(), h)
-
-	start := time.Now()
-	if cacheBytes <= 0 {
-		cacheBytes = -1 // ServerOptions: negative disables, zero means default
-	}
-	srv, err := lona.NewServer(g, scores, h, lona.ServerOptions{
-		CacheBytes: cacheBytes,
-		Workers:    workers,
-	})
-	if err != nil {
-		return err
-	}
-	log.Printf("server ready in %.2fs (indexes prepared, view materialized)", time.Since(start).Seconds())
-
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return err
-	}
-	log.Printf("serving on %s — POST /v1/topk, POST /v1/scores, GET /v1/stats, GET /v1/health", ln.Addr())
+	log.Printf("network: %d nodes, %d edges; h=%d", g.NumNodes(), g.NumEdges(), cfg.h)
 
 	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	return serveUntilDone(sigCtx, srv.Handler(), ln, drain)
+
+	start := time.Now()
+	var handler http.Handler
+	switch {
+	case cfg.shardWorker:
+		// Worker mode: build just this process's shard of the shared
+		// deterministic partitioning and serve the shard protocol.
+		handler, err = lona.NewShardWorkerHandler(g, scores, cfg.h, cfg.shards, cfg.shardIndex)
+		if err != nil {
+			return err
+		}
+		log.Printf("shard worker %d/%d ready in %.2fs", cfg.shardIndex, cfg.shards, time.Since(start).Seconds())
+
+	default:
+		cacheBytes := cfg.cacheBytes
+		if cacheBytes <= 0 {
+			cacheBytes = -1 // ServerOptions: negative disables, zero means default
+		}
+		opts := lona.ServerOptions{CacheBytes: cacheBytes, Workers: cfg.workers}
+		if len(peers) > 0 {
+			opts.ShardWorkers = peers
+		} else if cfg.shards > 1 {
+			opts.Shards = cfg.shards
+		}
+		srv, err := lona.NewServer(g, scores, cfg.h, opts)
+		if err != nil {
+			return err
+		}
+		switch {
+		case len(peers) > 0:
+			log.Printf("server ready in %.2fs (coordinator over %d shard workers)", time.Since(start).Seconds(), len(peers))
+		case cfg.shards > 1:
+			log.Printf("server ready in %.2fs (%d in-process shards)", time.Since(start).Seconds(), cfg.shards)
+		default:
+			log.Printf("server ready in %.2fs (indexes prepared, view materialized)", time.Since(start).Seconds())
+		}
+		handler = srv.Handler()
+	}
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	if cfg.shardWorker {
+		log.Printf("serving shard protocol on %s — POST /v1/shard/query, GET /v1/shard/health", ln.Addr())
+	} else {
+		log.Printf("serving on %s — POST /v1/topk, POST /v1/scores, POST /v1/reshard, GET /v1/stats, GET /v1/health", ln.Addr())
+	}
+	return serveUntilDone(sigCtx, handler, ln, cfg.drain)
 }
 
 // serveUntilDone serves HTTP on ln until ctx is done (a termination

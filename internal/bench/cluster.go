@@ -1,0 +1,200 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"runtime"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// ClusterSummary is the machine-readable result of the S2 distributed-
+// serving benchmark — cmd/lonabench writes it as BENCH_cluster.json so
+// the sharded execution layer's performance trajectory (wall-clock
+// speedup and cross-shard message volume vs the single-engine baseline)
+// is tracked mechanically across PRs.
+type ClusterSummary struct {
+	Dataset string  `json:"dataset"`
+	Scale   float64 `json:"scale"`
+	Nodes   int     `json:"nodes"`
+	Edges   int     `json:"edges"`
+	H       int     `json:"h"`
+	K       int     `json:"k"`
+	// CPUs is GOMAXPROCS at run time: the ceiling on in-process fan-out
+	// speedup (a 1-CPU machine can only show ~1.0×; the distribution win
+	// there is the per-shard latency and the TA work cuts, not wall
+	// clock).
+	CPUs int `json:"cpus"`
+
+	// BaselineSec is the single-engine Base scan the grid compares
+	// against.
+	BaselineSec float64           `json:"baseline_sec"`
+	Grid        []ClusterGridCell `json:"grid"`
+}
+
+// ClusterGridCell is one (parts, transport) measurement.
+type ClusterGridCell struct {
+	Parts     int     `json:"parts"`
+	Transport string  `json:"transport"` // "local" or "http"
+	Sec       float64 `json:"sec"`
+	// Speedup is baseline_sec / sec — the headline distribution win.
+	Speedup float64 `json:"speedup"`
+	// SetupSec is the partition + closure + shard-engine build time (the
+	// amortized cost of standing the topology up).
+	SetupSec float64 `json:"setup_sec"`
+	// Messages is the per-query cross-shard message count (bound probes,
+	// query round-trips, result items); BoundaryNodes and EdgeCut are the
+	// topology's standing replication costs.
+	Messages      int64 `json:"messages"`
+	BoundaryNodes int64 `json:"boundary_nodes"`
+	EdgeCut       int   `json:"edge_cut"`
+}
+
+// clusterBenchK matches the paper's mid-sweep k and the S1 benchmark.
+const clusterBenchK = 100
+
+// RunCluster executes S2 and returns only the Result grid.
+func (w *Workspace) RunCluster() (*Result, error) {
+	res, _, err := w.RunClusterDetailed()
+	return res, err
+}
+
+// RunClusterDetailed benchmarks the sharded execution layer on the
+// default synthetic dataset (Collaboration, mixture relevance, r=0.01,
+// 2-hop, SUM, k=100): the single-engine Base scan as baseline, then the
+// cluster coordinator over in-process shards at P ∈ {1,2,4,8}, plus one
+// cross-process point (P=4 behind real HTTP workers) to price the wire.
+// Every merged answer is verified byte-identical to the baseline before
+// its timing is accepted — a benchmark of a wrong answer is worthless.
+func (w *Workspace) RunClusterDetailed() (*Result, *ClusterSummary, error) {
+	g, err := w.Graph(Collaboration)
+	if err != nil {
+		return nil, nil, err
+	}
+	scores, err := w.Scores(g, MixtureScores, 0.01)
+	if err != nil {
+		return nil, nil, err
+	}
+	engine, err := core.NewEngine(g, scores, hops)
+	if err != nil {
+		return nil, nil, err
+	}
+	q := core.Query{Algorithm: core.AlgoBase, K: clusterBenchK, Aggregate: core.Sum}
+
+	var baseline core.Answer
+	baseSec, err := w.timeQuery(func() error {
+		var err error
+		baseline, err = engine.Run(context.Background(), q)
+		return err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	w.logf("S2 baseline (1 engine): %.4fs", baseSec)
+
+	sum := &ClusterSummary{
+		Dataset: Collaboration.String(), Scale: w.cfg.Scale,
+		Nodes: g.NumNodes(), Edges: g.NumEdges(), H: hops, K: clusterBenchK,
+		CPUs:        runtime.GOMAXPROCS(0),
+		BaselineSec: baseSec,
+	}
+	res := &Result{
+		ID:    "S2",
+		Title: "Sharded execution: coordinator fan-out vs single engine (Collaboration, SUM, k=100)",
+		XName: "parts",
+		Notes: fmt.Sprintf("%d nodes, %d edges, h=%d; BFS-grown+refined shards over h-hop closures; merged answers verified byte-identical to the baseline",
+			g.NumNodes(), g.NumEdges(), hops),
+	}
+	res.Rows = append(res.Rows, Row{X: 1, Label: "single-engine", Sec: baseSec})
+
+	verify := func(label string, got core.Answer) error {
+		if len(got.Results) != len(baseline.Results) {
+			return fmt.Errorf("S2 %s: %d results, baseline %d", label, len(got.Results), len(baseline.Results))
+		}
+		for i := range baseline.Results {
+			if got.Results[i] != baseline.Results[i] {
+				return fmt.Errorf("S2 %s: result %d = %+v, baseline %+v", label, i, got.Results[i], baseline.Results[i])
+			}
+		}
+		return nil
+	}
+
+	measure := func(parts int, transportName string, coord *cluster.Coordinator, setupSec float64, topo cluster.Topology) error {
+		var bd cluster.Breakdown
+		sec, err := w.timeQuery(func() error {
+			ans, b, err := coord.RunDetailed(context.Background(), q)
+			if err != nil {
+				return err
+			}
+			bd = b
+			return verify(transportName, ans)
+		})
+		if err != nil {
+			return err
+		}
+		cell := ClusterGridCell{
+			Parts: parts, Transport: transportName, Sec: sec, SetupSec: setupSec,
+			Messages: bd.Messages, BoundaryNodes: topo.BoundaryNodes, EdgeCut: topo.EdgeCut,
+		}
+		if sec > 0 {
+			cell.Speedup = baseSec / sec
+		}
+		sum.Grid = append(sum.Grid, cell)
+		res.Rows = append(res.Rows, Row{
+			X: float64(parts), Label: transportName, Sec: sec,
+			Extra: map[string]float64{
+				"speedup":        cell.Speedup,
+				"messages":       float64(cell.Messages),
+				"boundary_nodes": float64(cell.BoundaryNodes),
+				"edge_cut":       float64(cell.EdgeCut),
+				"setup_sec":      setupSec,
+			},
+		})
+		w.logf("S2 parts=%d %-5s %.4fs (speedup %.2fx, messages=%d, boundary=%d, setup %.2fs)",
+			parts, transportName, sec, cell.Speedup, cell.Messages, cell.BoundaryNodes, setupSec)
+		return nil
+	}
+
+	for _, parts := range []int{1, 2, 4, 8} {
+		start := time.Now()
+		local, err := cluster.NewLocal(g, scores, hops, parts)
+		if err != nil {
+			return nil, nil, err
+		}
+		setupSec := time.Since(start).Seconds()
+		coord := cluster.NewCoordinator(local, cluster.Options{})
+		if err := measure(parts, "local", coord, setupSec, local.Topology()); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// One cross-process point: the same P=4 topology behind real HTTP
+	// workers (httptest servers — loopback sockets, full JSON protocol).
+	const httpParts = 4
+	start := time.Now()
+	shards, p, err := cluster.BuildShards(g, scores, hops, httpParts)
+	if err != nil {
+		return nil, nil, err
+	}
+	urls := make([]string, httpParts)
+	for i, s := range shards {
+		srv := httptest.NewServer(cluster.NewWorker(s).Handler())
+		defer srv.Close()
+		urls[i] = srv.URL
+	}
+	transport, err := cluster.NewHTTP(context.Background(), urls, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer transport.Close()
+	setupSec := time.Since(start).Seconds()
+	topo := transport.Topology()
+	topo.EdgeCut = p.EdgeCut(g)
+	if err := measure(httpParts, "http", cluster.NewCoordinator(transport, cluster.Options{}), setupSec, topo); err != nil {
+		return nil, nil, err
+	}
+	return res, sum, nil
+}

@@ -1,0 +1,43 @@
+package bench
+
+import "testing"
+
+// TestRunClusterSmoke runs S2 on a small-but-real dataset and checks the
+// summary invariants: every grid cell carries a verified timing (the
+// harness itself cross-checks answers against the baseline before
+// accepting them), messages appear once the topology has more than one
+// shard, and the HTTP point made it in.
+func TestRunClusterSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster benchmark takes seconds")
+	}
+	w := NewWorkspace(Config{Scale: 0.1, Seed: 42, Workers: 2})
+	res, sum, err := w.RunClusterDetailed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "S2" || sum.BaselineSec <= 0 {
+		t.Fatalf("unexpected result shape: id=%s baseline=%v", res.ID, sum.BaselineSec)
+	}
+	if len(sum.Grid) != 5 { // local ×4 parts + one http point
+		t.Fatalf("grid has %d cells, want 5", len(sum.Grid))
+	}
+	sawHTTP := false
+	for _, cell := range sum.Grid {
+		if cell.Sec <= 0 || cell.Speedup <= 0 {
+			t.Fatalf("cell %+v has non-positive timing", cell)
+		}
+		if cell.Parts > 1 && cell.Messages == 0 {
+			t.Fatalf("multi-shard cell %+v reports zero messages", cell)
+		}
+		if cell.Transport == "http" {
+			sawHTTP = true
+		}
+	}
+	if !sawHTTP {
+		t.Fatal("no HTTP transport point in the grid")
+	}
+	if res.Markdown() == "" || res.CSV() == "" {
+		t.Fatal("renderers rejected the grid")
+	}
+}

@@ -320,7 +320,7 @@ func (w *Workspace) RunPartitioned() (*Result, error) {
 			var stats partition.Stats
 			sec, err := w.timeQuery(func() error {
 				var err error
-				_, stats, err = x.TopKSum(100)
+				_, stats, err = x.Run(context.Background(), core.Query{K: 100, Aggregate: core.Sum})
 				return err
 			})
 			if err != nil {
@@ -391,7 +391,7 @@ func ExperimentIDs() []string {
 	for _, f := range PaperFigures {
 		ids = append(ids, f.ID)
 	}
-	ids = append(ids, "A1", "A2", "A3", "A4", "A5", "A6", "A7", "S1")
+	ids = append(ids, "A1", "A2", "A3", "A4", "A5", "A6", "A7", "S1", "S2")
 	return ids
 }
 
@@ -419,6 +419,8 @@ func (w *Workspace) Run(id string) (*Result, error) {
 		return w.RunDistBound()
 	case "S1":
 		return w.RunServing()
+	case "S2":
+		return w.RunCluster()
 	default:
 		known := ExperimentIDs()
 		sort.Strings(known)

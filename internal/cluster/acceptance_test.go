@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/relevance"
+)
+
+// TestAcceptanceCollaborationP4 is this PR's acceptance criterion:
+// Coordinator.Run returns byte-identical top-k (results and ordering) to
+// Engine.Run for every aggregate on the scale-0.2 collaboration network
+// at P=4, under the paper's mixture relevance — both through the planner
+// (AlgoAuto) and the explicit Base scan.
+func TestAcceptanceCollaborationP4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("acceptance-scale dataset")
+	}
+	const h, k, parts = 2, 100, 4
+	g := gen.Collaboration(gen.DatasetScale(0.2), 20100301)
+	scores := relevance.Mixture(g, relevance.MixtureParams{BlackingRatio: 0.01}, 20100302)
+	engine, err := core.NewEngine(g, scores, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := NewLocal(g, scores, h, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local.PrepareIndexes(0)
+	coord := NewCoordinator(local, Options{})
+
+	for _, agg := range allAggregates {
+		for _, algo := range []core.Algorithm{core.AlgoAuto, core.AlgoBase} {
+			if !supportsAgg(algo, agg) {
+				continue
+			}
+			q := core.Query{Algorithm: algo, K: k, Aggregate: agg}
+			want, err := engine.Run(context.Background(), q)
+			if err != nil {
+				t.Fatalf("%v/%v: engine: %v", agg, algo, err)
+			}
+			got, bd, err := coord.RunDetailed(context.Background(), q)
+			if err != nil {
+				t.Fatalf("%v/%v: coordinator: %v", agg, algo, err)
+			}
+			assertSameResults(t, agg.String()+"/"+algo.String(), got.Results, want.Results)
+			if len(got.Results) != k {
+				t.Fatalf("%v/%v: %d results, want %d", agg, algo, len(got.Results), k)
+			}
+			if bd.Shards != parts || bd.Messages == 0 {
+				t.Fatalf("%v/%v: implausible breakdown %+v", agg, algo, bd)
+			}
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// TestRunPreCancelled: an already-cancelled context aborts the fan-out
+// before (or immediately after) any shard work, and the coordinator
+// stays fully reusable.
+func TestRunPreCancelled(t *testing.T) {
+	g := gen.BarabasiAlbert(400, 3, 61)
+	scores := testScores(400, 61)
+	local, err := NewLocal(g, scores, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := NewCoordinator(local, Options{})
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	q := core.Query{K: 10, Aggregate: core.Sum, Algorithm: core.AlgoBase}
+	ans, err := coord.Run(cancelled, q)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ans.Results != nil {
+		t.Fatal("cancelled fan-out leaked a partial answer")
+	}
+
+	engine, err := core.NewEngine(g, scores, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := engine.Run(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := coord.Run(context.Background(), q)
+	if err != nil {
+		t.Fatalf("coordinator unusable after cancellation: %v", err)
+	}
+	assertSameResults(t, "reuse after cancel", got.Results, want.Results)
+}
+
+// TestRunCancelMidFanOut cancels the caller context while shard queries
+// are in flight: the coordinator must return context.Canceled promptly
+// (within a few poll strides, not a full scan) with no goroutine left
+// running, and answer the same query correctly afterwards. Run under
+// -race this also exercises the merge/cut bookkeeping against concurrent
+// shard completions.
+func TestRunCancelMidFanOut(t *testing.T) {
+	// Heavy enough that a full Base scan takes visibly long per shard.
+	g := gen.Collaboration(gen.DatasetScale(0.1), 71)
+	scores := testScores(g.NumNodes(), 71)
+	local, err := NewLocal(g, scores, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := NewCoordinator(local, Options{})
+	q := core.Query{K: 10, Aggregate: core.Sum, Algorithm: core.AlgoBase}
+
+	// Measure the uncancelled run for the promptness comparison.
+	start := time.Now()
+	want, err := coord.Run(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := time.Since(start)
+
+	for _, delay := range []time.Duration{full / 20, full / 4, full / 2} {
+		ctx, cancel := context.WithCancel(context.Background())
+		timer := time.AfterFunc(delay, cancel)
+		start := time.Now()
+		_, err := coord.Run(ctx, q)
+		elapsed := time.Since(start)
+		timer.Stop()
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			// The query may legitimately finish before a late cancel.
+			if err == nil && elapsed <= full*2 {
+				continue
+			}
+			t.Fatalf("delay %v: err = %v (elapsed %v), want context.Canceled", delay, err, elapsed)
+		}
+		if elapsed > full+200*time.Millisecond {
+			t.Fatalf("delay %v: cancellation took %v, full run only %v", delay, elapsed, full)
+		}
+	}
+
+	got, err := coord.Run(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, "reuse after mid-query cancel", got.Results, want.Results)
+}
+
+// TestConcurrentQueriesAndUpdates hammers the fan-out path with
+// concurrent queries, cancellations, and score updates — the generation
+// swap and merge state must stay race-free (run with -race) and every
+// completed query must return either a valid answer or a context error.
+func TestConcurrentQueriesAndUpdates(t *testing.T) {
+	g := gen.BarabasiAlbert(1500, 3, 83)
+	scores := testScores(1500, 83)
+	local, err := NewLocal(g, scores, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := NewCoordinator(local, Options{})
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			aggs := []core.Aggregate{core.Sum, core.Avg, core.Count}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ctx, cancel := context.WithCancel(context.Background())
+				if i%3 == 0 {
+					time.AfterFunc(time.Duration(i%5)*100*time.Microsecond, cancel)
+				}
+				ans, err := coord.Run(ctx, core.Query{K: 5, Aggregate: aggs[i%len(aggs)]})
+				cancel()
+				if err != nil && !errors.Is(err, context.Canceled) {
+					t.Errorf("worker %d: unexpected error %v", w, err)
+					return
+				}
+				if err == nil && len(ans.Results) == 0 {
+					t.Errorf("worker %d: empty answer without error", w)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 30; i++ {
+			upd := []ScoreUpdate{{Node: (i * 37) % 1500, Score: float64(i%9) / 8}}
+			if err := local.ApplyScores(context.Background(), upd); err != nil {
+				t.Errorf("update %d: %v", i, err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	time.Sleep(60 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+// TestHTTPCancelMidFanOut: cancelling the coordinator's context aborts
+// in-flight worker HTTP requests, which aborts the worker-side engine
+// queries cooperatively.
+func TestHTTPCancelMidFanOut(t *testing.T) {
+	g := gen.Collaboration(gen.DatasetScale(0.1), 73)
+	scores := testScores(g.NumNodes(), 73)
+	urls, _ := startWorkers(t, g, scores, 3, 4)
+	transport, err := NewHTTP(context.Background(), urls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer transport.Close()
+	coord := NewCoordinator(transport, Options{})
+	q := core.Query{K: 10, Aggregate: core.Sum, Algorithm: core.AlgoBase}
+
+	start := time.Now()
+	want, err := coord.Run(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := time.Since(start)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	timer := time.AfterFunc(full/10, cancel)
+	_, err = coord.Run(ctx, q)
+	timer.Stop()
+	cancel()
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled or fast success", err)
+	}
+
+	got, err := coord.Run(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, "http reuse after cancel", got.Results, want.Results)
+}

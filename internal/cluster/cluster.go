@@ -1,0 +1,337 @@
+// Package cluster is the sharded query execution subsystem: the
+// infrastructure the paper closes with ("partitioning the network into
+// subnetworks and distributing the aggregation workload"). A Coordinator
+// satisfies the same Run(ctx, Query) shape as core's Engine, Planner, and
+// View, but executes the query across P partition-local engines — each a
+// core.Engine over the h-hop closure of the nodes its shard owns — and
+// merges the partial top-k lists into an answer byte-identical to a
+// single-engine run.
+//
+// # Merge with early termination
+//
+// Each shard first reports a certified upper bound on any value it could
+// contribute (core.Engine.AggregateUpperBound). The coordinator fans the
+// query out in descending bound order and maintains the running global
+// k-th value λ; following the Threshold Algorithm's stopping rule
+// [Fagin et al.], a shard whose bound falls strictly below λ is cut
+// short — skipped if it has not launched, cancelled via its context if it
+// is mid-query — because no node it owns can reach the final top-k.
+// Strict comparison keeps value ties resolving exactly as a single
+// engine would. Exactness of the surviving shard answers (see Shard) then
+// makes the merged list — values, ordering, and tie-breaks — identical to
+// Engine.Run.
+//
+// # Transports
+//
+// Workers are reached through the Transport interface: Local runs every
+// shard in-process (one goroutine per shard, the simulated-machine model
+// internal/partition introduced), HTTP fans out to lonad worker processes
+// exposing /v1/shard/query. internal/server routes /v1/topk through a
+// Coordinator when serving sharded, and cmd/lonad wires up both modes.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/topk"
+)
+
+// Options tunes a Coordinator. The zero value is a sensible default.
+type Options struct {
+	// Parallel bounds how many shard queries run concurrently
+	// (<=0 = min(shards, GOMAXPROCS)). With fewer slots than shards the
+	// bound-descending launch order makes early termination bite: the
+	// shards most likely to raise λ run first, and trailing shards are
+	// often cut before they ever start.
+	Parallel int
+	// DisableCut turns TA early termination off (benchmarks isolating
+	// the fan-out cost, and tests proving the cut changes nothing).
+	DisableCut bool
+}
+
+// Coordinator fans queries out across a Transport's shards and merges the
+// partial answers. It is safe for concurrent use; construct with
+// NewCoordinator.
+type Coordinator struct {
+	t    Transport
+	opts Options
+}
+
+// NewCoordinator returns a coordinator over the transport.
+func NewCoordinator(t Transport, opts Options) *Coordinator {
+	return &Coordinator{t: t, opts: opts}
+}
+
+// Transport returns the transport the coordinator fans out over.
+func (c *Coordinator) Transport() Transport { return c.t }
+
+// Shards returns the number of shards queries fan out across.
+func (c *Coordinator) Shards() int { return c.t.Shards() }
+
+// Snapshot pins the current shard generation; pass it to RunOn so a
+// caller holding its own generation lock (internal/server) observes one
+// consistent shard set per query.
+func (c *Coordinator) Snapshot() QueryView { return c.t.Snapshot() }
+
+// ShardReport is one shard's slice of a Breakdown.
+type ShardReport struct {
+	Shard     int   `json:"shard"`
+	ElapsedUS int64 `json:"elapsed_us"`
+	Results   int   `json:"results"`
+	// Cut means the TA bound ended this shard early: skipped before
+	// launch, or cancelled mid-query.
+	Cut bool `json:"cut,omitempty"`
+	// Launched distinguishes a mid-query cancellation (true) from a
+	// pre-launch skip (false) among cut shards.
+	Launched bool `json:"launched"`
+}
+
+// Breakdown reports what one distributed execution did — the
+// cross-machine counters the paper's infrastructure section cares about,
+// aggregated into /v1/stats by the serving layer.
+type Breakdown struct {
+	Shards    int `json:"shards"`
+	ShardsCut int `json:"shards_cut"`
+	// Messages counts simulated (Local) or real (HTTP) cross-shard
+	// exchanges: one bound probe per shard, a request and a response per
+	// launched shard query, and one message per result item shipped back.
+	Messages int64         `json:"messages"`
+	PerShard []ShardReport `json:"per_shard"`
+}
+
+// Run executes a query across every shard and merges the answer — the
+// same context-aware entry-point shape as Engine.Run, Planner.Run, and
+// View.Run. Results (values, ordering, tie-breaks) are identical to a
+// single-engine run; Stats sum the work of every shard that executed;
+// Truncated reports whether any shard's budget slice ran out.
+func (c *Coordinator) Run(ctx context.Context, q core.Query) (core.Answer, error) {
+	ans, _, err := c.RunDetailed(ctx, q)
+	return ans, err
+}
+
+// RunDetailed is Run plus the distributed-execution breakdown.
+func (c *Coordinator) RunDetailed(ctx context.Context, q core.Query) (core.Answer, Breakdown, error) {
+	return c.RunOn(ctx, c.t.Snapshot(), q)
+}
+
+// RunOn executes the query against an explicit shard-set snapshot.
+func (c *Coordinator) RunOn(ctx context.Context, view QueryView, q core.Query) (core.Answer, Breakdown, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	bd := Breakdown{Shards: c.t.Shards()}
+	if q.K <= 0 {
+		return core.Answer{}, bd, fmt.Errorf("cluster: k must be positive, got %d", q.K)
+	}
+	if q.Budget < 0 {
+		return core.Answer{}, bd, fmt.Errorf("cluster: negative budget %d", q.Budget)
+	}
+	n := c.t.Nodes()
+	for _, v := range q.Candidates {
+		if v < 0 || v >= n {
+			return core.Answer{}, bd, fmt.Errorf("cluster: candidate node %d out of range [0,%d)", v, n)
+		}
+	}
+	parts := bd.Shards
+	if parts <= 0 {
+		return core.Answer{}, bd, errors.New("cluster: transport has no shards")
+	}
+
+	// Phase 1 — merge bounds, fetched concurrently. A failed probe makes
+	// the shard uncuttable (+Inf) rather than failing the query: the
+	// shard query itself will surface any real transport fault.
+	bounds := make([]float64, parts)
+	var probeWG sync.WaitGroup
+	for i := 0; i < parts; i++ {
+		probeWG.Add(1)
+		go func(i int) {
+			defer probeWG.Done()
+			b, err := view.UpperBound(ctx, i, q.Aggregate)
+			if err != nil {
+				b = math.Inf(1)
+			}
+			bounds[i] = b
+		}(i)
+	}
+	probeWG.Wait()
+	bd.Messages += int64(parts)
+
+	// Launch order: descending bound, ascending shard index among ties —
+	// the shards most able to raise λ go first.
+	order := make([]int, parts)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return bounds[order[a]] > bounds[order[b]] })
+
+	// Budget slices: q.Budget splits evenly by shard index (not bound
+	// order), so the split is deterministic across runs.
+	budgets := partition.SplitBudget(q.Budget, parts)
+
+	parallel := c.opts.Parallel
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > parts {
+		parallel = parts
+	}
+
+	// Phase 2 — fan out with TA cuts. All shared state below is guarded
+	// by mu: the merged list, per-shard outcomes, and the cancel/cut
+	// bookkeeping the λ-watcher mutates.
+	type outcome struct {
+		ans      core.Answer
+		err      error
+		dur      time.Duration
+		launched bool
+		cut      bool
+		done     bool
+	}
+	var (
+		mu       sync.Mutex
+		list     = topk.New(q.K)
+		outcomes = make([]outcome, parts)
+		cancels  = make([]context.CancelFunc, parts)
+		aborted  bool // a shard failed; the rest of the fan-out is moot
+	)
+	// cuttable reports whether shard i cannot affect the final top-k:
+	// strict (<) so a shard that could still tie λ — and win the
+	// smaller-id tie-break — always runs to completion.
+	cuttable := func(i int) bool {
+		return !c.opts.DisableCut && list.Full() && bounds[i] < list.Bound()
+	}
+
+	sem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	for _, si := range order {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
+			defer func() { <-sem }()
+
+			mu.Lock()
+			if ctx.Err() != nil || aborted {
+				mu.Unlock()
+				return
+			}
+			if cuttable(si) {
+				outcomes[si] = outcome{cut: true, done: true}
+				mu.Unlock()
+				return
+			}
+			sctx, cancel := context.WithCancel(ctx)
+			cancels[si] = cancel
+			mu.Unlock()
+			defer cancel()
+
+			sq := q
+			sq.Budget = budgets[si]
+			start := time.Now()
+			ans, err := view.Query(sctx, si, sq)
+			dur := time.Since(start)
+
+			mu.Lock()
+			defer mu.Unlock()
+			o := &outcomes[si]
+			o.launched, o.dur, o.done = true, dur, true
+			if err != nil {
+				// A cancellation we caused — a TA cut, or collateral of
+				// another shard's fatal error — is not this shard's
+				// fault; a cancellation the caller caused is reported as
+				// the caller's context error below.
+				if (o.cut || aborted) && isContextErr(err) && ctx.Err() == nil {
+					return
+				}
+				o.err = err
+				// The merged answer can no longer be produced: stop the
+				// shards still running instead of letting them finish
+				// work nobody will read.
+				aborted = true
+				for sj := range cancels {
+					oj := &outcomes[sj]
+					if sj != si && !oj.done && cancels[sj] != nil {
+						cancels[sj]()
+					}
+				}
+				return
+			}
+			o.ans = ans
+			for _, it := range ans.Results {
+				list.Offer(it.Node, it.Value)
+			}
+			// λ may have risen: cut every launched shard that can no
+			// longer contribute. Pending shards are cut at launch time,
+			// when they observe the final λ themselves.
+			for sj := 0; sj < parts; sj++ {
+				oj := &outcomes[sj]
+				if sj == si || oj.done || oj.cut || cancels[sj] == nil || !cuttable(sj) {
+					continue
+				}
+				oj.cut = true
+				cancels[sj]()
+			}
+		}(si)
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return core.Answer{}, bd, err
+	}
+	merged := core.Answer{Results: list.Items()}
+	for si := range outcomes {
+		o := &outcomes[si]
+		if o.err != nil {
+			return core.Answer{}, bd, fmt.Errorf("cluster: shard %d: %w", si, o.err)
+		}
+		report := ShardReport{Shard: si, ElapsedUS: o.dur.Microseconds(),
+			Results: len(o.ans.Results), Cut: o.cut, Launched: o.launched}
+		bd.PerShard = append(bd.PerShard, report)
+		if o.cut {
+			bd.ShardsCut++
+		}
+		if o.launched {
+			bd.Messages += 2 + int64(len(o.ans.Results))
+		}
+		s := o.ans.Stats
+		merged.Stats.Evaluated += s.Evaluated
+		merged.Stats.Pruned += s.Pruned
+		merged.Stats.Distributed += s.Distributed
+		merged.Stats.Visited += s.Visited
+		merged.Truncated = merged.Truncated || o.ans.Truncated
+	}
+	// Fold per-shard planner decisions into one Plan for the merged
+	// Answer: the lowest-index executed shard's choice, annotated with
+	// the shard count (shards plan independently — their score
+	// distributions differ — so the note keeps the reported plan honest).
+	if q.Algorithm == core.AlgoAuto {
+		for si := range outcomes {
+			if p := outcomes[si].ans.Plan; p != nil {
+				plan := *p
+				plan.Reason = fmt.Sprintf("sharded ×%d (shard %d): %s", parts, si, plan.Reason)
+				merged.Plan = &plan
+				break
+			}
+		}
+	}
+	return merged, bd, nil
+}
+
+// isContextErr reports whether err is (or wraps) a context cancellation
+// or deadline error.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

@@ -1,0 +1,436 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// The HTTP transport speaks a small JSON protocol to lonad worker
+// processes (cmd/lonad -shard-worker), one shard per worker:
+//
+//	POST /v1/shard/query  — execute a shard-local query (global node ids)
+//	GET  /v1/shard/bound  — the shard's merge bound for ?aggregate=
+//	POST /v1/shard/scores — apply a relevance update batch to the shard
+//	GET  /v1/shard/health — shard identity and shape, probed at dial time
+//
+// Queries carry the caller's context: cancelling the request (a TA cut, a
+// client disconnect, a deadline) cancels the worker-side engine query
+// cooperatively, exactly as in-process execution would.
+
+// wireQuery is the /v1/shard/query body — core.Query flattened into the
+// same names /v1/topk uses, with candidates in global ids and the budget
+// already split by the coordinator.
+type wireQuery struct {
+	Algorithm  string  `json:"algorithm,omitempty"` // "" or "auto" = planner
+	K          int     `json:"k"`
+	Aggregate  string  `json:"aggregate"`
+	Gamma      float64 `json:"gamma,omitempty"`
+	Order      string  `json:"order,omitempty"`
+	Workers    int     `json:"workers,omitempty"`
+	Candidates []int   `json:"candidates,omitempty"`
+	Budget     int     `json:"budget,omitempty"`
+}
+
+// wireAnswer is the /v1/shard/query response.
+type wireAnswer struct {
+	Results   []core.Result   `json:"results"`
+	Stats     core.QueryStats `json:"stats"`
+	Truncated bool            `json:"truncated,omitempty"`
+	// Plan round-trips the shard planner's decision for AlgoAuto queries.
+	PlanAlgorithm string `json:"plan_algorithm,omitempty"`
+	PlanReason    string `json:"plan_reason,omitempty"`
+}
+
+// wireHealth is the /v1/shard/health response; the transport validates it
+// against the worker's position at dial time so a mis-wired worker list
+// fails fast instead of merging the wrong partitions.
+type wireHealth struct {
+	OK       bool `json:"ok"`
+	Shard    int  `json:"shard"`
+	Shards   int  `json:"shards"`
+	Nodes    int  `json:"nodes"` // full-graph node count
+	Owned    int  `json:"owned"`
+	Boundary int  `json:"boundary"`
+	H        int  `json:"h"`
+}
+
+// wireBound is the /v1/shard/bound response.
+type wireBound struct {
+	Aggregate string  `json:"aggregate"`
+	Bound     float64 `json:"bound"`
+}
+
+// wireScores is the /v1/shard/scores request and response: workers apply
+// the updates that fall inside their closure and report how many landed.
+type wireScores struct {
+	Updates []ScoreUpdate `json:"updates,omitempty"`
+	Applied int           `json:"applied,omitempty"`
+}
+
+// wireError is every non-2xx worker response body.
+type wireError struct {
+	Error string `json:"error"`
+}
+
+// encodeQuery flattens q onto the wire.
+func encodeQuery(q core.Query) wireQuery {
+	return wireQuery{
+		Algorithm:  q.Algorithm.WireName(),
+		K:          q.K,
+		Aggregate:  q.Aggregate.WireName(),
+		Gamma:      q.Options.Gamma,
+		Order:      q.Options.Order.String(),
+		Workers:    q.Options.Workers,
+		Candidates: q.Candidates,
+		Budget:     q.Budget,
+	}
+}
+
+// decodeQuery validates and reconstructs a core.Query from the wire.
+func decodeQuery(w wireQuery) (core.Query, error) {
+	var q core.Query
+	var err error
+	if q.Aggregate, err = core.ParseAggregate(w.Aggregate); err != nil {
+		return q, err
+	}
+	if w.Algorithm != "" {
+		if q.Algorithm, err = core.ParseAlgorithm(w.Algorithm); err != nil {
+			return q, err
+		}
+	}
+	switch w.Order {
+	case "", "natural":
+		q.Options.Order = core.OrderNatural
+	case "degree-desc":
+		q.Options.Order = core.OrderDegreeDesc
+	case "score-desc":
+		q.Options.Order = core.OrderScoreDesc
+	default:
+		return q, fmt.Errorf("unknown order %q", w.Order)
+	}
+	q.K = w.K
+	q.Options.Gamma = w.Gamma
+	q.Options.Workers = w.Workers
+	q.Candidates = w.Candidates
+	q.Budget = w.Budget
+	return q, nil
+}
+
+// Worker serves one Shard over HTTP — the worker half of the protocol,
+// mounted by cmd/lonad in -shard-worker mode. Score updates swap the
+// shard generation under a write lock; queries snapshot the current
+// generation, mirroring internal/server's discipline.
+type Worker struct {
+	mu    sync.RWMutex
+	shard *Shard
+}
+
+// NewWorker wraps a shard for serving.
+func NewWorker(s *Shard) *Worker { return &Worker{shard: s} }
+
+// Shard returns the current shard generation.
+func (w *Worker) Shard() *Shard {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.shard
+}
+
+// Handler returns the worker's HTTP API.
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/shard/query", w.handleQuery)
+	mux.HandleFunc("/v1/shard/bound", w.handleBound)
+	mux.HandleFunc("/v1/shard/scores", w.handleScores)
+	mux.HandleFunc("/v1/shard/health", w.handleHealth)
+	return mux
+}
+
+func writeJSON(rw http.ResponseWriter, status int, body any) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(status)
+	enc := json.NewEncoder(rw)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(body) // the connection is the only failure mode here
+}
+
+func writeWireError(rw http.ResponseWriter, status int, err error) {
+	writeJSON(rw, status, wireError{Error: err.Error()})
+}
+
+func (w *Worker) handleQuery(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		rw.Header().Set("Allow", http.MethodPost)
+		writeWireError(rw, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(rw, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	var wq wireQuery
+	if err := dec.Decode(&wq); err != nil {
+		writeWireError(rw, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return
+	}
+	q, err := decodeQuery(wq)
+	if err != nil {
+		writeWireError(rw, http.StatusBadRequest, err)
+		return
+	}
+	ans, err := w.Shard().Run(r.Context(), q)
+	switch {
+	case err == nil:
+	case isContextErr(err):
+		// 499 in nginx tradition: the coordinator went away (a TA cut or
+		// its caller's cancellation); nothing useful can be answered.
+		writeWireError(rw, 499, err)
+		return
+	default:
+		writeWireError(rw, http.StatusBadRequest, err)
+		return
+	}
+	wa := wireAnswer{Results: ans.Results, Stats: ans.Stats, Truncated: ans.Truncated}
+	if wa.Results == nil {
+		wa.Results = []core.Result{}
+	}
+	if ans.Plan != nil {
+		wa.PlanAlgorithm = ans.Plan.Algorithm.WireName()
+		wa.PlanReason = ans.Plan.Reason
+	}
+	writeJSON(rw, http.StatusOK, wa)
+}
+
+func (w *Worker) handleBound(rw http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("aggregate")
+	agg, err := core.ParseAggregate(name)
+	if err != nil {
+		writeWireError(rw, http.StatusBadRequest, err)
+		return
+	}
+	b, err := w.Shard().UpperBound(agg)
+	if err != nil {
+		writeWireError(rw, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(rw, http.StatusOK, wireBound{Aggregate: name, Bound: b})
+}
+
+func (w *Worker) handleScores(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		rw.Header().Set("Allow", http.MethodPost)
+		writeWireError(rw, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(rw, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	var ws wireScores
+	if err := dec.Decode(&ws); err != nil {
+		writeWireError(rw, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return
+	}
+	w.mu.Lock()
+	next, applied, err := w.shard.WithUpdates(ws.Updates)
+	if err == nil {
+		w.shard = next
+	}
+	w.mu.Unlock()
+	if err != nil {
+		writeWireError(rw, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(rw, http.StatusOK, wireScores{Applied: applied})
+}
+
+func (w *Worker) handleHealth(rw http.ResponseWriter, r *http.Request) {
+	s := w.Shard()
+	writeJSON(rw, http.StatusOK, wireHealth{
+		OK: true, Shard: s.Index(), Shards: s.Parts(),
+		Nodes: s.GlobalNodes(), Owned: s.OwnedCount(), Boundary: s.BoundaryNodes(),
+		H: s.h,
+	})
+}
+
+// HTTP is the cross-process transport: shard i lives behind workers[i], a
+// lonad in -shard-worker mode. Construct with NewHTTP, which probes every
+// worker's /v1/shard/health and fails fast on a mis-wired topology
+// (wrong shard index, inconsistent shard count, disagreeing graphs).
+type HTTP struct {
+	workers []string
+	client  *http.Client
+
+	nodes    int
+	h        int
+	topology Topology
+}
+
+// NewHTTP dials the worker list. client may be nil for a default with a
+// 10-second dial/health timeout; per-query timeouts come from the query
+// context, not the client.
+func NewHTTP(ctx context.Context, workers []string, client *http.Client) (*HTTP, error) {
+	if len(workers) == 0 {
+		return nil, errors.New("cluster: empty worker list")
+	}
+	if client == nil {
+		client = &http.Client{}
+	}
+	t := &HTTP{client: client, topology: Topology{Shards: len(workers)}}
+	t.workers = make([]string, len(workers))
+	for i, w := range workers {
+		t.workers[i] = strings.TrimRight(w, "/")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	probeCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	for i, base := range t.workers {
+		var h wireHealth
+		if err := t.get(probeCtx, base+"/v1/shard/health", &h); err != nil {
+			return nil, fmt.Errorf("cluster: worker %d (%s): %w", i, base, err)
+		}
+		switch {
+		case !h.OK:
+			return nil, fmt.Errorf("cluster: worker %d (%s) reports not OK", i, base)
+		case h.Shard != i:
+			return nil, fmt.Errorf("cluster: worker %d (%s) serves shard %d — worker list out of order", i, base, h.Shard)
+		case h.Shards != len(t.workers):
+			return nil, fmt.Errorf("cluster: worker %d (%s) belongs to a %d-shard topology, dialing %d workers", i, base, h.Shards, len(t.workers))
+		case i > 0 && (h.Nodes != t.nodes || h.H != t.h):
+			return nil, fmt.Errorf("cluster: worker %d (%s) serves a different dataset (nodes=%d h=%d, want nodes=%d h=%d)",
+				i, base, h.Nodes, h.H, t.nodes, t.h)
+		}
+		if i == 0 {
+			t.nodes, t.h = h.Nodes, h.H
+		}
+		t.topology.BoundaryNodes += int64(h.Boundary)
+		t.topology.OwnedSizes = append(t.topology.OwnedSizes, h.Owned)
+	}
+	return t, nil
+}
+
+// Shards returns the worker count.
+func (t *HTTP) Shards() int { return len(t.workers) }
+
+// Nodes returns the full graph's node count as reported by the workers.
+func (t *HTTP) Nodes() int { return t.nodes }
+
+// H returns the hop radius the workers serve; a coordinator must refuse
+// to merge shards built for a different h than its own.
+func (t *HTTP) H() int { return t.h }
+
+// Snapshot returns the transport itself: remote workers swap their shard
+// generations independently, so cross-process queries are only as
+// snapshot-isolated as the update fan-out is quiescent. (In-process
+// sharding gets the strict guarantee; see Local.)
+func (t *HTTP) Snapshot() QueryView { return t }
+
+// Query executes q on worker shard via POST /v1/shard/query.
+func (t *HTTP) Query(ctx context.Context, shard int, q core.Query) (core.Answer, error) {
+	var wa wireAnswer
+	if err := t.post(ctx, t.workers[shard]+"/v1/shard/query", encodeQuery(q), &wa); err != nil {
+		return core.Answer{}, err
+	}
+	ans := core.Answer{Results: wa.Results, Stats: wa.Stats, Truncated: wa.Truncated}
+	if wa.PlanAlgorithm != "" {
+		algo, err := core.ParseAlgorithm(wa.PlanAlgorithm)
+		if err != nil {
+			return core.Answer{}, fmt.Errorf("cluster: worker %d returned unknown plan algorithm %q", shard, wa.PlanAlgorithm)
+		}
+		ans.Plan = &core.Plan{Algorithm: algo, Reason: wa.PlanReason}
+	}
+	return ans, nil
+}
+
+// UpperBound fetches the shard's merge bound via GET /v1/shard/bound.
+func (t *HTTP) UpperBound(ctx context.Context, shard int, agg core.Aggregate) (float64, error) {
+	var wb wireBound
+	u := t.workers[shard] + "/v1/shard/bound?aggregate=" + url.QueryEscape(agg.WireName())
+	if err := t.get(ctx, u, &wb); err != nil {
+		return 0, err
+	}
+	return wb.Bound, nil
+}
+
+// ApplyScores fans the update batch out to every worker (workers ignore
+// nodes outside their closure). The fan-out is not transactional: a
+// mid-batch worker failure leaves earlier workers updated — the caller
+// owns retry semantics, and queries remain exact per worker generation.
+func (t *HTTP) ApplyScores(ctx context.Context, updates []ScoreUpdate) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for i, base := range t.workers {
+		var resp wireScores
+		if err := t.post(ctx, base+"/v1/shard/scores", wireScores{Updates: updates}, &resp); err != nil {
+			return fmt.Errorf("cluster: worker %d (%s): %w", i, base, err)
+		}
+	}
+	return nil
+}
+
+// Topology reports what the health probes revealed (edge cut is unknown
+// across processes).
+func (t *HTTP) Topology() Topology { return t.topology }
+
+// Close drops idle worker connections.
+func (t *HTTP) Close() error {
+	t.client.CloseIdleConnections()
+	return nil
+}
+
+var _ Transport = (*HTTP)(nil)
+
+// post sends a JSON body and decodes a JSON response.
+func (t *HTTP) post(ctx context.Context, url string, body, out any) error {
+	blob, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(blob))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return t.do(req, out)
+}
+
+// get fetches a JSON response.
+func (t *HTTP) get(ctx context.Context, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	return t.do(req, out)
+}
+
+// do executes the request, surfacing worker-side errors (and the caller's
+// own context error, unwrapped from the client's transport error so the
+// coordinator's cut/cancel classification sees context.Canceled).
+func (t *HTTP) do(req *http.Request, out any) error {
+	resp, err := t.client.Do(req)
+	if err != nil {
+		if ctxErr := req.Context().Err(); ctxErr != nil {
+			return ctxErr
+		}
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var we wireError
+		blob, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		if json.Unmarshal(blob, &we) == nil && we.Error != "" {
+			return errors.New(we.Error)
+		}
+		return fmt.Errorf("worker answered %d: %s", resp.StatusCode, strings.TrimSpace(string(blob)))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

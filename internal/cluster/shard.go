@@ -1,0 +1,247 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// Shard is one partition-local execution unit: a core.Engine over the
+// h-hop closure of the nodes the shard owns. Owning the closure — the
+// owned nodes plus every "ghost" node within h hops of one — is what
+// makes shard answers exact: each owned node's complete neighborhood is
+// local, so no traversal ever needs another machine mid-query. Ghost
+// nodes are ranked nowhere (each node is owned by exactly one shard) but
+// their scores contribute to owned aggregates, mirroring core's
+// candidate semantics.
+//
+// Because the closure node list is sorted ascending, the global→local id
+// remap is monotone: subgraph adjacency keeps the full graph's relative
+// order, BFS visits nodes in the same relative order, and floating-point
+// aggregate sums are bit-for-bit identical to a single-engine run. The
+// coordinator's byte-identical merge guarantee rests on this.
+//
+// A Shard is immutable after construction (its engine, like core's, is
+// safe for concurrent queries); WithUpdates derives a successor shard for
+// a new score generation, sharing all topology state.
+type Shard struct {
+	index int
+	parts int
+
+	engine      *core.Engine
+	h           int
+	globalNodes int // node count of the full graph
+
+	owned      []int32 // global ids owned by this shard, ascending
+	ownedLocal []int   // the same nodes as subgraph-local ids, ascending
+	toGlobal   []int   // local id -> global id (monotone)
+	localIndex []int32 // global id -> local id, -1 outside the closure
+	isOwned    []bool  // by local id
+
+	mu     sync.Mutex
+	bounds map[core.Aggregate]float64 // memoized merge bounds
+}
+
+// BuildShard builds the execution unit for one part of a partitioning:
+// collect the part's owned nodes, close them under h hops, induce the
+// subgraph, and stand up an engine over it. Workers in separate
+// processes call this with the same deterministic partitioning to agree
+// on shard contents without any coordination.
+func BuildShard(g *graph.Graph, scores []float64, h int, p *partition.Partitioning, index int) (*Shard, error) {
+	if index < 0 || index >= p.P {
+		return nil, fmt.Errorf("cluster: shard index %d out of range [0,%d)", index, p.P)
+	}
+	if len(scores) != g.NumNodes() {
+		return nil, fmt.Errorf("cluster: %d scores for %d nodes", len(scores), g.NumNodes())
+	}
+	var owned []int
+	for v := 0; v < g.NumNodes(); v++ {
+		if p.PartOf(v) == index {
+			owned = append(owned, v)
+		}
+	}
+	closure, err := graph.HopClosure(g, owned, h)
+	if err != nil {
+		return nil, err
+	}
+	sub, toGlobal, err := graph.InducedSubgraph(g, closure)
+	if err != nil {
+		return nil, err
+	}
+	subScores := make([]float64, len(toGlobal))
+	localIndex := make([]int32, g.NumNodes())
+	for i := range localIndex {
+		localIndex[i] = -1
+	}
+	for local, global := range toGlobal {
+		subScores[local] = scores[global]
+		localIndex[global] = int32(local)
+	}
+	engine, err := core.NewEngine(sub, subScores, h)
+	if err != nil {
+		return nil, err
+	}
+	s := &Shard{
+		index:       index,
+		parts:       p.P,
+		engine:      engine,
+		h:           h,
+		globalNodes: g.NumNodes(),
+		toGlobal:    toGlobal,
+		localIndex:  localIndex,
+		isOwned:     make([]bool, len(toGlobal)),
+		bounds:      make(map[core.Aggregate]float64),
+	}
+	s.owned = make([]int32, len(owned))
+	s.ownedLocal = make([]int, len(owned))
+	for i, v := range owned {
+		s.owned[i] = int32(v)
+		local := int(localIndex[v])
+		s.ownedLocal[i] = local
+		s.isOwned[local] = true
+	}
+	return s, nil
+}
+
+// BuildShards partitions g with BFS growth plus boundary refinement and
+// builds every shard — the in-process path. The refinement pass shrinks
+// the edge cut, which directly shrinks each shard's ghost-node
+// replication (its per-query "message" volume).
+func BuildShards(g *graph.Graph, scores []float64, h, parts int) ([]*Shard, *partition.Partitioning, error) {
+	p, err := Partitioning(g, parts)
+	if err != nil {
+		return nil, nil, err
+	}
+	shards := make([]*Shard, parts)
+	for i := range shards {
+		if shards[i], err = BuildShard(g, scores, h, p, i); err != nil {
+			return nil, nil, err
+		}
+	}
+	return shards, p, nil
+}
+
+// Index returns which part of the partitioning this shard executes.
+func (s *Shard) Index() int { return s.index }
+
+// Parts returns the total number of shards in the topology.
+func (s *Shard) Parts() int { return s.parts }
+
+// GlobalNodes returns the node count of the full (unpartitioned) graph.
+func (s *Shard) GlobalNodes() int { return s.globalNodes }
+
+// OwnedCount returns how many global nodes this shard ranks.
+func (s *Shard) OwnedCount() int { return len(s.owned) }
+
+// BoundaryNodes returns the number of ghost nodes replicated into the
+// shard: closure size minus owned size — the shard's share of the
+// steady-state replication cost a partitioning's edge cut induces.
+func (s *Shard) BoundaryNodes() int { return len(s.toGlobal) - len(s.owned) }
+
+// Engine exposes the shard-local engine (tests and eager index prep).
+func (s *Shard) Engine() *core.Engine { return s.engine }
+
+// Run executes q against the shard in global-id terms: candidates are
+// intersected with the shard's owned nodes and translated to local ids,
+// and results are translated back. The monotone id remap preserves the
+// (value desc, id asc) tie-break, so merging per-shard answers
+// reconstructs the single-engine ordering exactly. An empty candidate
+// intersection — q names only nodes owned elsewhere — returns an empty
+// answer without touching the engine.
+func (s *Shard) Run(ctx context.Context, q core.Query) (core.Answer, error) {
+	if len(q.Candidates) > 0 {
+		local := make([]int, 0, len(q.Candidates))
+		for _, v := range q.Candidates {
+			if v < 0 || v >= s.globalNodes {
+				return core.Answer{}, fmt.Errorf("cluster: candidate node %d out of range [0,%d)", v, s.globalNodes)
+			}
+			if li := s.localIndex[v]; li >= 0 && s.isOwned[li] {
+				local = append(local, int(li))
+			}
+		}
+		if len(local) == 0 {
+			return core.Answer{Results: []core.Result{}}, nil
+		}
+		q.Candidates = local
+	} else if len(s.ownedLocal) != len(s.toGlobal) {
+		q.Candidates = s.ownedLocal
+	} // owning the whole closure (P=1): no restriction needed
+	ans, err := s.engine.Run(ctx, q)
+	if err != nil {
+		return core.Answer{}, err
+	}
+	for i := range ans.Results {
+		ans.Results[i].Node = s.toGlobal[ans.Results[i].Node]
+	}
+	return ans, nil
+}
+
+// UpperBound returns a certified upper bound on any aggregate value the
+// shard could contribute for agg — the quantity the coordinator's
+// TA-style merge compares against the running global k-th value. It is
+// memoized per aggregate (the underlying scores are immutable).
+func (s *Shard) UpperBound(agg core.Aggregate) (float64, error) {
+	s.mu.Lock()
+	if b, ok := s.bounds[agg]; ok {
+		s.mu.Unlock()
+		return b, nil
+	}
+	s.mu.Unlock()
+
+	b, err := s.engine.AggregateUpperBound(agg, s.ownedLocal)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	s.bounds[agg] = b
+	s.mu.Unlock()
+	return b, nil
+}
+
+// WithUpdates derives the shard for a new score generation: updates whose
+// node falls inside the closure (owned or ghost) are applied to a copy of
+// the local scores and a new engine is built via WithScores, sharing the
+// subgraph and its topology-only indexes. applied reports how many
+// updates landed inside the closure; when none do, the receiver itself is
+// returned unchanged — re-sharing its memoized bounds is then sound.
+func (s *Shard) WithUpdates(updates []ScoreUpdate) (shard *Shard, applied int, err error) {
+	for _, u := range updates {
+		if u.Node < 0 || u.Node >= s.globalNodes {
+			return nil, 0, fmt.Errorf("cluster: update node %d out of range [0,%d)", u.Node, s.globalNodes)
+		}
+		if s.localIndex[u.Node] >= 0 {
+			applied++
+		}
+	}
+	if applied == 0 {
+		return s, 0, nil
+	}
+	scores := append([]float64(nil), s.engine.Scores()...)
+	for _, u := range updates {
+		if li := s.localIndex[u.Node]; li >= 0 {
+			scores[li] = u.Score
+		}
+	}
+	engine, err := s.engine.WithScores(scores)
+	if err != nil {
+		return nil, 0, err
+	}
+	next := &Shard{
+		index:       s.index,
+		parts:       s.parts,
+		engine:      engine,
+		h:           s.h,
+		globalNodes: s.globalNodes,
+		owned:       s.owned,
+		ownedLocal:  s.ownedLocal,
+		toGlobal:    s.toGlobal,
+		localIndex:  s.localIndex,
+		isOwned:     s.isOwned,
+		bounds:      make(map[core.Aggregate]float64),
+	}
+	return next, applied, nil
+}

@@ -1,0 +1,183 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// Transport reaches the shards of one partitioned dataset. Two
+// implementations exist: Local (every shard in this process, one
+// goroutine each — one lonad serving all shards on one box) and HTTP
+// (each shard behind a lonad worker process). The Coordinator is written
+// against this interface only, so the fan-out/merge logic is identical
+// in-process and across machines.
+type Transport interface {
+	// Shards returns the number of shards in the topology.
+	Shards() int
+	// Nodes returns the node count of the full graph, for global
+	// candidate validation.
+	Nodes() int
+	// Snapshot returns a consistent view of every shard for the duration
+	// of one query, mirroring internal/server's generation-snapshot
+	// discipline: a score update concurrent with a query must not let the
+	// query observe some shards before the update and some after. The
+	// HTTP transport returns itself — cross-process snapshot isolation
+	// would need versioned reads, which remote workers do not promise.
+	Snapshot() QueryView
+	// ApplyScores applies a relevance update batch to every shard that
+	// holds an affected node (owned or ghost copy).
+	ApplyScores(ctx context.Context, updates []ScoreUpdate) error
+	// Topology describes the partitioning for stats reporting; fields a
+	// transport cannot know (the HTTP transport never sees the full
+	// graph) are zero.
+	Topology() Topology
+	// Close releases transport resources.
+	Close() error
+}
+
+// QueryView is one query's consistent view of the shard set.
+type QueryView interface {
+	// Query executes q (global ids, coordinator-split budget) on a shard.
+	Query(ctx context.Context, shard int, q core.Query) (core.Answer, error)
+	// UpperBound returns the shard's certified merge bound for agg.
+	UpperBound(ctx context.Context, shard int, agg core.Aggregate) (float64, error)
+}
+
+// ScoreUpdate is one relevance mutation, in global node ids.
+type ScoreUpdate struct {
+	Node  int     `json:"node"`
+	Score float64 `json:"score"`
+}
+
+// Topology summarizes a shard layout for stats reporting.
+type Topology struct {
+	Shards int `json:"shards"`
+	// EdgeCut is the partitioning's structural cut (0 when unknown).
+	EdgeCut int `json:"edge_cut,omitempty"`
+	// BoundaryNodes is the total ghost replication across shards: each
+	// shard's closure size minus its owned size.
+	BoundaryNodes int64 `json:"boundary_nodes"`
+	// OwnedSizes lists each shard's owned-node count.
+	OwnedSizes []int `json:"owned_sizes,omitempty"`
+}
+
+// Local is the in-process transport: every shard lives in this process
+// and a "shard query" is a direct method call on its engine (the
+// coordinator still runs them on separate goroutines, one simulated
+// machine each). The shard set is swapped atomically on score updates,
+// so queries snapshot one generation for their whole fan-out.
+type Local struct {
+	nodes   int
+	edgeCut int
+
+	applyMu sync.Mutex // serializes ApplyScores batches
+	set     atomic.Pointer[shardSet]
+}
+
+// shardSet is one immutable generation of shards.
+type shardSet struct {
+	shards []*Shard
+}
+
+// NewLocal partitions (g, scores, h) into parts shards and returns the
+// in-process transport over them.
+func NewLocal(g *graph.Graph, scores []float64, h, parts int) (*Local, error) {
+	shards, p, err := BuildShards(g, scores, h, parts)
+	if err != nil {
+		return nil, err
+	}
+	return NewLocalFromShards(shards, g.NumNodes(), p.EdgeCut(g)), nil
+}
+
+// NewLocalFromShards wraps prebuilt shards (tests, custom partitionings).
+func NewLocalFromShards(shards []*Shard, nodes, edgeCut int) *Local {
+	l := &Local{nodes: nodes, edgeCut: edgeCut}
+	l.set.Store(&shardSet{shards: shards})
+	return l
+}
+
+// PrepareIndexes eagerly builds each shard's neighborhood index (workers
+// goroutines per build), so first queries do not stall and merge bounds
+// are tight from the start. The per-edge differential index is left
+// lazy: paying it P times eagerly would dominate startup, and the
+// planner avoids Forward until it exists — the same contract as
+// server.Options.SkipIndexes.
+func (l *Local) PrepareIndexes(workers int) {
+	for _, s := range l.set.Load().shards {
+		s.Engine().PrepareNeighborhoodIndex(workers)
+	}
+}
+
+// Shards returns the shard count.
+func (l *Local) Shards() int { return len(l.set.Load().shards) }
+
+// Nodes returns the full graph's node count.
+func (l *Local) Nodes() int { return l.nodes }
+
+// Snapshot pins the current shard generation for one query.
+func (l *Local) Snapshot() QueryView { return l.set.Load() }
+
+// Query runs q directly against the shard.
+func (ss *shardSet) Query(ctx context.Context, shard int, q core.Query) (core.Answer, error) {
+	return ss.shards[shard].Run(ctx, q)
+}
+
+// UpperBound returns the shard's memoized merge bound.
+func (ss *shardSet) UpperBound(_ context.Context, shard int, agg core.Aggregate) (float64, error) {
+	return ss.shards[shard].UpperBound(agg)
+}
+
+// ApplyScores derives a new shard generation with the updates applied and
+// swaps it in atomically. In-flight queries keep their snapshot; new
+// queries see every shard at the new generation. Shards untouched by the
+// batch are reused as-is.
+func (l *Local) ApplyScores(_ context.Context, updates []ScoreUpdate) error {
+	l.applyMu.Lock()
+	defer l.applyMu.Unlock()
+	cur := l.set.Load()
+	next := make([]*Shard, len(cur.shards))
+	for i, s := range cur.shards {
+		ns, _, err := s.WithUpdates(updates)
+		if err != nil {
+			return err
+		}
+		next[i] = ns
+	}
+	l.set.Store(&shardSet{shards: next})
+	return nil
+}
+
+// Topology reports the in-process layout.
+func (l *Local) Topology() Topology {
+	shards := l.set.Load().shards
+	t := Topology{Shards: len(shards), EdgeCut: l.edgeCut}
+	for _, s := range shards {
+		t.BoundaryNodes += int64(s.BoundaryNodes())
+		t.OwnedSizes = append(t.OwnedSizes, s.OwnedCount())
+	}
+	return t
+}
+
+// Close is a no-op for the in-process transport.
+func (l *Local) Close() error { return nil }
+
+var _ Transport = (*Local)(nil)
+
+// Partitioning re-derives the partitioning parameters used by BuildShards
+// so out-of-process workers agree with an in-process coordinator built
+// from the same inputs.
+func Partitioning(g *graph.Graph, parts int) (*partition.Partitioning, error) {
+	p, err := partition.BFSGrow(g, parts)
+	if err != nil {
+		return nil, err
+	}
+	if parts > 1 {
+		partition.Refine(g, p, 1.3, 3)
+	}
+	return p, nil
+}

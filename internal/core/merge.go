@@ -1,0 +1,109 @@
+package core
+
+import "fmt"
+
+// This file exports the merge bounds a distributed top-k execution needs:
+// a certified per-shard upper bound on any aggregate value a shard could
+// still contribute. A coordinator that has already collected k exact
+// values can compare a shard's bound against the running k-th value — the
+// Threshold Algorithm's stopping test [Fagin et al., PODS 2001] — and cut
+// the shard short when the bound falls strictly below it, the technique
+// P2P top-k systems use to bound network traffic [Akbarinia et al.].
+//
+// internal/cluster computes one bound per (shard engine, aggregate) and
+// internal/partition's executor reuses the same bound for reporting; both
+// rely on the bound being admissible (never below any true aggregate of
+// the listed nodes), which TestAggregateUpperBoundAdmissible verifies.
+
+// AggregateUpperBound returns an upper bound on F(u) over every node u in
+// nodes (nil or empty means every node of the graph). The bound is
+// admissible for the engine's current scores:
+//
+//   - With the neighborhood index built, the distribution bound
+//     top(N(u)) — the sum of the N(u) largest bound-scores — is maximized
+//     over the listed nodes (finished into the aggregate's value domain,
+//     e.g. divided by N(u) for AVG).
+//   - Without the index, a cheaper O(n) fallback: the total bound-score
+//     mass for the SUM family and COUNT, the maximum score for AVG and
+//     MAX. Weaker, but free — no per-node BFS is ever paid.
+//
+// The bound is a pure function of immutable engine state, so it is safe
+// for concurrent use and callers may memoize it per aggregate.
+func (e *Engine) AggregateUpperBound(agg Aggregate, nodes []int) (float64, error) {
+	switch agg {
+	case Sum, Avg, WeightedSum, Count, Max:
+	default:
+		return 0, fmt.Errorf("core: unknown aggregate %v", agg)
+	}
+	n := e.g.NumNodes()
+	for _, v := range nodes {
+		if v < 0 || v >= n {
+			return 0, fmt.Errorf("core: bound node %d out of range [0,%d)", v, n)
+		}
+	}
+	if n == 0 {
+		return 0, nil
+	}
+
+	// MAX needs no distribution reasoning: no neighborhood maximum can
+	// exceed the global maximum score.
+	if agg == Max {
+		return e.maxScore(), nil
+	}
+
+	if e.HasNeighborhoodIndex() {
+		nix := e.PrepareNeighborhoodIndex(0)
+		prefix := e.distributionPrefix(agg)
+		best := 0.0
+		bound := func(v int) float64 {
+			nv := nix.N(v)
+			return finishValue(agg, prefix[nv], nv)
+		}
+		if len(nodes) == 0 {
+			for v := 0; v < n; v++ {
+				if b := bound(v); b > best {
+					best = b
+				}
+			}
+		} else {
+			for _, v := range nodes {
+				if b := bound(v); b > best {
+					best = b
+				}
+			}
+		}
+		return best, nil
+	}
+
+	// Index-free fallbacks. AVG of values each at most the maximum score
+	// cannot exceed that maximum; the SUM family and COUNT cannot exceed
+	// the total mass (weights are at most 1 for WSUM).
+	if agg == Avg {
+		return e.maxScore(), nil
+	}
+	total := 0.0
+	for v := 0; v < n; v++ {
+		total += e.boundScore(v, agg)
+	}
+	return total, nil
+}
+
+// maxScore returns the largest relevance in the graph.
+func (e *Engine) maxScore() float64 {
+	best := 0.0
+	for _, s := range e.scores {
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// HasNeighborhoodIndex reports whether the N(v) index is already built,
+// without building it — AggregateUpperBound's "is the tight bound free?"
+// question, mirroring HasDifferentialIndex.
+func (e *Engine) HasNeighborhoodIndex() bool {
+	e.ixMu.Lock()
+	defer e.ixMu.Unlock()
+	return e.nix != nil
+}

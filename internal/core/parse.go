@@ -25,6 +25,50 @@ func ParseAggregate(name string) (Aggregate, error) {
 	}
 }
 
+// WireName returns the aggregate's wire/flag name, the inverse of
+// ParseAggregate — what cross-process callers (the cluster transport)
+// put on the wire.
+func (a Aggregate) WireName() string {
+	switch a {
+	case Sum:
+		return "sum"
+	case Avg:
+		return "avg"
+	case WeightedSum:
+		return "wsum"
+	case Count:
+		return "count"
+	case Max:
+		return "max"
+	default:
+		return fmt.Sprintf("aggregate-%d", uint8(a))
+	}
+}
+
+// WireName returns the algorithm's wire/flag name, the inverse of
+// ParseAlgorithm (String() is the paper's display name, which
+// ParseAlgorithm does not accept for every algorithm).
+func (a Algorithm) WireName() string {
+	switch a {
+	case AlgoAuto:
+		return "auto"
+	case AlgoBase:
+		return "base"
+	case AlgoBaseParallel:
+		return "parallel"
+	case AlgoForward:
+		return "forward"
+	case AlgoForwardDist:
+		return "forward-dist"
+	case AlgoBackward:
+		return "backward"
+	case AlgoBackwardNaive:
+		return "backward-naive"
+	default:
+		return fmt.Sprintf("algorithm-%d", uint8(a))
+	}
+}
+
 // ParseAlgorithm maps an engine algorithm's wire/flag name
 // (case-insensitive) to its enum. "auto" maps to AlgoAuto (the planner
 // chooses); the serving-level "view" mode is not an algorithm and is

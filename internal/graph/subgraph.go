@@ -47,6 +47,53 @@ func InducedSubgraph(g *Graph, nodes []int) (*Graph, []int, error) {
 	return b.Build(), original, nil
 }
 
+// HopClosure returns every node within h hops of at least one source
+// (sources included), sorted ascending — one multi-source BFS. This is
+// the "ghost-node closure" a partition-local engine needs: an engine
+// over InducedSubgraph(g, HopClosure(g, owned, h)) sees the complete
+// h-hop neighborhood of every owned node, so its aggregates (and, because
+// the closure list is sorted and id remapping is therefore monotone, even
+// its floating-point summation order) match the full graph exactly.
+// Directed graphs follow out-arcs, matching S_h's definition.
+func HopClosure(g *Graph, sources []int, h int) ([]int, error) {
+	n := g.NumNodes()
+	if h < 0 {
+		return nil, fmt.Errorf("graph: negative hop radius %d", h)
+	}
+	seen := ds.NewBitset(n)
+	var queue ds.IntQueue
+	closure := make([]int, 0, len(sources))
+	for _, s := range sources {
+		if s < 0 || s >= n {
+			return nil, fmt.Errorf("graph: closure source %d out of range [0,%d)", s, n)
+		}
+		if seen.Test(s) {
+			continue // duplicate sources are tolerated
+		}
+		seen.Set(s)
+		queue.Push(s)
+		closure = append(closure, s)
+	}
+	levelEnd := queue.Len()
+	for dist := 1; dist <= h && levelEnd > 0; dist++ {
+		for i := 0; i < levelEnd; i++ {
+			u := queue.Pop()
+			for _, v32 := range g.Neighbors(u) {
+				v := int(v32)
+				if seen.Test(v) {
+					continue
+				}
+				seen.Set(v)
+				queue.Push(v)
+				closure = append(closure, v)
+			}
+		}
+		levelEnd = queue.Len()
+	}
+	sort.Ints(closure)
+	return closure, nil
+}
+
 // LargestComponent returns the node set of the largest connected component
 // (weak connectivity for directed graphs), sorted ascending. Analyses that
 // assume connectivity (random-walk relevance, distribution experiments)

@@ -1,0 +1,189 @@
+package partition
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/relevance"
+)
+
+// TestRunMatchesEngineAllAggregates: the migrated context-aware executor
+// matches single-machine Base byte-for-byte on every aggregate, not just
+// SUM.
+func TestRunMatchesEngineAllAggregates(t *testing.T) {
+	g := gen.Collaboration(0.02, 7)
+	scores := relevance.Mixture(g, relevance.MixtureParams{BlackingRatio: 0.02}, 7)
+	e, err := core.NewEngine(g, scores, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := BFSGrow(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := NewExecutor(g, scores, 2, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, agg := range []core.Aggregate{core.Sum, core.Avg, core.WeightedSum, core.Count, core.Max} {
+		q := core.Query{K: 20, Aggregate: agg, Algorithm: core.AlgoBase}
+		want, err := e.Run(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, stats, err := x.Run(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Results, want.Results) {
+			t.Fatalf("%v: distributed results diverge from Base", agg)
+		}
+		if stats.Parts != 4 || got.Stats.Evaluated != g.NumNodes() {
+			t.Fatalf("%v: implausible stats %+v / %+v", agg, stats, got.Stats)
+		}
+	}
+}
+
+// TestRunCandidates: the restriction applies to ranking only, split
+// across owning parts.
+func TestRunCandidates(t *testing.T) {
+	g := gen.ErdosRenyi(400, 1200, 17)
+	scores := relevance.Binary(400, 0.2, 17)
+	e, err := core.NewEngine(g, scores, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := BFSGrow(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := NewExecutor(g, scores, 2, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cand := []int{3, 50, 399, 17, 200}
+	q := core.Query{K: 3, Aggregate: core.Sum, Candidates: cand}
+	want, err := e.Run(context.Background(), core.Query{K: 3, Aggregate: core.Sum, Algorithm: core.AlgoBase, Candidates: cand})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := x.Run(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Results, want.Results) {
+		t.Fatalf("candidate results diverge: %+v vs %+v", got.Results, want.Results)
+	}
+	if _, _, err := x.Run(context.Background(), core.Query{K: 3, Aggregate: core.Sum, Candidates: []int{400}}); err == nil {
+		t.Fatal("out-of-range candidate accepted")
+	}
+}
+
+// TestRunBudgetTruncates: a small budget splits across parts and reports
+// truncation; an ample one reproduces the exact answer.
+func TestRunBudgetTruncates(t *testing.T) {
+	g := gen.ErdosRenyi(600, 1800, 19)
+	scores := relevance.Binary(600, 0.3, 19)
+	p, err := BFSGrow(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := NewExecutor(g, scores, 2, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny, _, err := x.Run(context.Background(), core.Query{K: 10, Aggregate: core.Sum, Budget: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tiny.Truncated {
+		t.Fatal("budget 12 over 600 nodes did not truncate")
+	}
+	if tiny.Stats.Evaluated > 12 {
+		t.Fatalf("budget 12 evaluated %d nodes", tiny.Stats.Evaluated)
+	}
+	// The even split must cover the *largest* part, not just the mean:
+	// BFS growth leaves parts uneven, so double the node count.
+	full, _, err := x.Run(context.Background(), core.Query{K: 10, Aggregate: core.Sum, Budget: 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Truncated {
+		t.Fatal("budget covering every node truncated")
+	}
+	exact, _, err := x.Run(context.Background(), core.Query{K: 10, Aggregate: core.Sum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(full.Results, exact.Results) {
+		t.Fatal("ample budget diverged from unbudgeted run")
+	}
+	if _, _, err := x.Run(context.Background(), core.Query{K: 10, Aggregate: core.Sum, Budget: -1}); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+}
+
+// TestRunCancellation: a cancelled context aborts all parts promptly and
+// the executor stays reusable.
+func TestRunCancellation(t *testing.T) {
+	g := gen.Collaboration(0.05, 23)
+	scores := relevance.Mixture(g, relevance.MixtureParams{BlackingRatio: 0.02}, 23)
+	p, err := BFSGrow(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := NewExecutor(g, scores, 3, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := x.Run(pre, core.Query{K: 10, Aggregate: core.Sum}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled err = %v, want context.Canceled", err)
+	}
+
+	ctx, cancelMid := context.WithCancel(context.Background())
+	timer := time.AfterFunc(2*time.Millisecond, cancelMid)
+	_, _, err = x.Run(ctx, core.Query{K: 10, Aggregate: core.Sum})
+	timer.Stop()
+	cancelMid()
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-query err = %v, want context.Canceled or fast success", err)
+	}
+
+	ans, _, err := x.Run(context.Background(), core.Query{K: 10, Aggregate: core.Sum})
+	if err != nil || len(ans.Results) != 10 {
+		t.Fatalf("executor unusable after cancellation: %v (%d results)", err, len(ans.Results))
+	}
+}
+
+// TestTopKSumShim: the deprecated positional form remains a faithful
+// wrapper over Run.
+func TestTopKSumShim(t *testing.T) {
+	g := gen.ErdosRenyi(300, 900, 29)
+	scores := relevance.Binary(300, 0.2, 29)
+	p, err := BFSGrow(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := NewExecutor(g, scores, 2, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shim, shimStats, err := x.TopKSum(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, stats, err := x.Run(context.Background(), core.Query{K: 7, Aggregate: core.Sum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(shim, ans.Results) || shimStats.Messages != stats.Messages {
+		t.Fatal("TopKSum shim diverges from Run")
+	}
+}

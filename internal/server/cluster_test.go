@@ -1,0 +1,300 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// postJSON POSTs a JSON body and returns the response body, failing the
+// test on a non-200 status.
+func postJSON(t *testing.T, url, body string) string {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s answered %d: %s", url, resp.StatusCode, blob)
+	}
+	return string(blob)
+}
+
+// postJSONStatus POSTs a JSON body and returns just the status code.
+func postJSONStatus(t *testing.T, url, body string) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode
+}
+
+// shardedPair builds an unsharded and a P-sharded server over the same
+// dataset, both without eager indexes (tiny test graphs).
+func shardedPair(t *testing.T, n, m int, seed int64, parts int) (*Server, *Server) {
+	t.Helper()
+	g := testGraph(n, m, seed)
+	scores := testScores(n, seed)
+	plain := mustServer(t, g, scores, 2, Options{SkipIndexes: true})
+	sharded := mustServer(t, g, scores, 2, Options{SkipIndexes: true, Shards: parts})
+	return plain, sharded
+}
+
+// TestShardedMatchesUnsharded: every algorithm the wire accepts returns
+// the identical answer through the coordinator fan-out.
+func TestShardedMatchesUnsharded(t *testing.T) {
+	plain, sharded := shardedPair(t, 400, 1200, 7, 4)
+	if got := sharded.Shards(); got != 4 {
+		t.Fatalf("Shards() = %d, want 4", got)
+	}
+	for _, algo := range []string{"auto", "base", "parallel", "forward-dist", "backward", "backward-naive"} {
+		for _, agg := range []string{"sum", "avg", "count"} {
+			req := QueryRequest{K: 10, Aggregate: agg, Algorithm: algo}
+			want, err := plain.Run(ctx, req)
+			if err != nil {
+				t.Fatalf("%s/%s plain: %v", algo, agg, err)
+			}
+			got, err := sharded.Run(ctx, req)
+			if err != nil {
+				t.Fatalf("%s/%s sharded: %v", algo, agg, err)
+			}
+			if !reflect.DeepEqual(got.Results, want.Results) {
+				t.Fatalf("%s/%s: sharded results diverge", algo, agg)
+			}
+			if got.Shards != 4 && !got.Cached {
+				t.Fatalf("%s/%s: answer did not report its shard count: %+v", algo, agg, got)
+			}
+		}
+	}
+	// The view path stays whole-graph and unsharded.
+	vans, err := sharded.Run(ctx, QueryRequest{K: 10, Aggregate: "sum", Algorithm: "view"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vans.Shards != 0 {
+		t.Fatalf("view answer claims sharded execution: %+v", vans)
+	}
+}
+
+// TestShardedScoreUpdates: update batches reach the shard engines, and
+// post-update answers match an unsharded server fed the same batch.
+func TestShardedScoreUpdates(t *testing.T) {
+	plain, sharded := shardedPair(t, 300, 900, 11, 4)
+	updates := []ScoreUpdate{{Node: 5, Score: 1}, {Node: 200, Score: 0}, {Node: 77, Score: 0.25}}
+	if _, err := plain.ApplyUpdates(updates); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sharded.ApplyUpdates(updates); err != nil {
+		t.Fatal(err)
+	}
+	req := QueryRequest{K: 10, Aggregate: "sum", Algorithm: "base"}
+	want, err := plain.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sharded.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cached || got.Generation != 1 {
+		t.Fatalf("post-update answer not fresh: %+v", got)
+	}
+	if !reflect.DeepEqual(got.Results, want.Results) {
+		t.Fatal("sharded post-update results diverge")
+	}
+}
+
+// TestReshardInvalidatesCache is the cache-keying satellite: a cached
+// answer from one topology must never serve after a reshard, even though
+// the merged results are identical — and switching back must not revive
+// entries from the earlier same-count topology either.
+func TestReshardInvalidatesCache(t *testing.T) {
+	g := testGraph(300, 900, 13)
+	s := mustServer(t, g, testScores(300, 13), 2, Options{SkipIndexes: true, Shards: 2})
+	req := QueryRequest{K: 8, Aggregate: "sum", Algorithm: "base"}
+
+	first, err := s.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := s.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Cached {
+		t.Fatal("repeat at unchanged topology missed the cache")
+	}
+
+	if err := s.Reshard(4); err != nil {
+		t.Fatal(err)
+	}
+	if s.Shards() != 4 || s.TopologyGeneration() != 1 {
+		t.Fatalf("reshard landed wrong: shards=%d topo=%d", s.Shards(), s.TopologyGeneration())
+	}
+	fresh, err := s.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Cached {
+		t.Fatal("re-sharded server served a stale merged answer from the cache")
+	}
+	if fresh.Shards != 4 {
+		t.Fatalf("post-reshard answer reports %d shards, want 4", fresh.Shards)
+	}
+	if !reflect.DeepEqual(fresh.Results, first.Results) {
+		t.Fatal("reshard changed the answer")
+	}
+
+	// Tear down to unsharded, then again: every transition is a fresh
+	// topology generation and a fresh execution.
+	if err := s.Reshard(1); err != nil {
+		t.Fatal(err)
+	}
+	down, err := s.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if down.Cached || down.Shards != 0 {
+		t.Fatalf("unsharded answer after teardown wrong: %+v", down)
+	}
+	// A no-op reshard keeps the cache warm.
+	if err := s.Reshard(1); err != nil {
+		t.Fatal(err)
+	}
+	same, err := s.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same.Cached {
+		t.Fatal("no-op reshard dropped the cache")
+	}
+}
+
+// TestReshardEndpoint drives /v1/reshard over HTTP and checks the stats
+// section follows the topology.
+func TestReshardEndpoint(t *testing.T) {
+	g := testGraph(200, 600, 17)
+	s := mustServer(t, g, testScores(200, 17), 2, Options{SkipIndexes: true})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	body := postJSON(t, srv.URL+"/v1/reshard", `{"shards":3}`)
+	if !strings.Contains(body, `"shards":3`) || !strings.Contains(body, `"topology_generation":1`) {
+		t.Fatalf("reshard response: %s", body)
+	}
+	if _, err := s.Run(ctx, QueryRequest{K: 5, Aggregate: "sum"}); err != nil {
+		t.Fatal(err)
+	}
+	stats := s.Stats()
+	if stats.Cluster == nil || stats.Cluster.Shards != 3 || len(stats.Cluster.PerShard) != 3 {
+		t.Fatalf("cluster stats missing after reshard: %+v", stats.Cluster)
+	}
+	if stats.Cluster.ShardQueries == 0 || stats.Cluster.Messages == 0 {
+		t.Fatalf("cluster counters flat after a query: %+v", stats.Cluster)
+	}
+	var perShardQueries int64
+	for _, sh := range stats.Cluster.PerShard {
+		perShardQueries += sh.Latency.Count
+	}
+	if perShardQueries != stats.Cluster.ShardQueries {
+		t.Fatalf("per-shard latency counts %d != shard queries %d", perShardQueries, stats.Cluster.ShardQueries)
+	}
+
+	// Invalid reshards are rejected.
+	if code := postJSONStatus(t, srv.URL+"/v1/reshard", `{"shards":0}`); code != 400 {
+		t.Fatalf("shards=0 answered %d, want 400", code)
+	}
+}
+
+// TestServerOverShardWorkers runs a full coordinator server over HTTP
+// shard workers and cross-checks results, updates, and reshard refusal.
+func TestServerOverShardWorkers(t *testing.T) {
+	g := testGraph(300, 900, 19)
+	scores := testScores(300, 19)
+	const parts = 3
+
+	shards, _, err := cluster.BuildShards(g, scores, 2, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workerURLs := make([]string, parts)
+	for i, sh := range shards {
+		w := httptest.NewServer(cluster.NewWorker(sh).Handler())
+		defer w.Close()
+		workerURLs[i] = w.URL
+	}
+
+	plain := mustServer(t, g, scores, 2, Options{SkipIndexes: true})
+	coord := mustServer(t, g, scores, 2, Options{SkipIndexes: true, ShardWorkers: workerURLs})
+
+	req := QueryRequest{K: 10, Aggregate: "sum", Algorithm: "base"}
+	want, err := plain.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := coord.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Results, want.Results) {
+		t.Fatal("worker-backed results diverge")
+	}
+	if got.Shards != parts {
+		t.Fatalf("answer reports %d shards, want %d", got.Shards, parts)
+	}
+
+	// Updates fan out to the workers before the local generation bumps.
+	updates := []ScoreUpdate{{Node: 3, Score: 0.9}, {Node: 250, Score: 0}}
+	if _, err := plain.ApplyUpdates(updates); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.ApplyUpdates(updates); err != nil {
+		t.Fatal(err)
+	}
+	want, err = plain.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = coord.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Results, want.Results) {
+		t.Fatal("worker-backed post-update results diverge")
+	}
+
+	if err := coord.Reshard(5); err == nil {
+		t.Fatal("worker-backed server accepted a reshard")
+	}
+	st := coord.Stats()
+	if st.Cluster == nil || !st.Cluster.Remote {
+		t.Fatalf("worker-backed stats not marked remote: %+v", st.Cluster)
+	}
+
+	// A worker list from a different dataset is refused at startup.
+	other := testGraph(100, 300, 23)
+	if _, err := New(other, testScores(100, 23), 2, Options{SkipIndexes: true, ShardWorkers: workerURLs}); err == nil {
+		t.Fatal("mismatched worker dataset accepted")
+	}
+	// So is a hop-radius mismatch: same nodes, different h.
+	if _, err := New(g, scores, 3, Options{SkipIndexes: true, ShardWorkers: workerURLs}); err == nil {
+		t.Fatal("mismatched hop radius accepted")
+	}
+	// Shards and ShardWorkers are mutually exclusive.
+	if _, err := New(g, scores, 2, Options{SkipIndexes: true, Shards: 2, ShardWorkers: workerURLs}); err == nil {
+		t.Fatal("Shards+ShardWorkers accepted")
+	}
+}

@@ -14,6 +14,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/topk", s.handleTopK)
 	mux.HandleFunc("/v1/scores", s.handleScores)
+	mux.HandleFunc("/v1/reshard", s.handleReshard)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/health", s.handleHealth)
 	return mux
@@ -132,6 +133,39 @@ func (s *Server) handleScores(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res)
 }
 
+// reshardRequest is the /v1/reshard body.
+type reshardRequest struct {
+	Shards int `json:"shards"`
+}
+
+// reshardResponse reports the topology after a reshard.
+type reshardResponse struct {
+	Shards             int    `json:"shards"`
+	TopologyGeneration uint64 `json:"topology_generation"`
+}
+
+// handleReshard re-partitions an in-process sharded server live: ops can
+// tune the shard count against observed per-shard latency without a
+// restart. The bumped topology generation retires every cached answer.
+func (s *Server) handleReshard(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req reshardRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.Reshard(req.Shards); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, reshardResponse{
+		Shards:             s.Shards(),
+		TopologyGeneration: s.TopologyGeneration(),
+	})
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
@@ -143,7 +177,8 @@ type healthBody struct {
 	Edges      int    `json:"edges"`
 	H          int    `json:"h"`
 	Directed   bool   `json:"directed"`
-	View       bool   `json:"view"` // materialized view present (undirected graphs)
+	View       bool   `json:"view"`             // materialized view present (undirected graphs)
+	Shards     int    `json:"shards,omitempty"` // >1 when queries fan out across shards
 	Generation uint64 `json:"generation"`
 }
 
@@ -153,6 +188,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	body := healthBody{
 		OK: true, Nodes: g.NumNodes(), Edges: g.NumEdges(), H: s.engine.H(),
 		Directed: g.Directed(), View: s.view != nil, Generation: s.gen,
+	}
+	if s.cl != nil {
+		body.Shards = s.cl.shards
 	}
 	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, body)

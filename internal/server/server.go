@@ -31,12 +31,27 @@
 // expansions and frees its goroutine.
 //
 // Results are cached in a sharded, byte-accounted LRU keyed by
-// (k, aggregate, algorithm, options, candidates, budget, generation):
-// repeats at an unchanged generation are O(1), and any update invalidates
-// implicitly because the new generation changes every key — no
-// scan-and-evict. Concurrent identical cold queries collapse to one
-// execution via singleflight; if the one executing caller is cancelled,
-// a surviving waiter re-executes instead of inheriting the cancellation.
+// (k, aggregate, algorithm, options, candidates, budget, generation,
+// shard-topology generation): repeats at an unchanged generation are
+// O(1), and any update invalidates implicitly because the new generation
+// changes every key — no scan-and-evict. Re-sharding bumps the topology
+// generation the same way, so a re-partitioned server can never serve a
+// merged answer computed under the previous topology. Concurrent
+// identical cold queries collapse to one execution via singleflight; if
+// the one executing caller is cancelled, a surviving waiter re-executes
+// instead of inheriting the cancellation.
+//
+// # Sharded serving
+//
+// With Options.Shards > 1 (lonad -shards) the server builds an
+// internal/cluster Coordinator over in-process partition shards and
+// routes every engine query through it; with Options.ShardWorkers set
+// (lonad -shard-peers) the shards live behind worker lonad processes and
+// the fan-out crosses HTTP. The "view" algorithm always serves from the
+// whole-graph materialized view — it is a single O(n) scan with nothing
+// to distribute. POST /v1/reshard re-partitions a -shards server live,
+// and /v1/stats grows a cluster section with per-shard latency and
+// cross-shard message counters.
 package server
 
 import (
@@ -51,6 +66,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/graph"
 )
@@ -71,11 +87,26 @@ type Options struct {
 	// Until the differential index exists the planner avoids Forward.
 	// Intended for tests and tiny datasets.
 	SkipIndexes bool
+	// Shards > 1 executes queries through an in-process
+	// cluster.Coordinator over this many partition-local engines; 0 or 1
+	// serves from the single whole-graph engine. Mutually exclusive with
+	// ShardWorkers.
+	Shards int
+	// ShardWorkers lists the base URLs of lonad shard-worker processes
+	// (cmd/lonad -shard-worker), one per shard in shard-index order;
+	// queries fan out to them over HTTP. The coordinator process still
+	// loads the full graph for the materialized view and update
+	// validation.
+	ShardWorkers []string
 }
 
 // defaultCacheBytes is the result cache capacity when Options.CacheBytes
 // is zero.
 const defaultCacheBytes = 16 << 20
+
+// shardUpdateTimeout bounds the score-update fan-out to shard workers,
+// which runs under the server's write lock.
+const shardUpdateTimeout = 30 * time.Second
 
 // Server answers top-k queries and applies score updates; construct with
 // New and expose via Handler. All exported methods are safe for concurrent
@@ -85,16 +116,61 @@ type Server struct {
 	g    *graph.Graph // immutable; shared by every generation's engine
 
 	// mu guards the generation state below, RWMutex-style: queries take a
-	// brief RLock to snapshot (gen, engine, view); update batches take the
-	// write lock for the duration of the view repair + engine rebuild.
+	// brief RLock to snapshot (gen, topo, engine, view, cluster); update
+	// batches and reshards take the write lock for the duration of the
+	// view repair + engine or shard rebuild.
 	mu     sync.RWMutex
 	gen    uint64
+	topo   uint64       // shard-topology generation; bumped by Reshard
 	engine *core.Engine // immutable per generation; safe lock-free after snapshot
 	view   *core.View   // materialized aggregates; nil for directed graphs
+	cl     *clusterState
 
 	cache   *shardedCache // nil when caching is disabled
 	flight  flightGroup
 	metrics *metrics
+}
+
+// clusterState is one shard topology's serving state: the coordinator
+// plus the per-shard latency histograms /v1/stats reports. Replaced
+// wholesale by Reshard (under the write lock), so histograms never mix
+// topologies.
+type clusterState struct {
+	coord  *cluster.Coordinator
+	shards int
+	remote bool // shards live behind HTTP workers
+	hists  []*latencyHist
+}
+
+// newClusterState wraps a coordinator for serving.
+func newClusterState(coord *cluster.Coordinator, remote bool) *clusterState {
+	cs := &clusterState{coord: coord, shards: coord.Shards(), remote: remote}
+	cs.hists = make([]*latencyHist, cs.shards)
+	for i := range cs.hists {
+		cs.hists[i] = &latencyHist{}
+	}
+	return cs
+}
+
+// snapshot is one query's consistent view of the generation state.
+type snapshot struct {
+	gen    uint64
+	topo   uint64
+	engine *core.Engine
+	view   *core.View
+	cl     *clusterState
+	qv     cluster.QueryView // pinned shard set, when sharded
+}
+
+// snapshot captures the current generation under a brief RLock.
+func (s *Server) snapshot() snapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	snap := snapshot{gen: s.gen, topo: s.topo, engine: s.engine, view: s.view, cl: s.cl}
+	if s.cl != nil {
+		snap.qv = s.cl.coord.Snapshot()
+	}
+	return snap
 }
 
 // Answer is one computed (or cached) query response body — the /v1/topk
@@ -106,6 +182,7 @@ type Answer struct {
 	Reason     string          `json:"reason,omitempty"`
 	Cached     bool            `json:"cached"`
 	Truncated  bool            `json:"truncated,omitempty"` // budget stopped the query early
+	Shards     int             `json:"shards,omitempty"`    // >1 when a coordinator merged the answer
 	Results    []core.Result   `json:"results"`
 	Stats      core.QueryStats `json:"stats"`
 	ElapsedUS  int64           `json:"elapsed_us"` // execution time when computed
@@ -121,6 +198,9 @@ func New(g *graph.Graph, scores []float64, h int, opts Options) (*Server, error)
 	}
 	if opts.CacheShards <= 0 {
 		opts.CacheShards = 16
+	}
+	if opts.Shards > 1 && len(opts.ShardWorkers) > 0 {
+		return nil, errors.New("server: Shards and ShardWorkers are mutually exclusive")
 	}
 	engine, err := core.NewEngine(g, scores, h)
 	if err != nil {
@@ -142,7 +222,88 @@ func New(g *graph.Graph, scores []float64, h int, opts Options) (*Server, error)
 		engine.PrepareNeighborhoodIndex(opts.Workers)
 		engine.PrepareDifferentialIndex(opts.Workers)
 	}
+	switch {
+	case opts.Shards > 1:
+		local, err := cluster.NewLocal(g, scores, h, opts.Shards)
+		if err != nil {
+			return nil, err
+		}
+		if !opts.SkipIndexes {
+			local.PrepareIndexes(opts.Workers)
+		}
+		s.cl = newClusterState(cluster.NewCoordinator(local, cluster.Options{}), false)
+	case len(opts.ShardWorkers) > 0:
+		transport, err := cluster.NewHTTP(context.Background(), opts.ShardWorkers, nil)
+		if err != nil {
+			return nil, err
+		}
+		if transport.Nodes() != g.NumNodes() {
+			return nil, fmt.Errorf("server: shard workers serve %d nodes, this server loaded %d — different datasets",
+				transport.Nodes(), g.NumNodes())
+		}
+		if transport.H() != h {
+			return nil, fmt.Errorf("server: shard workers serve h=%d, this server runs h=%d — answers would mix radii",
+				transport.H(), h)
+		}
+		s.cl = newClusterState(cluster.NewCoordinator(transport, cluster.Options{}), true)
+	}
 	return s, nil
+}
+
+// Shards returns how many shards queries fan out across (1 = unsharded).
+func (s *Server) Shards() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.cl == nil {
+		return 1
+	}
+	return s.cl.shards
+}
+
+// TopologyGeneration returns the shard-topology generation (0 at
+// startup, +1 per Reshard). It participates in every cache key, so
+// answers merged under one topology can never serve another.
+func (s *Server) TopologyGeneration() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.topo
+}
+
+// Reshard re-partitions a -shards style server to a new in-process shard
+// count (1 tears sharding down) and bumps the topology generation,
+// implicitly invalidating every cached answer. Queries already in flight
+// finish against the topology they snapshotted. Servers whose shards
+// live behind HTTP workers cannot reshard — their partitioning is fixed
+// by the worker processes.
+func (s *Server) Reshard(parts int) error {
+	if parts < 1 {
+		return fmt.Errorf("reshard: need at least 1 shard, got %d", parts)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cl != nil && s.cl.remote {
+		return errors.New("reshard: shard topology is fixed by the worker processes (-shard-peers)")
+	}
+	if (s.cl == nil && parts == 1) || (s.cl != nil && s.cl.shards == parts) {
+		return nil // already there; keep the cache warm
+	}
+	if parts == 1 {
+		s.cl = nil
+		s.topo++
+		s.metrics.reshards.Add(1)
+		return nil
+	}
+	local, err := cluster.NewLocal(s.g, s.engine.Scores(), s.engine.H(), parts)
+	if err != nil {
+		return err
+	}
+	if !s.opts.SkipIndexes {
+		local.PrepareIndexes(s.opts.Workers)
+	}
+	s.cl = newClusterState(cluster.NewCoordinator(local, cluster.Options{}), false)
+	s.topo++
+	s.metrics.reshards.Add(1)
+	return nil
 }
 
 // Generation returns the current score generation (0 at startup, +1 per
@@ -289,12 +450,18 @@ func (r *QueryRequest) canonicalizeCandidates(n int) error {
 	return nil
 }
 
-// cacheKey identifies a query result within one generation. Everything
-// that can change the response body participates (timeout_ms does not —
-// it changes only whether the query finishes, never its answer).
-func (r *QueryRequest) cacheKey(gen uint64) string {
+// cacheKey identifies a query result within one (score, shard-topology)
+// generation pair. Everything that can change the response body
+// participates (timeout_ms does not — it changes only whether the query
+// finishes, never its answer). The topology generation matters even
+// though merged answers are byte-identical across topologies: stats,
+// shard counts, and truncation behavior differ, and a re-shard mid-build
+// must never replay a stale merged entry.
+func (r *QueryRequest) cacheKey(gen, topo uint64) string {
 	var b strings.Builder
 	b.WriteString(strconv.FormatUint(gen, 10))
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatUint(topo, 10))
 	b.WriteByte('|')
 	b.WriteString(strconv.Itoa(r.K))
 	b.WriteByte('|')
@@ -338,11 +505,9 @@ func (s *Server) Run(ctx context.Context, req QueryRequest) (*Answer, error) {
 		defer cancel()
 	}
 
-	s.mu.RLock()
-	gen, engine, view := s.gen, s.engine, s.view
-	s.mu.RUnlock()
+	snap := s.snapshot()
 
-	key := req.cacheKey(gen)
+	key := req.cacheKey(snap.gen, snap.topo)
 	if s.cache != nil {
 		if ans, ok := s.cache.get(key); ok {
 			s.metrics.hits.Add(1)
@@ -354,7 +519,7 @@ func (s *Server) Run(ctx context.Context, req QueryRequest) (*Answer, error) {
 	}
 
 	run := func() (*Answer, error) {
-		return s.execute(ctx, req, agg, order, gen, engine, view)
+		return s.execute(ctx, req, agg, order, snap)
 	}
 	ans, err, shared := s.flight.do(ctx, key, run)
 	// A shared context error means the caller that executed the flight was
@@ -399,12 +564,13 @@ func isContextErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-// execute runs the query against one generation's immutable engine (or the
-// live view, under RLock so it cannot race an update batch).
+// execute runs the query against one snapshot's immutable engine, its
+// pinned shard set, or the live view (under RLock so it cannot race an
+// update batch).
 func (s *Server) execute(ctx context.Context, req QueryRequest, agg core.Aggregate, order core.QueueOrder,
-	gen uint64, engine *core.Engine, view *core.View) (*Answer, error) {
+	snap snapshot) (*Answer, error) {
 
-	ans := &Answer{Generation: gen, Algorithm: req.Algorithm}
+	ans := &Answer{Generation: snap.gen, Algorithm: req.Algorithm}
 	start := time.Now()
 
 	switch req.Algorithm {
@@ -413,9 +579,11 @@ func (s *Server) execute(ctx context.Context, req QueryRequest, agg core.Aggrega
 		// lock for the scan (View's documented RWMutex discipline). The
 		// generation is re-read because the scan observes the live view,
 		// which may be newer than the snapshot taken for the cache key.
+		// Sharding never applies here: the view is a whole-graph
+		// structure answering with one O(n) scan.
 		s.mu.RLock()
 		ans.Generation = s.gen
-		res, err := view.Run(ctx, core.Query{K: req.K, Aggregate: agg, Candidates: req.Candidates})
+		res, err := snap.view.Run(ctx, core.Query{K: req.K, Aggregate: agg, Candidates: req.Candidates})
 		s.mu.RUnlock()
 		if err != nil {
 			return nil, err
@@ -426,8 +594,9 @@ func (s *Server) execute(ctx context.Context, req QueryRequest, agg core.Aggrega
 		// AlgoAuto delegates to the planner; the engine memoizes the
 		// decision per instance, and each generation is a fresh
 		// WithScores engine, so the plan's O(n) statistics scan runs once
-		// per (generation, aggregate), not per cold query.
-		res, err := engine.Run(ctx, core.Query{
+		// per (generation, aggregate), not per cold query. When sharded,
+		// each shard engine plans for its own score distribution.
+		res, err := s.dispatch(ctx, snap, ans, core.Query{
 			Algorithm:  core.AlgoAuto,
 			K:          req.K,
 			Aggregate:  agg,
@@ -438,9 +607,11 @@ func (s *Server) execute(ctx context.Context, req QueryRequest, agg core.Aggrega
 			return nil, err
 		}
 		ans.Results, ans.Stats, ans.Truncated = res.Results, res.Stats, res.Truncated
-		ans.Algorithm = res.Plan.Algorithm.String()
 		ans.Planned = true
-		ans.Reason = res.Plan.Reason
+		if res.Plan != nil {
+			ans.Algorithm = res.Plan.Algorithm.String()
+			ans.Reason = res.Plan.Reason
+		}
 
 	default:
 		algo, _ := ParseAlgorithm(req.Algorithm) // validated in normalize
@@ -450,7 +621,7 @@ func (s *Server) execute(ctx context.Context, req QueryRequest, agg core.Aggrega
 		if opts.Workers <= 0 {
 			opts.Workers = s.opts.Workers
 		}
-		res, err := engine.Run(ctx, core.Query{
+		res, err := s.dispatch(ctx, snap, ans, core.Query{
 			Algorithm:  algo,
 			K:          req.K,
 			Aggregate:  agg,
@@ -474,6 +645,34 @@ func (s *Server) execute(ctx context.Context, req QueryRequest, agg core.Aggrega
 	}
 	s.metrics.recordQuery(ans.Algorithm, elapsed, ans.Stats)
 	return ans, nil
+}
+
+// dispatch runs an engine query on the snapshot: through the cluster
+// coordinator's fan-out when the server is sharded (recording the
+// distributed-execution counters), directly on the whole-graph engine
+// otherwise. Either path returns the same byte-identical answer — that
+// is the cluster package's core guarantee.
+func (s *Server) dispatch(ctx context.Context, snap snapshot, ans *Answer, q core.Query) (core.Answer, error) {
+	if snap.cl == nil {
+		return snap.engine.Run(ctx, q)
+	}
+	res, bd, err := snap.cl.coord.RunOn(ctx, snap.qv, q)
+	if err != nil {
+		return core.Answer{}, err
+	}
+	ans.Shards = snap.cl.shards
+	s.metrics.clusterMessages.Add(bd.Messages)
+	s.metrics.shardsCut.Add(int64(bd.ShardsCut))
+	for _, r := range bd.PerShard {
+		if !r.Launched {
+			continue
+		}
+		s.metrics.shardQueries.Add(1)
+		if r.Shard < len(snap.cl.hists) {
+			snap.cl.hists[r.Shard].observe(time.Duration(r.ElapsedUS) * time.Microsecond)
+		}
+	}
+	return res, nil
 }
 
 // ScoreUpdate is one relevance mutation of an update batch.
@@ -512,6 +711,28 @@ func (s *Server) ApplyUpdates(updates []ScoreUpdate) (*UpdateResult, error) {
 	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+
+	// Propagate to the shards first, while local state is still at the
+	// old generation: if a remote worker rejects the batch the server
+	// aborts cleanly un-mutated. The HTTP fan-out is not transactional —
+	// a mid-batch worker crash leaves earlier workers updated and this
+	// server at the old generation; re-sending the (idempotent) batch
+	// converges. In-process shards swap atomically and cannot fail after
+	// the upfront validation. The deadline matters: this runs under the
+	// write lock, so a wedged worker must fail the batch, not wedge every
+	// query snapshot behind it.
+	if s.cl != nil {
+		batch := make([]cluster.ScoreUpdate, len(updates))
+		for i, u := range updates {
+			batch[i] = cluster.ScoreUpdate{Node: u.Node, Score: u.Score}
+		}
+		fanCtx, cancel := context.WithTimeout(context.Background(), shardUpdateTimeout)
+		err := s.cl.coord.Transport().ApplyScores(fanCtx, batch)
+		cancel()
+		if err != nil {
+			return nil, fmt.Errorf("shard update fan-out: %w", err)
+		}
+	}
 
 	res := &UpdateResult{Applied: len(updates)}
 	var newScores []float64
@@ -552,11 +773,34 @@ func (s *Server) Stats() Stats {
 	st.Generation = s.gen
 	g := s.engine.Graph()
 	st.Nodes, st.Edges, st.H = g.NumNodes(), int64(g.NumEdges()), s.engine.H()
+	cl, topo := s.cl, s.topo
 	s.mu.RUnlock()
 	if s.cache != nil {
 		st.Cache.Entries = s.cache.len()
 		st.Cache.Bytes = s.cache.bytes()
 		st.Cache.CapacityBytes = s.cache.capacityBytes()
+	}
+	if cl != nil {
+		topology := cl.coord.Transport().Topology()
+		cs := &ClusterStats{
+			Shards:        cl.shards,
+			Remote:        cl.remote,
+			TopologyGen:   topo,
+			Reshards:      s.metrics.reshards.Load(),
+			EdgeCut:       topology.EdgeCut,
+			BoundaryNodes: topology.BoundaryNodes,
+			ShardQueries:  s.metrics.shardQueries.Load(),
+			ShardsCut:     s.metrics.shardsCut.Load(),
+			Messages:      s.metrics.clusterMessages.Load(),
+		}
+		for i, h := range cl.hists {
+			sl := ShardLatency{Shard: i, Latency: h.summary()}
+			if i < len(topology.OwnedSizes) {
+				sl.Owned = topology.OwnedSizes[i]
+			}
+			cs.PerShard = append(cs.PerShard, sl)
+		}
+		st.Cluster = cs
 	}
 	return st
 }

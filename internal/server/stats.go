@@ -91,6 +91,13 @@ type metrics struct {
 	timeouts atomic.Int64
 	cancels  atomic.Int64
 
+	// Sharded-execution counters, live only when the server fans out
+	// through a cluster coordinator.
+	shardQueries    atomic.Int64 // shard queries launched across all fan-outs
+	shardsCut       atomic.Int64 // shards ended early by the TA merge bound
+	clusterMessages atomic.Int64 // cross-shard messages (bounds, queries, result items)
+	reshards        atomic.Int64 // topology rebuilds via Reshard
+
 	// Engine work counters summed over every executed (non-cached) query.
 	evaluated   atomic.Int64
 	pruned      atomic.Int64
@@ -166,6 +173,37 @@ type EngineStats struct {
 	Visited     int64 `json:"visited"`
 }
 
+// ShardLatency is one shard's row of the cluster stats section.
+type ShardLatency struct {
+	Shard   int            `json:"shard"`
+	Owned   int            `json:"owned,omitempty"` // nodes this shard ranks
+	Latency LatencySummary `json:"latency"`
+}
+
+// ClusterStats is the sharded-execution section of /v1/stats, present
+// only when the server fans queries out through a cluster coordinator.
+type ClusterStats struct {
+	Shards int  `json:"shards"`
+	Remote bool `json:"remote"` // shards live behind HTTP workers
+	// TopologyGen is the shard-topology generation embedded in every
+	// cache key; Reshards counts how often it was bumped.
+	TopologyGen uint64 `json:"topology_generation"`
+	Reshards    int64  `json:"reshards"`
+	// EdgeCut and BoundaryNodes describe the partitioning itself: cut
+	// edges (in-process topologies only) and ghost nodes replicated into
+	// shard closures.
+	EdgeCut       int   `json:"edge_cut,omitempty"`
+	BoundaryNodes int64 `json:"boundary_nodes"`
+	// ShardQueries / ShardsCut / Messages accumulate over every fan-out:
+	// shard queries launched, shards ended early by the TA merge bound,
+	// and cross-shard messages (bound probes, query round-trips, result
+	// items shipped).
+	ShardQueries int64          `json:"shard_queries"`
+	ShardsCut    int64          `json:"shards_cut"`
+	Messages     int64          `json:"messages"`
+	PerShard     []ShardLatency `json:"per_shard"`
+}
+
 // Stats is the full /v1/stats response.
 type Stats struct {
 	Generation    uint64                    `json:"generation"`
@@ -179,6 +217,7 @@ type Stats struct {
 	QueryCancels  int64                     `json:"query_cancels"`  // queries cancelled by the caller
 	Cache         CacheStats                `json:"cache"`
 	Engine        EngineStats               `json:"engine"`
+	Cluster       *ClusterStats             `json:"cluster,omitempty"`
 	Latency       map[string]LatencySummary `json:"latency"`
 }
 

@@ -45,8 +45,10 @@ package lona
 import (
 	"context"
 	"io"
+	"net/http"
 
 	"repro/internal/attr"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -220,6 +222,61 @@ func MarkServerShutdown(ctx context.Context, drained func() bool) context.Contex
 // cache and metrics initialized.
 func NewServer(g *Graph, scores []float64, h int, opts ServerOptions) (*Server, error) {
 	return server.New(g, scores, h, opts)
+}
+
+// Coordinator executes queries across partition-local engines and merges
+// the partial top-k lists with TA-style early termination — the same
+// Run(ctx, Query) shape as Engine, Planner, and View, returning answers
+// byte-identical to a single engine. Construct with NewLocalCoordinator
+// (every shard in this process) or NewWorkerCoordinator (shards behind
+// lonad -shard-worker processes). Server does this wiring itself via
+// ServerOptions.Shards / ServerOptions.ShardWorkers.
+type Coordinator = cluster.Coordinator
+
+// CoordinatorOptions tunes the fan-out (concurrency, early-termination).
+type CoordinatorOptions = cluster.Options
+
+// NewLocalCoordinator partitions (g, scores, h) into parts shards
+// in-process — BFS-grown, boundary-refined, each closed under h hops —
+// and returns a coordinator fanning queries out across them.
+func NewLocalCoordinator(g *Graph, scores []float64, h, parts int, opts CoordinatorOptions) (*Coordinator, error) {
+	local, err := cluster.NewLocal(g, scores, h, parts)
+	if err != nil {
+		return nil, err
+	}
+	return cluster.NewCoordinator(local, opts), nil
+}
+
+// NewWorkerCoordinator dials lonad shard workers (one URL per shard, in
+// shard-index order) and returns a coordinator fanning queries out to
+// them over HTTP. The dial probes every worker's /v1/shard/health and
+// fails fast on a mis-wired topology.
+func NewWorkerCoordinator(ctx context.Context, workers []string, opts CoordinatorOptions) (*Coordinator, error) {
+	transport, err := cluster.NewHTTP(ctx, workers, nil)
+	if err != nil {
+		return nil, err
+	}
+	return cluster.NewCoordinator(transport, opts), nil
+}
+
+// NewShardWorkerHandler builds shard index of the parts-way partitioning
+// of (g, scores, h) and returns the HTTP handler serving it
+// (/v1/shard/query, /v1/shard/bound, /v1/shard/scores, /v1/shard/health)
+// — the worker half of the coordinator/worker protocol, which
+// cmd/lonad's -shard-worker mode mounts as a daemon. Every process that
+// builds the same (g, parts) pair derives the identical deterministic
+// partitioning, so workers and coordinators agree without coordination.
+func NewShardWorkerHandler(g *Graph, scores []float64, h, parts, index int) (http.Handler, error) {
+	p, err := cluster.Partitioning(g, parts)
+	if err != nil {
+		return nil, err
+	}
+	shard, err := cluster.BuildShard(g, scores, h, p, index)
+	if err != nil {
+		return nil, err
+	}
+	shard.Engine().PrepareNeighborhoodIndex(0)
+	return cluster.NewWorker(shard).Handler(), nil
 }
 
 // CollaborationNetwork simulates a co-authorship network in the shape of
