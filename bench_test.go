@@ -12,6 +12,7 @@ package lona_test
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"os"
 	"strconv"
 	"sync"
@@ -217,6 +218,62 @@ func BenchmarkS2Cluster(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkS3Mutation measures the structural-mutation repair path: one
+// edit batch applied through View.ApplyEdits (successor graph derivation,
+// incremental index repair, aggregate repair of affected nodes) per
+// iteration, against the full NewView rebuild as the baseline.
+// cmd/lonabench runs the full S3 batch-size sweep with a byte-identical
+// equivalence gate and writes BENCH_mutation.json.
+func BenchmarkS3Mutation(b *testing.B) {
+	g := lona.CollaborationNetwork(benchScale(), 20100301)
+	scores := lona.MixtureScores(g, 0.01, 20100302)
+	b.Run("incremental-batch16", func(b *testing.B) {
+		view, err := lona.NewView(g, scores, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(7))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Draw a batch of genuinely new edges outside the timer, time
+			// the incremental apply, then revert outside the timer — every
+			// iteration repairs the same pristine graph the rebuild
+			// baseline rebuilds, so the two numbers stay comparable.
+			b.StopTimer()
+			cur := view.Graph()
+			edits := make([]lona.Edit, 0, 16)
+			for len(edits) < 16 {
+				u, v := rng.Intn(cur.NumNodes()), rng.Intn(cur.NumNodes())
+				if u != v && !cur.HasEdge(u, v) {
+					edits = append(edits, lona.Edit{Op: lona.EditAddEdge, U: u, V: v})
+				}
+			}
+			b.StartTimer()
+			if _, err := view.ApplyEdits(context.Background(), edits); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			revert := make([]lona.Edit, len(edits))
+			for j, e := range edits {
+				revert[j] = lona.Edit{Op: lona.EditRemoveEdge, U: e.U, V: e.V}
+			}
+			if _, err := view.ApplyEdits(context.Background(), revert); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := lona.NewView(g, scores, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkIndexBuild measures the offline costs the paper amortizes: the

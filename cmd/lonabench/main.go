@@ -1,9 +1,11 @@
 // Command lonabench regenerates the paper's evaluation: Figures 1–6
 // (runtime vs top-k for SUM and AVG on the three networks), the ablation
-// experiments A1–A7 defined in DESIGN.md, and the S1 serving benchmark
-// (lonad's cold / cached / post-update latency and throughput, also
-// written as machine-readable BENCH_serving.json). Output is markdown
-// (stdout or -out file) plus optional per-experiment CSV.
+// experiments A1–A7 defined in DESIGN.md, and the serving benchmarks
+// S1 (lonad cold/cached/post-update latency → BENCH_serving.json),
+// S2 (sharded execution vs single engine → BENCH_cluster.json), and
+// S3 (structural-mutation repair vs rebuild → BENCH_mutation.json).
+// Output is markdown (stdout or -out file) plus optional per-experiment
+// CSV.
 //
 // A full run at -scale 1 takes tens of minutes (the differential index for
 // the citation network dominates); -scale 0.1 gives a minutes-long pass
@@ -29,19 +31,20 @@ import (
 
 func main() {
 	var (
-		experiments = flag.String("experiments", "all", "comma-separated experiment ids (F1..F6, A1..A7, S1) or 'all'")
-		scale       = flag.Float64("scale", 1.0, "dataset scale multiplier")
-		seed        = flag.Int64("seed", 20100301, "session seed")
-		repeats     = flag.Int("repeats", 1, "timed repetitions per query (min kept)")
-		workers     = flag.Int("workers", 0, "worker goroutines for index builds (0 = GOMAXPROCS)")
-		out         = flag.String("out", "", "write the markdown report to this file (default stdout)")
-		csvDir      = flag.String("csv-dir", "", "also write one CSV per experiment into this directory")
-		servingJSON = flag.String("serving-json", "BENCH_serving.json", "write the S1 serving summary to this file (empty disables)")
-		clusterJSON = flag.String("cluster-json", "BENCH_cluster.json", "write the S2 sharded-execution summary to this file (empty disables)")
-		quiet       = flag.Bool("quiet", false, "suppress progress logging")
+		experiments  = flag.String("experiments", "all", "comma-separated experiment ids (F1..F6, A1..A7, S1..S3) or 'all'")
+		scale        = flag.Float64("scale", 1.0, "dataset scale multiplier")
+		seed         = flag.Int64("seed", 20100301, "session seed")
+		repeats      = flag.Int("repeats", 1, "timed repetitions per query (min kept)")
+		workers      = flag.Int("workers", 0, "worker goroutines for index builds (0 = GOMAXPROCS)")
+		out          = flag.String("out", "", "write the markdown report to this file (default stdout)")
+		csvDir       = flag.String("csv-dir", "", "also write one CSV per experiment into this directory")
+		servingJSON  = flag.String("serving-json", "BENCH_serving.json", "write the S1 serving summary to this file (empty disables)")
+		clusterJSON  = flag.String("cluster-json", "BENCH_cluster.json", "write the S2 sharded-execution summary to this file (empty disables)")
+		mutationJSON = flag.String("mutation-json", "BENCH_mutation.json", "write the S3 structural-mutation summary to this file (empty disables)")
+		quiet        = flag.Bool("quiet", false, "suppress progress logging")
 	)
 	flag.Parse()
-	if err := run(*experiments, *scale, *seed, *repeats, *workers, *out, *csvDir, *servingJSON, *clusterJSON, *quiet); err != nil {
+	if err := run(*experiments, *scale, *seed, *repeats, *workers, *out, *csvDir, *servingJSON, *clusterJSON, *mutationJSON, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "lonabench:", err)
 		os.Exit(1)
 	}
@@ -62,7 +65,7 @@ func writeSummary(path string, summary any, quiet bool) error {
 	return nil
 }
 
-func run(experiments string, scale float64, seed int64, repeats, workers int, out, csvDir, servingJSON, clusterJSON string, quiet bool) error {
+func run(experiments string, scale float64, seed int64, repeats, workers int, out, csvDir, servingJSON, clusterJSON, mutationJSON string, quiet bool) error {
 	ids := bench.ExperimentIDs()
 	if experiments != "all" {
 		ids = nil
@@ -105,6 +108,14 @@ func run(experiments string, scale float64, seed int64, repeats, workers int, ou
 			res, summary, err = w.RunClusterDetailed()
 			if err == nil && clusterJSON != "" {
 				if werr := writeSummary(clusterJSON, summary, quiet); werr != nil {
+					return werr
+				}
+			}
+		case "S3":
+			var summary *bench.MutationSummary
+			res, summary, err = w.RunMutationDetailed()
+			if err == nil && mutationJSON != "" {
+				if werr := writeSummary(mutationJSON, summary, quiet); werr != nil {
 					return werr
 				}
 			}

@@ -21,14 +21,18 @@
 //	POST /v1/topk    {"k":10,"aggregate":"sum","algorithm":"auto",
 //	                  "timeout_ms":250,"budget":0,"candidates":[]}
 //	POST /v1/scores  {"updates":[{"node":17,"score":0.9}]}
+//	POST /v1/edges   {"edits":[{"op":"add-edge","u":17,"v":40},
+//	                  {"op":"remove-edge","u":3,"v":9},{"op":"add-node"}]}
 //	POST /v1/reshard {"shards":8}
 //	GET  /v1/stats
 //	GET  /v1/health
 //
 // In -shard-worker mode the daemon instead serves the shard protocol
-// (/v1/shard/query, /v1/shard/bound, /v1/shard/scores, /v1/shard/health)
-// for one partition of the dataset; dataset flags must match the
-// coordinator's so every process derives the same partitioning.
+// (/v1/shard/query, /v1/shard/bound, /v1/shard/scores, /v1/shard/edits,
+// /v1/shard/health) for one partition of the dataset; dataset flags must
+// match the coordinator's so every process derives the same partitioning
+// — including across structural edit batches, which every process applies
+// identically.
 //
 // On SIGINT/SIGTERM the daemon stops accepting connections, drains
 // in-flight requests for up to -drain, then cancels any queries still
@@ -182,7 +186,7 @@ func run(cfg config) error {
 	if cfg.shardWorker {
 		log.Printf("serving shard protocol on %s — POST /v1/shard/query, GET /v1/shard/health", ln.Addr())
 	} else {
-		log.Printf("serving on %s — POST /v1/topk, POST /v1/scores, POST /v1/reshard, GET /v1/stats, GET /v1/health", ln.Addr())
+		log.Printf("serving on %s — POST /v1/topk, POST /v1/scores, POST /v1/edges, POST /v1/reshard, GET /v1/stats, GET /v1/health", ln.Addr())
 	}
 	return serveUntilDone(sigCtx, handler, ln, cfg.drain)
 }

@@ -84,6 +84,31 @@ func main() {
 		fmt.Printf("  #%d IP %d — %.0f flagged attackers within 2 hops\n", i+1, r.Node, r.Value)
 	}
 
+	// The network itself is dynamic too: new hosts appear and contacts
+	// form and disappear. Structural edits repair the same view in place —
+	// only the h-hop surroundings of the touched endpoints are recomputed.
+	begin = time.Now()
+	newHost := view.Graph().NumNodes()
+	hub := top[0].Node
+	editRes, err := view.ApplyEdits(context.Background(), []lona.Edit{
+		{Op: lona.EditAddNode},                     // a never-seen IP appears…
+		{Op: lona.EditAddEdge, U: newHost, V: hub}, // …and contacts the top hub
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := view.UpdateScore(newHost, 1); err != nil { // it is flagged
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstructural edit (new IP %d contacting hub %d) repaired %d of %d nodes in %.3fs\n",
+		newHost, hub, editRes.Repaired, view.Graph().NumNodes(), time.Since(begin).Seconds())
+	ans, err = view.Run(context.Background(), viewQuery)
+	if err != nil {
+		log.Fatal(err)
+	}
+	top = ans.Results
+	g = view.Graph()
+
 	// Compare against answering the same query from scratch.
 	begin = time.Now()
 	engine, err := lona.NewEngine(g, currentScores(view, g.NumNodes()), 2)

@@ -14,6 +14,8 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/partition"
 )
 
 // The HTTP transport speaks a small JSON protocol to lonad worker
@@ -22,6 +24,10 @@ import (
 //	POST /v1/shard/query  — execute a shard-local query (global node ids)
 //	GET  /v1/shard/bound  — the shard's merge bound for ?aggregate=
 //	POST /v1/shard/scores — apply a relevance update batch to the shard
+//	POST /v1/shard/edits  — apply a structural edit batch; the worker
+//	                        re-derives its full graph, extends the shared
+//	                        partitioning, and rebuilds its shard when its
+//	                        h-hop closure is affected
 //	GET  /v1/shard/health — shard identity and shape, probed at dial time
 //
 // Queries carry the caller's context: cancelling the request (a TA cut, a
@@ -78,6 +84,56 @@ type wireScores struct {
 	Applied int           `json:"applied,omitempty"`
 }
 
+// wireEdit is one structural mutation on the wire; Op uses the
+// graph.EditOp wire names (add-edge, remove-edge, add-node).
+type wireEdit struct {
+	Op string `json:"op"`
+	U  int    `json:"u,omitempty"`
+	V  int    `json:"v,omitempty"`
+}
+
+// wireEdits is the /v1/shard/edits request and response: the worker
+// reports its post-batch shape so the transport can refresh its cached
+// topology without a re-probe.
+type wireEdits struct {
+	Edits []wireEdit `json:"edits,omitempty"`
+	// Seq is the coordinator-assigned batch sequence number. Workers
+	// remember the highest Seq they applied and answer a replay (Seq <=
+	// last applied) with their current state WITHOUT re-applying — which
+	// makes the retry-after-partial-failure flow safe even for add-node
+	// batches, whose replay is otherwise not a no-op and would mint
+	// duplicate nodes on the workers that already applied the batch.
+	// Zero means "no sequencing" (bare callers) and is always applied.
+	Seq uint64 `json:"seq,omitempty"`
+	// Response fields.
+	Nodes    int  `json:"nodes,omitempty"`    // full-graph node count after the batch
+	Rebuilt  bool `json:"rebuilt,omitempty"`  // this worker's closure was affected
+	Owned    int  `json:"owned,omitempty"`    // post-batch owned-node count
+	Boundary int  `json:"boundary,omitempty"` // post-batch ghost-node count
+}
+
+// encodeEdits flattens an edit batch onto the wire.
+func encodeEdits(edits []graph.Edit) []wireEdit {
+	out := make([]wireEdit, len(edits))
+	for i, e := range edits {
+		out[i] = wireEdit{Op: e.Op.String(), U: e.U, V: e.V}
+	}
+	return out
+}
+
+// decodeEdits validates and reconstructs an edit batch from the wire.
+func decodeEdits(wire []wireEdit) ([]graph.Edit, error) {
+	out := make([]graph.Edit, len(wire))
+	for i, w := range wire {
+		op, err := graph.ParseEditOp(w.Op)
+		if err != nil {
+			return nil, fmt.Errorf("edit %d: %w", i, err)
+		}
+		out[i] = graph.Edit{Op: op, U: w.U, V: w.V}
+	}
+	return out, nil
+}
+
 // wireError is every non-2xx worker response body.
 type wireError struct {
 	Error string `json:"error"`
@@ -128,16 +184,55 @@ func decodeQuery(w wireQuery) (core.Query, error) {
 }
 
 // Worker serves one Shard over HTTP — the worker half of the protocol,
-// mounted by cmd/lonad in -shard-worker mode. Score updates swap the
-// shard generation under a write lock; queries snapshot the current
-// generation, mirroring internal/server's discipline.
+// mounted by cmd/lonad in -shard-worker mode. Score updates and
+// structural edits swap the shard generation under a write lock; queries
+// snapshot the current generation, mirroring internal/server's
+// discipline.
+//
+// A worker constructed with NewGraphWorker keeps the full graph, score
+// vector, and partitioning alongside its shard, which is what lets it
+// apply structural edits: it re-derives the successor graph exactly as
+// the coordinator does (the edit stream and the extension rule are both
+// deterministic), so independent processes stay in agreement without a
+// consensus round. A bare NewWorker shard serves queries and scores but
+// rejects edits.
 type Worker struct {
 	mu    sync.RWMutex
 	shard *Shard
+
+	// Full-dataset context for structural edits; nil for bare workers.
+	g      *graph.Graph
+	scores []float64
+	h      int
+	p      *partition.Partitioning
+	// editSeq is the highest sequenced edit batch applied; replays at or
+	// below it are answered idempotently (see wireEdits.Seq).
+	editSeq uint64
 }
 
-// NewWorker wraps a shard for serving.
+// NewWorker wraps a prebuilt shard for serving (no structural edits).
 func NewWorker(s *Shard) *Worker { return &Worker{shard: s} }
+
+// NewGraphWorker builds shard index of the deterministic parts-way
+// partitioning of (g, scores, h) and serves it with full structural-edit
+// support.
+func NewGraphWorker(g *graph.Graph, scores []float64, h, parts, index int) (*Worker, error) {
+	p, err := Partitioning(g, parts)
+	if err != nil {
+		return nil, err
+	}
+	s, err := BuildShard(g, scores, h, p, index)
+	if err != nil {
+		return nil, err
+	}
+	return &Worker{
+		shard:  s,
+		g:      g,
+		scores: append([]float64(nil), scores...),
+		h:      h,
+		p:      p,
+	}, nil
+}
 
 // Shard returns the current shard generation.
 func (w *Worker) Shard() *Shard {
@@ -152,6 +247,7 @@ func (w *Worker) Handler() http.Handler {
 	mux.HandleFunc("/v1/shard/query", w.handleQuery)
 	mux.HandleFunc("/v1/shard/bound", w.handleBound)
 	mux.HandleFunc("/v1/shard/scores", w.handleScores)
+	mux.HandleFunc("/v1/shard/edits", w.handleEdits)
 	mux.HandleFunc("/v1/shard/health", w.handleHealth)
 	return mux
 }
@@ -238,9 +334,32 @@ func (w *Worker) handleScores(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.mu.Lock()
+	// Validate the node range against the worker's authority on the full
+	// graph: the live score vector for edit-capable workers (which grows
+	// with the node set), the build-time node count for bare workers
+	// (whose topology can never change). Shard.WithUpdates itself is
+	// tolerant of beyond-snapshot ids — that tolerance is for shards
+	// legitimately reused across edit generations, not for typo'd ids.
+	limit := w.shard.GlobalNodes()
+	if w.g != nil {
+		limit = len(w.scores)
+	}
+	for _, u := range ws.Updates {
+		if u.Node < 0 || u.Node >= limit {
+			w.mu.Unlock()
+			writeWireError(rw, http.StatusBadRequest,
+				fmt.Errorf("update node %d out of range [0,%d)", u.Node, limit))
+			return
+		}
+	}
 	next, applied, err := w.shard.WithUpdates(ws.Updates)
 	if err == nil {
 		w.shard = next
+		if w.g != nil {
+			for _, u := range ws.Updates {
+				w.scores[u.Node] = u.Score
+			}
+		}
 	}
 	w.mu.Unlock()
 	if err != nil {
@@ -248,6 +367,87 @@ func (w *Worker) handleScores(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(rw, http.StatusOK, wireScores{Applied: applied})
+}
+
+// handleEdits applies a structural edit batch to the worker's full graph
+// and rebuilds its shard when the batch touches the shard's h-hop
+// closure. The response carries the post-batch shape so the coordinator
+// transport can refresh its cached topology.
+func (w *Worker) handleEdits(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		rw.Header().Set("Allow", http.MethodPost)
+		writeWireError(rw, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(rw, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	var we wireEdits
+	if err := dec.Decode(&we); err != nil {
+		writeWireError(rw, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return
+	}
+	edits, err := decodeEdits(we.Edits)
+	if err != nil {
+		writeWireError(rw, http.StatusBadRequest, err)
+		return
+	}
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.g == nil {
+		writeWireError(rw, http.StatusNotImplemented,
+			errors.New("worker was built from a bare shard and holds no full graph to edit"))
+		return
+	}
+	if we.Seq != 0 && we.Seq <= w.editSeq {
+		// Replay of a batch this worker already applied (the coordinator
+		// is retrying a partial fan-out failure): answer with the current
+		// state instead of re-applying, so add-node batches cannot mint
+		// duplicate nodes and desynchronize the replicas.
+		writeJSON(rw, http.StatusOK, wireEdits{
+			Nodes:    w.g.NumNodes(),
+			Owned:    w.shard.OwnedCount(),
+			Boundary: w.shard.BoundaryNodes(),
+		})
+		return
+	}
+	newG, delta, err := w.g.ApplyEdits(edits)
+	if err != nil {
+		writeWireError(rw, http.StatusBadRequest, err)
+		return
+	}
+	for len(w.scores) < newG.NumNodes() {
+		w.scores = append(w.scores, 0)
+	}
+	w.p.ExtendTo(newG.NumNodes())
+
+	affected := graph.AffectedNodes(w.g, newG, delta, w.h)
+	rebuild := false
+	for _, v := range affected {
+		if w.p.PartOf(v) == w.shard.Index() {
+			rebuild = true
+			break
+		}
+	}
+	if rebuild {
+		next, err := BuildShard(newG, w.scores, w.h, w.p, w.shard.Index())
+		if err != nil {
+			// Old generation keeps serving; the coordinator sees the error.
+			writeWireError(rw, http.StatusInternalServerError, err)
+			return
+		}
+		w.shard = next
+	}
+	w.g = newG
+	if we.Seq != 0 {
+		w.editSeq = we.Seq
+	}
+	writeJSON(rw, http.StatusOK, wireEdits{
+		Nodes:    newG.NumNodes(),
+		Rebuilt:  rebuild,
+		Owned:    w.shard.OwnedCount(),
+		Boundary: w.shard.BoundaryNodes(),
+	})
 }
 
 func (w *Worker) handleHealth(rw http.ResponseWriter, r *http.Request) {
@@ -267,9 +467,21 @@ type HTTP struct {
 	workers []string
 	client  *http.Client
 
+	h int
+
+	// mu guards the facts structural edits move: the full-graph node
+	// count, the cached topology summary, and the edit-batch sequencing.
+	mu       sync.RWMutex
 	nodes    int
-	h        int
 	topology Topology
+	// editSeq numbers edit batches so workers can no-op replays. A batch
+	// that partially failed keeps its number (pendingSeq/pendingEdits):
+	// re-sending the identical batch — the documented recovery — reuses
+	// it, so workers that already applied it answer idempotently instead
+	// of minting duplicate nodes.
+	editSeq      uint64
+	pendingSeq   uint64
+	pendingEdits string
 }
 
 // NewHTTP dials the worker list. client may be nil for a default with a
@@ -320,8 +532,13 @@ func NewHTTP(ctx context.Context, workers []string, client *http.Client) (*HTTP,
 // Shards returns the worker count.
 func (t *HTTP) Shards() int { return len(t.workers) }
 
-// Nodes returns the full graph's node count as reported by the workers.
-func (t *HTTP) Nodes() int { return t.nodes }
+// Nodes returns the full graph's node count as reported by the workers
+// (structural edits can grow it).
+func (t *HTTP) Nodes() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.nodes
+}
 
 // H returns the hop radius the workers serve; a coordinator must refuse
 // to merge shards built for a different h than its own.
@@ -377,9 +594,74 @@ func (t *HTTP) ApplyScores(ctx context.Context, updates []ScoreUpdate) error {
 	return nil
 }
 
+// ApplyEdits fans the structural edit batch out to every worker. Each
+// worker applies it to its own full-graph replica and rebuilds its shard
+// only when its closure is affected; the responses refresh this
+// transport's cached node count and topology. The fan-out is not
+// transactional — a mid-batch worker failure leaves earlier workers at
+// the new topology — but retrying with the identical batch converges:
+// the batch keeps its sequence number across retries, and workers that
+// already applied it answer idempotently (essential for add-node
+// batches, whose raw replay would mint duplicate nodes).
+func (t *HTTP) ApplyEdits(ctx context.Context, edits []graph.Edit) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	// Assign (or, for a retry of the batch that last failed, re-use) the
+	// batch's sequence number.
+	fingerprint := graph.FormatEditScript(edits)
+	t.mu.Lock()
+	var seq uint64
+	if t.pendingSeq != 0 && t.pendingEdits == fingerprint {
+		seq = t.pendingSeq
+	} else {
+		t.editSeq++
+		seq = t.editSeq
+	}
+	t.pendingSeq, t.pendingEdits = seq, fingerprint
+	t.mu.Unlock()
+
+	body := wireEdits{Edits: encodeEdits(edits), Seq: seq}
+	responses := make([]wireEdits, len(t.workers))
+	for i, base := range t.workers {
+		if err := t.post(ctx, base+"/v1/shard/edits", body, &responses[i]); err != nil {
+			return fmt.Errorf("cluster: worker %d (%s): %w", i, base, err)
+		}
+	}
+	// Workers ran the same deterministic batch from the same replica
+	// state; disagreement on the resulting node count means a
+	// desynchronized replica (e.g. a worker that missed an earlier
+	// batch) and must fail loudly before any query merges mixed
+	// topologies.
+	for i, resp := range responses {
+		if resp.Nodes != responses[0].Nodes {
+			return fmt.Errorf("cluster: worker %d reports %d nodes after the batch, worker 0 reports %d — replicas desynchronized",
+				i, resp.Nodes, responses[0].Nodes)
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.pendingSeq, t.pendingEdits = 0, "" // fully applied; nothing to retry
+	t.nodes = responses[0].Nodes
+	t.topology.BoundaryNodes = 0
+	t.topology.OwnedSizes = t.topology.OwnedSizes[:0]
+	for _, resp := range responses {
+		t.topology.BoundaryNodes += int64(resp.Boundary)
+		t.topology.OwnedSizes = append(t.topology.OwnedSizes, resp.Owned)
+	}
+	return nil
+}
+
 // Topology reports what the health probes revealed (edge cut is unknown
 // across processes).
-func (t *HTTP) Topology() Topology { return t.topology }
+func (t *HTTP) Topology() Topology {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	topo := t.topology
+	topo.OwnedSizes = append([]int(nil), t.topology.OwnedSizes...)
+	return topo
+}
 
 // Close drops idle worker connections.
 func (t *HTTP) Close() error {

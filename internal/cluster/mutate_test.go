@@ -1,0 +1,514 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// This file extends the Coordinator ≡ Engine property to mutating
+// graphs: structural edit batches propagated through Transport.ApplyEdits
+// must leave every affected shard's closure, ghost set, and recertified
+// merge bound in a state whose merged answers are still byte-identical to
+// a single engine over the mutated graph — at every generation, for
+// P ∈ {1,2,4,8}, and under concurrent edits and in-flight queries.
+
+// randomClusterEdits draws a legal batch against an n-node graph,
+// mixing inserts (sometimes duplicates), removals (aimed at real edges),
+// and node additions.
+func randomClusterEdits(rng *rand.Rand, g *graph.Graph, batch int) []graph.Edit {
+	n := g.NumNodes()
+	edits := make([]graph.Edit, 0, batch)
+	for len(edits) < batch {
+		switch rng.Intn(8) {
+		case 0:
+			edits = append(edits, graph.Edit{Op: graph.EditAddNode})
+			n++
+		case 1, 2:
+			u := rng.Intn(g.NumNodes())
+			if g.Degree(u) > 0 {
+				nbrs := g.Neighbors(u)
+				edits = append(edits, graph.Edit{Op: graph.EditRemoveEdge, U: u, V: int(nbrs[rng.Intn(len(nbrs))])})
+			}
+		default:
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				edits = append(edits, graph.Edit{Op: graph.EditAddEdge, U: u, V: v})
+			}
+		}
+	}
+	return edits
+}
+
+// TestCoordinatorMatchesEngineUnderEdits applies random edit scripts
+// (interleaved with score updates, including on freshly added nodes)
+// through the Local transport and checks, at every generation, that the
+// coordinator still matches a fresh single engine over the mutated
+// graph for every aggregate × algorithm × P ∈ {1,2,4,8}.
+func TestCoordinatorMatchesEngineUnderEdits(t *testing.T) {
+	const h, k, rounds = 2, 10, 3
+	ctx := context.Background()
+	graphs := map[string]*graph.Graph{
+		"ba":        gen.BarabasiAlbert(350, 3, 7),
+		"er":        gen.ErdosRenyi(300, 700, 13),
+		"ws":        gen.WattsStrogatz(280, 6, 0.2, 19),
+		"community": gen.PlantedPartition(300, 4, 0.07, 0.004, 23),
+	}
+	for name, start := range graphs {
+		for _, parts := range []int{1, 2, 4, 8} {
+			rng := rand.New(rand.NewSource(int64(parts)*100 + int64(len(name))))
+			scores := testScores(start.NumNodes(), 29)
+			local, err := NewLocal(start, scores, h, parts)
+			if err != nil {
+				t.Fatalf("%s parts=%d: %v", name, parts, err)
+			}
+			coord := NewCoordinator(local, Options{})
+			g := start // the oracle replays the same deterministic batches
+			for round := 0; round < rounds; round++ {
+				edits := randomClusterEdits(rng, g, 1+rng.Intn(8))
+				if err := local.ApplyEdits(ctx, edits); err != nil {
+					t.Fatalf("%s parts=%d round %d: %v", name, parts, round, err)
+				}
+				next, _, err := g.ApplyEdits(edits)
+				if err != nil {
+					t.Fatal(err)
+				}
+				g = next
+				for len(scores) < g.NumNodes() {
+					scores = append(scores, 0)
+				}
+				// Score a random node — frequently one the batch just
+				// minted — through the transport, so edits compose with
+				// the score fan-out.
+				node := rng.Intn(g.NumNodes())
+				newScore := float64(rng.Intn(9)) / 8
+				if err := local.ApplyScores(ctx, []ScoreUpdate{{Node: node, Score: newScore}}); err != nil {
+					t.Fatalf("%s parts=%d round %d: score: %v", name, parts, round, err)
+				}
+				scores[node] = newScore
+
+				engine, err := core.NewEngine(g, scores, h)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, agg := range allAggregates {
+					for _, algo := range append([]core.Algorithm{core.AlgoAuto}, core.Algorithms...) {
+						if !supportsAgg(algo, agg) {
+							continue
+						}
+						q := core.Query{Algorithm: algo, K: k, Aggregate: agg}
+						want, errWant := engine.Run(ctx, q)
+						got, errGot := coord.Run(ctx, q)
+						label := name + "/" + agg.String() + "/" + algo.String()
+						if (errWant == nil) != (errGot == nil) {
+							t.Fatalf("%s parts=%d round %d: engine err=%v, coordinator err=%v",
+								label, parts, round, errWant, errGot)
+						}
+						if errWant != nil {
+							continue
+						}
+						assertSameResults(t, label, got.Results, want.Results)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestClusterEditsConcurrentWithQueries is the race-enabled
+// serializability check: while edit batches apply sequentially, queries
+// run concurrently, and every answer must be byte-identical to the
+// answer at SOME generation — the shard-set snapshot makes each query
+// see one consistent topology, never a half-applied batch.
+func TestClusterEditsConcurrentWithQueries(t *testing.T) {
+	const h, k, parts, batches = 2, 10, 4, 6
+	ctx := context.Background()
+	g := gen.BarabasiAlbert(400, 3, 31)
+	scores := testScores(g.NumNodes(), 37)
+
+	// Pre-derive the per-generation graphs and expected answers by
+	// replaying the deterministic batches.
+	rng := rand.New(rand.NewSource(41))
+	gens := []*graph.Graph{g}
+	scripts := make([][]graph.Edit, batches)
+	cur := g
+	for b := 0; b < batches; b++ {
+		scripts[b] = randomClusterEdits(rng, cur, 5)
+		next, _, err := cur.ApplyEdits(scripts[b])
+		if err != nil {
+			t.Fatal(err)
+		}
+		gens = append(gens, next)
+		cur = next
+	}
+	q := core.Query{Algorithm: core.AlgoBase, K: k, Aggregate: core.Sum}
+	expected := make([][]core.Result, len(gens))
+	for i, gg := range gens {
+		s := scores
+		for len(s) < gg.NumNodes() {
+			s = append(s, 0)
+		}
+		engine, err := core.NewEngine(gg, s, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ans, err := engine.Run(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		expected[i] = ans.Results
+	}
+
+	local, err := NewLocal(g, scores, h, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := NewCoordinator(local, Options{})
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 16)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ans, err := coord.Run(ctx, q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !matchesSomeGeneration(ans.Results, expected) {
+					errs <- errNoGeneration
+					return
+				}
+			}
+		}()
+	}
+	for b := 0; b < batches; b++ {
+		if err := local.ApplyEdits(ctx, scripts[b]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	// Quiesced: the final answers must be exactly the last generation's.
+	ans, err := coord.Run(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, "final generation", ans.Results, expected[len(expected)-1])
+}
+
+// errNoGeneration is the serializability violation sentinel.
+var errNoGeneration = errNG{}
+
+type errNG struct{}
+
+func (errNG) Error() string {
+	return "cluster: query answer matches no generation — inconsistent with every serializable edit order"
+}
+
+// matchesSomeGeneration reports whether got is byte-identical to one of
+// the per-generation expected answers.
+func matchesSomeGeneration(got []core.Result, expected [][]core.Result) bool {
+	for _, want := range expected {
+		if len(got) != len(want) {
+			continue
+		}
+		same := true
+		for i := range want {
+			if got[i].Node != want[i].Node ||
+				math.Float64bits(got[i].Value) != math.Float64bits(want[i].Value) {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	return false
+}
+
+// TestHTTPWorkersApplyEdits drives the same equivalence over the wire:
+// graph-aware workers behind real HTTP servers apply edit batches fanned
+// out by the transport, rebuild only affected shards, and keep merged
+// answers byte-identical to a single engine — including for a node that
+// did not exist at dial time.
+func TestHTTPWorkersApplyEdits(t *testing.T) {
+	const h, k, parts = 2, 10, 3
+	ctx := context.Background()
+	g := gen.BarabasiAlbert(240, 3, 43)
+	scores := testScores(g.NumNodes(), 47)
+
+	urls := make([]string, parts)
+	for i := 0; i < parts; i++ {
+		w, err := NewGraphWorker(g, scores, h, parts, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(w.Handler())
+		defer srv.Close()
+		urls[i] = srv.URL
+	}
+	transport, err := NewHTTP(ctx, urls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer transport.Close()
+	coord := NewCoordinator(transport, Options{})
+
+	edits := []graph.Edit{
+		{Op: graph.EditAddNode},
+		{Op: graph.EditAddEdge, U: g.NumNodes(), V: 0},
+		{Op: graph.EditAddEdge, U: g.NumNodes(), V: 7},
+		{Op: graph.EditRemoveEdge, U: 0, V: int(g.Neighbors(0)[0])},
+	}
+	if err := transport.ApplyEdits(ctx, edits); err != nil {
+		t.Fatal(err)
+	}
+	if transport.Nodes() != g.NumNodes()+1 {
+		t.Fatalf("transport reports %d nodes, want %d", transport.Nodes(), g.NumNodes()+1)
+	}
+
+	// Score the new node over the wire, then verify equivalence.
+	newNode := g.NumNodes()
+	if err := transport.ApplyScores(ctx, []ScoreUpdate{{Node: newNode, Score: 0.875}}); err != nil {
+		t.Fatal(err)
+	}
+	mutated, _, err := g.ApplyEdits(edits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	updated := append(append([]float64(nil), scores...), 0.875)
+	engine, err := core.NewEngine(mutated, updated, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, agg := range []core.Aggregate{core.Sum, core.Avg, core.Count} {
+		q := core.Query{Algorithm: core.AlgoBase, K: k, Aggregate: agg}
+		want, err := engine.Run(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := coord.Run(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameResults(t, "http/"+agg.String(), got.Results, want.Results)
+	}
+
+	// The new node must be rankable as an explicit candidate too.
+	want, err := engine.Run(ctx, core.Query{Algorithm: core.AlgoBase, K: 1, Aggregate: core.Sum, Candidates: []int{newNode}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := coord.Run(ctx, core.Query{Algorithm: core.AlgoBase, K: 1, Aggregate: core.Sum, Candidates: []int{newNode}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, "http/new-node-candidate", got.Results, want.Results)
+}
+
+// TestHTTPEditRetryIdempotent: a partially-failed edit fan-out is
+// recovered by re-sending the identical batch — the batch keeps its
+// sequence number, workers that already applied it answer idempotently,
+// and an add-node batch (whose raw replay would mint a duplicate node
+// and permanently desynchronize the replicas) converges exactly once.
+func TestHTTPEditRetryIdempotent(t *testing.T) {
+	const h, parts = 2, 2
+	ctx := context.Background()
+	g := gen.BarabasiAlbert(150, 3, 53)
+	scores := testScores(g.NumNodes(), 59)
+
+	urls := make([]string, parts)
+	var failOnce atomic.Bool
+	for i := 0; i < parts; i++ {
+		w, err := NewGraphWorker(g, scores, h, parts, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handler := w.Handler()
+		if i == parts-1 {
+			// The last worker fails its first /v1/shard/edits, after the
+			// earlier workers have already applied the batch.
+			inner := handler
+			handler = http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+				if r.URL.Path == "/v1/shard/edits" && failOnce.CompareAndSwap(false, true) {
+					http.Error(rw, `{"error":"injected crash"}`, http.StatusInternalServerError)
+					return
+				}
+				inner.ServeHTTP(rw, r)
+			})
+		}
+		srv := httptest.NewServer(handler)
+		defer srv.Close()
+		urls[i] = srv.URL
+	}
+	transport, err := NewHTTP(ctx, urls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer transport.Close()
+
+	batch := []graph.Edit{
+		{Op: graph.EditAddNode},
+		{Op: graph.EditAddEdge, U: g.NumNodes(), V: 3},
+	}
+	if err := transport.ApplyEdits(ctx, batch); err == nil {
+		t.Fatal("injected worker failure did not surface")
+	}
+	// The documented recovery: re-send the identical batch.
+	if err := transport.ApplyEdits(ctx, batch); err != nil {
+		t.Fatalf("retry did not converge: %v", err)
+	}
+	if got := transport.Nodes(); got != g.NumNodes()+1 {
+		t.Fatalf("transport reports %d nodes after retry, want %d (duplicate add-node?)", got, g.NumNodes()+1)
+	}
+
+	// A subsequent, genuinely new batch still applies everywhere.
+	if err := transport.ApplyEdits(ctx, []graph.Edit{{Op: graph.EditAddNode}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := transport.Nodes(); got != g.NumNodes()+2 {
+		t.Fatalf("post-recovery batch: %d nodes, want %d", got, g.NumNodes()+2)
+	}
+
+	// Answers stay byte-identical to a single engine over the converged
+	// state.
+	mutated, _, err := g.ApplyEdits(append(batch, graph.Edit{Op: graph.EditAddNode}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := core.NewEngine(mutated, append(append([]float64(nil), scores...), 0, 0), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := NewCoordinator(transport, Options{})
+	q := core.Query{Algorithm: core.AlgoBase, K: 8, Aggregate: core.Sum}
+	want, err := engine.Run(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := coord.Run(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, "post-retry", got.Results, want.Results)
+}
+
+// TestWorkerScoreRangeValidation: both worker flavors reject updates to
+// node ids beyond their full-graph authority (the build-time count for a
+// bare shard worker, the live — possibly grown — count for a graph
+// worker), instead of silently dropping them.
+func TestWorkerScoreRangeValidation(t *testing.T) {
+	g := gen.BarabasiAlbert(100, 3, 61)
+	scores := testScores(100, 67)
+
+	shards, _, err := BuildShards(g, scores, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare := httptest.NewServer(NewWorker(shards[0]).Handler())
+	defer bare.Close()
+	full, err := NewGraphWorker(g, scores, 2, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullSrv := httptest.NewServer(full.Handler())
+	defer fullSrv.Close()
+
+	post := func(url string, updates []ScoreUpdate) int {
+		t.Helper()
+		blob, _ := json.Marshal(wireScores{Updates: updates})
+		resp, err := http.Post(url+"/v1/shard/scores", "application/json", bytes.NewReader(blob))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	for _, url := range []string{bare.URL, fullSrv.URL} {
+		if code := post(url, []ScoreUpdate{{Node: 999999, Score: 0.5}}); code != http.StatusBadRequest {
+			t.Fatalf("%s: out-of-range update answered %d, want 400", url, code)
+		}
+		if code := post(url, []ScoreUpdate{{Node: 5, Score: 0.5}}); code != http.StatusOK {
+			t.Fatalf("%s: valid update answered %d", url, code)
+		}
+	}
+
+	// After an edit grows the graph, the graph worker's limit grows too.
+	newNode := g.NumNodes()
+	blob, _ := json.Marshal(wireEdits{Edits: encodeEdits([]graph.Edit{{Op: graph.EditAddNode}}), Seq: 1})
+	resp, err := http.Post(fullSrv.URL+"/v1/shard/edits", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("edit answered %d", resp.StatusCode)
+	}
+	if code := post(fullSrv.URL, []ScoreUpdate{{Node: newNode, Score: 1}}); code != http.StatusOK {
+		t.Fatalf("update to freshly added node answered %d, want 200", code)
+	}
+}
+
+// TestApplyEditsValidation: invalid batches are rejected whole, and a
+// transport without full-graph context refuses edits.
+func TestApplyEditsValidation(t *testing.T) {
+	ctx := context.Background()
+	g := gen.BarabasiAlbert(120, 3, 5)
+	scores := testScores(120, 7)
+	local, err := NewLocal(g, scores, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := NewCoordinator(local, Options{})
+	before, err := coord.Run(ctx, core.Query{Algorithm: core.AlgoBase, K: 5, Aggregate: core.Sum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := local.ApplyEdits(ctx, []graph.Edit{
+		{Op: graph.EditAddEdge, U: 0, V: 1},
+		{Op: graph.EditAddEdge, U: 0, V: 9999},
+	}); err == nil {
+		t.Fatal("out-of-range batch accepted")
+	}
+	after, err := coord.Run(ctx, core.Query{Algorithm: core.AlgoBase, K: 5, Aggregate: core.Sum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, "rejected batch must not mutate", after.Results, before.Results)
+
+	shards, p, err := BuildShards(g, scores, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare := NewLocalFromShards(shards, g.NumNodes(), p.EdgeCut(g))
+	if err := bare.ApplyEdits(ctx, []graph.Edit{{Op: graph.EditAddNode}}); err == nil {
+		t.Fatal("transport without full graph accepted edits")
+	}
+}

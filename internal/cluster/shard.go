@@ -145,6 +145,17 @@ func (s *Shard) BoundaryNodes() int { return len(s.toGlobal) - len(s.owned) }
 // Engine exposes the shard-local engine (tests and eager index prep).
 func (s *Shard) Engine() *core.Engine { return s.engine }
 
+// localOf returns v's subgraph-local id, or -1 when v lies outside the
+// closure — including ids minted by structural edits after this shard was
+// built (an unaffected shard is reused across edit generations, so it may
+// legitimately be asked about nodes it has never seen).
+func (s *Shard) localOf(v int) int32 {
+	if v < 0 || v >= len(s.localIndex) {
+		return -1
+	}
+	return s.localIndex[v]
+}
+
 // Run executes q against the shard in global-id terms: candidates are
 // intersected with the shard's owned nodes and translated to local ids,
 // and results are translated back. The monotone id remap preserves the
@@ -156,10 +167,14 @@ func (s *Shard) Run(ctx context.Context, q core.Query) (core.Answer, error) {
 	if len(q.Candidates) > 0 {
 		local := make([]int, 0, len(q.Candidates))
 		for _, v := range q.Candidates {
-			if v < 0 || v >= s.globalNodes {
-				return core.Answer{}, fmt.Errorf("cluster: candidate node %d out of range [0,%d)", v, s.globalNodes)
+			if v < 0 {
+				return core.Answer{}, fmt.Errorf("cluster: candidate node %d out of range", v)
 			}
-			if li := s.localIndex[v]; li >= 0 && s.isOwned[li] {
+			// Ids at or beyond this shard's build-time node count belong
+			// to nodes added since; they are by construction outside the
+			// closure, so they fall out of the intersection like any other
+			// remotely-owned node (the transport validated global range).
+			if li := s.localOf(v); li >= 0 && s.isOwned[li] {
 				local = append(local, int(li))
 			}
 		}
@@ -210,10 +225,13 @@ func (s *Shard) UpperBound(agg core.Aggregate) (float64, error) {
 // returned unchanged — re-sharing its memoized bounds is then sound.
 func (s *Shard) WithUpdates(updates []ScoreUpdate) (shard *Shard, applied int, err error) {
 	for _, u := range updates {
-		if u.Node < 0 || u.Node >= s.globalNodes {
-			return nil, 0, fmt.Errorf("cluster: update node %d out of range [0,%d)", u.Node, s.globalNodes)
+		if u.Node < 0 {
+			return nil, 0, fmt.Errorf("cluster: update node %d out of range", u.Node)
 		}
-		if s.localIndex[u.Node] >= 0 {
+		// Nodes beyond the build-time snapshot (added by structural edits
+		// an unaffected shard never saw) are simply outside the closure;
+		// the transport validates the global range.
+		if s.localOf(u.Node) >= 0 {
 			applied++
 		}
 	}
@@ -222,7 +240,7 @@ func (s *Shard) WithUpdates(updates []ScoreUpdate) (shard *Shard, applied int, e
 	}
 	scores := append([]float64(nil), s.engine.Scores()...)
 	for _, u := range updates {
-		if li := s.localIndex[u.Node]; li >= 0 {
+		if li := s.localOf(u.Node); li >= 0 {
 			scores[li] = u.Score
 		}
 	}

@@ -2,6 +2,8 @@ package cluster
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -32,6 +34,12 @@ type Transport interface {
 	// ApplyScores applies a relevance update batch to every shard that
 	// holds an affected node (owned or ghost copy).
 	ApplyScores(ctx context.Context, updates []ScoreUpdate) error
+	// ApplyEdits applies a structural edit batch (edge insertions and
+	// removals, node additions) to the sharded topology: every shard
+	// whose h-hop closure is affected is rebuilt over the successor graph
+	// — ghost sets grow or shrink accordingly and memoized merge bounds
+	// are recertified — while unaffected shards carry over untouched.
+	ApplyEdits(ctx context.Context, edits []graph.Edit) error
 	// Topology describes the partitioning for stats reporting; fields a
 	// transport cannot know (the HTTP transport never sees the full
 	// graph) are zero.
@@ -69,19 +77,39 @@ type Topology struct {
 // Local is the in-process transport: every shard lives in this process
 // and a "shard query" is a direct method call on its engine (the
 // coordinator still runs them on separate goroutines, one simulated
-// machine each). The shard set is swapped atomically on score updates,
-// so queries snapshot one generation for their whole fan-out.
+// machine each). The shard set is swapped atomically on score updates
+// and structural edits, so queries snapshot one generation for their
+// whole fan-out.
 type Local struct {
-	nodes   int
-	edgeCut int
-
-	applyMu sync.Mutex // serializes ApplyScores batches
+	applyMu sync.Mutex // serializes ApplyScores / ApplyEdits batches
 	set     atomic.Pointer[shardSet]
+
+	// Full-dataset context for structural edits, guarded by applyMu:
+	// the current whole graph, score vector, and partitioning a shard
+	// rebuild derives from. nil when the transport wraps prebuilt shards
+	// (NewLocalFromShards), which therefore cannot apply edits.
+	full *localDataset
+
+	// prepared remembers PrepareIndexes so shards rebuilt after edits
+	// keep the transport's index-eagerness.
+	prepared    bool
+	prepWorkers int
 }
 
-// shardSet is one immutable generation of shards.
+// localDataset is the whole-graph state behind an editable Local.
+type localDataset struct {
+	g      *graph.Graph
+	scores []float64
+	h      int
+	p      *partition.Partitioning
+}
+
+// shardSet is one immutable generation of shards plus the full-graph
+// facts (node count, edge cut) queries and stats read without locking.
 type shardSet struct {
-	shards []*Shard
+	shards  []*Shard
+	nodes   int
+	edgeCut int
 }
 
 // NewLocal partitions (g, scores, h) into parts shards and returns the
@@ -91,23 +119,31 @@ func NewLocal(g *graph.Graph, scores []float64, h, parts int) (*Local, error) {
 	if err != nil {
 		return nil, err
 	}
-	return NewLocalFromShards(shards, g.NumNodes(), p.EdgeCut(g)), nil
+	l := NewLocalFromShards(shards, g.NumNodes(), p.EdgeCut(g))
+	l.full = &localDataset{g: g, scores: append([]float64(nil), scores...), h: h, p: p}
+	return l, nil
 }
 
 // NewLocalFromShards wraps prebuilt shards (tests, custom partitionings).
+// The result serves queries and score updates but rejects structural
+// edits: without the full graph there is nothing to rebuild a shard from.
 func NewLocalFromShards(shards []*Shard, nodes, edgeCut int) *Local {
-	l := &Local{nodes: nodes, edgeCut: edgeCut}
-	l.set.Store(&shardSet{shards: shards})
+	l := &Local{}
+	l.set.Store(&shardSet{shards: shards, nodes: nodes, edgeCut: edgeCut})
 	return l
 }
 
 // PrepareIndexes eagerly builds each shard's neighborhood index (workers
 // goroutines per build), so first queries do not stall and merge bounds
-// are tight from the start. The per-edge differential index is left
+// are tight from the start. Shards rebuilt by later structural edits
+// inherit the same eagerness. The per-edge differential index is left
 // lazy: paying it P times eagerly would dominate startup, and the
 // planner avoids Forward until it exists — the same contract as
 // server.Options.SkipIndexes.
 func (l *Local) PrepareIndexes(workers int) {
+	l.applyMu.Lock()
+	l.prepared, l.prepWorkers = true, workers
+	l.applyMu.Unlock()
 	for _, s := range l.set.Load().shards {
 		s.Engine().PrepareNeighborhoodIndex(workers)
 	}
@@ -116,8 +152,9 @@ func (l *Local) PrepareIndexes(workers int) {
 // Shards returns the shard count.
 func (l *Local) Shards() int { return len(l.set.Load().shards) }
 
-// Nodes returns the full graph's node count.
-func (l *Local) Nodes() int { return l.nodes }
+// Nodes returns the full graph's node count at the current generation
+// (structural edits can grow it).
+func (l *Local) Nodes() int { return l.set.Load().nodes }
 
 // Snapshot pins the current shard generation for one query.
 func (l *Local) Snapshot() QueryView { return l.set.Load() }
@@ -140,6 +177,11 @@ func (l *Local) ApplyScores(_ context.Context, updates []ScoreUpdate) error {
 	l.applyMu.Lock()
 	defer l.applyMu.Unlock()
 	cur := l.set.Load()
+	for _, u := range updates {
+		if u.Node < 0 || u.Node >= cur.nodes {
+			return fmt.Errorf("cluster: update node %d out of range [0,%d)", u.Node, cur.nodes)
+		}
+	}
 	next := make([]*Shard, len(cur.shards))
 	for i, s := range cur.shards {
 		ns, _, err := s.WithUpdates(updates)
@@ -148,15 +190,73 @@ func (l *Local) ApplyScores(_ context.Context, updates []ScoreUpdate) error {
 		}
 		next[i] = ns
 	}
-	l.set.Store(&shardSet{shards: next})
+	// Keep the whole-graph score vector current: a later structural edit
+	// rebuilds shards from it, and a rebuild must never revert scores.
+	if l.full != nil {
+		for _, u := range updates {
+			l.full.scores[u.Node] = u.Score
+		}
+	}
+	l.set.Store(&shardSet{shards: next, nodes: cur.nodes, edgeCut: cur.edgeCut})
+	return nil
+}
+
+// ApplyEdits derives the successor graph, extends the partitioning over
+// any added nodes (deterministically — node v joins part v mod P), and
+// rebuilds exactly the shards owning a node whose h-hop neighborhood
+// changed: for those shards the closure is regrown — ghost sets widen or
+// shrink with the edit — and the fresh Shard recertifies its merge
+// bounds from scratch. Every other shard provably kept its closure,
+// induced subgraph, and bounds, and carries over untouched. The new
+// generation is swapped in atomically, exactly like a score batch.
+func (l *Local) ApplyEdits(_ context.Context, edits []graph.Edit) error {
+	l.applyMu.Lock()
+	defer l.applyMu.Unlock()
+	if l.full == nil {
+		return errors.New("cluster: transport over prebuilt shards has no full graph to edit")
+	}
+	d := l.full
+	newG, delta, err := d.g.ApplyEdits(edits)
+	if err != nil {
+		return err
+	}
+	for len(d.scores) < newG.NumNodes() {
+		d.scores = append(d.scores, 0) // added nodes start unscored
+	}
+	d.p.ExtendTo(newG.NumNodes())
+
+	affected := graph.AffectedNodes(d.g, newG, delta, d.h)
+	needRebuild := make([]bool, d.p.P)
+	for _, w := range affected {
+		needRebuild[d.p.PartOf(w)] = true
+	}
+
+	cur := l.set.Load()
+	next := make([]*Shard, len(cur.shards))
+	for i, s := range cur.shards {
+		if !needRebuild[i] {
+			next[i] = s
+			continue
+		}
+		ns, err := BuildShard(newG, d.scores, d.h, d.p, i)
+		if err != nil {
+			return err // nothing swapped in; the old generation still serves
+		}
+		if l.prepared {
+			ns.Engine().PrepareNeighborhoodIndex(l.prepWorkers)
+		}
+		next[i] = ns
+	}
+	d.g = newG
+	l.set.Store(&shardSet{shards: next, nodes: newG.NumNodes(), edgeCut: d.p.EdgeCut(newG)})
 	return nil
 }
 
 // Topology reports the in-process layout.
 func (l *Local) Topology() Topology {
-	shards := l.set.Load().shards
-	t := Topology{Shards: len(shards), EdgeCut: l.edgeCut}
-	for _, s := range shards {
+	cur := l.set.Load()
+	t := Topology{Shards: len(cur.shards), EdgeCut: cur.edgeCut}
+	for _, s := range cur.shards {
 		t.BoundaryNodes += int64(s.BoundaryNodes())
 		t.OwnedSizes = append(t.OwnedSizes, s.OwnedCount())
 	}

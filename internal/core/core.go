@@ -286,6 +286,35 @@ func (e *Engine) PrepareNeighborhoodIndex(workers int) *graph.NeighborhoodIndex 
 	return e.nix
 }
 
+// AdoptNeighborhoodIndex installs a prebuilt N(v) index — typically one
+// incrementally repaired after a structural edit batch
+// (graph.NeighborhoodIndex.Repair) — so a successor engine over the
+// edited graph does not re-pay the full index build. The index must match
+// the engine's hop radius and node count; the engine takes the pointer
+// as-is (indexes are immutable by convention), so callers must hand over
+// an index they will not mutate.
+//
+// The differential index is deliberately NOT adoptable across edits: its
+// entries parallel arc positions, which any structural edit shifts. A
+// post-edit engine starts without one and rebuilds it lazily if Forward
+// is explicitly requested; until then the planner avoids Forward, the
+// same contract as a server started with SkipIndexes.
+func (e *Engine) AdoptNeighborhoodIndex(nix *graph.NeighborhoodIndex) error {
+	if nix == nil {
+		return errors.New("core: nil neighborhood index")
+	}
+	if nix.H != e.h {
+		return fmt.Errorf("core: adopting index built for h=%d into engine with h=%d", nix.H, e.h)
+	}
+	if len(nix.Size) != e.g.NumNodes() {
+		return fmt.Errorf("core: adopting index over %d nodes into engine over %d", len(nix.Size), e.g.NumNodes())
+	}
+	e.ixMu.Lock()
+	e.nix = nix
+	e.ixMu.Unlock()
+	return nil
+}
+
 // PrepareDifferentialIndex builds (or returns) the per-edge differential
 // index used by LONA-Forward.
 func (e *Engine) PrepareDifferentialIndex(workers int) *graph.DifferentialIndex {

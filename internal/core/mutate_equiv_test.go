@@ -1,0 +1,285 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// This file is the core half of the mutate-vs-rebuild equivalence
+// harness: random structural edit scripts applied incrementally through
+// View.ApplyEdits (graph derivation + neighborhood-index repair +
+// aggregate repair) must leave a state byte-identical — float bits
+// included — to tearing everything down and rebuilding from scratch over
+// the mutated topology, across all aggregates × algorithms × four graph
+// shapes. The graph-level half (CSR equivalence) lives in
+// internal/graph/mutate_test.go; here the stake is the query surface.
+
+// mutateShapes are the four topologies the equivalence scripts run over.
+func mutateShapes() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"ba":        gen.BarabasiAlbert(300, 3, 7),
+		"er":        gen.ErdosRenyi(250, 600, 13),
+		"ws":        gen.WattsStrogatz(240, 6, 0.2, 19),
+		"community": gen.PlantedPartition(260, 4, 0.08, 0.004, 23),
+	}
+}
+
+// quantizedScores draws relevances from {0, 1/8, …, 1} so ties are
+// common and the (value desc, id asc) tie-break is genuinely exercised.
+func quantizedScores(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	scores := make([]float64, n)
+	for i := range scores {
+		scores[i] = float64(rng.Intn(9)) / 8
+	}
+	return scores
+}
+
+// randomEdits draws a batch of legal edits against an n-node undirected
+// graph: inserts (possibly duplicates — no-ops), removals (possibly
+// absent — no-ops), and node additions. Ids stay within the evolving
+// node count, including nodes added earlier in the same batch.
+func randomEdits(rng *rand.Rand, g *graph.Graph, batch int) []graph.Edit {
+	n := g.NumNodes()
+	edits := make([]graph.Edit, 0, batch)
+	for len(edits) < batch {
+		switch rng.Intn(8) {
+		case 0:
+			edits = append(edits, graph.Edit{Op: graph.EditAddNode})
+			n++
+		case 1, 2, 3:
+			// Aim removals at real edges most of the time so the script
+			// actually shrinks neighborhoods.
+			u := rng.Intn(n)
+			if g != nil && u < g.NumNodes() && g.Degree(u) > 0 && rng.Intn(4) > 0 {
+				nbrs := g.Neighbors(u)
+				edits = append(edits, graph.Edit{Op: graph.EditRemoveEdge, U: u, V: int(nbrs[rng.Intn(len(nbrs))])})
+			} else if v := rng.Intn(n); v != u {
+				edits = append(edits, graph.Edit{Op: graph.EditRemoveEdge, U: u, V: v})
+			}
+		default:
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				edits = append(edits, graph.Edit{Op: graph.EditAddEdge, U: u, V: v})
+			}
+		}
+	}
+	return edits
+}
+
+// rebuildFromScratch reconstructs a graph through the Builder over the
+// current edge set — the from-scratch path incremental edits must match
+// (internal/graph proves the CSR arrays agree bytewise; reusing its
+// output here is therefore the same oracle).
+func rebuildFromScratch(g *graph.Graph) *graph.Graph {
+	b := graph.NewBuilder(g.NumNodes(), g.Directed())
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if g.Directed() || int(v) > u {
+				b.AddEdge(u, int(v))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// TestMutateEquivalence drives random edit scripts (interleaved with
+// relevance updates) through a live View and a per-generation engine and
+// checks, at every generation, byte-identical state and answers against
+// full rebuilds.
+func TestMutateEquivalence(t *testing.T) {
+	const h, k, rounds = 2, 12, 5
+	ctx := context.Background()
+	for name, start := range mutateShapes() {
+		rng := rand.New(rand.NewSource(int64(len(name)) * 101))
+		view, err := NewView(start, quantizedScores(start.NumNodes(), 41), h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < rounds; round++ {
+			script := randomEdits(rng, view.Graph(), 1+rng.Intn(10))
+			if _, err := view.ApplyEdits(ctx, script); err != nil {
+				t.Fatalf("%s round %d: %v", name, round, err)
+			}
+			// Interleave a relevance update so edits compose with the
+			// incremental score-repair path, including on added nodes.
+			node := rng.Intn(view.Graph().NumNodes())
+			if _, err := view.UpdateScore(node, float64(rng.Intn(9))/8); err != nil {
+				t.Fatalf("%s round %d: update: %v", name, round, err)
+			}
+
+			g := view.Graph()
+			scores := view.ScoresCopy()
+			rebuilt := rebuildFromScratch(g)
+			fresh, err := NewView(rebuilt, scores, h)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Materialized state: float bits, not approximate equality.
+			for u := 0; u < g.NumNodes(); u++ {
+				if math.Float64bits(view.Sum(u)) != math.Float64bits(fresh.Sum(u)) {
+					t.Fatalf("%s round %d: sum(%d) = %x incremental vs %x rebuilt",
+						name, round, u, math.Float64bits(view.Sum(u)), math.Float64bits(fresh.Sum(u)))
+				}
+			}
+			incIx, freshIx := view.NeighborhoodIndex(), fresh.NeighborhoodIndex()
+			for u := 0; u < g.NumNodes(); u++ {
+				if incIx.N(u) != freshIx.N(u) {
+					t.Fatalf("%s round %d: N(%d) = %d incremental vs %d rebuilt",
+						name, round, u, incIx.N(u), freshIx.N(u))
+				}
+			}
+
+			// View answers for its three aggregates.
+			for _, agg := range []Aggregate{Sum, Avg, Count} {
+				got, err1 := view.Run(ctx, Query{K: k, Aggregate: agg})
+				want, err2 := fresh.Run(ctx, Query{K: k, Aggregate: agg})
+				if err1 != nil || err2 != nil {
+					t.Fatalf("%s round %d %v: %v / %v", name, round, agg, err1, err2)
+				}
+				assertIdenticalResults(t, name, round, agg.String()+"/view", got.Results, want.Results)
+			}
+
+			// Engine answers: a successor engine adopting the repaired
+			// index vs a fresh engine paying the full index build.
+			inc, err := NewEngine(g, scores, h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := inc.AdoptNeighborhoodIndex(incIx); err != nil {
+				t.Fatal(err)
+			}
+			ref, err := NewEngine(rebuilt, scores, h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref.PrepareNeighborhoodIndex(0)
+			for _, agg := range []Aggregate{Sum, Avg, WeightedSum, Count, Max} {
+				for _, algo := range append([]Algorithm{AlgoAuto}, Algorithms...) {
+					q := Query{Algorithm: algo, K: k, Aggregate: agg}
+					got, err1 := inc.Run(ctx, q)
+					want, err2 := ref.Run(ctx, q)
+					if (err1 == nil) != (err2 == nil) {
+						t.Fatalf("%s round %d %v/%v: incremental err=%v, rebuilt err=%v",
+							name, round, agg, algo, err1, err2)
+					}
+					if err1 != nil {
+						continue // e.g. MAX under Forward — rejected identically
+					}
+					assertIdenticalResults(t, name, round, agg.String()+"/"+algo.String(), got.Results, want.Results)
+				}
+			}
+		}
+	}
+}
+
+// assertIdenticalResults requires exact equality: nodes, order, and
+// value bits.
+func assertIdenticalResults(t *testing.T, name string, round int, label string, got, want []Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s round %d %s: %d results, want %d", name, round, label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Node != want[i].Node ||
+			math.Float64bits(got[i].Value) != math.Float64bits(want[i].Value) {
+			t.Fatalf("%s round %d %s: result %d = %+v, want %+v", name, round, label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestViewApplyEditsAtomic: failed validation and cancelled contexts
+// leave the view untouched and still consistent with a rebuild.
+func TestViewApplyEditsAtomic(t *testing.T) {
+	g := gen.BarabasiAlbert(120, 3, 3)
+	view, err := NewView(g, quantizedScores(120, 5), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := view.Sum(7)
+	if _, err := view.ApplyEdits(context.Background(), []graph.Edit{
+		{Op: graph.EditAddEdge, U: 0, V: 1000},
+	}); err == nil {
+		t.Fatal("out-of-range edit accepted")
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := view.ApplyEdits(cancelled, []graph.Edit{
+		{Op: graph.EditAddEdge, U: 0, V: 60},
+	}); err != context.Canceled {
+		t.Fatalf("cancelled context: err=%v", err)
+	}
+	if view.Graph() != g || view.Sum(7) != before {
+		t.Fatal("failed batch mutated the view")
+	}
+}
+
+// TestViewApplyEditsAddNode: a node added then scored participates in
+// aggregates exactly as if it had been present from the start.
+func TestViewApplyEditsAddNode(t *testing.T) {
+	ctx := context.Background()
+	g := graph.FromEdges(3, false, [][2]int{{0, 1}, {1, 2}})
+	view, err := NewView(g, []float64{0.5, 0.25, 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := view.ApplyEdits(ctx, []graph.Edit{
+		{Op: graph.EditAddNode},
+		{Op: graph.EditAddEdge, U: 3, V: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NodesAdded != 1 || res.EdgesAdded != 1 {
+		t.Fatalf("result %+v", res)
+	}
+	if view.Score(3) != 0 || view.Sum(3) != 0.5 /* its only scored neighbor is node 0 */ {
+		t.Fatalf("new node: score=%v sum=%v", view.Score(3), view.Sum(3))
+	}
+	if _, err := view.UpdateScore(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewView(view.Graph(), view.ScoresCopy(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 4; u++ {
+		if math.Float64bits(view.Sum(u)) != math.Float64bits(fresh.Sum(u)) {
+			t.Fatalf("sum(%d): %v vs %v", u, view.Sum(u), fresh.Sum(u))
+		}
+	}
+}
+
+// TestAdoptNeighborhoodIndexValidation: mismatched radius or node count
+// must be rejected — silently adopting a stale index yields wrong, not
+// slow, answers.
+func TestAdoptNeighborhoodIndexValidation(t *testing.T) {
+	g := graph.FromEdges(4, false, [][2]int{{0, 1}, {2, 3}})
+	e, err := NewEngine(g, []float64{1, 0, 1, 0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AdoptNeighborhoodIndex(nil); err == nil {
+		t.Fatal("nil index adopted")
+	}
+	if err := e.AdoptNeighborhoodIndex(graph.BuildNeighborhoodIndex(g, 1, 0)); err == nil {
+		t.Fatal("index for h=1 adopted into h=2 engine")
+	}
+	bigger, _ := g.AddNode()
+	if err := e.AdoptNeighborhoodIndex(graph.BuildNeighborhoodIndex(bigger, 2, 0)); err == nil {
+		t.Fatal("index over 5 nodes adopted into 4-node engine")
+	}
+	good := graph.BuildNeighborhoodIndex(g, 2, 0)
+	if err := e.AdoptNeighborhoodIndex(good); err != nil {
+		t.Fatal(err)
+	}
+	if !e.HasNeighborhoodIndex() {
+		t.Fatal("adopted index not visible")
+	}
+}

@@ -4,6 +4,10 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/topk"
@@ -35,8 +39,9 @@ import (
 //   - Readers (Score, Sum, Run, TopK, ScoresCopy) may run concurrently
 //     with each other: they only load from scores/sums/counts and never
 //     touch the shared Traverser.
-//   - Writers (UpdateScore, Rebuild) require exclusive access: they mutate
-//     the materialized arrays and reuse the View's single Traverser.
+//   - Writers (UpdateScore, ApplyEdits, Rebuild) require exclusive access:
+//     they mutate the materialized arrays (and, for structural edits, swap
+//     the graph and index) and reuse the View's single Traverser.
 //
 // Concurrent readers with no writer are safe; any writer must exclude both
 // readers and other writers.
@@ -85,6 +90,16 @@ func NewView(g *graph.Graph, scores []float64, h int) (*View, error) {
 // Score returns the current relevance of node u.
 func (v *View) Score(u int) float64 { return v.scores[u] }
 
+// Graph returns the view's current graph — the successor graph after any
+// ApplyEdits, which the serving layer adopts as its own current topology.
+func (v *View) Graph() *graph.Graph { return v.g }
+
+// NeighborhoodIndex returns the view's current N(v) index (repaired in
+// step with structural edits). Callers treat it as immutable; ApplyEdits
+// replaces rather than mutates it, so an Engine seeded with it stays
+// consistent even while the view moves on.
+func (v *View) NeighborhoodIndex() *graph.NeighborhoodIndex { return v.nix }
+
 // ScoresCopy returns a snapshot copy of the current relevance vector —
 // what a server hands to Engine.WithScores after an update batch.
 func (v *View) ScoresCopy() []float64 { return append([]float64(nil), v.scores...) }
@@ -120,6 +135,123 @@ func (v *View) UpdateScore(node int, newScore float64) (touched int, err error) 
 		touched++
 	})
 	return touched, nil
+}
+
+// EditResult reports what one structural edit batch did to a View.
+type EditResult struct {
+	NodesAdded   int // nodes appended (relevance 0 until updated)
+	EdgesAdded   int // logical edges inserted (duplicates were no-ops)
+	EdgesRemoved int // logical edges deleted (absent deletes were no-ops)
+	Repaired     int // nodes whose aggregates and N(v) were recomputed
+}
+
+// ApplyEdits applies a structural edit batch — edge insertions/removals
+// and node additions — and repairs the materialized state incrementally:
+// only the nodes whose h-hop neighborhood changed (the old∪new h-hop
+// closures of the touched endpoints) have their aggregates and N(v)
+// recomputed, instead of the full distribution pass a rebuild costs.
+// Added nodes start at relevance 0; follow with UpdateScore to score them.
+//
+// Repaired aggregates are byte-identical to a from-scratch Rebuild: each
+// affected node's sum is re-accumulated over its sorted neighborhood in
+// ascending node-id order, exactly the summation order the full
+// distribution pass produces, so float bits never drift between the
+// incremental and rebuilt states (mutate_equiv_test.go enforces this).
+//
+// ApplyEdits is a writer under the View's RWMutex discipline. The batch
+// is atomic: a validation error, or ctx expiring mid-repair, leaves the
+// view at its pre-batch state (all repair work lands in fresh arrays that
+// are swapped in only on success).
+func (v *View) ApplyEdits(ctx context.Context, edits []graph.Edit) (EditResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var res EditResult
+	newG, delta, err := v.g.ApplyEdits(edits)
+	if err != nil {
+		return res, err
+	}
+	if newG.Directed() {
+		// Unreachable (NewView rejects directed graphs); guard anyway so
+		// the undirected closure reasoning below can rely on symmetry.
+		return res, fmt.Errorf("core: View.ApplyEdits requires an undirected graph")
+	}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	affected := graph.AffectedNodes(v.g, newG, delta, v.h)
+
+	n := newG.NumNodes()
+	scores := make([]float64, n)
+	copy(scores, v.scores) // added nodes start at relevance 0
+	sums := make([]float64, n)
+	copy(sums, v.sums)
+	counts := make([]int32, n)
+	copy(counts, v.counts)
+	sizes := make([]int32, n)
+	copy(sizes, v.nix.Size)
+
+	// Repair the affected nodes in parallel: one BFS per node serves the
+	// aggregate AND its N(v) entry (fusing what a separate index Repair
+	// would re-traverse), each worker with its own traverser, writing
+	// disjoint indices of the fresh arrays. Ascending id order inside
+	// each neighborhood reproduces the rebuild's summation order (the
+	// full pass distributes node masses in ascending u, and by undirected
+	// symmetry u ∈ S_h(w) ⇔ w ∈ S_h(u)), so float bits cannot drift.
+	var cancelled atomic.Bool
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(affected) {
+		workers = len(affected)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	chunk := (len(affected) + workers - 1) / workers
+	const editPollEvery = 64
+	for lo := 0; lo < len(affected); lo += chunk {
+		hi := lo + chunk
+		if hi > len(affected) {
+			hi = len(affected)
+		}
+		wg.Add(1)
+		go func(part []int) {
+			defer wg.Done()
+			t := graph.NewTraverser(newG)
+			var hood []int32
+			for i, w := range part {
+				if i%editPollEvery == 0 && (cancelled.Load() || ctx.Err() != nil) {
+					cancelled.Store(true)
+					return
+				}
+				hood = t.CollectWithin(w, v.h, hood[:0])
+				slices.Sort(hood)
+				var sum float64
+				var cnt int32
+				for _, u := range hood {
+					if s := scores[u]; s != 0 {
+						sum += s
+						cnt++
+					}
+				}
+				sums[w], counts[w], sizes[w] = sum, cnt, int32(len(hood))
+			}
+		}(affected[lo:hi])
+	}
+	wg.Wait()
+	if cancelled.Load() || ctx.Err() != nil {
+		return EditResult{}, ctx.Err() // nothing swapped in; view unchanged
+	}
+
+	v.g, v.t = newG, graph.NewTraverser(newG)
+	v.nix = &graph.NeighborhoodIndex{H: v.h, Size: sizes}
+	v.scores, v.sums, v.counts = scores, sums, counts
+	return EditResult{
+		NodesAdded:   delta.NodesAdded,
+		EdgesAdded:   delta.EdgesAdded,
+		EdgesRemoved: delta.EdgesRemoved,
+		Repaired:     len(affected),
+	}, nil
 }
 
 // Run answers a top-k query from the materialized state — the same

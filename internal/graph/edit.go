@@ -1,0 +1,349 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Structural mutations. A Graph is immutable, so edits are persistent:
+// ApplyEdits derives a successor Graph in one O(n + m + |edits|) pass,
+// leaving the receiver untouched. Readers holding the old graph (in-flight
+// queries, older generations) keep a consistent topology; the serving
+// layers swap the successor in under their existing generation discipline.
+//
+// The successor's CSR arrays are built with exactly the Builder's
+// normalization (adjacency sorted ascending, duplicates collapsed,
+// self-loops rejected), so an incrementally edited graph is byte-identical
+// to one rebuilt from scratch over the same edge set — the invariant the
+// mutate-vs-rebuild equivalence harness (mutate_test.go, FuzzEditScript)
+// enforces, and what keeps float summation order (and therefore every
+// aggregate bit) stable across the two construction paths.
+
+// EditOp identifies one structural mutation kind.
+type EditOp uint8
+
+const (
+	// EditAddEdge inserts the edge U–V (the arc U→V for directed graphs).
+	// Inserting an edge that already exists is a no-op.
+	EditAddEdge EditOp = iota
+	// EditRemoveEdge deletes the edge U–V (the arc U→V for directed
+	// graphs). Deleting an absent edge is a no-op.
+	EditRemoveEdge
+	// EditAddNode appends one isolated node; U and V are ignored. The new
+	// node's id is the node count at the point the edit applies, so later
+	// edits in the same batch may wire it up.
+	EditAddNode
+)
+
+// String names the op as used on the wire (/v1/edges) and in edit scripts.
+func (op EditOp) String() string {
+	switch op {
+	case EditAddEdge:
+		return "add-edge"
+	case EditRemoveEdge:
+		return "remove-edge"
+	case EditAddNode:
+		return "add-node"
+	default:
+		return fmt.Sprintf("EditOp(%d)", uint8(op))
+	}
+}
+
+// ParseEditOp maps a wire name back to its EditOp.
+func ParseEditOp(name string) (EditOp, error) {
+	switch name {
+	case "add-edge":
+		return EditAddEdge, nil
+	case "remove-edge":
+		return EditRemoveEdge, nil
+	case "add-node":
+		return EditAddNode, nil
+	default:
+		return 0, fmt.Errorf("graph: unknown edit op %q (want add-edge, remove-edge, or add-node)", name)
+	}
+}
+
+// Edit is one structural mutation of a batch.
+type Edit struct {
+	Op   EditOp
+	U, V int
+}
+
+// EditDelta reports what a batch actually changed — the input to
+// incremental repair (AffectedNodes, NeighborhoodIndex.Repair) and to the
+// serving layers' mutation counters.
+type EditDelta struct {
+	NodesAdded   int
+	EdgesAdded   int // logical edges inserted (duplicate inserts are no-ops)
+	EdgesRemoved int // logical edges deleted (absent deletes are no-ops)
+	// Touched lists every node whose adjacency list was written, plus
+	// every added node, sorted ascending. Repair only needs to look at
+	// h-hop surroundings of these endpoints.
+	Touched []int
+}
+
+// Changed reports whether the batch had any structural effect.
+func (d *EditDelta) Changed() bool {
+	return d.NodesAdded > 0 || d.EdgesAdded > 0 || d.EdgesRemoved > 0
+}
+
+// ApplyEdits applies the batch in order and returns the successor graph
+// plus the delta. The batch is atomic: any invalid edit (out-of-range
+// endpoint, self-loop) fails the whole call and the receiver — which is
+// never mutated — remains the only graph. Edits apply sequentially, so an
+// EditAddNode makes its id addressable to later edits in the same batch.
+func (g *Graph) ApplyEdits(edits []Edit) (*Graph, *EditDelta, error) {
+	oldN := g.NumNodes()
+	n := oldN
+	// Lazily materialized adjacency sets for nodes the batch writes; all
+	// other nodes share the old CSR rows untouched.
+	patched := make(map[int]map[int]struct{})
+	adjOf := func(u int) map[int]struct{} {
+		if set, ok := patched[u]; ok {
+			return set
+		}
+		set := make(map[int]struct{})
+		if u < oldN {
+			for _, v := range g.Neighbors(u) {
+				set[int(v)] = struct{}{}
+			}
+		}
+		patched[u] = set
+		return set
+	}
+	has := func(u, v int) bool {
+		if set, ok := patched[u]; ok {
+			_, exists := set[v]
+			return exists
+		}
+		// u untouched: its row is the old CSR row, which cannot name a
+		// node minted by this batch.
+		return u < oldN && v < oldN && g.HasEdge(u, v)
+	}
+
+	delta := &EditDelta{}
+	touched := make(map[int]struct{})
+	for i, e := range edits {
+		switch e.Op {
+		case EditAddNode:
+			patched[n] = make(map[int]struct{})
+			touched[n] = struct{}{}
+			n++
+			delta.NodesAdded++
+		case EditAddEdge, EditRemoveEdge:
+			u, v := e.U, e.V
+			if u < 0 || u >= n || v < 0 || v >= n {
+				return nil, nil, fmt.Errorf("graph: edit %d: edge (%d,%d) out of range [0,%d)", i, u, v, n)
+			}
+			if u == v {
+				return nil, nil, fmt.Errorf("graph: edit %d: self-loop on node %d", i, u)
+			}
+			if e.Op == EditAddEdge {
+				if has(u, v) {
+					continue
+				}
+				adjOf(u)[v] = struct{}{}
+				if !g.directed {
+					adjOf(v)[u] = struct{}{}
+				}
+				delta.EdgesAdded++
+			} else {
+				if !has(u, v) {
+					continue
+				}
+				delete(adjOf(u), v)
+				if !g.directed {
+					delete(adjOf(v), u)
+				}
+				delta.EdgesRemoved++
+			}
+			touched[u] = struct{}{}
+			touched[v] = struct{}{}
+		default:
+			return nil, nil, fmt.Errorf("graph: edit %d: unknown op %v", i, e.Op)
+		}
+	}
+	delta.Touched = make([]int, 0, len(touched))
+	for u := range touched {
+		delta.Touched = append(delta.Touched, u)
+	}
+	sort.Ints(delta.Touched)
+
+	// Assemble the successor CSR: untouched rows copy straight across,
+	// patched rows are re-sorted — the same (sorted, deduplicated) shape
+	// Builder.Build produces, so both construction paths agree bytewise.
+	offsets := make([]int64, n+1)
+	for u := 0; u < n; u++ {
+		if set, ok := patched[u]; ok {
+			offsets[u+1] = offsets[u] + int64(len(set))
+		} else {
+			offsets[u+1] = offsets[u] + int64(g.Degree(u))
+		}
+	}
+	adj := make([]int32, offsets[n])
+	var buf []int
+	for u := 0; u < n; u++ {
+		dst := adj[offsets[u]:offsets[u+1]]
+		set, ok := patched[u]
+		if !ok {
+			copy(dst, g.Neighbors(u))
+			continue
+		}
+		buf = buf[:0]
+		for v := range set {
+			buf = append(buf, v)
+		}
+		sort.Ints(buf)
+		for i, v := range buf {
+			dst[i] = int32(v)
+		}
+	}
+	return &Graph{directed: g.directed, offsets: offsets, adj: adj}, delta, nil
+}
+
+// AddEdge returns the graph with edge (u, v) inserted.
+func (g *Graph) AddEdge(u, v int) (*Graph, error) {
+	next, _, err := g.ApplyEdits([]Edit{{Op: EditAddEdge, U: u, V: v}})
+	return next, err
+}
+
+// RemoveEdge returns the graph with edge (u, v) deleted.
+func (g *Graph) RemoveEdge(u, v int) (*Graph, error) {
+	next, _, err := g.ApplyEdits([]Edit{{Op: EditRemoveEdge, U: u, V: v}})
+	return next, err
+}
+
+// AddNode returns the graph with one isolated node appended, plus its id.
+func (g *Graph) AddNode() (*Graph, int) {
+	next, _, err := g.ApplyEdits([]Edit{{Op: EditAddNode}})
+	if err != nil {
+		// EditAddNode validates nothing; failure is impossible.
+		panic(fmt.Sprintf("graph: AddNode: %v", err))
+	}
+	return next, g.NumNodes()
+}
+
+// AffectedNodes returns every node whose h-hop neighborhood S_h may have
+// changed across an edit batch, sorted ascending: the union of the h-hop
+// closures of the touched endpoints in the old and new graphs. A node
+// outside both closures keeps exactly its old S_h — no inserted or
+// removed edge lies on any path of length <= h from it — so index repair
+// and view repair may skip it.
+//
+// Directed graphs would need the h-hop *in*-closure of the endpoints,
+// which the out-arc CSR cannot traverse; they return every node of newG
+// (the full-recompute sentinel), keeping the repair contract uniform at
+// the cost of incrementality.
+func AffectedNodes(oldG, newG *Graph, delta *EditDelta, h int) []int {
+	if newG.Directed() {
+		all := make([]int, newG.NumNodes())
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	oldTouched := make([]int, 0, len(delta.Touched))
+	for _, u := range delta.Touched {
+		if u < oldG.NumNodes() {
+			oldTouched = append(oldTouched, u)
+		}
+	}
+	before, err := HopClosure(oldG, oldTouched, h)
+	if err != nil {
+		panic(fmt.Sprintf("graph: AffectedNodes: %v", err)) // touched ids come from ApplyEdits
+	}
+	after, err := HopClosure(newG, delta.Touched, h)
+	if err != nil {
+		panic(fmt.Sprintf("graph: AffectedNodes: %v", err))
+	}
+	return mergeSorted(before, after)
+}
+
+// mergeSorted unions two ascending int slices.
+func mergeSorted(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// ParseEditScript decodes the compact textual edit-script format shared
+// by the fuzz harness and tooling: one edit per line,
+//
+//   - u v    insert edge u–v
+//   - u v    remove edge u–v
+//     n        add a node
+//
+// Blank lines and lines starting with '#' are skipped. Endpoint range is
+// validated by ApplyEdits, not here — the decoder only rejects malformed
+// syntax.
+func ParseEditScript(data []byte) ([]Edit, error) {
+	var edits []Edit
+	for ln, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		switch fields[0] {
+		case "n":
+			if len(fields) != 1 {
+				return nil, fmt.Errorf("graph: edit script line %d: %q takes no operands", ln+1, "n")
+			}
+			edits = append(edits, Edit{Op: EditAddNode})
+		case "+", "-":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: edit script line %d: want %q u v", ln+1, fields[0])
+			}
+			u, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: edit script line %d: %v", ln+1, err)
+			}
+			v, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("graph: edit script line %d: %v", ln+1, err)
+			}
+			op := EditAddEdge
+			if fields[0] == "-" {
+				op = EditRemoveEdge
+			}
+			edits = append(edits, Edit{Op: op, U: u, V: v})
+		default:
+			return nil, fmt.Errorf("graph: edit script line %d: unknown op %q", ln+1, fields[0])
+		}
+	}
+	return edits, nil
+}
+
+// FormatEditScript renders edits in the ParseEditScript format — the
+// round-trip half the fuzz seed corpus relies on.
+func FormatEditScript(edits []Edit) string {
+	var b strings.Builder
+	for _, e := range edits {
+		switch e.Op {
+		case EditAddNode:
+			b.WriteString("n\n")
+		case EditAddEdge:
+			fmt.Fprintf(&b, "+ %d %d\n", e.U, e.V)
+		case EditRemoveEdge:
+			fmt.Fprintf(&b, "- %d %d\n", e.U, e.V)
+		}
+	}
+	return b.String()
+}

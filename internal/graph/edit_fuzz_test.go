@@ -1,0 +1,80 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fuzzBaseGraph is the fixed starting topology the fuzzer mutates: a
+// 24-node ring with chords, small enough that the rebuild oracle is cheap
+// but cyclic enough that removals change h-hop neighborhoods non-locally.
+func fuzzBaseGraph() *Graph {
+	b := NewBuilder(24, false)
+	for u := 0; u < 24; u++ {
+		b.AddEdge(u, (u+1)%24)
+		if u%3 == 0 {
+			b.AddEdge(u, (u+7)%24)
+		}
+	}
+	return b.Build()
+}
+
+// FuzzEditScript feeds arbitrary bytes through the edit-script decoder
+// and, when they decode into a legal script, applies it incrementally —
+// ApplyEdits plus neighborhood-index Repair — and cross-checks the result
+// against the from-scratch rebuild oracle. It hunts two failure classes:
+// crashes anywhere in the decode/apply/repair path, and silent divergence
+// between the incremental and rebuilt states.
+func FuzzEditScript(f *testing.F) {
+	f.Add([]byte("+ 0 5\n- 0 1\nn\n+ 24 3\n"))
+	f.Add([]byte("n\nn\n+ 24 25\n+ 25 0\n- 24 25\n"))
+	f.Add([]byte("# comment\n\n- 3 4\n- 4 3\n+ 3 4\n"))
+	f.Add([]byte("+ 0 23\n+ 0 23\nn\n"))
+	f.Add([]byte(FormatEditScript([]Edit{{Op: EditAddNode}, {Op: EditAddEdge, U: 1, V: 24}})))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		edits, err := ParseEditScript(data)
+		if err != nil || len(edits) == 0 {
+			return // malformed scripts just need to not crash
+		}
+		if len(edits) > 128 {
+			edits = edits[:128] // bound the work per input
+		}
+		const h = 2
+		base := fuzzBaseGraph()
+		next, delta, err := base.ApplyEdits(edits)
+		if err != nil {
+			return // out-of-range or self-loop edits are expected rejections
+		}
+		if delta.NodesAdded > len(edits) {
+			t.Fatalf("delta claims %d added nodes from %d edits", delta.NodesAdded, len(edits))
+		}
+
+		// Divergence check 1: the successor graph matches a from-scratch
+		// rebuild over the mutated edge set.
+		oracle := newOracle(base)
+		for _, e := range edits {
+			// ApplyEdits accepted the script, so replaying it on the naive
+			// model is legal (no-ops included).
+			oracle.apply(e)
+		}
+		rebuilt := oracle.rebuild()
+		if next.NumNodes() != rebuilt.NumNodes() || next.NumArcs() != rebuilt.NumArcs() {
+			t.Fatalf("shape diverged: incremental (n=%d arcs=%d) vs rebuild (n=%d arcs=%d)",
+				next.NumNodes(), next.NumArcs(), rebuilt.NumNodes(), rebuilt.NumArcs())
+		}
+		for u := 0; u < rebuilt.NumNodes(); u++ {
+			if !reflect.DeepEqual(next.Neighbors(u), rebuilt.Neighbors(u)) {
+				t.Fatalf("node %d adjacency diverged: %v vs %v", u, next.Neighbors(u), rebuilt.Neighbors(u))
+			}
+		}
+
+		// Divergence check 2: incremental index repair matches a full
+		// index rebuild.
+		repaired := BuildNeighborhoodIndex(base, h, 1).Repair(next, AffectedNodes(base, next, delta, h), 1)
+		want := BuildNeighborhoodIndex(rebuilt, h, 1)
+		if !reflect.DeepEqual(repaired.Size, want.Size) {
+			t.Fatalf("index diverged after %v: %v vs %v", edits, repaired.Size, want.Size)
+		}
+	})
+}

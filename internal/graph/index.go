@@ -38,6 +38,26 @@ func BuildNeighborhoodIndex(g *Graph, h, workers int) *NeighborhoodIndex {
 	return ix
 }
 
+// Repair returns a successor index valid for newG after a structural
+// edit batch, recomputing only the affected nodes (see AffectedNodes)
+// instead of all of them — the incremental half of the mutate-vs-rebuild
+// equivalence contract: the repaired index is identical to
+// BuildNeighborhoodIndex(newG, ix.H, ...), because N(v) is an exact count
+// and unaffected nodes keep exactly their old h-hop neighborhoods. The
+// receiver is not modified; callers swap the result in under their own
+// write discipline. workers <= 0 means GOMAXPROCS.
+func (ix *NeighborhoodIndex) Repair(newG *Graph, affected []int, workers int) *NeighborhoodIndex {
+	size := make([]int32, newG.NumNodes())
+	copy(size, ix.Size)
+	parallelNodes(len(affected), workers, func(lo, hi int) {
+		t := NewTraverser(newG)
+		for i := lo; i < hi; i++ {
+			size[affected[i]] = int32(t.CountWithin(affected[i], ix.H))
+		}
+	})
+	return &NeighborhoodIndex{H: ix.H, Size: size}
+}
+
 // DifferentialIndex stores, for every arc (u -> v) at global arc position
 // p, Delta[p] = |S_h(v) \ S_h(u)|: how many of v's h-hop neighbors are not
 // h-hop neighbors of u. Section III uses it to bound a neighbor's aggregate

@@ -1,0 +1,329 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// edgeSetOracle is the reference model of a mutable graph: a plain edge
+// set plus a node count, mutated naively and rebuilt from scratch through
+// Builder — the oracle every incremental path must match bytewise.
+type edgeSetOracle struct {
+	n        int
+	directed bool
+	edges    map[[2]int]bool
+}
+
+func newOracle(g *Graph) *edgeSetOracle {
+	o := &edgeSetOracle{n: g.NumNodes(), directed: g.Directed(), edges: make(map[[2]int]bool)}
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, v := range g.Neighbors(u) {
+			o.edges[o.key(u, int(v))] = true
+		}
+	}
+	return o
+}
+
+// key canonicalizes an undirected edge to (min, max).
+func (o *edgeSetOracle) key(u, v int) [2]int {
+	if !o.directed && u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+// apply mutates the oracle; invalid edits must have been filtered by the
+// caller (the oracle models only legal scripts).
+func (o *edgeSetOracle) apply(e Edit) {
+	switch e.Op {
+	case EditAddNode:
+		o.n++
+	case EditAddEdge:
+		o.edges[o.key(e.U, e.V)] = true
+	case EditRemoveEdge:
+		delete(o.edges, o.key(e.U, e.V))
+	}
+}
+
+// rebuild constructs the oracle's graph from scratch.
+func (o *edgeSetOracle) rebuild() *Graph {
+	b := NewBuilder(o.n, o.directed)
+	for e, ok := range o.edges {
+		if ok {
+			b.AddEdge(e[0], e[1])
+		}
+	}
+	return b.Build()
+}
+
+// assertSameGraph fails unless got and want are structurally identical:
+// same direction, node count, and per-node adjacency (CSR rows included,
+// so arc positions — which parallel per-arc indexes rely on — agree too).
+func assertSameGraph(t *testing.T, label string, got, want *Graph) {
+	t.Helper()
+	if got.Directed() != want.Directed() || got.NumNodes() != want.NumNodes() || got.NumArcs() != want.NumArcs() {
+		t.Fatalf("%s: shape (directed=%v n=%d arcs=%d), want (directed=%v n=%d arcs=%d)",
+			label, got.Directed(), got.NumNodes(), got.NumArcs(),
+			want.Directed(), want.NumNodes(), want.NumArcs())
+	}
+	for u := 0; u < want.NumNodes(); u++ {
+		if !reflect.DeepEqual(got.Neighbors(u), want.Neighbors(u)) {
+			t.Fatalf("%s: node %d adjacency %v, want %v", label, u, got.Neighbors(u), want.Neighbors(u))
+		}
+	}
+}
+
+// mutateTestGraphs builds the four topologies the mutation harness runs
+// over: a ring (long diameters, removals disconnect), a near-clique
+// (dense, duplicate-heavy), a two-community graph (edits cross the cut),
+// and a directed chain with shortcuts (exercises the directed repair
+// fallback).
+func mutateTestGraphs() map[string]*Graph {
+	ring := NewBuilder(60, false)
+	for u := 0; u < 60; u++ {
+		ring.AddEdge(u, (u+1)%60)
+	}
+	dense := NewBuilder(24, false)
+	for u := 0; u < 24; u++ {
+		for v := u + 1; v < 24; v += 1 + u%3 {
+			dense.AddEdge(u, v)
+		}
+	}
+	comm := NewBuilder(50, false)
+	for u := 0; u < 24; u++ {
+		comm.AddEdge(u, (u+1)%25)
+		comm.AddEdge(25+u, 25+(u+1)%25)
+	}
+	comm.AddEdge(0, 25)
+	comm.AddEdge(12, 37)
+	directed := NewBuilder(40, true)
+	for u := 0; u < 39; u++ {
+		directed.AddEdge(u, u+1)
+		if u%5 == 0 && u+7 < 40 {
+			directed.AddEdge(u, u+7)
+		}
+	}
+	return map[string]*Graph{
+		"ring":      ring.Build(),
+		"dense":     dense.Build(),
+		"community": comm.Build(),
+		"directed":  directed.Build(),
+	}
+}
+
+// randomEditScript draws a legal edit batch against the oracle's current
+// state, mutating the oracle as it goes so every edit is valid at its
+// position in the script (including edges on nodes added mid-batch).
+func randomEditScript(rng *rand.Rand, o *edgeSetOracle, batch int) []Edit {
+	edits := make([]Edit, 0, batch)
+	for len(edits) < batch {
+		var e Edit
+		switch rng.Intn(10) {
+		case 0:
+			e = Edit{Op: EditAddNode}
+		case 1, 2, 3:
+			// Remove a uniformly drawn existing edge, when one exists.
+			if len(o.edges) == 0 {
+				continue
+			}
+			i := rng.Intn(len(o.edges))
+			for k := range o.edges {
+				if i == 0 {
+					e = Edit{Op: EditRemoveEdge, U: k[0], V: k[1]}
+					break
+				}
+				i--
+			}
+		default:
+			u, v := rng.Intn(o.n), rng.Intn(o.n)
+			if u == v {
+				continue
+			}
+			e = Edit{Op: EditAddEdge, U: u, V: v}
+		}
+		o.apply(e)
+		edits = append(edits, e)
+	}
+	return edits
+}
+
+// TestApplyEditsMatchesRebuild is the graph half of the equivalence
+// property: random edit scripts applied incrementally yield CSR state and
+// a repaired neighborhood index byte-identical to a from-scratch rebuild,
+// across four graph shapes and several hop radii.
+func TestApplyEditsMatchesRebuild(t *testing.T) {
+	for name, start := range mutateTestGraphs() {
+		for _, h := range []int{1, 2, 3} {
+			rng := rand.New(rand.NewSource(int64(1000*h) + int64(len(name))))
+			g := start
+			ix := BuildNeighborhoodIndex(g, h, 0)
+			oracle := newOracle(start)
+			for round := 0; round < 8; round++ {
+				script := randomEditScript(rng, oracle, 1+rng.Intn(12))
+				next, delta, err := g.ApplyEdits(script)
+				if err != nil {
+					t.Fatalf("%s h=%d round %d: %v", name, h, round, err)
+				}
+				affected := AffectedNodes(g, next, delta, h)
+				ix = ix.Repair(next, affected, 0)
+
+				rebuilt := oracle.rebuild()
+				label := name + "/h=" + string(rune('0'+h))
+				assertSameGraph(t, label, next, rebuilt)
+				wantIx := BuildNeighborhoodIndex(rebuilt, h, 0)
+				if !reflect.DeepEqual(ix.Size, wantIx.Size) {
+					for v := range wantIx.Size {
+						if ix.Size[v] != wantIx.Size[v] {
+							t.Fatalf("%s round %d: N(%d) = %d after repair, rebuild says %d (script %v)",
+								label, round, v, ix.Size[v], wantIx.Size[v], script)
+						}
+					}
+				}
+				g = next
+			}
+		}
+	}
+}
+
+// TestApplyEditsAtomicity: an invalid edit anywhere in the batch must
+// fail the whole call and leave no partial successor.
+func TestApplyEditsAtomicity(t *testing.T) {
+	g := FromEdges(4, false, [][2]int{{0, 1}, {1, 2}})
+	bad := [][]Edit{
+		{{Op: EditAddEdge, U: 0, V: 3}, {Op: EditAddEdge, U: 2, V: 9}}, // out of range
+		{{Op: EditAddEdge, U: 0, V: 3}, {Op: EditAddEdge, U: 1, V: 1}}, // self-loop
+		{{Op: EditRemoveEdge, U: -1, V: 2}},                            // negative id
+		{{Op: EditOp(99)}},                                             // unknown op
+	}
+	for i, script := range bad {
+		next, delta, err := g.ApplyEdits(script)
+		if err == nil {
+			t.Fatalf("script %d: expected error, got delta %+v", i, delta)
+		}
+		if next != nil || delta != nil {
+			t.Fatalf("script %d: non-nil result alongside error", i)
+		}
+	}
+	// The receiver is untouched regardless.
+	if g.NumNodes() != 4 || g.NumEdges() != 2 {
+		t.Fatalf("receiver mutated: n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+}
+
+// TestApplyEditsNoOps: duplicate inserts and absent deletes are no-ops
+// that leave the delta honest.
+func TestApplyEditsNoOps(t *testing.T) {
+	g := FromEdges(3, false, [][2]int{{0, 1}})
+	next, delta, err := g.ApplyEdits([]Edit{
+		{Op: EditAddEdge, U: 0, V: 1},    // duplicate
+		{Op: EditAddEdge, U: 1, V: 0},    // duplicate, reversed
+		{Op: EditRemoveEdge, U: 1, V: 2}, // absent
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.Changed() {
+		t.Fatalf("no-op batch reported changes: %+v", delta)
+	}
+	assertSameGraph(t, "noop", next, g)
+}
+
+// TestApplyEditsSequentialSemantics: edges may target nodes added earlier
+// in the same batch, and an add/remove pair cancels out.
+func TestApplyEditsSequentialSemantics(t *testing.T) {
+	g := FromEdges(2, false, [][2]int{{0, 1}})
+	next, delta, err := g.ApplyEdits([]Edit{
+		{Op: EditAddNode},
+		{Op: EditAddEdge, U: 0, V: 2},
+		{Op: EditAddEdge, U: 1, V: 2},
+		{Op: EditRemoveEdge, U: 0, V: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.NumNodes() != 3 || !next.HasEdge(1, 2) || next.HasEdge(0, 2) {
+		t.Fatalf("unexpected shape: n=%d", next.NumNodes())
+	}
+	if delta.NodesAdded != 1 || delta.EdgesAdded != 2 || delta.EdgesRemoved != 1 {
+		t.Fatalf("delta %+v", delta)
+	}
+	// Referencing the new node before its EditAddNode fails the batch.
+	if _, _, err := g.ApplyEdits([]Edit{{Op: EditAddEdge, U: 0, V: 2}, {Op: EditAddNode}}); err == nil {
+		t.Fatal("edge to not-yet-added node accepted")
+	}
+}
+
+// TestAffectedNodesIsSound: nodes outside AffectedNodes keep exactly
+// their old neighborhood size — the locality claim Repair relies on.
+func TestAffectedNodesIsSound(t *testing.T) {
+	for name, g := range mutateTestGraphs() {
+		if g.Directed() {
+			continue // directed returns the full-recompute sentinel
+		}
+		const h = 2
+		before := BuildNeighborhoodIndex(g, h, 0)
+		rng := rand.New(rand.NewSource(7))
+		oracle := newOracle(g)
+		script := randomEditScript(rng, oracle, 6)
+		next, delta, err := g.ApplyEdits(script)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after := BuildNeighborhoodIndex(next, h, 0)
+		affected := AffectedNodes(g, next, delta, h)
+		inAffected := make(map[int]bool, len(affected))
+		for _, v := range affected {
+			inAffected[v] = true
+		}
+		for v := 0; v < g.NumNodes(); v++ {
+			if !inAffected[v] && before.Size[v] != after.Size[v] {
+				t.Fatalf("%s: node %d changed N %d -> %d but is not in the affected set (script %v)",
+					name, v, before.Size[v], after.Size[v], script)
+			}
+		}
+	}
+}
+
+// TestEditScriptRoundTrip: Format and Parse are inverses for legal
+// scripts, and the parser rejects malformed lines.
+func TestEditScriptRoundTrip(t *testing.T) {
+	script := []Edit{
+		{Op: EditAddNode},
+		{Op: EditAddEdge, U: 3, V: 9},
+		{Op: EditRemoveEdge, U: 9, V: 3},
+	}
+	parsed, err := ParseEditScript([]byte(FormatEditScript(script)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(parsed, script) {
+		t.Fatalf("round trip %v, want %v", parsed, script)
+	}
+	for _, bad := range []string{"x 1 2", "+ 1", "- 1 2 3", "+ a b", "n 4"} {
+		if _, err := ParseEditScript([]byte(bad)); err == nil {
+			t.Fatalf("parsed %q without error", bad)
+		}
+	}
+	// Comments and blank lines are skipped.
+	if edits, err := ParseEditScript([]byte("# comment\n\n+ 0 1\n")); err != nil || len(edits) != 1 {
+		t.Fatalf("edits=%v err=%v", edits, err)
+	}
+}
+
+// TestGraphEditConvenience covers the single-edit wrappers.
+func TestGraphEditConvenience(t *testing.T) {
+	g := FromEdges(2, false, nil)
+	g2, err := g.AddEdge(0, 1)
+	if err != nil || !g2.HasEdge(0, 1) || g.HasEdge(0, 1) {
+		t.Fatalf("AddEdge: err=%v", err)
+	}
+	g3, id := g2.AddNode()
+	if id != 2 || g3.NumNodes() != 3 || g2.NumNodes() != 2 {
+		t.Fatalf("AddNode: id=%d", id)
+	}
+	g4, err := g3.RemoveEdge(1, 0)
+	if err != nil || g4.HasEdge(0, 1) {
+		t.Fatalf("RemoveEdge: err=%v", err)
+	}
+}

@@ -38,6 +38,19 @@ func (p *Partitioning) Sizes() []int {
 	return sizes
 }
 
+// ExtendTo assigns parts to nodes added after the partitioning was
+// computed: node v joins part v mod P. The rule is a pure function of the
+// node id, so independent processes (a coordinator and its shard workers)
+// extending the same partitioning over the same edit stream agree without
+// any coordination — the property the deterministic-partitioning contract
+// (BuildShard) requires. Round-robin also keeps growth balanced; a later
+// Refine or reshard can move the new nodes somewhere smarter.
+func (p *Partitioning) ExtendTo(n int) {
+	for v := len(p.Assign); v < n; v++ {
+		p.Assign = append(p.Assign, int32(v%p.P))
+	}
+}
+
 // Validate checks every node is assigned to a legal part.
 func (p *Partitioning) Validate(g *graph.Graph) error {
 	if len(p.Assign) != g.NumNodes() {

@@ -14,6 +14,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/topk", s.handleTopK)
 	mux.HandleFunc("/v1/scores", s.handleScores)
+	mux.HandleFunc("/v1/edges", s.handleEdges)
 	mux.HandleFunc("/v1/reshard", s.handleReshard)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/health", s.handleHealth)
@@ -126,6 +127,29 @@ func (s *Server) handleScores(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res, err := s.ApplyUpdates(req.Updates)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// edgesRequest is the /v1/edges body, mirroring /v1/scores: a batch of
+// structural edits applied atomically.
+type edgesRequest struct {
+	Edits []EditRequest `json:"edits"`
+}
+
+func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req edgesRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.ApplyEdits(req.Edits)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return

@@ -8,6 +8,10 @@
 //	                  traversals), and candidates (restrict ranked nodes),
 //	                  and are aborted when the client disconnects.
 //	POST /v1/scores — apply a batch of relevance updates atomically
+//	POST /v1/edges  — apply a batch of structural edits (edge inserts and
+//	                  removals, node additions) atomically, with
+//	                  incremental repair of the materialized view and the
+//	                  neighborhood index
 //	GET  /v1/stats  — cache hit rate and byte usage, per-algorithm latency
 //	                  histograms, summed engine work counters,
 //	                  timeout/cancellation counters
@@ -113,7 +117,11 @@ const shardUpdateTimeout = 30 * time.Second
 // use.
 type Server struct {
 	opts Options
-	g    *graph.Graph // immutable; shared by every generation's engine
+	// g is the current-generation graph. Each generation's graph value is
+	// immutable (structural edits derive a successor and swap the
+	// pointer under mu), so a query that snapshotted an engine keeps a
+	// consistent topology for its whole run.
+	g *graph.Graph
 
 	// mu guards the generation state below, RWMutex-style: queries take a
 	// brief RLock to snapshot (gen, topo, engine, view, cluster); update
@@ -307,11 +315,35 @@ func (s *Server) Reshard(parts int) error {
 }
 
 // Generation returns the current score generation (0 at startup, +1 per
-// applied update batch).
+// applied update or edit batch).
 func (s *Server) Generation() uint64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.gen
+}
+
+// Graph returns the current-generation graph (immutable; structural
+// edits swap in a successor rather than mutating it).
+func (s *Server) Graph() *graph.Graph {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.g
+}
+
+// Scores returns a copy of the current-generation relevance vector.
+func (s *Server) Scores() []float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]float64(nil), s.engine.Scores()...)
+}
+
+// numNodes returns the current-generation node count. Structural edits
+// only ever grow it, so a candidate validated against one generation
+// stays valid for every later one.
+func (s *Server) numNodes() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.g.NumNodes()
 }
 
 // QueryRequest is the decoded /v1/topk body. Aggregate and Algorithm are
@@ -384,7 +416,7 @@ func (r *QueryRequest) normalize(s *Server) (agg core.Aggregate, order core.Queu
 	if r.Budget < 0 {
 		return 0, 0, fmt.Errorf("budget %d is negative", r.Budget)
 	}
-	if err := r.canonicalizeCandidates(s.g.NumNodes()); err != nil {
+	if err := r.canonicalizeCandidates(s.numNodes()); err != nil {
 		return 0, 0, err
 	}
 	// Canonicalize option fields the chosen path ignores, so equivalent
@@ -698,7 +730,7 @@ func (s *Server) ApplyUpdates(updates []ScoreUpdate) (*UpdateResult, error) {
 	if len(updates) == 0 {
 		return nil, errors.New("empty update batch")
 	}
-	n := s.g.NumNodes() // the graph is immutable, so no lock for validation
+	n := s.numNodes() // node ids only grow, so pre-lock validation stays sound
 	for i, u := range updates {
 		if u.Node < 0 || u.Node >= n {
 			return nil, fmt.Errorf("update %d: node %d out of range [0,%d)", i, u.Node, n)
@@ -763,6 +795,151 @@ func (s *Server) ApplyUpdates(updates []ScoreUpdate) (*UpdateResult, error) {
 	res.ElapsedUS = time.Since(start).Microseconds()
 	s.metrics.updates.Add(1)
 	s.metrics.mutations.Add(int64(len(updates)))
+	return res, nil
+}
+
+// EditRequest is one structural mutation of a /v1/edges batch. Op is a
+// graph.EditOp wire name: "add-edge", "remove-edge", or "add-node" (U
+// and V are ignored for add-node; the new node's id is the node count at
+// the point the edit applies, so later edits in the batch can wire it).
+type EditRequest struct {
+	Op string `json:"op"`
+	U  int    `json:"u,omitempty"`
+	V  int    `json:"v,omitempty"`
+}
+
+// EditsResult reports what an applied edit batch did.
+type EditsResult struct {
+	Generation   uint64 `json:"generation"`    // generation after the batch
+	NodesAdded   int    `json:"nodes_added"`   // nodes appended (relevance 0)
+	EdgesAdded   int    `json:"edges_added"`   // inserts that were not duplicates
+	EdgesRemoved int    `json:"edges_removed"` // removals that hit a real edge
+	Repaired     int    `json:"repaired"`      // nodes whose index/view state was recomputed
+	Nodes        int    `json:"nodes"`         // post-batch graph shape
+	Edges        int    `json:"edges"`
+	ElapsedUS    int64  `json:"elapsed_us"`
+}
+
+// ApplyEdits applies a structural edit batch atomically: the batch is
+// validated by deriving the successor graph up front (any invalid edit
+// rejects the whole batch un-mutated), propagated to the shards, and then
+// committed under the write lock — the materialized view repairs itself
+// incrementally (only nodes whose h-hop neighborhood changed are
+// recomputed), the engine is rebuilt over the successor graph adopting
+// the incrementally repaired neighborhood index, and the generation bump
+// retires every cached answer. Queries already in flight finish against
+// the generation they snapshotted.
+//
+// The differential index, whose entries parallel arc positions that any
+// edit shifts, is dropped rather than repaired: the planner avoids
+// Forward until a later explicit Forward query rebuilds it lazily — the
+// same contract as a server started with SkipIndexes.
+func (s *Server) ApplyEdits(reqs []EditRequest) (*EditsResult, error) {
+	if len(reqs) == 0 {
+		return nil, errors.New("empty edit batch")
+	}
+	edits := make([]graph.Edit, len(reqs))
+	for i, r := range reqs {
+		op, err := graph.ParseEditOp(r.Op)
+		if err != nil {
+			return nil, fmt.Errorf("edit %d: %w", i, err)
+		}
+		edits[i] = graph.Edit{Op: op, U: r.U, V: r.V}
+	}
+
+	start := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// When shards must be notified, or there is no view to do it for us,
+	// validate by deriving the successor up front — pure with respect to
+	// server state, so any rejection leaves everything (including the
+	// not-yet-notified shards) at the old generation. In the common
+	// unsharded-undirected case this derivation is skipped: the view's
+	// own ApplyEdits validates and derives exactly once.
+	var newG *graph.Graph
+	var delta *graph.EditDelta
+	if s.cl != nil || s.view == nil {
+		var err error
+		if newG, delta, err = s.g.ApplyEdits(edits); err != nil {
+			return nil, err
+		}
+	}
+
+	// Propagate to the shards while local state is still old, mirroring
+	// ApplyUpdates: in-process shard sets swap atomically; the HTTP
+	// fan-out is not transactional, but re-sending the identical batch
+	// converges — it keeps its sequence number, so workers that already
+	// applied it answer idempotently.
+	if s.cl != nil {
+		fanCtx, cancel := context.WithTimeout(context.Background(), shardUpdateTimeout)
+		err := s.cl.coord.Transport().ApplyEdits(fanCtx, edits)
+		cancel()
+		if err != nil {
+			return nil, fmt.Errorf("shard edit fan-out: %w", err)
+		}
+	}
+
+	res := &EditsResult{}
+	h := s.engine.H()
+	var engine *core.Engine
+	if s.view != nil {
+		// The view derives the successor itself (deterministically equal
+		// to any pre-derivation above) and repairs its aggregates and
+		// N(v) index incrementally; the server adopts the view's graph
+		// instance and repaired index so view and engine share one
+		// topology.
+		viewRes, err := s.view.ApplyEdits(context.Background(), edits)
+		if err != nil {
+			return nil, err
+		}
+		res.NodesAdded = viewRes.NodesAdded
+		res.EdgesAdded = viewRes.EdgesAdded
+		res.EdgesRemoved = viewRes.EdgesRemoved
+		res.Repaired = viewRes.Repaired
+		newG = s.view.Graph()
+		engine, err = core.NewEngine(newG, s.view.ScoresCopy(), h)
+		if err != nil {
+			return nil, err
+		}
+		if err := engine.AdoptNeighborhoodIndex(s.view.NeighborhoodIndex()); err != nil {
+			return nil, err
+		}
+	} else {
+		// Directed graphs serve engine-only; added nodes start unscored.
+		res.NodesAdded = delta.NodesAdded
+		res.EdgesAdded = delta.EdgesAdded
+		res.EdgesRemoved = delta.EdgesRemoved
+		scores := append([]float64(nil), s.engine.Scores()...)
+		for len(scores) < newG.NumNodes() {
+			scores = append(scores, 0)
+		}
+		var err error
+		engine, err = core.NewEngine(newG, scores, h)
+		if err != nil {
+			return nil, err
+		}
+		if s.engine.HasNeighborhoodIndex() {
+			affected := graph.AffectedNodes(s.g, newG, delta, h)
+			nix := s.engine.PrepareNeighborhoodIndex(s.opts.Workers).Repair(newG, affected, s.opts.Workers)
+			if err := engine.AdoptNeighborhoodIndex(nix); err != nil {
+				return nil, err
+			}
+			res.Repaired = len(affected)
+		}
+	}
+
+	s.g = newG
+	s.engine = engine
+	s.gen++
+	res.Generation = s.gen
+	res.Nodes, res.Edges = newG.NumNodes(), newG.NumEdges()
+	res.ElapsedUS = time.Since(start).Microseconds()
+	s.metrics.editBatches.Add(1)
+	s.metrics.edgesAdded.Add(int64(res.EdgesAdded))
+	s.metrics.edgesRemoved.Add(int64(res.EdgesRemoved))
+	s.metrics.nodesAdded.Add(int64(res.NodesAdded))
+	s.metrics.editRepaired.Add(int64(res.Repaired))
 	return res, nil
 }
 

@@ -85,6 +85,13 @@ type metrics struct {
 	updates   atomic.Int64
 	mutations atomic.Int64
 
+	// Structural-mutation counters (/v1/edges batches).
+	editBatches  atomic.Int64
+	edgesAdded   atomic.Int64
+	edgesRemoved atomic.Int64
+	nodesAdded   atomic.Int64
+	editRepaired atomic.Int64
+
 	// Context-abort counters: queries abandoned at a deadline (the
 	// request's timeout_ms or a caller deadline) vs. cancelled outright
 	// (client disconnect, shutdown drain).
@@ -173,6 +180,19 @@ type EngineStats struct {
 	Visited     int64 `json:"visited"`
 }
 
+// EditStats is the structural-mutation section of /v1/stats: what the
+// /v1/edges batches did to the topology and how much incremental repair
+// they cost (nodes recomputed instead of a full rebuild).
+type EditStats struct {
+	Batches      int64 `json:"batches"`
+	EdgesAdded   int64 `json:"edges_added"`
+	EdgesRemoved int64 `json:"edges_removed"`
+	NodesAdded   int64 `json:"nodes_added"`
+	// Repaired sums the per-batch affected-node counts — the incremental
+	// work actually paid, vs Batches × Nodes for full rebuilds.
+	Repaired int64 `json:"repaired"`
+}
+
 // ShardLatency is one shard's row of the cluster stats section.
 type ShardLatency struct {
 	Shard   int            `json:"shard"`
@@ -213,6 +233,7 @@ type Stats struct {
 	H             int                       `json:"h"`
 	UpdateBatches int64                     `json:"update_batches"`
 	Mutations     int64                     `json:"mutations"`
+	Edits         EditStats                 `json:"edits"`
 	QueryTimeouts int64                     `json:"query_timeouts"` // queries abandoned at a deadline
 	QueryCancels  int64                     `json:"query_cancels"`  // queries cancelled by the caller
 	Cache         CacheStats                `json:"cache"`
@@ -226,6 +247,13 @@ func (m *metrics) snapshot() Stats {
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		UpdateBatches: m.updates.Load(),
 		Mutations:     m.mutations.Load(),
+		Edits: EditStats{
+			Batches:      m.editBatches.Load(),
+			EdgesAdded:   m.edgesAdded.Load(),
+			EdgesRemoved: m.edgesRemoved.Load(),
+			NodesAdded:   m.nodesAdded.Load(),
+			Repaired:     m.editRepaired.Load(),
+		},
 		QueryTimeouts: m.timeouts.Load(),
 		QueryCancels:  m.cancels.Load(),
 		Cache: CacheStats{

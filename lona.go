@@ -173,9 +173,28 @@ const (
 )
 
 // View is a materialized neighborhood-aggregate view with incremental
-// maintenance under relevance updates — the dynamic-network extension for
-// workloads like the paper's "large, dynamic intrusion network".
+// maintenance under relevance updates (UpdateScore) and structural edits
+// (ApplyEdits) — the dynamic-network extension for workloads like the
+// paper's "large, dynamic intrusion network".
 type View = core.View
+
+// Edit is one structural mutation of a graph: an edge insertion or
+// removal, or a node addition. Batches apply atomically through
+// Graph.ApplyEdits, View.ApplyEdits, and the server's /v1/edges.
+type Edit = graph.Edit
+
+// EditOp identifies an Edit's kind.
+type EditOp = graph.EditOp
+
+// The structural edit kinds.
+const (
+	EditAddEdge    = graph.EditAddEdge
+	EditRemoveEdge = graph.EditRemoveEdge
+	EditAddNode    = graph.EditAddNode
+)
+
+// ViewEditResult reports what a View.ApplyEdits batch did.
+type ViewEditResult = core.EditResult
 
 // NewView materializes F_sum for every node and keeps it consistent under
 // UpdateScore calls at O(|S_h(v)|) per update.
@@ -202,6 +221,12 @@ type ServerQueryRequest = server.QueryRequest
 
 // ServerScoreUpdate is one relevance mutation of a /v1/scores batch.
 type ServerScoreUpdate = server.ScoreUpdate
+
+// ServerEditRequest is one structural mutation of a /v1/edges batch.
+type ServerEditRequest = server.EditRequest
+
+// ServerEditsResult reports what an applied /v1/edges batch did.
+type ServerEditsResult = server.EditsResult
 
 // ServerAnswer is a query response — /v1/topk's wire format, returned
 // directly by Server.Run for in-process callers.
@@ -261,22 +286,21 @@ func NewWorkerCoordinator(ctx context.Context, workers []string, opts Coordinato
 
 // NewShardWorkerHandler builds shard index of the parts-way partitioning
 // of (g, scores, h) and returns the HTTP handler serving it
-// (/v1/shard/query, /v1/shard/bound, /v1/shard/scores, /v1/shard/health)
-// — the worker half of the coordinator/worker protocol, which
-// cmd/lonad's -shard-worker mode mounts as a daemon. Every process that
-// builds the same (g, parts) pair derives the identical deterministic
-// partitioning, so workers and coordinators agree without coordination.
+// (/v1/shard/query, /v1/shard/bound, /v1/shard/scores, /v1/shard/edits,
+// /v1/shard/health) — the worker half of the coordinator/worker
+// protocol, which cmd/lonad's -shard-worker mode mounts as a daemon. The
+// worker keeps the full graph alongside its shard, so structural edit
+// batches fanned out by the coordinator re-derive the same successor
+// topology on every process: each process applies the identical
+// deterministic batch, extends the identical deterministic partitioning,
+// and rebuilds its shard only when the batch touches its h-hop closure.
 func NewShardWorkerHandler(g *Graph, scores []float64, h, parts, index int) (http.Handler, error) {
-	p, err := cluster.Partitioning(g, parts)
+	worker, err := cluster.NewGraphWorker(g, scores, h, parts, index)
 	if err != nil {
 		return nil, err
 	}
-	shard, err := cluster.BuildShard(g, scores, h, p, index)
-	if err != nil {
-		return nil, err
-	}
-	shard.Engine().PrepareNeighborhoodIndex(0)
-	return cluster.NewWorker(shard).Handler(), nil
+	worker.Shard().Engine().PrepareNeighborhoodIndex(0)
+	return worker.Handler(), nil
 }
 
 // CollaborationNetwork simulates a co-authorship network in the shape of
