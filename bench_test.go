@@ -276,6 +276,34 @@ func BenchmarkS3Mutation(b *testing.B) {
 	})
 }
 
+// BenchmarkS4Stream measures the streaming sharded query path: one
+// coordinator fan-out per iteration with partial-result batches, mid-query
+// λ pushdown, and within-shard cuts, against the whole-shard-cut mode.
+// cmd/lonabench runs the full S4 comparison on the skewed scenario (with a
+// byte-identical gate against the single engine) and writes
+// BENCH_stream.json.
+func BenchmarkS4Stream(b *testing.B) {
+	g := lona.CollaborationNetwork(benchScale(), 20100301)
+	scores := lona.MixtureScores(g, 0.01, 20100302)
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"streaming", false}, {"whole-shard", true}} {
+		coord, err := lona.NewLocalCoordinator(g, scores, 2, 4, lona.CoordinatorOptions{DisableStreaming: mode.disable})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := coord.Run(context.Background(), lona.Query{K: 100, Aggregate: lona.Sum, Algorithm: lona.AlgoForwardDist}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkIndexBuild measures the offline costs the paper amortizes: the
 // N(v) index and the differential index.
 func BenchmarkIndexBuild(b *testing.B) {

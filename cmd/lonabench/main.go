@@ -2,8 +2,10 @@
 // (runtime vs top-k for SUM and AVG on the three networks), the ablation
 // experiments A1–A7 defined in DESIGN.md, and the serving benchmarks
 // S1 (lonad cold/cached/post-update latency → BENCH_serving.json),
-// S2 (sharded execution vs single engine → BENCH_cluster.json), and
-// S3 (structural-mutation repair vs rebuild → BENCH_mutation.json).
+// S2 (sharded execution vs single engine → BENCH_cluster.json),
+// S3 (structural-mutation repair vs rebuild → BENCH_mutation.json), and
+// S4 (streaming within-shard TA cuts vs whole-shard cuts →
+// BENCH_stream.json).
 // Output is markdown (stdout or -out file) plus optional per-experiment
 // CSV.
 //
@@ -31,7 +33,7 @@ import (
 
 func main() {
 	var (
-		experiments  = flag.String("experiments", "all", "comma-separated experiment ids (F1..F6, A1..A7, S1..S3) or 'all'")
+		experiments  = flag.String("experiments", "all", "comma-separated experiment ids (F1..F6, A1..A7, S1..S4) or 'all'")
 		scale        = flag.Float64("scale", 1.0, "dataset scale multiplier")
 		seed         = flag.Int64("seed", 20100301, "session seed")
 		repeats      = flag.Int("repeats", 1, "timed repetitions per query (min kept)")
@@ -41,10 +43,11 @@ func main() {
 		servingJSON  = flag.String("serving-json", "BENCH_serving.json", "write the S1 serving summary to this file (empty disables)")
 		clusterJSON  = flag.String("cluster-json", "BENCH_cluster.json", "write the S2 sharded-execution summary to this file (empty disables)")
 		mutationJSON = flag.String("mutation-json", "BENCH_mutation.json", "write the S3 structural-mutation summary to this file (empty disables)")
+		streamJSON   = flag.String("stream-json", "BENCH_stream.json", "write the S4 streaming-cuts summary to this file (empty disables)")
 		quiet        = flag.Bool("quiet", false, "suppress progress logging")
 	)
 	flag.Parse()
-	if err := run(*experiments, *scale, *seed, *repeats, *workers, *out, *csvDir, *servingJSON, *clusterJSON, *mutationJSON, *quiet); err != nil {
+	if err := run(*experiments, *scale, *seed, *repeats, *workers, *out, *csvDir, *servingJSON, *clusterJSON, *mutationJSON, *streamJSON, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "lonabench:", err)
 		os.Exit(1)
 	}
@@ -65,7 +68,7 @@ func writeSummary(path string, summary any, quiet bool) error {
 	return nil
 }
 
-func run(experiments string, scale float64, seed int64, repeats, workers int, out, csvDir, servingJSON, clusterJSON, mutationJSON string, quiet bool) error {
+func run(experiments string, scale float64, seed int64, repeats, workers int, out, csvDir, servingJSON, clusterJSON, mutationJSON, streamJSON string, quiet bool) error {
 	ids := bench.ExperimentIDs()
 	if experiments != "all" {
 		ids = nil
@@ -116,6 +119,14 @@ func run(experiments string, scale float64, seed int64, repeats, workers int, ou
 			res, summary, err = w.RunMutationDetailed()
 			if err == nil && mutationJSON != "" {
 				if werr := writeSummary(mutationJSON, summary, quiet); werr != nil {
+					return werr
+				}
+			}
+		case "S4":
+			var summary *bench.StreamSummary
+			res, summary, err = w.RunStreamDetailed()
+			if err == nil && streamJSON != "" {
+				if werr := writeSummary(streamJSON, summary, quiet); werr != nil {
 					return werr
 				}
 			}

@@ -28,8 +28,9 @@
 //	GET  /v1/health
 //
 // In -shard-worker mode the daemon instead serves the shard protocol
-// (/v1/shard/query, /v1/shard/bound, /v1/shard/scores, /v1/shard/edits,
-// /v1/shard/health) for one partition of the dataset; dataset flags must
+// (/v1/shard/query, /v1/shard/query/stream, /v1/shard/bound,
+// /v1/shard/scores, /v1/shard/edits, /v1/shard/health) for one partition
+// of the dataset; dataset flags must
 // match the coordinator's so every process derives the same partitioning
 // — including across structural edit batches, which every process applies
 // identically.
@@ -76,6 +77,7 @@ func main() {
 		shardWorker = flag.Bool("shard-worker", false, "serve one shard of the -shards partitioning instead of the full query API")
 		shardIndex  = flag.Int("shard-index", 0, "which shard this worker owns (with -shard-worker)")
 		shardPeers  = flag.String("shard-peers", "", "comma-separated shard-worker base URLs, in shard-index order; queries fan out to them")
+		stream      = flag.Bool("stream", true, "stream partial top-k batches from shards so TA cuts land mid-query (sharded serving only)")
 	)
 	flag.Parse()
 	cfg := config{
@@ -83,7 +85,7 @@ func main() {
 		dataset: *dataset, scale: *scale, seed: *seed, relKind: *relKind, r: *r,
 		h: *h, cacheBytes: *cacheBytes, workers: *workers, drain: *drain,
 		shards: *shards, shardWorker: *shardWorker, shardIndex: *shardIndex,
-		shardPeers: *shardPeers,
+		shardPeers: *shardPeers, stream: *stream,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "lonad:", err)
@@ -108,6 +110,7 @@ type config struct {
 	shardWorker           bool
 	shardIndex            int
 	shardPeers            string
+	stream                bool
 }
 
 // peerList splits -shard-peers into trimmed, non-empty URLs.
@@ -158,7 +161,7 @@ func run(cfg config) error {
 		if cacheBytes <= 0 {
 			cacheBytes = -1 // ServerOptions: negative disables, zero means default
 		}
-		opts := lona.ServerOptions{CacheBytes: cacheBytes, Workers: cfg.workers}
+		opts := lona.ServerOptions{CacheBytes: cacheBytes, Workers: cfg.workers, DisableStreaming: !cfg.stream}
 		if len(peers) > 0 {
 			opts.ShardWorkers = peers
 		} else if cfg.shards > 1 {

@@ -391,7 +391,7 @@ func ExperimentIDs() []string {
 	for _, f := range PaperFigures {
 		ids = append(ids, f.ID)
 	}
-	ids = append(ids, "A1", "A2", "A3", "A4", "A5", "A6", "A7", "S1", "S2", "S3")
+	ids = append(ids, "A1", "A2", "A3", "A4", "A5", "A6", "A7", "S1", "S2", "S3", "S4")
 	return ids
 }
 
@@ -423,6 +423,8 @@ func (w *Workspace) Run(id string) (*Result, error) {
 		return w.RunCluster()
 	case "S3":
 		return w.RunMutation()
+	case "S4":
+		return w.RunStream()
 	default:
 		known := ExperimentIDs()
 		sort.Strings(known)

@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// StreamSummary is the machine-readable result of the S4 streaming
+// benchmark — cmd/lonabench writes it as BENCH_stream.json so the
+// within-shard early-termination win (evaluated work and message volume,
+// streaming vs PR 3's whole-shard cuts) is tracked mechanically.
+type StreamSummary struct {
+	Dataset string  `json:"dataset"`
+	Scale   float64 `json:"scale"`
+	Nodes   int     `json:"nodes"`
+	Edges   int     `json:"edges"`
+	H       int     `json:"h"`
+	K       int     `json:"k"`
+	Parts   int     `json:"parts"`
+	CPUs    int     `json:"cpus"`
+	// Scenario documents the score skew: a hot region holding the whole
+	// top-k plus a long weak tail in every shard — where cutting inside a
+	// shard matters most, because hub candidates keep every shard's merge
+	// bound above λ (no whole-shard cut fires) while the λ pushed
+	// mid-query prunes each shard's tail.
+	Scenario string `json:"scenario"`
+
+	Cells []StreamGridCell `json:"cells"`
+}
+
+// StreamGridCell is one (algorithm, mode) measurement.
+type StreamGridCell struct {
+	Algorithm string `json:"algorithm"`
+	// Mode is "whole-shard" (DisableStreaming: λ moves only on shard
+	// completion) or "streaming" (partial batches, mid-query λ).
+	Mode      string  `json:"mode"`
+	Sec       float64 `json:"sec"`
+	Evaluated int     `json:"evaluated"`
+	Pruned    int     `json:"pruned"`
+	Messages  int64   `json:"messages"`
+	Batches   int64   `json:"partial_batches"`
+	ShardsCut int     `json:"shards_cut"`
+}
+
+const streamBenchParts = 4
+
+// streamScores builds the S4 skew: a hot region (first eighth of the id
+// space, relevance 0.9) holding the entire top-k, and a weak tail
+// (relevance 0.05) everywhere else. On a hub-heavy graph every shard
+// keeps a high merge bound through its hubs, so no whole shard is ever
+// cut — the work reduction must come from inside the shards.
+func streamScores(n int) []float64 {
+	scores := make([]float64, n)
+	for v := range scores {
+		scores[v] = 0.05
+	}
+	for v := 0; v < n/8; v++ {
+		scores[v] = 0.9
+	}
+	return scores
+}
+
+// RunStream executes S4 and returns only the Result grid.
+func (w *Workspace) RunStream() (*Result, error) {
+	res, _, err := w.RunStreamDetailed()
+	return res, err
+}
+
+// RunStreamDetailed benchmarks streaming within-shard TA cuts against
+// whole-shard cuts on the skewed scenario (Collaboration topology,
+// region-hot relevance, SUM): the bound-driven algorithms under both
+// merge modes, serial shard execution (Parallel=1) so the comparison is
+// deterministic and independent of host parallelism. Every answer is
+// verified byte-identical to the single-engine baseline before its
+// numbers are accepted.
+func (w *Workspace) RunStreamDetailed() (*Result, *StreamSummary, error) {
+	g, err := w.Graph(Collaboration)
+	if err != nil {
+		return nil, nil, err
+	}
+	scores := streamScores(g.NumNodes())
+	engine, err := core.NewEngine(g, scores, hops)
+	if err != nil {
+		return nil, nil, err
+	}
+	k := 100
+	if max := g.NumNodes() / 10; k > max {
+		k = max // tiny smoke scales still need a meaningful top-k
+	}
+
+	local, err := cluster.NewLocal(g, scores, hops, streamBenchParts)
+	if err != nil {
+		return nil, nil, err
+	}
+	local.PrepareIndexes(w.cfg.Workers)
+
+	sum := &StreamSummary{
+		Dataset: Collaboration.String(), Scale: w.cfg.Scale,
+		Nodes: g.NumNodes(), Edges: g.NumEdges(), H: hops, K: k,
+		Parts: streamBenchParts, CPUs: runtime.GOMAXPROCS(0),
+		Scenario: "region-hot: top-k in one hot region, weak tail everywhere; shard bounds stay above λ via hubs",
+	}
+	res := &Result{
+		ID:    "S4",
+		Title: "Streaming within-shard TA cuts vs whole-shard cuts (Collaboration, region-hot, SUM)",
+		XName: "mode",
+		Notes: fmt.Sprintf("%d nodes, %d edges, h=%d, k=%d, %d shards, serial fan-out; answers verified byte-identical to the single engine",
+			g.NumNodes(), g.NumEdges(), hops, k, streamBenchParts),
+	}
+
+	for _, algo := range []core.Algorithm{core.AlgoForwardDist, core.AlgoBackward} {
+		q := core.Query{Algorithm: algo, K: k, Aggregate: core.Sum}
+		baseline, err := engine.Run(context.Background(), q)
+		if err != nil {
+			return nil, nil, err
+		}
+		for mi, mode := range []string{"whole-shard", "streaming"} {
+			coord := cluster.NewCoordinator(local, cluster.Options{
+				Parallel: 1, DisableStreaming: mode == "whole-shard",
+			})
+			var ans core.Answer
+			var bd cluster.Breakdown
+			sec, err := w.timeQuery(func() error {
+				var err error
+				ans, bd, err = coord.RunDetailed(context.Background(), q)
+				return err
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			if len(ans.Results) != len(baseline.Results) {
+				return nil, nil, fmt.Errorf("S4 %v/%s: %d results, baseline %d", algo, mode, len(ans.Results), len(baseline.Results))
+			}
+			for i := range baseline.Results {
+				if ans.Results[i] != baseline.Results[i] {
+					return nil, nil, fmt.Errorf("S4 %v/%s: result %d = %+v, baseline %+v", algo, mode, i, ans.Results[i], baseline.Results[i])
+				}
+			}
+			cell := StreamGridCell{
+				Algorithm: algo.String(), Mode: mode, Sec: sec,
+				Evaluated: ans.Stats.Evaluated, Pruned: ans.Stats.Pruned,
+				Messages: bd.Messages, Batches: bd.PartialBatches, ShardsCut: bd.ShardsCut,
+			}
+			sum.Cells = append(sum.Cells, cell)
+			res.Rows = append(res.Rows, Row{
+				X: float64(mi), Label: algo.String() + "/" + mode, Sec: sec,
+				Extra: map[string]float64{
+					"evaluated":       float64(cell.Evaluated),
+					"pruned":          float64(cell.Pruned),
+					"messages":        float64(cell.Messages),
+					"partial_batches": float64(cell.Batches),
+					"shards_cut":      float64(cell.ShardsCut),
+				},
+			})
+			w.logf("S4 %-13s %-11s %.4fs evaluated=%d pruned=%d messages=%d batches=%d cut=%d",
+				algo, mode, sec, cell.Evaluated, cell.Pruned, cell.Messages, cell.Batches, cell.ShardsCut)
+		}
+	}
+	return res, sum, nil
+}

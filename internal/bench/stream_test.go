@@ -1,0 +1,50 @@
+package bench
+
+import "testing"
+
+// TestRunStreamSmoke runs S4 on a small-but-real dataset and checks the
+// acceptance property of streaming within-shard cuts: for every
+// bound-driven algorithm, the streaming run evaluates strictly fewer
+// candidates than the whole-shard-cut run on the skewed scenario, while
+// the harness itself verified both answers byte-identical to the single
+// engine before reporting them.
+func TestRunStreamSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stream benchmark takes seconds")
+	}
+	w := NewWorkspace(Config{Scale: 0.1, Seed: 42, Workers: 2})
+	res, sum, err := w.RunStreamDetailed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "S4" || len(sum.Cells) != 4 {
+		t.Fatalf("unexpected result shape: id=%s cells=%d", res.ID, len(sum.Cells))
+	}
+	byKey := map[string]StreamGridCell{}
+	for _, cell := range sum.Cells {
+		if cell.Sec <= 0 {
+			t.Fatalf("cell %+v has non-positive timing", cell)
+		}
+		byKey[cell.Algorithm+"/"+cell.Mode] = cell
+	}
+	for _, algo := range []string{"Forward-Dist", "Backward"} {
+		whole, okW := byKey[algo+"/whole-shard"]
+		stream, okS := byKey[algo+"/streaming"]
+		if !okW || !okS {
+			t.Fatalf("missing cells for %s: %v", algo, byKey)
+		}
+		if stream.Evaluated >= whole.Evaluated {
+			t.Fatalf("%s: streaming evaluated %d, whole-shard %d — within-shard cuts bought nothing",
+				algo, stream.Evaluated, whole.Evaluated)
+		}
+		if stream.Batches == 0 {
+			t.Fatalf("%s: streaming run folded no partial batches", algo)
+		}
+		if whole.Batches != 0 {
+			t.Fatalf("%s: whole-shard run reports %d partial batches", algo, whole.Batches)
+		}
+	}
+	if res.Markdown() == "" || res.CSV() == "" {
+		t.Fatal("renderers rejected the grid")
+	}
+}

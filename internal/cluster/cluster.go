@@ -56,6 +56,15 @@ type Options struct {
 	// DisableCut turns TA early termination off (benchmarks isolating
 	// the fan-out cost, and tests proving the cut changes nothing).
 	DisableCut bool
+	// DisableStreaming turns off partial-result streaming: shards answer
+	// with one whole response, λ tightens only on shard completion, and
+	// cuts land only between shards — kept for benchmarks pricing the
+	// streaming protocol and as an escape hatch. Note the budget
+	// redistribution bugfix (cut shards' slices flow to shards with work
+	// left) applies in BOTH modes: it is a coordinator repair, not part
+	// of the streaming protocol, so budgeted queries do more useful work
+	// than they did pre-streaming even with streaming off.
+	DisableStreaming bool
 }
 
 // Coordinator fans queries out across a Transport's shards and merges the
@@ -93,6 +102,11 @@ type ShardReport struct {
 	// Launched distinguishes a mid-query cancellation (true) from a
 	// pre-launch skip (false) among cut shards.
 	Launched bool `json:"launched"`
+	// Batches counts the partial-result frames this shard streamed.
+	Batches int `json:"batches,omitempty"`
+	// Evaluated is the shard's exact-evaluation count — from its final
+	// answer, or from its last streamed batch when it was cut mid-query.
+	Evaluated int `json:"evaluated,omitempty"`
 }
 
 // Breakdown reports what one distributed execution did — the
@@ -103,9 +117,17 @@ type Breakdown struct {
 	ShardsCut int `json:"shards_cut"`
 	// Messages counts simulated (Local) or real (HTTP) cross-shard
 	// exchanges: one bound probe per shard, a request and a response per
-	// launched shard query, and one message per result item shipped back.
-	Messages int64         `json:"messages"`
-	PerShard []ShardReport `json:"per_shard"`
+	// launched shard query, one message per result item shipped back,
+	// and — when streaming — one per partial frame plus one per λ ack on
+	// transports that push the threshold over the wire.
+	Messages int64 `json:"messages"`
+	// PartialBatches counts the streamed partial frames folded into the
+	// merge across all shards.
+	PartialBatches int64 `json:"partial_batches,omitempty"`
+	// BudgetRedistributed counts traversals moved from cut shards'
+	// stranded budget slices to shards that could still use them.
+	BudgetRedistributed int           `json:"budget_redistributed,omitempty"`
+	PerShard            []ShardReport `json:"per_shard"`
 }
 
 // Run executes a query across every shard and merges the answer — the
@@ -187,14 +209,29 @@ func (c *Coordinator) RunOn(ctx context.Context, view QueryView, q core.Query) (
 
 	// Phase 2 — fan out with TA cuts. All shared state below is guarded
 	// by mu: the merged list, per-shard outcomes, and the cancel/cut
-	// bookkeeping the λ-watcher mutates.
+	// bookkeeping the λ-watcher mutates. ctrl carries the lock-free state
+	// running shard queries read themselves: the streamed threshold λ and
+	// the budget redistribution pool.
+	streaming := !c.opts.DisableStreaming
+	liveBudget := streaming && view.LiveBudget()
+	ctrl := &StreamControl{}
 	type outcome struct {
 		ans      core.Answer
 		err      error
 		dur      time.Duration
-		launched bool
+		claimed  bool // a launch goroutine owns this shard's query
+		launched bool // the shard query ran (possibly to a cancellation)
+		finished bool // the shard query completed and ans is valid
+		allot    int  // budget handed to the shard at launch
 		cut      bool
 		done     bool
+		batches  int // partial frames folded
+		items    int // result items shipped back (streamed or whole)
+		// partial is the cumulative work reported by the last streamed
+		// batch — all that remains of a shard cut mid-query, and exactly
+		// what the merged Stats must not lose.
+		partial    core.QueryStats
+		hasPartial bool
 	}
 	var (
 		mu       sync.Mutex
@@ -208,6 +245,49 @@ func (c *Coordinator) RunOn(ctx context.Context, view QueryView, q core.Query) (
 	// smaller-id tie-break — always runs to completion.
 	cuttable := func(i int) bool {
 		return !c.opts.DisableCut && list.Full() && bounds[i] < list.Bound()
+	}
+	// reap (mu held) cuts every shard that can no longer affect the final
+	// top-k: running shards are cancelled mid-query, shards that never
+	// launched are finished before they start — and their untouched
+	// budget slices go to the redistribution pool instead of being
+	// stranded (pre-streaming, a cut shard's slice was simply lost and a
+	// budgeted query did less work than asked).
+	reap := func() {
+		for sj := 0; sj < parts; sj++ {
+			oj := &outcomes[sj]
+			if oj.done || oj.cut || !cuttable(sj) {
+				continue
+			}
+			oj.cut = true
+			if oj.claimed {
+				cancels[sj]()
+			} else {
+				oj.done = true
+				ctrl.AddBudget(budgets[sj])
+			}
+		}
+	}
+	// fold (locks mu) merges one streamed batch: offer the newly
+	// certified items, remember the shard's cumulative stats, tighten λ,
+	// and re-evaluate every cut — within-shard early termination instead
+	// of waiting for whole shards to finish.
+	fold := func(si int, b StreamBatch) {
+		mu.Lock()
+		defer mu.Unlock()
+		o := &outcomes[si]
+		o.batches++
+		o.items += len(b.Items)
+		o.partial, o.hasPartial = b.Stats, true
+		if aborted || ctx.Err() != nil {
+			return
+		}
+		for _, it := range b.Items {
+			list.Offer(it.Node, it.Value)
+		}
+		if list.Full() {
+			ctrl.Raise(list.Bound())
+		}
+		reap()
 	}
 
 	sem := make(chan struct{}, parallel)
@@ -224,29 +304,55 @@ func (c *Coordinator) RunOn(ctx context.Context, view QueryView, q core.Query) (
 			defer func() { <-sem }()
 
 			mu.Lock()
-			if ctx.Err() != nil || aborted {
+			o := &outcomes[si]
+			if ctx.Err() != nil || aborted || o.done {
 				mu.Unlock()
 				return
 			}
 			if cuttable(si) {
-				outcomes[si] = outcome{cut: true, done: true}
+				o.cut, o.done = true, true
+				ctrl.AddBudget(budgets[si])
 				mu.Unlock()
 				return
 			}
+			// Count the shards that could still launch (self included)
+			// before claiming, for the up-front pool share below.
+			pending := 0
+			for sj := range outcomes {
+				oj := &outcomes[sj]
+				if !oj.claimed && !oj.done {
+					pending++
+				}
+			}
+			o.claimed = true
 			sctx, cancel := context.WithCancel(ctx)
 			cancels[si] = cancel
+			sq := q
+			sq.Budget = budgets[si]
+			if sq.Budget > 0 && !liveBudget {
+				// This transport cannot draw from the pool mid-run, so a
+				// launching shard takes its share of the slices stranded
+				// so far up front. Live-budget transports skip this: the
+				// running query draws on demand, spending the pool only
+				// where work actually remains.
+				sq.Budget += ctrl.TakeShare(pending)
+			}
+			o.allot = sq.Budget
 			mu.Unlock()
 			defer cancel()
 
-			sq := q
-			sq.Budget = budgets[si]
 			start := time.Now()
-			ans, err := view.Query(sctx, si, sq)
+			var ans core.Answer
+			var err error
+			if streaming {
+				ans, err = view.QueryStream(sctx, si, sq, ctrl, func(b StreamBatch) { fold(si, b) })
+			} else {
+				ans, err = view.Query(sctx, si, sq)
+			}
 			dur := time.Since(start)
 
 			mu.Lock()
 			defer mu.Unlock()
-			o := &outcomes[si]
 			o.launched, o.dur, o.done = true, dur, true
 			if err != nil {
 				// A cancellation we caused — a TA cut, or collateral of
@@ -269,21 +375,31 @@ func (c *Coordinator) RunOn(ctx context.Context, view QueryView, q core.Query) (
 				}
 				return
 			}
+			o.finished = true
 			o.ans = ans
-			for _, it := range ans.Results {
-				list.Offer(it.Node, it.Value)
+			// A shard that finished under its allotment (it ran out of
+			// owned work) returns the leftover to the pool for shards
+			// still running. Budget spend is exactly the evaluation +
+			// distribution count, core's one-spend-per-traversal contract.
+			if spent := ans.Stats.Evaluated + ans.Stats.Distributed; o.allot > spent {
+				ctrl.AddBudget(o.allot - spent)
 			}
-			// λ may have risen: cut every launched shard that can no
-			// longer contribute. Pending shards are cut at launch time,
-			// when they observe the final λ themselves.
-			for sj := 0; sj < parts; sj++ {
-				oj := &outcomes[sj]
-				if sj == si || oj.done || oj.cut || cancels[sj] == nil || !cuttable(sj) {
-					continue
+			if streaming {
+				// Every final result already arrived through a batch
+				// (core's streaming contract); offering them again would
+				// duplicate nodes in the merged heap.
+			} else {
+				o.items = len(ans.Results)
+				for _, it := range ans.Results {
+					list.Offer(it.Node, it.Value)
 				}
-				oj.cut = true
-				cancels[sj]()
 			}
+			// λ may have risen: cut every shard that can no longer
+			// contribute, running or not yet launched.
+			if list.Full() {
+				ctrl.Raise(list.Bound())
+			}
+			reap()
 		}(si)
 	}
 	wg.Wait()
@@ -292,21 +408,42 @@ func (c *Coordinator) RunOn(ctx context.Context, view QueryView, q core.Query) (
 		return core.Answer{}, bd, err
 	}
 	merged := core.Answer{Results: list.Items()}
+	bd.BudgetRedistributed = ctrl.Redistributed()
 	for si := range outcomes {
 		o := &outcomes[si]
 		if o.err != nil {
 			return core.Answer{}, bd, fmt.Errorf("cluster: shard %d: %w", si, o.err)
 		}
+		// A shard cut mid-query returned no final answer; its last
+		// streamed batch carries the work it did do, which the merged
+		// stats (and /v1/stats upstream) must account rather than drop.
+		s := o.ans.Stats
+		if !o.finished && o.hasPartial {
+			s = o.partial
+		}
 		report := ShardReport{Shard: si, ElapsedUS: o.dur.Microseconds(),
-			Results: len(o.ans.Results), Cut: o.cut, Launched: o.launched}
+			Results: len(o.ans.Results), Cut: o.cut, Launched: o.launched,
+			Batches: o.batches, Evaluated: s.Evaluated}
 		bd.PerShard = append(bd.PerShard, report)
 		if o.cut {
 			bd.ShardsCut++
 		}
+		bd.PartialBatches += int64(o.batches)
 		if o.launched {
-			bd.Messages += 2 + int64(len(o.ans.Results))
+			bd.Messages += 2 + int64(o.items) + int64(o.batches)
+			if streaming {
+				// The final summary frame re-ships the shard's result
+				// list (so the wire answer is self-contained); count it,
+				// or the streaming-vs-whole-shard message comparison
+				// would flatter streaming by up to k items per shard.
+				bd.Messages += int64(len(o.ans.Results))
+				if !view.LiveBudget() {
+					// λ acks ride the request stream back to remote
+					// workers, one per folded frame.
+					bd.Messages += int64(o.batches)
+				}
+			}
 		}
-		s := o.ans.Stats
 		merged.Stats.Evaluated += s.Evaluated
 		merged.Stats.Pruned += s.Pruned
 		merged.Stats.Distributed += s.Distributed

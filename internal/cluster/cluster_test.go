@@ -360,7 +360,8 @@ func ownedOf(s *Shard) []int {
 	return out
 }
 
-// faultyView wraps a QueryView, failing one shard's query.
+// faultyView wraps a QueryView, failing one shard's query on both the
+// whole-answer and the streaming path.
 type faultyView struct {
 	QueryView
 	fail int
@@ -371,6 +372,14 @@ func (f faultyView) Query(ctx context.Context, shard int, q core.Query) (core.An
 		return core.Answer{}, errFault
 	}
 	return f.QueryView.Query(ctx, shard, q)
+}
+
+func (f faultyView) QueryStream(ctx context.Context, shard int, q core.Query,
+	ctrl *StreamControl, emit func(StreamBatch)) (core.Answer, error) {
+	if shard == f.fail {
+		return core.Answer{}, errFault
+	}
+	return f.QueryView.QueryStream(ctx, shard, q, ctrl, emit)
 }
 
 var errFault = errors.New("injected shard fault")

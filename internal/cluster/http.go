@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -22,6 +23,11 @@ import (
 // processes (cmd/lonad -shard-worker), one shard per worker:
 //
 //	POST /v1/shard/query  — execute a shard-local query (global node ids)
+//	POST /v1/shard/query/stream
+//	                      — execute a shard-local query, streaming partial
+//	                        top-k batches back as NDJSON frames; the
+//	                        request body stays open and carries λ acks
+//	                        downstream (see the protocol notes below)
 //	GET  /v1/shard/bound  — the shard's merge bound for ?aggregate=
 //	POST /v1/shard/scores — apply a relevance update batch to the shard
 //	POST /v1/shard/edits  — apply a structural edit batch; the worker
@@ -33,6 +39,32 @@ import (
 // Queries carry the caller's context: cancelling the request (a TA cut, a
 // client disconnect, a deadline) cancels the worker-side engine query
 // cooperatively, exactly as in-process execution would.
+//
+// # Streaming protocol
+//
+// /v1/shard/query/stream is a full-duplex exchange over one request:
+//
+//	client → worker (request body, NDJSON):
+//	  {"k":...,"aggregate":...}        the query, first
+//	  {"ack":1,"floor":0.71}           one ack per received frame; floor
+//	                                   is the coordinator's current λ
+//	client ← worker (response body, NDJSON):
+//	  {"seq":1,"items":[...],"stats":{...}}   partial batch: results newly
+//	                                          certified, cumulative stats
+//	  {"seq":N,"final":true,"items":[...],"stats":{...},...}
+//	                                          summary frame: final results,
+//	                                          total stats, truncation, plan
+//
+// Frames are sequence-numbered from 1 with no gaps; the transport rejects
+// out-of-order frames. Acks are advisory — the client drops one rather
+// than stall frame consumption, and a worker that never receives an ack
+// simply keeps its last λ (every λ is admissible, so staleness costs work,
+// never correctness). Failure semantics: cancelling the request kills the
+// worker-side query cooperatively (a TA cut or client disconnect); a
+// connection that dies before the final frame surfaces as a transport
+// error to the coordinator, which aborts the merge — partial batches
+// already folded never corrupt it, because every streamed item is an
+// exact (or lower-bound, under budget truncation) value.
 
 // wireQuery is the /v1/shard/query body — core.Query flattened into the
 // same names /v1/topk uses, with candidates in global ids and the budget
@@ -56,6 +88,31 @@ type wireAnswer struct {
 	// Plan round-trips the shard planner's decision for AlgoAuto queries.
 	PlanAlgorithm string `json:"plan_algorithm,omitempty"`
 	PlanReason    string `json:"plan_reason,omitempty"`
+}
+
+// wireStreamFrame is one NDJSON frame of a /v1/shard/query/stream
+// response. Non-final frames carry the results newly certified since the
+// previous frame plus cumulative stats; the final frame carries the
+// shard's whole answer (Items are then the final results), total stats,
+// truncation, and the plan — or Error when the query failed after
+// streaming began.
+type wireStreamFrame struct {
+	Seq           uint64          `json:"seq"`
+	Items         []core.Result   `json:"items,omitempty"`
+	Stats         core.QueryStats `json:"stats"`
+	Final         bool            `json:"final,omitempty"`
+	Truncated     bool            `json:"truncated,omitempty"`
+	PlanAlgorithm string          `json:"plan_algorithm,omitempty"`
+	PlanReason    string          `json:"plan_reason,omitempty"`
+	Error         string          `json:"error,omitempty"`
+}
+
+// wireStreamAck is one client→worker frame on the open request body: the
+// coordinator's current merge threshold λ, piggybacked on the
+// acknowledgement of frame Ack.
+type wireStreamAck struct {
+	Ack   uint64  `json:"ack"`
+	Floor float64 `json:"floor"`
 }
 
 // wireHealth is the /v1/shard/health response; the transport validates it
@@ -245,6 +302,7 @@ func (w *Worker) Shard() *Shard {
 func (w *Worker) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/shard/query", w.handleQuery)
+	mux.HandleFunc("/v1/shard/query/stream", w.handleQueryStream)
 	mux.HandleFunc("/v1/shard/bound", w.handleBound)
 	mux.HandleFunc("/v1/shard/scores", w.handleScores)
 	mux.HandleFunc("/v1/shard/edits", w.handleEdits)
@@ -303,6 +361,105 @@ func (w *Worker) handleQuery(rw http.ResponseWriter, r *http.Request) {
 		wa.PlanReason = ans.Plan.Reason
 	}
 	writeJSON(rw, http.StatusOK, wa)
+}
+
+// handleQueryStream serves the streaming half of the protocol: it runs
+// the shard query with a partial-result sink writing NDJSON frames, while
+// a reader goroutine consumes λ acks from the still-open request body and
+// raises the engine-visible floor. Pre-query validation failures are
+// ordinary HTTP errors; once streaming starts, failures travel in the
+// final frame.
+func (w *Worker) handleQueryStream(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		rw.Header().Set("Allow", http.MethodPost)
+		writeWireError(rw, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	// No MaxBytesReader on the whole body — it is an open ack stream, not
+	// a bounded document — but the query itself is the first NDJSON line
+	// and gets the same 16 MiB cap and strict field checking as the
+	// non-streaming endpoint. The buffered reader carries over to the ack
+	// goroutine so no stream bytes are lost between the two decoders.
+	br := bufio.NewReader(r.Body)
+	queryLine, err := readQueryLine(br)
+	if err != nil {
+		writeWireError(rw, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return
+	}
+	qdec := json.NewDecoder(bytes.NewReader(queryLine))
+	qdec.DisallowUnknownFields()
+	var wq wireQuery
+	if err := qdec.Decode(&wq); err != nil {
+		writeWireError(rw, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return
+	}
+	q, err := decodeQuery(wq)
+	if err != nil {
+		writeWireError(rw, http.StatusBadRequest, err)
+		return
+	}
+	dec := json.NewDecoder(br)
+
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+
+	// Full-duplex: HTTP/1.1 needs an explicit opt-in to keep the request
+	// body readable while the response streams (HTTP/2 always is). If the
+	// opt-in fails the stream still works — λ acks are simply never seen,
+	// which costs pruning opportunities, not correctness.
+	rc := http.NewResponseController(rw)
+	_ = rc.EnableFullDuplex()
+	floor := &StreamControl{}
+	ackDone := make(chan struct{})
+	go func() {
+		defer close(ackDone)
+		for {
+			var ack wireStreamAck
+			if err := dec.Decode(&ack); err != nil {
+				return // ack stream closed (or the client went away)
+			}
+			floor.Raise(ack.Floor)
+		}
+	}()
+
+	rw.Header().Set("Content-Type", "application/x-ndjson")
+	rw.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(rw)
+	enc.SetEscapeHTML(false)
+	var seq uint64
+	emit := func(b StreamBatch) {
+		seq++
+		if err := enc.Encode(wireStreamFrame{Seq: seq, Items: b.Items, Stats: b.Stats}); err != nil {
+			// The coordinator is gone; stop the engine query cooperatively
+			// instead of finishing work nobody will read.
+			cancel()
+			return
+		}
+		_ = rc.Flush()
+	}
+	ans, err := w.Shard().RunStream(ctx, q, floor, nil, emit)
+	seq++
+	final := wireStreamFrame{Seq: seq, Final: true}
+	if err != nil {
+		final.Error = err.Error()
+	} else {
+		final.Items, final.Stats, final.Truncated = ans.Results, ans.Stats, ans.Truncated
+		if final.Items == nil {
+			final.Items = []core.Result{}
+		}
+		if ans.Plan != nil {
+			final.PlanAlgorithm = ans.Plan.Algorithm.WireName()
+			final.PlanReason = ans.Plan.Reason
+		}
+	}
+	_ = enc.Encode(final)
+	_ = rc.Flush()
+	// Hold the exchange open until the client closes its ack stream (it
+	// does so as soon as it decodes the final frame). Returning earlier —
+	// with the request body still open — makes Go's HTTP/1 teardown
+	// withhold the response tail for tens of milliseconds, stalling every
+	// streamed query on a fixed latency cliff.
+	<-ackDone
 }
 
 func (w *Worker) handleBound(rw http.ResponseWriter, r *http.Request) {
@@ -459,6 +616,28 @@ func (w *Worker) handleHealth(rw http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// readQueryLine reads the newline-terminated query document that opens a
+// stream request, rejecting documents past the same 16 MiB bound the
+// non-streaming endpoint enforces.
+func readQueryLine(br *bufio.Reader) ([]byte, error) {
+	var line []byte
+	for {
+		chunk, err := br.ReadSlice('\n')
+		line = append(line, chunk...)
+		if len(line) > 16<<20 {
+			return nil, errors.New("query document exceeds 16 MiB")
+		}
+		switch err {
+		case nil:
+			return line, nil
+		case bufio.ErrBufferFull:
+			continue
+		default:
+			return nil, err
+		}
+	}
+}
+
 // HTTP is the cross-process transport: shard i lives behind workers[i], a
 // lonad in -shard-worker mode. Construct with NewHTTP, which probes every
 // worker's /v1/shard/health and fails fast on a mis-wired topology
@@ -566,6 +745,129 @@ func (t *HTTP) Query(ctx context.Context, shard int, q core.Query) (core.Answer,
 	}
 	return ans, nil
 }
+
+// QueryStream executes q on worker shard via POST /v1/shard/query/stream:
+// partial batches flow to emit as the worker certifies results, and the
+// coordinator's λ (read from ctrl at each frame) flows back on the open
+// request body, one advisory ack per frame. The pool half of ctrl is
+// unused — a remote worker cannot draw budget mid-run, so the coordinator
+// hands pool shares out at launch time instead (see LiveBudget).
+func (t *HTTP) QueryStream(ctx context.Context, shard int, q core.Query,
+	ctrl *StreamControl, emit func(StreamBatch)) (core.Answer, error) {
+
+	blob, err := json.Marshal(encodeQuery(q))
+	if err != nil {
+		return core.Answer{}, err
+	}
+	bodyR, bodyW := io.Pipe()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.workers[shard]+"/v1/shard/query/stream", bodyR)
+	if err != nil {
+		bodyW.Close()
+		return core.Answer{}, err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+
+	// The ack writer owns the request body: the query document first,
+	// then one λ ack per folded frame. Sends into acks are non-blocking
+	// (a slow writer drops acks rather than stalling frame consumption),
+	// and closing the channel — deferred below — shuts the body down.
+	acks := make(chan wireStreamAck, 1)
+	defer close(acks)
+	go func() {
+		defer bodyW.Close()
+		if _, err := bodyW.Write(append(blob, '\n')); err != nil {
+			return
+		}
+		enc := json.NewEncoder(bodyW)
+		for ack := range acks {
+			if enc.Encode(ack) != nil {
+				return
+			}
+		}
+	}()
+	// Watchdog: the transport blocks on the open body pipe in some error
+	// paths (a worker that stops responding without closing the
+	// connection); force the pipe shut when the context dies so the
+	// round-trip can never outlive its deadline.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			bodyW.CloseWithError(ctx.Err())
+		case <-done:
+		}
+	}()
+
+	resp, err := t.client.Do(req)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return core.Answer{}, ctxErr
+		}
+		return core.Answer{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var we wireError
+		errBlob, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		if json.Unmarshal(errBlob, &we) == nil && we.Error != "" {
+			return core.Answer{}, errors.New(we.Error)
+		}
+		return core.Answer{}, fmt.Errorf("worker answered %d: %s", resp.StatusCode, strings.TrimSpace(string(errBlob)))
+	}
+
+	dec := json.NewDecoder(resp.Body)
+	var lastSeq uint64
+	for {
+		// A cancelled caller must see its context error even when the
+		// remaining frames (final included) are already sitting in the
+		// decoder's buffer and would decode without touching the network.
+		if err := ctx.Err(); err != nil {
+			return core.Answer{}, err
+		}
+		var f wireStreamFrame
+		if err := dec.Decode(&f); err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return core.Answer{}, ctxErr
+			}
+			return core.Answer{}, fmt.Errorf("cluster: worker %d stream died before its final frame: %w", shard, err)
+		}
+		if f.Error != "" {
+			return core.Answer{}, errors.New(f.Error)
+		}
+		if f.Seq != lastSeq+1 {
+			// A gap or replay means the stream can no longer be trusted —
+			// a dropped batch would silently lose certified results.
+			return core.Answer{}, fmt.Errorf("cluster: worker %d stream frame out of order: seq %d after %d", shard, f.Seq, lastSeq)
+		}
+		lastSeq = f.Seq
+		if f.Final {
+			ans := core.Answer{Results: f.Items, Stats: f.Stats, Truncated: f.Truncated}
+			if ans.Results == nil {
+				ans.Results = []core.Result{}
+			}
+			if f.PlanAlgorithm != "" {
+				algo, err := core.ParseAlgorithm(f.PlanAlgorithm)
+				if err != nil {
+					return core.Answer{}, fmt.Errorf("cluster: worker %d returned unknown plan algorithm %q", shard, f.PlanAlgorithm)
+				}
+				ans.Plan = &core.Plan{Algorithm: algo, Reason: f.PlanReason}
+			}
+			return ans, nil
+		}
+		emit(StreamBatch{Items: f.Items, Stats: f.Stats})
+		// Piggyback the tightened λ on the frame's ack; drop it if the
+		// writer is still busy with the previous one.
+		select {
+		case acks <- wireStreamAck{Ack: f.Seq, Floor: ctrl.Floor()}:
+		default:
+		}
+	}
+}
+
+// LiveBudget: remote workers cannot draw from the coordinator's budget
+// pool mid-run; redistribution happens as up-front launch shares.
+func (t *HTTP) LiveBudget() bool { return false }
 
 // UpperBound fetches the shard's merge bound via GET /v1/shard/bound.
 func (t *HTTP) UpperBound(ctx context.Context, shard int, agg core.Aggregate) (float64, error) {

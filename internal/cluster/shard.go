@@ -164,28 +164,14 @@ func (s *Shard) localOf(v int) int32 {
 // intersection — q names only nodes owned elsewhere — returns an empty
 // answer without touching the engine.
 func (s *Shard) Run(ctx context.Context, q core.Query) (core.Answer, error) {
-	if len(q.Candidates) > 0 {
-		local := make([]int, 0, len(q.Candidates))
-		for _, v := range q.Candidates {
-			if v < 0 {
-				return core.Answer{}, fmt.Errorf("cluster: candidate node %d out of range", v)
-			}
-			// Ids at or beyond this shard's build-time node count belong
-			// to nodes added since; they are by construction outside the
-			// closure, so they fall out of the intersection like any other
-			// remotely-owned node (the transport validated global range).
-			if li := s.localOf(v); li >= 0 && s.isOwned[li] {
-				local = append(local, int(li))
-			}
-		}
-		if len(local) == 0 {
-			return core.Answer{Results: []core.Result{}}, nil
-		}
-		q.Candidates = local
-	} else if len(s.ownedLocal) != len(s.toGlobal) {
-		q.Candidates = s.ownedLocal
-	} // owning the whole closure (P=1): no restriction needed
-	ans, err := s.engine.Run(ctx, q)
+	lq, ok, err := s.localize(q)
+	if err != nil {
+		return core.Answer{}, err
+	}
+	if !ok {
+		return core.Answer{Results: []core.Result{}}, nil
+	}
+	ans, err := s.engine.Run(ctx, lq)
 	if err != nil {
 		return core.Answer{}, err
 	}
@@ -193,6 +179,80 @@ func (s *Shard) Run(ctx context.Context, q core.Query) (core.Answer, error) {
 		ans.Results[i].Node = s.toGlobal[ans.Results[i].Node]
 	}
 	return ans, nil
+}
+
+// RunStream is Run with the streaming hooks attached: partial batches
+// (translated to global ids) flow to emit as the engine certifies
+// results, the external merge threshold λ flows in through floor, and —
+// when the query carries a budget — extra draws replacement traversals
+// from the coordinator's redistribution pool once the shard's own slice
+// is spent. floor and extra may be nil. emit is invoked synchronously
+// from the executing goroutine, strictly before Run returns.
+func (s *Shard) RunStream(ctx context.Context, q core.Query, floor core.FloorProvider,
+	extra core.BudgetSource, emit func(StreamBatch)) (core.Answer, error) {
+
+	lq, ok, err := s.localize(q)
+	if err != nil {
+		return core.Answer{}, err
+	}
+	if !ok {
+		return core.Answer{Results: []core.Result{}}, nil
+	}
+	lq.Floor = floor
+	// Hand the engine this shard's memoized merge bound as the whole-scan
+	// ceiling (admissible for any candidate subset: the maximum over all
+	// owned nodes bounds any restriction), so a floor-carrying query does
+	// not re-pay the O(n) AggregateUpperBound scan per execution.
+	if b, err := s.UpperBound(q.Aggregate); err == nil {
+		lq.Ceiling = b
+	}
+	if lq.Budget > 0 {
+		lq.ExtraBudget = extra
+	}
+	lq.OnPartial = func(pr core.PartialResult) {
+		items := make([]core.Result, len(pr.Items))
+		for i, it := range pr.Items {
+			items[i] = core.Result{Node: s.toGlobal[it.Node], Value: it.Value}
+		}
+		emit(StreamBatch{Items: items, Stats: pr.Stats})
+	}
+	ans, err := s.engine.Run(ctx, lq)
+	if err != nil {
+		return core.Answer{}, err
+	}
+	for i := range ans.Results {
+		ans.Results[i].Node = s.toGlobal[ans.Results[i].Node]
+	}
+	return ans, nil
+}
+
+// localize rewrites q's candidate restriction into shard-local ids:
+// candidates are intersected with the owned set (ok=false when nothing
+// this shard ranks is named), and an unrestricted query is restricted to
+// the owned nodes unless the shard owns its whole closure.
+func (s *Shard) localize(q core.Query) (local core.Query, ok bool, err error) {
+	if len(q.Candidates) > 0 {
+		locals := make([]int, 0, len(q.Candidates))
+		for _, v := range q.Candidates {
+			if v < 0 {
+				return q, false, fmt.Errorf("cluster: candidate node %d out of range", v)
+			}
+			// Ids at or beyond this shard's build-time node count belong
+			// to nodes added since; they are by construction outside the
+			// closure, so they fall out of the intersection like any other
+			// remotely-owned node (the transport validated global range).
+			if li := s.localOf(v); li >= 0 && s.isOwned[li] {
+				locals = append(locals, int(li))
+			}
+		}
+		if len(locals) == 0 {
+			return q, false, nil
+		}
+		q.Candidates = locals
+	} else if len(s.ownedLocal) != len(s.toGlobal) {
+		q.Candidates = s.ownedLocal
+	} // owning the whole closure (P=1): no restriction needed
+	return q, true, nil
 }
 
 // UpperBound returns a certified upper bound on any aggregate value the

@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"math"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// This file holds the shared state of one streaming fan-out. Instead of
+// waiting for whole shard answers, workers emit partial top-k batches
+// (core.Query.OnPartial); the coordinator folds each batch into its
+// global heap, tightens the running k-th value λ, and pushes it back down
+// — through a shared atomic for in-process shards, piggybacked on stream
+// acks for HTTP workers — so the Threshold Algorithm's stopping rule cuts
+// work *inside* a running shard, not just whole shards [Fagin et al.;
+// Akbarinia et al.].
+
+// StreamBatch is one partial emission of a shard query, in global node
+// ids: the results newly certified since the previous batch, plus the
+// shard's cumulative work stats (so the coordinator can account the work
+// of a shard it later cuts mid-query).
+type StreamBatch struct {
+	Items []core.Result
+	Stats core.QueryStats
+}
+
+// StreamControl is the shared coordination state of one fan-out: the
+// monotone merge threshold λ every shard observes, and the budget
+// redistribution pool holding the slices of shards that were cut before
+// using them. It is safe for concurrent use and implements both
+// core.FloorProvider and core.BudgetSource.
+type StreamControl struct {
+	// floorBits holds math.Float64bits(λ). λ is always non-negative
+	// (aggregates are), and the IEEE-754 bit patterns of non-negative
+	// floats order identically to the floats themselves, so a CAS-max on
+	// the bits is a CAS-max on λ.
+	floorBits atomic.Uint64
+	pool      atomic.Int64 // unclaimed redistributed traversals
+	granted   atomic.Int64 // traversals handed back out so far
+}
+
+// Floor returns the current λ — a certified lower bound on the final
+// global k-th value (core.FloorProvider).
+func (c *StreamControl) Floor() float64 {
+	return math.Float64frombits(c.floorBits.Load())
+}
+
+// Raise lifts λ to v if v is larger; lower or non-finite values are
+// ignored, keeping the floor monotone and admissible.
+func (c *StreamControl) Raise(v float64) {
+	if math.IsNaN(v) || v <= 0 {
+		return
+	}
+	bits := math.Float64bits(v)
+	for {
+		cur := c.floorBits.Load()
+		if cur >= bits || c.floorBits.CompareAndSwap(cur, bits) {
+			return
+		}
+	}
+}
+
+// AddBudget returns n unused traversals (a cut shard's stranded slice)
+// to the pool.
+func (c *StreamControl) AddBudget(n int) {
+	if n > 0 {
+		c.pool.Add(int64(n))
+	}
+}
+
+// TakeBudget consumes up to want traversals from the pool
+// (core.BudgetSource). In-process shard queries draw one traversal at a
+// time on demand, so the pool is spent exactly where work remains.
+func (c *StreamControl) TakeBudget(want int) int {
+	if want <= 0 {
+		return 0
+	}
+	for {
+		cur := c.pool.Load()
+		if cur <= 0 {
+			return 0
+		}
+		take := int64(want)
+		if take > cur {
+			take = cur
+		}
+		if c.pool.CompareAndSwap(cur, cur-take) {
+			c.granted.Add(take)
+			return int(take)
+		}
+	}
+}
+
+// TakeShare consumes a 1/parts share (rounded up) of the current pool —
+// the up-front slice handed to a launching shard on transports that
+// cannot draw from the pool mid-run (HTTP workers).
+func (c *StreamControl) TakeShare(parts int) int {
+	if parts <= 0 {
+		return 0
+	}
+	cur := c.pool.Load()
+	if cur <= 0 {
+		return 0
+	}
+	want := (int(cur) + parts - 1) / parts
+	return c.TakeBudget(want)
+}
+
+// Redistributed reports how many traversals were handed back out of the
+// pool over the fan-out's lifetime.
+func (c *StreamControl) Redistributed() int {
+	return int(c.granted.Load())
+}

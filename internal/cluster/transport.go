@@ -52,8 +52,21 @@ type Transport interface {
 type QueryView interface {
 	// Query executes q (global ids, coordinator-split budget) on a shard.
 	Query(ctx context.Context, shard int, q core.Query) (core.Answer, error)
+	// QueryStream executes q on a shard, streaming partial top-k batches
+	// to emit as the shard certifies results (emit may be called from the
+	// transport's goroutine and must be safe to call until QueryStream
+	// returns). The shard observes ctrl's threshold λ while running — via
+	// a shared atomic in-process, piggybacked on stream acks over HTTP —
+	// so the coordinator's merge can cut work inside the shard mid-query.
+	QueryStream(ctx context.Context, shard int, q core.Query, ctrl *StreamControl,
+		emit func(StreamBatch)) (core.Answer, error)
 	// UpperBound returns the shard's certified merge bound for agg.
 	UpperBound(ctx context.Context, shard int, agg core.Aggregate) (float64, error)
+	// LiveBudget reports whether QueryStream queries can draw from ctrl's
+	// budget redistribution pool mid-run (in-process transports). When
+	// false, the coordinator hands each launching shard its pool share up
+	// front instead.
+	LiveBudget() bool
 }
 
 // ScoreUpdate is one relevance mutation, in global node ids.
@@ -163,6 +176,18 @@ func (l *Local) Snapshot() QueryView { return l.set.Load() }
 func (ss *shardSet) Query(ctx context.Context, shard int, q core.Query) (core.Answer, error) {
 	return ss.shards[shard].Run(ctx, q)
 }
+
+// QueryStream runs q against the shard with the streaming hooks wired
+// straight through: the engine reads λ from ctrl's atomic and draws
+// budget top-ups from its pool with no protocol in between.
+func (ss *shardSet) QueryStream(ctx context.Context, shard int, q core.Query,
+	ctrl *StreamControl, emit func(StreamBatch)) (core.Answer, error) {
+	return ss.shards[shard].RunStream(ctx, q, ctrl, ctrl, emit)
+}
+
+// LiveBudget: in-process shard queries draw from the redistribution pool
+// on demand.
+func (ss *shardSet) LiveBudget() bool { return true }
 
 // UpperBound returns the shard's memoized merge bound.
 func (ss *shardSet) UpperBound(_ context.Context, shard int, agg core.Aggregate) (float64, error) {

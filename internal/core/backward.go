@@ -35,7 +35,7 @@ func (e *Engine) runBackwardNaive(x *exec) (Answer, error) {
 		if mass == 0 {
 			continue
 		}
-		if err := x.step(x.ctx); err != nil {
+		if err := x.tick(&stats); err != nil {
 			return Answer{}, err
 		}
 		if !x.spend() {
@@ -96,18 +96,26 @@ func (e *Engine) runBackwardNaive(x *exec) (Answer, error) {
 		}
 	}
 
+	// Selection: values are final once every node has distributed, so the
+	// kept offers stream as certified results (estimates only when the
+	// budget truncated the distribution — then they are lower bounds).
 	list := topk.New(x.q.K)
+	offer := func(v int, value float64) {
+		if list.Offer(v, value) {
+			x.sink.kept(v, value, &stats)
+		}
+	}
 	if agg == Avg {
 		nix := e.PrepareNeighborhoodIndex(0)
 		for v := 0; v < n; v++ {
 			if x.eligible(v) {
-				list.Offer(v, acc[v]/float64(nix.N(v)))
+				offer(v, acc[v]/float64(nix.N(v)))
 			}
 		}
 	} else {
 		for v := 0; v < n; v++ {
 			if x.eligible(v) {
-				list.Offer(v, acc[v])
+				offer(v, acc[v])
 			}
 		}
 	}
@@ -165,7 +173,7 @@ func (e *Engine) runBackward(x *exec) (Answer, error) {
 	distributed := make([]bool, n)
 	t := graph.NewTraverser(e.g)
 	for _, sc := range nonZero[:cut] {
-		if err := x.step(x.ctx); err != nil {
+		if err := x.tick(&stats); err != nil {
 			return Answer{}, err
 		}
 		if !x.spend() {
@@ -197,11 +205,15 @@ func (e *Engine) runBackward(x *exec) (Answer, error) {
 	}
 	if x.truncated {
 		// The partial sums are incomplete, so Equation 3 no longer bounds
-		// anything; fall back to ranking candidates by what did accumulate.
+		// anything; fall back to ranking candidates by what did accumulate
+		// (each estimate is a lower bound of the true value, so streaming
+		// the kept ones keeps any downstream merge floor admissible).
 		list := topk.New(x.q.K)
 		for v := 0; v < n; v++ {
 			if x.eligible(v) {
-				list.Offer(v, estimate(v))
+				if est := estimate(v); list.Offer(v, est) {
+					x.sink.kept(v, est, &stats)
+				}
 			}
 		}
 		return Answer{Results: list.Items(), Stats: stats}, nil
@@ -230,13 +242,17 @@ func (e *Engine) runBackward(x *exec) (Answer, error) {
 	heapifyCandidates(heap)
 
 	// Stopping is strict (<) so value ties resolve identically to Base.
+	// The stop threshold folds the external floor λ in: the heap is
+	// bound-descending, so once the top bound falls below either the local
+	// topklbound or λ, no remaining candidate can matter — locally or in
+	// the global top-k the floor certifies.
 	list := topk.New(x.q.K)
 	for len(heap) > 0 {
 		top := heap[0]
-		if list.Full() && top.bound < list.Bound() {
+		if threshold := x.threshold(list); threshold > 0 && top.bound < threshold {
 			break
 		}
-		if err := x.step(x.ctx); err != nil {
+		if err := x.tick(&stats); err != nil {
 			return Answer{}, err
 		}
 		if !x.spend() {
@@ -246,7 +262,9 @@ func (e *Engine) runBackward(x *exec) (Answer, error) {
 			// between distribution and verification must not return fewer
 			// results than a smaller one).
 			for _, c := range heap {
-				list.Offer(int(c.node), estimate(int(c.node)))
+				if est := estimate(int(c.node)); list.Offer(int(c.node), est) {
+					x.sink.kept(int(c.node), est, &stats)
+				}
 			}
 			break
 		}
@@ -258,7 +276,9 @@ func (e *Engine) runBackward(x *exec) (Answer, error) {
 		value, _, size := e.evaluate(t, int(top.node), agg)
 		stats.Evaluated++
 		stats.Visited += size
-		list.Offer(int(top.node), value)
+		if list.Offer(int(top.node), value) {
+			x.sink.kept(int(top.node), value, &stats)
+		}
 	}
 	return Answer{Results: list.Items(), Stats: stats}, nil
 }

@@ -21,8 +21,13 @@ func (e *Engine) runBase(x *exec) (Answer, error) {
 		if !x.eligible(u) {
 			continue
 		}
-		if err := x.step(x.ctx); err != nil {
+		if err := x.tick(&stats); err != nil {
 			return Answer{}, err
+		}
+		if x.ceilingCut() {
+			// The external λ passed the certified ceiling over every
+			// candidate: nothing left here can reach the global top-k.
+			break
 		}
 		if !x.spend() {
 			break
@@ -30,7 +35,9 @@ func (e *Engine) runBase(x *exec) (Answer, error) {
 		value, _, size := e.evaluate(t, u, x.q.Aggregate)
 		stats.Evaluated++
 		stats.Visited += size
-		list.Offer(u, value)
+		if list.Offer(u, value) {
+			x.sink.kept(u, value, &stats)
+		}
 	}
 	return Answer{Results: list.Items(), Stats: stats}, nil
 }
@@ -101,7 +108,9 @@ func (e *Engine) runBaseParallel(x *exec) (Answer, error) {
 		if allocs == nil {
 			return meter{budget: -1}
 		}
-		return meter{budget: allocs[w]}
+		// Workers share the query's top-up pool; TakeBudget is consuming,
+		// so concurrent draws can never over-spend it.
+		return meter{budget: allocs[w], extra: x.q.ExtraBudget}
 	}
 
 	type partial struct {
@@ -130,6 +139,12 @@ func (e *Engine) runBaseParallel(x *exec) (Answer, error) {
 			for u := lo; u < hi; u++ {
 				if x.cand != nil && !x.cand[u] {
 					continue
+				}
+				// Each worker polls the shared external floor at its own
+				// poll cadence; the ceiling cut applies to every range.
+				if m.ticks%ctxPollEvery == 0 && x.hasCeiling && x.q.Floor != nil &&
+					x.ceiling < x.q.Floor.Floor() {
+					break
 				}
 				if err := m.step(x.ctx); err != nil {
 					break // the merge re-reads ctx.Err and reports it
@@ -160,6 +175,14 @@ func (e *Engine) runBaseParallel(x *exec) (Answer, error) {
 		stats.Evaluated += p.stats.Evaluated
 		stats.Visited += p.stats.Visited
 		truncated = truncated || p.truncated
+	}
+	// The parallel scan streams once, at merge time: per-worker lists are
+	// not globally certified until merged, and a single end-of-run batch
+	// still upholds the contract that every final result was emitted.
+	if x.sink.active() {
+		for _, it := range merged.Items() {
+			x.sink.kept(it.Node, it.Value, &stats)
+		}
 	}
 	return Answer{Results: merged.Items(), Stats: stats, Truncated: truncated}, nil
 }

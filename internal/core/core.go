@@ -202,6 +202,8 @@ type Engine struct {
 	queues       map[QueueOrder][]int32
 	nonZeroSum   []scoredNode // boundScore under SUM-family, descending
 	nonZeroCount []scoredNode // boundScore under COUNT, descending
+	prefixSum    []float64    // distributionPrefix under SUM-family
+	prefixCount  []float64    // distributionPrefix under COUNT
 	plans        map[planKey]Plan
 }
 

@@ -22,8 +22,20 @@ import (
 // cannot beat the current k-th value.
 
 // distributionPrefix returns prefix sums of the scores sorted descending:
-// prefix[m] = sum of the m largest scores (prefix[0] = 0).
+// prefix[m] = sum of the m largest scores (prefix[0] = 0). Scores are
+// immutable per engine, so the result is memoized per score semantics
+// (SUM-family vs COUNT) — ForwardDist queries and the floor ceiling both
+// sit on the query hot path and must not re-pay the O(n log n) sort.
 func (e *Engine) distributionPrefix(agg Aggregate) []float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cache := &e.prefixSum
+	if agg == Count {
+		cache = &e.prefixCount
+	}
+	if *cache != nil {
+		return *cache
+	}
 	n := e.g.NumNodes()
 	sorted := make([]float64, n)
 	for v := 0; v < n; v++ {
@@ -34,6 +46,7 @@ func (e *Engine) distributionPrefix(agg Aggregate) []float64 {
 	for i, s := range sorted {
 		prefix[i+1] = prefix[i] + s
 	}
+	*cache = prefix
 	return prefix
 }
 
@@ -90,12 +103,16 @@ func (e *Engine) runForwardDist(x *exec) (Answer, error) {
 		if !x.eligible(v) {
 			continue
 		}
-		if err := x.step(x.ctx); err != nil {
+		if err := x.tick(&stats); err != nil {
 			return Answer{}, err
 		}
 		nv := nix.N(v)
 		bound := finishValue(agg, prefix[nv], nv)
-		if list.Full() && bound < list.Bound() {
+		// The skip threshold folds the external floor λ in: the floor can
+		// cut candidates before the local list fills, and mid-stream λ
+		// updates tighten the stop point of the SUM-family scan.
+		threshold := x.threshold(list)
+		if threshold > 0 && bound < threshold {
 			if agg != Avg {
 				// SUM-family: bounds only shrink from here — stop.
 				stats.Pruned += eligibleLeft
@@ -111,7 +128,9 @@ func (e *Engine) runForwardDist(x *exec) (Answer, error) {
 		value, _, size := e.evaluate(t, v, agg)
 		stats.Evaluated++
 		stats.Visited += size
-		list.Offer(v, value)
+		if list.Offer(v, value) {
+			x.sink.kept(v, value, &stats)
+		}
 		eligibleLeft--
 	}
 	return Answer{Results: list.Items(), Stats: stats}, nil

@@ -47,8 +47,13 @@ func (e *Engine) runForward(x *exec) (Answer, error) {
 		if pruned[u] || !x.eligible(u) {
 			continue
 		}
-		if err := x.step(x.ctx); err != nil {
+		if err := x.tick(&stats); err != nil {
 			return Answer{}, err
+		}
+		if x.ceilingCut() {
+			// The external λ passed the ceiling over every candidate:
+			// the rest of the queue cannot reach the global top-k.
+			break
 		}
 		if !x.spend() {
 			break
@@ -56,12 +61,16 @@ func (e *Engine) runForward(x *exec) (Answer, error) {
 		value, boundSum, size := e.evaluate(t, u, agg)
 		stats.Evaluated++
 		stats.Visited += size
-		list.Offer(u, value)
-
-		if !list.Full() {
-			continue // topklbound is still vacuous; nothing can be pruned
+		if list.Offer(u, value) {
+			x.sink.kept(u, value, &stats)
 		}
-		threshold := list.Bound()
+
+		// The pruning threshold folds the external floor λ in; the floor
+		// alone can prune before the local list even fills.
+		threshold := x.threshold(list)
+		if threshold == 0 {
+			continue // both bounds vacuous; nothing can be pruned
+		}
 		arcLo, arcHi := e.g.ArcRange(u)
 		nbrs := e.g.Neighbors(u)
 		for i, p := 0, arcLo; p < arcHi; i, p = i+1, p+1 {

@@ -1,0 +1,137 @@
+package core
+
+// This file is the engine half of streaming distributed execution: the
+// progress sink a query can attach (Query.OnPartial) and the external
+// threshold it can consume (Query.Floor), plus the mid-query budget
+// top-up hook (Query.ExtraBudget). Together they let a coordinator apply
+// the Threshold Algorithm's stopping rule *inside* a running shard query
+// [Fagin et al.]: workers stream partial top-k batches upward, the
+// coordinator folds them into its global heap, and the tightened k-th
+// value λ flows back down so the algorithms skip candidates that can no
+// longer matter — the network-traffic-bounding pattern of Akbarinia et
+// al.'s distributed top-k work.
+
+// PartialResult is one progress emission of a running query.
+//
+// Items are the results newly *certified* since the previous emission:
+// every (node, value) pair a query's result list accepted, emitted at
+// most once per node per execution. For an execution that completes
+// un-truncated the values are exact aggregates; a budget-truncated
+// execution may additionally emit the best-effort estimates its final
+// answer contains (always lower bounds of the true values, so a consumer
+// folding them into a merge threshold stays admissible).
+//
+// Stats are cumulative over the whole execution so far — a consumer that
+// loses the query mid-flight (a cancellation) can account the work done
+// up to the last batch it received.
+type PartialResult struct {
+	Items []Result
+	Stats QueryStats
+}
+
+// FloorProvider supplies an external lower bound λ on the final k-th
+// best value of a larger, multi-execution query — typically the running
+// global k-th value of a distributed merge. Implementations must be
+// monotone (successive calls never return a smaller value) and safe for
+// concurrent use; the algorithms poll it at their context-poll cadence.
+//
+// Admissibility contract: every value the provider returns must be a
+// certified lower bound of the *final* global k-th result value. The
+// algorithms then skip (strictly: bound < λ) exactly the candidates that
+// cannot appear in that final top-k, so local answers stay lossless with
+// respect to the global merge even though they may return fewer than k
+// items.
+type FloorProvider interface {
+	Floor() float64
+}
+
+// BudgetSource tops up an exhausted Query.Budget mid-execution:
+// TakeBudget consumes and returns up to want additional traversals from
+// a shared pool (0 when the pool is dry). Implementations must be safe
+// for concurrent use — parallel scan workers draw from one source. A
+// distributed coordinator uses this to hand the budget slices of shards
+// it cut early to the shards still running, so a budgeted query performs
+// the work it was asked for instead of stranding slices.
+type BudgetSource interface {
+	TakeBudget(want int) int
+}
+
+// defaultPartialEvery is the emission batch cap when Query.PartialEvery
+// is zero: matching ctxPollEvery means a batch flushes at every context
+// poll point, so downstream λ updates are at most one poll stride stale.
+const defaultPartialEvery = ctxPollEvery
+
+// statsOnlyEvery throttles the frames that carry nothing but cumulative
+// stats (skip-heavy phases certify no results): one per this many poll
+// strides. Work accounting for a query cut mid-flight stays at most
+// statsOnlyEvery×ctxPollEvery traversals stale, without a near-empty
+// frame — a network packet, on the HTTP path — per poll stride.
+const statsOnlyEvery = 8
+
+// partialSink buffers certified results between OnPartial emissions.
+// It is used from a single algorithm goroutine (runBaseParallel merges
+// its per-worker lists first and emits from the merging goroutine).
+type partialSink struct {
+	fn      func(PartialResult)
+	buf     []Result
+	cap     int
+	strides int // poll strides since the last emission
+}
+
+func newPartialSink(q *Query) partialSink {
+	s := partialSink{fn: q.OnPartial, cap: q.PartialEvery}
+	if s.cap <= 0 {
+		s.cap = defaultPartialEvery
+	}
+	return s
+}
+
+// active reports whether emissions are wired up at all, so algorithms can
+// skip bookkeeping entirely for plain queries.
+func (p *partialSink) active() bool { return p.fn != nil }
+
+// kept records one certified (node, value) the result list accepted,
+// flushing a full buffer.
+func (p *partialSink) kept(node int, value float64, stats *QueryStats) {
+	if p.fn == nil {
+		return
+	}
+	p.buf = append(p.buf, Result{Node: node, Value: value})
+	if len(p.buf) >= p.cap {
+		p.flush(stats)
+	}
+}
+
+// tick runs at a poll point: buffered results flush immediately, while
+// stats-only frames (nothing certified since the last emission) are
+// throttled to one per statsOnlyEvery strides — frequent enough that a
+// consumer cancelling the query mid-flight can still account its work.
+func (p *partialSink) tick(stats *QueryStats) {
+	if p.fn == nil {
+		return
+	}
+	p.strides++
+	if len(p.buf) > 0 || p.strides >= statsOnlyEvery {
+		p.flush(stats)
+	}
+}
+
+// finish emits any still-buffered items at the end of an execution; no
+// empty final frame is produced (the execution's returned Answer already
+// carries the final stats).
+func (p *partialSink) finish(stats *QueryStats) {
+	if p.fn != nil && len(p.buf) > 0 {
+		p.flush(stats)
+	}
+}
+
+// flush emits the buffered items (possibly none) with cumulative stats.
+func (p *partialSink) flush(stats *QueryStats) {
+	if p.fn == nil {
+		return
+	}
+	items := p.buf
+	p.buf = nil
+	p.strides = 0
+	p.fn(PartialResult{Items: items, Stats: *stats})
+}

@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"fmt"
+
+	"repro/internal/topk"
 )
 
 // Query is the first-class description of a top-k neighborhood aggregation
@@ -38,6 +40,34 @@ type Query struct {
 	// answer found so far with Answer.Truncated set — Fagin-style early
 	// termination for latency-bound serving.
 	Budget int
+	// OnPartial, when set, streams incremental progress: batches of newly
+	// certified results plus cumulative stats (see PartialResult). It is
+	// invoked synchronously from the executing goroutine, every
+	// PartialEvery certified results and at the context-poll points, and
+	// must not call back into the engine. Wire and cache layers ignore it.
+	OnPartial func(PartialResult)
+	// PartialEvery caps how many certified results buffer between
+	// OnPartial emissions (0 = one batch per context-poll stride).
+	PartialEvery int
+	// Floor, when set, supplies an external monotone threshold λ (a
+	// certified lower bound on the final global k-th value — see
+	// FloorProvider). The algorithms skip candidates whose upper bound
+	// falls strictly below it, so a distributed merge can cut work inside
+	// a running shard query. Local results may then hold fewer than K
+	// items; the skipped candidates provably cannot appear in the global
+	// top-K the floor describes.
+	Floor FloorProvider
+	// Ceiling optionally supplies a caller-certified upper bound on every
+	// candidate's aggregate, used with Floor for the whole-scan cut. Zero
+	// means unknown: Run then computes one itself (AggregateUpperBound) —
+	// callers that already hold a memoized bound (cluster shards) pass it
+	// here to keep the O(n) recomputation off every streamed query.
+	Ceiling float64
+	// ExtraBudget, when set alongside a positive Budget, is drawn from
+	// when the budget runs out — the redistribution pool a coordinator
+	// fills with the slices of shards it cut early. Ignored when Budget
+	// is zero (an unlimited query has nothing to top up).
+	ExtraBudget BudgetSource
 }
 
 // Answer bundles everything one query execution produced.
@@ -87,7 +117,22 @@ func (e *Engine) Run(ctx context.Context, q Query) (Answer, error) {
 		return Answer{}, err
 	}
 
-	x := &exec{ctx: ctx, q: &q, cand: cand, meter: newMeter(q.Budget)}
+	x := &exec{ctx: ctx, q: &q, cand: cand, meter: newMeter(q.Budget, q.ExtraBudget), sink: newPartialSink(&q)}
+	if q.Floor != nil {
+		// The whole-scan cut the forward-processing algorithms use: once
+		// the external λ exceeds a certified ceiling over every candidate
+		// this engine could rank, no remaining evaluation can matter. The
+		// ceiling is static per execution (scores are immutable): the
+		// caller's, or computed once up front.
+		ceiling := q.Ceiling
+		if ceiling <= 0 {
+			var err error
+			if ceiling, err = e.AggregateUpperBound(q.Aggregate, q.Candidates); err != nil {
+				return Answer{}, err
+			}
+		}
+		x.ceiling, x.hasCeiling = ceiling, true
+	}
 	var ans Answer
 	switch q.Algorithm {
 	case AlgoBase:
@@ -110,20 +155,80 @@ func (e *Engine) Run(ctx context.Context, q Query) (Answer, error) {
 	}
 	ans.Plan = plan
 	ans.Truncated = ans.Truncated || x.truncated
+	// Ship whatever certified results are still buffered: a streaming
+	// consumer must have seen every item of ans.Results by the time Run
+	// returns.
+	x.sink.finish(&ans.Stats)
 	return ans, nil
 }
 
 // exec carries the per-execution state the algorithm loops share: the
-// query, the candidate mask, and the cancellation/budget meter.
+// query, the candidate mask, the cancellation/budget meter, the partial
+// emission sink, and the external-floor bookkeeping.
 type exec struct {
 	ctx  context.Context
 	q    *Query
 	cand []bool // nil = every node is eligible
 	meter
+	sink partialSink
+
+	// ceiling is a certified upper bound over every candidate's aggregate,
+	// computed once when an external floor is attached; hasCeiling guards
+	// the zero value. floorCache holds the last polled λ.
+	ceiling    float64
+	hasCeiling bool
+	floorCache float64
 }
 
 // eligible reports whether node v may appear in the result.
 func (x *exec) eligible(v int) bool { return x.cand == nil || x.cand[v] }
+
+// floor returns the last polled external threshold λ (0 when none is
+// attached — vacuous, since aggregates are non-negative and every floor
+// comparison is strict).
+func (x *exec) floor() float64 { return x.floorCache }
+
+// pollFloor refreshes the cached λ; called at the context-poll cadence so
+// the atomic-load-through-interface cost stays off the innermost loops.
+func (x *exec) pollFloor() {
+	if x.q.Floor != nil {
+		if f := x.q.Floor.Floor(); f > x.floorCache {
+			x.floorCache = f
+		}
+	}
+}
+
+// threshold returns the pruning threshold the bound-driven algorithms
+// compare candidate upper bounds against (strictly): the larger of the
+// local topklbound and the external floor λ. Zero means both bounds are
+// still vacuous and nothing may be pruned.
+func (x *exec) threshold(list *topk.List) float64 {
+	t := x.floorCache
+	if list.Full() && list.Bound() > t {
+		t = list.Bound()
+	}
+	return t
+}
+
+// ceilingCut reports whether the external λ has risen strictly above the
+// execution-wide ceiling — no candidate this engine could rank can reach
+// the global top-k anymore, so a forward scan may stop outright.
+func (x *exec) ceilingCut() bool {
+	return x.hasCeiling && x.ceiling < x.floorCache
+}
+
+// tick runs the shared per-traversal cadence work: at every poll stride it
+// refreshes the external floor and flushes a partial batch (so downstream
+// λ consumers never lag more than one stride), then polls the context.
+func (x *exec) tick(stats *QueryStats) error {
+	if x.ticks%ctxPollEvery == 0 {
+		x.pollFloor()
+		if x.ticks > 0 {
+			x.sink.tick(stats)
+		}
+	}
+	return x.step(x.ctx)
+}
 
 // planFor returns the planner's decision for agg, memoized on the engine:
 // the choice reads only immutable engine state plus index presence, so
@@ -175,18 +280,21 @@ const ctxPollEvery = 64
 
 // meter enforces a query's cooperative-cancellation and budget contract.
 // Each h-hop traversal calls step once (context poll) and spend once
-// (budget accounting).
+// (budget accounting). When an ExtraBudget source is attached, an
+// exhausted budget draws replacement traversals from it one at a time —
+// demand-exact, so a shared redistribution pool is never over-drawn.
 type meter struct {
 	ticks     int
 	budget    int // remaining traversals; <0 = unlimited
 	truncated bool
+	extra     BudgetSource // optional top-up pool; nil = none
 }
 
-func newMeter(budget int) meter {
+func newMeter(budget int, extra BudgetSource) meter {
 	if budget <= 0 {
-		budget = -1
+		return meter{budget: -1}
 	}
-	return meter{budget: budget}
+	return meter{budget: budget, extra: extra}
 }
 
 // step polls the context every ctxPollEvery calls; the first call always
@@ -202,14 +310,20 @@ func (m *meter) step(ctx context.Context) error {
 }
 
 // spend consumes one traversal of budget, reporting false — and marking
-// the execution truncated — once the budget is exhausted.
+// the execution truncated — once the budget (and any top-up source) is
+// exhausted.
 func (m *meter) spend() bool {
 	if m.budget < 0 {
 		return true
 	}
 	if m.budget == 0 {
-		m.truncated = true
-		return false
+		if m.extra != nil {
+			m.budget = m.extra.TakeBudget(1)
+		}
+		if m.budget == 0 {
+			m.truncated = true
+			return false
+		}
 	}
 	m.budget--
 	return true

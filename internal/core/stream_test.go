@@ -1,0 +1,284 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// streamTestScores builds a deterministic relevance vector with ties.
+func streamTestScores(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	scores := make([]float64, n)
+	for i := range scores {
+		scores[i] = float64(rng.Intn(9)) / 8
+	}
+	return scores
+}
+
+// fixedFloor is a constant FloorProvider.
+type fixedFloor float64
+
+func (f fixedFloor) Floor() float64 { return float64(f) }
+
+// atomicPool is a consuming BudgetSource over a fixed grant.
+type atomicPool struct{ left atomic.Int64 }
+
+func newAtomicPool(n int) *atomicPool {
+	p := &atomicPool{}
+	p.left.Store(int64(n))
+	return p
+}
+
+func (p *atomicPool) TakeBudget(want int) int {
+	for {
+		cur := p.left.Load()
+		if cur <= 0 {
+			return 0
+		}
+		take := int64(want)
+		if take > cur {
+			take = cur
+		}
+		if p.left.CompareAndSwap(cur, cur-take) {
+			return int(take)
+		}
+	}
+}
+
+// streamAlgos are the strategies exercised by the streaming contract
+// tests, paired with the aggregates each supports.
+func streamCases() []Query {
+	var qs []Query
+	for _, algo := range append([]Algorithm{AlgoAuto}, Algorithms...) {
+		for _, agg := range []Aggregate{Sum, Avg, Count, Max} {
+			if agg == Max && (algo == AlgoForward || algo == AlgoBackward || algo == AlgoForwardDist) {
+				continue
+			}
+			qs = append(qs, Query{Algorithm: algo, K: 12, Aggregate: agg})
+		}
+	}
+	return qs
+}
+
+// TestOnPartialStreamsEveryResult is the streaming contract every
+// algorithm must uphold: by the time Run returns, every item of the
+// final answer was emitted through OnPartial, no node was emitted twice,
+// and the cumulative stats never regress between batches.
+func TestOnPartialStreamsEveryResult(t *testing.T) {
+	g := gen.BarabasiAlbert(700, 3, 9)
+	scores := streamTestScores(700, 9)
+	engine, err := NewEngine(g, scores, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.PrepareDifferentialIndex(0)
+
+	for _, q := range streamCases() {
+		label := q.Algorithm.String() + "/" + q.Aggregate.String()
+		want, err := engine.Run(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		emitted := make(map[int]float64)
+		var batches int
+		var lastWork int
+		sq := q
+		sq.OnPartial = func(pr PartialResult) {
+			batches++
+			work := pr.Stats.Evaluated + pr.Stats.Distributed + pr.Stats.Visited
+			if work < lastWork {
+				t.Fatalf("%s: batch %d stats regressed (%d < %d)", label, batches, work, lastWork)
+			}
+			lastWork = work
+			for _, it := range pr.Items {
+				if prev, dup := emitted[it.Node]; dup {
+					t.Fatalf("%s: node %d emitted twice (%v then %v)", label, it.Node, prev, it.Value)
+				}
+				emitted[it.Node] = it.Value
+			}
+		}
+		got, err := engine.Run(context.Background(), sq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Results) != len(want.Results) {
+			t.Fatalf("%s: streaming changed the answer: %d results, want %d", label, len(got.Results), len(want.Results))
+		}
+		for i, r := range want.Results {
+			if got.Results[i] != r {
+				t.Fatalf("%s: streaming changed result %d: %+v, want %+v", label, i, got.Results[i], r)
+			}
+			v, ok := emitted[r.Node]
+			if !ok {
+				t.Fatalf("%s: final result node %d never emitted", label, r.Node)
+			}
+			if math.Float64bits(v) != math.Float64bits(r.Value) {
+				t.Fatalf("%s: node %d emitted as %v, final value %v", label, r.Node, v, r.Value)
+			}
+		}
+		if batches == 0 {
+			t.Fatalf("%s: no batches emitted", label)
+		}
+	}
+}
+
+// TestFloorKeepsGlobalWinners: with the floor pinned at the true final
+// k-th value — the tightest λ an admissible coordinator could ever push —
+// every algorithm still returns the exact top-k, byte-identical, while
+// the bound-driven strategies do strictly less evaluation work.
+func TestFloorKeepsGlobalWinners(t *testing.T) {
+	g := gen.BarabasiAlbert(900, 3, 17)
+	scores := streamTestScores(900, 17)
+	engine, err := NewEngine(g, scores, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.PrepareDifferentialIndex(0)
+
+	for _, q := range streamCases() {
+		label := q.Algorithm.String() + "/" + q.Aggregate.String()
+		want, err := engine.Run(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want.Results) < q.K {
+			t.Fatalf("%s: reference run underfilled", label)
+		}
+		lambda := want.Results[q.K-1].Value
+
+		fq := q
+		fq.Floor = fixedFloor(lambda)
+		got, err := engine.Run(context.Background(), fq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Results) != len(want.Results) {
+			t.Fatalf("%s: floored run returned %d results, want %d", label, len(got.Results), len(want.Results))
+		}
+		for i := range want.Results {
+			if got.Results[i] != want.Results[i] {
+				t.Fatalf("%s: floored result %d = %+v, want %+v", label, i, got.Results[i], want.Results[i])
+			}
+		}
+		// The floor may only ever remove work, never add it.
+		if got.Stats.Evaluated > want.Stats.Evaluated {
+			t.Fatalf("%s: floored run evaluated %d > unfloored %d", label, got.Stats.Evaluated, want.Stats.Evaluated)
+		}
+	}
+
+	// A floor well above the local k-th — the distributed case, where
+	// other shards hold the strong nodes — must actually skip candidates:
+	// with λ at the local maximum, only candidates whose distribution
+	// bound reaches the maximum are evaluated at all, and the argmax
+	// still survives (strict comparison).
+	for _, algo := range []Algorithm{AlgoForwardDist, AlgoBackward} {
+		q := Query{Algorithm: algo, K: 12, Aggregate: Sum}
+		want, err := engine.Run(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q.Floor = fixedFloor(want.Results[0].Value)
+		got, err := engine.Run(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Results) == 0 || got.Results[0] != want.Results[0] {
+			t.Fatalf("%v: max-floor run lost the argmax", algo)
+		}
+		if got.Stats.Evaluated >= want.Stats.Evaluated {
+			t.Fatalf("%v: max floor cut nothing: evaluated %d vs %d", algo, got.Stats.Evaluated, want.Stats.Evaluated)
+		}
+	}
+}
+
+// TestFloorCeilingStopsScan: a floor above the engine-wide aggregate
+// ceiling stops the index-free scans almost immediately — the
+// within-shard analog of the coordinator cutting a whole shard.
+func TestFloorCeilingStopsScan(t *testing.T) {
+	g := gen.BarabasiAlbert(2000, 3, 23)
+	scores := streamTestScores(2000, 23)
+	engine, err := NewEngine(g, scores, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ceiling, err := engine.AggregateUpperBound(Sum, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []Algorithm{AlgoBase, AlgoBaseParallel, AlgoForward} {
+		q := Query{Algorithm: algo, K: 10, Aggregate: Sum, Floor: fixedFloor(ceiling + 1)}
+		ans, err := engine.Run(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The scan stops at the first poll stride per worker; allow a few.
+		if ans.Stats.Evaluated > 16*ctxPollEvery {
+			t.Fatalf("%v: ceiling cut left %d evaluations", algo, ans.Stats.Evaluated)
+		}
+	}
+}
+
+// TestBudgetTopUp: an exhausted budget draws from the ExtraBudget source
+// traversal by traversal — the redistribution mechanics a coordinator
+// uses to keep a budgeted sharded query doing the work it was asked.
+func TestBudgetTopUp(t *testing.T) {
+	g := gen.BarabasiAlbert(500, 3, 31)
+	scores := streamTestScores(500, 31)
+	engine, err := NewEngine(g, scores, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool := newAtomicPool(120)
+	q := Query{Algorithm: AlgoBase, K: 10, Aggregate: Sum, Budget: 80, ExtraBudget: pool}
+	ans, err := engine.Run(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans.Truncated {
+		t.Fatal("80+120 over 500 nodes did not truncate")
+	}
+	if ans.Stats.Evaluated != 200 {
+		t.Fatalf("evaluated %d, want budget+pool = 200", ans.Stats.Evaluated)
+	}
+	if left := pool.left.Load(); left != 0 {
+		t.Fatalf("pool left %d, want 0", left)
+	}
+
+	// A pool big enough to finish the scan: no truncation, exact answer,
+	// and only the traversals actually needed are drawn.
+	pool = newAtomicPool(10000)
+	q.ExtraBudget = pool
+	ans, err = engine.Run(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Truncated {
+		t.Fatal("ample pool still truncated")
+	}
+	if ans.Stats.Evaluated != 500 {
+		t.Fatalf("evaluated %d, want 500", ans.Stats.Evaluated)
+	}
+	if drawn := 10000 - pool.left.Load(); drawn != 500-80 {
+		t.Fatalf("drew %d from pool, want %d", drawn, 500-80)
+	}
+
+	// The parallel scan shares one pool across workers without
+	// over-drawing it.
+	pool = newAtomicPool(120)
+	pq := Query{Algorithm: AlgoBaseParallel, K: 10, Aggregate: Sum, Budget: 80,
+		ExtraBudget: pool, Options: Options{Workers: 4}}
+	pans, err := engine.Run(context.Background(), pq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pans.Stats.Evaluated > 200 {
+		t.Fatalf("parallel scan evaluated %d, over budget+pool 200", pans.Stats.Evaluated)
+	}
+}

@@ -74,17 +74,38 @@ func NewView(g *graph.Graph, scores []float64, h int) (*View, error) {
 		nix:    e.PrepareNeighborhoodIndex(0),
 		t:      graph.NewTraverser(g),
 	}
+	if err := distributePass(context.Background(), g, v.t, scores, h, v.sums, v.counts); err != nil {
+		return nil, err // unreachable with a background context
+	}
+	return v, nil
+}
+
+// distributePass runs the canonical backward distribution — every
+// non-zero node u adds its mass to all of S_h(u), in ascending u — into
+// zeroed sums/counts arrays. NewView, Rebuild, and ApplyEdits' rebuild
+// fallback all share this one loop, so the float summation order that
+// the byte-identical repair guarantee replays can never drift between
+// them. The context is polled every few sources; on cancellation the
+// output arrays are partially filled and must be discarded.
+func distributePass(ctx context.Context, g *graph.Graph, t *graph.Traverser,
+	scores []float64, h int, sums []float64, counts []int32) error {
+	const pollEvery = 64
 	for u := 0; u < g.NumNodes(); u++ {
 		mass := scores[u]
 		if mass == 0 {
 			continue
 		}
-		v.t.VisitWithin(u, h, func(w, _ int) {
-			v.sums[w] += mass
-			v.counts[w]++
+		if u%pollEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		t.VisitWithin(u, h, func(w, _ int) {
+			sums[w] += mass
+			counts[w]++
 		})
 	}
-	return v, nil
+	return nil
 }
 
 // Score returns the current relevance of node u.
@@ -150,7 +171,11 @@ type EditResult struct {
 // only the nodes whose h-hop neighborhood changed (the old∪new h-hop
 // closures of the touched endpoints) have their aggregates and N(v)
 // recomputed, instead of the full distribution pass a rebuild costs.
-// Added nodes start at relevance 0; follow with UpdateScore to score them.
+// When the affected closure covers most of the graph (≥ two thirds of
+// its nodes) the incremental path loses to a from-scratch rebuild, and
+// ApplyEdits automatically falls back to one — same results, same float
+// bits, different cost curve. Added nodes start at relevance 0; follow
+// with UpdateScore to score them.
 //
 // Repaired aggregates are byte-identical to a from-scratch Rebuild: each
 // affected node's sum is re-accumulated over its sorted neighborhood in
@@ -180,6 +205,18 @@ func (v *View) ApplyEdits(ctx context.Context, edits []graph.Edit) (EditResult, 
 		return res, err
 	}
 	affected := graph.AffectedNodes(v.g, newG, delta, v.h)
+
+	// Crossover: per-node incremental repair pays a BFS *plus a sort* per
+	// affected node, while a rebuild pays one distribution pass over the
+	// non-zero nodes plus one index build. Once the affected closure
+	// covers most of the graph (large edit batches; the S3 benchmark puts
+	// the crossover near batch≈16, where the closure approaches the whole
+	// graph), the rebuild is strictly cheaper — and it produces
+	// byte-identical state, since repair is defined to reproduce the
+	// rebuild's ascending-id summation order exactly.
+	if 3*len(affected) >= 2*newG.NumNodes() {
+		return v.rebuildFrom(ctx, newG, delta)
+	}
 
 	n := newG.NumNodes()
 	scores := make([]float64, n)
@@ -254,6 +291,38 @@ func (v *View) ApplyEdits(ctx context.Context, edits []graph.Edit) (EditResult, 
 	}, nil
 }
 
+// rebuildFrom is ApplyEdits' large-batch path: recompute the whole
+// materialized state over the successor graph from scratch — the exact
+// NewView/Rebuild distribution pass, so the resulting float bits match
+// the incremental path's (which replays this pass's summation order
+// node-locally). Like the incremental path, everything lands in fresh
+// arrays swapped in only on success, so cancellation leaves the view at
+// its pre-batch state.
+func (v *View) rebuildFrom(ctx context.Context, newG *graph.Graph, delta *graph.EditDelta) (EditResult, error) {
+	n := newG.NumNodes()
+	scores := make([]float64, n)
+	copy(scores, v.scores) // added nodes start at relevance 0
+	sums := make([]float64, n)
+	counts := make([]int32, n)
+	if err := distributePass(ctx, newG, graph.NewTraverser(newG), scores, v.h, sums, counts); err != nil {
+		return EditResult{}, err
+	}
+	nix := graph.BuildNeighborhoodIndex(newG, v.h, 0)
+	if err := ctx.Err(); err != nil {
+		return EditResult{}, err
+	}
+
+	v.g, v.t = newG, graph.NewTraverser(newG)
+	v.nix = nix
+	v.scores, v.sums, v.counts = scores, sums, counts
+	return EditResult{
+		NodesAdded:   delta.NodesAdded,
+		EdgesAdded:   delta.EdgesAdded,
+		EdgesRemoved: delta.EdgesRemoved,
+		Repaired:     n,
+	}, nil
+}
+
 // Run answers a top-k query from the materialized state — the same
 // context-aware Query shape as Engine.Run, served by one linear heap scan
 // with no traversal. Supported aggregates: Sum, Avg, Count. The Algorithm
@@ -322,14 +391,5 @@ func (v *View) Rebuild() {
 		v.sums[i] = 0
 		v.counts[i] = 0
 	}
-	for u := 0; u < v.g.NumNodes(); u++ {
-		mass := v.scores[u]
-		if mass == 0 {
-			continue
-		}
-		v.t.VisitWithin(u, v.h, func(w, _ int) {
-			v.sums[w] += mass
-			v.counts[w]++
-		})
-	}
+	_ = distributePass(context.Background(), v.g, v.t, v.scores, v.h, v.sums, v.counts)
 }

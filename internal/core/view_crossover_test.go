@@ -1,0 +1,132 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// crossoverBatch builds an edit batch wide enough that its affected
+// closure crosses ApplyEdits' rebuild threshold: random edge flips
+// between random endpoints spread over the whole id range.
+func crossoverBatch(n int, seed int64) []graph.Edit {
+	rng := rand.New(rand.NewSource(seed))
+	var edits []graph.Edit
+	for i := 0; i < 24; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			v = (v + 1) % n
+		}
+		edits = append(edits, graph.Edit{Op: graph.EditAddEdge, U: u, V: v})
+	}
+	return edits
+}
+
+// TestApplyEditsRebuildCrossover: past the repair/rebuild crossover
+// (affected closure ≥ ⅔ of the graph, where ROADMAP's S3 measurements
+// show rebuild wins), ApplyEdits auto-falls back to the full rebuild —
+// reporting Repaired == n — and the resulting materialized state is
+// byte-identical to a view built fresh over the successor graph.
+func TestApplyEditsRebuildCrossover(t *testing.T) {
+	g := gen.BarabasiAlbert(400, 3, 5)
+	n := g.NumNodes()
+	scores := streamTestScores(n, 5)
+	const h = 2
+
+	edits := crossoverBatch(n, 7)
+	newG, delta, err := g.ApplyEdits(edits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	affected := graph.AffectedNodes(g, newG, delta, h)
+	if 3*len(affected) < 2*n {
+		t.Fatalf("test setup: affected %d of %d does not cross the rebuild threshold", len(affected), n)
+	}
+
+	v, err := NewView(g, scores, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := v.ApplyEdits(context.Background(), edits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Repaired != newG.NumNodes() {
+		t.Fatalf("Repaired = %d, want %d (the rebuild path)", res.Repaired, newG.NumNodes())
+	}
+	if res.EdgesAdded != delta.EdgesAdded || res.NodesAdded != delta.NodesAdded {
+		t.Fatalf("result %+v does not match delta %+v", res, delta)
+	}
+
+	// Oracle: a view built from scratch over the successor graph. The
+	// byte-identical guarantee must survive the crossover.
+	oracle, err := NewView(newG, scores, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < newG.NumNodes(); u++ {
+		if math.Float64bits(v.Sum(u)) != math.Float64bits(oracle.Sum(u)) {
+			t.Fatalf("node %d: sum %v, oracle %v", u, v.Sum(u), oracle.Sum(u))
+		}
+		if v.counts[u] != oracle.counts[u] {
+			t.Fatalf("node %d: count %d, oracle %d", u, v.counts[u], oracle.counts[u])
+		}
+		if v.NeighborhoodIndex().N(u) != oracle.NeighborhoodIndex().N(u) {
+			t.Fatalf("node %d: N %d, oracle %d", u, v.NeighborhoodIndex().N(u), oracle.NeighborhoodIndex().N(u))
+		}
+	}
+	for _, agg := range []Aggregate{Sum, Avg, Count} {
+		got, err := v.Run(context.Background(), Query{K: 15, Aggregate: agg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := oracle.Run(context.Background(), Query{K: 15, Aggregate: agg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Results {
+			if got.Results[i] != want.Results[i] {
+				t.Fatalf("%v: result %d = %+v, oracle %+v", agg, i, got.Results[i], want.Results[i])
+			}
+		}
+	}
+}
+
+// TestApplyEditsRebuildCancellation: a context cancelled mid-rebuild
+// leaves the view at its pre-batch state, exactly like the incremental
+// path's atomicity contract.
+func TestApplyEditsRebuildCancellation(t *testing.T) {
+	g := gen.BarabasiAlbert(400, 3, 5)
+	n := g.NumNodes()
+	scores := streamTestScores(n, 5)
+	v, err := NewView(g, scores, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := v.Run(context.Background(), Query{K: 10, Aggregate: Sum})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := v.ApplyEdits(cancelled, crossoverBatch(n, 7)); err == nil {
+		t.Fatal("cancelled rebuild reported success")
+	}
+	if v.Graph() != g {
+		t.Fatal("cancelled rebuild swapped the graph")
+	}
+	after, err := v.Run(context.Background(), Query{K: 10, Aggregate: Sum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range before.Results {
+		if before.Results[i] != after.Results[i] {
+			t.Fatalf("cancelled rebuild perturbed the view: %+v vs %+v", after.Results[i], before.Results[i])
+		}
+	}
+}

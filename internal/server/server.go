@@ -102,6 +102,11 @@ type Options struct {
 	// loads the full graph for the materialized view and update
 	// validation.
 	ShardWorkers []string
+	// DisableStreaming turns off partial-result streaming on the sharded
+	// query path (lonad -stream=false): shards then answer whole, and TA
+	// cuts land only between shards instead of inside them. Streaming is
+	// on by default for both -shards and -shard-peers serving.
+	DisableStreaming bool
 }
 
 // defaultCacheBytes is the result cache capacity when Options.CacheBytes
@@ -137,6 +142,12 @@ type Server struct {
 	cache   *shardedCache // nil when caching is disabled
 	flight  flightGroup
 	metrics *metrics
+}
+
+// clusterOptions maps the server's streaming switch onto the
+// coordinator's.
+func (o Options) clusterOptions() cluster.Options {
+	return cluster.Options{DisableStreaming: o.DisableStreaming}
 }
 
 // clusterState is one shard topology's serving state: the coordinator
@@ -239,7 +250,7 @@ func New(g *graph.Graph, scores []float64, h int, opts Options) (*Server, error)
 		if !opts.SkipIndexes {
 			local.PrepareIndexes(opts.Workers)
 		}
-		s.cl = newClusterState(cluster.NewCoordinator(local, cluster.Options{}), false)
+		s.cl = newClusterState(cluster.NewCoordinator(local, opts.clusterOptions()), false)
 	case len(opts.ShardWorkers) > 0:
 		transport, err := cluster.NewHTTP(context.Background(), opts.ShardWorkers, nil)
 		if err != nil {
@@ -253,7 +264,7 @@ func New(g *graph.Graph, scores []float64, h int, opts Options) (*Server, error)
 			return nil, fmt.Errorf("server: shard workers serve h=%d, this server runs h=%d — answers would mix radii",
 				transport.H(), h)
 		}
-		s.cl = newClusterState(cluster.NewCoordinator(transport, cluster.Options{}), true)
+		s.cl = newClusterState(cluster.NewCoordinator(transport, opts.clusterOptions()), true)
 	}
 	return s, nil
 }
@@ -308,7 +319,7 @@ func (s *Server) Reshard(parts int) error {
 	if !s.opts.SkipIndexes {
 		local.PrepareIndexes(s.opts.Workers)
 	}
-	s.cl = newClusterState(cluster.NewCoordinator(local, cluster.Options{}), false)
+	s.cl = newClusterState(cluster.NewCoordinator(local, s.opts.clusterOptions()), false)
 	s.topo++
 	s.metrics.reshards.Add(1)
 	return nil
@@ -695,6 +706,8 @@ func (s *Server) dispatch(ctx context.Context, snap snapshot, ans *Answer, q cor
 	ans.Shards = snap.cl.shards
 	s.metrics.clusterMessages.Add(bd.Messages)
 	s.metrics.shardsCut.Add(int64(bd.ShardsCut))
+	s.metrics.partialBatches.Add(bd.PartialBatches)
+	s.metrics.budgetRedistributed.Add(int64(bd.BudgetRedistributed))
 	for _, r := range bd.PerShard {
 		if !r.Launched {
 			continue
@@ -960,15 +973,18 @@ func (s *Server) Stats() Stats {
 	if cl != nil {
 		topology := cl.coord.Transport().Topology()
 		cs := &ClusterStats{
-			Shards:        cl.shards,
-			Remote:        cl.remote,
-			TopologyGen:   topo,
-			Reshards:      s.metrics.reshards.Load(),
-			EdgeCut:       topology.EdgeCut,
-			BoundaryNodes: topology.BoundaryNodes,
-			ShardQueries:  s.metrics.shardQueries.Load(),
-			ShardsCut:     s.metrics.shardsCut.Load(),
-			Messages:      s.metrics.clusterMessages.Load(),
+			Shards:              cl.shards,
+			Remote:              cl.remote,
+			Streaming:           !s.opts.DisableStreaming,
+			TopologyGen:         topo,
+			Reshards:            s.metrics.reshards.Load(),
+			EdgeCut:             topology.EdgeCut,
+			BoundaryNodes:       topology.BoundaryNodes,
+			ShardQueries:        s.metrics.shardQueries.Load(),
+			ShardsCut:           s.metrics.shardsCut.Load(),
+			Messages:            s.metrics.clusterMessages.Load(),
+			PartialBatches:      s.metrics.partialBatches.Load(),
+			BudgetRedistributed: s.metrics.budgetRedistributed.Load(),
 		}
 		for i, h := range cl.hists {
 			sl := ShardLatency{Shard: i, Latency: h.summary()}

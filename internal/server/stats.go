@@ -104,6 +104,10 @@ type metrics struct {
 	shardsCut       atomic.Int64 // shards ended early by the TA merge bound
 	clusterMessages atomic.Int64 // cross-shard messages (bounds, queries, result items)
 	reshards        atomic.Int64 // topology rebuilds via Reshard
+	// Streaming counters: partial frames folded into merges, and budget
+	// traversals moved from cut shards to still-running ones.
+	partialBatches      atomic.Int64
+	budgetRedistributed atomic.Int64
 
 	// Engine work counters summed over every executed (non-cached) query.
 	evaluated   atomic.Int64
@@ -214,14 +218,22 @@ type ClusterStats struct {
 	// shard closures.
 	EdgeCut       int   `json:"edge_cut,omitempty"`
 	BoundaryNodes int64 `json:"boundary_nodes"`
+	// Streaming reports whether shard queries stream partial batches (the
+	// default), letting TA cuts land inside running shards.
+	Streaming bool `json:"streaming"`
 	// ShardQueries / ShardsCut / Messages accumulate over every fan-out:
 	// shard queries launched, shards ended early by the TA merge bound,
 	// and cross-shard messages (bound probes, query round-trips, result
-	// items shipped).
-	ShardQueries int64          `json:"shard_queries"`
-	ShardsCut    int64          `json:"shards_cut"`
-	Messages     int64          `json:"messages"`
-	PerShard     []ShardLatency `json:"per_shard"`
+	// items shipped, partial frames, λ acks).
+	ShardQueries int64 `json:"shard_queries"`
+	ShardsCut    int64 `json:"shards_cut"`
+	Messages     int64 `json:"messages"`
+	// PartialBatches counts streamed partial frames folded into merges;
+	// BudgetRedistributed counts traversals moved from cut shards'
+	// stranded budget slices to shards that could still use them.
+	PartialBatches      int64          `json:"partial_batches"`
+	BudgetRedistributed int64          `json:"budget_redistributed"`
+	PerShard            []ShardLatency `json:"per_shard"`
 }
 
 // Stats is the full /v1/stats response.
