@@ -37,6 +37,7 @@ func main() {
 		gamma      = flag.Float64("gamma", 0.2, "LONA-Backward distribution threshold γ")
 		timeout    = flag.Duration("timeout", 0, "abandon the query after this long (0 = no deadline)")
 		budget     = flag.Int("budget", 0, "max h-hop traversals before returning a best-effort answer (0 = unlimited)")
+		traceQ     = flag.Bool("trace", false, "record and print the query's execution timeline")
 	)
 	flag.Parse()
 
@@ -44,7 +45,7 @@ func main() {
 	// the process mid-print.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *graphPath, *scoresPath, *dataset, *scale, *seed, *relKind, *r, *k, *h, *aggName, *algoName, *gamma, *timeout, *budget); err != nil {
+	if err := run(ctx, *graphPath, *scoresPath, *dataset, *scale, *seed, *relKind, *r, *k, *h, *aggName, *algoName, *gamma, *timeout, *budget, *traceQ); err != nil {
 		fmt.Fprintln(os.Stderr, "lona:", err)
 		os.Exit(1)
 	}
@@ -52,7 +53,7 @@ func main() {
 
 func run(ctx context.Context, graphPath, scoresPath, dataset string, scale float64, seed int64,
 	relKind string, r float64, k, h int, aggName, algoName string, gamma float64,
-	timeout time.Duration, budget int) error {
+	timeout time.Duration, budget int, traceQ bool) error {
 
 	g, scores, err := loadOrGenerate(graphPath, scoresPath, dataset, scale, seed, relKind, r)
 	if err != nil {
@@ -84,6 +85,10 @@ func run(ctx context.Context, graphPath, scoresPath, dataset string, scale float
 		defer cancel()
 	}
 
+	var rec *lona.TraceRecorder
+	if traceQ {
+		rec = lona.NewTraceRecorder()
+	}
 	start := time.Now()
 	ans, err := engine.Run(ctx, lona.Query{
 		Algorithm: algo,
@@ -91,6 +96,7 @@ func run(ctx context.Context, graphPath, scoresPath, dataset string, scale float
 		Aggregate: agg,
 		Options:   lona.Options{Gamma: gamma, Order: lona.OrderDegreeDesc},
 		Budget:    budget,
+		Tracer:    rec,
 	})
 	if err != nil {
 		return err
@@ -110,6 +116,10 @@ func run(ctx context.Context, graphPath, scoresPath, dataset string, scale float
 	fmt.Println("rank  node        F(node)")
 	for i, res := range ans.Results {
 		fmt.Printf("%4d  %-10d  %.6f\n", i+1, res.Node, res.Value)
+	}
+	if rec != nil {
+		fmt.Println()
+		rec.Snapshot().Format(os.Stdout)
 	}
 	return nil
 }

@@ -86,17 +86,17 @@ func TestParseAlgorithm(t *testing.T) {
 // dataset — the arg-parsing layer glued to a real query.
 func TestRunGeneratedDataset(t *testing.T) {
 	ctx := context.Background()
-	err := run(ctx, "", "", "intrusion", 0.02, 7, "binary", 0.2, 5, 2, "sum", "auto", 0.2, 0, 0)
+	err := run(ctx, "", "", "intrusion", 0.02, 7, "binary", 0.2, 5, 2, "sum", "auto", 0.2, 0, 0, false)
 	if err != nil {
 		t.Fatalf("run failed: %v", err)
 	}
-	if err := run(ctx, "", "", "nosuch", 1, 7, "binary", 0.2, 5, 2, "sum", "auto", 0.2, 0, 0); err == nil {
+	if err := run(ctx, "", "", "nosuch", 1, 7, "binary", 0.2, 5, 2, "sum", "auto", 0.2, 0, 0, false); err == nil {
 		t.Fatal("unknown dataset accepted")
 	}
-	if err := run(ctx, "", "", "intrusion", 0.02, 7, "binary", 0.2, 5, 2, "median", "auto", 0.2, 0, 0); err == nil {
+	if err := run(ctx, "", "", "intrusion", 0.02, 7, "binary", 0.2, 5, 2, "median", "auto", 0.2, 0, 0, false); err == nil {
 		t.Fatal("unknown aggregate accepted")
 	}
-	if err := run(ctx, "", "", "", 1, 7, "binary", 0.2, 5, 2, "sum", "auto", 0.2, 0, 0); err == nil {
+	if err := run(ctx, "", "", "", 1, 7, "binary", 0.2, 5, 2, "sum", "auto", 0.2, 0, 0, false); err == nil {
 		t.Fatal("missing inputs accepted")
 	}
 }
@@ -106,7 +106,7 @@ func TestRunGeneratedDataset(t *testing.T) {
 func TestRunCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	err := run(ctx, "", "", "intrusion", 0.02, 7, "binary", 0.2, 5, 2, "sum", "base", 0.2, 0, 0)
+	err := run(ctx, "", "", "intrusion", 0.02, 7, "binary", 0.2, 5, 2, "sum", "base", 0.2, 0, 0, false)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}

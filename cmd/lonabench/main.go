@@ -24,8 +24,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"runtime"
+	"runtime/debug"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/bench"
@@ -53,10 +57,55 @@ func main() {
 	}
 }
 
-// writeSummary marshals a machine-readable benchmark summary to path.
+// buildStamp resolves the git revision and Go toolchain version once, so
+// every benchmark artifact can be traced back to the exact code and
+// compiler that produced its numbers. The revision comes from the
+// binary's embedded VCS info when present (go build in a git checkout),
+// falling back to asking git directly (go run / go test builds don't
+// embed it), and finally "unknown".
+var buildStamp = sync.OnceValues(func() (sha, goVersion string) {
+	goVersion = runtime.Version()
+	sha = "unknown"
+	if info, ok := debug.ReadBuildInfo(); ok {
+		var modified bool
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				if s.Value != "" {
+					sha = s.Value
+				}
+			case "vcs.modified":
+				modified = s.Value == "true"
+			}
+		}
+		if sha != "unknown" && modified {
+			sha += "-dirty"
+		}
+	}
+	if sha == "unknown" {
+		if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+			if rev := strings.TrimSpace(string(out)); rev != "" {
+				sha = rev
+			}
+		}
+	}
+	return sha, goVersion
+})
+
+// writeSummary marshals a machine-readable benchmark summary to path,
+// stamped with the producing git revision and Go version alongside the
+// summary's own fields (cpus et al.).
 func writeSummary(path string, summary any, quiet bool) error {
-	blob, err := json.MarshalIndent(summary, "", "  ")
+	blob, err := json.Marshal(summary)
 	if err != nil {
+		return err
+	}
+	var m map[string]any
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return fmt.Errorf("summary for %s is not a JSON object: %w", path, err)
+	}
+	m["git_sha"], m["go_version"] = buildStamp()
+	if blob, err = json.MarshalIndent(m, "", "  "); err != nil {
 		return err
 	}
 	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {

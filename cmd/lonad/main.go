@@ -26,6 +26,12 @@
 //	POST /v1/reshard {"shards":8}
 //	GET  /v1/stats
 //	GET  /v1/health
+//	GET  /metrics    (Prometheus text exposition)
+//
+// Observability: "trace":true on /v1/topk returns the query's stitched
+// execution timeline; -slow-query-ms N logs the full trace of any
+// execution at or over N milliseconds; -pprof ADDR serves
+// net/http/pprof on a side listener, away from the query API.
 //
 // In -shard-worker mode the daemon instead serves the shard protocol
 // (/v1/shard/query, /v1/shard/query/stream, /v1/shard/bound,
@@ -48,6 +54,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers its handlers on DefaultServeMux for the -pprof side listener
 	"os"
 	"os/signal"
 	"strings"
@@ -78,6 +85,9 @@ func main() {
 		shardIndex  = flag.Int("shard-index", 0, "which shard this worker owns (with -shard-worker)")
 		shardPeers  = flag.String("shard-peers", "", "comma-separated shard-worker base URLs, in shard-index order; queries fan out to them")
 		stream      = flag.Bool("stream", true, "stream partial top-k batches from shards so TA cuts land mid-query (sharded serving only)")
+
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060); empty disables")
+		slowQueryMS = flag.Int64("slow-query-ms", 0, "log the full execution trace of queries at or over this many milliseconds; 0 disables")
 	)
 	flag.Parse()
 	cfg := config{
@@ -86,6 +96,7 @@ func main() {
 		h: *h, cacheBytes: *cacheBytes, workers: *workers, drain: *drain,
 		shards: *shards, shardWorker: *shardWorker, shardIndex: *shardIndex,
 		shardPeers: *shardPeers, stream: *stream,
+		pprofAddr: *pprofAddr, slowQuery: time.Duration(*slowQueryMS) * time.Millisecond,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "lonad:", err)
@@ -111,6 +122,8 @@ type config struct {
 	shardIndex            int
 	shardPeers            string
 	stream                bool
+	pprofAddr             string
+	slowQuery             time.Duration
 }
 
 // peerList splits -shard-peers into trimmed, non-empty URLs.
@@ -144,6 +157,18 @@ func run(cfg config) error {
 	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if cfg.pprofAddr != "" {
+		// A side listener so profiling never shares a port (or a mux) with
+		// the query API. DefaultServeMux carries the pprof handlers via
+		// the blank import above.
+		go func() {
+			log.Printf("pprof: serving on http://%s/debug/pprof/", cfg.pprofAddr)
+			if err := http.ListenAndServe(cfg.pprofAddr, nil); err != nil {
+				log.Printf("pprof: %v", err)
+			}
+		}()
+	}
+
 	start := time.Now()
 	var handler http.Handler
 	switch {
@@ -161,7 +186,10 @@ func run(cfg config) error {
 		if cacheBytes <= 0 {
 			cacheBytes = -1 // ServerOptions: negative disables, zero means default
 		}
-		opts := lona.ServerOptions{CacheBytes: cacheBytes, Workers: cfg.workers, DisableStreaming: !cfg.stream}
+		opts := lona.ServerOptions{
+			CacheBytes: cacheBytes, Workers: cfg.workers,
+			DisableStreaming: !cfg.stream, SlowQuery: cfg.slowQuery,
+		}
 		if len(peers) > 0 {
 			opts.ShardWorkers = peers
 		} else if cfg.shards > 1 {
@@ -189,7 +217,7 @@ func run(cfg config) error {
 	if cfg.shardWorker {
 		log.Printf("serving shard protocol on %s — POST /v1/shard/query, GET /v1/shard/health", ln.Addr())
 	} else {
-		log.Printf("serving on %s — POST /v1/topk, POST /v1/scores, POST /v1/edges, POST /v1/reshard, GET /v1/stats, GET /v1/health", ln.Addr())
+		log.Printf("serving on %s — POST /v1/topk, POST /v1/scores, POST /v1/edges, POST /v1/reshard, GET /v1/stats, GET /v1/health, GET /metrics", ln.Addr())
 	}
 	return serveUntilDone(sigCtx, handler, ln, cfg.drain)
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	lona "repro"
+	"repro/internal/promtext"
 )
 
 // startDaemon wires a Server behind serveUntilDone on a loopback port and
@@ -58,6 +59,65 @@ func TestGracefulShutdownIdle(t *testing.T) {
 	}
 	if _, err := http.Get(base + "/v1/health"); err == nil {
 		t.Fatal("port still answering after shutdown")
+	}
+}
+
+// TestMetricsEndpointSmoke: the daemon's /metrics endpoint serves valid
+// Prometheus exposition text that reflects served traffic. This is the
+// promtool-free CI smoke: malformed exposition fails the build.
+func TestMetricsEndpointSmoke(t *testing.T) {
+	g := lona.IntrusionNetwork(0.02, 7)
+	scores := lona.BinaryScores(g.NumNodes(), 0.2, 8)
+	srv, err := lona.NewServer(g, scores, 2, lona.ServerOptions{SkipIndexes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, shutdown, done := startDaemon(t, srv, 5*time.Second)
+	defer func() {
+		shutdown()
+		<-done
+	}()
+
+	// Serve a little traffic so histograms and counters are non-trivial.
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(base+"/v1/topk", "application/json",
+			strings.NewReader(`{"k":5,"aggregate":"sum","algorithm":"base"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("topk status %d", resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	if err := promtext.Validate(body); err != nil {
+		t.Fatalf("malformed exposition: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		"lona_cache_misses_total",
+		"lona_query_duration_seconds_bucket{algorithm=",
+		"lona_uptime_seconds",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("exposition missing %q", want)
+		}
 	}
 }
 

@@ -43,6 +43,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/partition"
 	"repro/internal/topk"
+	"repro/internal/trace"
 )
 
 // Options tunes a Coordinator. The zero value is a sensible default.
@@ -107,6 +108,10 @@ type ShardReport struct {
 	// Evaluated is the shard's exact-evaluation count — from its final
 	// answer, or from its last streamed batch when it was cut mid-query.
 	Evaluated int `json:"evaluated,omitempty"`
+	// Items counts the result items this shard shipped back (streamed
+	// batch items, or the whole answer's results when not streaming) —
+	// the per-shard message-size observation /metrics histograms.
+	Items int `json:"items,omitempty"`
 }
 
 // Breakdown reports what one distributed execution did — the
@@ -126,8 +131,12 @@ type Breakdown struct {
 	PartialBatches int64 `json:"partial_batches,omitempty"`
 	// BudgetRedistributed counts traversals moved from cut shards'
 	// stranded budget slices to shards that could still use them.
-	BudgetRedistributed int           `json:"budget_redistributed,omitempty"`
-	PerShard            []ShardReport `json:"per_shard"`
+	BudgetRedistributed int `json:"budget_redistributed,omitempty"`
+	// LambdaRaises counts how many folded batches (or whole answers)
+	// actually tightened the merge threshold λ — the within-shard TA
+	// machinery visibly working, vs batches that changed nothing.
+	LambdaRaises int           `json:"lambda_raises,omitempty"`
+	PerShard     []ShardReport `json:"per_shard"`
 }
 
 // Run executes a query across every shard and merges the answer — the
@@ -168,6 +177,14 @@ func (c *Coordinator) RunOn(ctx context.Context, view QueryView, q core.Query) (
 		return core.Answer{}, bd, errors.New("cluster: transport has no shards")
 	}
 
+	// rec scopes the query's trace (nil when untraced — every recording
+	// site below is nil-safe, so the plain path pays only dead branches).
+	rec := q.Tracer
+	var probeStart time.Time
+	if rec != nil {
+		probeStart = time.Now()
+	}
+
 	// Phase 1 — merge bounds, fetched concurrently. A failed probe makes
 	// the shard uncuttable (+Inf) rather than failing the query: the
 	// shard query itself will surface any real transport fault.
@@ -186,6 +203,12 @@ func (c *Coordinator) RunOn(ctx context.Context, view QueryView, q core.Query) (
 	}
 	probeWG.Wait()
 	bd.Messages += int64(parts)
+	if rec != nil {
+		rec.Span(trace.KindProbe, probeStart, parts, 0, "bound probes")
+		for i, b := range bounds {
+			rec.ForShard(i).Emit(trace.KindProbe, 0, b, "")
+		}
+	}
 
 	// Launch order: descending bound, ascending shard index among ties —
 	// the shards most able to raise λ go first.
@@ -246,6 +269,26 @@ func (c *Coordinator) RunOn(ctx context.Context, view QueryView, q core.Query) (
 	cuttable := func(i int) bool {
 		return !c.opts.DisableCut && list.Full() && bounds[i] < list.Bound()
 	}
+	// raise (mu held) tightens λ to the merged list's bound, counting and
+	// tracing the pushes that actually moved it.
+	raise := func() {
+		if list.Full() && ctrl.Raise(list.Bound()) {
+			bd.LambdaRaises++
+			rec.Emit(trace.KindLambda, 0, list.Bound(), "")
+		}
+	}
+	// cutShard (mu held) records one shard's TA cut; refunded > 0 means a
+	// never-launched shard's budget slice just went to the pool.
+	cutShard := func(sj int, note string, refunded int) {
+		if rec == nil {
+			return
+		}
+		srec := rec.ForShard(sj)
+		srec.Emit(trace.KindCut, 0, list.Bound(), note)
+		if refunded > 0 {
+			srec.Emit(trace.KindRefund, refunded, 0, "stranded slice to pool")
+		}
+	}
 	// reap (mu held) cuts every shard that can no longer affect the final
 	// top-k: running shards are cancelled mid-query, shards that never
 	// launched are finished before they start — and their untouched
@@ -261,9 +304,11 @@ func (c *Coordinator) RunOn(ctx context.Context, view QueryView, q core.Query) (
 			oj.cut = true
 			if oj.claimed {
 				cancels[sj]()
+				cutShard(sj, "mid-query", 0)
 			} else {
 				oj.done = true
 				ctrl.AddBudget(budgets[sj])
+				cutShard(sj, "pre-launch", budgets[sj])
 			}
 		}
 	}
@@ -284,23 +329,29 @@ func (c *Coordinator) RunOn(ctx context.Context, view QueryView, q core.Query) (
 		for _, it := range b.Items {
 			list.Offer(it.Node, it.Value)
 		}
-		if list.Full() {
-			ctrl.Raise(list.Bound())
-		}
+		raise()
+		rec.ForShard(si).Emit(trace.KindBatch, len(b.Items), ctrl.Floor(), "")
 		reap()
 	}
 
 	sem := make(chan struct{}, parallel)
 	var wg sync.WaitGroup
 	for _, si := range order {
+		// The slot is acquired here, not inside the goroutine: goroutines
+		// racing for it would launch in scheduler order, and the
+		// descending-bound launch order Options.Parallel promises (the
+		// shards most able to raise λ run first, trailing shards get cut
+		// before they start) would hold only by luck.
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+		}
+		if ctx.Err() != nil {
+			break
+		}
 		wg.Add(1)
 		go func(si int) {
 			defer wg.Done()
-			select {
-			case sem <- struct{}{}:
-			case <-ctx.Done():
-				return
-			}
 			defer func() { <-sem }()
 
 			mu.Lock()
@@ -312,6 +363,7 @@ func (c *Coordinator) RunOn(ctx context.Context, view QueryView, q core.Query) (
 			if cuttable(si) {
 				o.cut, o.done = true, true
 				ctrl.AddBudget(budgets[si])
+				cutShard(si, "pre-launch", budgets[si])
 				mu.Unlock()
 				return
 			}
@@ -328,6 +380,10 @@ func (c *Coordinator) RunOn(ctx context.Context, view QueryView, q core.Query) (
 			sctx, cancel := context.WithCancel(ctx)
 			cancels[si] = cancel
 			sq := q
+			// Retag the trace scope: the shard engine's events (floor
+			// observations, emissions, cuts) land under this shard's index.
+			// Local shares the recorder; HTTP ships only its id.
+			sq.Tracer = rec.ForShard(si)
 			sq.Budget = budgets[si]
 			if sq.Budget > 0 && !liveBudget {
 				// This transport cannot draw from the pool mid-run, so a
@@ -335,7 +391,10 @@ func (c *Coordinator) RunOn(ctx context.Context, view QueryView, q core.Query) (
 				// so far up front. Live-budget transports skip this: the
 				// running query draws on demand, spending the pool only
 				// where work actually remains.
-				sq.Budget += ctrl.TakeShare(pending)
+				if extra := ctrl.TakeShare(pending); extra > 0 {
+					sq.Budget += extra
+					sq.Tracer.Emit(trace.KindGrant, extra, 0, "pool share at launch")
+				}
 			}
 			o.allot = sq.Budget
 			mu.Unlock()
@@ -350,6 +409,13 @@ func (c *Coordinator) RunOn(ctx context.Context, view QueryView, q core.Query) (
 				ans, err = view.Query(sctx, si, sq)
 			}
 			dur := time.Since(start)
+			if rec != nil {
+				mode := "whole"
+				if streaming {
+					mode = "streaming"
+				}
+				rec.ForShard(si).Span(trace.KindLaunch, start, sq.Budget, bounds[si], mode)
+			}
 
 			mu.Lock()
 			defer mu.Unlock()
@@ -383,6 +449,7 @@ func (c *Coordinator) RunOn(ctx context.Context, view QueryView, q core.Query) (
 			// distribution count, core's one-spend-per-traversal contract.
 			if spent := ans.Stats.Evaluated + ans.Stats.Distributed; o.allot > spent {
 				ctrl.AddBudget(o.allot - spent)
+				rec.ForShard(si).Emit(trace.KindRefund, o.allot-spent, 0, "unused allotment to pool")
 			}
 			if streaming {
 				// Every final result already arrived through a batch
@@ -396,9 +463,7 @@ func (c *Coordinator) RunOn(ctx context.Context, view QueryView, q core.Query) (
 			}
 			// λ may have risen: cut every shard that can no longer
 			// contribute, running or not yet launched.
-			if list.Full() {
-				ctrl.Raise(list.Bound())
-			}
+			raise()
 			reap()
 		}(si)
 	}
@@ -423,8 +488,18 @@ func (c *Coordinator) RunOn(ctx context.Context, view QueryView, q core.Query) (
 		}
 		report := ShardReport{Shard: si, ElapsedUS: o.dur.Microseconds(),
 			Results: len(o.ans.Results), Cut: o.cut, Launched: o.launched,
-			Batches: o.batches, Evaluated: s.Evaluated}
+			Batches: o.batches, Evaluated: s.Evaluated, Items: o.items}
 		bd.PerShard = append(bd.PerShard, report)
+		if rec != nil {
+			note := ""
+			switch {
+			case o.cut && o.launched:
+				note = "cut mid-query"
+			case o.cut:
+				note = "cut pre-launch"
+			}
+			rec.ForShard(si).Emit(trace.KindShardStats, s.Evaluated, 0, note)
+		}
 		if o.cut {
 			bd.ShardsCut++
 		}

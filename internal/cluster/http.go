@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/partition"
+	"repro/internal/trace"
 )
 
 // The HTTP transport speaks a small JSON protocol to lonad worker
@@ -78,7 +79,16 @@ type wireQuery struct {
 	Workers    int     `json:"workers,omitempty"`
 	Candidates []int   `json:"candidates,omitempty"`
 	Budget     int     `json:"budget,omitempty"`
+	// Trace asks the worker to record its side of the query's trace and
+	// ship the events back (in the response for /v1/shard/query, on the
+	// final summary frame for the stream). The trace id itself travels in
+	// the X-Lona-Trace request header.
+	Trace bool `json:"trace,omitempty"`
 }
+
+// traceHeader carries the coordinator's trace id to workers, so the
+// worker-side events join the same logical trace.
+const traceHeader = "X-Lona-Trace"
 
 // wireAnswer is the /v1/shard/query response.
 type wireAnswer struct {
@@ -88,6 +98,9 @@ type wireAnswer struct {
 	// Plan round-trips the shard planner's decision for AlgoAuto queries.
 	PlanAlgorithm string `json:"plan_algorithm,omitempty"`
 	PlanReason    string `json:"plan_reason,omitempty"`
+	// Trace is the worker-side event list of a traced query; offsets are
+	// microseconds since the worker began, rebased by the coordinator.
+	Trace []trace.Event `json:"trace,omitempty"`
 }
 
 // wireStreamFrame is one NDJSON frame of a /v1/shard/query/stream
@@ -105,6 +118,10 @@ type wireStreamFrame struct {
 	PlanAlgorithm string          `json:"plan_algorithm,omitempty"`
 	PlanReason    string          `json:"plan_reason,omitempty"`
 	Error         string          `json:"error,omitempty"`
+	// Trace rides only the final summary frame of a traced query: the
+	// worker's whole event list, shipped once so per-batch frames stay
+	// small.
+	Trace []trace.Event `json:"trace,omitempty"`
 }
 
 // wireStreamAck is one client→worker frame on the open request body: the
@@ -207,6 +224,7 @@ func encodeQuery(q core.Query) wireQuery {
 		Workers:    q.Options.Workers,
 		Candidates: q.Candidates,
 		Budget:     q.Budget,
+		Trace:      q.Tracer != nil,
 	}
 }
 
@@ -340,6 +358,14 @@ func (w *Worker) handleQuery(rw http.ResponseWriter, r *http.Request) {
 		writeWireError(rw, http.StatusBadRequest, err)
 		return
 	}
+	// A traced query gets a worker-local recorder under the coordinator's
+	// id; its events ship back in the response for the coordinator to
+	// stitch onto its own timeline.
+	var rec *trace.Recorder
+	if wq.Trace {
+		rec = trace.NewWithID(r.Header.Get(traceHeader))
+		q.Tracer = rec.ForShard(w.Shard().Index())
+	}
 	ans, err := w.Shard().Run(r.Context(), q)
 	switch {
 	case err == nil:
@@ -359,6 +385,9 @@ func (w *Worker) handleQuery(rw http.ResponseWriter, r *http.Request) {
 	if ans.Plan != nil {
 		wa.PlanAlgorithm = ans.Plan.Algorithm.WireName()
 		wa.PlanReason = ans.Plan.Reason
+	}
+	if rec != nil {
+		wa.Trace = rec.Snapshot().Events
 	}
 	writeJSON(rw, http.StatusOK, wa)
 }
@@ -397,6 +426,13 @@ func (w *Worker) handleQueryStream(rw http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeWireError(rw, http.StatusBadRequest, err)
 		return
+	}
+	// Worker-local recorder for traced queries; the whole event list ships
+	// on the final summary frame (per-batch frames stay small).
+	var rec *trace.Recorder
+	if wq.Trace {
+		rec = trace.NewWithID(r.Header.Get(traceHeader))
+		q.Tracer = rec.ForShard(w.Shard().Index())
 	}
 	dec := json.NewDecoder(br)
 
@@ -451,6 +487,9 @@ func (w *Worker) handleQueryStream(rw http.ResponseWriter, r *http.Request) {
 			final.PlanAlgorithm = ans.Plan.Algorithm.WireName()
 			final.PlanReason = ans.Plan.Reason
 		}
+	}
+	if rec != nil {
+		final.Trace = rec.Snapshot().Events
 	}
 	_ = enc.Encode(final)
 	_ = rc.Flush()
@@ -729,12 +768,30 @@ func (t *HTTP) H() int { return t.h }
 // sharding gets the strict guarantee; see Local.)
 func (t *HTTP) Snapshot() QueryView { return t }
 
-// Query executes q on worker shard via POST /v1/shard/query.
+// Query executes q on worker shard via POST /v1/shard/query. A traced
+// query ships only its trace id (header) out and imports the worker's
+// event list from the response, rebased onto the local timeline at the
+// moment the request started.
 func (t *HTTP) Query(ctx context.Context, shard int, q core.Query) (core.Answer, error) {
-	var wa wireAnswer
-	if err := t.post(ctx, t.workers[shard]+"/v1/shard/query", encodeQuery(q), &wa); err != nil {
+	blob, err := json.Marshal(encodeQuery(q))
+	if err != nil {
 		return core.Answer{}, err
 	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.workers[shard]+"/v1/shard/query", bytes.NewReader(blob))
+	if err != nil {
+		return core.Answer{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var baseUS int64
+	if q.Tracer != nil {
+		req.Header.Set(traceHeader, q.Tracer.ID())
+		baseUS = q.Tracer.SinceUS()
+	}
+	var wa wireAnswer
+	if err := t.do(req, &wa); err != nil {
+		return core.Answer{}, err
+	}
+	q.Tracer.Import(wa.Trace, baseUS)
 	ans := core.Answer{Results: wa.Results, Stats: wa.Stats, Truncated: wa.Truncated}
 	if wa.PlanAlgorithm != "" {
 		algo, err := core.ParseAlgorithm(wa.PlanAlgorithm)
@@ -766,6 +823,11 @@ func (t *HTTP) QueryStream(ctx context.Context, shard int, q core.Query,
 		return core.Answer{}, err
 	}
 	req.Header.Set("Content-Type", "application/x-ndjson")
+	var baseUS int64
+	if q.Tracer != nil {
+		req.Header.Set(traceHeader, q.Tracer.ID())
+		baseUS = q.Tracer.SinceUS()
+	}
 
 	// The ack writer owns the request body: the query document first,
 	// then one λ ack per folded frame. Sends into acks are non-blocking
@@ -842,6 +904,7 @@ func (t *HTTP) QueryStream(ctx context.Context, shard int, q core.Query,
 		}
 		lastSeq = f.Seq
 		if f.Final {
+			q.Tracer.Import(f.Trace, baseUS)
 			ans := core.Answer{Results: f.Items, Stats: f.Stats, Truncated: f.Truncated}
 			if ans.Results == nil {
 				ans.Results = []core.Result{}

@@ -46,17 +46,22 @@ func (c *StreamControl) Floor() float64 {
 	return math.Float64frombits(c.floorBits.Load())
 }
 
-// Raise lifts λ to v if v is larger; lower or non-finite values are
-// ignored, keeping the floor monotone and admissible.
-func (c *StreamControl) Raise(v float64) {
+// Raise lifts λ to v if v is larger, reporting whether it actually
+// tightened the floor; lower or non-finite values are ignored, keeping
+// the floor monotone and admissible. The report lets the coordinator
+// count (and trace) real λ-tightenings without re-reading the atomic.
+func (c *StreamControl) Raise(v float64) bool {
 	if math.IsNaN(v) || v <= 0 {
-		return
+		return false
 	}
 	bits := math.Float64bits(v)
 	for {
 		cur := c.floorBits.Load()
-		if cur >= bits || c.floorBits.CompareAndSwap(cur, bits) {
-			return
+		if cur >= bits {
+			return false
+		}
+		if c.floorBits.CompareAndSwap(cur, bits) {
+			return true
 		}
 	}
 }

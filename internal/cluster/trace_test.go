@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/trace"
+)
+
+// collectTraced runs one traced query and indexes its stitched timeline.
+func collectTraced(t *testing.T, coord *Coordinator, q core.Query) (*trace.Trace, Breakdown) {
+	t.Helper()
+	rec := trace.New()
+	q.Tracer = rec
+	if _, bd, err := coord.RunOn(context.Background(), coord.Snapshot(), q); err != nil {
+		t.Fatal(err)
+	} else {
+		return rec.Snapshot(), bd
+	}
+	return nil, Breakdown{}
+}
+
+// TestHTTPTraceAssembly drives a four-shard query through the full HTTP
+// stack with score mass concentrated in the low node ids, so the shards
+// owning only zero-score nodes are cut by the TA bound — and checks the
+// stitched timeline against the coordinator's own accounting:
+//
+//   - exactly one launch span per launched shard, none for cut-before-
+//     launch shards;
+//   - λ-tightening events in nondecreasing (here: strictly increasing)
+//     λ order;
+//   - one shard-stats event per shard whose evaluated count matches the
+//     ShardReport — including shards cut mid-query, whose count comes
+//     from their last streamed batch (the PR 5 accounting fix);
+//   - per-shard batch events whose item counts sum to the report's
+//     Items.
+func TestHTTPTraceAssembly(t *testing.T) {
+	// Four disconnected communities (pout=0) with every non-zero score in
+	// community 0 (ids ≡ 0 mod 4) — the same skew
+	// TestCoordinatorCutsAreLossless uses: the other communities' shards
+	// probe a zero upper bound and are cut once k results arrive.
+	const n, parts = 800, 4
+	g := gen.PlantedPartition(n, 4, 0.05, 0, 9)
+	scores := make([]float64, n)
+	for v := 0; v < n; v += 4 {
+		scores[v] = 0.25 + 0.75*float64(v%13)/13
+	}
+	shards, _, err := BuildShards(g, scores, 2, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	urls := make([]string, parts)
+	for i, sh := range shards {
+		// Tight distribution bounds so the TA cut triggers.
+		sh.Engine().PrepareNeighborhoodIndex(0)
+		srv := httptest.NewServer(NewWorker(sh).Handler())
+		t.Cleanup(srv.Close)
+		urls[i] = srv.URL
+	}
+	transport, err := NewHTTP(context.Background(), urls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer transport.Close()
+	// Parallel 1 launches shards one at a time in descending-bound order,
+	// so λ from the first (high-scoring) shard deterministically cuts the
+	// zero-score shards before they launch.
+	coord := NewCoordinator(transport, Options{Parallel: 1})
+
+	tr, bd := collectTraced(t, coord, core.Query{K: 5, Aggregate: core.Sum, Algorithm: core.AlgoBase})
+	if tr.ID == "" {
+		t.Fatal("stitched trace has no id")
+	}
+	if len(bd.PerShard) != parts {
+		t.Fatalf("breakdown covers %d shards, want %d", len(bd.PerShard), parts)
+	}
+	if bd.ShardsCut == 0 {
+		t.Fatal("score skew produced no cut shards; the cut assertions below would be vacuous")
+	}
+
+	launches := map[int]int{}
+	stats := map[int][]trace.Event{}
+	batchItems := map[int]int{}
+	var lambdas []float64
+	var execs int
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case trace.KindLaunch:
+			launches[e.Shard]++
+			if e.DurUS <= 0 {
+				t.Fatalf("launch event for shard %d is not a span: %+v", e.Shard, e)
+			}
+		case trace.KindShardStats:
+			stats[e.Shard] = append(stats[e.Shard], e)
+		case trace.KindBatch:
+			batchItems[e.Shard] += e.N
+		case trace.KindLambda:
+			lambdas = append(lambdas, e.Value)
+		case trace.KindExec:
+			execs++
+		}
+	}
+
+	for _, r := range bd.PerShard {
+		if r.Launched && launches[r.Shard] != 1 {
+			t.Errorf("shard %d launched but has %d launch spans, want exactly 1", r.Shard, launches[r.Shard])
+		}
+		if !r.Launched && launches[r.Shard] != 0 {
+			t.Errorf("shard %d was cut pre-launch but has %d launch spans", r.Shard, launches[r.Shard])
+		}
+		if len(stats[r.Shard]) != 1 {
+			t.Fatalf("shard %d has %d shard-stats events, want exactly 1", r.Shard, len(stats[r.Shard]))
+		}
+		if got := stats[r.Shard][0].N; got != r.Evaluated {
+			t.Errorf("shard %d shard-stats evaluated %d != report %d", r.Shard, got, r.Evaluated)
+		}
+		if r.Batches > 0 && batchItems[r.Shard] != r.Items {
+			t.Errorf("shard %d batch events sum to %d items, report says %d", r.Shard, batchItems[r.Shard], r.Items)
+		}
+	}
+
+	for i := 1; i < len(lambdas); i++ {
+		if lambdas[i] < lambdas[i-1] {
+			t.Fatalf("λ went backwards at event %d: %v", i, lambdas)
+		}
+	}
+	if len(lambdas) != bd.LambdaRaises {
+		t.Errorf("%d λ events vs %d counted raises", len(lambdas), bd.LambdaRaises)
+	}
+
+	// Cross-process stitching: the launched shards ran inside worker
+	// processes, so their engine exec spans only reach this timeline via
+	// the Import rebase on the final stream frame.
+	if execs == 0 {
+		t.Error("no worker exec spans in the stitched trace — worker events were not imported")
+	}
+}
+
+// TestLocalTraceSharing checks the in-process transport's propagation
+// path: shard queries share the coordinator's recorder directly, so
+// engine-level events land in the same timeline with no import step.
+func TestLocalTraceSharing(t *testing.T) {
+	const n = 300
+	g := gen.BarabasiAlbert(n, 3, 33)
+	scores := testScores(n, 51)
+	local, err := NewLocal(g, scores, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := NewCoordinator(local, Options{})
+
+	tr, bd := collectTraced(t, coord, core.Query{K: 10, Aggregate: core.Sum, Algorithm: core.AlgoBase})
+	kinds := map[string]int{}
+	for _, e := range tr.Events {
+		kinds[e.Kind]++
+	}
+	if kinds[trace.KindExec] == 0 {
+		t.Error("no engine exec spans — local shards did not share the recorder")
+	}
+	if kinds[trace.KindProbe] == 0 || kinds[trace.KindShardStats] != bd.Shards {
+		t.Errorf("coordinator events missing: %v (want probes and %d shard-stats)", kinds, bd.Shards)
+	}
+	// An untraced run of the same query must stay untraced end to end.
+	if _, _, err := coord.RunOn(context.Background(), coord.Snapshot(),
+		core.Query{K: 10, Aggregate: core.Sum, Algorithm: core.AlgoBase}); err != nil {
+		t.Fatal(err)
+	}
+}

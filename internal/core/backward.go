@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/topk"
+	"repro/internal/trace"
 )
 
 // runBackwardNaive answers a top-k query with Algorithm 2: every node with
@@ -191,6 +192,7 @@ func (e *Engine) runBackward(x *exec) (Answer, error) {
 		stats.Distributed++
 		stats.Visited += size
 	}
+	x.tr.Emit(trace.KindPhase, stats.Distributed, fRest, "backward distribution done")
 	// estimate is the best-effort value a budget-truncated run reports for
 	// an unverified node: its accumulated partial sum plus its own exactly
 	// known mass when it has not distributed. Both truncation paths below
@@ -250,6 +252,7 @@ func (e *Engine) runBackward(x *exec) (Answer, error) {
 	for len(heap) > 0 {
 		top := heap[0]
 		if threshold := x.threshold(list); threshold > 0 && top.bound < threshold {
+			x.tr.Emit(trace.KindCut, len(heap), threshold, "verification stop")
 			break
 		}
 		if err := x.tick(&stats); err != nil {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/topk"
+	"repro/internal/trace"
 )
 
 // runBase answers a top-k query by naive forward processing: every
@@ -27,6 +28,7 @@ func (e *Engine) runBase(x *exec) (Answer, error) {
 		if x.ceilingCut() {
 			// The external λ passed the certified ceiling over every
 			// candidate: nothing left here can reach the global top-k.
+			x.tr.Emit(trace.KindCut, 0, x.floorCache, "λ above scan ceiling")
 			break
 		}
 		if !x.spend() {
@@ -73,6 +75,7 @@ func (e *Engine) runBaseParallel(x *exec) (Answer, error) {
 	if workers <= 1 {
 		return e.runBase(x)
 	}
+	x.tr.Emit(trace.KindPhase, workers, 0, "parallel scan fan-out")
 	chunk := (n + workers - 1) / workers
 
 	// Per-worker budget slices, waterfall-allocated against each range's

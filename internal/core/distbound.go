@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/topk"
+	"repro/internal/trace"
 )
 
 // This file implements the paper's second stated property as a standalone
@@ -116,6 +117,7 @@ func (e *Engine) runForwardDist(x *exec) (Answer, error) {
 			if agg != Avg {
 				// SUM-family: bounds only shrink from here — stop.
 				stats.Pruned += eligibleLeft
+				x.tr.Emit(trace.KindCut, eligibleLeft, threshold, "distribution bound stop")
 				break
 			}
 			stats.Pruned++

@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/graph"
 	"repro/internal/topk"
+	"repro/internal/trace"
 )
 
 // runForward answers a top-k query with LONA-Forward (Algorithm 1): naive
@@ -53,6 +54,7 @@ func (e *Engine) runForward(x *exec) (Answer, error) {
 		if x.ceilingCut() {
 			// The external λ passed the ceiling over every candidate:
 			// the rest of the queue cannot reach the global top-k.
+			x.tr.Emit(trace.KindCut, 0, x.floorCache, "λ above scan ceiling")
 			break
 		}
 		if !x.spend() {

@@ -1,5 +1,7 @@
 package core
 
+import "repro/internal/trace"
+
 // This file is the engine half of streaming distributed execution: the
 // progress sink a query can attach (Query.OnPartial) and the external
 // threshold it can consume (Query.Floor), plus the mid-query budget
@@ -75,11 +77,12 @@ type partialSink struct {
 	fn      func(PartialResult)
 	buf     []Result
 	cap     int
-	strides int // poll strides since the last emission
+	strides int             // poll strides since the last emission
+	tr      *trace.Recorder // nil unless the query is traced
 }
 
 func newPartialSink(q *Query) partialSink {
-	s := partialSink{fn: q.OnPartial, cap: q.PartialEvery}
+	s := partialSink{fn: q.OnPartial, cap: q.PartialEvery, tr: q.Tracer}
 	if s.cap <= 0 {
 		s.cap = defaultPartialEvery
 	}
@@ -133,5 +136,8 @@ func (p *partialSink) flush(stats *QueryStats) {
 	items := p.buf
 	p.buf = nil
 	p.strides = 0
+	if len(items) > 0 {
+		p.tr.Emit(trace.KindEmit, len(items), 0, "")
+	}
 	p.fn(PartialResult{Items: items, Stats: *stats})
 }

@@ -3,8 +3,10 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/topk"
+	"repro/internal/trace"
 )
 
 // Query is the first-class description of a top-k neighborhood aggregation
@@ -68,6 +70,12 @@ type Query struct {
 	// fills with the slices of shards it cut early. Ignored when Budget
 	// is zero (an unlimited query has nothing to top up).
 	ExtraBudget BudgetSource
+	// Tracer, when set, records the execution's timeline (plan choice,
+	// floor observations, partial emissions, cuts) into a per-query trace.
+	// Every recorder method is nil-safe, so the zero value pays nothing.
+	// The HTTP wire layer carries only the trace id; caches never store
+	// traced answers.
+	Tracer *trace.Recorder
 }
 
 // Answer bundles everything one query execution produced.
@@ -117,7 +125,14 @@ func (e *Engine) Run(ctx context.Context, q Query) (Answer, error) {
 		return Answer{}, err
 	}
 
-	x := &exec{ctx: ctx, q: &q, cand: cand, meter: newMeter(q.Budget, q.ExtraBudget), sink: newPartialSink(&q)}
+	x := &exec{ctx: ctx, q: &q, cand: cand, meter: newMeter(q.Budget, q.ExtraBudget), sink: newPartialSink(&q), tr: q.Tracer}
+	var execStart time.Time
+	if x.tr != nil {
+		if plan != nil {
+			x.tr.Emit(trace.KindPlan, 0, 0, plan.Algorithm.String()+": "+plan.Reason)
+		}
+		execStart = time.Now()
+	}
 	if q.Floor != nil {
 		// The whole-scan cut the forward-processing algorithms use: once
 		// the external λ exceeds a certified ceiling over every candidate
@@ -159,6 +174,12 @@ func (e *Engine) Run(ctx context.Context, q Query) (Answer, error) {
 	// consumer must have seen every item of ans.Results by the time Run
 	// returns.
 	x.sink.finish(&ans.Stats)
+	if x.tr != nil {
+		if ans.Truncated {
+			x.tr.Emit(trace.KindTruncated, 0, 0, "budget exhausted")
+		}
+		x.tr.Span(trace.KindExec, execStart, ans.Stats.Evaluated, 0, q.Algorithm.String())
+	}
 	return ans, nil
 }
 
@@ -178,6 +199,10 @@ type exec struct {
 	ceiling    float64
 	hasCeiling bool
 	floorCache float64
+
+	// tr records the execution timeline; nil (the common case) makes every
+	// recording site a single branch.
+	tr *trace.Recorder
 }
 
 // eligible reports whether node v may appear in the result.
@@ -194,6 +219,7 @@ func (x *exec) pollFloor() {
 	if x.q.Floor != nil {
 		if f := x.q.Floor.Floor(); f > x.floorCache {
 			x.floorCache = f
+			x.tr.Emit(trace.KindFloor, 0, f, "")
 		}
 	}
 }

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/topk"
+	"repro/internal/trace"
 )
 
 // View is a materialized neighborhood-aggregate view with incremental
@@ -160,10 +161,11 @@ func (v *View) UpdateScore(node int, newScore float64) (touched int, err error) 
 
 // EditResult reports what one structural edit batch did to a View.
 type EditResult struct {
-	NodesAdded   int // nodes appended (relevance 0 until updated)
-	EdgesAdded   int // logical edges inserted (duplicates were no-ops)
-	EdgesRemoved int // logical edges deleted (absent deletes were no-ops)
-	Repaired     int // nodes whose aggregates and N(v) were recomputed
+	NodesAdded   int  // nodes appended (relevance 0 until updated)
+	EdgesAdded   int  // logical edges inserted (duplicates were no-ops)
+	EdgesRemoved int  // logical edges deleted (absent deletes were no-ops)
+	Repaired     int  // nodes whose aggregates and N(v) were recomputed
+	Rebuilt      bool // the batch took the from-scratch rebuild path
 }
 
 // ApplyEdits applies a structural edit batch — edge insertions/removals
@@ -215,8 +217,11 @@ func (v *View) ApplyEdits(ctx context.Context, edits []graph.Edit) (EditResult, 
 	// byte-identical state, since repair is defined to reproduce the
 	// rebuild's ascending-id summation order exactly.
 	if 3*len(affected) >= 2*newG.NumNodes() {
+		trace.FromContext(ctx).Emit(trace.KindRebuild, len(affected),
+			0, "affected closure covers most of the graph")
 		return v.rebuildFrom(ctx, newG, delta)
 	}
+	trace.FromContext(ctx).Emit(trace.KindRepair, len(affected), 0, "")
 
 	n := newG.NumNodes()
 	scores := make([]float64, n)
@@ -320,6 +325,7 @@ func (v *View) rebuildFrom(ctx context.Context, newG *graph.Graph, delta *graph.
 		EdgesAdded:   delta.EdgesAdded,
 		EdgesRemoved: delta.EdgesRemoved,
 		Repaired:     n,
+		Rebuilt:      true,
 	}, nil
 }
 

@@ -1,0 +1,342 @@
+// Package promtext validates Prometheus text exposition format (version
+// 0.0.4) without depending on promtool or any Prometheus module. It
+// checks what a scraper's parser would reject — malformed comment and
+// sample lines, duplicate series, histogram families whose cumulative
+// buckets decrease or whose +Inf bucket disagrees with _count — so tests
+// and CI can fail on a broken /metrics body with a line-numbered reason.
+package promtext
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// metricName matches the exposition grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// sample is one parsed series line.
+type sample struct {
+	name   string
+	labels string // canonical "k=v,k=v" with le extracted for buckets
+	le     string // the le label's raw value, when present
+	value  float64
+	line   int
+}
+
+// Validate checks body for exposition-format violations and returns the
+// first one found (nil when the body is well-formed). Beyond line syntax
+// it enforces family-level invariants:
+//
+//   - every sample's base family appearing after a # TYPE must match it
+//     (histogram samples use the _bucket/_sum/_count suffixes);
+//   - within one histogram series, bucket counts are nondecreasing in
+//     ascending le order, a +Inf bucket exists, and it equals _count;
+//   - no series (name + full label set) appears twice.
+func Validate(body []byte) error {
+	types := map[string]string{}
+	seen := map[string]int{}
+	var samples []sample
+
+	lines := strings.Split(string(body), "\n")
+	for ln, raw := range lines {
+		n := ln + 1
+		line := strings.TrimRight(raw, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := checkComment(line, n, types); err != nil {
+				return err
+			}
+			continue
+		}
+		smp, err := parseSample(line, n)
+		if err != nil {
+			return err
+		}
+		key := smp.name + "{" + smp.labels
+		if smp.le != "" {
+			key += ",le=" + smp.le
+		}
+		key += "}"
+		if prev, dup := seen[key]; dup {
+			return fmt.Errorf("line %d: duplicate series %s (first at line %d)", n, key, prev)
+		}
+		seen[key] = n
+		samples = append(samples, smp)
+	}
+
+	return checkFamilies(samples, types)
+}
+
+// checkComment validates a # line and records # TYPE declarations.
+func checkComment(line string, n int, types map[string]string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 || fields[0] != "#" {
+		// "#" followed by anything that is not HELP/TYPE is a plain
+		// comment, which the format allows.
+		return nil
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !validName(fields[2]) {
+			return fmt.Errorf("line %d: malformed HELP line %q", n, line)
+		}
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("line %d: malformed TYPE line %q", n, line)
+		}
+		name, typ := fields[2], fields[3]
+		if !validName(name) {
+			return fmt.Errorf("line %d: TYPE for invalid metric name %q", n, name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("line %d: unknown metric type %q", n, typ)
+		}
+		if _, dup := types[name]; dup {
+			return fmt.Errorf("line %d: duplicate TYPE for %q", n, name)
+		}
+		types[name] = typ
+	}
+	return nil
+}
+
+// parseSample parses one series line: name[{labels}] value [timestamp].
+func parseSample(line string, n int) (sample, error) {
+	s := sample{line: n}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("line %d: sample %q has no value", n, line)
+	} else {
+		s.name = rest[:i]
+		rest = rest[i:]
+	}
+	if !validName(s.name) {
+		return s, fmt.Errorf("line %d: invalid metric name %q", n, s.name)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("line %d: unterminated label set in %q", n, line)
+		}
+		var err error
+		if s.labels, s.le, err = parseLabels(rest[1:end], n); err != nil {
+			return s, err
+		}
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	valueField := rest
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		valueField = rest[:i]
+		ts := strings.TrimSpace(rest[i+1:])
+		if _, err := strconv.ParseInt(ts, 10, 64); err != nil {
+			return s, fmt.Errorf("line %d: invalid timestamp %q", n, ts)
+		}
+	}
+	v, err := parseFloat(valueField)
+	if err != nil {
+		return s, fmt.Errorf("line %d: invalid sample value %q", n, valueField)
+	}
+	s.value = v
+	return s, nil
+}
+
+// parseLabels validates 'k="v",k="v"' and returns the canonical label
+// string with any le label split out.
+func parseLabels(body string, n int) (labels, le string, err error) {
+	var kept []string
+	for body != "" {
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 {
+			return "", "", fmt.Errorf("line %d: label without '=' in %q", n, body)
+		}
+		name := body[:eq]
+		if !validName(name) {
+			return "", "", fmt.Errorf("line %d: invalid label name %q", n, name)
+		}
+		body = body[eq+1:]
+		if !strings.HasPrefix(body, `"`) {
+			return "", "", fmt.Errorf("line %d: label %s value is not quoted", n, name)
+		}
+		body = body[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(body); i++ {
+			c := body[i]
+			if c == '\\' {
+				if i+1 >= len(body) {
+					return "", "", fmt.Errorf("line %d: dangling escape in label %s", n, name)
+				}
+				i++
+				switch body[i] {
+				case '\\', '"':
+					val.WriteByte(body[i])
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return "", "", fmt.Errorf("line %d: bad escape \\%c in label %s", n, body[i], name)
+				}
+				continue
+			}
+			if c == '"' {
+				body = body[i+1:]
+				closed = true
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return "", "", fmt.Errorf("line %d: unterminated label value for %s", n, name)
+		}
+		if name == "le" {
+			le = val.String()
+			if _, err := parseFloat(le); err != nil {
+				return "", "", fmt.Errorf("line %d: le=%q is not a float", n, le)
+			}
+		} else {
+			kept = append(kept, name+"="+val.String())
+		}
+		body = strings.TrimPrefix(body, ",")
+	}
+	return strings.Join(kept, ","), le, nil
+}
+
+// parseFloat accepts the exposition format's float grammar, including
+// +Inf, -Inf, and NaN.
+func parseFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// histSeries accumulates one histogram series' samples for the
+// family-level checks.
+type histSeries struct {
+	buckets  []sample // in appearance order, le ascending required
+	infCount float64
+	hasInf   bool
+	count    float64
+	hasCount bool
+	hasSum   bool
+	line     int
+}
+
+// checkFamilies enforces TYPE consistency and histogram invariants.
+func checkFamilies(samples []sample, types map[string]string) error {
+	hists := map[string]*histSeries{}
+	for _, smp := range samples {
+		base, suffix := splitSuffix(smp.name)
+		typ, declared := types[smp.name]
+		if !declared {
+			if t, ok := types[base]; ok && t == "histogram" && suffix != "" {
+				// _bucket/_sum/_count of a declared histogram family.
+				key := base + "|" + smp.labels
+				hs := hists[key]
+				if hs == nil {
+					hs = &histSeries{line: smp.line}
+					hists[key] = hs
+				}
+				switch suffix {
+				case "_bucket":
+					if smp.le == "" {
+						return fmt.Errorf("line %d: %s_bucket without le label", smp.line, base)
+					}
+					if smp.le == "+Inf" {
+						hs.hasInf, hs.infCount = true, smp.value
+					} else {
+						hs.buckets = append(hs.buckets, smp)
+					}
+				case "_sum":
+					hs.hasSum = true
+				case "_count":
+					hs.hasCount, hs.count = true, smp.value
+				}
+				continue
+			}
+			// Untyped samples are legal; nothing more to check.
+			continue
+		}
+		if typ == "histogram" {
+			return fmt.Errorf("line %d: histogram %s exposed as a bare sample (want _bucket/_sum/_count)",
+				smp.line, smp.name)
+		}
+		if (typ == "counter" || typ == "gauge") && suffix == "_bucket" {
+			return fmt.Errorf("line %d: %s declared %s but exposes buckets", smp.line, smp.name, typ)
+		}
+		if typ == "counter" && smp.value < 0 {
+			return fmt.Errorf("line %d: counter %s has negative value %g", smp.line, smp.name, smp.value)
+		}
+	}
+
+	for key, hs := range hists {
+		family := key[:strings.IndexByte(key, '|')]
+		labels := key[strings.IndexByte(key, '|')+1:]
+		where := family
+		if labels != "" {
+			where += "{" + labels + "}"
+		}
+		prevLE := math.Inf(-1)
+		prevCount := 0.0
+		for _, b := range hs.buckets {
+			le, _ := parseFloat(b.le)
+			if le <= prevLE {
+				return fmt.Errorf("line %d: %s buckets out of le order (%g after %g)", b.line, where, le, prevLE)
+			}
+			if b.value < prevCount {
+				return fmt.Errorf("line %d: %s cumulative bucket count decreased (%g after %g)",
+					b.line, where, b.value, prevCount)
+			}
+			prevLE, prevCount = le, b.value
+		}
+		if !hs.hasInf {
+			return fmt.Errorf("line %d: %s has no +Inf bucket", hs.line, where)
+		}
+		if hs.infCount < prevCount {
+			return fmt.Errorf("line %d: %s +Inf bucket %g below last bucket %g", hs.line, where, hs.infCount, prevCount)
+		}
+		if !hs.hasCount || !hs.hasSum {
+			return fmt.Errorf("line %d: %s missing _sum or _count", hs.line, where)
+		}
+		if hs.count != hs.infCount {
+			return fmt.Errorf("line %d: %s _count %g != +Inf bucket %g", hs.line, where, hs.count, hs.infCount)
+		}
+	}
+	return nil
+}
+
+// splitSuffix splits a histogram sample suffix off a metric name.
+func splitSuffix(name string) (base, suffix string) {
+	for _, s := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, s) {
+			return strings.TrimSuffix(name, s), s
+		}
+	}
+	return name, ""
+}

@@ -1,0 +1,101 @@
+package promtext
+
+import (
+	"strings"
+	"testing"
+)
+
+const good = `# HELP demo_requests_total Requests served.
+# TYPE demo_requests_total counter
+demo_requests_total 42
+# HELP demo_temp Current temperature.
+# TYPE demo_temp gauge
+demo_temp -3.5
+# HELP demo_latency_seconds Request latency.
+# TYPE demo_latency_seconds histogram
+demo_latency_seconds_bucket{algorithm="base",le="0.001"} 1
+demo_latency_seconds_bucket{algorithm="base",le="0.01"} 3
+demo_latency_seconds_bucket{algorithm="base",le="+Inf"} 4
+demo_latency_seconds_sum{algorithm="base"} 0.05
+demo_latency_seconds_count{algorithm="base"} 4
+demo_latency_seconds_bucket{le="1"} 0
+demo_latency_seconds_bucket{le="+Inf"} 0
+demo_latency_seconds_sum 0
+demo_latency_seconds_count 0
+`
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	if err := Validate([]byte(good)); err != nil {
+		t.Fatalf("well-formed body rejected: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want string // substring of the error
+	}{
+		{"bad metric name", "9bad_name 1\n", "invalid metric name"},
+		{"no value", "lonely_metric\n", "no value"},
+		{"bad value", "m 12.x\n", "invalid sample value"},
+		{"unterminated labels", "m{a=\"b\" 1\n", "unterminated"},
+		{"unquoted label", "m{a=b} 1\n", "not quoted"},
+		{"bad escape", "m{a=\"\\q\"} 1\n", "bad escape"},
+		{"duplicate series", "m{a=\"b\"} 1\nm{a=\"b\"} 2\n", "duplicate series"},
+		{"unknown type", "# TYPE m widget\n", "unknown metric type"},
+		{"duplicate type", "# TYPE m counter\n# TYPE m counter\n", "duplicate TYPE"},
+		{"negative counter", "# TYPE m counter\nm -1\n", "negative value"},
+		{
+			"histogram bare sample",
+			"# TYPE h histogram\nh 3\n",
+			"bare sample",
+		},
+		{
+			"bucket order",
+			"# TYPE h histogram\n" +
+				"h_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n",
+			"out of le order",
+		},
+		{
+			"bucket counts decrease",
+			"# TYPE h histogram\n" +
+				"h_bucket{le=\"1\"} 3\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+			"count decreased",
+		},
+		{
+			"no +Inf bucket",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+			"no +Inf bucket",
+		},
+		{
+			"count disagrees with +Inf",
+			"# TYPE h histogram\n" +
+				"h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 2\n",
+			"_count 2 != +Inf bucket 1",
+		},
+		{
+			"missing sum",
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 0\nh_count 0\n",
+			"missing _sum or _count",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Validate([]byte(tc.body))
+			if err == nil {
+				t.Fatalf("malformed body accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateAcceptsSpecialFloats(t *testing.T) {
+	body := "m_inf +Inf\nm_ninf -Inf\nm_nan NaN\nm_ts 1 1700000000000\n"
+	if err := Validate([]byte(body)); err != nil {
+		t.Fatalf("special float samples rejected: %v", err)
+	}
+}

@@ -18,6 +18,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/reshard", s.handleReshard)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/health", s.handleHealth)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
 

@@ -1,0 +1,329 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/promtext"
+	"repro/internal/trace"
+)
+
+// scrape GETs path and returns the body.
+func scrape(t *testing.T, base, path string) []byte {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d %s", path, resp.StatusCode, body)
+	}
+	return body
+}
+
+// TestMetricsAndStatsUnderLoad hammers /metrics and /v1/stats while
+// sharded streamed queries and structural edit batches run concurrently.
+// Every scrape must be well-formed Prometheus exposition, and the
+// counters both surfaces report must be monotone across scrapes. Run
+// with -race this doubles as the torn-read check on the stats path.
+func TestMetricsAndStatsUnderLoad(t *testing.T) {
+	g := testGraph(300, 600, 11)
+	scores := testScores(300, 12)
+	s := mustServer(t, g, scores, 2, Options{Shards: 3, SkipIndexes: true})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+
+	wg.Add(1)
+	go func() { // queries: mixed k and aggregates, some traced
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			body := fmt.Sprintf(`{"k":%d,"aggregate":"sum","trace":%v}`, 1+i%7, i%5 == 0)
+			resp, err := http.Post(srv.URL+"/v1/topk", "application/json", strings.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("topk %d: status %d", i, resp.StatusCode)
+				return
+			}
+		}
+	}()
+
+	wg.Add(1)
+	go func() { // structural edits, racing the queries
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; i < 10; i++ {
+			u, v := rng.Intn(300), rng.Intn(300)
+			if u == v {
+				continue
+			}
+			body := fmt.Sprintf(`{"edits":[{"op":"add-edge","u":%d,"v":%d}]}`, u, v)
+			resp, err := http.Post(srv.URL+"/v1/edges", "application/json", strings.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("edits %d: status %d", i, resp.StatusCode)
+				return
+			}
+		}
+	}()
+
+	wg.Add(1)
+	go func() { // scrape both surfaces, checking form and monotonicity
+		defer wg.Done()
+		var prev Stats
+		var prevSince string
+		for i := 0; i < 15; i++ {
+			if err := promtext.Validate(scrape(t, srv.URL, "/metrics")); err != nil {
+				errs <- fmt.Errorf("scrape %d: %w", i, err)
+				return
+			}
+			var st Stats
+			if err := json.Unmarshal(scrape(t, srv.URL, "/v1/stats"), &st); err != nil {
+				errs <- err
+				return
+			}
+			if _, err := time.Parse(time.RFC3339, st.Since); err != nil {
+				errs <- fmt.Errorf("since %q is not RFC3339: %w", st.Since, err)
+				return
+			}
+			if prevSince != "" && st.Since != prevSince {
+				errs <- fmt.Errorf("since moved: %q -> %q", prevSince, st.Since)
+				return
+			}
+			prevSince = st.Since
+			type mono struct {
+				name       string
+				prev, curr int64
+			}
+			checks := []mono{
+				{"executed", prev.Cache.Hits + prev.Cache.Misses, st.Cache.Hits + st.Cache.Misses},
+				{"evaluated", prev.Engine.Evaluated, st.Engine.Evaluated},
+				{"edit batches", prev.Edits.Batches, st.Edits.Batches},
+				{"uptime", int64(prev.UptimeS * 1e6), int64(st.UptimeS * 1e6)},
+			}
+			if prev.Cluster != nil && st.Cluster != nil {
+				checks = append(checks,
+					mono{"shard queries", prev.Cluster.ShardQueries, st.Cluster.ShardQueries},
+					mono{"partial batches", prev.Cluster.PartialBatches, st.Cluster.PartialBatches},
+					mono{"lambda raises", prev.Cluster.LambdaRaises, st.Cluster.LambdaRaises})
+			}
+			for _, c := range checks {
+				if c.curr < c.prev {
+					errs <- fmt.Errorf("scrape %d: %s went backwards: %d -> %d", i, c.name, c.prev, c.curr)
+					return
+				}
+			}
+			prev = st
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestTraceSurface pins the /v1/topk EXPLAIN contract: "trace": true
+// returns one stitched timeline, traced answers never come from or land
+// in the cache, and untraced answers carry no trace at all.
+func TestTraceSurface(t *testing.T) {
+	g := testGraph(200, 400, 21)
+	scores := testScores(200, 22)
+	s := mustServer(t, g, scores, 2, Options{Shards: 2, SkipIndexes: true})
+
+	req := QueryRequest{K: 5, Aggregate: "sum"}
+	plain, err := s.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Trace != nil {
+		t.Fatal("untraced request returned a trace")
+	}
+
+	// The identical traced request hits the cache and says so.
+	req.Trace = true
+	hit, err := s.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached || hit.Trace == nil {
+		t.Fatalf("expected a cached traced answer, got cached=%v trace=%v", hit.Cached, hit.Trace)
+	}
+	if len(hit.Trace.Events) != 1 || hit.Trace.Events[0].Kind != trace.KindCacheHit {
+		t.Fatalf("cache-hit trace should be exactly one cache-hit event, got %+v", hit.Trace.Events)
+	}
+
+	// A traced cold query returns the real stitched timeline...
+	req.K = 7 // different cache key
+	cold, err := s.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cached || cold.Trace == nil || cold.Trace.ID == "" {
+		t.Fatalf("traced cold query: cached=%v trace=%+v", cold.Cached, cold.Trace)
+	}
+	kinds := map[string]bool{}
+	for _, e := range cold.Trace.Events {
+		kinds[e.Kind] = true
+	}
+	for _, want := range []string{trace.KindCacheMiss, trace.KindProbe, trace.KindLaunch, trace.KindExec, trace.KindShardStats} {
+		if !kinds[want] {
+			t.Errorf("stitched trace missing a %q event; kinds seen: %v", want, kinds)
+		}
+	}
+	if len(cold.Trace.PerShard) != 2 {
+		t.Errorf("traced sharded answer has %d shard reports, want 2", len(cold.Trace.PerShard))
+	}
+
+	// ...and never populates the cache: the same query untraced must
+	// execute, not hit.
+	misses := s.Stats().Cache.Misses
+	req.Trace = false
+	again, err := s.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Cached {
+		t.Fatal("traced execution leaked into the result cache")
+	}
+	if got := s.Stats().Cache.Misses; got != misses+1 {
+		t.Fatalf("expected one more miss (traced answers are uncacheable), got %d -> %d", misses, got)
+	}
+}
+
+// TestSlowQueryLogging checks the -slow-query-ms path: with a zero
+// threshold every execution qualifies, the configured sink receives a
+// formatted timeline, and the slow-query counter advances.
+func TestSlowQueryLogging(t *testing.T) {
+	g := testGraph(150, 300, 31)
+	scores := testScores(150, 32)
+	var mu sync.Mutex
+	var lines []string
+	opts := Options{
+		SkipIndexes: true,
+		SlowQuery:   time.Nanosecond,
+		SlowQueryLog: func(format string, args ...any) {
+			mu.Lock()
+			lines = append(lines, fmt.Sprintf(format, args...))
+			mu.Unlock()
+		},
+	}
+	s := mustServer(t, g, scores, 2, opts)
+	if _, err := s.Run(ctx, QueryRequest{K: 3, Aggregate: "sum"}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) != 1 {
+		t.Fatalf("got %d slow-query log lines, want 1", len(lines))
+	}
+	if !strings.Contains(lines[0], "slow query trace") || !strings.Contains(lines[0], "exec") {
+		t.Fatalf("slow-query line does not carry the timeline: %q", lines[0])
+	}
+	if got := s.Stats().SlowQueries; got != 1 {
+		t.Fatalf("slow-query counter = %d, want 1", got)
+	}
+}
+
+// TestReshardResetsShardHistograms pins the /v1/reshard histogram
+// contract: a real reshard swaps in fresh per-shard histograms (under
+// the write lock, so no scrape can see a half-reset), while a same-count
+// reshard is a no-op that keeps them.
+func TestReshardResetsShardHistograms(t *testing.T) {
+	g := testGraph(200, 400, 41)
+	scores := testScores(200, 42)
+	s := mustServer(t, g, scores, 2, Options{Shards: 2, SkipIndexes: true, CacheBytes: -1})
+
+	if _, err := s.Run(ctx, QueryRequest{K: 4, Aggregate: "sum"}); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Stats()
+	var total int64
+	for _, sl := range before.Cluster.PerShard {
+		total += sl.Latency.Count
+	}
+	if total == 0 {
+		t.Fatal("sharded query recorded no per-shard latency")
+	}
+
+	if err := s.Reshard(2); err != nil { // same count: no-op, keeps hists
+		t.Fatal(err)
+	}
+	kept := s.Stats()
+	var keptTotal int64
+	for _, sl := range kept.Cluster.PerShard {
+		keptTotal += sl.Latency.Count
+	}
+	if keptTotal != total || kept.Cluster.TopologyGen != before.Cluster.TopologyGen {
+		t.Fatalf("same-count reshard mutated state: counts %d->%d, topo %d->%d",
+			total, keptTotal, before.Cluster.TopologyGen, kept.Cluster.TopologyGen)
+	}
+
+	if err := s.Reshard(3); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Stats()
+	if after.Cluster.Shards != 3 || len(after.Cluster.PerShard) != 3 {
+		t.Fatalf("reshard to 3 reported %d shards / %d rows", after.Cluster.Shards, len(after.Cluster.PerShard))
+	}
+	for _, sl := range after.Cluster.PerShard {
+		if sl.Latency.Count != 0 {
+			t.Fatalf("shard %d histogram survived the reshard with count %d", sl.Shard, sl.Latency.Count)
+		}
+	}
+}
+
+// TestRenderMetricsIsValid validates the exposition on quiet, busy, and
+// unsharded servers — including the histogram families, whose log2
+// buckets must satisfy the cumulative invariants promtext enforces.
+func TestRenderMetricsIsValid(t *testing.T) {
+	g := testGraph(150, 300, 51)
+	scores := testScores(150, 52)
+	for _, shards := range []int{0, 2} {
+		s := mustServer(t, g, scores, 2, Options{Shards: shards, SkipIndexes: true})
+		if err := promtext.Validate([]byte(s.renderMetrics())); err != nil {
+			t.Fatalf("quiet server (shards=%d): %v", shards, err)
+		}
+		for i := 1; i <= 4; i++ {
+			if _, err := s.Run(ctx, QueryRequest{K: i, Aggregate: "sum"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		body := s.renderMetrics()
+		if err := promtext.Validate([]byte(body)); err != nil {
+			t.Fatalf("busy server (shards=%d): %v\n%s", shards, err, body)
+		}
+		if !strings.Contains(body, `lona_query_duration_seconds_bucket{algorithm=`) {
+			t.Fatal("per-algorithm latency histogram missing from /metrics")
+		}
+		if shards > 1 && !strings.Contains(body, `lona_shard_query_duration_seconds_bucket{shard="0",`) {
+			t.Fatal("per-shard latency histogram missing from /metrics")
+		}
+	}
+}

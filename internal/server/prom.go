@@ -1,0 +1,200 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// This file renders GET /metrics: the server's counters and histograms
+// in Prometheus text exposition format (version 0.0.4), hand-rolled so
+// the module stays dependency-free. The same latencyHist that backs
+// /v1/stats quantiles backs the histogram families here — log2 buckets,
+// so bucket i's inclusive upper bound is 2^i−1 (exact for the integer
+// observations the histogram stores).
+
+// handleMetrics serves the Prometheus scrape endpoint.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(s.renderMetrics()))
+}
+
+// renderMetrics builds the full exposition body. Counters are read from
+// the same atomics /v1/stats snapshots, so the two surfaces can never
+// disagree on what happened — only on when they looked.
+func (s *Server) renderMetrics() string {
+	m := s.metrics
+	var b strings.Builder
+	b.Grow(8 << 10)
+
+	s.mu.RLock()
+	gen, topo, cl := s.gen, s.topo, s.cl
+	g, h := s.engine.Graph(), s.engine.H()
+	s.mu.RUnlock()
+
+	writeGauge(&b, "lona_start_time_seconds", "Unix time the server started.",
+		float64(m.start.Unix()))
+	writeGauge(&b, "lona_uptime_seconds", "Seconds since the server started.",
+		time.Since(m.start).Seconds())
+	writeGauge(&b, "lona_generation", "Current score generation (bumped per update or edit batch).",
+		float64(gen))
+	writeGauge(&b, "lona_topology_generation", "Current shard-topology generation (bumped per reshard).",
+		float64(topo))
+	writeGauge(&b, "lona_graph_nodes", "Nodes in the current-generation graph.", float64(g.NumNodes()))
+	writeGauge(&b, "lona_graph_edges", "Edges in the current-generation graph.", float64(g.NumEdges()))
+	writeGauge(&b, "lona_h", "Neighborhood radius h the server answers for.", float64(h))
+
+	writeCounter(&b, "lona_cache_hits_total", "Result-cache hits.", m.hits.Load())
+	writeCounter(&b, "lona_cache_misses_total", "Result-cache misses (queries executed).", m.misses.Load())
+	writeCounter(&b, "lona_cache_collapsed_total", "Duplicate in-flight queries absorbed by singleflight.",
+		m.collapsed.Load())
+	if s.cache != nil {
+		writeGauge(&b, "lona_cache_entries", "Resident result-cache entries.", float64(s.cache.len()))
+		writeGauge(&b, "lona_cache_bytes", "Approximate resident bytes of cached answers.",
+			float64(s.cache.bytes()))
+		writeGauge(&b, "lona_cache_capacity_bytes", "Result-cache byte capacity.",
+			float64(s.cache.capacityBytes()))
+	}
+
+	writeCounter(&b, "lona_update_batches_total", "Applied score-update batches.", m.updates.Load())
+	writeCounter(&b, "lona_score_mutations_total", "Individual score mutations applied.", m.mutations.Load())
+	writeCounter(&b, "lona_edit_batches_total", "Applied structural edit batches.", m.editBatches.Load())
+	writeCounter(&b, "lona_edges_added_total", "Edges inserted by edit batches.", m.edgesAdded.Load())
+	writeCounter(&b, "lona_edges_removed_total", "Edges removed by edit batches.", m.edgesRemoved.Load())
+	writeCounter(&b, "lona_nodes_added_total", "Nodes appended by edit batches.", m.nodesAdded.Load())
+	writeCounter(&b, "lona_edit_repaired_nodes_total", "Nodes incrementally repaired by edit batches.",
+		m.editRepaired.Load())
+	writeCounter(&b, "lona_edit_rebuilds_total", "Edit batches that fell back to a from-scratch rebuild.",
+		m.editRebuilds.Load())
+
+	writeCounter(&b, "lona_query_timeouts_total", "Queries abandoned at a deadline.", m.timeouts.Load())
+	writeCounter(&b, "lona_query_cancels_total", "Queries cancelled by the caller.", m.cancels.Load())
+	writeCounter(&b, "lona_slow_queries_total", "Executions at or over the slow-query threshold.",
+		m.slowQueries.Load())
+
+	writeCounter(&b, "lona_engine_evaluated_total", "Nodes whose aggregate was computed exactly.",
+		m.evaluated.Load())
+	writeCounter(&b, "lona_engine_pruned_total", "Nodes skipped by an upper bound.", m.pruned.Load())
+	writeCounter(&b, "lona_engine_distributed_total", "Scores spread by backward distribution.",
+		m.distributed.Load())
+	writeCounter(&b, "lona_engine_visited_total", "Nodes touched by h-hop traversals.", m.visited.Load())
+
+	if cl != nil {
+		writeGauge(&b, "lona_shards", "Shards queries fan out across.", float64(cl.shards))
+		writeCounter(&b, "lona_shard_queries_total", "Shard queries launched across all fan-outs.",
+			m.shardQueries.Load())
+		writeCounter(&b, "lona_shards_cut_total", "Shards ended early by the TA merge bound.",
+			m.shardsCut.Load())
+		writeCounter(&b, "lona_cluster_messages_total", "Cross-shard messages.", m.clusterMessages.Load())
+		writeCounter(&b, "lona_reshards_total", "Shard-topology rebuilds via /v1/reshard.",
+			m.reshards.Load())
+		writeCounter(&b, "lona_partial_batches_total", "Streamed partial frames folded into merges.",
+			m.partialBatches.Load())
+		writeCounter(&b, "lona_budget_redistributed_total",
+			"Traversals moved from cut shards to still-running ones.", m.budgetRedistributed.Load())
+		writeCounter(&b, "lona_lambda_raises_total", "Folded batches that tightened the merge threshold.",
+			m.lambdaRaises.Load())
+	}
+
+	// Per-algorithm query latency: one histogram family, algorithm label.
+	writeHistHeader(&b, "lona_query_duration_seconds", "Query execution latency by algorithm.")
+	s.metrics.mu.RLock()
+	labels := make([]string, 0, len(s.metrics.hists))
+	for label := range s.metrics.hists {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	hists := make([]*latencyHist, len(labels))
+	for i, label := range labels {
+		hists[i] = s.metrics.hists[label]
+	}
+	s.metrics.mu.RUnlock()
+	for i, label := range labels {
+		writeHistSeries(&b, "lona_query_duration_seconds",
+			`algorithm="`+escapeLabel(label)+`",`, hists[i], 1e-6)
+	}
+
+	if cl != nil {
+		// Per-shard query latency: the histograms /v1/stats summarizes as
+		// p50/p99, exported whole so a scraper can aggregate its own way.
+		writeHistHeader(&b, "lona_shard_query_duration_seconds",
+			"Per-shard query latency within fan-outs.")
+		for i, sh := range cl.hists {
+			writeHistSeries(&b, "lona_shard_query_duration_seconds",
+				fmt.Sprintf("shard=%q,", fmt.Sprint(i)), sh, 1e-6)
+		}
+		writeHistHeader(&b, "lona_lambda_raises_per_query",
+			"Lambda tightenings per sharded query.")
+		writeHistSeries(&b, "lona_lambda_raises_per_query", "", &m.lambdaPerQuery, 1)
+		writeHistHeader(&b, "lona_shard_result_items",
+			"Result items shipped per launched shard query (message size).")
+		writeHistSeries(&b, "lona_shard_result_items", "", &m.shardItems, 1)
+	}
+
+	return b.String()
+}
+
+func writeCounter(b *strings.Builder, name, help string, v int64) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+func writeGauge(b *strings.Builder, name, help string, v float64) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, formatValue(v))
+}
+
+func writeHistHeader(b *strings.Builder, name, help string) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+}
+
+// writeHistSeries renders one labeled series of a histogram family from a
+// latencyHist. Bucket i of the hist holds integer observations v with
+// bits.Len64(v) == i, so its inclusive upper bound is 2^i−1; scale maps
+// the stored integers to the exported unit (1e-6 for µs → seconds, 1 for
+// unitless value histograms). labels, when non-empty, must end with ','.
+//
+// The atomics are read once each, cumulated in order, and the +Inf
+// bucket is clamped up to the running total, so a scrape racing
+// observeValue always yields a well-formed (monotone, +Inf == _count)
+// exposition — at worst it undercounts observations that landed
+// mid-render, which the next scrape picks up.
+func writeHistSeries(b *strings.Builder, name, labels string, h *latencyHist, scale float64) {
+	hi := 0
+	counts := make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		if counts[i] != 0 {
+			hi = i
+		}
+	}
+	var cum int64
+	for i := 0; i <= hi; i++ {
+		cum += counts[i]
+		le := float64(uint64(1)<<uint(i)-1) * scale
+		fmt.Fprintf(b, "%s_bucket{%sle=%q} %d\n", name, labels, formatValue(le), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labels, cum)
+	suffix := ""
+	if trimmed := strings.TrimSuffix(labels, ","); trimmed != "" {
+		suffix = "{" + trimmed + "}"
+	}
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, suffix, formatValue(float64(h.sumUS.Load())*scale))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, suffix, cum)
+}
+
+// formatValue renders a float the way Prometheus expects: Go's shortest
+// round-trip representation parses back exactly with strconv.ParseFloat.
+func formatValue(v float64) string {
+	return fmt.Sprintf("%g", v)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}

@@ -62,6 +62,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"math"
 	"runtime"
 	"sort"
@@ -73,6 +74,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/trace"
 )
 
 // Options tunes a Server; the zero value is a sensible default.
@@ -107,6 +109,14 @@ type Options struct {
 	// cuts land only between shards instead of inside them. Streaming is
 	// on by default for both -shards and -shard-peers serving.
 	DisableStreaming bool
+	// SlowQuery, when positive, traces every execution and logs the full
+	// timeline of any query (or edit batch) at or over this duration
+	// (lonad -slow-query-ms). Zero disables both the logging and the
+	// always-on tracing it requires; requests asking "trace": true are
+	// traced either way.
+	SlowQuery time.Duration
+	// SlowQueryLog receives slow-query log lines; nil means log.Printf.
+	SlowQueryLog func(format string, args ...any)
 }
 
 // defaultCacheBytes is the result cache capacity when Options.CacheBytes
@@ -205,6 +215,24 @@ type Answer struct {
 	Results    []core.Result   `json:"results"`
 	Stats      core.QueryStats `json:"stats"`
 	ElapsedUS  int64           `json:"elapsed_us"` // execution time when computed
+	// Trace is the assembled execution timeline, present only when the
+	// request asked "trace": true. Never cached: a trace describes one
+	// concrete execution.
+	Trace *TraceOut `json:"trace,omitempty"`
+
+	// perShard carries the coordinator's per-shard breakdown from
+	// dispatch to the TraceOut assembly; never serialized itself.
+	perShard []cluster.ShardReport
+}
+
+// TraceOut is the /v1/topk trace payload: one stitched timeline (local
+// spans plus every shard worker's events rebased onto the coordinator's
+// clock) and, when the query fanned out, the per-shard breakdown the
+// coordinator accounted.
+type TraceOut struct {
+	ID       string                `json:"id"`
+	Events   []trace.Event         `json:"events"`
+	PerShard []cluster.ShardReport `json:"per_shard,omitempty"`
 }
 
 // New validates the inputs and builds a ready-to-serve Server. For
@@ -376,6 +404,12 @@ type QueryRequest struct {
 	// Candidates restricts which nodes may be ranked
 	// (core.Query.Candidates). Empty means every node.
 	Candidates []int `json:"candidates,omitempty"`
+	// Trace asks for the execution timeline in the answer. Like
+	// timeout_ms it never changes the results, so it is excluded from the
+	// cache key; unlike timeout_ms a traced miss bypasses the
+	// singleflight collapse and is never cached, because its trace
+	// describes that one execution.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // algoView is the extra serving-only "algorithm": answer from the
@@ -557,8 +591,27 @@ func (s *Server) Run(ctx context.Context, req QueryRequest) (*Answer, error) {
 			s.metrics.hist("cache").observe(0)
 			hit := *ans
 			hit.Cached = true
+			if req.Trace {
+				rec := trace.New()
+				rec.Emit(trace.KindCacheHit, len(hit.Results), 0, "served from result cache")
+				hit.Trace = &TraceOut{ID: rec.ID(), Events: rec.Snapshot().Events}
+			}
 			return &hit, nil
 		}
+	}
+
+	if req.Trace {
+		// A trace narrates one concrete execution, so a traced miss
+		// neither joins the singleflight collapse (a shared answer's
+		// trace would describe someone else's run) nor lands in the
+		// cache (replaying a stale timeline as if it just happened).
+		ans, err := s.execute(ctx, req, agg, order, snap)
+		if err != nil {
+			s.metrics.noteQueryAborted(err)
+			return nil, err
+		}
+		s.metrics.misses.Add(1)
+		return ans, nil
 	}
 
 	run := func() (*Answer, error) {
@@ -616,6 +669,17 @@ func (s *Server) execute(ctx context.Context, req QueryRequest, agg core.Aggrega
 	ans := &Answer{Generation: snap.gen, Algorithm: req.Algorithm}
 	start := time.Now()
 
+	// One recorder per traced execution. SlowQuery > 0 traces every
+	// execution so a slow one can dump its timeline after the fact; plain
+	// requests with both knobs off keep q.Tracer nil and pay nothing.
+	var rec *trace.Recorder
+	if req.Trace || s.opts.SlowQuery > 0 {
+		rec = trace.New()
+		if req.Trace {
+			rec.Emit(trace.KindCacheMiss, 0, 0, "executing")
+		}
+	}
+
 	switch req.Algorithm {
 	case algoView:
 		// The view is mutated in place by update batches, so hold the read
@@ -626,11 +690,13 @@ func (s *Server) execute(ctx context.Context, req QueryRequest, agg core.Aggrega
 		// structure answering with one O(n) scan.
 		s.mu.RLock()
 		ans.Generation = s.gen
+		viewStart := time.Now()
 		res, err := snap.view.Run(ctx, core.Query{K: req.K, Aggregate: agg, Candidates: req.Candidates})
 		s.mu.RUnlock()
 		if err != nil {
 			return nil, err
 		}
+		rec.Span(trace.KindExec, viewStart, len(res.Results), 0, "materialized view scan")
 		ans.Results = res.Results
 
 	case "auto":
@@ -645,6 +711,7 @@ func (s *Server) execute(ctx context.Context, req QueryRequest, agg core.Aggrega
 			Aggregate:  agg,
 			Candidates: req.Candidates,
 			Budget:     req.Budget,
+			Tracer:     rec,
 		})
 		if err != nil {
 			return nil, err
@@ -671,6 +738,7 @@ func (s *Server) execute(ctx context.Context, req QueryRequest, agg core.Aggrega
 			Options:    opts,
 			Candidates: req.Candidates,
 			Budget:     req.Budget,
+			Tracer:     rec,
 		})
 		if err != nil {
 			return nil, err
@@ -687,7 +755,34 @@ func (s *Server) execute(ctx context.Context, req QueryRequest, agg core.Aggrega
 		ans.Results = []core.Result{}
 	}
 	s.metrics.recordQuery(ans.Algorithm, elapsed, ans.Stats)
+	if rec != nil {
+		if req.Trace {
+			ans.Trace = &TraceOut{ID: rec.ID(), Events: rec.Snapshot().Events, PerShard: ans.perShard}
+		}
+		if s.opts.SlowQuery > 0 && elapsed >= s.opts.SlowQuery {
+			s.metrics.slowQueries.Add(1)
+			s.logSlow("slow query trace %s: algorithm=%s k=%d elapsed=%s\n%s",
+				rec.ID(), ans.Algorithm, req.K, elapsed, formatTrace(rec))
+		}
+	}
 	return ans, nil
+}
+
+// logSlow routes a slow-query log line to Options.SlowQueryLog, default
+// log.Printf.
+func (s *Server) logSlow(format string, args ...any) {
+	logf := s.opts.SlowQueryLog
+	if logf == nil {
+		logf = log.Printf
+	}
+	logf(format, args...)
+}
+
+// formatTrace renders a recorder's timeline for the slow-query log.
+func formatTrace(rec *trace.Recorder) string {
+	var b strings.Builder
+	rec.Snapshot().Format(&b)
+	return b.String()
 }
 
 // dispatch runs an engine query on the snapshot: through the cluster
@@ -704,15 +799,19 @@ func (s *Server) dispatch(ctx context.Context, snap snapshot, ans *Answer, q cor
 		return core.Answer{}, err
 	}
 	ans.Shards = snap.cl.shards
+	ans.perShard = bd.PerShard
 	s.metrics.clusterMessages.Add(bd.Messages)
 	s.metrics.shardsCut.Add(int64(bd.ShardsCut))
 	s.metrics.partialBatches.Add(bd.PartialBatches)
 	s.metrics.budgetRedistributed.Add(int64(bd.BudgetRedistributed))
+	s.metrics.lambdaRaises.Add(int64(bd.LambdaRaises))
+	s.metrics.lambdaPerQuery.observeValue(int64(bd.LambdaRaises))
 	for _, r := range bd.PerShard {
 		if !r.Launched {
 			continue
 		}
 		s.metrics.shardQueries.Add(1)
+		s.metrics.shardItems.observeValue(int64(r.Items))
 		if r.Shard < len(snap.cl.hists) {
 			snap.cl.hists[r.Shard].observe(time.Duration(r.ElapsedUS) * time.Microsecond)
 		}
@@ -828,6 +927,7 @@ type EditsResult struct {
 	EdgesAdded   int    `json:"edges_added"`   // inserts that were not duplicates
 	EdgesRemoved int    `json:"edges_removed"` // removals that hit a real edge
 	Repaired     int    `json:"repaired"`      // nodes whose index/view state was recomputed
+	Rebuilt      bool   `json:"rebuilt"`       // the view took the from-scratch rebuild path
 	Nodes        int    `json:"nodes"`         // post-batch graph shape
 	Edges        int    `json:"edges"`
 	ElapsedUS    int64  `json:"elapsed_us"`
@@ -896,13 +996,22 @@ func (s *Server) ApplyEdits(reqs []EditRequest) (*EditsResult, error) {
 	res := &EditsResult{}
 	h := s.engine.H()
 	var engine *core.Engine
+	// With slow-query logging on, carry a recorder through the view's
+	// repair-vs-rebuild decision so a pathological batch can explain
+	// itself in the log.
+	var rec *trace.Recorder
+	ectx := context.Background()
+	if s.opts.SlowQuery > 0 {
+		rec = trace.New()
+		ectx = trace.NewContext(ectx, rec)
+	}
 	if s.view != nil {
 		// The view derives the successor itself (deterministically equal
 		// to any pre-derivation above) and repairs its aggregates and
 		// N(v) index incrementally; the server adopts the view's graph
 		// instance and repaired index so view and engine share one
 		// topology.
-		viewRes, err := s.view.ApplyEdits(context.Background(), edits)
+		viewRes, err := s.view.ApplyEdits(ectx, edits)
 		if err != nil {
 			return nil, err
 		}
@@ -910,6 +1019,7 @@ func (s *Server) ApplyEdits(reqs []EditRequest) (*EditsResult, error) {
 		res.EdgesAdded = viewRes.EdgesAdded
 		res.EdgesRemoved = viewRes.EdgesRemoved
 		res.Repaired = viewRes.Repaired
+		res.Rebuilt = viewRes.Rebuilt
 		newG = s.view.Graph()
 		engine, err = core.NewEngine(newG, s.view.ScoresCopy(), h)
 		if err != nil {
@@ -953,6 +1063,16 @@ func (s *Server) ApplyEdits(reqs []EditRequest) (*EditsResult, error) {
 	s.metrics.edgesRemoved.Add(int64(res.EdgesRemoved))
 	s.metrics.nodesAdded.Add(int64(res.NodesAdded))
 	s.metrics.editRepaired.Add(int64(res.Repaired))
+	if res.Rebuilt {
+		s.metrics.editRebuilds.Add(1)
+	}
+	if rec != nil {
+		if elapsed := time.Duration(res.ElapsedUS) * time.Microsecond; elapsed >= s.opts.SlowQuery {
+			s.metrics.slowQueries.Add(1)
+			s.logSlow("slow edit batch trace %s: edits=%d repaired=%d rebuilt=%v elapsed=%s\n%s",
+				rec.ID(), len(reqs), res.Repaired, res.Rebuilt, elapsed, formatTrace(rec))
+		}
+	}
 	return res, nil
 }
 
@@ -985,6 +1105,7 @@ func (s *Server) Stats() Stats {
 			Messages:            s.metrics.clusterMessages.Load(),
 			PartialBatches:      s.metrics.partialBatches.Load(),
 			BudgetRedistributed: s.metrics.budgetRedistributed.Load(),
+			LambdaRaises:        s.metrics.lambdaRaises.Load(),
 		}
 		for i, h := range cl.hists {
 			sl := ShardLatency{Shard: i, Latency: h.summary()}

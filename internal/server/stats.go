@@ -24,16 +24,23 @@ type latencyHist struct {
 }
 
 func (h *latencyHist) observe(d time.Duration) {
-	us := d.Microseconds()
-	if us < 0 {
-		us = 0
+	h.observeValue(d.Microseconds())
+}
+
+// observeValue records a raw non-negative integer observation — the same
+// log2 bucketing reused as a generic value histogram (λ raises per
+// query, per-shard result items). For latency use the µs-denominated
+// observe above.
+func (h *latencyHist) observeValue(v int64) {
+	if v < 0 {
+		v = 0
 	}
-	i := bits.Len64(uint64(us))
+	i := bits.Len64(uint64(v))
 	if i >= len(h.buckets) {
 		i = len(h.buckets) - 1
 	}
 	h.count.Add(1)
-	h.sumUS.Add(us)
+	h.sumUS.Add(v)
 	h.buckets[i].Add(1)
 }
 
@@ -104,10 +111,25 @@ type metrics struct {
 	shardsCut       atomic.Int64 // shards ended early by the TA merge bound
 	clusterMessages atomic.Int64 // cross-shard messages (bounds, queries, result items)
 	reshards        atomic.Int64 // topology rebuilds via Reshard
-	// Streaming counters: partial frames folded into merges, and budget
-	// traversals moved from cut shards to still-running ones.
+	// Streaming counters: partial frames folded into merges, budget
+	// traversals moved from cut shards to still-running ones, and λ
+	// tightenings that actually moved the merge threshold.
 	partialBatches      atomic.Int64
 	budgetRedistributed atomic.Int64
+	lambdaRaises        atomic.Int64
+
+	// editRebuilds counts /v1/edges batches that took the from-scratch
+	// rebuild path instead of incremental repair.
+	editRebuilds atomic.Int64
+
+	// slowQueries counts executions at or over Options.SlowQuery.
+	slowQueries atomic.Int64
+
+	// Value histograms (log2-bucketed, unitless): λ raises per sharded
+	// query, and result items shipped per launched shard query — the
+	// message-size observation the adaptive-tuning roadmap items consume.
+	lambdaPerQuery latencyHist
+	shardItems     latencyHist
 
 	// Engine work counters summed over every executed (non-cached) query.
 	evaluated   atomic.Int64
@@ -195,6 +217,9 @@ type EditStats struct {
 	// Repaired sums the per-batch affected-node counts — the incremental
 	// work actually paid, vs Batches × Nodes for full rebuilds.
 	Repaired int64 `json:"repaired"`
+	// Rebuilds counts batches that fell back to a from-scratch rebuild
+	// (the affected closure covered most of the graph).
+	Rebuilds int64 `json:"rebuilds"`
 }
 
 // ShardLatency is one shard's row of the cluster stats section.
@@ -230,22 +255,30 @@ type ClusterStats struct {
 	Messages     int64 `json:"messages"`
 	// PartialBatches counts streamed partial frames folded into merges;
 	// BudgetRedistributed counts traversals moved from cut shards'
-	// stranded budget slices to shards that could still use them.
+	// stranded budget slices to shards that could still use them;
+	// LambdaRaises counts folded batches that actually tightened λ.
 	PartialBatches      int64          `json:"partial_batches"`
 	BudgetRedistributed int64          `json:"budget_redistributed"`
+	LambdaRaises        int64          `json:"lambda_raises"`
 	PerShard            []ShardLatency `json:"per_shard"`
 }
 
-// Stats is the full /v1/stats response.
+// Stats is the full /v1/stats response. Every counter and histogram is
+// cumulative since Since (the server's start): pair two scrapes' deltas
+// with the UptimeS delta to compute rates.
 type Stats struct {
-	Generation    uint64                    `json:"generation"`
-	UptimeSeconds float64                   `json:"uptime_seconds"`
+	Generation uint64 `json:"generation"`
+	// Since is the server start time in RFC3339 — the zero point every
+	// cumulative counter and histogram below accumulates from.
+	Since         string                    `json:"since"`
+	UptimeS       float64                   `json:"uptime_s"`
 	Nodes         int                       `json:"nodes"`
 	Edges         int64                     `json:"edges"`
 	H             int                       `json:"h"`
 	UpdateBatches int64                     `json:"update_batches"`
 	Mutations     int64                     `json:"mutations"`
 	Edits         EditStats                 `json:"edits"`
+	SlowQueries   int64                     `json:"slow_queries,omitempty"`
 	QueryTimeouts int64                     `json:"query_timeouts"` // queries abandoned at a deadline
 	QueryCancels  int64                     `json:"query_cancels"`  // queries cancelled by the caller
 	Cache         CacheStats                `json:"cache"`
@@ -256,7 +289,8 @@ type Stats struct {
 
 func (m *metrics) snapshot() Stats {
 	s := Stats{
-		UptimeSeconds: time.Since(m.start).Seconds(),
+		Since:         m.start.UTC().Format(time.RFC3339),
+		UptimeS:       time.Since(m.start).Seconds(),
 		UpdateBatches: m.updates.Load(),
 		Mutations:     m.mutations.Load(),
 		Edits: EditStats{
@@ -265,7 +299,9 @@ func (m *metrics) snapshot() Stats {
 			EdgesRemoved: m.edgesRemoved.Load(),
 			NodesAdded:   m.nodesAdded.Load(),
 			Repaired:     m.editRepaired.Load(),
+			Rebuilds:     m.editRebuilds.Load(),
 		},
+		SlowQueries:   m.slowQueries.Load(),
 		QueryTimeouts: m.timeouts.Load(),
 		QueryCancels:  m.cancels.Load(),
 		Cache: CacheStats{

@@ -1,0 +1,260 @@
+// Package trace is a lightweight per-query trace recorder: the EXPLAIN
+// surface for the sharded engine. A Recorder collects typed events —
+// plan choice, cache hit/miss, shard launches and cuts, every partial
+// batch with the λ it produced, budget grants and refunds, edit-repair
+// vs rebuild decisions — into one timeline that spans coordinator and
+// workers.
+//
+// The design is allocation-conscious in the only way that matters for a
+// hot query path: every Recorder method is safe on a nil receiver and
+// returns immediately, so code records unconditionally (`x.tr.Emit(...)`)
+// and a zero-value core.Query pays a single nil check per recorded site.
+// No goroutines, no channels, no background flushing — just an
+// append-under-mutex event list shared by every scope of one query.
+package trace
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Event kinds. Plain strings so events round-trip through JSON (the HTTP
+// transport ships worker events in the stream's final summary frame)
+// without a registry on either side.
+const (
+	KindPlan       = "plan"       // planner decision (note = algorithm: reason)
+	KindCacheHit   = "cache-hit"  // answered from the server cache
+	KindCacheMiss  = "cache-miss" // executed for real
+	KindProbe      = "probe"      // shard bound probe (value = Bound(q))
+	KindLaunch     = "launch"     // span: one launched shard query (n = budget, value = probed bound)
+	KindExec       = "exec"       // span: one engine execution (n = evaluated)
+	KindEmit       = "emit"       // engine flushed a partial batch (n = items)
+	KindBatch      = "batch"      // coordinator folded a partial batch (n = items, value = λ after)
+	KindLambda     = "lambda"     // coordinator raised λ (value = new λ)
+	KindFloor      = "floor"      // engine observed a raised floor (value = λ seen)
+	KindCut        = "cut"        // a shard or scan ended early (note = why)
+	KindGrant      = "budget-grant"
+	KindRefund     = "budget-refund"
+	KindTruncated  = "truncated"   // engine ran out of budget
+	KindPhase      = "phase"       // algorithm phase boundary (note = phase)
+	KindShardStats = "shard-stats" // per-shard final accounting (n = evaluated)
+	KindRepair     = "edit-repair" // incremental repair chosen (n = affected nodes)
+	KindRebuild    = "edit-rebuild"
+)
+
+// Event is one timeline entry. TUS is microseconds since the recorder
+// started; DurUS > 0 marks a span (launch, exec). Shard is -1 for
+// coordinator/server-scope events. N, Value, and Note carry
+// kind-specific payload (batch sizes, λ values, reasons).
+type Event struct {
+	TUS   int64   `json:"t_us"`
+	DurUS int64   `json:"dur_us,omitempty"`
+	Kind  string  `json:"kind"`
+	Shard int     `json:"shard"`
+	N     int     `json:"n,omitempty"`
+	Value float64 `json:"value,omitempty"`
+	Note  string  `json:"note,omitempty"`
+}
+
+// sink is the shared backing store of one query's recorders. All shard
+// scopes of a query append here, so the snapshot is already one stitched
+// timeline.
+type sink struct {
+	mu     sync.Mutex
+	id     string
+	start  time.Time
+	events []Event
+}
+
+// Recorder records events for one scope (shard tag) of a query trace.
+// Derive per-shard scopes with ForShard; they share the parent's sink.
+// A nil *Recorder is valid and records nothing — the zero-cost path.
+type Recorder struct {
+	s     *sink
+	shard int
+}
+
+var idSeq struct {
+	mu  sync.Mutex
+	rnd *rand.Rand
+}
+
+// newID returns a 16-hex-digit id. math/rand seeded once with the clock
+// is plenty: ids only need to be distinct among concurrent traced
+// queries on one coordinator, not unguessable.
+func newID() string {
+	idSeq.mu.Lock()
+	if idSeq.rnd == nil {
+		var seed [8]byte
+		binary.LittleEndian.PutUint64(seed[:], uint64(time.Now().UnixNano()))
+		idSeq.rnd = rand.New(rand.NewSource(int64(binary.LittleEndian.Uint64(seed[:]))))
+	}
+	id := fmt.Sprintf("%016x", idSeq.rnd.Uint64())
+	idSeq.mu.Unlock()
+	return id
+}
+
+// New returns a coordinator-scope recorder (shard tag -1) with a fresh
+// random id.
+func New() *Recorder {
+	return NewWithID(newID())
+}
+
+// NewWithID returns a recorder carrying a caller-chosen id — the worker
+// side of HTTP propagation, where the id arrives in a request header.
+func NewWithID(id string) *Recorder {
+	if id == "" {
+		id = newID()
+	}
+	return &Recorder{s: &sink{id: id, start: time.Now()}, shard: -1}
+}
+
+// ID returns the trace id ("" on a nil recorder).
+func (r *Recorder) ID() string {
+	if r == nil {
+		return ""
+	}
+	return r.s.id
+}
+
+// ForShard returns a recorder that tags events with the given shard
+// index but appends to the same timeline. Nil in, nil out.
+func (r *Recorder) ForShard(shard int) *Recorder {
+	if r == nil {
+		return nil
+	}
+	return &Recorder{s: r.s, shard: shard}
+}
+
+// Emit records an instantaneous event. No-op on a nil recorder.
+func (r *Recorder) Emit(kind string, n int, value float64, note string) {
+	if r == nil {
+		return
+	}
+	r.s.mu.Lock()
+	r.s.events = append(r.s.events, Event{
+		TUS: time.Since(r.s.start).Microseconds(), Kind: kind,
+		Shard: r.shard, N: n, Value: value, Note: note,
+	})
+	r.s.mu.Unlock()
+}
+
+// Span records an event that began at begin and ends now. No-op on a
+// nil recorder.
+func (r *Recorder) Span(kind string, begin time.Time, n int, value float64, note string) {
+	if r == nil {
+		return
+	}
+	r.s.mu.Lock()
+	r.s.events = append(r.s.events, Event{
+		TUS:   begin.Sub(r.s.start).Microseconds(),
+		DurUS: time.Since(begin).Microseconds(),
+		Kind:  kind, Shard: r.shard, N: n, Value: value, Note: note,
+	})
+	r.s.mu.Unlock()
+}
+
+// SinceUS returns microseconds elapsed since the recorder started — the
+// rebase offset captured just before a cross-process hop so Import can
+// place remote events on the local timeline.
+func (r *Recorder) SinceUS() int64 {
+	if r == nil {
+		return 0
+	}
+	return time.Since(r.s.start).Microseconds()
+}
+
+// Import merges events recorded by a remote recorder (a worker) into
+// this timeline, shifting their offsets by baseUS — the local clock
+// reading when the remote call began. Worker clocks are not synchronized
+// with the coordinator's; rebasing onto the request start keeps ordering
+// honest to within one network round trip, which is all an EXPLAIN
+// timeline needs.
+func (r *Recorder) Import(events []Event, baseUS int64) {
+	if r == nil || len(events) == 0 {
+		return
+	}
+	r.s.mu.Lock()
+	for _, e := range events {
+		e.TUS += baseUS
+		r.s.events = append(r.s.events, e)
+	}
+	r.s.mu.Unlock()
+}
+
+// Trace is an assembled timeline: the snapshot handed to callers and
+// serialized into /v1/topk responses.
+type Trace struct {
+	ID     string  `json:"id,omitempty"`
+	Events []Event `json:"events"`
+}
+
+// Snapshot copies the recorded events, sorted by start offset. Safe to
+// call while other scopes still record. Returns nil on a nil recorder.
+func (r *Recorder) Snapshot() *Trace {
+	if r == nil {
+		return nil
+	}
+	r.s.mu.Lock()
+	events := make([]Event, len(r.s.events))
+	copy(events, r.s.events)
+	id := r.s.id
+	r.s.mu.Unlock()
+	sort.SliceStable(events, func(i, j int) bool { return events[i].TUS < events[j].TUS })
+	return &Trace{ID: id, Events: events}
+}
+
+// Format renders the timeline for terminals and slow-query logs: one
+// line per event, offset-first, with spans showing their duration.
+func (t *Trace) Format(w io.Writer) {
+	if t == nil {
+		return
+	}
+	fmt.Fprintf(w, "trace %s (%d events)\n", t.ID, len(t.Events))
+	for _, e := range t.Events {
+		scope := "coord"
+		if e.Shard >= 0 {
+			scope = fmt.Sprintf("shard %d", e.Shard)
+		}
+		fmt.Fprintf(w, "%12.3fms  %-8s %-13s", float64(e.TUS)/1000, scope, e.Kind)
+		if e.DurUS > 0 {
+			fmt.Fprintf(w, " dur=%.3fms", float64(e.DurUS)/1000)
+		}
+		if e.N != 0 {
+			fmt.Fprintf(w, " n=%d", e.N)
+		}
+		if e.Value != 0 {
+			fmt.Fprintf(w, " value=%.6g", e.Value)
+		}
+		if e.Note != "" {
+			fmt.Fprintf(w, " %s", e.Note)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// ctxKey carries a Recorder through code that takes a context instead of
+// a core.Query — the structural-edit path.
+type ctxKey struct{}
+
+// NewContext attaches a recorder to ctx. Attaching nil returns ctx
+// unchanged.
+func NewContext(ctx context.Context, r *Recorder) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, r)
+}
+
+// FromContext returns the recorder attached by NewContext, or nil — and
+// nil flows straight into the nil-safe methods above.
+func FromContext(ctx context.Context) *Recorder {
+	r, _ := ctx.Value(ctxKey{}).(*Recorder)
+	return r
+}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNilRecorderIsInert pins the zero-cost contract: every method of a
+// nil recorder is a no-op, so untraced queries can record unconditionally.
+func TestNilRecorderIsInert(t *testing.T) {
+	var r *Recorder
+	r.Emit(KindLambda, 1, 2.5, "x")
+	r.Span(KindExec, time.Now(), 1, 0, "")
+	r.Import([]Event{{Kind: KindBatch}}, 10)
+	if got := r.ForShard(3); got != nil {
+		t.Fatalf("ForShard on nil = %v, want nil", got)
+	}
+	if r.ID() != "" || r.SinceUS() != 0 {
+		t.Fatalf("nil recorder leaked state: id=%q since=%d", r.ID(), r.SinceUS())
+	}
+	if r.Snapshot() != nil {
+		t.Fatalf("nil recorder produced a snapshot")
+	}
+	var tr *Trace
+	tr.Format(&strings.Builder{}) // must not panic
+}
+
+func TestShardScopesShareOneTimeline(t *testing.T) {
+	r := New()
+	r.Emit(KindPlan, 0, 0, "auto")
+	r.ForShard(2).Emit(KindBatch, 5, 0.7, "")
+	r.ForShard(0).Emit(KindCut, 0, 0.7, "pre-launch")
+
+	tr := r.Snapshot()
+	if len(tr.Events) != 3 {
+		t.Fatalf("got %d events, want 3", len(tr.Events))
+	}
+	shards := map[string]int{}
+	for _, e := range tr.Events {
+		shards[e.Kind] = e.Shard
+	}
+	if shards[KindPlan] != -1 || shards[KindBatch] != 2 || shards[KindCut] != 0 {
+		t.Fatalf("shard tags wrong: %v", shards)
+	}
+}
+
+func TestNewWithIDPropagation(t *testing.T) {
+	r := NewWithID("deadbeef00000000")
+	if r.ID() != "deadbeef00000000" {
+		t.Fatalf("ID = %q", r.ID())
+	}
+	if NewWithID("").ID() == "" {
+		t.Fatalf("empty id was not replaced with a random one")
+	}
+	if New().ID() == New().ID() {
+		t.Fatalf("two fresh recorders share an id")
+	}
+}
+
+// TestImportRebasesOntoLocalTimeline is the cross-process stitching
+// contract: worker events arrive with worker-relative offsets and must
+// land after the local moment the request went out.
+func TestImportRebasesOntoLocalTimeline(t *testing.T) {
+	coord := New()
+	coord.Emit(KindProbe, 0, 1.0, "")
+	base := coord.SinceUS() + 500 // pretend the request left 500µs from now
+
+	worker := []Event{
+		{TUS: 10, Kind: KindExec, Shard: 1, DurUS: 40},
+		{TUS: 60, Kind: KindEmit, Shard: 1, N: 3},
+	}
+	coord.Import(worker, base)
+
+	tr := coord.Snapshot()
+	if len(tr.Events) != 3 {
+		t.Fatalf("got %d events, want 3", len(tr.Events))
+	}
+	// Snapshot sorts by offset: probe first, then the rebased pair.
+	if tr.Events[1].TUS != base+10 || tr.Events[2].TUS != base+60 {
+		t.Fatalf("rebased offsets wrong: %d, %d (base %d)", tr.Events[1].TUS, tr.Events[2].TUS, base)
+	}
+	if tr.Events[1].DurUS != 40 {
+		t.Fatalf("span duration mutated by import: %d", tr.Events[1].DurUS)
+	}
+}
+
+func TestSnapshotSortsAndCopies(t *testing.T) {
+	r := New()
+	r.Import([]Event{{TUS: 300, Kind: KindCut, Shard: 0}}, 0)
+	r.Emit(KindPlan, 0, 0, "") // recorded now, offset ~0 < 300
+	tr := r.Snapshot()
+	if tr.Events[0].Kind != KindPlan || tr.Events[1].Kind != KindCut {
+		t.Fatalf("snapshot not sorted by offset: %+v", tr.Events)
+	}
+	tr.Events[0].Kind = "mutated"
+	if r.Snapshot().Events[0].Kind == "mutated" {
+		t.Fatalf("snapshot aliases the recorder's backing store")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	r := NewWithID("0123456789abcdef")
+	r.Emit(KindLambda, 0, 0.25, "")
+	r.ForShard(1).Span(KindLaunch, time.Now().Add(-2*time.Millisecond), 100, 0.5, "streaming")
+	var b strings.Builder
+	r.Snapshot().Format(&b)
+	out := b.String()
+	for _, want := range []string{"trace 0123456789abcdef (2 events)", "coord", "shard 1", "lambda", "launch", "dur=", "n=100", "streaming"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatted trace missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatalf("empty context yielded a recorder")
+	}
+	r := New()
+	ctx := NewContext(context.Background(), r)
+	if FromContext(ctx) != r {
+		t.Fatalf("recorder did not round-trip through context")
+	}
+	if NewContext(context.Background(), nil) != context.Background() {
+		t.Fatalf("attaching nil should return ctx unchanged")
+	}
+	// The nil flowing out of FromContext must stay inert end to end.
+	FromContext(context.Background()).Emit(KindRebuild, 1, 0, "")
+}

@@ -55,6 +55,7 @@ import (
 	"repro/internal/netio"
 	"repro/internal/relevance"
 	"repro/internal/server"
+	"repro/internal/trace"
 )
 
 // Graph is an immutable CSR network; build one with NewGraphBuilder or a
@@ -231,6 +232,28 @@ type ServerEditsResult = server.EditsResult
 // ServerAnswer is a query response — /v1/topk's wire format, returned
 // directly by Server.Run for in-process callers.
 type ServerAnswer = server.Answer
+
+// ServerTrace is the assembled execution timeline a /v1/topk answer
+// carries when the request asked "trace": true.
+type ServerTrace = server.TraceOut
+
+// TraceRecorder collects one query's execution timeline. Set it as
+// Query.Tracer to trace an in-process engine or coordinator run; a nil
+// recorder records nothing, so untraced queries pay (almost) nothing.
+type TraceRecorder = trace.Recorder
+
+// TraceEvent is one timeline entry: offset, kind, shard scope, payload.
+type TraceEvent = trace.Event
+
+// QueryTrace is a snapshot of a recorder's timeline; Format renders it
+// for terminals.
+type QueryTrace = trace.Trace
+
+// NewTraceRecorder returns a fresh coordinator-scope recorder with a
+// random trace id.
+func NewTraceRecorder() *TraceRecorder {
+	return trace.New()
+}
 
 // MarkServerShutdown returns a context whose descendants report
 // server-initiated cancellation: pass the result as an http.Server
