@@ -3,9 +3,12 @@
 // experiments A1–A7 defined in DESIGN.md, and the serving benchmarks
 // S1 (lonad cold/cached/post-update latency → BENCH_serving.json),
 // S2 (sharded execution vs single engine → BENCH_cluster.json),
-// S3 (structural-mutation repair vs rebuild → BENCH_mutation.json), and
+// S3 (structural-mutation repair vs rebuild → BENCH_mutation.json),
 // S4 (streaming within-shard TA cuts vs whole-shard cuts →
-// BENCH_stream.json).
+// BENCH_stream.json), and S5 (the scale-2 snapshot tier: mmap cold
+// start vs build-from-generator, cold-serve topologies, steady-state
+// queries at GOMAXPROCS ∈ {1,4} → BENCH_snapshot.json; run with
+// -experiments S5 -scale 2 for the ≥100k-node artifact).
 // Output is markdown (stdout or -out file) plus optional per-experiment
 // CSV.
 //
@@ -37,7 +40,7 @@ import (
 
 func main() {
 	var (
-		experiments  = flag.String("experiments", "all", "comma-separated experiment ids (F1..F6, A1..A7, S1..S4) or 'all'")
+		experiments  = flag.String("experiments", "all", "comma-separated experiment ids (F1..F6, A1..A7, S1..S5) or 'all'")
 		scale        = flag.Float64("scale", 1.0, "dataset scale multiplier")
 		seed         = flag.Int64("seed", 20100301, "session seed")
 		repeats      = flag.Int("repeats", 1, "timed repetitions per query (min kept)")
@@ -48,10 +51,11 @@ func main() {
 		clusterJSON  = flag.String("cluster-json", "BENCH_cluster.json", "write the S2 sharded-execution summary to this file (empty disables)")
 		mutationJSON = flag.String("mutation-json", "BENCH_mutation.json", "write the S3 structural-mutation summary to this file (empty disables)")
 		streamJSON   = flag.String("stream-json", "BENCH_stream.json", "write the S4 streaming-cuts summary to this file (empty disables)")
+		snapJSON     = flag.String("snapshot-json", "BENCH_snapshot.json", "write the S5 snapshot-tier summary to this file (empty disables)")
 		quiet        = flag.Bool("quiet", false, "suppress progress logging")
 	)
 	flag.Parse()
-	if err := run(*experiments, *scale, *seed, *repeats, *workers, *out, *csvDir, *servingJSON, *clusterJSON, *mutationJSON, *streamJSON, *quiet); err != nil {
+	if err := run(*experiments, *scale, *seed, *repeats, *workers, *out, *csvDir, *servingJSON, *clusterJSON, *mutationJSON, *streamJSON, *snapJSON, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "lonabench:", err)
 		os.Exit(1)
 	}
@@ -93,9 +97,10 @@ var buildStamp = sync.OnceValues(func() (sha, goVersion string) {
 })
 
 // writeSummary marshals a machine-readable benchmark summary to path,
-// stamped with the producing git revision and Go version alongside the
-// summary's own fields (cpus et al.).
-func writeSummary(path string, summary any, quiet bool) error {
+// stamped with the producing git revision, Go version, GOMAXPROCS, and
+// session scale alongside the summary's own fields (cpus et al.), so a
+// scale-0.2 / 1-P artifact can never be mistaken for a scale-2 run.
+func writeSummary(path string, summary any, scale float64, quiet bool) error {
 	blob, err := json.Marshal(summary)
 	if err != nil {
 		return err
@@ -105,6 +110,8 @@ func writeSummary(path string, summary any, quiet bool) error {
 		return fmt.Errorf("summary for %s is not a JSON object: %w", path, err)
 	}
 	m["git_sha"], m["go_version"] = buildStamp()
+	m["gomaxprocs"] = runtime.GOMAXPROCS(0)
+	m["scale"] = scale
 	if blob, err = json.MarshalIndent(m, "", "  "); err != nil {
 		return err
 	}
@@ -117,7 +124,7 @@ func writeSummary(path string, summary any, quiet bool) error {
 	return nil
 }
 
-func run(experiments string, scale float64, seed int64, repeats, workers int, out, csvDir, servingJSON, clusterJSON, mutationJSON, streamJSON string, quiet bool) error {
+func run(experiments string, scale float64, seed int64, repeats, workers int, out, csvDir, servingJSON, clusterJSON, mutationJSON, streamJSON, snapJSON string, quiet bool) error {
 	ids := bench.ExperimentIDs()
 	if experiments != "all" {
 		ids = nil
@@ -151,7 +158,7 @@ func run(experiments string, scale float64, seed int64, repeats, workers int, ou
 			var summary *bench.ServingSummary
 			res, summary, err = w.RunServingDetailed()
 			if err == nil && servingJSON != "" {
-				if werr := writeSummary(servingJSON, summary, quiet); werr != nil {
+				if werr := writeSummary(servingJSON, summary, scale, quiet); werr != nil {
 					return werr
 				}
 			}
@@ -159,7 +166,7 @@ func run(experiments string, scale float64, seed int64, repeats, workers int, ou
 			var summary *bench.ClusterSummary
 			res, summary, err = w.RunClusterDetailed()
 			if err == nil && clusterJSON != "" {
-				if werr := writeSummary(clusterJSON, summary, quiet); werr != nil {
+				if werr := writeSummary(clusterJSON, summary, scale, quiet); werr != nil {
 					return werr
 				}
 			}
@@ -167,7 +174,7 @@ func run(experiments string, scale float64, seed int64, repeats, workers int, ou
 			var summary *bench.MutationSummary
 			res, summary, err = w.RunMutationDetailed()
 			if err == nil && mutationJSON != "" {
-				if werr := writeSummary(mutationJSON, summary, quiet); werr != nil {
+				if werr := writeSummary(mutationJSON, summary, scale, quiet); werr != nil {
 					return werr
 				}
 			}
@@ -175,7 +182,15 @@ func run(experiments string, scale float64, seed int64, repeats, workers int, ou
 			var summary *bench.StreamSummary
 			res, summary, err = w.RunStreamDetailed()
 			if err == nil && streamJSON != "" {
-				if werr := writeSummary(streamJSON, summary, quiet); werr != nil {
+				if werr := writeSummary(streamJSON, summary, scale, quiet); werr != nil {
+					return werr
+				}
+			}
+		case "S5":
+			var summary *bench.SnapshotSummary
+			res, summary, err = w.RunSnapshotDetailed()
+			if err == nil && snapJSON != "" {
+				if werr := writeSummary(snapJSON, summary, scale, quiet); werr != nil {
 					return werr
 				}
 			}

@@ -8,6 +8,11 @@
 //	lonad -dataset collaboration -scale 0.5 -addr :8080
 //	lonad -graph collab.graph -scores collab.scores -hops 2 -drain 5s
 //
+//	# boot from an mmap-ed columnar snapshot (lonagen -snapshot): graph,
+//	# scores, and N(v) index map in with no rebuild, so cold start is O(ms)
+//	lonad -snapshot collab.snap
+//	lonad -snapshot collab.snap.shard0 -shard-worker -addr :9001
+//
 //	# one process, 4 partition-local engines:
 //	lonad -dataset collaboration -shards 4
 //
@@ -70,6 +75,7 @@ func main() {
 		addr       = flag.String("addr", ":8080", "listen address")
 		graphPath  = flag.String("graph", "", "binary graph file (from lonagen), or a .gml file")
 		scoresPath = flag.String("scores", "", "binary scores file (from lonagen)")
+		snapPath   = flag.String("snapshot", "", "mmap-able columnar snapshot (from lonagen -snapshot); replaces -graph/-scores/-dataset")
 		dataset    = flag.String("dataset", "", "generate instead of load: collaboration | citation | intrusion")
 		scale      = flag.Float64("scale", 1.0, "dataset scale when generating")
 		seed       = flag.Int64("seed", 20100301, "seed when generating")
@@ -91,7 +97,7 @@ func main() {
 	)
 	flag.Parse()
 	cfg := config{
-		addr: *addr, graphPath: *graphPath, scoresPath: *scoresPath,
+		addr: *addr, graphPath: *graphPath, scoresPath: *scoresPath, snapshot: *snapPath,
 		dataset: *dataset, scale: *scale, seed: *seed, relKind: *relKind, r: *r,
 		h: *h, cacheBytes: *cacheBytes, workers: *workers, drain: *drain,
 		shards: *shards, shardWorker: *shardWorker, shardIndex: *shardIndex,
@@ -108,6 +114,7 @@ func main() {
 type config struct {
 	addr                  string
 	graphPath, scoresPath string
+	snapshot              string
 	dataset               string
 	scale                 float64
 	seed                  int64
@@ -142,15 +149,47 @@ func run(cfg config) error {
 	switch {
 	case cfg.shardWorker && len(peers) > 0:
 		return fmt.Errorf("-shard-worker and -shard-peers are mutually exclusive")
-	case cfg.shardWorker && (cfg.shardIndex < 0 || cfg.shardIndex >= cfg.shards):
+	case cfg.shardWorker && cfg.snapshot == "" && (cfg.shardIndex < 0 || cfg.shardIndex >= cfg.shards):
 		return fmt.Errorf("-shard-index %d outside the %d-shard partitioning", cfg.shardIndex, cfg.shards)
 	case cfg.shards < 1:
 		return fmt.Errorf("-shards must be at least 1, got %d", cfg.shards)
+	case cfg.snapshot != "" && (cfg.dataset != "" || cfg.graphPath != "" || cfg.scoresPath != ""):
+		return fmt.Errorf("-snapshot replaces -dataset/-graph/-scores; pass one or the other")
 	}
 
-	g, scores, err := loadOrGenerate(cfg.graphPath, cfg.scoresPath, cfg.dataset, cfg.scale, cfg.seed, cfg.relKind, cfg.r)
-	if err != nil {
-		return err
+	var (
+		g        *lona.Graph
+		scores   []float64
+		snap     *lona.SnapshotReader
+		snapLoad time.Duration
+	)
+	if cfg.snapshot != "" {
+		// The engine's slices alias the mapping, so the reader stays open
+		// for the life of the process — never Close it here.
+		t0 := time.Now()
+		var err error
+		snap, err = lona.OpenSnapshot(cfg.snapshot)
+		if err != nil {
+			return err
+		}
+		snapLoad = time.Since(t0)
+		if snap.IsShard() && !cfg.shardWorker {
+			return fmt.Errorf("%s is a shard snapshot (part %d of %d); serve it with -shard-worker",
+				cfg.snapshot, snap.ShardIndex(), snap.Parts())
+		}
+		g, scores = snap.Graph(), snap.Scores()
+		if cfg.h != snap.H() {
+			log.Printf("snapshot: baked-in h=%d overrides -hops %d", snap.H(), cfg.h)
+			cfg.h = snap.H()
+		}
+		log.Printf("snapshot: mapped %s in %s (%d bytes, generation %d)",
+			cfg.snapshot, snapLoad.Round(time.Microsecond), snap.Size(), snap.Generation())
+	} else {
+		var err error
+		g, scores, err = loadOrGenerate(cfg.graphPath, cfg.scoresPath, cfg.dataset, cfg.scale, cfg.seed, cfg.relKind, cfg.r)
+		if err != nil {
+			return err
+		}
 	}
 	log.Printf("network: %d nodes, %d edges; h=%d", g.NumNodes(), g.NumEdges(), cfg.h)
 
@@ -171,7 +210,20 @@ func run(cfg config) error {
 
 	start := time.Now()
 	var handler http.Handler
+	var err error
 	switch {
+	case cfg.shardWorker && snap != nil:
+		// Worker mode from a shard snapshot: the partition closure, its
+		// scores, and its N(v) index all map straight in. Snapshot-booted
+		// workers serve queries and score updates but reject structural
+		// edits, which need the full graph.
+		handler, err = lona.NewShardWorkerHandlerFromSnapshot(snap)
+		if err != nil {
+			return err
+		}
+		log.Printf("shard worker %d/%d ready from snapshot in %.2fs",
+			snap.ShardIndex(), snap.Parts(), time.Since(start).Seconds())
+
 	case cfg.shardWorker:
 		// Worker mode: build just this process's shard of the shared
 		// deterministic partitioning and serve the shard protocol.
@@ -189,6 +241,17 @@ func run(cfg config) error {
 		opts := lona.ServerOptions{
 			CacheBytes: cacheBytes, Workers: cfg.workers,
 			DisableStreaming: !cfg.stream, SlowQuery: cfg.slowQuery,
+		}
+		if snap != nil {
+			// Adopt the snapshot's N(v) index so the server skips the eager
+			// rebuild, and record boot provenance for /v1/stats and /metrics.
+			// POST /v1/snapshot with no body re-persists to the boot path.
+			opts.Index = snap.Index()
+			opts.SnapshotPath = cfg.snapshot
+			opts.SnapshotSource = &lona.ServerSnapshotSource{
+				Path: snap.Path(), ModTime: snap.ModTime(), Bytes: snap.Size(),
+				Generation: snap.Generation(), LoadDuration: snapLoad,
+			}
 		}
 		if len(peers) > 0 {
 			opts.ShardWorkers = peers

@@ -7,6 +7,11 @@
 //	lonagen -dataset collaboration -scale 1.0 -seed 7 \
 //	        -out collab.graph -scores-out collab.scores -r 0.01 -relevance mixture
 //
+//	# columnar snapshot instead: graph + scores + N(v) index at -hops,
+//	# mmap-able by lonad -snapshot; with -shards, also one snapshot per
+//	# shard closure (collab.snap.shard0 … .shard3) for -shard-worker boots
+//	lonagen -dataset collaboration -snapshot collab.snap -hops 2 -shards 4
+//
 // Datasets: collaboration | citation | intrusion (DESIGN.md §4 documents
 // how each simulates the paper's real dataset). Relevance: mixture (the
 // paper's evaluation function) | binary.
@@ -18,6 +23,7 @@ import (
 	"os"
 
 	lona "repro"
+	"repro/internal/cluster"
 	"repro/internal/graph"
 	"repro/internal/relevance"
 )
@@ -27,20 +33,50 @@ func main() {
 		dataset   = flag.String("dataset", "collaboration", "dataset to simulate: collaboration | citation | intrusion")
 		scale     = flag.Float64("scale", 1.0, "dataset scale relative to DESIGN.md defaults")
 		seed      = flag.Int64("seed", 20100301, "generator seed")
-		out       = flag.String("out", "", "output path for the binary graph (required)")
+		out       = flag.String("out", "", "output path for the binary graph (required unless -snapshot or -stats)")
 		scoresOut = flag.String("scores-out", "", "output path for the binary scores (optional)")
 		relKind   = flag.String("relevance", "mixture", "relevance function: mixture | binary")
 		r         = flag.Float64("r", 0.01, "blacking ratio (fraction of nodes scored exactly 1)")
 		statsOnly = flag.Bool("stats", false, "print dataset statistics instead of writing files")
+		snapOut   = flag.String("snapshot", "", "output path for an mmap-able columnar snapshot (graph + scores + N(v) index at -hops)")
+		hops      = flag.Int("hops", 2, "neighborhood radius h baked into -snapshot indexes")
+		shards    = flag.Int("shards", 1, "with -snapshot: also write one shard snapshot per part (<snapshot>.shard<i>)")
 	)
 	flag.Parse()
-	if err := run(*dataset, *scale, *seed, *out, *scoresOut, *relKind, *r, *statsOnly); err != nil {
+	if err := run(*dataset, *scale, *seed, *out, *scoresOut, *relKind, *r, *statsOnly, *snapOut, *hops, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "lonagen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataset string, scale float64, seed int64, out, scoresOut, relKind string, r float64, statsOnly bool) error {
+// writeSnapshots persists the whole-graph snapshot and, with parts > 1,
+// the per-shard partition-closure snapshots lonad -shard-worker boots
+// from.
+func writeSnapshots(g *lona.Graph, scores []float64, h, parts int, path string) error {
+	if err := lona.WriteSnapshot(path, g, scores, h); err != nil {
+		return fmt.Errorf("writing snapshot: %w", err)
+	}
+	fmt.Printf("wrote snapshot to %s (h=%d)\n", path, h)
+	if parts <= 1 {
+		return nil
+	}
+	ss, _, err := cluster.BuildShards(g, scores, h, parts)
+	if err != nil {
+		return err
+	}
+	for i, s := range ss {
+		shardPath := fmt.Sprintf("%s.shard%d", path, i)
+		if err := cluster.WriteShardSnapshot(s, shardPath, 0); err != nil {
+			return fmt.Errorf("writing shard snapshot %d: %w", i, err)
+		}
+		fmt.Printf("wrote shard snapshot %d/%d to %s (%d owned, %d boundary)\n",
+			i, parts, shardPath, s.OwnedCount(), s.BoundaryNodes())
+	}
+	return nil
+}
+
+func run(dataset string, scale float64, seed int64, out, scoresOut, relKind string, r float64,
+	statsOnly bool, snapOut string, hops, shards int) error {
 	var g *lona.Graph
 	switch dataset {
 	case "collaboration":
@@ -62,24 +98,32 @@ func run(dataset string, scale float64, seed int64, out, scoresOut, relKind stri
 			s.Components, s.LargestCC, s.Isolated, s.GlobalClustering)
 		return nil
 	}
-	if out == "" {
-		return fmt.Errorf("-out is required (or pass -stats)")
+	if out == "" && snapOut == "" {
+		return fmt.Errorf("-out or -snapshot is required (or pass -stats)")
+	}
+	if hops < 0 {
+		return fmt.Errorf("-hops must be non-negative, got %d", hops)
+	}
+	if shards < 1 {
+		return fmt.Errorf("-shards must be at least 1, got %d", shards)
 	}
 
-	f, err := os.Create(out)
-	if err != nil {
-		return err
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		if err := lona.WriteGraph(f, g); err != nil {
+			f.Close()
+			return fmt.Errorf("writing graph: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote graph to %s\n", out)
 	}
-	if err := lona.WriteGraph(f, g); err != nil {
-		f.Close()
-		return fmt.Errorf("writing graph: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	fmt.Printf("wrote graph to %s\n", out)
 
-	if scoresOut == "" {
+	if scoresOut == "" && snapOut == "" {
 		return nil
 	}
 	var scores []float64
@@ -93,17 +137,23 @@ func run(dataset string, scale float64, seed int64, out, scoresOut, relKind stri
 	}
 	fmt.Printf("relevance %s: %d of %d nodes non-zero\n", relKind, relevance.NonZeroCount(scores), len(scores))
 
-	sf, err := os.Create(scoresOut)
-	if err != nil {
-		return err
+	if scoresOut != "" {
+		sf, err := os.Create(scoresOut)
+		if err != nil {
+			return err
+		}
+		if err := lona.WriteScores(sf, scores); err != nil {
+			sf.Close()
+			return fmt.Errorf("writing scores: %w", err)
+		}
+		if err := sf.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote scores to %s\n", scoresOut)
 	}
-	if err := lona.WriteScores(sf, scores); err != nil {
-		sf.Close()
-		return fmt.Errorf("writing scores: %w", err)
+
+	if snapOut != "" {
+		return writeSnapshots(g, scores, hops, shards, snapOut)
 	}
-	if err := sf.Close(); err != nil {
-		return err
-	}
-	fmt.Printf("wrote scores to %s\n", scoresOut)
 	return nil
 }

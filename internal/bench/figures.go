@@ -391,7 +391,7 @@ func ExperimentIDs() []string {
 	for _, f := range PaperFigures {
 		ids = append(ids, f.ID)
 	}
-	ids = append(ids, "A1", "A2", "A3", "A4", "A5", "A6", "A7", "S1", "S2", "S3", "S4")
+	ids = append(ids, "A1", "A2", "A3", "A4", "A5", "A6", "A7", "S1", "S2", "S3", "S4", "S5")
 	return ids
 }
 
@@ -425,6 +425,8 @@ func (w *Workspace) Run(id string) (*Result, error) {
 		return w.RunMutation()
 	case "S4":
 		return w.RunStream()
+	case "S5":
+		return w.RunSnapshot()
 	default:
 		known := ExperimentIDs()
 		sort.Strings(known)

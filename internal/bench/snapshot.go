@@ -1,0 +1,403 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/snapshot"
+)
+
+// SnapshotSummary is the machine-readable result of the S5 scale-2
+// benchmark tier — cmd/lonabench writes it as BENCH_snapshot.json. It is
+// the first committed artifact produced at the "large networks" scale
+// the ROADMAP north star names (dataset_scale = 1.25 × the session
+// scale, so -scale 2 runs a ≥100k-node Collaboration graph), and it
+// measures what the snapshot subsystem actually changes: cold-start
+// cost (build-from-generator vs mmap), time-to-first-answer for the
+// serving topologies that matter for replica spin-up, and steady-state
+// query latency with exact work counters.
+type SnapshotSummary struct {
+	Dataset string  `json:"dataset"`
+	Scale   float64 `json:"scale"` // session -scale (bench tier scale)
+	// DatasetScale is the generator scale actually used: 1.25 × Scale,
+	// so the scale-2 tier crosses the 100k-node line.
+	DatasetScale float64 `json:"dataset_scale"`
+	Nodes        int     `json:"nodes"`
+	Edges        int     `json:"edges"`
+	H            int     `json:"h"`
+	K            int     `json:"k"`
+	CPUs         int     `json:"cpus"`
+
+	ColdStart SnapshotColdStart   `json:"cold_start"`
+	ColdServe []SnapshotServeCell `json:"cold_serve"`
+	Query     []SnapshotQueryCell `json:"query"`
+}
+
+// SnapshotColdStart prices getting an engine to queryable, both ways.
+type SnapshotColdStart struct {
+	// BuildSec is today's boot: generate the graph, construct the
+	// engine, build the h-hop neighborhood index from scratch.
+	BuildSec float64 `json:"build_sec"`
+	// WriteSec is the one-time cost of persisting the whole-graph
+	// snapshot (amortized across every later boot).
+	WriteSec float64 `json:"snapshot_write_sec"`
+	Bytes    int64   `json:"snapshot_bytes"`
+	// MmapSec is the snapshot boot: open + checksum-verify + map the
+	// columns and adopt the prebuilt index — no rebuild.
+	MmapSec float64 `json:"mmap_sec"`
+	// Speedup is BuildSec / MmapSec — the headline cold-start win.
+	Speedup float64 `json:"speedup"`
+}
+
+// SnapshotServeCell is one cold-serve measurement: process start to
+// first exact top-k answer, for one serving topology. Speedup is
+// against the build-single baseline at the same GOMAXPROCS — the boot
+// path every topology replaces.
+type SnapshotServeCell struct {
+	// Mode is build-single (generate + index + query, today's boot),
+	// mmap-single (whole-graph snapshot boot), or mmap-sharded (P
+	// workers each booting its own partition-closure snapshot behind a
+	// coordinator — the replica-spin-up topology).
+	Mode           string  `json:"mode"`
+	Parts          int     `json:"parts"`
+	GOMAXPROCS     int     `json:"gomaxprocs"`
+	BootSec        float64 `json:"boot_sec"`
+	FirstQuerySec  float64 `json:"first_query_sec"`
+	FirstAnswerSec float64 `json:"first_answer_sec"`
+	Speedup        float64 `json:"speedup"`
+}
+
+// SnapshotQueryCell is one steady-state latency measurement over
+// snapshot-backed engines. Speedup is against the single-engine cell at
+// the same GOMAXPROCS; on a 1-CPU host the sharded cells price the
+// fan-out overhead honestly (expect ≤1.0 — wall-clock fan-out wins need
+// real cores; Evaluated shows the work split the cores would divide).
+type SnapshotQueryCell struct {
+	Mode       string  `json:"mode"` // "single" or "sharded"
+	Parts      int     `json:"parts"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Sec        float64 `json:"sec"`
+	QPS        float64 `json:"qps"`
+	Evaluated  int     `json:"evaluated"`
+	Speedup    float64 `json:"speedup"`
+}
+
+const (
+	// snapshotScaleFactor maps the session scale to the generator scale
+	// so the named tier ("scale 2") clears 100k nodes.
+	snapshotScaleFactor = 1.25
+	snapshotBenchK      = 100
+	snapshotBenchParts  = 4
+)
+
+// RunSnapshot executes S5 and returns only the Result grid.
+func (w *Workspace) RunSnapshot() (*Result, error) {
+	res, _, err := w.RunSnapshotDetailed()
+	return res, err
+}
+
+// RunSnapshotDetailed benchmarks the snapshot subsystem at the scale-2
+// tier: Collaboration topology at 1.25× the session scale with the S4
+// region-hot relevance skew, 2-hop SUM, k=100, Forward-Dist (the
+// bound-driven algorithm both the single engine and the shards run).
+// Every snapshot-backed answer — single and sharded, at every
+// GOMAXPROCS — is verified byte-identical to the built-from-memory
+// engine's answer before its timing is accepted.
+func (w *Workspace) RunSnapshotDetailed() (*Result, *SnapshotSummary, error) {
+	genScale := w.cfg.Scale * snapshotScaleFactor
+	prevGM := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prevGM)
+
+	dir, err := os.MkdirTemp("", "lona-bench-snapshot-")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	// Today's boot, timed end to end: generator → engine → h-hop index.
+	buildStart := time.Now()
+	g := gen.Collaboration(gen.DatasetScale(genScale), w.cfg.Seed)
+	scores := streamScores(g.NumNodes())
+	built, err := core.NewEngine(g, scores, hops)
+	if err != nil {
+		return nil, nil, err
+	}
+	built.PrepareNeighborhoodIndex(w.cfg.Workers)
+	buildSec := time.Since(buildStart).Seconds()
+	w.logf("S5 build-from-generator: %d nodes, %d edges in %.3fs", g.NumNodes(), g.NumEdges(), buildSec)
+
+	q := core.Query{Algorithm: core.AlgoForwardDist, K: snapshotBenchK, Aggregate: core.Sum}
+	baseline, err := built.Run(context.Background(), q)
+	if err != nil {
+		return nil, nil, err
+	}
+	verify := func(label string, got core.Answer) error {
+		if len(got.Results) != len(baseline.Results) {
+			return fmt.Errorf("S5 %s: %d results, baseline %d", label, len(got.Results), len(baseline.Results))
+		}
+		for i := range baseline.Results {
+			if got.Results[i] != baseline.Results[i] {
+				return fmt.Errorf("S5 %s: result %d = %+v, baseline %+v", label, i, got.Results[i], baseline.Results[i])
+			}
+		}
+		return nil
+	}
+
+	// Persist the whole-graph snapshot (timed: the amortized write cost)
+	// and the per-shard partition closures (untimed setup for the
+	// sharded boots below).
+	snapPath := filepath.Join(dir, "bench.snap")
+	writeStart := time.Now()
+	wr, err := snapshot.NewWriter(g, scores, hops, graph.BuildNeighborhoodIndex(g, hops, w.cfg.Workers))
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := wr.WriteFile(snapPath); err != nil {
+		return nil, nil, err
+	}
+	writeSec := time.Since(writeStart).Seconds()
+	fi, err := os.Stat(snapPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	shards, part, err := cluster.BuildShards(g, scores, hops, snapshotBenchParts)
+	if err != nil {
+		return nil, nil, err
+	}
+	edgeCut := part.EdgeCut(g)
+	shardPaths := make([]string, len(shards))
+	for i, s := range shards {
+		shardPaths[i] = fmt.Sprintf("%s.shard%d", snapPath, i)
+		if err := cluster.WriteShardSnapshot(s, shardPaths[i], 0); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Snapshot boot, timed the same end-to-end way: map + verify + adopt.
+	bootSingle := func() (*core.Engine, *snapshot.Reader, error) {
+		r, err := snapshot.Open(snapPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		e, err := core.NewEngine(r.Graph(), r.Scores(), r.H())
+		if err != nil {
+			r.Close()
+			return nil, nil, err
+		}
+		if err := e.AdoptNeighborhoodIndex(r.Index()); err != nil {
+			r.Close()
+			return nil, nil, err
+		}
+		return e, r, nil
+	}
+	mmapSec := -1.0
+	var mapped *core.Engine
+	for rep := 0; rep < w.cfg.Repeats; rep++ {
+		start := time.Now()
+		e, r, err := bootSingle()
+		if err != nil {
+			return nil, nil, err
+		}
+		sec := time.Since(start).Seconds()
+		defer r.Close()
+		if mmapSec < 0 || sec < mmapSec {
+			mmapSec = sec
+		}
+		mapped = e
+	}
+	if ans, err := mapped.Run(context.Background(), q); err != nil {
+		return nil, nil, err
+	} else if err := verify("mmap-single", ans); err != nil {
+		return nil, nil, err
+	}
+	w.logf("S5 mmap boot: %.4fs (%.0fx faster than build)", mmapSec, buildSec/mmapSec)
+
+	sum := &SnapshotSummary{
+		Dataset: Collaboration.String(), Scale: w.cfg.Scale, DatasetScale: genScale,
+		Nodes: g.NumNodes(), Edges: g.NumEdges(), H: hops, K: snapshotBenchK,
+		CPUs: runtime.NumCPU(),
+		ColdStart: SnapshotColdStart{
+			BuildSec: buildSec, WriteSec: writeSec, Bytes: fi.Size(),
+			MmapSec: mmapSec, Speedup: buildSec / mmapSec,
+		},
+	}
+	res := &Result{
+		ID:    "S5",
+		Title: "Snapshot tier: mmap cold start, cold-serve topologies, steady-state queries (Collaboration, region-hot, SUM, k=100)",
+		XName: "gomaxprocs",
+		Notes: fmt.Sprintf("%d nodes, %d edges, h=%d, dataset_scale=%.3g; snapshot %.1f MiB; answers verified byte-identical to the built engine",
+			g.NumNodes(), g.NumEdges(), hops, genScale, float64(fi.Size())/(1<<20)),
+	}
+	res.Rows = append(res.Rows,
+		Row{X: float64(prevGM), Label: "cold-start/build", Sec: buildSec},
+		Row{X: float64(prevGM), Label: "cold-start/mmap", Sec: mmapSec,
+			Extra: map[string]float64{"speedup": buildSec / mmapSec, "bytes": float64(fi.Size())}})
+
+	// bootSharded stands up the replica-spin-up topology: P workers each
+	// mapping its own partition-closure snapshot behind a coordinator.
+	bootSharded := func() (*cluster.Coordinator, []*snapshot.Reader, error) {
+		readers := make([]*snapshot.Reader, len(shardPaths))
+		ss := make([]*cluster.Shard, len(shardPaths))
+		for i, path := range shardPaths {
+			r, err := snapshot.Open(path)
+			if err != nil {
+				return nil, readers, err
+			}
+			readers[i] = r
+			if ss[i], err = cluster.ShardFromSnapshot(r); err != nil {
+				return nil, readers, err
+			}
+		}
+		local := cluster.NewLocalFromShards(ss, g.NumNodes(), edgeCut)
+		return cluster.NewCoordinator(local, cluster.Options{}), readers, nil
+	}
+	closeAll := func(readers []*snapshot.Reader) {
+		for _, r := range readers {
+			if r != nil {
+				r.Close()
+			}
+		}
+	}
+
+	for _, gm := range []int{1, 4} {
+		runtime.GOMAXPROCS(gm)
+
+		// Cold serve: process start → first exact top-k answer.
+		type boot struct {
+			mode  string
+			parts int
+			run   func() (bootSec, querySec float64, err error)
+		}
+		boots := []boot{
+			{"build-single", 1, func() (float64, float64, error) {
+				start := time.Now()
+				gg := gen.Collaboration(gen.DatasetScale(genScale), w.cfg.Seed)
+				e, err := core.NewEngine(gg, streamScores(gg.NumNodes()), hops)
+				if err != nil {
+					return 0, 0, err
+				}
+				e.PrepareNeighborhoodIndex(w.cfg.Workers)
+				bootSec := time.Since(start).Seconds()
+				start = time.Now()
+				ans, err := e.Run(context.Background(), q)
+				if err != nil {
+					return 0, 0, err
+				}
+				return bootSec, time.Since(start).Seconds(), verify("build-single", ans)
+			}},
+			{"mmap-single", 1, func() (float64, float64, error) {
+				start := time.Now()
+				e, r, err := bootSingle()
+				if err != nil {
+					return 0, 0, err
+				}
+				defer r.Close()
+				bootSec := time.Since(start).Seconds()
+				start = time.Now()
+				ans, err := e.Run(context.Background(), q)
+				if err != nil {
+					return 0, 0, err
+				}
+				return bootSec, time.Since(start).Seconds(), verify("mmap-single", ans)
+			}},
+			{"mmap-sharded", snapshotBenchParts, func() (float64, float64, error) {
+				start := time.Now()
+				coord, readers, err := bootSharded()
+				defer closeAll(readers)
+				if err != nil {
+					return 0, 0, err
+				}
+				bootSec := time.Since(start).Seconds()
+				start = time.Now()
+				ans, err := coord.Run(context.Background(), q)
+				if err != nil {
+					return 0, 0, err
+				}
+				return bootSec, time.Since(start).Seconds(), verify("mmap-sharded", ans)
+			}},
+		}
+		var buildFirstAnswer float64
+		for _, b := range boots {
+			bestBoot, bestQuery, bestTotal := -1.0, -1.0, -1.0
+			for rep := 0; rep < w.cfg.Repeats; rep++ {
+				bootSec, querySec, err := b.run()
+				if err != nil {
+					return nil, nil, err
+				}
+				if total := bootSec + querySec; bestTotal < 0 || total < bestTotal {
+					bestBoot, bestQuery, bestTotal = bootSec, querySec, total
+				}
+			}
+			cell := SnapshotServeCell{
+				Mode: b.mode, Parts: b.parts, GOMAXPROCS: gm,
+				BootSec: bestBoot, FirstQuerySec: bestQuery, FirstAnswerSec: bestTotal,
+			}
+			if b.mode == "build-single" {
+				buildFirstAnswer = bestTotal
+			}
+			cell.Speedup = buildFirstAnswer / bestTotal
+			sum.ColdServe = append(sum.ColdServe, cell)
+			res.Rows = append(res.Rows, Row{
+				X: float64(gm), Label: "cold-serve/" + b.mode, Sec: bestTotal,
+				Extra: map[string]float64{"speedup": cell.Speedup, "boot_sec": bestBoot, "parts": float64(b.parts)},
+			})
+			w.logf("S5 cold-serve gomaxprocs=%d %-12s boot %.4fs + query %.4fs = %.4fs (%.2fx vs build-single)",
+				gm, b.mode, bestBoot, bestQuery, bestTotal, cell.Speedup)
+		}
+
+		// Steady state over the snapshot-backed engines.
+		coord, readers, err := bootSharded()
+		if err != nil {
+			closeAll(readers)
+			return nil, nil, err
+		}
+		var singleSec float64
+		type target struct {
+			mode  string
+			parts int
+			run   func() (core.Answer, error)
+		}
+		for _, tg := range []target{
+			{"single", 1, func() (core.Answer, error) { return mapped.Run(context.Background(), q) }},
+			{"sharded", snapshotBenchParts, func() (core.Answer, error) { return coord.Run(context.Background(), q) }},
+		} {
+			var ans core.Answer
+			sec, err := w.timeQuery(func() error {
+				var err error
+				if ans, err = tg.run(); err != nil {
+					return err
+				}
+				return verify(tg.mode, ans)
+			})
+			if err != nil {
+				closeAll(readers)
+				return nil, nil, err
+			}
+			if tg.mode == "single" {
+				singleSec = sec
+			}
+			cell := SnapshotQueryCell{
+				Mode: tg.mode, Parts: tg.parts, GOMAXPROCS: gm,
+				Sec: sec, QPS: 1 / sec, Evaluated: ans.Stats.Evaluated,
+				Speedup: singleSec / sec,
+			}
+			sum.Query = append(sum.Query, cell)
+			res.Rows = append(res.Rows, Row{
+				X: float64(gm), Label: "query/" + tg.mode, Sec: sec,
+				Extra: map[string]float64{"speedup": cell.Speedup, "qps": cell.QPS, "evaluated": float64(cell.Evaluated)},
+			})
+			w.logf("S5 query gomaxprocs=%d %-7s %.4fs (%.1f qps, evaluated %d, %.2fx vs single)",
+				gm, tg.mode, sec, cell.QPS, cell.Evaluated, cell.Speedup)
+		}
+		closeAll(readers)
+	}
+	return res, sum, nil
+}

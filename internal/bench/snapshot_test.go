@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestRunSnapshotSmoke runs S5 on a small-but-real dataset and checks
+// the tier's acceptance shape: the mmap boot beats the
+// build-from-generator boot, every cold-serve topology answers faster
+// than the build-single baseline it replaces (speedup > 1 for the
+// snapshot boots), and the grid covers GOMAXPROCS ∈ {1, 4}. The harness
+// itself verified every snapshot-backed answer byte-identical to the
+// built engine before reporting any timing.
+func TestRunSnapshotSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("snapshot benchmark takes seconds")
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	w := NewWorkspace(Config{Scale: 0.2, Seed: 42, Workers: 2, Repeats: 2})
+	res, sum, err := w.RunSnapshotDetailed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "S5" {
+		t.Fatalf("unexpected result id %q", res.ID)
+	}
+	if sum.Nodes < 1000 {
+		t.Fatalf("dataset too small to exercise anything: %d nodes", sum.Nodes)
+	}
+	if sum.DatasetScale <= sum.Scale {
+		t.Fatalf("dataset_scale %v must exceed session scale %v", sum.DatasetScale, sum.Scale)
+	}
+
+	cs := sum.ColdStart
+	if cs.BuildSec <= 0 || cs.MmapSec <= 0 || cs.WriteSec <= 0 || cs.Bytes <= 0 {
+		t.Fatalf("cold start has non-positive fields: %+v", cs)
+	}
+	if cs.Speedup <= 1 {
+		t.Fatalf("mmap boot (%.4fs) did not beat build-from-generator (%.4fs)", cs.MmapSec, cs.BuildSec)
+	}
+
+	if len(sum.ColdServe) != 6 { // 3 modes × 2 GOMAXPROCS settings
+		t.Fatalf("expected 6 cold-serve cells, got %d", len(sum.ColdServe))
+	}
+	gms := map[int]bool{}
+	for _, cell := range sum.ColdServe {
+		gms[cell.GOMAXPROCS] = true
+		if cell.FirstAnswerSec <= 0 {
+			t.Fatalf("cold-serve cell %+v has non-positive timing", cell)
+		}
+		switch cell.Mode {
+		case "build-single":
+			if cell.Speedup != 1 {
+				t.Fatalf("baseline cell speedup %v, want 1", cell.Speedup)
+			}
+		case "mmap-single", "mmap-sharded":
+			if cell.Speedup <= 1 {
+				t.Fatalf("%s at GOMAXPROCS=%d: first answer %.4fs, speedup %.2fx — snapshot boot must beat the build boot",
+					cell.Mode, cell.GOMAXPROCS, cell.FirstAnswerSec, cell.Speedup)
+			}
+		default:
+			t.Fatalf("unknown cold-serve mode %q", cell.Mode)
+		}
+	}
+	if !gms[1] || !gms[4] {
+		t.Fatalf("cold-serve grid missing a GOMAXPROCS setting: %+v", gms)
+	}
+
+	if len(sum.Query) != 4 { // 2 modes × 2 GOMAXPROCS settings
+		t.Fatalf("expected 4 query cells, got %d", len(sum.Query))
+	}
+	for _, cell := range sum.Query {
+		if cell.Sec <= 0 || cell.QPS <= 0 || cell.Evaluated <= 0 {
+			t.Fatalf("query cell %+v has non-positive fields", cell)
+		}
+	}
+
+	if runtime.GOMAXPROCS(0) != prev {
+		t.Fatalf("benchmark leaked GOMAXPROCS=%d (want %d restored)", runtime.GOMAXPROCS(0), prev)
+	}
+	if res.Markdown() == "" || res.CSV() == "" {
+		t.Fatal("renderers rejected the grid")
+	}
+}
+
+// BenchmarkS5 runs the full scale-2 tier once per iteration; CI smokes
+// it with -benchtime=1x at GOMAXPROCS=4 so the ≥100k-node path stays
+// exercised without committing to its multi-minute full matrix.
+func BenchmarkS5(b *testing.B) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for i := 0; i < b.N; i++ {
+		w := NewWorkspace(Config{Scale: 2, Seed: 20100301, Workers: 0})
+		if _, _, err := w.RunSnapshotDetailed(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/snapshot"
+)
+
+// WriteShardSnapshot persists s as a shard snapshot at path: the closure
+// subgraph in columnar CSR form, the shard-local scores, the N(v) index
+// (built first if the shard has not needed it yet — snapshots exist to
+// make the next boot free, so the index is always included), and the
+// identity needed to re-join the topology (parts, index, globalNodes,
+// toGlobal, owned). generation stamps the score generation the snapshot
+// captures, so a worker restarted from disk can report how stale it is.
+func WriteShardSnapshot(s *Shard, path string, generation uint64) error {
+	w, err := snapshot.NewWriter(s.engine.Graph(), s.engine.Scores(), s.h,
+		s.engine.PrepareNeighborhoodIndex(0))
+	if err != nil {
+		return err
+	}
+	toGlobal := make([]int32, len(s.toGlobal))
+	for local, global := range s.toGlobal {
+		toGlobal[local] = int32(global)
+	}
+	if err := w.SetShard(s.parts, s.index, s.globalNodes, toGlobal, s.owned); err != nil {
+		return err
+	}
+	w.SetGeneration(generation)
+	return w.WriteFile(path)
+}
+
+// ShardFromSnapshot reconstructs the execution unit a shard snapshot
+// captures. The columnar sections are adopted zero-copy (the engine's
+// CSR, scores, and N(v) index alias the mapped file — the caller must
+// keep r open for the shard's lifetime), and only the derived lookup
+// tables (localIndex, ownedLocal, isOwned) are materialized, so standing
+// a worker back up costs O(closure) pointer work instead of a partition,
+// closure, and index build over the full graph.
+//
+// The snapshot's own decoding already proved the structural invariants
+// (monotone toGlobal embedding, owned ⊆ closure); this constructor only
+// rejects snapshots that are not shard snapshots at all.
+func ShardFromSnapshot(r *snapshot.Reader) (*Shard, error) {
+	if !r.IsShard() {
+		return nil, fmt.Errorf("cluster: %s is a whole-graph snapshot, not a shard", r.Path())
+	}
+	engine, err := core.NewEngine(r.Graph(), r.Scores(), r.H())
+	if err != nil {
+		return nil, err
+	}
+	if ix := r.Index(); ix != nil {
+		if err := engine.AdoptNeighborhoodIndex(ix); err != nil {
+			return nil, err
+		}
+	}
+	toGlobal := make([]int, len(r.ToGlobal()))
+	localIndex := make([]int32, r.GlobalNodes())
+	for i := range localIndex {
+		localIndex[i] = -1
+	}
+	for local, global := range r.ToGlobal() {
+		toGlobal[local] = int(global)
+		localIndex[global] = int32(local)
+	}
+	s := &Shard{
+		index:       r.ShardIndex(),
+		parts:       r.Parts(),
+		engine:      engine,
+		h:           r.H(),
+		globalNodes: r.GlobalNodes(),
+		owned:       r.Owned(),
+		toGlobal:    toGlobal,
+		localIndex:  localIndex,
+		isOwned:     make([]bool, len(toGlobal)),
+		bounds:      make(map[core.Aggregate]float64),
+	}
+	s.ownedLocal = make([]int, len(s.owned))
+	for i, v := range s.owned {
+		local := int(localIndex[v])
+		s.ownedLocal[i] = local
+		s.isOwned[local] = true
+	}
+	return s, nil
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// BenchmarkQueryAllocs measures steady-state per-query cost and
+// allocations for every algorithm over a warm engine — the numbers the
+// hot-loop flattening (struct-of-arrays candidate pools, pooled dense
+// scratch, closure-free BFS aggregation) is accountable to. Run with
+// -benchmem; after the flattening, the per-query allocation count must
+// be O(k), not O(n).
+func BenchmarkQueryAllocs(b *testing.B) {
+	const n, m, h, k = 4000, 16000, 2, 20
+	g := randomGraph(n, m, 7)
+	scores := randomScores(n, 8)
+	e, err := NewEngine(g, scores, h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.PrepareNeighborhoodIndex(0)
+	e.PrepareDifferentialIndex(0)
+	ctx := context.Background()
+
+	for _, algo := range []Algorithm{AlgoBase, AlgoForward, AlgoForwardDist, AlgoBackwardNaive, AlgoBackward} {
+		for _, agg := range []Aggregate{Sum, Avg} {
+			q := Query{Algorithm: algo, K: k, Aggregate: agg}
+			if algo == AlgoBackward {
+				q.Options.Gamma = 0.5
+			}
+			b.Run(fmt.Sprintf("%v/%v", algo, agg), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := e.Run(ctx, q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+
+	// The sharded path always restricts candidates; the mask must come
+	// from the pool, not a fresh O(n) allocation.
+	cands := make([]int, 0, n/2)
+	for v := 0; v < n; v += 2 {
+		cands = append(cands, v)
+	}
+	q := Query{Algorithm: AlgoBase, K: k, Aggregate: Sum, Candidates: cands}
+	b.Run("Base/SUM/candidates", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Run(ctx, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -26,8 +26,8 @@ import (
 func (e *Engine) runBackwardNaive(x *exec) (Answer, error) {
 	n := e.g.NumNodes()
 	agg := x.q.Aggregate
-	acc := make([]float64, n)
-	t := graph.NewTraverser(e.g)
+	acc := clearedF64(&x.s.acc, n)
+	t := x.s.traverser(e.g)
 	var stats QueryStats
 
 	undistributedFrom := n // first node the budget prevented from distributing
@@ -46,33 +46,15 @@ func (e *Engine) runBackwardNaive(x *exec) (Answer, error) {
 		size := 0
 		switch agg {
 		case Sum, Avg:
-			t.VisitWithin(u, e.h, func(v, _ int) {
-				acc[v] += mass
-				size++
-			})
+			size = t.AddWithin(u, e.h, mass, acc)
 		case WeightedSum:
 			// Undirected BFS distances are symmetric, so distributing
 			// mass/dist accumulates exactly Σ f(v)/dist(u,v) at each node.
-			t.VisitWithin(u, e.h, func(v, dist int) {
-				size++
-				if dist <= 1 {
-					acc[v] += mass
-					return
-				}
-				acc[v] += mass / float64(dist)
-			})
+			size = t.AddWeightedWithin(u, e.h, mass, acc)
 		case Count:
-			t.VisitWithin(u, e.h, func(v, _ int) {
-				acc[v]++
-				size++
-			})
+			size = t.AddWithin(u, e.h, 1, acc)
 		case Max:
-			t.VisitWithin(u, e.h, func(v, _ int) {
-				if mass > acc[v] {
-					acc[v] = mass
-				}
-				size++
-			})
+			size = t.MaxAddWithin(u, e.h, mass, acc)
 		}
 		stats.Distributed++
 		stats.Visited += size
@@ -169,10 +151,10 @@ func (e *Engine) runBackward(x *exec) (Answer, error) {
 		fRest = nonZero[cut].score
 	}
 
-	partial := make([]float64, n)
-	scanCount := make([]int32, n)
-	distributed := make([]bool, n)
-	t := graph.NewTraverser(e.g)
+	partial := clearedF64(&x.s.acc, n)
+	scanCount := clearedI32(&x.s.scans, n)
+	distributed := clearedBools(&x.s.distributed, n)
+	t := x.s.traverser(e.g)
 	for _, sc := range nonZero[:cut] {
 		if err := x.tick(&stats); err != nil {
 			return Answer{}, err
@@ -182,13 +164,7 @@ func (e *Engine) runBackward(x *exec) (Answer, error) {
 		}
 		u := int(sc.node)
 		distributed[u] = true
-		size := 0
-		mass := sc.score
-		t.VisitWithin(u, e.h, func(v, _ int) {
-			partial[v] += mass
-			scanCount[v]++
-			size++
-		})
+		size := t.AddScanWithin(u, e.h, sc.score, partial, scanCount)
 		stats.Distributed++
 		stats.Visited += size
 	}
@@ -225,7 +201,8 @@ func (e *Engine) runBackward(x *exec) (Answer, error) {
 	// aggregate's value domain, then verify candidates in descending bound
 	// order via a max-heap — only the nodes whose bound can still beat the
 	// running k-th value are ever exactly evaluated.
-	heap := make([]backwardCandidate, 0, n)
+	heapNode := emptyI32(&x.s.heapNode, n)
+	heapBound := emptyF64(&x.s.heapBound, n)
 	for v := 0; v < n; v++ {
 		if !x.eligible(v) {
 			continue
@@ -239,9 +216,10 @@ func (e *Engine) runBackward(x *exec) (Answer, error) {
 		if unknown > 0 {
 			boundSum += fRest * unknown
 		}
-		heap = append(heap, backwardCandidate{int32(v), finishValue(agg, boundSum, nix.N(v))})
+		heapNode = append(heapNode, int32(v))
+		heapBound = append(heapBound, finishValue(agg, boundSum, nix.N(v)))
 	}
-	heapifyCandidates(heap)
+	heapifyCandidates(heapNode, heapBound)
 
 	// Stopping is strict (<) so value ties resolve identically to Base.
 	// The stop threshold folds the external floor λ in: the heap is
@@ -249,10 +227,10 @@ func (e *Engine) runBackward(x *exec) (Answer, error) {
 	// topklbound or λ, no remaining candidate can matter — locally or in
 	// the global top-k the floor certifies.
 	list := topk.New(x.q.K)
-	for len(heap) > 0 {
-		top := heap[0]
-		if threshold := x.threshold(list); threshold > 0 && top.bound < threshold {
-			x.tr.Emit(trace.KindCut, len(heap), threshold, "verification stop")
+	for len(heapNode) > 0 {
+		topNode, topBound := heapNode[0], heapBound[0]
+		if threshold := x.threshold(list); threshold > 0 && topBound < threshold {
+			x.tr.Emit(trace.KindCut, len(heapNode), threshold, "verification stop")
 			break
 		}
 		if err := x.tick(&stats); err != nil {
@@ -264,23 +242,24 @@ func (e *Engine) runBackward(x *exec) (Answer, error) {
 			// never shrinks when the budget grows (a budget landing exactly
 			// between distribution and verification must not return fewer
 			// results than a smaller one).
-			for _, c := range heap {
-				if est := estimate(int(c.node)); list.Offer(int(c.node), est) {
-					x.sink.kept(int(c.node), est, &stats)
+			for _, node := range heapNode {
+				if est := estimate(int(node)); list.Offer(int(node), est) {
+					x.sink.kept(int(node), est, &stats)
 				}
 			}
 			break
 		}
-		heap[0] = heap[len(heap)-1]
-		heap = heap[:len(heap)-1]
-		if len(heap) > 0 {
-			downCandidate(heap, 0)
+		last := len(heapNode) - 1
+		heapNode[0], heapBound[0] = heapNode[last], heapBound[last]
+		heapNode, heapBound = heapNode[:last], heapBound[:last]
+		if last > 0 {
+			downCandidate(heapNode, heapBound, 0)
 		}
-		value, _, size := e.evaluate(t, int(top.node), agg)
+		value, _, size := e.evaluate(t, int(topNode), agg)
 		stats.Evaluated++
 		stats.Visited += size
-		if list.Offer(int(top.node), value) {
-			x.sink.kept(int(top.node), value, &stats)
+		if list.Offer(int(topNode), value) {
+			x.sink.kept(int(topNode), value, &stats)
 		}
 	}
 	return Answer{Results: list.Items(), Stats: stats}, nil
@@ -292,34 +271,31 @@ func (e *Engine) Backward(k int, agg Aggregate, gamma float64) ([]Result, QueryS
 	return e.positional(Query{Algorithm: AlgoBackward, K: k, Aggregate: agg, Options: Options{Gamma: gamma}})
 }
 
-// backwardCandidate is a node with its Equation 3 upper bound.
-type backwardCandidate struct {
-	node  int32
-	bound float64
-}
-
-// heapifyCandidates arranges h as a max-heap on bound.
-func heapifyCandidates(h []backwardCandidate) {
-	for i := len(h)/2 - 1; i >= 0; i-- {
-		downCandidate(h, i)
+// heapifyCandidates arranges the parallel (node, bound) arrays as a
+// max-heap on bound. Struct-of-arrays keeps the sift loop's comparisons
+// reading a dense float64 stream instead of 16-byte records.
+func heapifyCandidates(nodes []int32, bounds []float64) {
+	for i := len(nodes)/2 - 1; i >= 0; i-- {
+		downCandidate(nodes, bounds, i)
 	}
 }
 
-func downCandidate(h []backwardCandidate, i int) {
-	n := len(h)
+func downCandidate(nodes []int32, bounds []float64, i int) {
+	n := len(nodes)
 	for {
 		left, right := 2*i+1, 2*i+2
 		largest := i
-		if left < n && h[left].bound > h[largest].bound {
+		if left < n && bounds[left] > bounds[largest] {
 			largest = left
 		}
-		if right < n && h[right].bound > h[largest].bound {
+		if right < n && bounds[right] > bounds[largest] {
 			largest = right
 		}
 		if largest == i {
 			return
 		}
-		h[i], h[largest] = h[largest], h[i]
+		nodes[i], nodes[largest] = nodes[largest], nodes[i]
+		bounds[i], bounds[largest] = bounds[largest], bounds[i]
 		i = largest
 	}
 }

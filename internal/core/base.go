@@ -15,7 +15,7 @@ import (
 // 1–6; its cost is Θ(Σ_u work(S_h(u))) regardless of k or the score
 // distribution.
 func (e *Engine) runBase(x *exec) (Answer, error) {
-	t := graph.NewTraverser(e.g)
+	t := x.s.traverser(e.g)
 	list := topk.New(x.q.K)
 	var stats QueryStats
 	for u := 0; u < e.g.NumNodes(); u++ {

@@ -204,7 +204,13 @@ type Engine struct {
 	nonZeroCount []scoredNode // boundScore under COUNT, descending
 	prefixSum    []float64    // distributionPrefix under SUM-family
 	prefixCount  []float64    // distributionPrefix under COUNT
+	distOrder    []int32      // nodes in descending N(v), for ForwardDist
 	plans        map[planKey]Plan
+
+	// scratchPool recycles the dense per-query working arrays (see
+	// queryScratch); sync.Pool is internally synchronized, so concurrent
+	// queries each check out their own scratch.
+	scratchPool sync.Pool
 }
 
 // planKey caches planner decisions per aggregate and index presence — the
@@ -328,17 +334,6 @@ func (e *Engine) PrepareDifferentialIndex(workers int) *graph.DifferentialIndex 
 	return e.dix
 }
 
-// TopK dispatches to the chosen algorithm. opts may be nil for defaults.
-//
-// Deprecated: use Run with a Query — the positional form cannot be
-// cancelled or deadlined and cannot express candidates or a budget.
-func (e *Engine) TopK(algo Algorithm, k int, agg Aggregate, opts *Options) ([]Result, QueryStats, error) {
-	if opts == nil {
-		opts = &Options{}
-	}
-	return e.positional(Query{Algorithm: algo, K: k, Aggregate: agg, Options: *opts})
-}
-
 // positional adapts Run to the positional methods' return shape with an
 // uncancellable context.
 func (e *Engine) positional(q Query) ([]Result, QueryStats, error) {
@@ -397,17 +392,7 @@ func (e *Engine) evaluate(t *graph.Traverser, u int, agg Aggregate) (value, boun
 	case WeightedSum:
 		// One BFS computes both the weighted value and the plain sum the
 		// bounds need (weighted <= plain because every weight <= 1).
-		var wsum, sum float64
-		n := 0
-		t.VisitWithin(u, e.h, func(v, dist int) {
-			n++
-			sum += e.scores[v]
-			if dist <= 1 {
-				wsum += e.scores[v]
-			} else {
-				wsum += e.scores[v] / float64(dist)
-			}
-		})
+		wsum, sum, n := t.WeightedPlainSumWithin(u, e.h, e.scores)
 		return wsum, sum, n
 	case Count:
 		count, n := t.CountPositiveWithin(u, e.h, e.scores)

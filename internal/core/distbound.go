@@ -51,18 +51,16 @@ func (e *Engine) distributionPrefix(agg Aggregate) []float64 {
 	return prefix
 }
 
-// runForwardDist answers a top-k query by forward processing in descending
-// N(v) order with the distribution upper bound. It requires only the N(v)
-// index (no differential index). For SUM the bound sequence is
-// non-increasing in N(v), so the first failing bound terminates the scan;
-// for AVG the bound top(N(v))/N(v) is not monotone in N(v) and every node
-// must be bound-checked (but most are skipped without BFS).
-func (e *Engine) runForwardDist(x *exec) (Answer, error) {
-	agg := x.q.Aggregate
-	nix := e.PrepareNeighborhoodIndex(0)
-	prefix := e.distributionPrefix(agg)
-
-	// Nodes in descending N(v): counting sort over neighborhood sizes.
+// distOrderFor returns the node ids in descending N(v) order (counting
+// sort over neighborhood sizes, ties by ascending id). N(v) is immutable
+// per engine, so the permutation is memoized — rebuilding it per query
+// was the dominant allocation of the ForwardDist hot path.
+func (e *Engine) distOrderFor(nix *graph.NeighborhoodIndex) []int32 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.distOrder != nil {
+		return e.distOrder
+	}
 	n := e.g.NumNodes()
 	maxN := 0
 	for v := 0; v < n; v++ {
@@ -83,20 +81,28 @@ func (e *Engine) runForwardDist(x *exec) (Answer, error) {
 		order[counts[slot]] = int32(v)
 		counts[slot]++
 	}
+	e.distOrder = order
+	return order
+}
+
+// runForwardDist answers a top-k query by forward processing in descending
+// N(v) order with the distribution upper bound. It requires only the N(v)
+// index (no differential index). For SUM the bound sequence is
+// non-increasing in N(v), so the first failing bound terminates the scan;
+// for AVG the bound top(N(v))/N(v) is not monotone in N(v) and every node
+// must be bound-checked (but most are skipped without BFS).
+func (e *Engine) runForwardDist(x *exec) (Answer, error) {
+	agg := x.q.Aggregate
+	nix := e.PrepareNeighborhoodIndex(0)
+	prefix := e.distributionPrefix(agg)
+
+	order := e.distOrderFor(nix)
 
 	// eligibleLeft tracks how many candidates the scan has not yet
 	// decided, so the SUM-family early stop can account them as pruned.
-	eligibleLeft := n
-	if x.cand != nil {
-		eligibleLeft = 0
-		for v := 0; v < n; v++ {
-			if x.cand[v] {
-				eligibleLeft++
-			}
-		}
-	}
+	eligibleLeft := x.candCount
 
-	t := graph.NewTraverser(e.g)
+	t := x.s.traverser(e.g)
 	list := topk.New(x.q.K)
 	var stats QueryStats
 	for _, v32 := range order {

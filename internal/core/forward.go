@@ -36,9 +36,9 @@ func (e *Engine) runForward(x *exec) (Answer, error) {
 	n := e.g.NumNodes()
 	agg := x.q.Aggregate
 	queue := e.queueFor(x.q.Options.Order)
-	pruned := make([]bool, n)
-	processed := make([]bool, n)
-	t := graph.NewTraverser(e.g)
+	pruned := clearedBools(&x.s.pruned, n)
+	processed := clearedBools(&x.s.processed, n)
+	t := x.s.traverser(e.g)
 	list := topk.New(x.q.K)
 	var stats QueryStats
 

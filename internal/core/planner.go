@@ -127,16 +127,3 @@ func (p *Planner) Run(ctx context.Context, q Query) (Answer, error) {
 	q.Algorithm = AlgoAuto
 	return p.e.Run(ctx, q)
 }
-
-// TopK plans and executes in one call.
-//
-// Deprecated: use Run with a Query — the positional form cannot be
-// cancelled or deadlined and cannot express candidates or a budget.
-func (p *Planner) TopK(k int, agg Aggregate) ([]Result, QueryStats, Plan, error) {
-	ans, err := p.Run(context.Background(), Query{K: k, Aggregate: agg})
-	plan := Plan{}
-	if ans.Plan != nil {
-		plan = *ans.Plan
-	}
-	return ans.Results, ans.Stats, plan, err
-}

@@ -117,7 +117,9 @@ func (e *Engine) Run(ctx context.Context, q Query) (Answer, error) {
 	if q.Budget < 0 {
 		return Answer{}, fmt.Errorf("core: negative budget %d", q.Budget)
 	}
-	cand, err := candidateMask(e.g.NumNodes(), q.Candidates)
+	s := e.scratch()
+	defer e.release(s)
+	cand, candCount, err := candidateMaskPooled(s, e.g.NumNodes(), q.Candidates)
 	if err != nil {
 		return Answer{}, err
 	}
@@ -125,7 +127,8 @@ func (e *Engine) Run(ctx context.Context, q Query) (Answer, error) {
 		return Answer{}, err
 	}
 
-	x := &exec{ctx: ctx, q: &q, cand: cand, meter: newMeter(q.Budget, q.ExtraBudget), sink: newPartialSink(&q), tr: q.Tracer}
+	x := &exec{ctx: ctx, q: &q, cand: cand, candCount: candCount, s: s,
+		meter: newMeter(q.Budget, q.ExtraBudget), sink: newPartialSink(&q), tr: q.Tracer}
 	var execStart time.Time
 	if x.tr != nil {
 		if plan != nil {
@@ -187,9 +190,11 @@ func (e *Engine) Run(ctx context.Context, q Query) (Answer, error) {
 // query, the candidate mask, the cancellation/budget meter, the partial
 // emission sink, and the external-floor bookkeeping.
 type exec struct {
-	ctx  context.Context
-	q    *Query
-	cand []bool // nil = every node is eligible
+	ctx       context.Context
+	q         *Query
+	cand      []bool // nil = every node is eligible
+	candCount int    // eligible-node count (n when cand is nil)
+	s         *queryScratch
 	meter
 	sink partialSink
 
@@ -283,7 +288,8 @@ func (e *Engine) planFor(k int, agg Aggregate) Plan {
 
 // candidateMask validates candidate ids against an n-node graph and
 // returns their membership mask, or nil when the query ranks every node.
-// Shared by Engine.Run and View.Run so candidate semantics cannot diverge.
+// View.Run uses this allocating form so candidate semantics cannot
+// diverge from Engine.Run's pooled one below.
 func candidateMask(n int, candidates []int) ([]bool, error) {
 	if len(candidates) == 0 {
 		return nil, nil
@@ -296,6 +302,28 @@ func candidateMask(n int, candidates []int) ([]bool, error) {
 		mask[v] = true
 	}
 	return mask, nil
+}
+
+// candidateMaskPooled is candidateMask writing into the query scratch
+// instead of allocating, additionally returning the distinct-candidate
+// count (n when the query ranks every node) so algorithms that need the
+// eligible population (ForwardDist's early-stop accounting) do not
+// rescan the mask.
+func candidateMaskPooled(s *queryScratch, n int, candidates []int) (mask []bool, count int, err error) {
+	if len(candidates) == 0 {
+		return nil, n, nil
+	}
+	mask = clearedBools(&s.mask, n)
+	for _, v := range candidates {
+		if v < 0 || v >= n {
+			return nil, 0, fmt.Errorf("core: candidate node %d out of range [0,%d)", v, n)
+		}
+		if !mask[v] {
+			mask[v] = true
+			count++
+		}
+	}
+	return mask, count, nil
 }
 
 // ctxPollEvery is how many outer-loop iterations (each at most one h-hop

@@ -380,15 +380,6 @@ func (v *View) Run(ctx context.Context, q Query) (Answer, error) {
 	return Answer{Results: list.Items()}, nil
 }
 
-// TopK answers a top-k query from the materialized state.
-//
-// Deprecated: use Run with a Query — the positional form cannot be
-// cancelled or deadlined and cannot express candidates.
-func (v *View) TopK(k int, agg Aggregate) ([]Result, error) {
-	ans, err := v.Run(context.Background(), Query{K: k, Aggregate: agg})
-	return ans.Results, err
-}
-
 // Rebuild recomputes the materialized state from scratch; used by tests to
 // verify incremental maintenance never drifts (floating-point drift stays
 // within normal summation tolerance).

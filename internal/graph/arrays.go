@@ -1,0 +1,80 @@
+package graph
+
+import "fmt"
+
+// FromArrays constructs a Graph directly over caller-owned CSR arrays,
+// without copying. It is the zero-copy entry point used by the snapshot
+// loader: the offsets/adj slices may be views into an mmap-ed file, and
+// the returned Graph aliases them for its lifetime. Callers must not
+// modify the slices afterwards and must keep the backing storage mapped
+// for as long as the Graph is in use.
+//
+// The arrays are validated to uphold every invariant a Builder-produced
+// graph guarantees: offsets is monotone with offsets[0] == 0 and
+// offsets[n] == len(adj); every adjacency list is strictly ascending
+// (sorted, deduplicated) with targets in [0, n) and no self-loops. For an
+// undirected graph the arc count must be even (two arcs per edge); arc
+// symmetry itself is the writer's contract — snapshot files carry CRCs,
+// so a Writer-produced file that passes validation is symmetric iff the
+// graph it was written from was.
+func FromArrays(directed bool, offsets []int64, adj []int32) (*Graph, error) {
+	if len(offsets) == 0 {
+		return nil, fmt.Errorf("graph: offsets must have length >= 1 (n+1)")
+	}
+	if offsets[0] != 0 {
+		return nil, fmt.Errorf("graph: offsets[0] = %d, want 0", offsets[0])
+	}
+	n := len(offsets) - 1
+	if got := offsets[n]; got != int64(len(adj)) {
+		return nil, fmt.Errorf("graph: offsets[%d] = %d, want len(adj) = %d", n, got, len(adj))
+	}
+	if !directed && len(adj)%2 != 0 {
+		return nil, fmt.Errorf("graph: undirected graph with odd arc count %d", len(adj))
+	}
+	for u := 0; u < n; u++ {
+		lo, hi := offsets[u], offsets[u+1]
+		if lo > hi {
+			return nil, fmt.Errorf("graph: offsets not monotone at node %d (%d > %d)", u, lo, hi)
+		}
+		prev := int32(-1)
+		for _, v := range adj[lo:hi] {
+			if v < 0 || int(v) >= n {
+				return nil, fmt.Errorf("graph: arc target %d out of range [0,%d) at node %d", v, n, u)
+			}
+			if int(v) == u {
+				return nil, fmt.Errorf("graph: self-loop on node %d", u)
+			}
+			if v <= prev {
+				return nil, fmt.Errorf("graph: adjacency of node %d not strictly ascending (%d after %d)", u, v, prev)
+			}
+			prev = v
+		}
+	}
+	return &Graph{directed: directed, offsets: offsets, adj: adj}, nil
+}
+
+// Arrays exposes the graph's CSR arrays for serialization. The returned
+// slices are the graph's own storage: callers must treat them as
+// read-only.
+func (g *Graph) Arrays() (offsets []int64, adj []int32) { return g.offsets, g.adj }
+
+// IndexFromSizes constructs a NeighborhoodIndex over a caller-owned Size
+// array without copying — the snapshot-loader counterpart of
+// BuildNeighborhoodIndex. The slice may alias an mmap-ed file; callers
+// must not modify it. Sizes are validated against the node count n: every
+// N(v) includes v itself and cannot exceed n, so each entry must lie in
+// [1, n] (for h = 0 every entry is exactly 1).
+func IndexFromSizes(h int, sizes []int32, n int) (*NeighborhoodIndex, error) {
+	if h < 0 {
+		return nil, fmt.Errorf("graph: negative hop radius %d", h)
+	}
+	if len(sizes) != n {
+		return nil, fmt.Errorf("graph: index has %d sizes, graph has %d nodes", len(sizes), n)
+	}
+	for v, s := range sizes {
+		if s < 1 || int(s) > n {
+			return nil, fmt.Errorf("graph: index size N(%d) = %d out of range [1,%d]", v, s, n)
+		}
+	}
+	return &NeighborhoodIndex{H: h, Size: sizes}, nil
+}

@@ -97,13 +97,7 @@ func BuildDifferentialIndex(g *Graph, h, workers int) *DifferentialIndex {
 			arcLo, arcHi := g.ArcRange(u)
 			for p := arcLo; p < arcHi; p++ {
 				v := int(g.adj[p])
-				missing := 0
-				inner.VisitWithin(v, h, func(w, _ int) {
-					if !outer.seen.Marked(w) {
-						missing++
-					}
-				})
-				dx.Delta[p] = int32(missing)
+				dx.Delta[p] = int32(inner.CountUnmarkedWithin(v, h, outer.seen))
 			}
 		}
 	})

@@ -8,6 +8,14 @@ import (
 // reusing all scratch state (visited marks, frontier queue). A Traverser is
 // not safe for concurrent use; create one per goroutine — they are cheap
 // relative to the graph and amortize to zero allocation per traversal.
+//
+// The aggregation methods (SumWithin et al.) are deliberately flat: each
+// carries its own copy of the level-by-level BFS loop with the aggregation
+// fused in, rather than calling VisitWithin with a closure. The indirect
+// call per visited node is the single hottest instruction in every
+// forward scan, and the flat forms visit nodes — and accumulate floats —
+// in exactly the order VisitWithin does, so the two families are
+// interchangeable to the byte.
 type Traverser struct {
 	g     *Graph
 	seen  *ds.Epoch
@@ -58,9 +66,31 @@ func (t *Traverser) VisitWithin(src, h int, visit func(v, dist int)) {
 // CountWithin returns N(src) = |S_h(src)|, the number of nodes within h
 // hops of src including src itself.
 func (t *Traverser) CountWithin(src, h int) int {
-	count := 0
-	t.VisitWithin(src, h, func(int, int) { count++ })
-	return count
+	if h < 0 {
+		return 0
+	}
+	t.seen.Reset()
+	t.queue = t.queue[:0]
+	t.seen.Mark(src)
+	t.queue = append(t.queue, int32(src))
+	adj, offsets := t.g.adj, t.g.offsets
+	levelStart := 0
+	for dist := 1; dist <= h; dist++ {
+		levelEnd := len(t.queue)
+		if levelStart == levelEnd {
+			break
+		}
+		for i := levelStart; i < levelEnd; i++ {
+			u := int(t.queue[i])
+			for _, v := range adj[offsets[u]:offsets[u+1]] {
+				if !t.seen.Mark(int(v)) {
+					t.queue = append(t.queue, v)
+				}
+			}
+		}
+		levelStart = levelEnd
+	}
+	return len(t.queue)
 }
 
 // CollectWithin appends S_h(src), in BFS order, to buf and returns it.
@@ -75,54 +105,371 @@ func (t *Traverser) CollectWithin(src, h int, buf []int32) []int32 {
 // Definition 2, fused with the neighborhood count so one BFS serves both
 // SUM and AVG.
 func (t *Traverser) SumWithin(src, h int, score []float64) (sum float64, size int) {
-	t.VisitWithin(src, h, func(v, _ int) {
-		sum += score[v]
-		size++
-	})
-	return sum, size
+	if h < 0 {
+		return 0, 0
+	}
+	t.seen.Reset()
+	t.queue = t.queue[:0]
+	t.seen.Mark(src)
+	t.queue = append(t.queue, int32(src))
+	sum = score[src]
+	adj, offsets := t.g.adj, t.g.offsets
+	levelStart := 0
+	for dist := 1; dist <= h; dist++ {
+		levelEnd := len(t.queue)
+		if levelStart == levelEnd {
+			break
+		}
+		for i := levelStart; i < levelEnd; i++ {
+			u := int(t.queue[i])
+			for _, v := range adj[offsets[u]:offsets[u+1]] {
+				if t.seen.Mark(int(v)) {
+					continue
+				}
+				t.queue = append(t.queue, v)
+				sum += score[v]
+			}
+		}
+		levelStart = levelEnd
+	}
+	return sum, len(t.queue)
 }
 
 // WeightedSumWithin returns Σ score[v] / dist(src, v) over S_h(src)\{src}
 // plus score[src] itself, following footnote 1 of the paper with
 // w(u, v) = 1/shortest-distance. The source's own score has weight 1.
 func (t *Traverser) WeightedSumWithin(src, h int, score []float64) (sum float64, size int) {
-	t.VisitWithin(src, h, func(v, dist int) {
-		size++
-		if dist == 0 {
-			sum += score[v]
-			return
+	if h < 0 {
+		return 0, 0
+	}
+	t.seen.Reset()
+	t.queue = t.queue[:0]
+	t.seen.Mark(src)
+	t.queue = append(t.queue, int32(src))
+	sum = score[src]
+	adj, offsets := t.g.adj, t.g.offsets
+	levelStart := 0
+	for dist := 1; dist <= h; dist++ {
+		levelEnd := len(t.queue)
+		if levelStart == levelEnd {
+			break
 		}
-		sum += score[v] / float64(dist)
-	})
-	return sum, size
+		fdist := float64(dist)
+		for i := levelStart; i < levelEnd; i++ {
+			u := int(t.queue[i])
+			for _, v := range adj[offsets[u]:offsets[u+1]] {
+				if t.seen.Mark(int(v)) {
+					continue
+				}
+				t.queue = append(t.queue, v)
+				sum += score[v] / fdist
+			}
+		}
+		levelStart = levelEnd
+	}
+	return sum, len(t.queue)
+}
+
+// WeightedPlainSumWithin computes, in one BFS, both the weighted sum the
+// WSUM aggregate reports (weight 1 at distance <= 1, 1/dist beyond) and
+// the plain sum the pruning bounds compare against.
+func (t *Traverser) WeightedPlainSumWithin(src, h int, score []float64) (wsum, sum float64, size int) {
+	if h < 0 {
+		return 0, 0, 0
+	}
+	t.seen.Reset()
+	t.queue = t.queue[:0]
+	t.seen.Mark(src)
+	t.queue = append(t.queue, int32(src))
+	sum = score[src]
+	wsum = score[src]
+	adj, offsets := t.g.adj, t.g.offsets
+	levelStart := 0
+	for dist := 1; dist <= h; dist++ {
+		levelEnd := len(t.queue)
+		if levelStart == levelEnd {
+			break
+		}
+		fdist := float64(dist)
+		for i := levelStart; i < levelEnd; i++ {
+			u := int(t.queue[i])
+			for _, v := range adj[offsets[u]:offsets[u+1]] {
+				if t.seen.Mark(int(v)) {
+					continue
+				}
+				t.queue = append(t.queue, v)
+				sum += score[v]
+				if dist <= 1 {
+					wsum += score[v]
+				} else {
+					wsum += score[v] / fdist
+				}
+			}
+		}
+		levelStart = levelEnd
+	}
+	return wsum, sum, len(t.queue)
 }
 
 // MaxWithin returns the maximum score over S_h(src) and N(src).
 // The maximum of an empty neighborhood cannot occur (src is always
 // included), so the result is well-defined.
 func (t *Traverser) MaxWithin(src, h int, score []float64) (max float64, size int) {
-	first := true
-	t.VisitWithin(src, h, func(v, _ int) {
-		size++
-		if first || score[v] > max {
-			max = score[v]
-			first = false
+	if h < 0 {
+		return 0, 0
+	}
+	t.seen.Reset()
+	t.queue = t.queue[:0]
+	t.seen.Mark(src)
+	t.queue = append(t.queue, int32(src))
+	max = score[src]
+	adj, offsets := t.g.adj, t.g.offsets
+	levelStart := 0
+	for dist := 1; dist <= h; dist++ {
+		levelEnd := len(t.queue)
+		if levelStart == levelEnd {
+			break
 		}
-	})
-	return max, size
+		for i := levelStart; i < levelEnd; i++ {
+			u := int(t.queue[i])
+			for _, v := range adj[offsets[u]:offsets[u+1]] {
+				if t.seen.Mark(int(v)) {
+					continue
+				}
+				t.queue = append(t.queue, v)
+				if score[v] > max {
+					max = score[v]
+				}
+			}
+		}
+		levelStart = levelEnd
+	}
+	return max, len(t.queue)
 }
 
 // CountPositiveWithin returns the number of nodes in S_h(src) with a
 // strictly positive score (the COUNT aggregate over relevant nodes) and
 // N(src).
 func (t *Traverser) CountPositiveWithin(src, h int, score []float64) (count, size int) {
-	t.VisitWithin(src, h, func(v, _ int) {
-		size++
-		if score[v] > 0 {
-			count++
+	if h < 0 {
+		return 0, 0
+	}
+	t.seen.Reset()
+	t.queue = t.queue[:0]
+	t.seen.Mark(src)
+	t.queue = append(t.queue, int32(src))
+	if score[src] > 0 {
+		count++
+	}
+	adj, offsets := t.g.adj, t.g.offsets
+	levelStart := 0
+	for dist := 1; dist <= h; dist++ {
+		levelEnd := len(t.queue)
+		if levelStart == levelEnd {
+			break
 		}
-	})
-	return count, size
+		for i := levelStart; i < levelEnd; i++ {
+			u := int(t.queue[i])
+			for _, v := range adj[offsets[u]:offsets[u+1]] {
+				if t.seen.Mark(int(v)) {
+					continue
+				}
+				t.queue = append(t.queue, v)
+				if score[v] > 0 {
+					count++
+				}
+			}
+		}
+		levelStart = levelEnd
+	}
+	return count, len(t.queue)
+}
+
+// AddWithin adds mass to acc[v] for every v in S_h(src) and returns
+// |S_h(src)| — one backward-distribution step for the SUM family (and,
+// with mass 1, for COUNT).
+func (t *Traverser) AddWithin(src, h int, mass float64, acc []float64) (size int) {
+	if h < 0 {
+		return 0
+	}
+	t.seen.Reset()
+	t.queue = t.queue[:0]
+	t.seen.Mark(src)
+	t.queue = append(t.queue, int32(src))
+	acc[src] += mass
+	adj, offsets := t.g.adj, t.g.offsets
+	levelStart := 0
+	for dist := 1; dist <= h; dist++ {
+		levelEnd := len(t.queue)
+		if levelStart == levelEnd {
+			break
+		}
+		for i := levelStart; i < levelEnd; i++ {
+			u := int(t.queue[i])
+			for _, v := range adj[offsets[u]:offsets[u+1]] {
+				if t.seen.Mark(int(v)) {
+					continue
+				}
+				t.queue = append(t.queue, v)
+				acc[v] += mass
+			}
+		}
+		levelStart = levelEnd
+	}
+	return len(t.queue)
+}
+
+// AddWeightedWithin distributes mass/dist to acc over S_h(src) (weight 1
+// at distance <= 1) and returns |S_h(src)| — the WSUM backward step.
+// Undirected BFS distances are symmetric, so accumulating mass/dist at
+// each neighbor reconstructs Σ f(v)/dist(u,v) exactly.
+func (t *Traverser) AddWeightedWithin(src, h int, mass float64, acc []float64) (size int) {
+	if h < 0 {
+		return 0
+	}
+	t.seen.Reset()
+	t.queue = t.queue[:0]
+	t.seen.Mark(src)
+	t.queue = append(t.queue, int32(src))
+	acc[src] += mass
+	adj, offsets := t.g.adj, t.g.offsets
+	levelStart := 0
+	for dist := 1; dist <= h; dist++ {
+		levelEnd := len(t.queue)
+		if levelStart == levelEnd {
+			break
+		}
+		fdist := float64(dist)
+		for i := levelStart; i < levelEnd; i++ {
+			u := int(t.queue[i])
+			for _, v := range adj[offsets[u]:offsets[u+1]] {
+				if t.seen.Mark(int(v)) {
+					continue
+				}
+				t.queue = append(t.queue, v)
+				if dist <= 1 {
+					acc[v] += mass
+				} else {
+					acc[v] += mass / fdist
+				}
+			}
+		}
+		levelStart = levelEnd
+	}
+	return len(t.queue)
+}
+
+// MaxAddWithin raises acc[v] to mass where smaller, over S_h(src), and
+// returns |S_h(src)| — the MAX backward step.
+func (t *Traverser) MaxAddWithin(src, h int, mass float64, acc []float64) (size int) {
+	if h < 0 {
+		return 0
+	}
+	t.seen.Reset()
+	t.queue = t.queue[:0]
+	t.seen.Mark(src)
+	t.queue = append(t.queue, int32(src))
+	if mass > acc[src] {
+		acc[src] = mass
+	}
+	adj, offsets := t.g.adj, t.g.offsets
+	levelStart := 0
+	for dist := 1; dist <= h; dist++ {
+		levelEnd := len(t.queue)
+		if levelStart == levelEnd {
+			break
+		}
+		for i := levelStart; i < levelEnd; i++ {
+			u := int(t.queue[i])
+			for _, v := range adj[offsets[u]:offsets[u+1]] {
+				if t.seen.Mark(int(v)) {
+					continue
+				}
+				t.queue = append(t.queue, v)
+				if mass > acc[v] {
+					acc[v] = mass
+				}
+			}
+		}
+		levelStart = levelEnd
+	}
+	return len(t.queue)
+}
+
+// AddScanWithin adds mass to acc[v] and increments scans[v] for every v
+// in S_h(src), returning |S_h(src)| — the partial-distribution step of
+// LONA-Backward, which needs both the accumulated mass P(v) and the scan
+// count l(v) for Equation 3.
+func (t *Traverser) AddScanWithin(src, h int, mass float64, acc []float64, scans []int32) (size int) {
+	if h < 0 {
+		return 0
+	}
+	t.seen.Reset()
+	t.queue = t.queue[:0]
+	t.seen.Mark(src)
+	t.queue = append(t.queue, int32(src))
+	acc[src] += mass
+	scans[src]++
+	adj, offsets := t.g.adj, t.g.offsets
+	levelStart := 0
+	for dist := 1; dist <= h; dist++ {
+		levelEnd := len(t.queue)
+		if levelStart == levelEnd {
+			break
+		}
+		for i := levelStart; i < levelEnd; i++ {
+			u := int(t.queue[i])
+			for _, v := range adj[offsets[u]:offsets[u+1]] {
+				if t.seen.Mark(int(v)) {
+					continue
+				}
+				t.queue = append(t.queue, v)
+				acc[v] += mass
+				scans[v]++
+			}
+		}
+		levelStart = levelEnd
+	}
+	return len(t.queue)
+}
+
+// CountUnmarkedWithin returns how many nodes of S_h(src) are not marked
+// in marks — the inner step of the differential-index build, flattened
+// for the same reason as the aggregation methods (it runs once per arc
+// of the whole graph).
+func (t *Traverser) CountUnmarkedWithin(src, h int, marks *ds.Epoch) (missing int) {
+	if h < 0 {
+		return 0
+	}
+	t.seen.Reset()
+	t.queue = t.queue[:0]
+	t.seen.Mark(src)
+	t.queue = append(t.queue, int32(src))
+	if !marks.Marked(src) {
+		missing++
+	}
+	adj, offsets := t.g.adj, t.g.offsets
+	levelStart := 0
+	for dist := 1; dist <= h; dist++ {
+		levelEnd := len(t.queue)
+		if levelStart == levelEnd {
+			break
+		}
+		for i := levelStart; i < levelEnd; i++ {
+			u := int(t.queue[i])
+			for _, v := range adj[offsets[u]:offsets[u+1]] {
+				if t.seen.Mark(int(v)) {
+					continue
+				}
+				t.queue = append(t.queue, v)
+				if !marks.Marked(int(v)) {
+					missing++
+				}
+			}
+		}
+		levelStart = levelEnd
+	}
+	return missing
 }
 
 // Eccentricity returns the largest BFS distance reachable from src within

@@ -367,17 +367,6 @@ func (x *Executor) evaluate(t *graph.Traverser, u, part int, agg core.Aggregate,
 	}
 }
 
-// TopKSum runs the distributed SUM query and returns the merged top-k
-// along with execution statistics.
-//
-// Deprecated: use Run with a Query — the positional form cannot be
-// cancelled or deadlined, is SUM-only, and cannot express candidates or
-// a budget.
-func (x *Executor) TopKSum(k int) ([]core.Result, Stats, error) {
-	ans, stats, err := x.Run(context.Background(), core.Query{K: k, Aggregate: core.Sum})
-	return ans.Results, stats, err
-}
-
 // Balance returns the load imbalance of a partitioning: the largest part
 // size divided by the ideal size. 1.0 is perfect balance.
 func (p *Partitioning) Balance() float64 {

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -97,7 +98,8 @@ func TestExecutorMatchesSingleMachineBase(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, stats, err := x.TopKSum(20)
+		ans, stats, err := x.Run(context.Background(), core.Query{K: 20, Aggregate: core.Sum})
+		got := ans.Results
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -131,7 +133,7 @@ func TestMessagesGrowWithParts(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, stats, err := x.TopKSum(10)
+		_, stats, err := x.Run(context.Background(), core.Query{K: 10, Aggregate: core.Sum})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -167,7 +169,7 @@ func TestExecutorValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := x.TopKSum(0); err == nil {
+	if _, _, err := x.Run(context.Background(), core.Query{K: 0, Aggregate: core.Sum}); err == nil {
 		t.Fatal("k=0 accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -86,7 +87,8 @@ func TestRefinedPartitionStillAnswersCorrectly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, stats, err := x.TopKSum(10)
+	ans, stats, err := x.Run(context.Background(), core.Query{K: 10, Aggregate: core.Sum})
+	got := ans.Results
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,11 +124,11 @@ func TestRefineReducesMessages(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, sRaw, err := xRaw.TopKSum(10)
+	_, sRaw, err := xRaw.Run(context.Background(), core.Query{K: 10, Aggregate: core.Sum})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, sRef, err := xRef.TopKSum(10)
+	_, sRef, err := xRef.Run(context.Background(), core.Query{K: 10, Aggregate: core.Sum})
 	if err != nil {
 		t.Fatal(err)
 	}

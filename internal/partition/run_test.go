@@ -161,29 +161,3 @@ func TestRunCancellation(t *testing.T) {
 		t.Fatalf("executor unusable after cancellation: %v (%d results)", err, len(ans.Results))
 	}
 }
-
-// TestTopKSumShim: the deprecated positional form remains a faithful
-// wrapper over Run.
-func TestTopKSumShim(t *testing.T) {
-	g := gen.ErdosRenyi(300, 900, 29)
-	scores := relevance.Binary(300, 0.2, 29)
-	p, err := BFSGrow(g, 2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	x, err := NewExecutor(g, scores, 2, p)
-	if err != nil {
-		t.Fatal(err)
-	}
-	shim, shimStats, err := x.TopKSum(7)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ans, stats, err := x.Run(context.Background(), core.Query{K: 7, Aggregate: core.Sum})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(shim, ans.Results) || shimStats.Messages != stats.Messages {
-		t.Fatal("TopKSum shim diverges from Run")
-	}
-}

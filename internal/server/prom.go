@@ -73,6 +73,19 @@ func (s *Server) renderMetrics() string {
 	writeCounter(&b, "lona_edit_rebuilds_total", "Edit batches that fell back to a from-scratch rebuild.",
 		m.editRebuilds.Load())
 
+	writeCounter(&b, "lona_snapshots_written_total", "Snapshots persisted via /v1/snapshot.",
+		m.snapshotsWritten.Load())
+	if src := s.opts.SnapshotSource; src != nil {
+		writeGauge(&b, "lona_snapshot_source_mtime_seconds",
+			"Unix mtime of the snapshot file the server booted from.", float64(src.ModTime.Unix()))
+		writeGauge(&b, "lona_snapshot_source_bytes",
+			"Size of the snapshot file the server booted from.", float64(src.Bytes))
+		writeGauge(&b, "lona_snapshot_source_generation",
+			"Score generation stamped into the boot snapshot.", float64(src.Generation))
+		writeGauge(&b, "lona_snapshot_load_seconds",
+			"Time to map and validate the boot snapshot.", src.LoadDuration.Seconds())
+	}
+
 	writeCounter(&b, "lona_query_timeouts_total", "Queries abandoned at a deadline.", m.timeouts.Load())
 	writeCounter(&b, "lona_query_cancels_total", "Queries cancelled by the caller.", m.cancels.Load())
 	writeCounter(&b, "lona_slow_queries_total", "Executions at or over the slow-query threshold.",

@@ -117,6 +117,16 @@ type Options struct {
 	SlowQuery time.Duration
 	// SlowQueryLog receives slow-query log lines; nil means log.Printf.
 	SlowQueryLog func(format string, args ...any)
+	// Index is a prebuilt N(v) index to adopt — typically mapped from the
+	// snapshot the server is booting from — instead of paying the eager
+	// construction pass. Must match (graph, h); nil builds as usual.
+	Index *graph.NeighborhoodIndex
+	// SnapshotSource describes the snapshot file the boot state came
+	// from, for /v1/stats and /metrics; nil when built from scratch.
+	SnapshotSource *SnapshotSource
+	// SnapshotPath is where POST /v1/snapshot persists when the request
+	// names no path (lonad -snapshot). Empty means requests must name one.
+	SnapshotPath string
 }
 
 // defaultCacheBytes is the result cache capacity when Options.CacheBytes
@@ -259,6 +269,14 @@ func New(g *graph.Graph, scores []float64, h int, opts Options) (*Server, error)
 	}
 	if !g.Directed() {
 		if s.view, err = core.NewView(g, scores, h); err != nil {
+			return nil, err
+		}
+	}
+	if opts.Index != nil {
+		// A snapshot-mapped index makes the eager neighborhood build a
+		// no-op below; the differential index is not in the snapshot and
+		// still builds (or is skipped) by the usual rules.
+		if err := engine.AdoptNeighborhoodIndex(opts.Index); err != nil {
 			return nil, err
 		}
 	}
@@ -644,14 +662,6 @@ func (s *Server) Run(ctx context.Context, req QueryRequest) (*Answer, error) {
 		}
 	}
 	return ans, nil
-}
-
-// TopK answers a query with an uncancellable context.
-//
-// Deprecated: use Run — TopK cannot honor timeout_ms tighter than the
-// query's runtime, client disconnects, or any caller-side deadline.
-func (s *Server) TopK(req QueryRequest) (*Answer, error) {
-	return s.Run(context.Background(), req)
 }
 
 // isContextErr reports whether err is (or wraps) a context cancellation
@@ -1116,6 +1126,7 @@ func (s *Server) Stats() Stats {
 		}
 		st.Cluster = cs
 	}
+	st.Snapshot = s.snapshotStats()
 	return st
 }
 

@@ -125,6 +125,10 @@ type metrics struct {
 	// slowQueries counts executions at or over Options.SlowQuery.
 	slowQueries atomic.Int64
 
+	// snapshotsWritten counts snapshots persisted via POST /v1/snapshot
+	// or Server.WriteSnapshot.
+	snapshotsWritten atomic.Int64
+
 	// Value histograms (log2-bucketed, unitless): λ raises per sharded
 	// query, and result items shipped per launched shard query — the
 	// message-size observation the adaptive-tuning roadmap items consume.
@@ -284,6 +288,7 @@ type Stats struct {
 	Cache         CacheStats                `json:"cache"`
 	Engine        EngineStats               `json:"engine"`
 	Cluster       *ClusterStats             `json:"cluster,omitempty"`
+	Snapshot      *SnapshotStats            `json:"snapshot,omitempty"`
 	Latency       map[string]LatencySummary `json:"latency"`
 }
 

@@ -1,0 +1,111 @@
+// Package snapshot defines the versioned binary columnar snapshot format
+// for LONA graphs and the zero-copy loader over it.
+//
+// A snapshot file is the on-disk artifact every serving process boots
+// from: the CSR arrays, the per-node scores, and the precomputed h-hop
+// neighborhood index, laid out as raw little-endian columns that can be
+// handed to the engine directly out of an mmap-ed file — no parsing, no
+// copying, no index rebuild. Cold start becomes O(validation scan)
+// instead of O(graph generation + index construction).
+//
+// # File layout
+//
+//	offset size  field
+//	0      8     magic "LONASNAP"
+//	8      4     version (uint32, currently 1)
+//	12     4     flags   (bit 0 directed, bit 1 shard)
+//	16     8     nodes   (uint64; closure-local count for shard snapshots)
+//	24     8     arcs    (uint64)
+//	32     4     h       (uint32 hop radius of the index section)
+//	36     4     section count (uint32)
+//	40     8     generation (uint64 score generation)
+//	48     4     parts       (uint32; shard snapshots only, else 0)
+//	52     4     shard index (uint32; shard snapshots only, else 0)
+//	56     8     global nodes (uint64; == nodes for whole-graph snapshots)
+//	64     4     table CRC  (CRC-32C of the section table bytes)
+//	68     4     header CRC (CRC-32C of bytes [0,68))
+//	72     24    zero padding to 96
+//	96     32×N  section table
+//	...          section payloads, each 64-byte aligned
+//
+// Each section-table entry is 32 bytes:
+//
+//	offset size  field
+//	0      4     kind (uint32)
+//	4      4     payload CRC-32C
+//	8      8     payload file offset (uint64, 64-byte aligned)
+//	16     8     payload length in bytes (uint64)
+//	24     8     reserved (zero)
+//
+// Section kinds and their payloads (all little-endian, fixed-width):
+//
+//	1  offsets   int64 × nodes+1   CSR row offsets
+//	2  adj       int32 × arcs      CSR arc targets
+//	3  scores    float64 × nodes   node relevance scores in [0,1]
+//	4  index     int32 × nodes     NeighborhoodIndex.Size for hop radius h
+//	5  toGlobal  int32 × nodes     shard-local id -> global id (monotone)
+//	6  owned     int32 × owned     global ids ranked by this shard, ascending
+//
+// Sections 1–3 are mandatory; 4 is optional (a snapshot without it forces
+// an index rebuild at load); 5–6 are mandatory exactly when the shard
+// flag is set.
+//
+// # Integrity
+//
+// Every byte of the file is covered by a CRC-32C (Castagnoli): the header
+// by the header CRC, the section table by the table CRC, and each payload
+// by its table entry's CRC. Decode verifies all of them plus full
+// structural validation (monotone offsets, sorted in-range adjacency,
+// finite scores in [0,1], index sizes in [1,n]) before handing out a
+// graph, so a truncated or bit-flipped file fails cleanly — it can never
+// yield a wrong graph.
+//
+// # Versioning policy
+//
+// The version field is bumped on any incompatible layout change; readers
+// reject versions they do not know. Additive changes (new optional
+// section kinds) do not bump the version: unknown kinds are rejected by
+// this reader, so new-format files written with new sections are only
+// readable by new readers, while old files remain readable forever.
+package snapshot
+
+import "hash/crc32"
+
+// Magic identifies a LONA snapshot file.
+const Magic = "LONASNAP"
+
+// Version is the current format version written by this package.
+const Version = 1
+
+const (
+	headerSize   = 96
+	tableEntrySz = 32
+	sectionAlign = 64
+
+	flagDirected = 1 << 0
+	flagShard    = 1 << 1
+)
+
+// Section kinds.
+const (
+	kindOffsets  = 1
+	kindAdj      = 2
+	kindScores   = 3
+	kindIndex    = 4
+	kindToGlobal = 5
+	kindOwned    = 6
+
+	maxKind = kindOwned
+)
+
+// maxNodes bounds the node count: ids must fit in int32 (CSR adjacency is
+// int32), and one more than the count must be addressable.
+const maxNodes = 1<<31 - 2
+
+// castagnoli is the CRC-32C table shared by writer and reader.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func crc(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
+// align64 rounds n up to the next multiple of sectionAlign.
+func align64(n int) int { return (n + sectionAlign - 1) &^ (sectionAlign - 1) }

@@ -1,0 +1,87 @@
+package snapshot
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// FuzzSnapshot drives Decode with arbitrary bytes. The invariants:
+//
+//  1. Decode never panics, whatever the input.
+//  2. If Decode accepts the input, re-encoding the decoded snapshot
+//     reproduces the input byte for byte (the format is canonical), and
+//     the decoded graph passes the constructors' structural validation
+//     by construction — corruption can produce an error, never a wrong
+//     graph.
+//
+// The seed corpus holds valid encodings of every snapshot shape
+// (directed/undirected, with/without index, shard, empty) so the fuzzer
+// starts from accepting inputs and mutates toward the rejection
+// boundary.
+func FuzzSnapshot(f *testing.F) {
+	seed := func(n, edges int, directed bool, h int, withIndex, asShard bool) {
+		g, scores, ix := testGraph(f, n, edges, directed, h)
+		if !withIndex {
+			ix = nil
+		}
+		w, err := NewWriter(g, scores, h, ix)
+		if err != nil {
+			f.Fatal(err)
+		}
+		w.SetGeneration(uint64(n))
+		if asShard {
+			toGlobal := make([]int32, g.NumNodes())
+			for i := range toGlobal {
+				toGlobal[i] = int32(i + 3)
+			}
+			owned := toGlobal[:len(toGlobal)/2]
+			if err := w.SetShard(3, 1, g.NumNodes()+10, toGlobal, owned); err != nil {
+				f.Fatal(err)
+			}
+		}
+		blob, err := w.Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+	}
+	seed(8, 20, false, 2, true, false)
+	seed(6, 14, true, 1, true, false)
+	seed(5, 10, false, 2, false, false)
+	seed(7, 16, false, 2, true, true)
+	seed(0, 0, false, 0, true, false)
+	f.Add([]byte(Magic))
+	f.Add(bytes.Repeat([]byte{0}, headerSize))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := Decode(data)
+		if err != nil {
+			return // rejected cleanly
+		}
+		// Accepted: the decode must be lossless and canonical.
+		w, err := NewWriter(r.Graph(), r.Scores(), r.H(), r.Index())
+		if err != nil {
+			t.Fatalf("accepted snapshot cannot be re-written: %v", err)
+		}
+		w.SetGeneration(r.Generation())
+		if r.IsShard() {
+			if err := w.SetShard(r.Parts(), r.ShardIndex(), r.GlobalNodes(), r.ToGlobal(), r.Owned()); err != nil {
+				t.Fatalf("accepted shard snapshot cannot be re-written: %v", err)
+			}
+		}
+		again, err := w.Encode()
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(again, data) {
+			t.Fatalf("encode(decode(x)) differs from x: %d vs %d bytes", len(again), len(data))
+		}
+		// The decoded graph must uphold CSR invariants end to end.
+		offsets, adj := r.Graph().Arrays()
+		if _, err := graph.FromArrays(r.Graph().Directed(), offsets, adj); err != nil {
+			t.Fatalf("decoded graph fails validation: %v", err)
+		}
+	})
+}

@@ -1,0 +1,32 @@
+//go:build !unix
+
+package snapshot
+
+import (
+	"fmt"
+	"os"
+)
+
+// Open reads the snapshot file at path into memory and decodes it. On
+// platforms without mmap support the whole file is read once; the
+// Reader's slices view that buffer, so the loading cost is a single
+// sequential read plus validation — still no graph or index rebuild.
+func Open(path string) (*Reader, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	r.path = path
+	r.mtime = st.ModTime()
+	return r, nil
+}
+
+func munmap([]byte) error { return nil }

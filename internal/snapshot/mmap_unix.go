@@ -1,0 +1,43 @@
+//go:build unix
+
+package snapshot
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// Open maps the snapshot file at path into memory and decodes it
+// zero-copy: the returned Reader's graph, scores, and index are views
+// into the mapping, which stays alive until Close. The file descriptor
+// is closed before returning — the mapping does not need it.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() < headerSize {
+		return nil, fmt.Errorf("snapshot: %s is %d bytes, smaller than the %d-byte header", path, st.Size(), headerSize)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: mmap %s: %w", path, err)
+	}
+	r, err := Decode(data)
+	if err != nil {
+		syscall.Munmap(data)
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	r.mapped = data
+	r.path = path
+	r.mtime = st.ModTime()
+	return r, nil
+}
+
+func munmap(data []byte) error { return syscall.Munmap(data) }

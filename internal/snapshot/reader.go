@@ -1,0 +1,346 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Reader is a decoded snapshot: a validated graph, its scores, and (when
+// present) its neighborhood index, all viewing the snapshot's backing
+// bytes directly. When the Reader comes from Open those bytes are an
+// mmap-ed file — Close unmaps it, after which every slice handed out by
+// the Reader is invalid. Readers decoded from an in-memory buffer alias
+// that buffer and Close is a no-op.
+type Reader struct {
+	g      *graph.Graph
+	scores []float64
+	ix     *graph.NeighborhoodIndex
+
+	h          int
+	generation uint64
+
+	shard       bool
+	parts       int
+	shardIndex  int
+	globalNodes int
+	toGlobal    []int32
+	owned       []int32
+
+	path  string
+	size  int64
+	mtime time.Time
+
+	mapped []byte
+}
+
+// Graph returns the snapshot's graph. The graph aliases the snapshot's
+// backing bytes; it must not outlive Close.
+func (r *Reader) Graph() *graph.Graph { return r.g }
+
+// Scores returns the per-node relevance scores, aliasing the backing
+// bytes. Callers must treat the slice as read-only.
+func (r *Reader) Scores() []float64 { return r.scores }
+
+// Index returns the snapshot's neighborhood index, or nil when the
+// snapshot was written without one.
+func (r *Reader) Index() *graph.NeighborhoodIndex { return r.ix }
+
+// H returns the hop radius the snapshot was taken at.
+func (r *Reader) H() int { return r.h }
+
+// Generation returns the score generation stamped at write time.
+func (r *Reader) Generation() uint64 { return r.generation }
+
+// IsShard reports whether the snapshot holds one shard's partition
+// closure rather than a whole graph.
+func (r *Reader) IsShard() bool { return r.shard }
+
+// Parts returns the partition count for a shard snapshot (0 otherwise).
+func (r *Reader) Parts() int { return r.parts }
+
+// ShardIndex returns which part a shard snapshot holds (0 otherwise).
+func (r *Reader) ShardIndex() int { return r.shardIndex }
+
+// GlobalNodes returns the node count of the full graph the snapshot was
+// cut from; for a whole-graph snapshot it equals Graph().NumNodes().
+func (r *Reader) GlobalNodes() int { return r.globalNodes }
+
+// ToGlobal returns the shard's local→global id map (nil for whole-graph
+// snapshots). Read-only, aliases the backing bytes.
+func (r *Reader) ToGlobal() []int32 { return r.toGlobal }
+
+// Owned returns the global ids a shard snapshot ranks (nil for
+// whole-graph snapshots). Read-only, aliases the backing bytes.
+func (r *Reader) Owned() []int32 { return r.owned }
+
+// Path returns the file the Reader was opened from ("" for Decode).
+func (r *Reader) Path() string { return r.path }
+
+// Size returns the snapshot's size in bytes.
+func (r *Reader) Size() int64 { return r.size }
+
+// ModTime returns the snapshot file's modification time (zero for
+// Decode).
+func (r *Reader) ModTime() time.Time { return r.mtime }
+
+// Close releases the underlying mapping, if any. Every slice obtained
+// from the Reader — including the graph and index — is invalid after
+// Close returns.
+func (r *Reader) Close() error {
+	m := r.mapped
+	r.mapped = nil
+	if m == nil {
+		return nil
+	}
+	return munmap(m)
+}
+
+// Decode validates data as a snapshot and returns a Reader whose graph,
+// scores, and index view data in place (zero-copy on little-endian
+// hosts). Validation is exhaustive: magic, version, all three CRC
+// layers, canonical layout, and full structural checks — a corrupt input
+// produces an error, never a wrong graph.
+//
+// Decode only accepts canonical encodings: sections in kind order at
+// exactly the offsets Encode assigns, zero padding, no trailing bytes.
+// Consequently re-encoding a decoded snapshot reproduces the input
+// byte for byte.
+func Decode(data []byte) (*Reader, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("snapshot: %d bytes is smaller than the %d-byte header", len(data), headerSize)
+	}
+	if string(data[0:8]) != Magic {
+		return nil, fmt.Errorf("snapshot: bad magic %q", data[0:8])
+	}
+	le := binary.LittleEndian
+	if v := le.Uint32(data[8:]); v != Version {
+		return nil, fmt.Errorf("snapshot: unsupported version %d (reader knows %d)", v, Version)
+	}
+	if got, want := le.Uint32(data[68:]), crc(data[:68]); got != want {
+		return nil, fmt.Errorf("snapshot: header CRC mismatch (%08x != %08x)", got, want)
+	}
+	for _, b := range data[72:headerSize] {
+		if b != 0 {
+			return nil, fmt.Errorf("snapshot: nonzero header padding")
+		}
+	}
+
+	flags := le.Uint32(data[12:])
+	if flags&^uint32(flagDirected|flagShard) != 0 {
+		return nil, fmt.Errorf("snapshot: unknown flags %#x", flags)
+	}
+	directed := flags&flagDirected != 0
+	shard := flags&flagShard != 0
+
+	nodes64 := le.Uint64(data[16:])
+	arcs64 := le.Uint64(data[24:])
+	if nodes64 > maxNodes {
+		return nil, fmt.Errorf("snapshot: node count %d exceeds format limit %d", nodes64, maxNodes)
+	}
+	if arcs64 > uint64(len(data)) {
+		return nil, fmt.Errorf("snapshot: arc count %d exceeds file size", arcs64)
+	}
+	n := int(nodes64)
+	arcs := int(arcs64)
+	h := int(le.Uint32(data[32:]))
+	count := int(le.Uint32(data[36:]))
+	generation := le.Uint64(data[40:])
+	parts := int(le.Uint32(data[48:]))
+	shardIndex := int(le.Uint32(data[52:]))
+	globalNodes64 := le.Uint64(data[56:])
+	if globalNodes64 > maxNodes {
+		return nil, fmt.Errorf("snapshot: global node count %d exceeds format limit %d", globalNodes64, maxNodes)
+	}
+	globalNodes := int(globalNodes64)
+
+	if count < 3 || count > maxKind {
+		return nil, fmt.Errorf("snapshot: section count %d out of range [3,%d]", count, maxKind)
+	}
+	tableEnd := headerSize + count*tableEntrySz
+	if tableEnd > len(data) {
+		return nil, fmt.Errorf("snapshot: section table extends past end of file")
+	}
+	table := data[headerSize:tableEnd]
+	if got, want := le.Uint32(data[64:]), crc(table); got != want {
+		return nil, fmt.Errorf("snapshot: section table CRC mismatch (%08x != %08x)", got, want)
+	}
+
+	// Walk the table, enforcing canonical layout: strictly ascending
+	// kinds, payloads exactly where the encoder places them, zero
+	// padding in the gaps, no trailing bytes.
+	sections := make(map[uint32][]byte, count)
+	expectOff := align64(tableEnd)
+	prevKind := uint32(0)
+	for i := 0; i < count; i++ {
+		entry := table[i*tableEntrySz:]
+		kind := le.Uint32(entry[0:])
+		sum := le.Uint32(entry[4:])
+		off64 := le.Uint64(entry[8:])
+		length64 := le.Uint64(entry[16:])
+		if rsvd := le.Uint64(entry[24:]); rsvd != 0 {
+			return nil, fmt.Errorf("snapshot: nonzero reserved field in section %d", i)
+		}
+		if kind == 0 || kind > maxKind {
+			return nil, fmt.Errorf("snapshot: unknown section kind %d", kind)
+		}
+		if kind <= prevKind {
+			return nil, fmt.Errorf("snapshot: section kinds not strictly ascending (%d after %d)", kind, prevKind)
+		}
+		prevKind = kind
+		if off64 != uint64(expectOff) {
+			return nil, fmt.Errorf("snapshot: section kind %d at offset %d, canonical layout requires %d", kind, off64, expectOff)
+		}
+		if length64 > uint64(len(data))-off64 {
+			return nil, fmt.Errorf("snapshot: section kind %d (%d bytes at %d) extends past end of file", kind, length64, off64)
+		}
+		payload := data[off64 : off64+length64]
+		if got := crc(payload); got != sum {
+			return nil, fmt.Errorf("snapshot: section kind %d CRC mismatch (%08x != %08x)", kind, got, sum)
+		}
+		sections[kind] = payload
+		expectOff = align64(int(off64) + int(length64))
+	}
+	if expectOff != len(data) {
+		return nil, fmt.Errorf("snapshot: file is %d bytes, canonical layout requires %d", len(data), expectOff)
+	}
+	// Padding between the aligned regions must be zero for the encoding
+	// to be canonical (CRCs do not cover it).
+	pad := func(lo, hi int) error {
+		for _, b := range data[lo:hi] {
+			if b != 0 {
+				return fmt.Errorf("snapshot: nonzero padding in [%d,%d)", lo, hi)
+			}
+		}
+		return nil
+	}
+	if err := pad(tableEnd, align64(tableEnd)); err != nil {
+		return nil, err
+	}
+	for i := 0; i < count; i++ {
+		entry := table[i*tableEntrySz:]
+		end := int(le.Uint64(entry[8:])) + int(le.Uint64(entry[16:]))
+		if err := pad(end, align64(end)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Required and conditional sections, with exact length checks.
+	need := func(kind uint32, name string, want int) ([]byte, error) {
+		p, ok := sections[kind]
+		if !ok {
+			return nil, fmt.Errorf("snapshot: missing %s section", name)
+		}
+		if len(p) != want {
+			return nil, fmt.Errorf("snapshot: %s section is %d bytes, want %d", name, len(p), want)
+		}
+		return p, nil
+	}
+	offsetsRaw, err := need(kindOffsets, "offsets", (n+1)*8)
+	if err != nil {
+		return nil, err
+	}
+	adjRaw, err := need(kindAdj, "adj", arcs*4)
+	if err != nil {
+		return nil, err
+	}
+	scoresRaw, err := need(kindScores, "scores", n*8)
+	if err != nil {
+		return nil, err
+	}
+	var indexRaw []byte
+	if _, ok := sections[kindIndex]; ok {
+		if indexRaw, err = need(kindIndex, "index", n*4); err != nil {
+			return nil, err
+		}
+	}
+	var toGlobalRaw, ownedRaw []byte
+	if shard {
+		if parts <= 0 || shardIndex < 0 || shardIndex >= parts {
+			return nil, fmt.Errorf("snapshot: shard %d of %d out of range", shardIndex, parts)
+		}
+		if globalNodes < n {
+			return nil, fmt.Errorf("snapshot: global node count %d below closure size %d", globalNodes, n)
+		}
+		if toGlobalRaw, err = need(kindToGlobal, "toGlobal", n*4); err != nil {
+			return nil, err
+		}
+		var ok bool
+		if ownedRaw, ok = sections[kindOwned]; !ok {
+			return nil, fmt.Errorf("snapshot: missing owned section")
+		}
+		if len(ownedRaw)%4 != 0 || len(ownedRaw) > n*4 {
+			return nil, fmt.Errorf("snapshot: owned section is %d bytes, want a multiple of 4 at most %d", len(ownedRaw), n*4)
+		}
+	} else {
+		if parts != 0 || shardIndex != 0 {
+			return nil, fmt.Errorf("snapshot: whole-graph snapshot with shard fields %d/%d", parts, shardIndex)
+		}
+		if globalNodes != n {
+			return nil, fmt.Errorf("snapshot: whole-graph snapshot with global node count %d != %d", globalNodes, n)
+		}
+		if _, ok := sections[kindToGlobal]; ok {
+			return nil, fmt.Errorf("snapshot: whole-graph snapshot with toGlobal section")
+		}
+		if _, ok := sections[kindOwned]; ok {
+			return nil, fmt.Errorf("snapshot: whole-graph snapshot with owned section")
+		}
+	}
+
+	// Structural validation through the graph constructors: a snapshot
+	// whose CRCs pass but whose content violates CSR or index invariants
+	// (a writer bug, not bit rot) is still rejected.
+	g, err := graph.FromArrays(directed, int64View(offsetsRaw), int32View(adjRaw))
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	scores := float64View(scoresRaw)
+	for v, s := range scores {
+		if !(s >= 0 && s <= 1) { // NaN fails both comparisons
+			return nil, fmt.Errorf("snapshot: score[%d] = %v outside [0,1]", v, s)
+		}
+	}
+	var ix *graph.NeighborhoodIndex
+	if indexRaw != nil {
+		if ix, err = graph.IndexFromSizes(h, int32View(indexRaw), n); err != nil {
+			return nil, fmt.Errorf("snapshot: %w", err)
+		}
+	}
+
+	r := &Reader{
+		g: g, scores: scores, ix: ix,
+		h: h, generation: generation,
+		shard: shard, globalNodes: globalNodes,
+		size: int64(len(data)),
+	}
+	if shard {
+		r.parts, r.shardIndex = parts, shardIndex
+		r.toGlobal = int32View(toGlobalRaw)
+		r.owned = int32View(ownedRaw)
+		// toGlobal must be a monotone embedding of the closure into the
+		// full id space — the property the byte-identical merge rests on —
+		// and owned must be an ascending subset of it.
+		prev := int32(-1)
+		for i, gid := range r.toGlobal {
+			if gid <= prev || int(gid) >= globalNodes {
+				return nil, fmt.Errorf("snapshot: toGlobal[%d] = %d breaks monotone embedding into [0,%d)", i, gid, globalNodes)
+			}
+			prev = gid
+		}
+		j := 0
+		for i, gid := range r.owned {
+			if i > 0 && gid <= r.owned[i-1] {
+				return nil, fmt.Errorf("snapshot: owned[%d] = %d not strictly ascending", i, gid)
+			}
+			for j < len(r.toGlobal) && r.toGlobal[j] < gid {
+				j++
+			}
+			if j == len(r.toGlobal) || r.toGlobal[j] != gid {
+				return nil, fmt.Errorf("snapshot: owned node %d outside the shard closure", gid)
+			}
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,277 @@
+package snapshot
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// testGraph builds a deterministic random graph plus scores and its h-hop
+// index.
+func testGraph(t testing.TB, n, edges int, directed bool, h int) (*graph.Graph, []float64, *graph.NeighborhoodIndex) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(n)*1e6 + int64(edges)))
+	b := graph.NewBuilder(n, directed)
+	for i := 0; i < edges; i++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v {
+			continue
+		}
+		b.AddEdge(u, v)
+	}
+	g := b.Build()
+	scores := make([]float64, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+	}
+	return g, scores, graph.BuildNeighborhoodIndex(g, h, 1)
+}
+
+// reencode reconstructs the byte encoding from a decoded Reader, proving
+// the decode lost nothing.
+func reencode(t testing.TB, r *Reader) []byte {
+	t.Helper()
+	w, err := NewWriter(r.Graph(), r.Scores(), r.H(), r.Index())
+	if err != nil {
+		t.Fatalf("NewWriter from decoded reader: %v", err)
+	}
+	w.SetGeneration(r.Generation())
+	if r.IsShard() {
+		if err := w.SetShard(r.Parts(), r.ShardIndex(), r.GlobalNodes(), r.ToGlobal(), r.Owned()); err != nil {
+			t.Fatalf("SetShard from decoded reader: %v", err)
+		}
+	}
+	blob, err := w.Encode()
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	return blob
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		n, edges int
+		directed bool
+		h        int
+		noIndex  bool
+	}{
+		{"undirected", 200, 600, false, 2, false},
+		{"directed", 150, 500, true, 2, false},
+		{"no-index", 100, 300, false, 1, true},
+		{"h0", 50, 100, false, 0, false},
+		{"empty", 0, 0, false, 2, false},
+		{"edgeless", 10, 0, false, 2, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g, scores, ix := testGraph(t, tc.n, tc.edges, tc.directed, tc.h)
+			if tc.noIndex {
+				ix = nil
+			}
+			w, err := NewWriter(g, scores, tc.h, ix)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w.SetGeneration(42)
+			blob, err := w.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := Decode(blob)
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if r.Graph().NumNodes() != g.NumNodes() || r.Graph().NumArcs() != g.NumArcs() {
+				t.Fatalf("decoded %d nodes/%d arcs, want %d/%d",
+					r.Graph().NumNodes(), r.Graph().NumArcs(), g.NumNodes(), g.NumArcs())
+			}
+			if r.Graph().Directed() != tc.directed {
+				t.Fatalf("directed = %v, want %v", r.Graph().Directed(), tc.directed)
+			}
+			if r.H() != tc.h || r.Generation() != 42 || r.IsShard() {
+				t.Fatalf("meta mismatch: h=%d gen=%d shard=%v", r.H(), r.Generation(), r.IsShard())
+			}
+			for u := 0; u < g.NumNodes(); u++ {
+				if !bytes.Equal(int32Bytes(g.Neighbors(u)), int32Bytes(r.Graph().Neighbors(u))) {
+					t.Fatalf("adjacency of node %d differs", u)
+				}
+			}
+			for v, s := range scores {
+				if r.Scores()[v] != s {
+					t.Fatalf("score[%d] = %v, want %v", v, r.Scores()[v], s)
+				}
+			}
+			if ix == nil {
+				if r.Index() != nil {
+					t.Fatal("decoded an index that was never written")
+				}
+			} else {
+				for v := range ix.Size {
+					if r.Index().Size[v] != ix.Size[v] {
+						t.Fatalf("N(%d) = %d, want %d", v, r.Index().Size[v], ix.Size[v])
+					}
+				}
+			}
+			if again := reencode(t, r); !bytes.Equal(again, blob) {
+				t.Fatal("encode(decode(blob)) != blob")
+			}
+		})
+	}
+}
+
+func TestShardRoundTrip(t *testing.T) {
+	g, scores, ix := testGraph(t, 120, 400, false, 2)
+	// Fake a closure: the "shard" holds all nodes of g embedded into a
+	// larger 500-node global space at even positions, owning a prefix.
+	toGlobal := make([]int32, g.NumNodes())
+	for i := range toGlobal {
+		toGlobal[i] = int32(2 * i)
+	}
+	owned := toGlobal[:40]
+	w, err := NewWriter(g, scores, 2, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetGeneration(7)
+	if err := w.SetShard(4, 1, 500, toGlobal, owned); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := w.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Decode(blob)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !r.IsShard() || r.Parts() != 4 || r.ShardIndex() != 1 || r.GlobalNodes() != 500 {
+		t.Fatalf("shard meta mismatch: %v %d/%d global=%d", r.IsShard(), r.ShardIndex(), r.Parts(), r.GlobalNodes())
+	}
+	if !bytes.Equal(int32Bytes(r.ToGlobal()), int32Bytes(toGlobal)) {
+		t.Fatal("toGlobal differs")
+	}
+	if !bytes.Equal(int32Bytes(r.Owned()), int32Bytes(owned)) {
+		t.Fatal("owned differs")
+	}
+	if again := reencode(t, r); !bytes.Equal(again, blob) {
+		t.Fatal("encode(decode(blob)) != blob")
+	}
+}
+
+func TestOpenMmap(t *testing.T) {
+	g, scores, ix := testGraph(t, 300, 900, false, 2)
+	w, err := NewWriter(g, scores, 2, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetGeneration(3)
+	path := filepath.Join(t.TempDir(), "g.snap")
+	if err := w.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Path() != path || r.ModTime().IsZero() {
+		t.Fatalf("source info not populated: path=%q mtime=%v", r.Path(), r.ModTime())
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != st.Size() {
+		t.Fatalf("Size() = %d, want %d", r.Size(), st.Size())
+	}
+	if r.Graph().NumNodes() != g.NumNodes() || r.Generation() != 3 {
+		t.Fatalf("decoded %d nodes gen %d", r.Graph().NumNodes(), r.Generation())
+	}
+	sum := 0.0
+	for _, s := range r.Scores() {
+		sum += s
+	}
+	want := 0.0
+	for _, s := range scores {
+		want += s
+	}
+	if sum != want {
+		t.Fatalf("score sum over mmap = %v, want %v", sum, want)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+func TestOpenRejectsCorruption(t *testing.T) {
+	g, scores, ix := testGraph(t, 60, 200, false, 2)
+	w, err := NewWriter(g, scores, 2, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := w.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	// Every truncation must fail cleanly.
+	for _, cut := range []int{0, 1, headerSize - 1, headerSize, len(blob) / 2, len(blob) - 1} {
+		if _, err := Decode(blob[:cut]); err == nil {
+			t.Fatalf("Decode accepted a %d-byte truncation of a %d-byte snapshot", cut, len(blob))
+		}
+	}
+	// Every single-byte flip must fail cleanly (padding included: the
+	// canonical-layout check catches what the CRCs don't cover).
+	for i := range blob {
+		mut := append([]byte(nil), blob...)
+		mut[i] ^= 0x40
+		if _, err := Decode(mut); err == nil {
+			t.Fatalf("Decode accepted a bit flip at byte %d", i)
+		}
+	}
+	// And through the file path.
+	path := filepath.Join(dir, "bad.snap")
+	mut := append([]byte(nil), blob...)
+	mut[len(mut)-3] ^= 0x01
+	if err := os.WriteFile(path, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("Open accepted a corrupt snapshot")
+	}
+}
+
+func TestWriterRejectsBadInput(t *testing.T) {
+	g, scores, ix := testGraph(t, 20, 40, false, 2)
+	if _, err := NewWriter(nil, nil, 2, nil); err == nil {
+		t.Fatal("NewWriter accepted a nil graph")
+	}
+	if _, err := NewWriter(g, scores[:10], 2, nil); err == nil {
+		t.Fatal("NewWriter accepted a short score vector")
+	}
+	if _, err := NewWriter(g, scores, -1, nil); err == nil {
+		t.Fatal("NewWriter accepted a negative hop radius")
+	}
+	if _, err := NewWriter(g, scores, 3, ix); err == nil {
+		t.Fatal("NewWriter accepted an index with mismatched h")
+	}
+	w, err := NewWriter(g, scores, 2, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetShard(0, 0, 20, nil, nil); err == nil {
+		t.Fatal("SetShard accepted zero parts")
+	}
+	if err := w.SetShard(2, 0, 10, nil, nil); err == nil {
+		t.Fatal("SetShard accepted globalNodes below the closure size")
+	}
+}

@@ -1,0 +1,85 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"math"
+	"unsafe"
+)
+
+// hostLittle reports whether the running host is little-endian — the
+// format's on-disk byte order. On such hosts (every platform this repo
+// targets) column reads and writes are pointer reinterpretations; on
+// big-endian hosts the code paths below fall back to element-wise
+// conversion so the format stays portable.
+var hostLittle = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+func mathFloat64bits(f float64) uint64 { return math.Float64bits(f) }
+
+// sliceBytes reinterprets a fixed-width numeric slice as its raw bytes.
+func sliceBytes[T int32 | int64 | float64](v []T) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	var zero T
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*int(unsafe.Sizeof(zero)))
+}
+
+// aligned reports whether b's backing array starts at a multiple of n.
+// mmap regions are page-aligned and all sections sit at 64-byte file
+// offsets, so views over a mapped file always pass; Decode over an
+// arbitrary in-memory slice (tests, fuzzing) may not, and then the view
+// helpers copy instead.
+func aligned(b []byte, n uintptr) bool {
+	return len(b) == 0 || uintptr(unsafe.Pointer(&b[0]))%n == 0
+}
+
+// int64View interprets b as little-endian int64s, zero-copy when the
+// host layout permits.
+func int64View(b []byte) []int64 {
+	if len(b) == 0 {
+		return nil
+	}
+	if hostLittle && aligned(b, 8) {
+		return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), len(b)/8)
+	}
+	out := make([]int64, len(b)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out
+}
+
+// int32View interprets b as little-endian int32s, zero-copy when the
+// host layout permits.
+func int32View(b []byte) []int32 {
+	if len(b) == 0 {
+		return nil
+	}
+	if hostLittle && aligned(b, 4) {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4)
+	}
+	out := make([]int32, len(b)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out
+}
+
+// float64View interprets b as little-endian float64s, zero-copy when the
+// host layout permits.
+func float64View(b []byte) []float64 {
+	if len(b) == 0 {
+		return nil
+	}
+	if hostLittle && aligned(b, 8) {
+		return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), len(b)/8)
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/graph"
+)
+
+// Writer assembles a snapshot from an engine's in-memory state. The zero
+// value is not usable; construct with NewWriter, optionally attach
+// metadata (SetGeneration, SetShard), then Encode or WriteFile.
+type Writer struct {
+	g      *graph.Graph
+	scores []float64
+	ix     *graph.NeighborhoodIndex
+	h      int
+
+	generation uint64
+
+	shard       bool
+	parts       int
+	shardIndex  int
+	globalNodes int
+	toGlobal    []int32
+	owned       []int32
+}
+
+// NewWriter returns a Writer for a whole-graph snapshot of (g, scores,
+// ix) at hop radius h. ix may be nil, producing a snapshot without an
+// index section (loaders then rebuild the index); when non-nil its H must
+// equal h.
+func NewWriter(g *graph.Graph, scores []float64, h int, ix *graph.NeighborhoodIndex) (*Writer, error) {
+	if g == nil {
+		return nil, fmt.Errorf("snapshot: nil graph")
+	}
+	if h < 0 {
+		return nil, fmt.Errorf("snapshot: negative hop radius %d", h)
+	}
+	if len(scores) != g.NumNodes() {
+		return nil, fmt.Errorf("snapshot: %d scores for %d nodes", len(scores), g.NumNodes())
+	}
+	if g.NumNodes() > maxNodes {
+		return nil, fmt.Errorf("snapshot: %d nodes exceeds format limit %d", g.NumNodes(), maxNodes)
+	}
+	if ix != nil && ix.H != h {
+		return nil, fmt.Errorf("snapshot: index built for h=%d, snapshot declares h=%d", ix.H, h)
+	}
+	if ix != nil && len(ix.Size) != g.NumNodes() {
+		return nil, fmt.Errorf("snapshot: index has %d sizes for %d nodes", len(ix.Size), g.NumNodes())
+	}
+	return &Writer{g: g, scores: scores, ix: ix, h: h, globalNodes: g.NumNodes()}, nil
+}
+
+// SetGeneration stamps the score generation the snapshot was taken at.
+func (w *Writer) SetGeneration(gen uint64) { w.generation = gen }
+
+// SetShard marks the snapshot as one shard's partition closure: the
+// writer's graph is the closure subgraph of shard shardIndex out of
+// parts, cut from a full graph of globalNodes nodes; toGlobal maps local
+// ids to global ids (monotone ascending) and owned lists the global ids
+// this shard ranks (ascending).
+func (w *Writer) SetShard(parts, shardIndex, globalNodes int, toGlobal, owned []int32) error {
+	if parts <= 0 || shardIndex < 0 || shardIndex >= parts {
+		return fmt.Errorf("snapshot: shard %d of %d out of range", shardIndex, parts)
+	}
+	if globalNodes < w.g.NumNodes() || globalNodes > maxNodes {
+		return fmt.Errorf("snapshot: global node count %d out of range [%d,%d]", globalNodes, w.g.NumNodes(), maxNodes)
+	}
+	if len(toGlobal) != w.g.NumNodes() {
+		return fmt.Errorf("snapshot: toGlobal has %d entries for %d closure nodes", len(toGlobal), w.g.NumNodes())
+	}
+	if len(owned) > len(toGlobal) {
+		return fmt.Errorf("snapshot: %d owned nodes exceed closure size %d", len(owned), len(toGlobal))
+	}
+	w.shard = true
+	w.parts = parts
+	w.shardIndex = shardIndex
+	w.globalNodes = globalNodes
+	w.toGlobal = toGlobal
+	w.owned = owned
+	return nil
+}
+
+// Encode serializes the snapshot into a byte slice laid out per the
+// package's format documentation.
+func (w *Writer) Encode() ([]byte, error) {
+	offsets, adj := w.g.Arrays()
+	n := w.g.NumNodes()
+
+	type section struct {
+		kind uint32
+		data []byte
+	}
+	sections := []section{
+		{kindOffsets, int64Bytes(offsets)},
+		{kindAdj, int32Bytes(adj)},
+		{kindScores, float64Bytes(w.scores)},
+	}
+	if w.ix != nil {
+		sections = append(sections, section{kindIndex, int32Bytes(w.ix.Size)})
+	}
+	if w.shard {
+		sections = append(sections,
+			section{kindToGlobal, int32Bytes(w.toGlobal)},
+			section{kindOwned, int32Bytes(w.owned)})
+	}
+
+	// Lay out: header, table, then 64-byte aligned payloads.
+	pos := align64(headerSize + len(sections)*tableEntrySz)
+	offs := make([]int, len(sections))
+	for i, s := range sections {
+		offs[i] = pos
+		pos = align64(pos + len(s.data))
+	}
+	buf := make([]byte, pos)
+
+	copy(buf[0:8], Magic)
+	le := binary.LittleEndian
+	le.PutUint32(buf[8:], Version)
+	var flags uint32
+	if w.g.Directed() {
+		flags |= flagDirected
+	}
+	if w.shard {
+		flags |= flagShard
+	}
+	le.PutUint32(buf[12:], flags)
+	le.PutUint64(buf[16:], uint64(n))
+	le.PutUint64(buf[24:], uint64(len(adj)))
+	le.PutUint32(buf[32:], uint32(w.h))
+	le.PutUint32(buf[36:], uint32(len(sections)))
+	le.PutUint64(buf[40:], w.generation)
+	le.PutUint32(buf[48:], uint32(w.parts))
+	le.PutUint32(buf[52:], uint32(w.shardIndex))
+	le.PutUint64(buf[56:], uint64(w.globalNodes))
+
+	for i, s := range sections {
+		entry := buf[headerSize+i*tableEntrySz:]
+		le.PutUint32(entry[0:], s.kind)
+		le.PutUint32(entry[4:], crc(s.data))
+		le.PutUint64(entry[8:], uint64(offs[i]))
+		le.PutUint64(entry[16:], uint64(len(s.data)))
+		copy(buf[offs[i]:], s.data)
+	}
+
+	table := buf[headerSize : headerSize+len(sections)*tableEntrySz]
+	le.PutUint32(buf[64:], crc(table))
+	le.PutUint32(buf[68:], crc(buf[:68]))
+	return buf, nil
+}
+
+// WriteFile encodes the snapshot and writes it to path atomically: the
+// bytes land in a temp file in the same directory which is fsynced and
+// renamed over path, so a crash mid-write can never leave a torn
+// snapshot under the published name.
+func (w *Writer) WriteFile(path string) error {
+	blob, err := w.Encode()
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snapshot-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// The byte-view helpers serialize fixed-width columns in little-endian
+// order. On little-endian hosts they reinterpret the backing array
+// in place (no copy); elsewhere they fall back to an element-wise copy.
+
+func int64Bytes(v []int64) []byte {
+	if hostLittle {
+		return sliceBytes(v)
+	}
+	out := make([]byte, len(v)*8)
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[i*8:], uint64(x))
+	}
+	return out
+}
+
+func int32Bytes(v []int32) []byte {
+	if hostLittle {
+		return sliceBytes(v)
+	}
+	out := make([]byte, len(v)*4)
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(out[i*4:], uint32(x))
+	}
+	return out
+}
+
+func float64Bytes(v []float64) []byte {
+	if hostLittle {
+		return sliceBytes(v)
+	}
+	out := make([]byte, len(v)*8)
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[i*8:], mathFloat64bits(x))
+	}
+	return out
+}

@@ -55,6 +55,7 @@ import (
 	"repro/internal/netio"
 	"repro/internal/relevance"
 	"repro/internal/server"
+	"repro/internal/snapshot"
 	"repro/internal/trace"
 )
 
@@ -324,6 +325,71 @@ func NewShardWorkerHandler(g *Graph, scores []float64, h, parts, index int) (htt
 	}
 	worker.Shard().Engine().PrepareNeighborhoodIndex(0)
 	return worker.Handler(), nil
+}
+
+// SnapshotReader is an open columnar snapshot: a versioned, checksummed,
+// mmap-able serialization of a (graph, scores, h, N(v) index) quadruple
+// (or one shard's closure of it). The accessors hand out views that alias
+// the mapped file — zero-copy, so opening a multi-gigabyte snapshot costs
+// milliseconds — which means the reader must stay open for as long as any
+// engine built over those views is in use, and the views are read-only.
+type SnapshotReader = snapshot.Reader
+
+// OpenSnapshot maps the snapshot file at path (mmap on unix, a plain read
+// elsewhere) and validates it end to end: magic, version, header/table/
+// per-section CRC-32C checksums, canonical layout, and the structural CSR
+// and index invariants. Close the reader only after every engine using
+// its views is done.
+func OpenSnapshot(path string) (*SnapshotReader, error) { return snapshot.Open(path) }
+
+// WriteSnapshot persists (g, scores, h) plus the N(v) neighborhood index
+// (built here if needed — snapshots exist to make the next boot free) as
+// a whole-graph columnar snapshot at path, written atomically via temp
+// file + rename. Boot from it with OpenSnapshot + NewEngineFromSnapshot,
+// lonad -snapshot, or ServerOptions.Index.
+func WriteSnapshot(path string, g *Graph, scores []float64, h int) error {
+	w, err := snapshot.NewWriter(g, scores, h, graph.BuildNeighborhoodIndex(g, h, 0))
+	if err != nil {
+		return err
+	}
+	return w.WriteFile(path)
+}
+
+// NewEngineFromSnapshot stands an engine up over an open snapshot's
+// mapped arrays — graph, scores, and N(v) index adopted without copying
+// or rebuilding, so cold start is file-open cost, not index-build cost.
+// The reader must outlive the engine.
+func NewEngineFromSnapshot(r *SnapshotReader) (*Engine, error) {
+	e, err := core.NewEngine(r.Graph(), r.Scores(), r.H())
+	if err != nil {
+		return nil, err
+	}
+	if ix := r.Index(); ix != nil {
+		if err := e.AdoptNeighborhoodIndex(ix); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// ServerSnapshotSource describes the snapshot a server booted from, for
+// ServerOptions.SnapshotSource (surfaced by /v1/stats and /metrics).
+type ServerSnapshotSource = server.SnapshotSource
+
+// NewShardWorkerHandlerFromSnapshot mounts one shard restored from a
+// shard snapshot (lonagen -snapshot with -shards, or a previously
+// persisted worker state) as the shard-protocol HTTP handler. Booting
+// this way skips the partition + closure + subgraph + index build
+// entirely, but the worker serves queries and score updates only:
+// structural edit batches need the full graph, which the snapshot
+// deliberately does not carry, so /v1/shard/edits rejects. The reader
+// must stay open for the worker's lifetime.
+func NewShardWorkerHandlerFromSnapshot(r *SnapshotReader) (http.Handler, error) {
+	s, err := cluster.ShardFromSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	return cluster.NewWorker(s).Handler(), nil
 }
 
 // CollaborationNetwork simulates a co-authorship network in the shape of
