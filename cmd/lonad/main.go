@@ -33,10 +33,16 @@
 //	GET  /v1/health
 //	GET  /metrics    (Prometheus text exposition)
 //
-// Observability: "trace":true on /v1/topk returns the query's stitched
-// execution timeline; -slow-query-ms N logs the full trace of any
-// execution at or over N milliseconds; -pprof ADDR serves
-// net/http/pprof on a side listener, away from the query API.
+// Observability: the daemon logs one structured "wide event" per query
+// and edit batch via log/slog (-log json for machine-readable lines);
+// "trace":true on /v1/topk returns the query's stitched execution
+// timeline; -slow-query-ms N escalates the wide event of any execution
+// at or over N milliseconds to WARN; -otlp-endpoint URL exports query
+// traces as OTLP/JSON spans to a collector (Jaeger, Tempo), sampled by
+// -otlp-sample with slow queries always kept; -slo-latency-ms with
+// -slo-target tracks a rolling-window latency SLO whose burn rate flips
+// /v1/health 200 → 503; -pprof ADDR serves net/http/pprof on a side
+// listener, away from the query API.
 //
 // In -shard-worker mode the daemon instead serves the shard protocol
 // (/v1/shard/query, /v1/shard/query/stream, /v1/shard/bound,
@@ -56,7 +62,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registers its handlers on DefaultServeMux for the -pprof side listener
@@ -93,7 +99,13 @@ func main() {
 		stream      = flag.Bool("stream", true, "stream partial top-k batches from shards so TA cuts land mid-query (sharded serving only)")
 
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060); empty disables")
-		slowQueryMS = flag.Int64("slow-query-ms", 0, "log the full execution trace of queries at or over this many milliseconds; 0 disables")
+		slowQueryMS = flag.Int64("slow-query-ms", 0, "escalate the wide event of queries at or over this many milliseconds to WARN; 0 disables")
+
+		logFormat    = flag.String("log", "text", "log line format: text | json (json emits machine-parseable wide events)")
+		otlpEndpoint = flag.String("otlp-endpoint", "", "export query traces as OTLP/JSON to this collector base URL (POSTs to <url>/v1/traces); empty disables")
+		otlpSample   = flag.Float64("otlp-sample", 1.0, "fraction of query traces exported in (0,1]; slow queries always export")
+		sloLatencyMS = flag.Int64("slo-latency-ms", 0, "rolling-window latency objective in milliseconds; 0 disables SLO tracking")
+		sloTarget    = flag.Float64("slo-target", 0.99, "fraction of window queries that must meet -slo-latency-ms")
 	)
 	flag.Parse()
 	cfg := config{
@@ -103,6 +115,8 @@ func main() {
 		shards: *shards, shardWorker: *shardWorker, shardIndex: *shardIndex,
 		shardPeers: *shardPeers, stream: *stream,
 		pprofAddr: *pprofAddr, slowQuery: time.Duration(*slowQueryMS) * time.Millisecond,
+		logFormat: *logFormat, otlpEndpoint: *otlpEndpoint, otlpSample: *otlpSample,
+		sloLatency: time.Duration(*sloLatencyMS) * time.Millisecond, sloTarget: *sloTarget,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "lonad:", err)
@@ -131,6 +145,25 @@ type config struct {
 	stream                bool
 	pprofAddr             string
 	slowQuery             time.Duration
+	logFormat             string
+	otlpEndpoint          string
+	otlpSample            float64
+	sloLatency            time.Duration
+	sloTarget             float64
+}
+
+// newLogger builds the daemon's structured logger: slog text lines for
+// terminals (the default), JSON for log pipelines — where the server's
+// per-query wide events become machine-parseable records.
+func (c config) newLogger() (*slog.Logger, error) {
+	switch c.logFormat {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("-log must be text or json, got %q", c.logFormat)
+	}
 }
 
 // peerList splits -shard-peers into trimmed, non-empty URLs.
@@ -145,6 +178,11 @@ func (c config) peerList() []string {
 }
 
 func run(cfg config) error {
+	logger, err := cfg.newLogger()
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(logger)
 	peers := cfg.peerList()
 	switch {
 	case cfg.shardWorker && len(peers) > 0:
@@ -155,6 +193,10 @@ func run(cfg config) error {
 		return fmt.Errorf("-shards must be at least 1, got %d", cfg.shards)
 	case cfg.snapshot != "" && (cfg.dataset != "" || cfg.graphPath != "" || cfg.scoresPath != ""):
 		return fmt.Errorf("-snapshot replaces -dataset/-graph/-scores; pass one or the other")
+	case cfg.otlpSample <= 0 || cfg.otlpSample > 1:
+		return fmt.Errorf("-otlp-sample must be in (0,1], got %g", cfg.otlpSample)
+	case cfg.sloLatency > 0 && (cfg.sloTarget <= 0 || cfg.sloTarget >= 1):
+		return fmt.Errorf("-slo-target must be in (0,1), got %g", cfg.sloTarget)
 	}
 
 	var (
@@ -179,11 +221,12 @@ func run(cfg config) error {
 		}
 		g, scores = snap.Graph(), snap.Scores()
 		if cfg.h != snap.H() {
-			log.Printf("snapshot: baked-in h=%d overrides -hops %d", snap.H(), cfg.h)
+			logger.Warn("snapshot overrides -hops", "snapshot_h", snap.H(), "flag_h", cfg.h)
 			cfg.h = snap.H()
 		}
-		log.Printf("snapshot: mapped %s in %s (%d bytes, generation %d)",
-			cfg.snapshot, snapLoad.Round(time.Microsecond), snap.Size(), snap.Generation())
+		logger.Info("snapshot mapped",
+			"path", cfg.snapshot, "load_ms", snapLoad.Milliseconds(),
+			"bytes", snap.Size(), "generation", snap.Generation())
 	} else {
 		var err error
 		g, scores, err = loadOrGenerate(cfg.graphPath, cfg.scoresPath, cfg.dataset, cfg.scale, cfg.seed, cfg.relKind, cfg.r)
@@ -191,7 +234,7 @@ func run(cfg config) error {
 			return err
 		}
 	}
-	log.Printf("network: %d nodes, %d edges; h=%d", g.NumNodes(), g.NumEdges(), cfg.h)
+	logger.Info("network loaded", "nodes", g.NumNodes(), "edges", g.NumEdges(), "h", cfg.h)
 
 	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -201,16 +244,16 @@ func run(cfg config) error {
 		// the query API. DefaultServeMux carries the pprof handlers via
 		// the blank import above.
 		go func() {
-			log.Printf("pprof: serving on http://%s/debug/pprof/", cfg.pprofAddr)
+			logger.Info("pprof serving", "url", "http://"+cfg.pprofAddr+"/debug/pprof/")
 			if err := http.ListenAndServe(cfg.pprofAddr, nil); err != nil {
-				log.Printf("pprof: %v", err)
+				logger.Error("pprof listener failed", "error", err)
 			}
 		}()
 	}
 
 	start := time.Now()
 	var handler http.Handler
-	var err error
+	var exp *lona.OTLPExporter
 	switch {
 	case cfg.shardWorker && snap != nil:
 		// Worker mode from a shard snapshot: the partition closure, its
@@ -221,8 +264,9 @@ func run(cfg config) error {
 		if err != nil {
 			return err
 		}
-		log.Printf("shard worker %d/%d ready from snapshot in %.2fs",
-			snap.ShardIndex(), snap.Parts(), time.Since(start).Seconds())
+		logger.Info("shard worker ready",
+			"shard", snap.ShardIndex(), "shards", snap.Parts(),
+			"boot_ms", time.Since(start).Milliseconds(), "from", "snapshot")
 
 	case cfg.shardWorker:
 		// Worker mode: build just this process's shard of the shared
@@ -231,7 +275,9 @@ func run(cfg config) error {
 		if err != nil {
 			return err
 		}
-		log.Printf("shard worker %d/%d ready in %.2fs", cfg.shardIndex, cfg.shards, time.Since(start).Seconds())
+		logger.Info("shard worker ready",
+			"shard", cfg.shardIndex, "shards", cfg.shards,
+			"boot_ms", time.Since(start).Milliseconds(), "from", "build")
 
 	default:
 		cacheBytes := cfg.cacheBytes
@@ -241,6 +287,15 @@ func run(cfg config) error {
 		opts := lona.ServerOptions{
 			CacheBytes: cacheBytes, Workers: cfg.workers,
 			DisableStreaming: !cfg.stream, SlowQuery: cfg.slowQuery,
+			Logger: logger,
+			SLO:    lona.ServerSLO{Latency: cfg.sloLatency, Target: cfg.sloTarget},
+		}
+		if cfg.otlpEndpoint != "" {
+			exp = lona.NewOTLPExporter(cfg.otlpEndpoint, lona.OTLPExporterOptions{
+				SampleRatio: cfg.otlpSample, Logger: logger,
+			})
+			opts.TraceExporter = exp
+			logger.Info("otlp export enabled", "endpoint", cfg.otlpEndpoint, "sample", cfg.otlpSample)
 		}
 		if snap != nil {
 			// Adopt the snapshot's N(v) index so the server skips the eager
@@ -264,11 +319,14 @@ func run(cfg config) error {
 		}
 		switch {
 		case len(peers) > 0:
-			log.Printf("server ready in %.2fs (coordinator over %d shard workers)", time.Since(start).Seconds(), len(peers))
+			logger.Info("server ready", "boot_ms", time.Since(start).Milliseconds(),
+				"mode", "coordinator", "shard_workers", len(peers))
 		case cfg.shards > 1:
-			log.Printf("server ready in %.2fs (%d in-process shards)", time.Since(start).Seconds(), cfg.shards)
+			logger.Info("server ready", "boot_ms", time.Since(start).Milliseconds(),
+				"mode", "sharded", "shards", cfg.shards)
 		default:
-			log.Printf("server ready in %.2fs (indexes prepared, view materialized)", time.Since(start).Seconds())
+			logger.Info("server ready", "boot_ms", time.Since(start).Milliseconds(),
+				"mode", "single")
 		}
 		handler = srv.Handler()
 	}
@@ -278,11 +336,22 @@ func run(cfg config) error {
 		return err
 	}
 	if cfg.shardWorker {
-		log.Printf("serving shard protocol on %s — POST /v1/shard/query, GET /v1/shard/health", ln.Addr())
+		logger.Info("serving", "addr", ln.Addr().String(), "api", "shard protocol")
 	} else {
-		log.Printf("serving on %s — POST /v1/topk, POST /v1/scores, POST /v1/edges, POST /v1/reshard, GET /v1/stats, GET /v1/health, GET /metrics", ln.Addr())
+		logger.Info("serving", "addr", ln.Addr().String(),
+			"api", "/v1/topk /v1/scores /v1/edges /v1/reshard /v1/stats /v1/health /metrics")
 	}
-	return serveUntilDone(sigCtx, handler, ln, cfg.drain)
+	err = serveUntilDone(sigCtx, logger, handler, ln, cfg.drain)
+	if exp != nil {
+		// Flush whatever the async exporter still holds queued; spans from
+		// the last in-flight queries should reach the collector before exit.
+		flushCtx, cancelFlush := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancelFlush()
+		if cerr := exp.Close(flushCtx); cerr != nil {
+			logger.Warn("otlp exporter close", "error", cerr)
+		}
+	}
+	return err
 }
 
 // serveUntilDone serves HTTP on ln until ctx is done (a termination
@@ -290,7 +359,7 @@ func run(cfg config) error {
 // requests up to the drain deadline, and cancel whatever is still running
 // — in-flight engine queries observe their request contexts and abort
 // cooperatively — before force-closing.
-func serveUntilDone(ctx context.Context, handler http.Handler, ln net.Listener, drain time.Duration) error {
+func serveUntilDone(ctx context.Context, logger *slog.Logger, handler http.Handler, ln net.Listener, drain time.Duration) error {
 	// Every request context derives from baseCtx; cancelling it aborts any
 	// engine queries still running once the drain deadline has passed. The
 	// shutdown mark lets handlers answer those with a retryable 503
@@ -313,7 +382,7 @@ func serveUntilDone(ctx context.Context, handler http.Handler, ln net.Listener, 
 	case <-ctx.Done():
 	}
 
-	log.Printf("shutdown: draining in-flight requests (deadline %s)", drain)
+	logger.Info("shutdown draining", "deadline", drain.String())
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	err := httpSrv.Shutdown(shutdownCtx)
@@ -323,7 +392,7 @@ func serveUntilDone(ctx context.Context, handler http.Handler, ln net.Listener, 
 	draining.Store(true)
 	cancelQueries()
 	if err != nil {
-		log.Printf("shutdown: drain deadline exceeded, aborting in-flight queries")
+		logger.Warn("shutdown drain deadline exceeded, aborting in-flight queries")
 		// The cancelled queries return within a poll stride; give their
 		// handlers a moment to flush the 503s before force-closing.
 		flushCtx, cancelFlush := context.WithTimeout(context.Background(), 2*time.Second)
@@ -335,7 +404,7 @@ func serveUntilDone(ctx context.Context, handler http.Handler, ln net.Listener, 
 	if serr := <-serveErr; serr != nil && !errors.Is(serr, http.ErrServerClosed) {
 		return serr
 	}
-	log.Printf("shutdown: done")
+	logger.Info("shutdown done")
 	return nil
 }
 

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"strings"
@@ -23,7 +24,8 @@ func startDaemon(t *testing.T, srv *lona.Server, drain time.Duration) (string, c
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- serveUntilDone(ctx, srv.Handler(), ln, drain) }()
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	go func() { done <- serveUntilDone(ctx, logger, srv.Handler(), ln, drain) }()
 	return "http://" + ln.Addr().String(), cancel, done
 }
 

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"strings"
@@ -62,7 +63,8 @@ func TestShardedDaemonPipeline(t *testing.T) {
 		}
 		ctx, cancel := context.WithCancel(context.Background())
 		done := make(chan error, 1)
-		go func() { done <- serveUntilDone(ctx, handler, ln, time.Second) }()
+		logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+		go func() { done <- serveUntilDone(ctx, logger, handler, ln, time.Second) }()
 		t.Cleanup(func() {
 			cancel()
 			<-done

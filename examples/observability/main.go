@@ -1,0 +1,199 @@
+// Observability: the serving subsystem watching itself. The example
+// starts a server with every observability surface enabled and then
+// exercises each one:
+//
+//  1. wide-event logs — one JSON record per query and per edit batch,
+//     with slow queries escalated to WARN on the same schema,
+//  2. OTLP trace export — each executed query's stitched timeline
+//     shipped as OTLP/JSON spans to a collector stub (stand-in for
+//     Jaeger/Tempo), one root span plus a sub-span per timed phase,
+//  3. rolling-window metrics — the lona_latency_window_* families on
+//     /metrics beside the cumulative histograms,
+//  4. SLO burn — an aggressive latency objective the workload violates,
+//     so /v1/health degrades to 503 while "ok" stays true.
+//
+// Run with:
+//
+//	go run ./examples/observability [-users 6000]
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	lona "repro"
+)
+
+func main() {
+	users := flag.Int("users", 6000, "number of users in the social network")
+	flag.Parse()
+
+	g := lona.CollaborationNetwork(float64(*users)/40000, 6001)
+	scores := lona.MixtureScores(g, 0.01, 6002)
+	fmt.Printf("network: %d users, %d friendships\n\n", g.NumNodes(), g.NumEdges())
+
+	// A collector stub standing in for Jaeger/Tempo: it accepts OTLP/JSON
+	// on POST /v1/traces and remembers what arrived.
+	collector := &collectorStub{}
+	cln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = http.Serve(cln, collector) }()
+
+	exporter := lona.NewOTLPExporter("http://"+cln.Addr().String(), lona.OTLPExporterOptions{
+		SampleRatio: 1, // keep every trace; production deployments sample
+	})
+
+	// Wide events go to stdout as JSON — exactly what `lonad -log json`
+	// emits. An unachievable 1µs SLO makes the burn visible immediately.
+	logger := slog.New(slog.NewJSONHandler(os.Stdout, nil))
+	srv, err := lona.NewServer(g, scores, 2, lona.ServerOptions{
+		Logger:        logger,
+		SlowQuery:     500 * time.Microsecond,
+		SLO:           lona.ServerSLO{Latency: time.Microsecond, Target: 0.99},
+		TraceExporter: exporter,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = http.Serve(ln, srv.Handler()) }()
+	base := "http://" + ln.Addr().String()
+
+	// 1. Wide events: each of these requests emits one JSON record above
+	// this program's own prints — queries as "query" events (WARN once
+	// they cross the 500µs slow threshold), the score batch as an
+	// "edit_batch" event.
+	fmt.Println("--- wide events (one JSON record per query / edit batch) ---")
+	for i := 0; i < 5; i++ {
+		postJSON(base+"/v1/topk", fmt.Sprintf(`{"k":%d,"aggregate":"sum"}`, 3+i))
+	}
+	postJSON(base+"/v1/scores", `{"updates":[{"node":1,"score":0.9},{"node":2,"score":0.1}]}`)
+
+	// 2. OTLP export: flush the async exporter, then inspect what the
+	// collector received.
+	flushCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := exporter.Close(flushCtx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n--- otlp export ---\ncollector received %d spans across %d batches; trace %s spans: %s\n",
+		collector.spans, collector.batches, collector.lastTrace, strings.Join(collector.lastNames, ", "))
+
+	// 3. Rolling windows: the last ~2 minutes of traffic, beside the
+	// cumulative histograms that never reset.
+	fmt.Println("\n--- /metrics rolling-window families ---")
+	for _, line := range strings.Split(getBody(base+"/metrics"), "\n") {
+		if strings.HasPrefix(line, "lona_latency_window_queries") ||
+			strings.HasPrefix(line, "lona_latency_window_p99_seconds") ||
+			strings.HasPrefix(line, "lona_slo_burn_rate") {
+			fmt.Println(line)
+		}
+	}
+
+	// 4. SLO burn: no real query finishes in 1µs, so the error budget is
+	// burning and health degrades — 503 for load balancers, "ok" still
+	// true because the daemon itself is fine, just slower than promised.
+	resp, err := http.Get(base + "/v1/health")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var health struct {
+		OK     bool   `json:"ok"`
+		Status string `json:"status"`
+		SLO    *struct {
+			BurnRate float64 `json:"burn_rate"`
+		} `json:"slo"`
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := json.Unmarshal(body, &health); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n--- /v1/health under a burning SLO ---\nHTTP %d: ok=%v status=%q burn_rate=%.1f\n",
+		resp.StatusCode, health.OK, health.Status, health.SLO.BurnRate)
+}
+
+// collectorStub is a minimal OTLP/JSON sink: it decodes the span batch
+// enough to report trace ids and span names.
+type collectorStub struct {
+	batches, spans int
+	lastTrace      string
+	lastNames      []string
+}
+
+func (c *collectorStub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/v1/traces" || r.Method != http.MethodPost {
+		http.NotFound(w, r)
+		return
+	}
+	var req struct {
+		ResourceSpans []struct {
+			ScopeSpans []struct {
+				Spans []struct {
+					TraceID string `json:"traceId"`
+					Name    string `json:"name"`
+				} `json:"spans"`
+			} `json:"scopeSpans"`
+		} `json:"resourceSpans"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	c.batches++
+	for _, rs := range req.ResourceSpans {
+		for _, ss := range rs.ScopeSpans {
+			for _, sp := range ss.Spans {
+				c.spans++
+				if sp.TraceID != c.lastTrace {
+					c.lastTrace, c.lastNames = sp.TraceID, nil
+				}
+				c.lastNames = append(c.lastNames, sp.Name)
+			}
+		}
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+func postJSON(url, body string) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		blob, _ := io.ReadAll(resp.Body)
+		log.Fatalf("%s -> %d: %s", url, resp.StatusCode, blob)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+}
+
+func getBody(url string) string {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return string(blob)
+}

@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+)
+
+// HealthReport is one worker's answer to an out-of-band health probe:
+// the facts a coordinator needs to turn "query failed mid-fan-out"
+// into a per-shard diagnosis. Err is set (and the other fields zero)
+// when the worker could not be reached at all.
+type HealthReport struct {
+	Shard      int    // worker-list position probed
+	OK         bool   // the worker's own self-assessment
+	Generation uint64 // mutation batches applied since the worker's boot state
+	Nodes      int    // full-graph node count the worker serves
+	Edges      int    // edge count (full graph, or shard closure for bare workers)
+	Snapshot   string // boot-snapshot provenance, when known
+	Err        error  // probe transport failure
+}
+
+// HealthProber is implemented by transports that can interrogate
+// worker health out of band. The in-process transport does not
+// implement it: local shards share the coordinator's state by
+// construction, so there is no divergence to probe for.
+type HealthProber interface {
+	ProbeHealth(ctx context.Context) []HealthReport
+}
+
+// ProbeHealth hits every worker's /v1/shard/health concurrently and
+// reports per worker, never failing as a whole: an unreachable worker
+// is itself a finding, carried in that report's Err.
+func (t *HTTP) ProbeHealth(ctx context.Context) []HealthReport {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	reports := make([]HealthReport, len(t.workers))
+	var wg sync.WaitGroup
+	for i, base := range t.workers {
+		wg.Add(1)
+		go func(i int, base string) {
+			defer wg.Done()
+			var h wireHealth
+			if err := t.get(ctx, base+"/v1/shard/health", &h); err != nil {
+				reports[i] = HealthReport{Shard: i, Err: err}
+				return
+			}
+			reports[i] = HealthReport{
+				Shard: i, OK: h.OK, Generation: h.Generation,
+				Nodes: h.Nodes, Edges: h.Edges, Snapshot: h.Snapshot,
+			}
+		}(i, base)
+	}
+	wg.Wait()
+	return reports
+}
+
+var _ HealthProber = (*HTTP)(nil)

@@ -90,6 +90,51 @@ type wireQuery struct {
 // worker-side events join the same logical trace.
 const traceHeader = "X-Lona-Trace"
 
+// traceparentHeader is the W3C trace-context header set alongside
+// traceHeader on every shard hop, so off-the-shelf HTTP middleware and
+// OTLP backends see the same trace id the lona-native header names.
+const traceparentHeader = "traceparent"
+
+// setTraceHeaders stamps both trace headers on an outbound shard
+// request. The traceparent parent-id is a fresh random span id — the
+// OTLP exporter synthesizes its own span tree from the recorded
+// timeline, so the id only needs to be well-formed, not resolvable.
+// Ids that cannot be widened to traceparent's 32-lower-hex trace-id
+// (caller-chosen non-hex ids) keep only the lona-native header.
+func setTraceHeaders(h http.Header, id string) {
+	h.Set(traceHeader, id)
+	if id == "" || len(id) > 32 || !isLowerHex(id) {
+		return
+	}
+	h.Set(traceparentHeader,
+		"00-"+strings.Repeat("0", 32-len(id))+id+"-"+trace.NewID()[:16]+"-01")
+}
+
+// requestTraceID extracts the inbound trace id: the lona-native header
+// when present, else the trace-id field of a W3C traceparent, so
+// queries arriving through generic tracing middleware still join the
+// caller's trace.
+func requestTraceID(r *http.Request) string {
+	if id := r.Header.Get(traceHeader); id != "" {
+		return id
+	}
+	parts := strings.Split(r.Header.Get(traceparentHeader), "-")
+	if len(parts) >= 2 && len(parts[1]) == 32 && isLowerHex(parts[1]) {
+		return parts[1]
+	}
+	return ""
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
 // wireAnswer is the /v1/shard/query response.
 type wireAnswer struct {
 	Results   []core.Result   `json:"results"`
@@ -143,6 +188,18 @@ type wireHealth struct {
 	Owned    int  `json:"owned"`
 	Boundary int  `json:"boundary"`
 	H        int  `json:"h"`
+	// Generation counts the mutation batches (scores and edits) this
+	// worker has applied on top of its boot state, seeded from the
+	// snapshot generation when the worker was provisioned from one. A
+	// coordinator whose generation disagrees is merging against a
+	// replica that missed (or double-applied) a batch.
+	Generation uint64 `json:"generation"`
+	// Edges is the worker's edge count: the full-graph count for
+	// edit-capable workers, the shard closure's count for bare workers.
+	Edges int `json:"edges"`
+	// Snapshot names the snapshot file the worker booted from, when
+	// known — the provenance half of a generation-mismatch diagnosis.
+	Snapshot string `json:"snapshot,omitempty"`
 }
 
 // wireBound is the /v1/shard/bound response.
@@ -283,6 +340,33 @@ type Worker struct {
 	// editSeq is the highest sequenced edit batch applied; replays at or
 	// below it are answered idempotently (see wireEdits.Seq).
 	editSeq uint64
+
+	// gen counts applied mutation batches on top of the boot state
+	// (seeded by SetProvenance when booting from a snapshot), mirroring
+	// the coordinator's generation counter so divergence is detectable
+	// via /v1/shard/health.
+	gen uint64
+	// provenance names the snapshot the boot state came from, if any.
+	provenance string
+}
+
+// SetProvenance records where this worker's boot state came from: the
+// snapshot path and the generation stored in it. Seeding gen from the
+// snapshot keeps the worker's generation counter aligned with a
+// coordinator booted from the same snapshot, which is what makes the
+// health probe's generation comparison meaningful.
+func (w *Worker) SetProvenance(path string, gen uint64) {
+	w.mu.Lock()
+	w.provenance, w.gen = path, gen
+	w.mu.Unlock()
+}
+
+// Generation returns the count of mutation batches applied on top of
+// the boot state (plus the boot snapshot's own generation, if any).
+func (w *Worker) Generation() uint64 {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.gen
 }
 
 // NewWorker wraps a prebuilt shard for serving (no structural edits).
@@ -363,7 +447,7 @@ func (w *Worker) handleQuery(rw http.ResponseWriter, r *http.Request) {
 	// stitch onto its own timeline.
 	var rec *trace.Recorder
 	if wq.Trace {
-		rec = trace.NewWithID(r.Header.Get(traceHeader))
+		rec = trace.NewWithID(requestTraceID(r))
 		q.Tracer = rec.ForShard(w.Shard().Index())
 	}
 	ans, err := w.Shard().Run(r.Context(), q)
@@ -431,7 +515,7 @@ func (w *Worker) handleQueryStream(rw http.ResponseWriter, r *http.Request) {
 	// on the final summary frame (per-batch frames stay small).
 	var rec *trace.Recorder
 	if wq.Trace {
-		rec = trace.NewWithID(r.Header.Get(traceHeader))
+		rec = trace.NewWithID(requestTraceID(r))
 		q.Tracer = rec.ForShard(w.Shard().Index())
 	}
 	dec := json.NewDecoder(br)
@@ -556,6 +640,7 @@ func (w *Worker) handleScores(rw http.ResponseWriter, r *http.Request) {
 				w.scores[u.Node] = u.Score
 			}
 		}
+		w.gen++
 	}
 	w.mu.Unlock()
 	if err != nil {
@@ -635,6 +720,7 @@ func (w *Worker) handleEdits(rw http.ResponseWriter, r *http.Request) {
 		w.shard = next
 	}
 	w.g = newG
+	w.gen++
 	if we.Seq != 0 {
 		w.editSeq = we.Seq
 	}
@@ -647,11 +733,18 @@ func (w *Worker) handleEdits(rw http.ResponseWriter, r *http.Request) {
 }
 
 func (w *Worker) handleHealth(rw http.ResponseWriter, r *http.Request) {
-	s := w.Shard()
+	w.mu.RLock()
+	s := w.shard
+	gen, prov := w.gen, w.provenance
+	edges := s.Engine().Graph().NumEdges()
+	if w.g != nil {
+		edges = w.g.NumEdges()
+	}
+	w.mu.RUnlock()
 	writeJSON(rw, http.StatusOK, wireHealth{
 		OK: true, Shard: s.Index(), Shards: s.Parts(),
 		Nodes: s.GlobalNodes(), Owned: s.OwnedCount(), Boundary: s.BoundaryNodes(),
-		H: s.h,
+		H: s.h, Generation: gen, Edges: edges, Snapshot: prov,
 	})
 }
 
@@ -784,7 +877,7 @@ func (t *HTTP) Query(ctx context.Context, shard int, q core.Query) (core.Answer,
 	req.Header.Set("Content-Type", "application/json")
 	var baseUS int64
 	if q.Tracer != nil {
-		req.Header.Set(traceHeader, q.Tracer.ID())
+		setTraceHeaders(req.Header, q.Tracer.ID())
 		baseUS = q.Tracer.SinceUS()
 	}
 	var wa wireAnswer
@@ -825,7 +918,7 @@ func (t *HTTP) QueryStream(ctx context.Context, shard int, q core.Query,
 	req.Header.Set("Content-Type", "application/x-ndjson")
 	var baseUS int64
 	if q.Tracer != nil {
-		req.Header.Set(traceHeader, q.Tracer.ID())
+		setTraceHeaders(req.Header, q.Tracer.ID())
 		baseUS = q.Tracer.SinceUS()
 	}
 

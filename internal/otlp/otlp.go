@@ -1,0 +1,296 @@
+// Package otlp converts the engine's per-query trace timelines into
+// OTLP/JSON span batches and ships them to an OpenTelemetry collector.
+//
+// Like prom.go's Prometheus text rendering, the encoding is hand-rolled
+// against the stable wire format (the proto3 JSON mapping of
+// opentelemetry-proto's ExportTraceServiceRequest) rather than pulled in
+// as an SDK dependency: the subset the engine needs — resourceSpans →
+// scopeSpans → spans with events and attributes — is a page of structs,
+// and the repo's no-new-dependencies rule holds.
+//
+// Shape notes pinned by TestRequestWireShape: trace ids are 32 lowercase
+// hex chars, span ids 16; the proto3 JSON mapping renders fixed64
+// timestamps as decimal strings, so {Start,End}TimeUnixNano and
+// intValue are strings, not numbers.
+package otlp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Request is an OTLP/JSON ExportTraceServiceRequest — the body POSTed to
+// <collector>/v1/traces.
+type Request struct {
+	ResourceSpans []ResourceSpans `json:"resourceSpans"`
+}
+
+// ResourceSpans groups spans produced by one resource (one process).
+type ResourceSpans struct {
+	Resource   Resource     `json:"resource"`
+	ScopeSpans []ScopeSpans `json:"scopeSpans"`
+}
+
+// Resource identifies the emitting process.
+type Resource struct {
+	Attributes []KeyValue `json:"attributes,omitempty"`
+}
+
+// ScopeSpans groups spans emitted by one instrumentation scope.
+type ScopeSpans struct {
+	Scope Scope  `json:"scope"`
+	Spans []Span `json:"spans"`
+}
+
+// Scope names the instrumentation library.
+type Scope struct {
+	Name    string `json:"name"`
+	Version string `json:"version,omitempty"`
+}
+
+// Span kinds (proto enum values).
+const (
+	SpanKindInternal = 1
+	SpanKindServer   = 2
+)
+
+// Status codes (proto enum values).
+const (
+	StatusCodeOK    = 1
+	StatusCodeError = 2
+)
+
+// Span is one OTLP span.
+type Span struct {
+	TraceID           string      `json:"traceId"`
+	SpanID            string      `json:"spanId"`
+	ParentSpanID      string      `json:"parentSpanId,omitempty"`
+	Name              string      `json:"name"`
+	Kind              int         `json:"kind"`
+	StartTimeUnixNano string      `json:"startTimeUnixNano"`
+	EndTimeUnixNano   string      `json:"endTimeUnixNano"`
+	Attributes        []KeyValue  `json:"attributes,omitempty"`
+	Events            []SpanEvent `json:"events,omitempty"`
+	Status            *Status     `json:"status,omitempty"`
+}
+
+// SpanEvent is an instantaneous annotation on a span's timeline.
+type SpanEvent struct {
+	TimeUnixNano string     `json:"timeUnixNano"`
+	Name         string     `json:"name"`
+	Attributes   []KeyValue `json:"attributes,omitempty"`
+}
+
+// Status is a span's terminal status.
+type Status struct {
+	Code    int    `json:"code,omitempty"`
+	Message string `json:"message,omitempty"`
+}
+
+// KeyValue is one OTLP attribute.
+type KeyValue struct {
+	Key   string `json:"key"`
+	Value Value  `json:"value"`
+}
+
+// Value is an OTLP AnyValue restricted to the types the engine emits.
+// intValue is a string per the proto3 JSON mapping of int64.
+type Value struct {
+	StringValue *string  `json:"stringValue,omitempty"`
+	IntValue    *string  `json:"intValue,omitempty"`
+	DoubleValue *float64 `json:"doubleValue,omitempty"`
+	BoolValue   *bool    `json:"boolValue,omitempty"`
+}
+
+// Str builds a string attribute.
+func Str(key, v string) KeyValue {
+	return KeyValue{Key: key, Value: Value{StringValue: &v}}
+}
+
+// Int builds an int attribute.
+func Int(key string, v int64) KeyValue {
+	s := strconv.FormatInt(v, 10)
+	return KeyValue{Key: key, Value: Value{IntValue: &s}}
+}
+
+// Float builds a double attribute.
+func Float(key string, v float64) KeyValue {
+	return KeyValue{Key: key, Value: Value{DoubleValue: &v}}
+}
+
+// Bool builds a bool attribute.
+func Bool(key string, v bool) KeyValue {
+	return KeyValue{Key: key, Value: Value{BoolValue: &v}}
+}
+
+// Meta describes the query around a timeline: resource identity, the
+// root span's name and attributes, and the terminal status.
+type Meta struct {
+	// Service becomes the resource's service.name (default "lona").
+	Service string
+	// RootName names the root span (default "lona.query").
+	RootName string
+	// Attrs are extra root-span attributes (algorithm, k, cache outcome).
+	Attrs []KeyValue
+	// Err marks the root span with an error status when non-empty.
+	Err string
+}
+
+// TraceID normalizes a recorder id to the 32-hex W3C width OTLP
+// requires: shorter legacy ids (the 16-hex X-Lona-Trace era) are
+// left-padded with zeros, anything unusable is replaced with a fresh id.
+func TraceID(id string) string {
+	if len(id) == 32 && isHex(id) {
+		return id
+	}
+	if len(id) > 0 && len(id) < 32 && isHex(id) {
+		return strings.Repeat("0", 32-len(id)) + id
+	}
+	return trace.NewID()
+}
+
+func isHex(s string) bool {
+	for _, c := range s {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// spanID derives a fresh 16-hex span id.
+func spanID() string { return trace.NewID()[:16] }
+
+// FromTrace converts one stitched query timeline into an OTLP request:
+// a root span for the whole query, one child span per shard that
+// recorded events, sub-spans for duration-bearing events (launch, exec),
+// and span events for everything instantaneous. Returns nil on a nil or
+// empty-id trace.
+func FromTrace(tr *trace.Trace, meta Meta) *Request {
+	if tr == nil {
+		return nil
+	}
+	traceID := TraceID(tr.ID)
+	base := tr.StartUnixNano
+	if base <= 0 {
+		// Anchor-less traces (hand-built in tests) still need valid
+		// timestamps; 1 keeps start < end arithmetic honest without
+		// claiming a real wall-clock moment.
+		base = 1
+	}
+	at := func(us int64) string { return strconv.FormatInt(base+us*1000, 10) }
+
+	// The root span covers the whole recorded timeline.
+	var endUS int64
+	for _, e := range tr.Events {
+		if t := e.TUS + e.DurUS; t > endUS {
+			endUS = t
+		}
+	}
+	rootName := meta.RootName
+	if rootName == "" {
+		rootName = "lona.query"
+	}
+	root := Span{
+		TraceID: traceID, SpanID: spanID(), Name: rootName,
+		Kind:              SpanKindServer,
+		StartTimeUnixNano: at(0), EndTimeUnixNano: at(endUS),
+		Attributes: meta.Attrs,
+	}
+	if meta.Err != "" {
+		root.Status = &Status{Code: StatusCodeError, Message: meta.Err}
+	} else {
+		root.Status = &Status{Code: StatusCodeOK}
+	}
+
+	// One child span per shard, covering that shard's event extent.
+	type shardExtent struct{ first, last int64 }
+	extents := map[int]*shardExtent{}
+	var shardOrder []int
+	for _, e := range tr.Events {
+		if e.Shard < 0 {
+			continue
+		}
+		ext, ok := extents[e.Shard]
+		if !ok {
+			ext = &shardExtent{first: e.TUS, last: e.TUS + e.DurUS}
+			extents[e.Shard] = ext
+			shardOrder = append(shardOrder, e.Shard)
+			continue
+		}
+		if e.TUS < ext.first {
+			ext.first = e.TUS
+		}
+		if t := e.TUS + e.DurUS; t > ext.last {
+			ext.last = t
+		}
+	}
+	shardSpans := map[int]*Span{}
+	for _, shard := range shardOrder {
+		ext := extents[shard]
+		shardSpans[shard] = &Span{
+			TraceID: traceID, SpanID: spanID(), ParentSpanID: root.SpanID,
+			Name: fmt.Sprintf("lona.shard/%d", shard), Kind: SpanKindInternal,
+			StartTimeUnixNano: at(ext.first), EndTimeUnixNano: at(ext.last),
+			Attributes: []KeyValue{Int("lona.shard", int64(shard))},
+		}
+	}
+
+	// Duration-bearing events become sub-spans; instantaneous events
+	// become span events on their scope's span.
+	var subSpans []Span
+	for _, e := range tr.Events {
+		parent := &root
+		if e.Shard >= 0 {
+			parent = shardSpans[e.Shard]
+		}
+		attrs := eventAttrs(e)
+		if e.DurUS > 0 {
+			subSpans = append(subSpans, Span{
+				TraceID: traceID, SpanID: spanID(), ParentSpanID: parent.SpanID,
+				Name: e.Kind, Kind: SpanKindInternal,
+				StartTimeUnixNano: at(e.TUS), EndTimeUnixNano: at(e.TUS + e.DurUS),
+				Attributes: attrs,
+			})
+			continue
+		}
+		parent.Events = append(parent.Events, SpanEvent{
+			TimeUnixNano: at(e.TUS), Name: e.Kind, Attributes: attrs,
+		})
+	}
+	spans := make([]Span, 0, 1+len(shardOrder)+len(subSpans))
+	spans = append(spans, root)
+	for _, shard := range shardOrder {
+		spans = append(spans, *shardSpans[shard])
+	}
+	spans = append(spans, subSpans...)
+
+	service := meta.Service
+	if service == "" {
+		service = "lona"
+	}
+	return &Request{ResourceSpans: []ResourceSpans{{
+		Resource: Resource{Attributes: []KeyValue{Str("service.name", service)}},
+		ScopeSpans: []ScopeSpans{{
+			Scope: Scope{Name: "repro/internal/otlp"},
+			Spans: spans,
+		}},
+	}}}
+}
+
+func eventAttrs(e trace.Event) []KeyValue {
+	var attrs []KeyValue
+	if e.N != 0 {
+		attrs = append(attrs, Int("lona.n", int64(e.N)))
+	}
+	if e.Value != 0 {
+		attrs = append(attrs, Float("lona.value", e.Value))
+	}
+	if e.Note != "" {
+		attrs = append(attrs, Str("lona.note", e.Note))
+	}
+	return attrs
+}

@@ -1,0 +1,280 @@
+package otlp
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// stitched builds a coordinator+worker timeline the way Server.execute
+// does: local events, then worker events imported with a rebase offset.
+func stitched() *trace.Trace {
+	r := trace.New()
+	r.Emit(trace.KindPlan, 0, 0, "backward: sharded")
+	r.Emit(trace.KindProbe, 0, 0.9, "")
+	r.ForShard(0).Span(trace.KindLaunch, time.Now(), 100, 0.9, "")
+	r.Import([]trace.Event{
+		{TUS: 10, DurUS: 200, Kind: trace.KindExec, Shard: 1, N: 40},
+		{TUS: 230, Kind: trace.KindEmit, Shard: 1, N: 5},
+	}, r.SinceUS())
+	r.Emit(trace.KindLambda, 0, 0.75, "")
+	return r.Snapshot()
+}
+
+func TestFromTraceAssemblesOneTrace(t *testing.T) {
+	tr := stitched()
+	req := FromTrace(tr, Meta{Attrs: []KeyValue{Str("lona.algo", "backward")}})
+	if req == nil || len(req.ResourceSpans) != 1 {
+		t.Fatalf("req = %+v", req)
+	}
+	spans := req.ResourceSpans[0].ScopeSpans[0].Spans
+
+	// Every span shares the trace id, which is the recorder's id.
+	for _, s := range spans {
+		if s.TraceID != tr.ID {
+			t.Fatalf("span %q trace id %q != %q", s.Name, s.TraceID, tr.ID)
+		}
+		if len(s.SpanID) != 16 {
+			t.Fatalf("span %q id %q not 16 hex", s.Name, s.SpanID)
+		}
+	}
+
+	// Root + two shard spans + two duration-bearing sub-spans (launch, exec).
+	byName := map[string]Span{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	root, ok := byName["lona.query"]
+	if !ok || root.ParentSpanID != "" {
+		t.Fatalf("missing root span or root has a parent: %+v", byName)
+	}
+	for _, name := range []string{"lona.shard/0", "lona.shard/1"} {
+		s, ok := byName[name]
+		if !ok {
+			t.Fatalf("missing %s in %v", name, byName)
+		}
+		if s.ParentSpanID != root.SpanID {
+			t.Fatalf("%s parent = %q, want root %q", name, s.ParentSpanID, root.SpanID)
+		}
+	}
+	if exec, ok := byName[trace.KindExec]; !ok || exec.ParentSpanID != byName["lona.shard/1"].SpanID {
+		t.Fatalf("exec sub-span missing or mis-parented: %+v", byName[trace.KindExec])
+	}
+	// Instantaneous coordinator events landed on the root span.
+	var names []string
+	for _, ev := range root.Events {
+		names = append(names, ev.Name)
+	}
+	want := map[string]bool{trace.KindPlan: false, trace.KindProbe: false, trace.KindLambda: false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Fatalf("root span missing event %q (have %v)", k, names)
+		}
+	}
+}
+
+// TestRequestWireShape pins the proto3 JSON mapping details a real
+// collector depends on: camelCase keys, string-encoded nanos and ints.
+func TestRequestWireShape(t *testing.T) {
+	tr := stitched()
+	body, err := json.Marshal(FromTrace(tr, Meta{Err: "deadline exceeded"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	rs := m["resourceSpans"].([]any)[0].(map[string]any)
+	attr := rs["resource"].(map[string]any)["attributes"].([]any)[0].(map[string]any)
+	if attr["key"] != "service.name" {
+		t.Fatalf("resource attr: %v", attr)
+	}
+	if attr["value"].(map[string]any)["stringValue"] != "lona" {
+		t.Fatalf("service.name value: %v", attr)
+	}
+	span := rs["scopeSpans"].([]any)[0].(map[string]any)["spans"].([]any)[0].(map[string]any)
+	start, ok := span["startTimeUnixNano"].(string)
+	if !ok {
+		t.Fatalf("startTimeUnixNano must be a JSON string, got %T", span["startTimeUnixNano"])
+	}
+	if _, err := strconv.ParseInt(start, 10, 64); err != nil {
+		t.Fatalf("startTimeUnixNano %q not an integer string", start)
+	}
+	if span["status"].(map[string]any)["code"].(float64) != StatusCodeError {
+		t.Fatalf("error status not set: %v", span["status"])
+	}
+}
+
+func TestTraceIDNormalization(t *testing.T) {
+	if got := TraceID("0123456789abcdef0123456789abcdef"); got != "0123456789abcdef0123456789abcdef" {
+		t.Fatalf("full-width id mutated: %q", got)
+	}
+	if got := TraceID("deadbeef00000001"); got != "0000000000000000deadbeef00000001" {
+		t.Fatalf("legacy 16-hex id not left-padded: %q", got)
+	}
+	for _, bad := range []string{"", "zzzz", "UPPERHEX00000000"} {
+		got := TraceID(bad)
+		if len(got) != 32 || !isHex(got) {
+			t.Fatalf("TraceID(%q) = %q, want fresh 32-hex", bad, got)
+		}
+	}
+}
+
+// collector is a minimal OTLP/JSON collector stub: it records every
+// span batch POSTed to /v1/traces.
+type collector struct {
+	mu     sync.Mutex
+	traces map[string][]string // trace id -> span names
+	posts  int
+}
+
+func newCollectorStub() (*collector, *httptest.Server) {
+	c := &collector{traces: map[string][]string{}}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/traces" || r.Method != http.MethodPost {
+			http.NotFound(w, r)
+			return
+		}
+		var req Request
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		c.mu.Lock()
+		c.posts++
+		for _, rs := range req.ResourceSpans {
+			for _, ss := range rs.ScopeSpans {
+				for _, s := range ss.Spans {
+					c.traces[s.TraceID] = append(c.traces[s.TraceID], s.Name)
+				}
+			}
+		}
+		c.mu.Unlock()
+		w.WriteHeader(http.StatusOK)
+	}))
+	return c, srv
+}
+
+func TestExporterDeliversToCollector(t *testing.T) {
+	c, srv := newCollectorStub()
+	defer srv.Close()
+
+	e := NewExporter(srv.URL, ExporterOptions{})
+	tr := stitched()
+	if !e.Export(FromTrace(tr, Meta{}), false) {
+		t.Fatal("export rejected with an empty queue")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := e.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := c.traces[tr.ID]
+	if len(names) < 3 {
+		t.Fatalf("collector saw %d spans for trace %s, want >= 3 (%v)", len(names), tr.ID, names)
+	}
+	st := e.Stats()
+	if st.Exported != 1 || st.Dropped != 0 || st.Failed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestExporterSamplingAndSlowBypass(t *testing.T) {
+	_, srv := newCollectorStub()
+	defer srv.Close()
+	e := NewExporter(srv.URL, ExporterOptions{SampleRatio: 0.0000001})
+	defer e.Close(context.Background())
+
+	// Ordinary traces: essentially all sampled out.
+	sampledOut := 0
+	for i := 0; i < 50; i++ {
+		if !e.Export(FromTrace(stitched(), Meta{}), false) {
+			sampledOut++
+		}
+	}
+	if sampledOut < 45 {
+		t.Fatalf("sampling barely dropped anything: %d/50", sampledOut)
+	}
+	// Slow traces bypass sampling entirely.
+	for i := 0; i < 10; i++ {
+		if !e.Export(FromTrace(stitched(), Meta{}), true) {
+			t.Fatal("slow trace was sampled out or dropped")
+		}
+	}
+	if st := e.Stats(); st.Sampled != int64(sampledOut) {
+		t.Fatalf("sampled counter %d != %d", st.Sampled, sampledOut)
+	}
+}
+
+func TestExporterDropsWhenQueueFull(t *testing.T) {
+	// An endpoint that never answers, so the queue backs up.
+	block := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	}))
+	defer srv.Close()
+	defer close(block)
+
+	e := NewExporter(srv.URL, ExporterOptions{QueueSize: 2})
+	req := FromTrace(stitched(), Meta{})
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Stats().Dropped == 0 {
+		e.Export(req, true)
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	// Close cannot flush a blocked collector; it must time out, not hang.
+	if err := e.Close(ctx); err == nil {
+		t.Fatal("Close returned nil while the collector was hung")
+	}
+}
+
+func TestExporterCountsCollectorFailures(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no thanks", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	e := NewExporter(srv.URL, ExporterOptions{})
+	e.Export(FromTrace(stitched(), Meta{}), true)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	e.Close(ctx)
+	if st := e.Stats(); st.Failed != 1 || st.Exported != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var e *Exporter
+	if e.Export(nil, true) {
+		t.Fatal("nil exporter accepted a batch")
+	}
+	if err := e.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st != (ExporterStats{}) {
+		t.Fatalf("nil stats = %+v", st)
+	}
+	if FromTrace(nil, Meta{}) != nil {
+		t.Fatal("nil trace produced a request")
+	}
+}

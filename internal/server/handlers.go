@@ -196,28 +196,43 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
-// healthBody is the /v1/health response.
+// healthBody is the /v1/health response. Status is "ok", or "degraded"
+// when a configured SLO's error budget is burning faster than it refills
+// — the 200→503 signal load balancers shift traffic on.
 type healthBody struct {
-	OK         bool   `json:"ok"`
-	Nodes      int    `json:"nodes"`
-	Edges      int    `json:"edges"`
-	H          int    `json:"h"`
-	Directed   bool   `json:"directed"`
-	View       bool   `json:"view"`             // materialized view present (undirected graphs)
-	Shards     int    `json:"shards,omitempty"` // >1 when queries fan out across shards
-	Generation uint64 `json:"generation"`
+	OK         bool      `json:"ok"`
+	Status     string    `json:"status"`
+	Nodes      int       `json:"nodes"`
+	Edges      int       `json:"edges"`
+	H          int       `json:"h"`
+	Directed   bool      `json:"directed"`
+	View       bool      `json:"view"`             // materialized view present (undirected graphs)
+	Shards     int       `json:"shards,omitempty"` // >1 when queries fan out across shards
+	Generation uint64    `json:"generation"`
+	SLO        *SLOStats `json:"slo,omitempty"` // present when an SLO is configured
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	g := s.engine.Graph()
 	body := healthBody{
-		OK: true, Nodes: g.NumNodes(), Edges: g.NumEdges(), H: s.engine.H(),
+		OK: true, Status: "ok", Nodes: g.NumNodes(), Edges: g.NumEdges(), H: s.engine.H(),
 		Directed: g.Directed(), View: s.view != nil, Generation: s.gen,
 	}
 	if s.cl != nil {
 		body.Shards = s.cl.shards
 	}
 	s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, body)
+	status := http.StatusOK
+	if slo := s.sloStats(); slo != nil {
+		body.SLO = slo
+		if slo.Burning {
+			// The process is alive (OK stays true) but violating its
+			// latency objective right now; 503 tells load balancers to
+			// prefer a healthier replica until the window recovers.
+			body.Status = "degraded"
+			status = http.StatusServiceUnavailable
+		}
+	}
+	writeJSON(w, status, body)
 }

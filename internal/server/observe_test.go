@@ -1,20 +1,51 @@
 package server
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/cluster"
+	"repro/internal/otlp"
 	"repro/internal/promtext"
 	"repro/internal/trace"
+	"repro/internal/wideevent"
 )
+
+// lockedBuffer is a concurrency-safe log sink for slog's JSON handler.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) Lines() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []string
+	for _, l := range strings.Split(b.buf.String(), "\n") {
+		if strings.TrimSpace(l) != "" {
+			out = append(out, l)
+		}
+	}
+	return out
+}
 
 // scrape GETs path and returns the body.
 func scrape(t *testing.T, base, path string) []byte {
@@ -217,37 +248,328 @@ func TestTraceSurface(t *testing.T) {
 	}
 }
 
-// TestSlowQueryLogging checks the -slow-query-ms path: with a zero
-// threshold every execution qualifies, the configured sink receives a
-// formatted timeline, and the slow-query counter advances.
-func TestSlowQueryLogging(t *testing.T) {
+// TestSlowQueryWideEvent checks the -slow-query-ms path: with a
+// nanosecond threshold every execution qualifies, the configured logger
+// receives exactly one wide event per query — escalated to WARN with
+// slow=true, not a separate multi-line dump — and the counter advances.
+func TestSlowQueryWideEvent(t *testing.T) {
 	g := testGraph(150, 300, 31)
 	scores := testScores(150, 32)
-	var mu sync.Mutex
-	var lines []string
+	var buf lockedBuffer
 	opts := Options{
 		SkipIndexes: true,
 		SlowQuery:   time.Nanosecond,
-		SlowQueryLog: func(format string, args ...any) {
-			mu.Lock()
-			lines = append(lines, fmt.Sprintf(format, args...))
-			mu.Unlock()
-		},
+		Logger:      slog.New(slog.NewJSONHandler(&buf, nil)),
 	}
 	s := mustServer(t, g, scores, 2, opts)
 	if _, err := s.Run(ctx, QueryRequest{K: 3, Aggregate: "sum"}); err != nil {
 		t.Fatal(err)
 	}
-	mu.Lock()
-	defer mu.Unlock()
+	lines := buf.Lines()
 	if len(lines) != 1 {
-		t.Fatalf("got %d slow-query log lines, want 1", len(lines))
+		t.Fatalf("got %d log lines, want 1: %q", len(lines), lines)
 	}
-	if !strings.Contains(lines[0], "slow query trace") || !strings.Contains(lines[0], "exec") {
-		t.Fatalf("slow-query line does not carry the timeline: %q", lines[0])
+	if isWide, err := wideevent.Validate([]byte(lines[0])); !isWide || err != nil {
+		t.Fatalf("slow-query line is not a valid wide event (wide=%v err=%v): %s", isWide, err, lines[0])
+	}
+	var ev map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev["level"] != "WARN" || ev["slow"] != true || ev["event"] != string(wideevent.EventQuery) {
+		t.Fatalf("slow query not escalated: level=%v slow=%v event=%v", ev["level"], ev["slow"], ev["event"])
+	}
+	if id, _ := ev["trace_id"].(string); id == "" {
+		t.Fatalf("wide event carries no trace id: %s", lines[0])
 	}
 	if got := s.Stats().SlowQueries; got != 1 {
 		t.Fatalf("slow-query counter = %d, want 1", got)
+	}
+}
+
+// TestWideEventsUnderLoad hammers sharded queries past the SlowQuery
+// threshold — interleaved with score batches — while /metrics is being
+// scraped. Run with -race this is the torn-emission check: every line
+// the server logs must validate against the wide-event schema and carry
+// a non-empty trace id.
+func TestWideEventsUnderLoad(t *testing.T) {
+	g := testGraph(300, 600, 61)
+	scores := testScores(300, 62)
+	var buf lockedBuffer
+	s := mustServer(t, g, scores, 2, Options{
+		Shards: 3, SkipIndexes: true, CacheBytes: -1,
+		SlowQuery: time.Nanosecond,
+		Logger:    slog.New(slog.NewJSONHandler(&buf, nil)),
+		SLO:       SLO{Latency: 5 * time.Millisecond, Target: 0.99},
+	})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	const workers, perWorker = 3, 25
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				body := fmt.Sprintf(`{"k":%d,"aggregate":"sum"}`, 1+(w+i)%6)
+				resp, err := http.Post(srv.URL+"/v1/topk", "application/json", strings.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("topk %d/%d: status %d", w, i, resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() { // score batches, racing the queries
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			body := fmt.Sprintf(`{"updates":[{"node":%d,"score":%f}]}`, i*7%300, 0.1*float64(i))
+			resp, err := http.Post(srv.URL+"/v1/scores", "application/json", strings.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("scores %d: status %d", i, resp.StatusCode)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // scrape the window-bearing exposition concurrently
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if err := promtext.Validate(scrape(t, srv.URL, "/metrics")); err != nil {
+				errs <- fmt.Errorf("scrape %d: %w", i, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	lines := buf.Lines()
+	var wide, queries int
+	for _, l := range lines {
+		isWide, err := wideevent.Validate([]byte(l))
+		if err != nil {
+			t.Errorf("invalid wide event: %v\n%s", err, l)
+		}
+		if isWide {
+			wide++
+		}
+		if strings.Contains(l, `"event":"query"`) {
+			queries++
+		}
+	}
+	if queries != workers*perWorker {
+		t.Errorf("got %d query wide events, want %d", queries, workers*perWorker)
+	}
+	if wide < queries {
+		t.Errorf("only %d of %d lines are wide events", wide, len(lines))
+	}
+
+	body := s.renderMetrics()
+	for _, want := range []string{
+		"lona_latency_window_seconds_bucket", "lona_latency_window_queries",
+		"lona_shard_window_queries", "lona_slo_burn_rate",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
+
+// TestWindowDecayAndSLOBurn marches an injected clock through the
+// rolling window: a burst of over-objective latencies flips /v1/health
+// to 503 "degraded", then advancing the clock past the window decays the
+// window histogram back to empty — while the cumulative histograms stay
+// exactly where they were — and health recovers to 200.
+func TestWindowDecayAndSLOBurn(t *testing.T) {
+	g := testGraph(120, 240, 71)
+	scores := testScores(120, 72)
+	s := mustServer(t, g, scores, 2, Options{
+		SkipIndexes: true,
+		SLO:         SLO{Latency: 10 * time.Millisecond, Target: 0.9},
+	})
+	base := time.Unix(1_700_000_000, 0)
+	var clock atomic.Int64
+	clock.Store(base.Unix())
+	s.metrics.window.now = func() time.Time { return time.Unix(clock.Load(), 0) }
+
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	for i := 1; i <= 3; i++ { // real queries fill the cumulative hists
+		if _, err := s.Run(ctx, QueryRequest{K: i, Aggregate: "sum"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ { // and a burst of objective violations
+		s.metrics.window.observe(50*time.Millisecond, true)
+	}
+
+	st := s.Stats()
+	if st.SLO == nil || !st.SLO.Burning || st.SLO.BurnRate < 1 {
+		t.Fatalf("burst did not trip the SLO: %+v", st.SLO)
+	}
+	if st.LatencyWindow.Count < 50 {
+		t.Fatalf("window count %d after 50 observations", st.LatencyWindow.Count)
+	}
+	resp, err := http.Get(srv.URL + "/v1/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		OK     bool      `json:"ok"`
+		Status string    `json:"status"`
+		SLO    *SLOStats `json:"slo"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || health.Status != "degraded" {
+		t.Fatalf("burning SLO answered %d %q, want 503 degraded", resp.StatusCode, health.Status)
+	}
+	if !health.OK || health.SLO == nil || !health.SLO.Burning {
+		t.Fatalf("degraded health body malformed: %+v", health)
+	}
+
+	var cumulative int64
+	for _, l := range st.Latency {
+		cumulative += l.Count
+	}
+
+	// March the clock past the whole window: every slot expires.
+	clock.Store(base.Add((windowSlots + 1) * windowSlotSeconds * time.Second).Unix())
+
+	st2 := s.Stats()
+	if st2.LatencyWindow.Count != 0 {
+		t.Fatalf("window did not decay: count %d", st2.LatencyWindow.Count)
+	}
+	if st2.SLO.Burning || st2.SLO.BurnRate != 0 {
+		t.Fatalf("SLO still burning on an empty window: %+v", st2.SLO)
+	}
+	var cumulative2 int64
+	for _, l := range st2.Latency {
+		cumulative2 += l.Count
+	}
+	if cumulative2 != cumulative {
+		t.Fatalf("cumulative histograms moved with the window: %d -> %d", cumulative, cumulative2)
+	}
+	resp, err = http.Get(srv.URL + "/v1/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recovered window still answers %d", resp.StatusCode)
+	}
+}
+
+// TestOTLPExportStitchesShardSpans runs a coordinator over HTTP shard
+// workers with a trace exporter pointed at a collector stub: one query
+// must arrive as one OTLP trace whose coordinator root span and
+// per-shard worker spans all share a single trace id.
+func TestOTLPExportStitchesShardSpans(t *testing.T) {
+	var mu sync.Mutex
+	var got []otlp.Request
+	collector := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req otlp.Request
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		mu.Lock()
+		got = append(got, req)
+		mu.Unlock()
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer collector.Close()
+
+	g := testGraph(300, 900, 81)
+	scores := testScores(300, 81)
+	const parts = 2
+	shards, _, err := cluster.BuildShards(g, scores, 2, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workerURLs := make([]string, parts)
+	for i, sh := range shards {
+		w := httptest.NewServer(cluster.NewWorker(sh).Handler())
+		defer w.Close()
+		workerURLs[i] = w.URL
+	}
+
+	exp := otlp.NewExporter(collector.URL, otlp.ExporterOptions{})
+	s := mustServer(t, g, scores, 2, Options{
+		SkipIndexes: true, ShardWorkers: workerURLs,
+		TraceExporter: exp, CacheBytes: -1,
+	})
+	if _, err := s.Run(ctx, QueryRequest{K: 5, Aggregate: "sum"}); err != nil {
+		t.Fatal(err)
+	}
+	closeCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := exp.Close(closeCtx); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 {
+		t.Fatalf("collector received %d batches, want 1", len(got))
+	}
+	var spans []otlp.Span
+	for _, rs := range got[0].ResourceSpans {
+		for _, ss := range rs.ScopeSpans {
+			spans = append(spans, ss.Spans...)
+		}
+	}
+	ids := map[string]bool{}
+	names := map[string]bool{}
+	var rootID string
+	for _, sp := range spans {
+		ids[sp.TraceID] = true
+		names[sp.Name] = true
+		if sp.ParentSpanID == "" {
+			rootID = sp.SpanID
+		}
+	}
+	if len(ids) != 1 {
+		t.Fatalf("spans carry %d distinct trace ids, want 1: %v", len(ids), ids)
+	}
+	for _, want := range []string{"lona.query", "lona.shard/0", "lona.shard/1", "exec"} {
+		if !names[want] {
+			t.Errorf("trace missing a %q span; got %v", want, names)
+		}
+	}
+	if rootID == "" {
+		t.Fatal("no root span in the exported trace")
+	}
+	for _, sp := range spans {
+		if strings.HasPrefix(sp.Name, "lona.shard/") && sp.ParentSpanID != rootID {
+			t.Errorf("shard span %s not parented to the root", sp.Name)
+		}
+	}
+	if st := s.Stats(); st.OTLP == nil || st.OTLP.Exported != 1 {
+		t.Errorf("exporter stats not surfaced: %+v", st.OTLP)
 	}
 }
 

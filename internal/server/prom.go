@@ -150,6 +150,63 @@ func (s *Server) renderMetrics() string {
 		writeHistSeries(&b, "lona_shard_result_items", "", &m.shardItems, 1)
 	}
 
+	// Rolling-window families: the same log2 buckets, but decaying — old
+	// traffic ages out in 10s slots over a 120s window, so these answer
+	// "right now" where the cumulative families above answer "since
+	// boot". Rendered with the histogram text shape so existing bucket
+	// tooling works, though semantically they are gauges.
+	ws := m.window.snapshot()
+	writeHistHeader(&b, "lona_latency_window_seconds",
+		"Query latency over the rolling 120s window (decays; see lona_query_duration_seconds for cumulative).")
+	writeBuckets(&b, "lona_latency_window_seconds", "", ws.counts[:], ws.sumUS, 1e-6)
+	writeGauge(&b, "lona_latency_window_queries",
+		"Queries observed in the rolling 120s window.", float64(ws.count))
+	writeGauge(&b, "lona_latency_window_p99_seconds",
+		"Bucket-bound p99 latency over the rolling window.", ws.quantile(0.99)*1e-6)
+
+	if cl != nil {
+		// Per-shard rolling-window gauges, beside the cumulative
+		// per-shard histograms: which shard degraded in the last minute.
+		writeHeader(&b, "lona_shard_window_queries",
+			"Shard queries observed in the rolling 120s window.", "gauge")
+		shardWindows := make([]windowSnapshot, len(cl.windows))
+		for i, wh := range cl.windows {
+			shardWindows[i] = wh.snapshot()
+			fmt.Fprintf(&b, "lona_shard_window_queries{shard=%q} %d\n", fmt.Sprint(i), shardWindows[i].count)
+		}
+		writeHeader(&b, "lona_shard_window_p99_seconds",
+			"Bucket-bound p99 shard latency over the rolling window.", "gauge")
+		for i := range cl.windows {
+			fmt.Fprintf(&b, "lona_shard_window_p99_seconds{shard=%q} %s\n",
+				fmt.Sprint(i), formatValue(shardWindows[i].quantile(0.99)*1e-6))
+		}
+	}
+
+	if slo := s.opts.SLO; slo.enabled() {
+		burn := slo.burnRate(ws)
+		writeGauge(&b, "lona_slo_objective_seconds",
+			"Configured per-query latency objective.", slo.Latency.Seconds())
+		writeGauge(&b, "lona_slo_target",
+			"Required fraction of window queries under the objective.", slo.Target)
+		writeGauge(&b, "lona_slo_window_over",
+			"Window queries over the latency objective.", float64(ws.over))
+		writeGauge(&b, "lona_slo_burn_rate",
+			"Error-budget burn rate over the rolling window (>=1 violates the SLO).", burn)
+	}
+
+	if exp := s.opts.TraceExporter; exp != nil {
+		es := exp.Stats()
+		writeCounter(&b, "lona_otlp_exported_total", "OTLP span batches delivered to the collector.",
+			es.Exported)
+		writeCounter(&b, "lona_otlp_dropped_total", "OTLP span batches dropped by the full export queue.",
+			es.Dropped)
+		writeCounter(&b, "lona_otlp_sampled_out_total", "OTLP span batches skipped by the sampling ratio.",
+			es.Sampled)
+		writeCounter(&b, "lona_otlp_failed_total", "OTLP span batches the collector refused or the POST lost.",
+			es.Failed)
+		writeGauge(&b, "lona_otlp_queue_len", "OTLP export queue backlog.", float64(es.QueueLen))
+	}
+
 	return b.String()
 }
 
@@ -177,10 +234,19 @@ func writeHistHeader(b *strings.Builder, name, help string) {
 // exposition — at worst it undercounts observations that landed
 // mid-render, which the next scrape picks up.
 func writeHistSeries(b *strings.Builder, name, labels string, h *latencyHist, scale float64) {
-	hi := 0
 	counts := make([]int64, len(h.buckets))
 	for i := range h.buckets {
 		counts[i] = h.buckets[i].Load()
+	}
+	writeBuckets(b, name, labels, counts, h.sumUS.Load(), scale)
+}
+
+// writeBuckets renders one histogram series from already-loaded bucket
+// counts (a latencyHist read or a summed window snapshot) plus the raw
+// integer sum the scale maps to the exported unit.
+func writeBuckets(b *strings.Builder, name, labels string, counts []int64, sum int64, scale float64) {
+	hi := 0
+	for i := range counts {
 		if counts[i] != 0 {
 			hi = i
 		}
@@ -196,8 +262,14 @@ func writeHistSeries(b *strings.Builder, name, labels string, h *latencyHist, sc
 	if trimmed := strings.TrimSuffix(labels, ","); trimmed != "" {
 		suffix = "{" + trimmed + "}"
 	}
-	fmt.Fprintf(b, "%s_sum%s %s\n", name, suffix, formatValue(float64(h.sumUS.Load())*scale))
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, suffix, formatValue(float64(sum)*scale))
 	fmt.Fprintf(b, "%s_count%s %d\n", name, suffix, cum)
+}
+
+// writeHeader emits a HELP/TYPE pair for a family whose series the
+// caller renders itself (labeled gauges).
+func writeHeader(b *strings.Builder, name, help, typ string) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
 }
 
 // formatValue renders a float the way Prometheus expects: Go's shortest

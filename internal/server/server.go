@@ -62,7 +62,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"math"
 	"runtime"
 	"sort"
@@ -74,7 +74,9 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/otlp"
 	"repro/internal/trace"
+	"repro/internal/wideevent"
 )
 
 // Options tunes a Server; the zero value is a sensible default.
@@ -109,14 +111,26 @@ type Options struct {
 	// cuts land only between shards instead of inside them. Streaming is
 	// on by default for both -shards and -shard-peers serving.
 	DisableStreaming bool
-	// SlowQuery, when positive, traces every execution and logs the full
-	// timeline of any query (or edit batch) at or over this duration
-	// (lonad -slow-query-ms). Zero disables both the logging and the
-	// always-on tracing it requires; requests asking "trace": true are
-	// traced either way.
+	// SlowQuery, when positive, traces every execution and escalates the
+	// wide event of any query (or edit batch) at or over this duration to
+	// WARN (lonad -slow-query-ms). Zero disables both the escalation and
+	// the always-on tracing it requires; requests asking "trace": true
+	// are traced either way.
 	SlowQuery time.Duration
-	// SlowQueryLog receives slow-query log lines; nil means log.Printf.
-	SlowQueryLog func(format string, args ...any)
+	// Logger receives the canonical wide events — one per query, one per
+	// edit batch, plus shard-anomaly warnings — keyed by the
+	// internal/wideevent schema. Nil discards them: a library embedder
+	// that configured no logger stays silent.
+	Logger *slog.Logger
+	// SLO is the latency objective judged against the rolling window;
+	// the burn rate is exported in /metrics, /v1/stats, and degrades
+	// /v1/health to 503 while the error budget burns faster than it
+	// refills. The zero value disables SLO tracking.
+	SLO SLO
+	// TraceExporter ships each execution's stitched timeline as OTLP
+	// spans (lonad -otlp-endpoint). Non-nil turns on always-on tracing
+	// the same way SlowQuery does; nil disables export.
+	TraceExporter *otlp.Exporter
 	// Index is a prebuilt N(v) index to adopt — typically mapped from the
 	// snapshot the server is booting from — instead of paying the eager
 	// construction pass. Must match (graph, h); nil builds as usual.
@@ -162,6 +176,9 @@ type Server struct {
 	cache   *shardedCache // nil when caching is disabled
 	flight  flightGroup
 	metrics *metrics
+	// log is the resolved wide-event logger: Options.Logger, or a
+	// discard logger so emit sites never nil-check.
+	log *slog.Logger
 }
 
 // clusterOptions maps the server's streaming switch onto the
@@ -179,14 +196,19 @@ type clusterState struct {
 	shards int
 	remote bool // shards live behind HTTP workers
 	hists  []*latencyHist
+	// windows are the rolling-window companions of hists, feeding the
+	// per-shard lona_shard_window_* gauges.
+	windows []*windowHist
 }
 
 // newClusterState wraps a coordinator for serving.
 func newClusterState(coord *cluster.Coordinator, remote bool) *clusterState {
 	cs := &clusterState{coord: coord, shards: coord.Shards(), remote: remote}
 	cs.hists = make([]*latencyHist, cs.shards)
+	cs.windows = make([]*windowHist, cs.shards)
 	for i := range cs.hists {
 		cs.hists[i] = &latencyHist{}
+		cs.windows[i] = &windowHist{}
 	}
 	return cs
 }
@@ -233,6 +255,12 @@ type Answer struct {
 	// perShard carries the coordinator's per-shard breakdown from
 	// dispatch to the TraceOut assembly; never serialized itself.
 	perShard []cluster.ShardReport
+	// breakdown, traceID, and slow carry one execution's story from
+	// execute to the wide event Run emits; never serialized. Cache hits
+	// clear them — they describe the run that populated the cache.
+	breakdown *cluster.Breakdown
+	traceID   string
+	slow      bool
 }
 
 // TraceOut is the /v1/topk trace payload: one stitched timeline (local
@@ -264,6 +292,17 @@ func New(g *graph.Graph, scores []float64, h int, opts Options) (*Server, error)
 		return nil, err
 	}
 	s := &Server{opts: opts, g: g, engine: engine, metrics: newMetrics()}
+	s.log = opts.Logger
+	if s.log == nil {
+		s.log = wideevent.Discard()
+	}
+	if src := opts.SnapshotSource; src != nil {
+		// Resume the score generation where the boot snapshot left it, so a
+		// restarted coordinator stays generation-aligned with shard workers
+		// provisioned from the same snapshot lineage (cluster.Worker seeds
+		// its counter from the shard snapshot the same way).
+		s.gen = src.Generation
+	}
 	if opts.CacheBytes > 0 {
 		s.cache = newShardedCache(opts.CacheBytes, opts.CacheShards)
 	}
@@ -371,8 +410,9 @@ func (s *Server) Reshard(parts int) error {
 	return nil
 }
 
-// Generation returns the current score generation (0 at startup, +1 per
-// applied update or edit batch).
+// Generation returns the current score generation: the boot snapshot's
+// stamped generation when the server was restored from one (0 when built
+// from scratch), +1 per applied update or edit batch.
 func (s *Server) Generation() uint64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -585,14 +625,27 @@ func (r *QueryRequest) cacheKey(gen, topo uint64) string {
 // concurrent identical cold queries. The request's timeout_ms, when set,
 // tightens ctx with a deadline. A context error (the caller went away or
 // the deadline passed) is returned as-is and recorded in the
-// timeout/cancellation counters.
+// timeout/cancellation counters. Every call — hit, miss, collapsed, or
+// failed — emits exactly one wide event through the configured logger.
 func (s *Server) Run(ctx context.Context, req QueryRequest) (*Answer, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	start := time.Now()
+	ans, outcome, err := s.runCached(ctx, &req)
+	s.emitQueryEvent(ctx, req, ans, outcome, time.Since(start), err)
+	return ans, err
+}
+
+// runCached is Run's cache/singleflight machinery; it additionally
+// reports which cache outcome the caller experienced (for the wide
+// event): "hit", "miss" (executed, cacheable), "collapsed" (rode another
+// caller's execution), or "bypass" (executed outside the cache — traced
+// request or caching disabled).
+func (s *Server) runCached(ctx context.Context, req *QueryRequest) (*Answer, string, error) {
 	agg, order, err := req.normalize(s)
 	if err != nil {
-		return nil, err
+		return nil, wideevent.CacheBypass, err
 	}
 	if req.TimeoutMS > 0 {
 		var cancel context.CancelFunc
@@ -609,12 +662,16 @@ func (s *Server) Run(ctx context.Context, req QueryRequest) (*Answer, error) {
 			s.metrics.hist("cache").observe(0)
 			hit := *ans
 			hit.Cached = true
+			// The cached answer's execution-scoped fields describe the
+			// run that populated the cache, not this hit.
+			hit.traceID, hit.slow, hit.breakdown = "", false, nil
 			if req.Trace {
 				rec := trace.New()
 				rec.Emit(trace.KindCacheHit, len(hit.Results), 0, "served from result cache")
 				hit.Trace = &TraceOut{ID: rec.ID(), Events: rec.Snapshot().Events}
+				hit.traceID = rec.ID()
 			}
-			return &hit, nil
+			return &hit, wideevent.CacheHit, nil
 		}
 	}
 
@@ -623,17 +680,17 @@ func (s *Server) Run(ctx context.Context, req QueryRequest) (*Answer, error) {
 		// neither joins the singleflight collapse (a shared answer's
 		// trace would describe someone else's run) nor lands in the
 		// cache (replaying a stale timeline as if it just happened).
-		ans, err := s.execute(ctx, req, agg, order, snap)
+		ans, err := s.execute(ctx, *req, agg, order, snap)
 		if err != nil {
 			s.metrics.noteQueryAborted(err)
-			return nil, err
+			return nil, wideevent.CacheBypass, err
 		}
 		s.metrics.misses.Add(1)
-		return ans, nil
+		return ans, wideevent.CacheBypass, nil
 	}
 
 	run := func() (*Answer, error) {
-		return s.execute(ctx, req, agg, order, snap)
+		return s.execute(ctx, *req, agg, order, snap)
 	}
 	ans, err, shared := s.flight.do(ctx, key, run)
 	// A shared context error means the caller that executed the flight was
@@ -651,17 +708,64 @@ func (s *Server) Run(ctx context.Context, req QueryRequest) (*Answer, error) {
 	}
 	if err != nil {
 		s.metrics.noteQueryAborted(err)
-		return nil, err
+		return nil, wideevent.CacheBypass, err
 	}
 	if shared {
 		s.metrics.collapsed.Add(1)
-	} else {
-		s.metrics.misses.Add(1)
-		if s.cache != nil {
-			s.cache.put(key, ans)
+		return ans, wideevent.CacheCollapsed, nil
+	}
+	s.metrics.misses.Add(1)
+	if s.cache == nil {
+		return ans, wideevent.CacheBypass, nil
+	}
+	s.cache.put(key, ans)
+	return ans, wideevent.CacheMiss, nil
+}
+
+// emitQueryEvent renders one query's canonical wide event: the full
+// dimensional story (trace id, algorithm, fan-out, cache outcome, bytes,
+// duration, status) in a single slog record, escalated to WARN when the
+// execution crossed the slow-query threshold and ERROR when it failed.
+func (s *Server) emitQueryEvent(ctx context.Context, req QueryRequest, ans *Answer, outcome string,
+	dur time.Duration, err error) {
+
+	ev := wideevent.Query{
+		Algo: req.Algorithm, Agg: req.Aggregate, K: req.K,
+		Cache: outcome, Duration: dur, Status: wideevent.StatusOK,
+	}
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded):
+		ev.Status, ev.Err = wideevent.StatusTimeout, err.Error()
+	case errors.Is(err, context.Canceled):
+		ev.Status, ev.Err = wideevent.StatusCanceled, err.Error()
+	default:
+		ev.Status, ev.Err = wideevent.StatusError, err.Error()
+	}
+	if ans != nil {
+		ev.TraceID = ans.traceID
+		ev.Algo = ans.Algorithm
+		ev.Generation = ans.Generation
+		ev.Results = len(ans.Results)
+		ev.Evaluated = ans.Stats.Evaluated
+		ev.Truncated = ans.Truncated
+		ev.Bytes = entrySize("", ans)
+		ev.Slow = ans.slow
+		if bd := ans.breakdown; bd != nil {
+			ev.Shards = bd.Shards
+			ev.ShardsCut = bd.ShardsCut
+			ev.LambdaRaises = bd.LambdaRaises
+			ev.PartialBatches = bd.PartialBatches
+			ev.Messages = bd.Messages
+			ev.BudgetRedist = bd.BudgetRedistributed
 		}
 	}
-	return ans, nil
+	if ev.TraceID == "" {
+		// Untraced paths (hits, plain misses with tracing off) still get
+		// a non-empty id so the event is greppable and correlatable.
+		ev.TraceID = trace.NewID()
+	}
+	ev.Log(ctx, s.log)
 }
 
 // isContextErr reports whether err is (or wraps) a context cancellation
@@ -679,11 +783,12 @@ func (s *Server) execute(ctx context.Context, req QueryRequest, agg core.Aggrega
 	ans := &Answer{Generation: snap.gen, Algorithm: req.Algorithm}
 	start := time.Now()
 
-	// One recorder per traced execution. SlowQuery > 0 traces every
-	// execution so a slow one can dump its timeline after the fact; plain
-	// requests with both knobs off keep q.Tracer nil and pay nothing.
+	// One recorder per traced execution. SlowQuery > 0 and a configured
+	// OTLP exporter both trace every execution so a slow one can explain
+	// itself after the fact; plain requests with all knobs off keep
+	// q.Tracer nil and pay nothing.
 	var rec *trace.Recorder
-	if req.Trace || s.opts.SlowQuery > 0 {
+	if req.Trace || s.opts.SlowQuery > 0 || s.opts.TraceExporter != nil {
 		rec = trace.New()
 		if req.Trace {
 			rec.Emit(trace.KindCacheMiss, 0, 0, "executing")
@@ -765,34 +870,29 @@ func (s *Server) execute(ctx context.Context, req QueryRequest, agg core.Aggrega
 		ans.Results = []core.Result{}
 	}
 	s.metrics.recordQuery(ans.Algorithm, elapsed, ans.Stats)
+	s.metrics.window.observe(elapsed, s.opts.SLO.enabled() && elapsed > s.opts.SLO.Latency)
+	if s.opts.SlowQuery > 0 && elapsed >= s.opts.SlowQuery {
+		s.metrics.slowQueries.Add(1)
+		ans.slow = true
+	}
 	if rec != nil {
+		ans.traceID = rec.ID()
 		if req.Trace {
 			ans.Trace = &TraceOut{ID: rec.ID(), Events: rec.Snapshot().Events, PerShard: ans.perShard}
 		}
-		if s.opts.SlowQuery > 0 && elapsed >= s.opts.SlowQuery {
-			s.metrics.slowQueries.Add(1)
-			s.logSlow("slow query trace %s: algorithm=%s k=%d elapsed=%s\n%s",
-				rec.ID(), ans.Algorithm, req.K, elapsed, formatTrace(rec))
+		if exp := s.opts.TraceExporter; exp != nil {
+			exp.Export(otlp.FromTrace(rec.Snapshot(), otlp.Meta{
+				RootName: "lona.query",
+				Attrs: []otlp.KeyValue{
+					otlp.Str("lona.algorithm", ans.Algorithm),
+					otlp.Str("lona.aggregate", req.Aggregate),
+					otlp.Int("lona.k", int64(req.K)),
+					otlp.Int("lona.generation", int64(ans.Generation)),
+				},
+			}), ans.slow)
 		}
 	}
 	return ans, nil
-}
-
-// logSlow routes a slow-query log line to Options.SlowQueryLog, default
-// log.Printf.
-func (s *Server) logSlow(format string, args ...any) {
-	logf := s.opts.SlowQueryLog
-	if logf == nil {
-		logf = log.Printf
-	}
-	logf(format, args...)
-}
-
-// formatTrace renders a recorder's timeline for the slow-query log.
-func formatTrace(rec *trace.Recorder) string {
-	var b strings.Builder
-	rec.Snapshot().Format(&b)
-	return b.String()
 }
 
 // dispatch runs an engine query on the snapshot: through the cluster
@@ -806,10 +906,17 @@ func (s *Server) dispatch(ctx context.Context, snap snapshot, ans *Answer, q cor
 	}
 	res, bd, err := snap.cl.coord.RunOn(ctx, snap.qv, q)
 	if err != nil {
+		// A non-context failure mid-fan-out is where shard drift shows
+		// up: probe the workers' health and name the divergence instead
+		// of failing opaquely.
+		if !isContextErr(err) {
+			s.warnShardHealth(ctx, snap, q.Tracer.ID())
+		}
 		return core.Answer{}, err
 	}
 	ans.Shards = snap.cl.shards
 	ans.perShard = bd.PerShard
+	ans.breakdown = &bd
 	s.metrics.clusterMessages.Add(bd.Messages)
 	s.metrics.shardsCut.Add(int64(bd.ShardsCut))
 	s.metrics.partialBatches.Add(bd.PartialBatches)
@@ -823,10 +930,44 @@ func (s *Server) dispatch(ctx context.Context, snap snapshot, ans *Answer, q cor
 		s.metrics.shardQueries.Add(1)
 		s.metrics.shardItems.observeValue(int64(r.Items))
 		if r.Shard < len(snap.cl.hists) {
-			snap.cl.hists[r.Shard].observe(time.Duration(r.ElapsedUS) * time.Microsecond)
+			d := time.Duration(r.ElapsedUS) * time.Microsecond
+			snap.cl.hists[r.Shard].observe(d)
+			snap.cl.windows[r.Shard].observe(d, false)
 		}
 	}
 	return res, nil
+}
+
+// warnShardHealth probes the shard workers after a failed fan-out and
+// emits a wide warn event for every shard that is unreachable or whose
+// generation diverged from the coordinator's — the opaque "query failed
+// mid-fan-out" turned into an actionable per-shard story. Transports
+// without health reporting (in-process shards share the coordinator's
+// state by construction) are skipped.
+func (s *Server) warnShardHealth(ctx context.Context, snap snapshot, traceID string) {
+	prober, ok := snap.cl.coord.Transport().(cluster.HealthProber)
+	if !ok {
+		return
+	}
+	if traceID == "" {
+		traceID = trace.NewID()
+	}
+	pctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	for _, r := range prober.ProbeHealth(pctx) {
+		switch {
+		case r.Err != nil:
+			wideevent.ShardWarn{
+				TraceID: traceID, Shard: r.Shard, WantGen: snap.gen,
+				Detail: "health probe failed: " + r.Err.Error(),
+			}.Log(ctx, s.log)
+		case r.Generation != snap.gen:
+			wideevent.ShardWarn{
+				TraceID: traceID, Shard: r.Shard, WantGen: snap.gen, GotGen: r.Generation,
+				Detail: "worker generation diverged from coordinator",
+			}.Log(ctx, s.log)
+		}
+	}
 }
 
 // ScoreUpdate is one relevance mutation of an update batch.
@@ -848,7 +989,15 @@ type UpdateResult struct {
 // snapshot of the new scores and the generation is bumped, implicitly
 // invalidating every cached result. Queries already in flight finish
 // against the previous generation's engine.
-func (s *Server) ApplyUpdates(updates []ScoreUpdate) (*UpdateResult, error) {
+func (s *Server) ApplyUpdates(updates []ScoreUpdate) (res *UpdateResult, err error) {
+	start := time.Now()
+	defer func() {
+		var gen uint64
+		if res != nil {
+			gen = res.Generation
+		}
+		s.emitEditEvent(len(updates), 0, "scores", gen, time.Since(start), err)
+	}()
 	if len(updates) == 0 {
 		return nil, errors.New("empty update batch")
 	}
@@ -862,7 +1011,6 @@ func (s *Server) ApplyUpdates(updates []ScoreUpdate) (*UpdateResult, error) {
 		}
 	}
 
-	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
@@ -888,7 +1036,7 @@ func (s *Server) ApplyUpdates(updates []ScoreUpdate) (*UpdateResult, error) {
 		}
 	}
 
-	res := &UpdateResult{Applied: len(updates)}
+	res = &UpdateResult{Applied: len(updates)}
 	var newScores []float64
 	if s.view != nil {
 		for _, u := range updates {
@@ -957,7 +1105,31 @@ type EditsResult struct {
 // edit shifts, is dropped rather than repaired: the planner avoids
 // Forward until a later explicit Forward query rebuilds it lazily — the
 // same contract as a server started with SkipIndexes.
-func (s *Server) ApplyEdits(reqs []EditRequest) (*EditsResult, error) {
+func (s *Server) ApplyEdits(reqs []EditRequest) (res *EditsResult, err error) {
+	start := time.Now()
+	// rec is declared up here so the wide-event defer below (and the
+	// OTLP export) can see whatever recorder the body ends up creating.
+	var rec *trace.Recorder
+	defer func() {
+		mode := "repair"
+		var gen uint64
+		if res != nil {
+			gen = res.Generation
+			if res.Rebuilt {
+				mode = "rebuild"
+			}
+		}
+		ev := s.emitEditEvent(0, len(reqs), mode, gen, time.Since(start), err)
+		if exp := s.opts.TraceExporter; exp != nil && rec != nil {
+			exp.Export(otlp.FromTrace(rec.Snapshot(), otlp.Meta{
+				RootName: "lona.edits",
+				Attrs: []otlp.KeyValue{
+					otlp.Str("lona.edit_mode", mode),
+					otlp.Int("lona.edits", int64(len(reqs))),
+				},
+			}), ev.Slow)
+		}
+	}()
 	if len(reqs) == 0 {
 		return nil, errors.New("empty edit batch")
 	}
@@ -970,7 +1142,6 @@ func (s *Server) ApplyEdits(reqs []EditRequest) (*EditsResult, error) {
 		edits[i] = graph.Edit{Op: op, U: r.U, V: r.V}
 	}
 
-	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
@@ -1003,15 +1174,14 @@ func (s *Server) ApplyEdits(reqs []EditRequest) (*EditsResult, error) {
 		}
 	}
 
-	res := &EditsResult{}
+	res = &EditsResult{}
 	h := s.engine.H()
 	var engine *core.Engine
-	// With slow-query logging on, carry a recorder through the view's
-	// repair-vs-rebuild decision so a pathological batch can explain
-	// itself in the log.
-	var rec *trace.Recorder
+	// With slow-query escalation or OTLP export on, carry a recorder
+	// through the view's repair-vs-rebuild decision so a pathological
+	// batch can explain itself in the exported trace.
 	ectx := context.Background()
-	if s.opts.SlowQuery > 0 {
+	if s.opts.SlowQuery > 0 || s.opts.TraceExporter != nil {
 		rec = trace.New()
 		ectx = trace.NewContext(ectx, rec)
 	}
@@ -1076,14 +1246,29 @@ func (s *Server) ApplyEdits(reqs []EditRequest) (*EditsResult, error) {
 	if res.Rebuilt {
 		s.metrics.editRebuilds.Add(1)
 	}
-	if rec != nil {
-		if elapsed := time.Duration(res.ElapsedUS) * time.Microsecond; elapsed >= s.opts.SlowQuery {
-			s.metrics.slowQueries.Add(1)
-			s.logSlow("slow edit batch trace %s: edits=%d repaired=%d rebuilt=%v elapsed=%s\n%s",
-				rec.ID(), len(reqs), res.Repaired, res.Rebuilt, elapsed, formatTrace(rec))
-		}
-	}
 	return res, nil
+}
+
+// emitEditEvent renders one edit/update batch's canonical wide event —
+// the same escalation rules as queries: WARN past the slow threshold,
+// ERROR on failure — and returns it so callers can reuse the settled
+// slow flag. It also owns the slow-batch counter bump.
+func (s *Server) emitEditEvent(updates, edits int, mode string, gen uint64,
+	dur time.Duration, err error) wideevent.EditBatch {
+
+	ev := wideevent.EditBatch{
+		TraceID: trace.NewID(), Generation: gen, Edits: edits, Updates: updates,
+		Mode: mode, Shards: s.Shards(), Duration: dur, Status: wideevent.StatusOK,
+	}
+	if err != nil {
+		ev.Status, ev.Err = wideevent.StatusError, err.Error()
+	}
+	if s.opts.SlowQuery > 0 && dur >= s.opts.SlowQuery {
+		ev.Slow = true
+		s.metrics.slowQueries.Add(1)
+	}
+	ev.Log(context.Background(), s.log)
+	return ev
 }
 
 // Stats snapshots the serving metrics.
@@ -1127,6 +1312,12 @@ func (s *Server) Stats() Stats {
 		st.Cluster = cs
 	}
 	st.Snapshot = s.snapshotStats()
+	st.LatencyWindow = s.metrics.window.snapshot().summary()
+	st.SLO = s.sloStats()
+	if exp := s.opts.TraceExporter; exp != nil {
+		es := exp.Stats()
+		st.OTLP = &es
+	}
 	return st
 }
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/otlp"
 )
 
 // latencyHist is a lock-free log2-bucketed latency histogram: bucket i
@@ -124,6 +125,11 @@ type metrics struct {
 
 	// slowQueries counts executions at or over Options.SlowQuery.
 	slowQueries atomic.Int64
+
+	// window is the rolling 120s latency histogram beside the cumulative
+	// per-algorithm hists: same log2 buckets, but old traffic ages out,
+	// so it answers "what is p99 right now" and feeds the SLO burn rate.
+	window windowHist
 
 	// snapshotsWritten counts snapshots persisted via POST /v1/snapshot
 	// or Server.WriteSnapshot.
@@ -290,6 +296,15 @@ type Stats struct {
 	Cluster       *ClusterStats             `json:"cluster,omitempty"`
 	Snapshot      *SnapshotStats            `json:"snapshot,omitempty"`
 	Latency       map[string]LatencySummary `json:"latency"`
+	// LatencyWindow summarizes the rolling 120s window — "now", where
+	// Latency above is "since boot".
+	LatencyWindow LatencySummary `json:"latency_window"`
+	// SLO judges the window against the configured latency objective;
+	// absent when no SLO is configured.
+	SLO *SLOStats `json:"slo,omitempty"`
+	// OTLP is the trace exporter's accounting (exported/dropped/sampled
+	// batches); absent when no -otlp-endpoint is configured.
+	OTLP *otlp.ExporterStats `json:"otlp,omitempty"`
 }
 
 func (m *metrics) snapshot() Stats {

@@ -85,32 +85,40 @@ var idSeq struct {
 	rnd *rand.Rand
 }
 
-// newID returns a 16-hex-digit id. math/rand seeded once with the clock
-// is plenty: ids only need to be distinct among concurrent traced
-// queries on one coordinator, not unguessable.
-func newID() string {
+// NewID returns a 32-hex-digit id, the width of a W3C traceparent
+// trace-id, so recorded timelines can be exported as OTLP spans without
+// re-keying. math/rand seeded once with the clock is plenty: ids only
+// need to be distinct among concurrent traced queries on one
+// coordinator, not unguessable. All-zero ids are invalid in W3C
+// traceparent; the odds here are negligible but the loop keeps the
+// invariant explicit.
+func NewID() string {
 	idSeq.mu.Lock()
+	defer idSeq.mu.Unlock()
 	if idSeq.rnd == nil {
 		var seed [8]byte
 		binary.LittleEndian.PutUint64(seed[:], uint64(time.Now().UnixNano()))
 		idSeq.rnd = rand.New(rand.NewSource(int64(binary.LittleEndian.Uint64(seed[:]))))
 	}
-	id := fmt.Sprintf("%016x", idSeq.rnd.Uint64())
-	idSeq.mu.Unlock()
-	return id
+	for {
+		hi, lo := idSeq.rnd.Uint64(), idSeq.rnd.Uint64()
+		if hi|lo != 0 {
+			return fmt.Sprintf("%016x%016x", hi, lo)
+		}
+	}
 }
 
 // New returns a coordinator-scope recorder (shard tag -1) with a fresh
 // random id.
 func New() *Recorder {
-	return NewWithID(newID())
+	return NewWithID(NewID())
 }
 
 // NewWithID returns a recorder carrying a caller-chosen id — the worker
 // side of HTTP propagation, where the id arrives in a request header.
 func NewWithID(id string) *Recorder {
 	if id == "" {
-		id = newID()
+		id = NewID()
 	}
 	return &Recorder{s: &sink{id: id, start: time.Now()}, shard: -1}
 }
@@ -176,6 +184,10 @@ func (r *Recorder) SinceUS() int64 {
 // with the coordinator's; rebasing onto the request start keeps ordering
 // honest to within one network round trip, which is all an EXPLAIN
 // timeline needs.
+// Rebased offsets are clamped at zero: a worker whose wall clock runs
+// ahead of the coordinator's can report events that would otherwise land
+// before the request started, and negative offsets break the stable
+// TUS sort order downstream consumers (Format, OTLP export) assume.
 func (r *Recorder) Import(events []Event, baseUS int64) {
 	if r == nil || len(events) == 0 {
 		return
@@ -183,16 +195,23 @@ func (r *Recorder) Import(events []Event, baseUS int64) {
 	r.s.mu.Lock()
 	for _, e := range events {
 		e.TUS += baseUS
+		if e.TUS < 0 {
+			e.TUS = 0
+		}
 		r.s.events = append(r.s.events, e)
 	}
 	r.s.mu.Unlock()
 }
 
 // Trace is an assembled timeline: the snapshot handed to callers and
-// serialized into /v1/topk responses.
+// serialized into /v1/topk responses. StartUnixNano anchors the
+// relative TUS offsets to the recorder's wall-clock start so exporters
+// (OTLP) can emit absolute timestamps; it is omitted from JSON to keep
+// the /v1/topk wire shape unchanged.
 type Trace struct {
-	ID     string  `json:"id,omitempty"`
-	Events []Event `json:"events"`
+	ID            string  `json:"id,omitempty"`
+	Events        []Event `json:"events"`
+	StartUnixNano int64   `json:"-"`
 }
 
 // Snapshot copies the recorded events, sorted by start offset. Safe to
@@ -205,9 +224,10 @@ func (r *Recorder) Snapshot() *Trace {
 	events := make([]Event, len(r.s.events))
 	copy(events, r.s.events)
 	id := r.s.id
+	start := r.s.start
 	r.s.mu.Unlock()
 	sort.SliceStable(events, func(i, j int) bool { return events[i].TUS < events[j].TUS })
-	return &Trace{ID: id, Events: events}
+	return &Trace{ID: id, Events: events, StartUnixNano: start.UnixNano()}
 }
 
 // Format renders the timeline for terminals and slow-query logs: one

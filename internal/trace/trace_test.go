@@ -86,6 +86,61 @@ func TestImportRebasesOntoLocalTimeline(t *testing.T) {
 	}
 }
 
+// TestNewIDIsW3CTraceWidth pins the id shape OTLP export depends on:
+// 32 lowercase hex digits, never all zero.
+func TestNewIDIsW3CTraceWidth(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		id := NewID()
+		if len(id) != 32 {
+			t.Fatalf("NewID() = %q, want 32 hex digits", id)
+		}
+		if id == strings.Repeat("0", 32) {
+			t.Fatalf("NewID() returned the invalid all-zero id")
+		}
+		for _, c := range id {
+			if !strings.ContainsRune("0123456789abcdef", c) {
+				t.Fatalf("NewID() = %q, non-hex rune %q", id, c)
+			}
+		}
+	}
+}
+
+// TestImportClampsNegativeOffsets covers a worker whose wall clock runs
+// ahead of the coordinator: the rebased offset would be negative and
+// must be clamped to 0 so the stable sort keeps coordinator-first order.
+func TestImportClampsNegativeOffsets(t *testing.T) {
+	coord := New()
+	coord.Emit(KindProbe, 0, 1.0, "")
+	coord.Import([]Event{
+		{TUS: -700, Kind: KindExec, Shard: 0, DurUS: 40},
+		{TUS: 900, Kind: KindEmit, Shard: 0, N: 3},
+	}, 500)
+
+	tr := coord.Snapshot()
+	if len(tr.Events) != 3 {
+		t.Fatalf("got %d events, want 3", len(tr.Events))
+	}
+	for _, e := range tr.Events {
+		if e.TUS < 0 {
+			t.Fatalf("negative rebased offset survived import: %+v", e)
+		}
+	}
+	if tr.Events[len(tr.Events)-1].TUS != 1400 {
+		t.Fatalf("positive offsets must still rebase normally: %+v", tr.Events)
+	}
+}
+
+// TestSnapshotAnchorsWallClock: exporters need an absolute anchor for
+// the relative offsets.
+func TestSnapshotAnchorsWallClock(t *testing.T) {
+	before := time.Now().UnixNano()
+	tr := New().Snapshot()
+	after := time.Now().UnixNano()
+	if tr.StartUnixNano < before || tr.StartUnixNano > after {
+		t.Fatalf("StartUnixNano %d outside [%d, %d]", tr.StartUnixNano, before, after)
+	}
+}
+
 func TestSnapshotSortsAndCopies(t *testing.T) {
 	r := New()
 	r.Import([]Event{{TUS: 300, Kind: KindCut, Shard: 0}}, 0)

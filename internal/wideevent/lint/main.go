@@ -1,0 +1,55 @@
+// Command lint validates a stream of daemon log lines against the
+// wide-event schema: every JSON line carrying an "event" field must
+// include the full required key set for its event type. Non-wide lines
+// (startup notices, shutdown messages) pass through uncounted.
+//
+// CI pipes a live `lonad -log json` stderr capture into it:
+//
+//	go run ./internal/wideevent/lint -min 4 < lonad.jsonl
+//
+// It exits nonzero on the first malformed event, or when fewer than
+// -min wide events were seen (a regression where the daemon stopped
+// emitting them at all would otherwise pass vacuously).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/wideevent"
+)
+
+func main() {
+	min := flag.Int("min", 1, "fail unless at least this many wide events were seen")
+	flag.Parse()
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	wide, lines := 0, 0
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		lines++
+		isWide, err := wideevent.Validate(line)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lint: line %d: %v\n%s\n", lines, err, line)
+			os.Exit(1)
+		}
+		if isWide {
+			wide++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "lint:", err)
+		os.Exit(1)
+	}
+	if wide < *min {
+		fmt.Fprintf(os.Stderr, "lint: saw %d wide events in %d lines, want at least %d\n", wide, lines, *min)
+		os.Exit(1)
+	}
+	fmt.Printf("lint: %d wide events valid (%d lines)\n", wide, lines)
+}

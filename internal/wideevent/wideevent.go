@@ -1,0 +1,300 @@
+// Package wideevent defines the shared key schema for the engine's
+// canonical structured log events and the slog plumbing around them.
+//
+// The observability model is "wide events": instead of scattering a
+// query's story across many interleaved log lines, each query (and each
+// edit batch) emits exactly one slog record carrying every dimension an
+// operator would filter or aggregate on — trace id, algorithm, shard
+// fan-out, λ raises, cache outcome, bytes, duration, status. Slow
+// queries are not a different log; they are the same event escalated to
+// WARN, so dashboards and alerts key off one schema.
+//
+// The key constants here are the single source of truth: the server and
+// cluster packages emit with them, tests and CI validate live daemon
+// output against them via Validate, and the README's key table mirrors
+// them.
+package wideevent
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"time"
+)
+
+// Event type discriminators, carried under KeyEvent.
+const (
+	EventQuery     = "query"      // one top-k query, any outcome
+	EventEditBatch = "edit_batch" // one ApplyUpdates/ApplyEdits batch
+	EventShardWarn = "shard_warn" // coordinator-observed shard anomaly
+)
+
+// Shared schema keys. Every wide event uses these names; never invent
+// ad-hoc spellings at emit sites.
+const (
+	KeyEvent   = "event"    // event type discriminator (above)
+	KeyTraceID = "trace_id" // 32-hex W3C trace id, never empty
+	KeyStatus  = "status"   // "ok" | "error" | "timeout" | "canceled" | "shutdown"
+	KeyDurMS   = "dur_ms"   // wall duration, fractional milliseconds
+	KeyError   = "error"    // error text, present only on failure
+	KeySlow    = "slow"     // true when dur >= the slow-query threshold
+
+	// Query-shaped keys.
+	KeyAlgo           = "algo"            // algorithm actually executed
+	KeyAgg            = "agg"             // aggregate function
+	KeyK              = "k"               // requested k
+	KeyGeneration     = "generation"      // graph generation answered from
+	KeyCache          = "cache"           // "hit" | "miss" | "collapsed" | "bypass"
+	KeyBytes          = "bytes"           // approximate answer size in bytes
+	KeyResults        = "results"         // result rows returned
+	KeyEvaluated      = "evaluated"       // nodes exactly aggregated
+	KeyShards         = "shards"          // shards launched
+	KeyShardsCut      = "shards_cut"      // shards cut before/while running
+	KeyLambdaRaises   = "lambda_raises"   // λ tightenings during the merge
+	KeyPartialBatches = "partial_batches" // streamed partial frames folded
+	KeyMessages       = "messages"        // cross-shard messages exchanged
+	KeyBudgetRedist   = "budget_redist"   // traversals moved between shards
+	KeyTruncated      = "truncated"       // budget stopped the query early
+
+	// Edit-batch keys.
+	KeyEdits    = "edits"     // structural edits applied
+	KeyUpdates  = "updates"   // score updates applied
+	KeyEditMode = "edit_mode" // "repair" | "rebuild" | "scores"
+
+	// Shard-warn keys.
+	KeyShard   = "shard"           // shard index the warning concerns
+	KeyDetail  = "detail"          // human-readable anomaly description
+	KeyWantGen = "want_generation" // coordinator's generation
+	KeyGotGen  = "got_generation"  // worker-reported generation
+)
+
+// Status values for KeyStatus.
+const (
+	StatusOK       = "ok"
+	StatusError    = "error"
+	StatusTimeout  = "timeout"
+	StatusCanceled = "canceled"
+	StatusShutdown = "shutdown"
+)
+
+// Cache outcomes for KeyCache.
+const (
+	CacheHit       = "hit"       // answered from the server cache
+	CacheMiss      = "miss"      // executed and (maybe) inserted
+	CacheCollapsed = "collapsed" // rode another caller's in-flight execution
+	CacheBypass    = "bypass"    // caching disabled or traced request
+)
+
+// Query is the canonical per-query wide event. Build one at the end of
+// Server.Run and emit it with Log.
+type Query struct {
+	TraceID        string
+	Algo           string
+	Agg            string
+	K              int
+	Generation     uint64
+	Cache          string
+	Bytes          int64
+	Results        int
+	Evaluated      int
+	Shards         int
+	ShardsCut      int
+	LambdaRaises   int
+	PartialBatches int64
+	Messages       int64
+	BudgetRedist   int
+	Truncated      bool
+	Duration       time.Duration
+	Status         string
+	Err            string
+	Slow           bool
+}
+
+// Attrs renders the event as slog attributes in schema order.
+func (q Query) Attrs() []slog.Attr {
+	attrs := []slog.Attr{
+		slog.String(KeyEvent, EventQuery),
+		slog.String(KeyTraceID, q.TraceID),
+		slog.String(KeyStatus, q.Status),
+		slog.Float64(KeyDurMS, durMS(q.Duration)),
+		slog.String(KeyAlgo, q.Algo),
+		slog.String(KeyAgg, q.Agg),
+		slog.Int(KeyK, q.K),
+		slog.Uint64(KeyGeneration, q.Generation),
+		slog.String(KeyCache, q.Cache),
+		slog.Int64(KeyBytes, q.Bytes),
+		slog.Int(KeyResults, q.Results),
+		slog.Int(KeyEvaluated, q.Evaluated),
+		slog.Int(KeyShards, q.Shards),
+		slog.Int(KeyShardsCut, q.ShardsCut),
+		slog.Int(KeyLambdaRaises, q.LambdaRaises),
+		slog.Int64(KeyPartialBatches, q.PartialBatches),
+		slog.Int64(KeyMessages, q.Messages),
+		slog.Int(KeyBudgetRedist, q.BudgetRedist),
+		slog.Bool(KeyTruncated, q.Truncated),
+		slog.Bool(KeySlow, q.Slow),
+	}
+	if q.Err != "" {
+		attrs = append(attrs, slog.String(KeyError, q.Err))
+	}
+	return attrs
+}
+
+// Level is the severity escalation rule shared by all wide events: ERROR
+// for failures, WARN for slow-but-successful, INFO otherwise.
+func level(status string, slow bool) slog.Level {
+	switch {
+	case status != StatusOK && status != StatusCanceled:
+		return slog.LevelError
+	case slow:
+		return slog.LevelWarn
+	default:
+		return slog.LevelInfo
+	}
+}
+
+// Log emits the query event at its escalated severity. Nil-safe on the
+// logger for library users who configured none.
+func (q Query) Log(ctx context.Context, l *slog.Logger) {
+	if l == nil {
+		return
+	}
+	l.LogAttrs(ctx, level(q.Status, q.Slow), EventQuery, q.Attrs()...)
+}
+
+// EditBatch is the canonical per-edit-batch wide event.
+type EditBatch struct {
+	TraceID    string
+	Generation uint64
+	Edits      int
+	Updates    int
+	Mode       string
+	Shards     int
+	Duration   time.Duration
+	Status     string
+	Err        string
+	Slow       bool
+}
+
+// Attrs renders the event as slog attributes in schema order.
+func (b EditBatch) Attrs() []slog.Attr {
+	attrs := []slog.Attr{
+		slog.String(KeyEvent, EventEditBatch),
+		slog.String(KeyTraceID, b.TraceID),
+		slog.String(KeyStatus, b.Status),
+		slog.Float64(KeyDurMS, durMS(b.Duration)),
+		slog.Uint64(KeyGeneration, b.Generation),
+		slog.Int(KeyEdits, b.Edits),
+		slog.Int(KeyUpdates, b.Updates),
+		slog.String(KeyEditMode, b.Mode),
+		slog.Int(KeyShards, b.Shards),
+		slog.Bool(KeySlow, b.Slow),
+	}
+	if b.Err != "" {
+		attrs = append(attrs, slog.String(KeyError, b.Err))
+	}
+	return attrs
+}
+
+// Log emits the edit-batch event at its escalated severity.
+func (b EditBatch) Log(ctx context.Context, l *slog.Logger) {
+	if l == nil {
+		return
+	}
+	l.LogAttrs(ctx, level(b.Status, b.Slow), EventEditBatch, b.Attrs()...)
+}
+
+// ShardWarn is a coordinator-observed per-shard anomaly — most notably a
+// worker answering from a different graph generation than the
+// coordinator expected. Always WARN.
+type ShardWarn struct {
+	TraceID string
+	Shard   int
+	WantGen uint64
+	GotGen  uint64
+	Detail  string
+}
+
+// Attrs renders the event as slog attributes in schema order.
+func (w ShardWarn) Attrs() []slog.Attr {
+	return []slog.Attr{
+		slog.String(KeyEvent, EventShardWarn),
+		slog.String(KeyTraceID, w.TraceID),
+		slog.Int(KeyShard, w.Shard),
+		slog.Uint64(KeyWantGen, w.WantGen),
+		slog.Uint64(KeyGotGen, w.GotGen),
+		slog.String(KeyDetail, w.Detail),
+	}
+}
+
+// Log emits the shard warning.
+func (w ShardWarn) Log(ctx context.Context, l *slog.Logger) {
+	if l == nil {
+		return
+	}
+	l.LogAttrs(ctx, slog.LevelWarn, EventShardWarn, w.Attrs()...)
+}
+
+func durMS(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1000
+}
+
+// requiredKeys maps each event type to the keys Validate demands. Keys
+// emitted conditionally (error) are intentionally absent.
+var requiredKeys = map[string][]string{
+	EventQuery: {
+		KeyTraceID, KeyStatus, KeyDurMS, KeyAlgo, KeyAgg, KeyK,
+		KeyGeneration, KeyCache, KeyBytes, KeyResults, KeyShards,
+		KeyShardsCut, KeyLambdaRaises, KeyPartialBatches, KeySlow,
+	},
+	EventEditBatch: {
+		KeyTraceID, KeyStatus, KeyDurMS, KeyGeneration, KeyEdits,
+		KeyUpdates, KeyEditMode, KeySlow,
+	},
+	EventShardWarn: {
+		KeyTraceID, KeyShard, KeyWantGen, KeyGotGen, KeyDetail,
+	},
+}
+
+// Validate checks one JSON log line against the wide-event schema: it
+// must parse, carry a known KeyEvent, include every required key for
+// that event type, and have a non-empty trace id. Lines without a
+// KeyEvent field (startup notices, HTTP noise) return (false, nil) —
+// they are not wide events and not an error.
+func Validate(line []byte) (isWide bool, err error) {
+	var m map[string]any
+	if err := json.Unmarshal(line, &m); err != nil {
+		return false, fmt.Errorf("wideevent: line is not JSON: %w", err)
+	}
+	ev, ok := m[KeyEvent].(string)
+	if !ok {
+		return false, nil
+	}
+	req, ok := requiredKeys[ev]
+	if !ok {
+		return true, fmt.Errorf("wideevent: unknown event type %q", ev)
+	}
+	for _, k := range req {
+		if _, ok := m[k]; !ok {
+			return true, fmt.Errorf("wideevent: %s event missing required key %q", ev, k)
+		}
+	}
+	if id, _ := m[KeyTraceID].(string); id == "" {
+		return true, fmt.Errorf("wideevent: %s event has empty %s", ev, KeyTraceID)
+	}
+	return true, nil
+}
+
+// discardHandler is a slog.Handler that drops everything — the library
+// default when no Logger is configured, so embedding servers stay
+// silent without nil checks at every emit site.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+// Discard returns a logger that drops all records.
+func Discard() *slog.Logger { return slog.New(discardHandler{}) }

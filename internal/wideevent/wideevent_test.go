@@ -1,0 +1,124 @@
+package wideevent
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+// emit renders one event through a JSON slog handler exactly the way
+// lonad does, returning the single line produced.
+func emit(t *testing.T, log func(context.Context, *slog.Logger)) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	log(context.Background(), slog.New(slog.NewJSONHandler(&buf, nil)))
+	line := bytes.TrimSpace(buf.Bytes())
+	if len(line) == 0 {
+		t.Fatalf("no log line emitted")
+	}
+	return line
+}
+
+func TestQueryEventRoundTripsSchema(t *testing.T) {
+	q := Query{
+		TraceID: "0123456789abcdef0123456789abcdef", Algo: "backward", Agg: "sum",
+		K: 10, Generation: 3, Cache: CacheMiss, Bytes: 512, Results: 10,
+		Evaluated: 900, Shards: 4, ShardsCut: 1, LambdaRaises: 7,
+		PartialBatches: 12, Messages: 44, BudgetRedist: 2, Truncated: true,
+		Duration: 1500 * time.Microsecond, Status: StatusOK,
+	}
+	line := emit(t, q.Log)
+	isWide, err := Validate(line)
+	if !isWide || err != nil {
+		t.Fatalf("Validate = (%v, %v) on %s", isWide, err, line)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(line, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m[KeyDurMS] != 1.5 || m[KeyCache] != "miss" || m[KeyTruncated] != true {
+		t.Fatalf("fields wrong: %v", m)
+	}
+	if _, ok := m[KeyError]; ok {
+		t.Fatalf("ok event should omit %q: %s", KeyError, line)
+	}
+}
+
+func TestEditBatchAndShardWarnValidate(t *testing.T) {
+	b := EditBatch{
+		TraceID: strings.Repeat("ab", 16), Generation: 9, Edits: 40,
+		Updates: 0, Mode: "repair", Shards: 2, Duration: time.Millisecond,
+		Status: StatusOK,
+	}
+	if isWide, err := Validate(emit(t, b.Log)); !isWide || err != nil {
+		t.Fatalf("edit batch: (%v, %v)", isWide, err)
+	}
+	w := ShardWarn{TraceID: strings.Repeat("cd", 16), Shard: 3, WantGen: 7, GotGen: 5, Detail: "generation mismatch"}
+	if isWide, err := Validate(emit(t, w.Log)); !isWide || err != nil {
+		t.Fatalf("shard warn: (%v, %v)", isWide, err)
+	}
+}
+
+func TestSeverityEscalation(t *testing.T) {
+	cases := []struct {
+		status string
+		slow   bool
+		want   string
+	}{
+		{StatusOK, false, "INFO"},
+		{StatusOK, true, "WARN"},
+		{StatusError, false, "ERROR"},
+		{StatusTimeout, true, "ERROR"},
+		{StatusCanceled, false, "INFO"},
+	}
+	for _, c := range cases {
+		q := Query{TraceID: strings.Repeat("0a", 16), Status: c.status, Slow: c.slow, Err: "boom"}
+		if c.status == StatusOK || c.status == StatusCanceled {
+			q.Err = ""
+		}
+		line := emit(t, q.Log)
+		var m map[string]any
+		if err := json.Unmarshal(line, &m); err != nil {
+			t.Fatal(err)
+		}
+		if m["level"] != c.want {
+			t.Errorf("status=%s slow=%v: level = %v, want %s", c.status, c.slow, m["level"], c.want)
+		}
+	}
+}
+
+func TestValidateRejectsBrokenEvents(t *testing.T) {
+	if _, err := Validate([]byte("not json")); err == nil {
+		t.Fatal("non-JSON accepted")
+	}
+	// Not a wide event at all: fine, but flagged as such.
+	if isWide, err := Validate([]byte(`{"level":"INFO","msg":"listening"}`)); isWide || err != nil {
+		t.Fatalf("plain line: (%v, %v)", isWide, err)
+	}
+	if _, err := Validate([]byte(`{"event":"mystery","trace_id":"x"}`)); err == nil {
+		t.Fatal("unknown event type accepted")
+	}
+	// A query event with keys missing must fail.
+	if _, err := Validate([]byte(`{"event":"query","trace_id":"abc"}`)); err == nil {
+		t.Fatal("query event missing keys accepted")
+	}
+	// Empty trace id must fail even when every other key is present.
+	full := Query{Status: StatusOK, Cache: CacheHit, Algo: "base", Agg: "sum"}
+	line := emit(t, full.Log)
+	if _, err := Validate(line); err == nil || !strings.Contains(err.Error(), "trace_id") {
+		t.Fatalf("empty trace id: err = %v", err)
+	}
+}
+
+func TestDiscardLoggerAndNilSafety(t *testing.T) {
+	Query{}.Log(context.Background(), nil) // must not panic
+	l := Discard()
+	if l.Enabled(context.Background(), slog.LevelError) {
+		t.Fatal("discard logger claims to be enabled")
+	}
+	Query{TraceID: "x", Status: StatusError}.Log(context.Background(), l)
+}

@@ -53,6 +53,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/netio"
+	"repro/internal/otlp"
 	"repro/internal/relevance"
 	"repro/internal/server"
 	"repro/internal/snapshot"
@@ -213,8 +214,33 @@ func NewView(g *Graph, scores []float64, h int) (*View, error) {
 type Server = server.Server
 
 // ServerOptions tunes a Server (cache capacity in bytes and sharding,
-// worker parallelism). The zero value is a sensible default.
+// worker parallelism, the wide-event logger, SLO, and trace exporter).
+// The zero value is a sensible default.
 type ServerOptions = server.Options
+
+// ServerSLO is a latency service-level objective judged against the
+// server's rolling 120s latency window: Target fraction of queries must
+// finish within Latency. When the window's error-budget burn rate
+// reaches 1, /v1/health flips 200 → 503 ("degraded") and /metrics
+// exposes the burn rate. The zero value disables SLO tracking.
+type ServerSLO = server.SLO
+
+// ServerSLOStats is the SLO section of /v1/stats and /v1/health.
+type ServerSLOStats = server.SLOStats
+
+// OTLPExporter ships query traces to an OpenTelemetry collector as
+// OTLP/JSON span batches from a bounded background queue — set it as
+// ServerOptions.TraceExporter. Close it on shutdown to flush.
+type OTLPExporter = otlp.Exporter
+
+// OTLPExporterOptions tunes the exporter (sampling ratio, queue size).
+type OTLPExporterOptions = otlp.ExporterOptions
+
+// NewOTLPExporter starts an exporter POSTing trace batches to
+// <endpoint>/v1/traces (Jaeger, Tempo, or any OTLP/HTTP collector).
+func NewOTLPExporter(endpoint string, opts OTLPExporterOptions) *OTLPExporter {
+	return otlp.NewExporter(endpoint, opts)
+}
 
 // ServerQueryRequest is a decoded /v1/topk request — including the
 // per-request timeout_ms deadline, traversal budget, and candidate
@@ -384,12 +410,19 @@ type ServerSnapshotSource = server.SnapshotSource
 // structural edit batches need the full graph, which the snapshot
 // deliberately does not carry, so /v1/shard/edits rejects. The reader
 // must stay open for the worker's lifetime.
+//
+// The worker records the snapshot as its boot provenance: GET
+// /v1/shard/health reports the file path and resumes the generation
+// counter from the snapshot's stamped generation, keeping it aligned
+// with a coordinator restored from the same snapshot lineage.
 func NewShardWorkerHandlerFromSnapshot(r *SnapshotReader) (http.Handler, error) {
 	s, err := cluster.ShardFromSnapshot(r)
 	if err != nil {
 		return nil, err
 	}
-	return cluster.NewWorker(s).Handler(), nil
+	w := cluster.NewWorker(s)
+	w.SetProvenance(r.Path(), r.Generation())
+	return w.Handler(), nil
 }
 
 // CollaborationNetwork simulates a co-authorship network in the shape of
