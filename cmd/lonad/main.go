@@ -97,6 +97,7 @@ func main() {
 		shardIndex  = flag.Int("shard-index", 0, "which shard this worker owns (with -shard-worker)")
 		shardPeers  = flag.String("shard-peers", "", "comma-separated shard-worker base URLs, in shard-index order; queries fan out to them")
 		stream      = flag.Bool("stream", true, "stream partial top-k batches from shards so TA cuts land mid-query (sharded serving only)")
+		prime       = flag.Bool("prime", true, "seed each sharded query's launch lambda from per-shard score sketches so cold shards are cut with zero messages (sharded serving only)")
 
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060); empty disables")
 		slowQueryMS = flag.Int64("slow-query-ms", 0, "escalate the wide event of queries at or over this many milliseconds to WARN; 0 disables")
@@ -113,7 +114,7 @@ func main() {
 		dataset: *dataset, scale: *scale, seed: *seed, relKind: *relKind, r: *r,
 		h: *h, cacheBytes: *cacheBytes, workers: *workers, drain: *drain,
 		shards: *shards, shardWorker: *shardWorker, shardIndex: *shardIndex,
-		shardPeers: *shardPeers, stream: *stream,
+		shardPeers: *shardPeers, stream: *stream, prime: *prime,
 		pprofAddr: *pprofAddr, slowQuery: time.Duration(*slowQueryMS) * time.Millisecond,
 		logFormat: *logFormat, otlpEndpoint: *otlpEndpoint, otlpSample: *otlpSample,
 		sloLatency: time.Duration(*sloLatencyMS) * time.Millisecond, sloTarget: *sloTarget,
@@ -143,6 +144,7 @@ type config struct {
 	shardIndex            int
 	shardPeers            string
 	stream                bool
+	prime                 bool
 	pprofAddr             string
 	slowQuery             time.Duration
 	logFormat             string
@@ -286,9 +288,10 @@ func run(cfg config) error {
 		}
 		opts := lona.ServerOptions{
 			CacheBytes: cacheBytes, Workers: cfg.workers,
-			DisableStreaming: !cfg.stream, SlowQuery: cfg.slowQuery,
-			Logger: logger,
-			SLO:    lona.ServerSLO{Latency: cfg.sloLatency, Target: cfg.sloTarget},
+			DisableStreaming: !cfg.stream, DisablePriming: !cfg.prime,
+			SlowQuery: cfg.slowQuery,
+			Logger:    logger,
+			SLO:       lona.ServerSLO{Latency: cfg.sloLatency, Target: cfg.sloTarget},
 		}
 		if cfg.otlpEndpoint != "" {
 			exp = lona.NewOTLPExporter(cfg.otlpEndpoint, lona.OTLPExporterOptions{

@@ -165,7 +165,7 @@ func (w *Workspace) RunClusterDetailed() (*Result, *ClusterSummary, error) {
 			return nil, nil, err
 		}
 		setupSec := time.Since(start).Seconds()
-		coord := cluster.NewCoordinator(local, cluster.Options{})
+		coord := cluster.NewCoordinator(local, cluster.Options{PartialEvery: streamBenchEvery})
 		if err := measure(parts, "local", coord, setupSec, local.Topology()); err != nil {
 			return nil, nil, err
 		}
@@ -193,7 +193,7 @@ func (w *Workspace) RunClusterDetailed() (*Result, *ClusterSummary, error) {
 	setupSec := time.Since(start).Seconds()
 	topo := transport.Topology()
 	topo.EdgeCut = p.EdgeCut(g)
-	if err := measure(httpParts, "http", cluster.NewCoordinator(transport, cluster.Options{}), setupSec, topo); err != nil {
+	if err := measure(httpParts, "http", cluster.NewCoordinator(transport, cluster.Options{PartialEvery: streamBenchEvery}), setupSec, topo); err != nil {
 		return nil, nil, err
 	}
 	return res, sum, nil

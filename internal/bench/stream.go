@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/gen"
 )
 
 // StreamSummary is the machine-readable result of the S4 streaming
@@ -30,13 +31,20 @@ type StreamSummary struct {
 	Scenario string `json:"scenario"`
 
 	Cells []StreamGridCell `json:"cells"`
+
+	// ColdShards is the λ-priming scenario: disjoint communities with all
+	// top-k mass in one shard, full launch parallelism. Unprimed, every
+	// shard launches before λ exists; primed, the cold shards are cut
+	// before launch with zero stream traffic.
+	ColdShards *ColdShardSummary `json:"cold_shards,omitempty"`
 }
 
 // StreamGridCell is one (algorithm, mode) measurement.
 type StreamGridCell struct {
 	Algorithm string `json:"algorithm"`
 	// Mode is "whole-shard" (DisableStreaming: λ moves only on shard
-	// completion) or "streaming" (partial batches, mid-query λ).
+	// completion), "streaming" (partial batches, mid-query λ, priming
+	// off), or "streaming-primed" (streaming plus sketch-primed launch λ).
 	Mode      string  `json:"mode"`
 	Sec       float64 `json:"sec"`
 	Evaluated int     `json:"evaluated"`
@@ -44,9 +52,38 @@ type StreamGridCell struct {
 	Messages  int64   `json:"messages"`
 	Batches   int64   `json:"partial_batches"`
 	ShardsCut int     `json:"shards_cut"`
+	// LambdaPrimed is the sketch-primed launch λ (0 when priming was off
+	// or not applicable); PrelaunchCuts counts shards cut before launch.
+	LambdaPrimed  float64 `json:"lambda_primed,omitempty"`
+	PrelaunchCuts int     `json:"prelaunch_cuts,omitempty"`
+}
+
+// ColdShardSummary compares a primed and an unprimed run of the same
+// query on a topology where every shard but one is cold.
+type ColdShardSummary struct {
+	Nodes        int     `json:"nodes"`
+	Parts        int     `json:"parts"`
+	K            int     `json:"k"`
+	PrimedLambda float64 `json:"primed_lambda"`
+	// Per-run accounting, primed vs cold (priming disabled): shards that
+	// actually launched, shards cut before launching, partial frames
+	// streamed, and total cross-shard messages.
+	LaunchedPrimed      int   `json:"launched_primed"`
+	LaunchedCold        int   `json:"launched_cold"`
+	PrelaunchCutsPrimed int   `json:"prelaunch_cuts_primed"`
+	PrelaunchCutsCold   int   `json:"prelaunch_cuts_cold"`
+	BatchesPrimed       int64 `json:"batches_primed"`
+	BatchesCold         int64 `json:"batches_cold"`
+	MessagesPrimed      int64 `json:"messages_primed"`
+	MessagesCold        int64 `json:"messages_cold"`
 }
 
 const streamBenchParts = 4
+
+// streamBenchEvery pins the coordinator's partial-emission cadence for
+// every S4 cell: the adaptive controller carries state across queries,
+// which is right for serving but noise for a benchmark grid.
+const streamBenchEvery = 64
 
 // streamScores builds the S4 skew: a hot region (first eighth of the id
 // space, relevance 0.9) holding the entire top-k, and a weak tail
@@ -118,9 +155,12 @@ func (w *Workspace) RunStreamDetailed() (*Result, *StreamSummary, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		for mi, mode := range []string{"whole-shard", "streaming"} {
+		for mi, mode := range []string{"whole-shard", "streaming", "streaming-primed"} {
 			coord := cluster.NewCoordinator(local, cluster.Options{
-				Parallel: 1, DisableStreaming: mode == "whole-shard",
+				Parallel:         1,
+				DisableStreaming: mode == "whole-shard",
+				DisablePriming:   mode != "streaming-primed",
+				PartialEvery:     streamBenchEvery,
 			})
 			var ans core.Answer
 			var bd cluster.Breakdown
@@ -144,6 +184,7 @@ func (w *Workspace) RunStreamDetailed() (*Result, *StreamSummary, error) {
 				Algorithm: algo.String(), Mode: mode, Sec: sec,
 				Evaluated: ans.Stats.Evaluated, Pruned: ans.Stats.Pruned,
 				Messages: bd.Messages, Batches: bd.PartialBatches, ShardsCut: bd.ShardsCut,
+				LambdaPrimed: bd.LambdaPrimed, PrelaunchCuts: prelaunchCuts(bd),
 			}
 			sum.Cells = append(sum.Cells, cell)
 			res.Rows = append(res.Rows, Row{
@@ -156,9 +197,116 @@ func (w *Workspace) RunStreamDetailed() (*Result, *StreamSummary, error) {
 					"shards_cut":      float64(cell.ShardsCut),
 				},
 			})
-			w.logf("S4 %-13s %-11s %.4fs evaluated=%d pruned=%d messages=%d batches=%d cut=%d",
-				algo, mode, sec, cell.Evaluated, cell.Pruned, cell.Messages, cell.Batches, cell.ShardsCut)
+			w.logf("S4 %-13s %-16s %.4fs evaluated=%d pruned=%d messages=%d batches=%d cut=%d primed=%.4g",
+				algo, mode, sec, cell.Evaluated, cell.Pruned, cell.Messages, cell.Batches, cell.ShardsCut, cell.LambdaPrimed)
 		}
 	}
+
+	cold, err := w.runColdShards()
+	if err != nil {
+		return nil, nil, err
+	}
+	sum.ColdShards = cold
 	return res, sum, nil
+}
+
+// prelaunchCuts counts shards the coordinator cut before launching —
+// shards that cost zero stream traffic.
+func prelaunchCuts(bd cluster.Breakdown) int {
+	n := 0
+	for _, r := range bd.PerShard {
+		if r.Cut && !r.Launched {
+			n++
+		}
+	}
+	return n
+}
+
+// runColdShards measures λ-priming on the topology it exists for:
+// disjoint communities (planted partition, pout=0) with every non-zero
+// score in community 0, shards launched at full parallelism. Without
+// priming λ is 0 at launch time, so every shard launches and streams;
+// with priming the coordinator's sketch merge proves the cold shards'
+// bounds can never reach the top-k and cuts them with zero messages.
+// Both answers are verified byte-identical to the single engine.
+func (w *Workspace) runColdShards() (*ColdShardSummary, error) {
+	n := int(2000 * w.cfg.Scale)
+	if n < 40*streamBenchParts {
+		n = 40 * streamBenchParts
+	}
+	n -= n % streamBenchParts
+	g := gen.PlantedPartition(n, streamBenchParts, 0.05, 0, 9)
+	scores := make([]float64, n)
+	for v := 0; v < n; v += streamBenchParts { // community 0 = ids ≡ 0 (mod P)
+		scores[v] = 0.25 + 0.75*float64(v%13)/13
+	}
+	engine, err := core.NewEngine(g, scores, hops)
+	if err != nil {
+		return nil, err
+	}
+	local, err := cluster.NewLocal(g, scores, hops, streamBenchParts)
+	if err != nil {
+		return nil, err
+	}
+	local.PrepareIndexes(w.cfg.Workers)
+
+	q := core.Query{Algorithm: core.AlgoBase, K: 10, Aggregate: core.Sum}
+	want, err := engine.Run(context.Background(), q)
+	if err != nil {
+		return nil, err
+	}
+	run := func(disablePriming bool) (cluster.Breakdown, error) {
+		coord := cluster.NewCoordinator(local, cluster.Options{
+			Parallel:       streamBenchParts,
+			DisablePriming: disablePriming,
+			PartialEvery:   streamBenchEvery,
+		})
+		ans, bd, err := coord.RunDetailed(context.Background(), q)
+		if err != nil {
+			return bd, err
+		}
+		if len(ans.Results) != len(want.Results) {
+			return bd, fmt.Errorf("S4 cold-shards: %d results, baseline %d", len(ans.Results), len(want.Results))
+		}
+		for i := range want.Results {
+			if ans.Results[i] != want.Results[i] {
+				return bd, fmt.Errorf("S4 cold-shards: result %d = %+v, baseline %+v", i, ans.Results[i], want.Results[i])
+			}
+		}
+		return bd, nil
+	}
+	primed, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	coldBd, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	launched := func(bd cluster.Breakdown) int {
+		n := 0
+		for _, r := range bd.PerShard {
+			if r.Launched {
+				n++
+			}
+		}
+		return n
+	}
+	sum := &ColdShardSummary{
+		Nodes: n, Parts: streamBenchParts, K: q.K,
+		PrimedLambda:        primed.LambdaPrimed,
+		LaunchedPrimed:      launched(primed),
+		LaunchedCold:        launched(coldBd),
+		PrelaunchCutsPrimed: prelaunchCuts(primed),
+		PrelaunchCutsCold:   prelaunchCuts(coldBd),
+		BatchesPrimed:       primed.PartialBatches,
+		BatchesCold:         coldBd.PartialBatches,
+		MessagesPrimed:      primed.Messages,
+		MessagesCold:        coldBd.Messages,
+	}
+	w.logf("S4 cold-shards primed: λ=%.4g launched=%d/%d prelaunch-cuts=%d batches=%d messages=%d",
+		sum.PrimedLambda, sum.LaunchedPrimed, sum.Parts, sum.PrelaunchCutsPrimed, sum.BatchesPrimed, sum.MessagesPrimed)
+	w.logf("S4 cold-shards cold:   launched=%d/%d prelaunch-cuts=%d batches=%d messages=%d",
+		sum.LaunchedCold, sum.Parts, sum.PrelaunchCutsCold, sum.BatchesCold, sum.MessagesCold)
+	return sum, nil
 }

@@ -17,7 +17,7 @@ func TestRunStreamSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.ID != "S4" || len(sum.Cells) != 4 {
+	if res.ID != "S4" || len(sum.Cells) != 6 {
 		t.Fatalf("unexpected result shape: id=%s cells=%d", res.ID, len(sum.Cells))
 	}
 	byKey := map[string]StreamGridCell{}
@@ -30,7 +30,8 @@ func TestRunStreamSmoke(t *testing.T) {
 	for _, algo := range []string{"Forward-Dist", "Backward"} {
 		whole, okW := byKey[algo+"/whole-shard"]
 		stream, okS := byKey[algo+"/streaming"]
-		if !okW || !okS {
+		primed, okP := byKey[algo+"/streaming-primed"]
+		if !okW || !okS || !okP {
 			t.Fatalf("missing cells for %s: %v", algo, byKey)
 		}
 		if stream.Evaluated >= whole.Evaluated {
@@ -43,6 +44,34 @@ func TestRunStreamSmoke(t *testing.T) {
 		if whole.Batches != 0 {
 			t.Fatalf("%s: whole-shard run reports %d partial batches", algo, whole.Batches)
 		}
+		if primed.LambdaPrimed <= 0 {
+			t.Fatalf("%s: streaming-primed run reports no primed λ: %+v", algo, primed)
+		}
+		if primed.Evaluated > stream.Evaluated {
+			t.Fatalf("%s: priming increased evaluated work: primed %d, unprimed %d",
+				algo, primed.Evaluated, stream.Evaluated)
+		}
+	}
+	cold := sum.ColdShards
+	if cold == nil {
+		t.Fatal("no cold-shard summary")
+	}
+	if cold.PrimedLambda <= 0 {
+		t.Fatalf("cold-shard primed λ = %v, want > 0", cold.PrimedLambda)
+	}
+	if cold.PrelaunchCutsPrimed != cold.Parts-1 || cold.LaunchedPrimed != 1 {
+		t.Fatalf("primed cold run launched %d and pre-launch-cut %d of %d shards, want 1 launch and %d cuts",
+			cold.LaunchedPrimed, cold.PrelaunchCutsPrimed, cold.Parts, cold.Parts-1)
+	}
+	// The unprimed side is timing-dependent: the hot shard's first folded
+	// batch raises λ, which may cut trailing shards before their launch
+	// slot is decided. Only ordering claims are deterministic there.
+	if cold.LaunchedCold < cold.LaunchedPrimed {
+		t.Fatalf("unprimed cold run launched %d shards, primed %d — priming should never launch more",
+			cold.LaunchedCold, cold.LaunchedPrimed)
+	}
+	if cold.MessagesPrimed > cold.MessagesCold {
+		t.Fatalf("priming increased messages: primed %d, cold %d", cold.MessagesPrimed, cold.MessagesCold)
 	}
 	if res.Markdown() == "" || res.CSV() == "" {
 		t.Fatal("renderers rejected the grid")

@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// This file tunes each shard's partial-emission cadence (the engine's
+// PartialEvery) from observed batch latency, in the spirit of adaptive
+// distributed top-k processing [ADiT]: sites should report at a rate
+// matched to what the coordinator can usefully fold, not a fixed period.
+// A cadence too fine floods the merge with frames that rarely move λ; a
+// cadence too coarse starves it, delaying the cuts that save work.
+// Because PartialEvery changes only when results are *reported*, never
+// which results are certified, adapting it can never change an answer —
+// the byte-identity guarantee is untouched.
+
+const (
+	// cadenceMin/<Max clamp the adapted PartialEvery. The floor matches
+	// core's context-poll granularity; the ceiling keeps at least a few
+	// frames per shard on the graphs this system targets.
+	cadenceMin = 16
+	cadenceMax = 4096
+	// cadenceTarget brackets the per-batch wall-clock the controller
+	// steers toward: batches faster than the lower edge are doubled
+	// (frames are nearly free to produce but cost a fold and an ack
+	// each), slower than the upper edge are halved (λ is going stale
+	// between reports).
+	cadenceTargetLow  = 500 * time.Microsecond
+	cadenceTargetHigh = 8 * time.Millisecond
+)
+
+// cadence is the coordinator's cross-query controller: one adapted
+// PartialEvery per shard, updated from each query's observed batch
+// latency. Safe for concurrent use.
+type cadence struct {
+	mu    sync.Mutex
+	every map[int]int
+}
+
+func newCadence() *cadence {
+	return &cadence{every: make(map[int]int)}
+}
+
+// clampCadence bounds v to the controller's range.
+func clampCadence(v int) int {
+	if v < cadenceMin {
+		return cadenceMin
+	}
+	if v > cadenceMax {
+		return cadenceMax
+	}
+	return v
+}
+
+// forShard returns the cadence a launching shard query should use. The
+// first query seeds from k — a batch much larger than k delays λ for no
+// benefit, much smaller floods the coordinator before the list can even
+// fill — and later queries inherit the adapted value.
+func (c *cadence) forShard(shard, k int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v, ok := c.every[shard]; ok {
+		return v
+	}
+	v := clampCadence(k)
+	c.every[shard] = v
+	return v
+}
+
+// observe feeds one completed shard query back: batches partial frames
+// over dur of shard wall-clock, emitted at cadence used. Doubles the
+// cadence when batches came faster than the target window, halves it
+// when slower; within the window (or with nothing observed) it holds.
+func (c *cadence) observe(shard, batches int, dur time.Duration, used int) {
+	if batches <= 0 || dur <= 0 {
+		return
+	}
+	per := dur / time.Duration(batches)
+	next := used
+	switch {
+	case per < cadenceTargetLow:
+		next = used * 2
+	case per > cadenceTargetHigh:
+		next = used / 2
+	}
+	next = clampCadence(next)
+	c.mu.Lock()
+	c.every[shard] = next
+	c.mu.Unlock()
+}

@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCadenceSeedsFromK: a shard's first query seeds PartialEvery from k,
+// clamped into the controller's range, and the seed is sticky until an
+// observation moves it.
+func TestCadenceSeedsFromK(t *testing.T) {
+	c := newCadence()
+	if got := c.forShard(0, 100); got != 100 {
+		t.Fatalf("seed for k=100 = %d, want 100", got)
+	}
+	// The seed is remembered per shard — a later query with a different k
+	// inherits the adapted value, it does not re-seed.
+	if got := c.forShard(0, 7); got != 100 {
+		t.Fatalf("second query re-seeded: %d, want 100", got)
+	}
+	if got := c.forShard(1, 1); got != cadenceMin {
+		t.Fatalf("seed for k=1 = %d, want the %d floor", got, cadenceMin)
+	}
+	if got := c.forShard(2, 1<<20); got != cadenceMax {
+		t.Fatalf("seed for huge k = %d, want the %d ceiling", got, cadenceMax)
+	}
+}
+
+// TestCadenceAdapts pins the control law: batches faster than the target
+// window double the cadence, slower halve it, within the window hold —
+// always clamped, and per shard independently.
+func TestCadenceAdapts(t *testing.T) {
+	c := newCadence()
+	used := c.forShard(0, 256)
+
+	// 10 batches in 1ms — 100µs each, below the low edge: double.
+	c.observe(0, 10, time.Millisecond, used)
+	if got := c.forShard(0, 256); got != 512 {
+		t.Fatalf("fast batches: cadence %d, want 512", got)
+	}
+	// 10 batches in 1s — 100ms each, above the high edge: halve.
+	c.observe(0, 10, time.Second, 512)
+	if got := c.forShard(0, 256); got != 256 {
+		t.Fatalf("slow batches: cadence %d, want 256", got)
+	}
+	// 10 batches at 1ms each — inside [500µs, 8ms]: hold.
+	c.observe(0, 10, 10*time.Millisecond, 256)
+	if got := c.forShard(0, 256); got != 256 {
+		t.Fatalf("in-window batches moved the cadence to %d, want 256", got)
+	}
+	// Shard 1 is untouched by shard 0's history.
+	if got := c.forShard(1, 64); got != 64 {
+		t.Fatalf("shard 1 inherited shard 0's cadence: %d, want 64", got)
+	}
+
+	// Doubling saturates at the ceiling, halving at the floor.
+	c.observe(0, 1000, time.Millisecond, cadenceMax)
+	if got := c.forShard(0, 256); got != cadenceMax {
+		t.Fatalf("doubling escaped the ceiling: %d", got)
+	}
+	c.observe(0, 1, time.Minute, cadenceMin)
+	if got := c.forShard(0, 256); got != cadenceMin {
+		t.Fatalf("halving escaped the floor: %d", got)
+	}
+
+	// Degenerate observations (no batches, no elapsed time) hold.
+	c.observe(1, 0, time.Second, 64)
+	c.observe(1, 10, 0, 64)
+	if got := c.forShard(1, 64); got != 64 {
+		t.Fatalf("degenerate observation moved the cadence to %d, want 64", got)
+	}
+}

@@ -66,6 +66,16 @@ type Options struct {
 	// of the streaming protocol, so budgeted queries do more useful work
 	// than they did pre-streaming even with streaming off.
 	DisableStreaming bool
+	// DisablePriming turns off sketch-based λ-priming (see sketch.go):
+	// queries launch with λ = −∞ exactly as before PR 9 — kept for
+	// benchmarks pricing the priming win and tests proving it changes no
+	// answers.
+	DisablePriming bool
+	// PartialEvery pins the shards' partial-emission cadence instead of
+	// adapting it per shard from observed batch latency (see cadence.go).
+	// 0 = adaptive; benchmarks pin it for run-to-run comparability. A
+	// query that sets its own core.Query.PartialEvery wins over both.
+	PartialEvery int
 }
 
 // Coordinator fans queries out across a Transport's shards and merges the
@@ -74,11 +84,12 @@ type Options struct {
 type Coordinator struct {
 	t    Transport
 	opts Options
+	cad  *cadence
 }
 
 // NewCoordinator returns a coordinator over the transport.
 func NewCoordinator(t Transport, opts Options) *Coordinator {
-	return &Coordinator{t: t, opts: opts}
+	return &Coordinator{t: t, opts: opts, cad: newCadence()}
 }
 
 // Transport returns the transport the coordinator fans out over.
@@ -112,6 +123,13 @@ type ShardReport struct {
 	// batch items, or the whole answer's results when not streaming) —
 	// the per-shard message-size observation /metrics histograms.
 	Items int `json:"items,omitempty"`
+	// Cadence is the PartialEvery this shard query emitted at — the
+	// adaptive controller's current setting (or the pinned override).
+	Cadence int `json:"cadence,omitempty"`
+	// Granted is the budget this shard drew mid-run through the
+	// demand-driven grant protocol (remote workers only; in-process
+	// shards draw from the pool without a ledger).
+	Granted int `json:"granted,omitempty"`
 }
 
 // Breakdown reports what one distributed execution did — the
@@ -123,8 +141,10 @@ type Breakdown struct {
 	// Messages counts simulated (Local) or real (HTTP) cross-shard
 	// exchanges: one bound probe per shard, a request and a response per
 	// launched shard query, one message per result item shipped back,
-	// and — when streaming — one per partial frame plus one per λ ack on
-	// transports that push the threshold over the wire.
+	// and — when streaming — one per partial frame plus, on transports
+	// that push state over the wire, one per λ ack and two per budget
+	// grant request (the need frame and its granting ack). Shards cut
+	// pre-launch by a sketch-primed λ contribute only their bound probe.
 	Messages int64 `json:"messages"`
 	// PartialBatches counts the streamed partial frames folded into the
 	// merge across all shards.
@@ -135,8 +155,16 @@ type Breakdown struct {
 	// LambdaRaises counts how many folded batches (or whole answers)
 	// actually tightened the merge threshold λ — the within-shard TA
 	// machinery visibly working, vs batches that changed nothing.
-	LambdaRaises int           `json:"lambda_raises,omitempty"`
-	PerShard     []ShardReport `json:"per_shard"`
+	LambdaRaises int `json:"lambda_raises,omitempty"`
+	// LambdaPrimed is the initial λ certified from the per-shard score
+	// sketches before any shard launched (0 when priming was off or
+	// inapplicable — Avg queries, candidate restrictions, missing
+	// sketches).
+	LambdaPrimed float64 `json:"lambda_primed,omitempty"`
+	// GrantRequests counts the demand-driven budget grant requests
+	// answered mid-stream (remote workers whose slice ran dry).
+	GrantRequests int64         `json:"grant_requests,omitempty"`
+	PerShard      []ShardReport `json:"per_shard"`
 }
 
 // Run executes a query across every shard and merges the answer — the
@@ -238,6 +266,25 @@ func (c *Coordinator) RunOn(ctx context.Context, view QueryView, q core.Query) (
 	streaming := !c.opts.DisableStreaming
 	liveBudget := streaming && view.LiveBudget()
 	ctrl := &StreamControl{}
+	// λ-priming: merge the per-shard score sketches into a certified
+	// lower bound on the global k-th value and seed the floor with it, so
+	// cold shards are cut before they launch (zero stream messages) and
+	// every launched shard prunes against a warm floor from its first
+	// traversal. Skipped for aggregates where the raw-score bound is not
+	// admissible (Avg) and for candidate-restricted queries, whose k-th
+	// value ranges over a subset the sketches know nothing about.
+	if !c.opts.DisableCut && !c.opts.DisablePriming &&
+		len(q.Candidates) == 0 && primableAggregate(q.Aggregate) {
+		sketches := make([]*Sketch, parts)
+		for i := range sketches {
+			sketches[i] = view.ScoreSketch(i)
+		}
+		if primed := PrimeFloor(sketches, q.K); primed > 0 {
+			ctrl.Raise(primed)
+			bd.LambdaPrimed = primed
+			rec.Emit(trace.KindPrime, q.K, primed, "λ primed from score sketches")
+		}
+	}
 	type outcome struct {
 		ans      core.Answer
 		err      error
@@ -250,6 +297,7 @@ func (c *Coordinator) RunOn(ctx context.Context, view QueryView, q core.Query) (
 		done     bool
 		batches  int // partial frames folded
 		items    int // result items shipped back (streamed or whole)
+		cadence  int // PartialEvery this shard query emitted at
 		// partial is the cumulative work reported by the last streamed
 		// batch — all that remains of a shard cut mid-query, and exactly
 		// what the merged Stats must not lose.
@@ -265,9 +313,19 @@ func (c *Coordinator) RunOn(ctx context.Context, view QueryView, q core.Query) (
 	)
 	// cuttable reports whether shard i cannot affect the final top-k:
 	// strict (<) so a shard that could still tie λ — and win the
-	// smaller-id tie-break — always runs to completion.
+	// smaller-id tie-break — always runs to completion. The threshold is
+	// the floor (which starts at the sketch-primed λ, so cold shards are
+	// cuttable before any result arrives), tightened by the merged
+	// list's bound once it fills.
 	cuttable := func(i int) bool {
-		return !c.opts.DisableCut && list.Full() && bounds[i] < list.Bound()
+		if c.opts.DisableCut {
+			return false
+		}
+		th := ctrl.Floor()
+		if list.Full() && list.Bound() > th {
+			th = list.Bound()
+		}
+		return th > 0 && bounds[i] < th
 	}
 	// raise (mu held) tightens λ to the merged list's bound, counting and
 	// tracing the pushes that actually moved it.
@@ -397,6 +455,16 @@ func (c *Coordinator) RunOn(ctx context.Context, view QueryView, q core.Query) (
 				}
 			}
 			o.allot = sq.Budget
+			if streaming && sq.PartialEvery == 0 {
+				// Emission cadence: the caller's own setting wins, then the
+				// pinned option, then the per-shard adaptive controller.
+				if c.opts.PartialEvery > 0 {
+					sq.PartialEvery = c.opts.PartialEvery
+				} else {
+					sq.PartialEvery = c.cad.forShard(si, q.K)
+				}
+			}
+			o.cadence = sq.PartialEvery
 			mu.Unlock()
 			defer cancel()
 
@@ -443,6 +511,11 @@ func (c *Coordinator) RunOn(ctx context.Context, view QueryView, q core.Query) (
 			}
 			o.finished = true
 			o.ans = ans
+			// Budget drawn mid-run through the grant protocol joins the
+			// shard's allotment before the refund below, so over-granted
+			// chunks (a worker asks in fixed chunks, not exact amounts)
+			// flow back to the pool instead of stranding.
+			o.allot += int(ctrl.GrantedTo(si))
 			// A shard that finished under its allotment (it ran out of
 			// owned work) returns the leftover to the pool for shards
 			// still running. Budget spend is exactly the evaluation +
@@ -474,6 +547,7 @@ func (c *Coordinator) RunOn(ctx context.Context, view QueryView, q core.Query) (
 	}
 	merged := core.Answer{Results: list.Items()}
 	bd.BudgetRedistributed = ctrl.Redistributed()
+	bd.GrantRequests = ctrl.GrantRequests()
 	for si := range outcomes {
 		o := &outcomes[si]
 		if o.err != nil {
@@ -488,8 +562,14 @@ func (c *Coordinator) RunOn(ctx context.Context, view QueryView, q core.Query) (
 		}
 		report := ShardReport{Shard: si, ElapsedUS: o.dur.Microseconds(),
 			Results: len(o.ans.Results), Cut: o.cut, Launched: o.launched,
-			Batches: o.batches, Evaluated: s.Evaluated, Items: o.items}
+			Batches: o.batches, Evaluated: s.Evaluated, Items: o.items,
+			Cadence: o.cadence, Granted: int(ctrl.GrantedTo(si))}
 		bd.PerShard = append(bd.PerShard, report)
+		if o.launched && c.opts.PartialEvery == 0 {
+			// Feed the adaptive cadence controller: how fast did this
+			// shard's frames actually arrive at the cadence it used.
+			c.cad.observe(si, o.batches, o.dur, o.cadence)
+		}
 		if rec != nil {
 			note := ""
 			switch {
@@ -512,9 +592,10 @@ func (c *Coordinator) RunOn(ctx context.Context, view QueryView, q core.Query) (
 				// or the streaming-vs-whole-shard message comparison
 				// would flatter streaming by up to k items per shard.
 				bd.Messages += int64(len(o.ans.Results))
-				if !view.LiveBudget() {
+				if view.WireAcks() {
 					// λ acks ride the request stream back to remote
-					// workers, one per folded frame.
+					// workers, at most one per folded frame (the writer
+					// coalesces to latest, so this is an upper estimate).
 					bd.Messages += int64(o.batches)
 				}
 			}
@@ -524,6 +605,11 @@ func (c *Coordinator) RunOn(ctx context.Context, view QueryView, q core.Query) (
 		merged.Stats.Distributed += s.Distributed
 		merged.Stats.Visited += s.Visited
 		merged.Truncated = merged.Truncated || o.ans.Truncated
+	}
+	if view.WireAcks() && bd.GrantRequests > 0 {
+		// Each answered grant request cost a need frame upstream and a
+		// granting ack downstream.
+		bd.Messages += 2 * bd.GrantRequests
 	}
 	// Fold per-shard planner decisions into one Plan for the merged
 	// Answer: the lowest-index executed shard's choice, annotated with

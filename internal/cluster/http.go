@@ -10,6 +10,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -47,21 +48,48 @@ import (
 //
 //	client → worker (request body, NDJSON):
 //	  {"k":...,"aggregate":...}        the query, first
-//	  {"ack":1,"floor":0.71}           one ack per received frame; floor
-//	                                   is the coordinator's current λ
+//	  {"ack":1,"floor":0.71,
+//	   "granted":64,"answered":64}     one ack per received frame; floor
+//	                                   is the coordinator's current λ, and
+//	                                   granted/answered are the cumulative
+//	                                   budget-grant counters (see below)
 //	client ← worker (response body, NDJSON):
 //	  {"seq":1,"items":[...],"stats":{...}}   partial batch: results newly
 //	                                          certified, cumulative stats
+//	  {"seq":2,"need":64}                     budget grant request: the
+//	                                          cumulative budget this worker
+//	                                          has asked for (no items; the
+//	                                          coordinator answers on the ack)
 //	  {"seq":N,"final":true,"items":[...],"stats":{...},...}
 //	                                          summary frame: final results,
 //	                                          total stats, truncation, plan
 //
+// Two request headers extend the exchange without touching the strictly
+// decoded query document (absent headers mean legacy behavior, so old
+// and new coordinators/workers interoperate): X-Lona-Floor carries the
+// coordinator's launch-time λ — sketch-primed, possibly already raised —
+// so the worker starts pruning warm; X-Lona-Grants advertises that the
+// coordinator answers budget grant requests, without which a worker
+// never sends need frames (it would block forever against a legacy
+// coordinator).
+//
 // Frames are sequence-numbered from 1 with no gaps; the transport rejects
-// out-of-order frames. Acks are advisory — the client drops one rather
-// than stall frame consumption, and a worker that never receives an ack
-// simply keeps its last λ (every λ is admissible, so staleness costs work,
-// never correctness). Failure semantics: cancelling the request kills the
-// worker-side query cooperatively (a TA cut or client disconnect); a
+// out-of-order frames. Acks are coalesced, never dropped: the writer
+// always sends the latest state, replacing any ack still waiting for the
+// pipe, so a worker runs on a stale floor for at most one write. All ack
+// fields are cumulative/monotone, which is what makes latest-wins
+// lossless. A worker that never receives an ack simply keeps its last λ
+// (every λ is admissible, so staleness costs work, never correctness).
+// Budget grants ride the same channel: when a budgeted worker's slice
+// runs dry it raises its cumulative "need" in a dedicated frame and
+// blocks; the coordinator serves the delta from the shared
+// redistribution pool — including budget refunded by cut shards — and
+// answers with cumulative granted/answered counters. An answer that
+// grants nothing new means the pool was dry (the same instantaneous
+// semantics an in-process TakeBudget sees) and the worker truncates.
+// Failure semantics: cancelling the request kills the
+// worker-side query cooperatively (a TA cut or client disconnect) and
+// unblocks any pending grant wait; a
 // connection that dies before the final frame surfaces as a transport
 // error to the coordinator, which aborts the merge — partial batches
 // already folded never corrupt it, because every streamed item is an
@@ -89,6 +117,19 @@ type wireQuery struct {
 // traceHeader carries the coordinator's trace id to workers, so the
 // worker-side events join the same logical trace.
 const traceHeader = "X-Lona-Trace"
+
+// floorHeader carries the coordinator's launch-time merge threshold λ on
+// stream requests: the sketch-primed floor, possibly already raised by
+// batches folded before this shard launched. A header rather than a
+// query-document field so legacy workers (which decode the query
+// strictly) ignore it instead of rejecting the request.
+const floorHeader = "X-Lona-Floor"
+
+// grantsHeader ("1") advertises that the coordinator answers
+// demand-driven budget grant requests on the stream's ack channel.
+// Workers must never block on a grant a legacy coordinator will never
+// answer, so the capability is opt-in per request.
+const grantsHeader = "X-Lona-Grants"
 
 // traceparentHeader is the W3C trace-context header set alongside
 // traceHeader on every shard hop, so off-the-shelf HTTP middleware and
@@ -155,8 +196,13 @@ type wireAnswer struct {
 // truncation, and the plan — or Error when the query failed after
 // streaming began.
 type wireStreamFrame struct {
-	Seq           uint64          `json:"seq"`
-	Items         []core.Result   `json:"items,omitempty"`
+	Seq   uint64        `json:"seq"`
+	Items []core.Result `json:"items,omitempty"`
+	// Need, when positive, marks a budget grant request: the cumulative
+	// budget this worker has asked for over the stream's lifetime. Grant
+	// frames carry no items or stats and are not folded into the merge;
+	// the coordinator answers on the ack's granted/answered counters.
+	Need          int64           `json:"need,omitempty"`
 	Stats         core.QueryStats `json:"stats"`
 	Final         bool            `json:"final,omitempty"`
 	Truncated     bool            `json:"truncated,omitempty"`
@@ -171,10 +217,18 @@ type wireStreamFrame struct {
 
 // wireStreamAck is one client→worker frame on the open request body: the
 // coordinator's current merge threshold λ, piggybacked on the
-// acknowledgement of frame Ack.
+// acknowledgement of frame Ack. Every field is cumulative or monotone,
+// so coalescing to the latest ack loses nothing.
 type wireStreamAck struct {
 	Ack   uint64  `json:"ack"`
 	Floor float64 `json:"floor"`
+	// Granted/Answered are the demand-driven budget grant counters for
+	// this shard: cumulative budget granted from the pool, and the
+	// cumulative need the coordinator has answered (granted < answered's
+	// delta means the pool came up short — a denial, not a pending
+	// request). Zero/absent against legacy coordinators.
+	Granted  int64 `json:"granted,omitempty"`
+	Answered int64 `json:"answered,omitempty"`
 }
 
 // wireHealth is the /v1/shard/health response; the transport validates it
@@ -200,6 +254,10 @@ type wireHealth struct {
 	// Snapshot names the snapshot file the worker booted from, when
 	// known — the provenance half of a generation-mismatch diagnosis.
 	Snapshot string `json:"snapshot,omitempty"`
+	// Sketch summarizes the worker's owned raw scores for the
+	// coordinator's λ-priming; absent from legacy workers (priming then
+	// simply skips this shard).
+	Sketch *Sketch `json:"sketch,omitempty"`
 }
 
 // wireBound is the /v1/shard/bound response.
@@ -209,10 +267,13 @@ type wireBound struct {
 }
 
 // wireScores is the /v1/shard/scores request and response: workers apply
-// the updates that fall inside their closure and report how many landed.
+// the updates that fall inside their closure and report how many landed,
+// piggybacking a fresh score sketch so the coordinator's priming state
+// stays current with zero extra round trips.
 type wireScores struct {
 	Updates []ScoreUpdate `json:"updates,omitempty"`
 	Applied int           `json:"applied,omitempty"`
+	Sketch  *Sketch       `json:"sketch,omitempty"` // response only
 }
 
 // wireEdit is one structural mutation on the wire; Op uses the
@@ -237,10 +298,11 @@ type wireEdits struct {
 	// Zero means "no sequencing" (bare callers) and is always applied.
 	Seq uint64 `json:"seq,omitempty"`
 	// Response fields.
-	Nodes    int  `json:"nodes,omitempty"`    // full-graph node count after the batch
-	Rebuilt  bool `json:"rebuilt,omitempty"`  // this worker's closure was affected
-	Owned    int  `json:"owned,omitempty"`    // post-batch owned-node count
-	Boundary int  `json:"boundary,omitempty"` // post-batch ghost-node count
+	Nodes    int     `json:"nodes,omitempty"`    // full-graph node count after the batch
+	Rebuilt  bool    `json:"rebuilt,omitempty"`  // this worker's closure was affected
+	Owned    int     `json:"owned,omitempty"`    // post-batch owned-node count
+	Boundary int     `json:"boundary,omitempty"` // post-batch ghost-node count
+	Sketch   *Sketch `json:"sketch,omitempty"`   // post-batch score sketch
 }
 
 // encodeEdits flattens an edit batch onto the wire.
@@ -313,6 +375,108 @@ func decodeQuery(w wireQuery) (core.Query, error) {
 	q.Candidates = w.Candidates
 	q.Budget = w.Budget
 	return q, nil
+}
+
+// grantChunk is how much budget a worker requests per need frame. A
+// chunk amortizes the round trip (one request per 64 traversals at
+// worst, matching core's context-poll granularity) at the cost of
+// stranding at most one chunk per shard mid-run — and even that flows
+// back to the pool at finish, because the coordinator folds granted
+// budget into the shard's allotment before the end-of-query refund.
+const grantChunk = 64
+
+// grantClient is the worker-side half of the demand-driven budget grant
+// protocol: a core.BudgetSource whose TakeBudget blocks until the
+// coordinator answers the worker's cumulative need over the stream's ack
+// channel. Safe for concurrent use — parallel scan workers share one
+// source (core.BudgetSource's contract).
+type grantClient struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	// Cumulative monotone counters, reconciled against the coordinator's
+	// ledger (StreamControl.Grant) through acks.
+	requested int64 // budget asked for (need frames sent)
+	answered  int64 // need the coordinator has answered
+	granted   int64 // budget the coordinator has granted
+	taken     int64 // granted budget already consumed by the engine
+	closed    bool
+	// ask writes a need frame carrying the new cumulative need; false
+	// means the stream is dead and no answer will ever come.
+	ask func(cum int64) bool
+}
+
+func newGrantClient(ask func(int64) bool) *grantClient {
+	g := &grantClient{ask: ask}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// TakeBudget implements core.BudgetSource: serve from already-granted
+// budget when any remains; otherwise raise the cumulative need by one
+// chunk and block until the coordinator answers. An answer that brings
+// nothing means the pool was dry at that instant — deny, so the engine
+// truncates exactly as an in-process query would against an empty pool.
+func (g *grantClient) TakeBudget(want int) int {
+	if g == nil || want <= 0 {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	asked := false
+	for {
+		if avail := g.granted - g.taken; avail > 0 {
+			take := int64(want)
+			if take > avail {
+				take = avail
+			}
+			g.taken += take
+			return int(take)
+		}
+		if g.closed {
+			return 0
+		}
+		if g.answered >= g.requested {
+			if asked {
+				return 0 // our request was answered empty-handed: pool dry
+			}
+			g.requested += grantChunk
+			asked = true
+			if !g.ask(g.requested) {
+				g.closed = true
+				return 0
+			}
+		}
+		g.cond.Wait()
+	}
+}
+
+// update folds one ack's cumulative counters in; monotone max keeps
+// reordered or coalesced acks harmless. Nil-safe (grants disabled).
+func (g *grantClient) update(granted, answered int64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	if granted > g.granted {
+		g.granted = granted
+	}
+	if answered > g.answered {
+		g.answered = answered
+	}
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// close unblocks every waiter with a denial: the stream (or its context)
+// is gone and no further grant can arrive. Nil-safe.
+func (g *grantClient) close() {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.closed = true
+	g.cond.Broadcast()
+	g.mu.Unlock()
 }
 
 // Worker serves one Shard over HTTP — the worker half of the protocol,
@@ -528,26 +692,66 @@ func (w *Worker) handleQueryStream(rw http.ResponseWriter, r *http.Request) {
 	// opt-in fails the stream still works — λ acks are simply never seen,
 	// which costs pruning opportunities, not correctness.
 	rc := http.NewResponseController(rw)
-	_ = rc.EnableFullDuplex()
+	duplexErr := rc.EnableFullDuplex()
 	floor := &StreamControl{}
+	// Seed the engine-visible floor from the coordinator's launch-time λ
+	// (sketch-primed, possibly already raised by earlier batches). Absent
+	// or malformed header → 0, the legacy cold start.
+	if f, err := strconv.ParseFloat(r.Header.Get(floorHeader), 64); err == nil {
+		floor.Raise(f)
+	}
+
+	rw.Header().Set("Content-Type", "application/x-ndjson")
+	rw.WriteHeader(http.StatusOK)
+	// writeMu serializes the response stream: partial batches from the
+	// engine, need frames from grant waits (engine goroutines), and the
+	// final frame must interleave whole, and seq must match write order.
+	var writeMu sync.Mutex
+	var seq uint64
+	enc := json.NewEncoder(rw)
+	enc.SetEscapeHTML(false)
+
+	// Demand-driven budget grants: only when the coordinator advertises it
+	// answers need frames, the query is budgeted at all, and the ack
+	// channel actually works (full duplex on HTTP/1.1, or HTTP/2) — a need
+	// frame nobody can answer would park the engine forever.
+	var gc *grantClient
+	if r.Header.Get(grantsHeader) == "1" && q.Budget > 0 &&
+		(duplexErr == nil || r.ProtoMajor >= 2) {
+		gc = newGrantClient(func(cum int64) bool {
+			writeMu.Lock()
+			defer writeMu.Unlock()
+			seq++
+			if err := enc.Encode(wireStreamFrame{Seq: seq, Need: cum}); err != nil {
+				cancel()
+				return false
+			}
+			_ = rc.Flush()
+			return true
+		})
+		// A dead context (coordinator cut this shard, client vanished) must
+		// unblock grant waiters, or RunStream never returns.
+		stop := context.AfterFunc(ctx, gc.close)
+		defer stop()
+	}
+
 	ackDone := make(chan struct{})
 	go func() {
 		defer close(ackDone)
+		defer gc.close() // ack stream gone → no grant will ever arrive
 		for {
 			var ack wireStreamAck
 			if err := dec.Decode(&ack); err != nil {
 				return // ack stream closed (or the client went away)
 			}
 			floor.Raise(ack.Floor)
+			gc.update(ack.Granted, ack.Answered)
 		}
 	}()
 
-	rw.Header().Set("Content-Type", "application/x-ndjson")
-	rw.WriteHeader(http.StatusOK)
-	enc := json.NewEncoder(rw)
-	enc.SetEscapeHTML(false)
-	var seq uint64
 	emit := func(b StreamBatch) {
+		writeMu.Lock()
+		defer writeMu.Unlock()
 		seq++
 		if err := enc.Encode(wireStreamFrame{Seq: seq, Items: b.Items, Stats: b.Stats}); err != nil {
 			// The coordinator is gone; stop the engine query cooperatively
@@ -557,7 +761,12 @@ func (w *Worker) handleQueryStream(rw http.ResponseWriter, r *http.Request) {
 		}
 		_ = rc.Flush()
 	}
-	ans, err := w.Shard().RunStream(ctx, q, floor, nil, emit)
+	var extra core.BudgetSource
+	if gc != nil {
+		extra = gc
+	}
+	ans, err := w.Shard().RunStream(ctx, q, floor, extra, emit)
+	writeMu.Lock()
 	seq++
 	final := wireStreamFrame{Seq: seq, Final: true}
 	if err != nil {
@@ -577,6 +786,7 @@ func (w *Worker) handleQueryStream(rw http.ResponseWriter, r *http.Request) {
 	}
 	_ = enc.Encode(final)
 	_ = rc.Flush()
+	writeMu.Unlock()
 	// Hold the exchange open until the client closes its ack stream (it
 	// does so as soon as it decodes the final frame). Returning earlier —
 	// with the request body still open — makes Go's HTTP/1 teardown
@@ -647,7 +857,7 @@ func (w *Worker) handleScores(rw http.ResponseWriter, r *http.Request) {
 		writeWireError(rw, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(rw, http.StatusOK, wireScores{Applied: applied})
+	writeJSON(rw, http.StatusOK, wireScores{Applied: applied, Sketch: w.Shard().Sketch()})
 }
 
 // handleEdits applies a structural edit batch to the worker's full graph
@@ -689,6 +899,7 @@ func (w *Worker) handleEdits(rw http.ResponseWriter, r *http.Request) {
 			Nodes:    w.g.NumNodes(),
 			Owned:    w.shard.OwnedCount(),
 			Boundary: w.shard.BoundaryNodes(),
+			Sketch:   w.shard.Sketch(),
 		})
 		return
 	}
@@ -729,6 +940,7 @@ func (w *Worker) handleEdits(rw http.ResponseWriter, r *http.Request) {
 		Rebuilt:  rebuild,
 		Owned:    w.shard.OwnedCount(),
 		Boundary: w.shard.BoundaryNodes(),
+		Sketch:   w.shard.Sketch(),
 	})
 }
 
@@ -745,6 +957,7 @@ func (w *Worker) handleHealth(rw http.ResponseWriter, r *http.Request) {
 		OK: true, Shard: s.Index(), Shards: s.Parts(),
 		Nodes: s.GlobalNodes(), Owned: s.OwnedCount(), Boundary: s.BoundaryNodes(),
 		H: s.h, Generation: gen, Edges: edges, Snapshot: prov,
+		Sketch: s.Sketch(),
 	})
 }
 
@@ -793,6 +1006,12 @@ type HTTP struct {
 	editSeq      uint64
 	pendingSeq   uint64
 	pendingEdits string
+	// sketches[i] summarizes worker i's owned score distribution for
+	// λ-priming. Seeded from the dial-time health probe and refreshed by
+	// every score/edit fan-out response; a failed fan-out leg nils its
+	// entry, because a sketch of scores that were since lowered could
+	// overstate λ (nil only weakens priming, never correctness).
+	sketches []*Sketch
 }
 
 // NewHTTP dials the worker list. client may be nil for a default with a
@@ -806,6 +1025,7 @@ func NewHTTP(ctx context.Context, workers []string, client *http.Client) (*HTTP,
 		client = &http.Client{}
 	}
 	t := &HTTP{client: client, topology: Topology{Shards: len(workers)}}
+	t.sketches = make([]*Sketch, len(workers))
 	t.workers = make([]string, len(workers))
 	for i, w := range workers {
 		t.workers[i] = strings.TrimRight(w, "/")
@@ -836,6 +1056,7 @@ func NewHTTP(ctx context.Context, workers []string, client *http.Client) (*HTTP,
 		}
 		t.topology.BoundaryNodes += int64(h.Boundary)
 		t.topology.OwnedSizes = append(t.topology.OwnedSizes, h.Owned)
+		t.sketches[i] = h.Sketch
 	}
 	return t, nil
 }
@@ -899,9 +1120,12 @@ func (t *HTTP) Query(ctx context.Context, shard int, q core.Query) (core.Answer,
 // QueryStream executes q on worker shard via POST /v1/shard/query/stream:
 // partial batches flow to emit as the worker certifies results, and the
 // coordinator's λ (read from ctrl at each frame) flows back on the open
-// request body, one advisory ack per frame. The pool half of ctrl is
-// unused — a remote worker cannot draw budget mid-run, so the coordinator
-// hands pool shares out at launch time instead (see LiveBudget).
+// request body. Acks are coalesced latest-wins — every field is
+// cumulative, so replacing a queued ack loses nothing — and never
+// dropped, which the grant protocol requires: a dropped ack carrying a
+// grant would leave the worker blocked until the next frame by luck.
+// ctrl is also the grant ledger: need frames draw from its shared pool
+// via Grant, closing the budget-stranding gap LiveBudget documents.
 func (t *HTTP) QueryStream(ctx context.Context, shard int, q core.Query,
 	ctrl *StreamControl, emit func(StreamBatch)) (core.Answer, error) {
 
@@ -916,26 +1140,62 @@ func (t *HTTP) QueryStream(ctx context.Context, shard int, q core.Query,
 		return core.Answer{}, err
 	}
 	req.Header.Set("Content-Type", "application/x-ndjson")
+	// Launch-time floor and grant capability ride headers, not the query
+	// document: the worker decodes the query strictly, and old workers
+	// ignore unknown headers — absent headers mean legacy behavior.
+	if f := ctrl.Floor(); f > 0 {
+		req.Header.Set(floorHeader, strconv.FormatFloat(f, 'g', -1, 64))
+	}
+	if q.Budget > 0 {
+		req.Header.Set(grantsHeader, "1")
+	}
 	var baseUS int64
 	if q.Tracer != nil {
 		setTraceHeaders(req.Header, q.Tracer.ID())
 		baseUS = q.Tracer.SinceUS()
 	}
 
-	// The ack writer owns the request body: the query document first,
-	// then one λ ack per folded frame. Sends into acks are non-blocking
-	// (a slow writer drops acks rather than stalling frame consumption),
-	// and closing the channel — deferred below — shuts the body down.
-	acks := make(chan wireStreamAck, 1)
-	defer close(acks)
+	// The ack writer owns the request body: the query document first, then
+	// acks. sendAck parks the latest ack in a one-slot mailbox — replacing,
+	// never dropping, whatever is still waiting for the pipe — so a slow
+	// writer coalesces acks instead of stalling frame consumption, and the
+	// state that reaches the worker is always the freshest.
+	var ackMu sync.Mutex
+	var pending *wireStreamAck
+	notify := make(chan struct{}, 1)
+	writerDone := make(chan struct{})
+	defer close(writerDone)
+	sendAck := func(a wireStreamAck) {
+		ackMu.Lock()
+		pending = &a
+		ackMu.Unlock()
+		select {
+		case notify <- struct{}{}:
+		default:
+		}
+	}
 	go func() {
 		defer bodyW.Close()
 		if _, err := bodyW.Write(append(blob, '\n')); err != nil {
 			return
 		}
 		enc := json.NewEncoder(bodyW)
-		for ack := range acks {
-			if enc.Encode(ack) != nil {
+		for {
+			select {
+			case <-notify:
+				for {
+					ackMu.Lock()
+					a := pending
+					pending = nil
+					ackMu.Unlock()
+					if a == nil {
+						break
+					}
+					if enc.Encode(*a) != nil {
+						return
+					}
+				}
+			case <-writerDone:
 				return
 			}
 		}
@@ -973,6 +1233,7 @@ func (t *HTTP) QueryStream(ctx context.Context, shard int, q core.Query,
 
 	dec := json.NewDecoder(resp.Body)
 	var lastSeq uint64
+	var granted, answered int64
 	for {
 		// A cancelled caller must see its context error even when the
 		// remaining frames (final included) are already sitting in the
@@ -1011,19 +1272,42 @@ func (t *HTTP) QueryStream(ctx context.Context, shard int, q core.Query,
 			}
 			return ans, nil
 		}
-		emit(StreamBatch{Items: f.Items, Stats: f.Stats})
-		// Piggyback the tightened λ on the frame's ack; drop it if the
-		// writer is still busy with the previous one.
-		select {
-		case acks <- wireStreamAck{Ack: f.Seq, Floor: ctrl.Floor()}:
-		default:
+		if f.Need > 0 {
+			// Grant request: a control frame, not a batch — its zero stats
+			// must not fold into the merge. Serve the need delta from the
+			// shared pool and answer on the ack.
+			granted, answered = ctrl.Grant(shard, f.Need)
+		} else {
+			emit(StreamBatch{Items: f.Items, Stats: f.Stats})
 		}
+		// Ack every frame with the freshest λ and the cumulative grant
+		// counters; coalescing keeps this from ever blocking the loop.
+		sendAck(wireStreamAck{Ack: f.Seq, Floor: ctrl.Floor(), Granted: granted, Answered: answered})
 	}
 }
 
-// LiveBudget: remote workers cannot draw from the coordinator's budget
-// pool mid-run; redistribution happens as up-front launch shares.
-func (t *HTTP) LiveBudget() bool { return false }
+// LiveBudget: remote workers draw from the coordinator's budget pool
+// mid-run through the grant protocol on the ack stream, so budget
+// refunded by cut shards reaches still-running workers instead of
+// stranding — a budgeted sharded run now evaluates at least as many
+// candidates as a single-engine run with the same budget.
+func (t *HTTP) LiveBudget() bool { return true }
+
+// ScoreSketch returns the cached per-shard score sketch, refreshed on
+// every successful score/edit fan-out and invalidated (nil) when a
+// worker's fan-out leg fails — a stale sketch could overstate λ and
+// break admissibility, while a nil one only weakens priming.
+func (t *HTTP) ScoreSketch(shard int) *Sketch {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if shard < 0 || shard >= len(t.sketches) {
+		return nil
+	}
+	return t.sketches[shard]
+}
+
+// WireAcks: frames and acks are real messages on this transport.
+func (t *HTTP) WireAcks() bool { return true }
 
 // UpperBound fetches the shard's merge bound via GET /v1/shard/bound.
 func (t *HTTP) UpperBound(ctx context.Context, shard int, agg core.Aggregate) (float64, error) {
@@ -1035,29 +1319,80 @@ func (t *HTTP) UpperBound(ctx context.Context, shard int, agg core.Aggregate) (f
 	return wb.Bound, nil
 }
 
-// ApplyScores fans the update batch out to every worker (workers ignore
-// nodes outside their closure). The fan-out is not transactional: a
-// mid-batch worker failure leaves earlier workers updated — the caller
-// owns retry semantics, and queries remain exact per worker generation.
-func (t *HTTP) ApplyScores(ctx context.Context, updates []ScoreUpdate) error {
-	if ctx == nil {
-		ctx = context.Background()
-	}
+// applyParallel bounds the concurrent legs of a score/edit fan-out: wide
+// enough to hide per-worker latency on the topologies this system
+// targets, narrow enough not to stampede a shared network path.
+const applyParallel = 8
+
+// fanOut posts body to path on every worker with bounded concurrency,
+// decoding worker i's response into out(i). Every leg runs to completion
+// (success or failure) regardless of the others — idempotent-retry
+// semantics need to know each worker's actual state, and a retried batch
+// re-sends to everyone anyway. Returns the lowest-index error.
+func (t *HTTP) fanOut(ctx context.Context, path string, body any, out func(i int) any) error {
+	errs := make([]error, len(t.workers))
+	sem := make(chan struct{}, applyParallel)
+	var wg sync.WaitGroup
 	for i, base := range t.workers {
-		var resp wireScores
-		if err := t.post(ctx, base+"/v1/shard/scores", wireScores{Updates: updates}, &resp); err != nil {
-			return fmt.Errorf("cluster: worker %d (%s): %w", i, base, err)
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, base string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := t.post(ctx, base+path, body, out(i)); err != nil {
+				errs[i] = fmt.Errorf("cluster: worker %d (%s): %w", i, base, err)
+			}
+		}(i, base)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
-// ApplyEdits fans the structural edit batch out to every worker. Each
-// worker applies it to its own full-graph replica and rebuilds its shard
-// only when its closure is affected; the responses refresh this
-// transport's cached node count and topology. The fan-out is not
-// transactional — a mid-batch worker failure leaves earlier workers at
-// the new topology — but retrying with the identical batch converges:
+// setSketches installs the fan-out's piggybacked sketches wholesale:
+// worker i's fresh sketch on success, nil on a failed leg (the zero
+// response) or a legacy worker (no sketch field). After a failed leg the
+// worker's scores are unknown, and a stale sketch could overstate λ —
+// nil only weakens priming, never correctness.
+func (t *HTTP) setSketches(fresh []*Sketch) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	copy(t.sketches, fresh)
+}
+
+// ApplyScores fans the update batch out to every worker (workers ignore
+// nodes outside their closure), applyParallel legs at a time. The
+// fan-out is not transactional: a mid-batch worker failure leaves other
+// workers updated — the caller owns retry semantics, and queries remain
+// exact per worker generation. Responses piggyback each worker's
+// refreshed score sketch for λ-priming; a failed leg invalidates its
+// cached sketch instead.
+func (t *HTTP) ApplyScores(ctx context.Context, updates []ScoreUpdate) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	responses := make([]wireScores, len(t.workers))
+	err := t.fanOut(ctx, "/v1/shard/scores", wireScores{Updates: updates},
+		func(i int) any { return &responses[i] })
+	fresh := make([]*Sketch, len(responses))
+	for i := range responses {
+		fresh[i] = responses[i].Sketch
+	}
+	t.setSketches(fresh)
+	return err
+}
+
+// ApplyEdits fans the structural edit batch out to every worker,
+// applyParallel legs at a time. Each worker applies it to its own
+// full-graph replica and rebuilds its shard only when its closure is
+// affected; the responses refresh this transport's cached node count,
+// topology, and score sketches. The fan-out is not transactional — a
+// mid-batch worker failure leaves other workers at the new topology —
+// but retrying with the identical batch converges:
 // the batch keeps its sequence number across retries, and workers that
 // already applied it answer idempotently (essential for add-node
 // batches, whose raw replay would mint duplicate nodes).
@@ -1082,10 +1417,14 @@ func (t *HTTP) ApplyEdits(ctx context.Context, edits []graph.Edit) error {
 
 	body := wireEdits{Edits: encodeEdits(edits), Seq: seq}
 	responses := make([]wireEdits, len(t.workers))
-	for i, base := range t.workers {
-		if err := t.post(ctx, base+"/v1/shard/edits", body, &responses[i]); err != nil {
-			return fmt.Errorf("cluster: worker %d (%s): %w", i, base, err)
-		}
+	err := t.fanOut(ctx, "/v1/shard/edits", body, func(i int) any { return &responses[i] })
+	fresh := make([]*Sketch, len(responses))
+	for i := range responses {
+		fresh[i] = responses[i].Sketch
+	}
+	t.setSketches(fresh)
+	if err != nil {
+		return err
 	}
 	// Workers ran the same deterministic batch from the same replica
 	// state; disagreement on the resulting node count means a

@@ -1,0 +1,260 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// TestSketchBasics pins the sketch's two tiers: small shards keep exact
+// values in the digest (so PrimeFloor is exact), larger ones demote the
+// tail into log buckets whose floors under-state every member.
+func TestSketchBasics(t *testing.T) {
+	exact := BuildSketch([]float64{0.9, 0.5, 0.7})
+	if len(exact.Top) != 3 || exact.Top[0] != 0.9 || exact.Top[1] != 0.7 || exact.Top[2] != 0.5 {
+		t.Fatalf("digest %v, want [0.9 0.7 0.5]", exact.Top)
+	}
+	if exact.Scored != 3 {
+		t.Fatalf("Scored = %d, want 3", exact.Scored)
+	}
+	if got := PrimeFloor([]*Sketch{exact}, 2); got != 0.7 {
+		t.Fatalf("PrimeFloor k=2 over an exact digest = %v, want 0.7", got)
+	}
+
+	// 40 values: 16 stay exact, 24 fall into buckets. The k-th largest is
+	// known in closed form, and the floor must never exceed it.
+	scores := make([]float64, 40)
+	for i := range scores {
+		scores[i] = float64(i+1) / 40
+	}
+	sk := BuildSketch(scores)
+	if len(sk.Top) != sketchDigestSize {
+		t.Fatalf("digest size %d, want %d", len(sk.Top), sketchDigestSize)
+	}
+	var bucketed int64
+	for _, c := range sk.Counts {
+		bucketed += c
+	}
+	if bucketed != 24 || sk.Scored != 40 {
+		t.Fatalf("bucketed %d / scored %d, want 24 / 40", bucketed, sk.Scored)
+	}
+	for k := 1; k <= 40; k++ {
+		kth := float64(40-k+1) / 40
+		if got := PrimeFloor([]*Sketch{sk}, k); got > kth {
+			t.Fatalf("PrimeFloor k=%d = %v exceeds the true k-th value %v", k, got, kth)
+		}
+	}
+	// Beyond the population the floor must collapse to 0, not invent
+	// evidence.
+	if got := PrimeFloor([]*Sketch{sk}, 41); got != 0 {
+		t.Fatalf("PrimeFloor past the population = %v, want 0", got)
+	}
+
+	// Zero and negative scores contribute nothing.
+	if sk := BuildSketch([]float64{0, -1, 0.25}); sk.Scored != 1 {
+		t.Fatalf("non-positive scores counted: %+v", sk)
+	}
+}
+
+// TestPrimeFloorNilSketchesWeakenOnly proves the merge degrades
+// gracefully: dropping a shard's sketch can lower the floor (less
+// evidence) but never raise it — the subset lower bound stays admissible.
+func TestPrimeFloorNilSketchesWeakenOnly(t *testing.T) {
+	a := BuildSketch([]float64{0.9, 0.8, 0.7})
+	b := BuildSketch([]float64{0.95, 0.6})
+	full := PrimeFloor([]*Sketch{a, b}, 3)
+	if full != 0.8 {
+		t.Fatalf("merged floor = %v, want 0.8", full)
+	}
+	partial := PrimeFloor([]*Sketch{a, nil}, 3)
+	if partial > full {
+		t.Fatalf("nil sketch raised the floor: %v > %v", partial, full)
+	}
+	if got := PrimeFloor([]*Sketch{nil, nil}, 3); got != 0 {
+		t.Fatalf("all-nil sketches primed %v, want 0", got)
+	}
+}
+
+// TestPrimeFloorAdmissible is the admissibility property test: across
+// graph shapes, primable aggregates, and shard counts, the sketch-primed
+// launch floor never exceeds the true k-th aggregate value, and the
+// primed coordinator's answer stays byte-identical to both the unprimed
+// coordinator and the single engine.
+func TestPrimeFloorAdmissible(t *testing.T) {
+	shapes := map[string]*graph.Graph{
+		"hub-heavy":   gen.BarabasiAlbert(400, 3, 19),
+		"uniform":     gen.ErdosRenyi(400, 1200, 7),
+		"communities": gen.PlantedPartition(400, 4, 0.06, 0.004, 23),
+	}
+	aggregates := []core.Aggregate{core.Sum, core.WeightedSum, core.Count, core.Max}
+	for name, g := range shapes {
+		scores := testScores(g.NumNodes(), 31)
+		engine, err := core.NewEngine(g, scores, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, parts := range []int{1, 2, 4, 8} {
+			local, err := NewLocal(g, scores, 2, parts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			view := local.Snapshot()
+			primedCoord := NewCoordinator(local, Options{Parallel: 2})
+			coldCoord := NewCoordinator(local, Options{Parallel: 2, DisablePriming: true})
+			for _, agg := range aggregates {
+				for _, k := range []int{1, 5, 25} {
+					label := name + "/" + agg.String()
+					q := core.Query{K: k, Aggregate: agg, Algorithm: core.AlgoBase}
+					want, err := engine.Run(context.Background(), q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sketches := make([]*Sketch, parts)
+					for i := range sketches {
+						sketches[i] = view.ScoreSketch(i)
+					}
+					primed := PrimeFloor(sketches, k)
+					if len(want.Results) >= k {
+						kth := want.Results[k-1].Value
+						if primed > kth {
+							t.Fatalf("%s P=%d k=%d: primed floor %v exceeds true k-th value %v — inadmissible",
+								label, parts, k, primed, kth)
+						}
+					}
+					got, bd, err := primedCoord.RunDetailed(context.Background(), q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if bd.LambdaPrimed != primed {
+						t.Fatalf("%s P=%d k=%d: breakdown primed λ %v, sketch merge says %v",
+							label, parts, k, bd.LambdaPrimed, primed)
+					}
+					cold, err := coldCoord.Run(context.Background(), q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					assertSameResults(t, label+"/primed-vs-engine", got.Results, want.Results)
+					assertSameResults(t, label+"/primed-vs-cold", got.Results, cold.Results)
+				}
+			}
+		}
+	}
+}
+
+// TestPrimingSkippedWhenInadmissible: Avg aggregates (membership shrinks
+// the denominator, so F(u) ≥ f(u) fails) and candidate-restricted queries
+// (the k-th over a subset can sit below the global k-th raw score) must
+// launch cold.
+func TestPrimingSkippedWhenInadmissible(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 3, 11)
+	scores := testScores(300, 13)
+	local, err := NewLocal(g, scores, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := NewCoordinator(local, Options{Parallel: 2})
+
+	_, bd, err := coord.RunDetailed(context.Background(),
+		core.Query{K: 5, Aggregate: core.Avg, Algorithm: core.AlgoBase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.LambdaPrimed != 0 {
+		t.Fatalf("Avg query primed λ=%v, must launch cold", bd.LambdaPrimed)
+	}
+
+	_, bd, err = coord.RunDetailed(context.Background(),
+		core.Query{K: 2, Aggregate: core.Sum, Algorithm: core.AlgoBase, Candidates: []int{5, 6, 7, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.LambdaPrimed != 0 {
+		t.Fatalf("candidate-restricted query primed λ=%v, must launch cold", bd.LambdaPrimed)
+	}
+}
+
+// TestPrimedColdShardsCutPreLaunch is the cold-launch fix end to end:
+// with every top-k candidate in one community and the other shards cold,
+// the primed coordinator must cut the cold shards before launching them —
+// zero batches, zero launches — while still answering byte-identically.
+func TestPrimedColdShardsCutPreLaunch(t *testing.T) {
+	g := gen.PlantedPartition(800, 4, 0.05, 0, 9)
+	scores := make([]float64, 800)
+	for v := 0; v < 800; v += 4 { // community 0 = ids ≡ 0 (mod 4)
+		scores[v] = 0.25 + 0.75*float64(v%13)/13
+	}
+	engine, err := core.NewEngine(g, scores, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := NewLocal(g, scores, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local.PrepareIndexes(0)
+
+	coord := NewCoordinator(local, Options{Parallel: 4})
+	q := core.Query{K: 10, Aggregate: core.Sum, Algorithm: core.AlgoBase}
+	want, err := engine.Run(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, bd, err := coord.RunDetailed(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, "cold-shards", got.Results, want.Results)
+	if bd.LambdaPrimed <= 0 {
+		t.Fatalf("no primed λ on an all-mass-in-one-shard topology: %+v", bd)
+	}
+	cut := 0
+	for _, r := range bd.PerShard {
+		if r.Launched {
+			continue
+		}
+		cut++
+		if !r.Cut {
+			t.Fatalf("shard %d neither launched nor cut: %+v", r.Shard, r)
+		}
+		if r.Batches != 0 || r.Items != 0 {
+			t.Fatalf("pre-launch-cut shard %d streamed traffic: %+v", r.Shard, r)
+		}
+	}
+	if cut == 0 {
+		t.Fatalf("primed coordinator launched every shard: %+v", bd.PerShard)
+	}
+}
+
+// TestShardSketchFreshAfterUpdates: WithUpdates derives a new shard whose
+// lazily rebuilt sketch reflects the new scores — the staleness rule that
+// keeps priming admissible across score updates.
+func TestShardSketchFreshAfterUpdates(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 3, 5)
+	scores := testScores(200, 3)
+	local, err := NewLocal(g, scores, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := PrimeFloor([]*Sketch{local.Snapshot().ScoreSketch(0), local.Snapshot().ScoreSketch(1)}, 1)
+
+	// Crush every score to near zero: a stale sketch would keep priming at
+	// the old top value, overstating λ for every later query.
+	updates := make([]ScoreUpdate, 200)
+	for v := range updates {
+		updates[v] = ScoreUpdate{Node: v, Score: 0.001}
+	}
+	if err := local.ApplyScores(context.Background(), updates); err != nil {
+		t.Fatal(err)
+	}
+	view := local.Snapshot()
+	after := PrimeFloor([]*Sketch{view.ScoreSketch(0), view.ScoreSketch(1)}, 1)
+	if after >= before {
+		t.Fatalf("sketch floor %v did not drop after crushing scores (was %v) — stale sketch", after, before)
+	}
+	if after > 0.001 {
+		t.Fatalf("post-update floor %v overstates the uniform 0.001 scores", after)
+	}
+}

@@ -44,6 +44,7 @@ type Shard struct {
 
 	mu     sync.Mutex
 	bounds map[core.Aggregate]float64 // memoized merge bounds
+	sketch *Sketch                    // memoized owned-score sketch
 }
 
 // BuildShard builds the execution unit for one part of a partitioning:
@@ -275,6 +276,33 @@ func (s *Shard) UpperBound(agg core.Aggregate) (float64, error) {
 	s.bounds[agg] = b
 	s.mu.Unlock()
 	return b, nil
+}
+
+// Sketch summarizes the raw scores of the shard's owned nodes for the
+// coordinator's λ-priming (see sketch.go). Memoized like the merge
+// bounds: the underlying scores are immutable, and WithUpdates derives a
+// fresh shard whose sketch is recomputed lazily — so a sketch can never
+// go stale against the scores it summarizes, which its admissibility
+// depends on.
+func (s *Shard) Sketch() *Sketch {
+	s.mu.Lock()
+	if s.sketch != nil {
+		sk := s.sketch
+		s.mu.Unlock()
+		return sk
+	}
+	s.mu.Unlock()
+
+	scores := s.engine.Scores()
+	owned := make([]float64, len(s.ownedLocal))
+	for i, li := range s.ownedLocal {
+		owned[i] = scores[li]
+	}
+	sk := BuildSketch(owned)
+	s.mu.Lock()
+	s.sketch = sk
+	s.mu.Unlock()
+	return sk
 }
 
 // WithUpdates derives the shard for a new score generation: updates whose

@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// This file implements the coordinator-side score sketches that prime the
+// merge threshold λ before any shard launches. Pre-priming, every fan-out
+// started with λ = −∞ and the Threshold Algorithm's stopping rule could
+// only cut a shard after k results had streamed back from somewhere —
+// cold shards were always launched, paying a round of messages for work
+// the final answer provably never needed. A sketch is a few hundred bytes
+// summarizing the raw relevance scores a shard owns; merging the sketches
+// yields a certified lower bound on the global k-th *raw score*, which —
+// for the self-inclusive aggregates (u ∈ S_h(u), scores in [0,1]) — is
+// also a lower bound on the global k-th *aggregate* value, i.e. an
+// admissible initial λ. Cold shards whose merge bound falls below it are
+// cut with zero stream messages, and every launched shard starts pruning
+// against a warm floor. The construction follows the sketch-at-the-
+// coordinator idea of communication-efficient distributed top-k
+// monitoring [Biermeier et al.]: the coordinator keeps a tiny summary per
+// site and pays messages only when the data actually moves.
+
+const (
+	// sketchDigestSize is how many exact top scores a sketch retains.
+	// 16 covers the common k ≤ 16 exactly; larger k falls back to the
+	// histogram's bucket floors, which are coarser but still admissible.
+	sketchDigestSize = 16
+	// sketchBuckets is the number of log₂ histogram buckets. Bucket b
+	// covers scores in (2^-(b+1), 2^-b]; the last bucket widens to
+	// (0, 2^-(sketchBuckets-1)] so every positive score lands somewhere.
+	sketchBuckets = 32
+)
+
+// Sketch summarizes the raw relevance scores of one shard's owned nodes:
+// the top sketchDigestSize values exactly (descending), a log-bucketed
+// histogram of the rest, and the count of positive scores. It is
+// immutable once built and JSON-encodable, so it piggybacks on the HTTP
+// transport's health, score-update, and edit responses with no extra
+// round trips.
+type Sketch struct {
+	// Top holds the largest owned scores exactly, descending.
+	Top []float64 `json:"top,omitempty"`
+	// Counts[b] is the number of positive owned scores outside Top that
+	// fall in log bucket b. Digest members are excluded so a merge can
+	// combine exact values and bucket floors without double counting.
+	Counts []int64 `json:"counts,omitempty"`
+	// Scored is the total number of positive owned scores (digest
+	// members included).
+	Scored int64 `json:"scored"`
+}
+
+// sketchBucket maps a positive score to its log₂ bucket index.
+func sketchBucket(v float64) int {
+	b := int(-math.Floor(math.Log2(v)))
+	// Scores in (0.5, 1] have -floor(log2 v) == 0; clamp fp edge cases
+	// (v slightly above 1 is rejected by the engine, but stay defensive)
+	// and the long tail into the catch-all last bucket.
+	if b < 0 {
+		b = 0
+	}
+	if b >= sketchBuckets {
+		b = sketchBuckets - 1
+	}
+	return b
+}
+
+// sketchBucketFloor is the certified lower edge of bucket b: every score
+// in the bucket is strictly greater. The catch-all last bucket's floor is
+// 0, so it can never raise λ — exactly right for scores too small to
+// certify anything.
+func sketchBucketFloor(b int) float64 {
+	if b >= sketchBuckets-1 {
+		return 0
+	}
+	return math.Exp2(float64(-(b + 1)))
+}
+
+// BuildSketch summarizes a raw score slice (a shard's owned scores).
+// Zero scores are not represented: a zero can never lower-bound a
+// positive k-th value, and Count-aggregate semantics ignore them too.
+func BuildSketch(scores []float64) *Sketch {
+	s := &Sketch{}
+	for _, v := range scores {
+		if v <= 0 || math.IsNaN(v) {
+			continue
+		}
+		s.Scored++
+		if len(s.Top) < sketchDigestSize || v > s.Top[len(s.Top)-1] {
+			i := sort.Search(len(s.Top), func(i int) bool { return s.Top[i] < v })
+			s.Top = append(s.Top, 0)
+			copy(s.Top[i+1:], s.Top[i:])
+			s.Top[i] = v
+			if len(s.Top) <= sketchDigestSize {
+				continue
+			}
+			// Digest overflow: demote the evicted smallest to the histogram.
+			v = s.Top[sketchDigestSize]
+			s.Top = s.Top[:sketchDigestSize]
+		}
+		if s.Counts == nil {
+			s.Counts = make([]int64, sketchBuckets)
+		}
+		s.Counts[sketchBucket(v)]++
+	}
+	return s
+}
+
+// PrimeFloor merges per-shard sketches into a certified lower bound on
+// the k-th largest raw score across every summarized shard — the primed
+// λ. Nil entries (shards with no sketch: a legacy worker, a failed
+// refresh) contribute nothing, which only lowers the result; a lower
+// bound over a subset of the population is still a lower bound, so the
+// answer stays admissible. Returns 0 when fewer than k positive scores
+// are summarized (no positive bound can be certified).
+//
+// The merge walks exact digest values and histogram bucket floors as one
+// descending sequence of (value, count) evidence: "at least count nodes
+// have raw score ≥ value". Accumulating counts until they reach k makes
+// the value at that point a certified lower bound on the k-th largest.
+func PrimeFloor(sketches []*Sketch, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	type evidence struct {
+		value float64
+		count int64
+	}
+	var ev []evidence
+	for _, s := range sketches {
+		if s == nil {
+			continue
+		}
+		for _, v := range s.Top {
+			ev = append(ev, evidence{value: v, count: 1})
+		}
+		for b, n := range s.Counts {
+			if n > 0 {
+				ev = append(ev, evidence{value: sketchBucketFloor(b), count: n})
+			}
+		}
+	}
+	sort.Slice(ev, func(i, j int) bool { return ev[i].value > ev[j].value })
+	var cum int64
+	for _, e := range ev {
+		cum += e.count
+		if cum >= int64(k) {
+			return e.value
+		}
+	}
+	return 0
+}
+
+// primableAggregate reports whether a sketch-primed λ is admissible for
+// agg. The argument: scores lie in [0,1] and u ∈ S_h(u), so F(u) ≥ f(u)
+// pointwise — Sum and WeightedSum include the term f(u)·w(u,u) with
+// w(u,u) = 1, Count is ≥ 1 ≥ f(u) whenever f(u) > 0, and Max is ≥ f(u)
+// by definition. The k-th largest aggregate therefore dominates the k-th
+// largest raw score, and any certified lower bound on the latter is an
+// admissible λ. Avg fails the pointwise argument (dividing by the
+// neighborhood size can push F(u) below f(u)), so it is never primed.
+// Unknown future aggregates default to not primable.
+func primableAggregate(agg core.Aggregate) bool {
+	switch agg {
+	case core.Sum, core.WeightedSum, core.Count, core.Max:
+		return true
+	}
+	return false
+}

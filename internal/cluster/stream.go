@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"math"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -38,6 +39,23 @@ type StreamControl struct {
 	floorBits atomic.Uint64
 	pool      atomic.Int64 // unclaimed redistributed traversals
 	granted   atomic.Int64 // traversals handed back out so far
+
+	// Demand-driven grant ledger for remote workers (see Grant). gmu
+	// guards the per-shard cumulative counters; in-process shards bypass
+	// the ledger entirely by calling TakeBudget directly.
+	gmu     sync.Mutex
+	gshards map[int]*grantLedger
+	greqs   int64 // grant requests answered (stats)
+}
+
+// grantLedger is one shard's cumulative grant state. Cumulative counters
+// — total budget ever requested, total ever granted — make the protocol
+// robust to ack coalescing and retransmission: the latest ack always
+// carries the whole truth, so dropped or merged intermediates lose
+// nothing.
+type grantLedger struct {
+	need    int64 // cumulative budget the worker has requested
+	granted int64 // cumulative budget granted to the worker
 }
 
 // Floor returns the current λ — a certified lower bound on the final
@@ -116,4 +134,53 @@ func (c *StreamControl) TakeShare(parts int) int {
 // pool over the fan-out's lifetime.
 func (c *StreamControl) Redistributed() int {
 	return int(c.granted.Load())
+}
+
+// Grant answers a remote worker's demand-driven budget request: cumNeed
+// is the cumulative budget the shard has asked for over the stream's
+// lifetime. Any newly requested amount (beyond what was already
+// answered) is served from the pool — possibly partially, possibly with
+// zero when the pool is dry, which is the same instantaneous semantics
+// an in-process TakeBudget sees. Returns the shard's cumulative granted
+// and answered totals, the two monotone counters the worker reconciles
+// against. Replays (cumNeed ≤ already answered) return current state
+// without touching the pool.
+func (c *StreamControl) Grant(shard int, cumNeed int64) (granted, answered int64) {
+	c.gmu.Lock()
+	defer c.gmu.Unlock()
+	if c.gshards == nil {
+		c.gshards = make(map[int]*grantLedger)
+	}
+	g := c.gshards[shard]
+	if g == nil {
+		g = &grantLedger{}
+		c.gshards[shard] = g
+	}
+	if cumNeed > g.need {
+		delta := cumNeed - g.need
+		g.need = cumNeed
+		g.granted += int64(c.TakeBudget(int(delta)))
+		c.greqs++
+	}
+	return g.granted, g.need
+}
+
+// GrantedTo reports the cumulative budget granted to a shard through the
+// demand-driven protocol (0 for shards that never asked — including all
+// in-process shards, which draw via TakeBudget instead).
+func (c *StreamControl) GrantedTo(shard int) int64 {
+	c.gmu.Lock()
+	defer c.gmu.Unlock()
+	if g := c.gshards[shard]; g != nil {
+		return g.granted
+	}
+	return 0
+}
+
+// GrantRequests reports how many distinct grant requests the fan-out
+// answered.
+func (c *StreamControl) GrantRequests() int64 {
+	c.gmu.Lock()
+	defer c.gmu.Unlock()
+	return c.greqs
 }

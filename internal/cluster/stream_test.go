@@ -160,7 +160,10 @@ func TestCutShardPartialStatsReported(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	coord := NewCoordinator(local, Options{Parallel: 2})
+	// Priming off: with sketch-primed λ the synthetic shard (bound 0.001)
+	// is cut before launch, and this regression is about a shard cut
+	// *mid-query* — it must launch and stream its batch first.
+	coord := NewCoordinator(local, Options{Parallel: 2, DisablePriming: true})
 	view := &gatedView{QueryView: local.Snapshot(), batchFolded: make(chan struct{})}
 
 	q := core.Query{K: 5, Aggregate: core.Sum, Algorithm: core.AlgoBase}

@@ -63,10 +63,21 @@ type QueryView interface {
 	// UpperBound returns the shard's certified merge bound for agg.
 	UpperBound(ctx context.Context, shard int, agg core.Aggregate) (float64, error)
 	// LiveBudget reports whether QueryStream queries can draw from ctrl's
-	// budget redistribution pool mid-run (in-process transports). When
-	// false, the coordinator hands each launching shard its pool share up
-	// front instead.
+	// budget redistribution pool mid-run — directly in-process, or through
+	// the demand-driven grant protocol over the stream's ack channel
+	// (HTTP). When false, the coordinator falls back to handing each
+	// launching shard its pool share up front.
 	LiveBudget() bool
+	// ScoreSketch returns the shard's owned-score sketch for λ-priming,
+	// or nil when none is available (a legacy worker, a failed refresh
+	// after an update fan-out). A nil sketch only weakens the primed λ —
+	// a lower bound over a subset of shards is still a lower bound — so
+	// missing sketches cost pruning, never correctness.
+	ScoreSketch(shard int) *Sketch
+	// WireAcks reports whether λ acks and budget grants travel as real
+	// messages on a stream (HTTP) rather than through shared memory —
+	// the signal Breakdown.Messages uses to price them.
+	WireAcks() bool
 }
 
 // ScoreUpdate is one relevance mutation, in global node ids.
@@ -188,6 +199,15 @@ func (ss *shardSet) QueryStream(ctx context.Context, shard int, q core.Query,
 // LiveBudget: in-process shard queries draw from the redistribution pool
 // on demand.
 func (ss *shardSet) LiveBudget() bool { return true }
+
+// ScoreSketch reads the shard's memoized owned-score sketch. The shard
+// set is an immutable generation, so the sketch is exact for the scores
+// any query on this view observes.
+func (ss *shardSet) ScoreSketch(shard int) *Sketch { return ss.shards[shard].Sketch() }
+
+// WireAcks: in-process λ and grants move through shared atomics, not
+// messages.
+func (ss *shardSet) WireAcks() bool { return false }
 
 // UpperBound returns the shard's memoized merge bound.
 func (ss *shardSet) UpperBound(_ context.Context, shard int, agg core.Aggregate) (float64, error) {

@@ -36,6 +36,9 @@ type PartialResult struct {
 // global k-th value of a distributed merge. Implementations must be
 // monotone (successive calls never return a smaller value) and safe for
 // concurrent use; the algorithms poll it at their context-poll cadence.
+// The floor may already be non-zero before execution starts: a
+// coordinator can prime λ from per-shard score summaries and hand the
+// engine a warm floor with its very first poll.
 //
 // Admissibility contract: every value the provider returns must be a
 // certified lower bound of the *final* global k-th result value. The
@@ -54,6 +57,13 @@ type FloorProvider interface {
 // distributed coordinator uses this to hand the budget slices of shards
 // it cut early to the shards still running, so a budgeted query performs
 // the work it was asked for instead of stranding slices.
+//
+// TakeBudget may block: a cross-process source round-trips to its
+// coordinator for a grant and waits for the answer. Implementations must
+// still return promptly once their query's context is cancelled (a
+// denial, returning 0, is the correct unblocked answer) — the engine
+// calls TakeBudget from its traversal loop and cannot poll the context
+// while parked inside it.
 type BudgetSource interface {
 	TakeBudget(want int) int
 }

@@ -113,6 +113,10 @@ func (s *Server) renderMetrics() string {
 			"Traversals moved from cut shards to still-running ones.", m.budgetRedistributed.Load())
 		writeCounter(&b, "lona_lambda_raises_total", "Folded batches that tightened the merge threshold.",
 			m.lambdaRaises.Load())
+		writeCounter(&b, "lona_lambda_primed_total",
+			"Queries whose launch lambda was seeded from score sketches.", m.lambdaPrimed.Load())
+		writeCounter(&b, "lona_grant_requests_total",
+			"Mid-run budget grant round trips served over the ack stream.", m.grantRequests.Load())
 	}
 
 	// Per-algorithm query latency: one histogram family, algorithm label.

@@ -111,6 +111,12 @@ type Options struct {
 	// cuts land only between shards instead of inside them. Streaming is
 	// on by default for both -shards and -shard-peers serving.
 	DisableStreaming bool
+	// DisablePriming turns off sketch-based λ-priming on the sharded
+	// query path (lonad -prime=false): every query then launches with a
+	// cold λ, the pre-PR-9 behavior. Answers are byte-identical either
+	// way; the switch exists for apples-to-apples benchmarking and as an
+	// escape hatch.
+	DisablePriming bool
 	// SlowQuery, when positive, traces every execution and escalates the
 	// wide event of any query (or edit batch) at or over this duration to
 	// WARN (lonad -slow-query-ms). Zero disables both the escalation and
@@ -181,10 +187,13 @@ type Server struct {
 	log *slog.Logger
 }
 
-// clusterOptions maps the server's streaming switch onto the
-// coordinator's.
+// clusterOptions maps the server's streaming and priming switches onto
+// the coordinator's.
 func (o Options) clusterOptions() cluster.Options {
-	return cluster.Options{DisableStreaming: o.DisableStreaming}
+	return cluster.Options{
+		DisableStreaming: o.DisableStreaming,
+		DisablePriming:   o.DisablePriming,
+	}
 }
 
 // clusterState is one shard topology's serving state: the coordinator
@@ -755,9 +764,11 @@ func (s *Server) emitQueryEvent(ctx context.Context, req QueryRequest, ans *Answ
 			ev.Shards = bd.Shards
 			ev.ShardsCut = bd.ShardsCut
 			ev.LambdaRaises = bd.LambdaRaises
+			ev.LambdaPrimed = bd.LambdaPrimed
 			ev.PartialBatches = bd.PartialBatches
 			ev.Messages = bd.Messages
 			ev.BudgetRedist = bd.BudgetRedistributed
+			ev.GrantRequests = bd.GrantRequests
 		}
 	}
 	if ev.TraceID == "" {
@@ -923,6 +934,10 @@ func (s *Server) dispatch(ctx context.Context, snap snapshot, ans *Answer, q cor
 	s.metrics.budgetRedistributed.Add(int64(bd.BudgetRedistributed))
 	s.metrics.lambdaRaises.Add(int64(bd.LambdaRaises))
 	s.metrics.lambdaPerQuery.observeValue(int64(bd.LambdaRaises))
+	if bd.LambdaPrimed > 0 {
+		s.metrics.lambdaPrimed.Add(1)
+	}
+	s.metrics.grantRequests.Add(bd.GrantRequests)
 	for _, r := range bd.PerShard {
 		if !r.Launched {
 			continue
@@ -1301,6 +1316,8 @@ func (s *Server) Stats() Stats {
 			PartialBatches:      s.metrics.partialBatches.Load(),
 			BudgetRedistributed: s.metrics.budgetRedistributed.Load(),
 			LambdaRaises:        s.metrics.lambdaRaises.Load(),
+			LambdaPrimed:        s.metrics.lambdaPrimed.Load(),
+			GrantRequests:       s.metrics.grantRequests.Load(),
 		}
 		for i, h := range cl.hists {
 			sl := ShardLatency{Shard: i, Latency: h.summary()}

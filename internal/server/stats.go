@@ -118,6 +118,11 @@ type metrics struct {
 	partialBatches      atomic.Int64
 	budgetRedistributed atomic.Int64
 	lambdaRaises        atomic.Int64
+	// Priming and grant counters: queries whose launch λ was seeded from
+	// score sketches (cold launches eliminated), and mid-run budget grant
+	// round trips served over the ack stream.
+	lambdaPrimed  atomic.Int64
+	grantRequests atomic.Int64
 
 	// editRebuilds counts /v1/edges batches that took the from-scratch
 	// rebuild path instead of incremental repair.
@@ -267,10 +272,15 @@ type ClusterStats struct {
 	// BudgetRedistributed counts traversals moved from cut shards'
 	// stranded budget slices to shards that could still use them;
 	// LambdaRaises counts folded batches that actually tightened λ.
-	PartialBatches      int64          `json:"partial_batches"`
-	BudgetRedistributed int64          `json:"budget_redistributed"`
-	LambdaRaises        int64          `json:"lambda_raises"`
-	PerShard            []ShardLatency `json:"per_shard"`
+	PartialBatches      int64 `json:"partial_batches"`
+	BudgetRedistributed int64 `json:"budget_redistributed"`
+	LambdaRaises        int64 `json:"lambda_raises"`
+	// LambdaPrimed counts queries whose launch λ was seeded from per-shard
+	// score sketches (a zero-message warm start); GrantRequests counts
+	// mid-run budget grant round trips served over the ack stream.
+	LambdaPrimed  int64          `json:"lambda_primed"`
+	GrantRequests int64          `json:"grant_requests"`
+	PerShard      []ShardLatency `json:"per_shard"`
 }
 
 // Stats is the full /v1/stats response. Every counter and histogram is

@@ -28,17 +28,18 @@ import (
 // transport ships worker events in the stream's final summary frame)
 // without a registry on either side.
 const (
-	KindPlan       = "plan"       // planner decision (note = algorithm: reason)
-	KindCacheHit   = "cache-hit"  // answered from the server cache
-	KindCacheMiss  = "cache-miss" // executed for real
-	KindProbe      = "probe"      // shard bound probe (value = Bound(q))
-	KindLaunch     = "launch"     // span: one launched shard query (n = budget, value = probed bound)
-	KindExec       = "exec"       // span: one engine execution (n = evaluated)
-	KindEmit       = "emit"       // engine flushed a partial batch (n = items)
-	KindBatch      = "batch"      // coordinator folded a partial batch (n = items, value = λ after)
-	KindLambda     = "lambda"     // coordinator raised λ (value = new λ)
-	KindFloor      = "floor"      // engine observed a raised floor (value = λ seen)
-	KindCut        = "cut"        // a shard or scan ended early (note = why)
+	KindPlan       = "plan"         // planner decision (note = algorithm: reason)
+	KindCacheHit   = "cache-hit"    // answered from the server cache
+	KindCacheMiss  = "cache-miss"   // executed for real
+	KindProbe      = "probe"        // shard bound probe (value = Bound(q))
+	KindLaunch     = "launch"       // span: one launched shard query (n = budget, value = probed bound)
+	KindExec       = "exec"         // span: one engine execution (n = evaluated)
+	KindEmit       = "emit"         // engine flushed a partial batch (n = items)
+	KindBatch      = "batch"        // coordinator folded a partial batch (n = items, value = λ after)
+	KindLambda     = "lambda"       // coordinator raised λ (value = new λ)
+	KindPrime      = "lambda-prime" // λ seeded from score sketches pre-launch (n = k, value = primed λ)
+	KindFloor      = "floor"        // engine observed a raised floor (value = λ seen)
+	KindCut        = "cut"          // a shard or scan ended early (note = why)
 	KindGrant      = "budget-grant"
 	KindRefund     = "budget-refund"
 	KindTruncated  = "truncated"   // engine ran out of budget

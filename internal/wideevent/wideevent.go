@@ -52,9 +52,11 @@ const (
 	KeyShards         = "shards"          // shards launched
 	KeyShardsCut      = "shards_cut"      // shards cut before/while running
 	KeyLambdaRaises   = "lambda_raises"   // λ tightenings during the merge
+	KeyLambdaPrimed   = "lambda_primed"   // launch λ primed from score sketches (0 = cold)
 	KeyPartialBatches = "partial_batches" // streamed partial frames folded
 	KeyMessages       = "messages"        // cross-shard messages exchanged
 	KeyBudgetRedist   = "budget_redist"   // traversals moved between shards
+	KeyGrantRequests  = "grant_requests"  // mid-run budget grant round trips
 	KeyTruncated      = "truncated"       // budget stopped the query early
 
 	// Edit-batch keys.
@@ -101,9 +103,11 @@ type Query struct {
 	Shards         int
 	ShardsCut      int
 	LambdaRaises   int
+	LambdaPrimed   float64
 	PartialBatches int64
 	Messages       int64
 	BudgetRedist   int
+	GrantRequests  int64
 	Truncated      bool
 	Duration       time.Duration
 	Status         string
@@ -129,9 +133,11 @@ func (q Query) Attrs() []slog.Attr {
 		slog.Int(KeyShards, q.Shards),
 		slog.Int(KeyShardsCut, q.ShardsCut),
 		slog.Int(KeyLambdaRaises, q.LambdaRaises),
+		slog.Float64(KeyLambdaPrimed, q.LambdaPrimed),
 		slog.Int64(KeyPartialBatches, q.PartialBatches),
 		slog.Int64(KeyMessages, q.Messages),
 		slog.Int(KeyBudgetRedist, q.BudgetRedist),
+		slog.Int64(KeyGrantRequests, q.GrantRequests),
 		slog.Bool(KeyTruncated, q.Truncated),
 		slog.Bool(KeySlow, q.Slow),
 	}
