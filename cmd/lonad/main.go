@@ -29,9 +29,19 @@
 //	POST /v1/edges   {"edits":[{"op":"add-edge","u":17,"v":40},
 //	                  {"op":"remove-edge","u":3,"v":9},{"op":"add-node"}]}
 //	POST /v1/reshard {"shards":8}
+//	POST /v1/snapshot {"path":"collab.snap"}   (anchors the journal when -journal is set)
+//	POST /v1/catchup (probe shard workers; replay the journal suffix to stragglers)
 //	GET  /v1/stats
 //	GET  /v1/health
 //	GET  /metrics    (Prometheus text exposition)
+//
+// With -journal DIR every applied mutation batch is durably appended to
+// an append-only commit journal; a restarted daemon replays the suffix
+// past its boot state (the anchored snapshot when one exists) and
+// reconstructs the current generation bit-identically. /v1/topk accepts
+// "as_of":G to answer from a retained past generation, and "window":W
+// with "window_agg":"max"|"decay" for temporal aggregation across the
+// last W generations; -journal-retain bounds the retained ring.
 //
 // Observability: the daemon logs one structured "wide event" per query
 // and edit batch via log/slog (-log json for machine-readable lines);
@@ -46,7 +56,8 @@
 //
 // In -shard-worker mode the daemon instead serves the shard protocol
 // (/v1/shard/query, /v1/shard/query/stream, /v1/shard/bound,
-// /v1/shard/scores, /v1/shard/edits, /v1/shard/health) for one partition
+// /v1/shard/scores, /v1/shard/edits, /v1/shard/replay,
+// /v1/shard/health) for one partition
 // of the dataset; dataset flags must
 // match the coordinator's so every process derives the same partitioning
 // — including across structural edit batches, which every process applies
@@ -99,6 +110,9 @@ func main() {
 		stream      = flag.Bool("stream", true, "stream partial top-k batches from shards so TA cuts land mid-query (sharded serving only)")
 		prime       = flag.Bool("prime", true, "seed each sharded query's launch lambda from per-shard score sketches so cold shards are cut with zero messages (sharded serving only)")
 
+		journalDir    = flag.String("journal", "", "commit-journal directory: durably append every applied /v1/scores and /v1/edges batch and replay the suffix at boot; with an anchor from POST /v1/snapshot, boot resumes from that snapshot plus replay")
+		journalRetain = flag.Int("journal-retain", 0, "generations kept resident for as_of and window time-travel queries (0 = default)")
+
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060); empty disables")
 		slowQueryMS = flag.Int64("slow-query-ms", 0, "escalate the wide event of queries at or over this many milliseconds to WARN; 0 disables")
 
@@ -115,6 +129,7 @@ func main() {
 		h: *h, cacheBytes: *cacheBytes, workers: *workers, drain: *drain,
 		shards: *shards, shardWorker: *shardWorker, shardIndex: *shardIndex,
 		shardPeers: *shardPeers, stream: *stream, prime: *prime,
+		journalDir: *journalDir, journalRetain: *journalRetain,
 		pprofAddr: *pprofAddr, slowQuery: time.Duration(*slowQueryMS) * time.Millisecond,
 		logFormat: *logFormat, otlpEndpoint: *otlpEndpoint, otlpSample: *otlpSample,
 		sloLatency: time.Duration(*sloLatencyMS) * time.Millisecond, sloTarget: *sloTarget,
@@ -145,6 +160,8 @@ type config struct {
 	shardPeers            string
 	stream                bool
 	prime                 bool
+	journalDir            string
+	journalRetain         int
 	pprofAddr             string
 	slowQuery             time.Duration
 	logFormat             string
@@ -199,6 +216,27 @@ func run(cfg config) error {
 		return fmt.Errorf("-otlp-sample must be in (0,1], got %g", cfg.otlpSample)
 	case cfg.sloLatency > 0 && (cfg.sloTarget <= 0 || cfg.sloTarget >= 1):
 		return fmt.Errorf("-slo-target must be in (0,1), got %g", cfg.sloTarget)
+	case cfg.shardWorker && cfg.journalDir != "":
+		return fmt.Errorf("-journal applies to the coordinator (or single server); workers catch up from its journal via /v1/shard/replay")
+	case cfg.journalRetain < 0:
+		return fmt.Errorf("-journal-retain must be non-negative, got %d", cfg.journalRetain)
+	}
+
+	if cfg.snapshot == "" && cfg.journalDir != "" {
+		// A journal anchored by a POST /v1/snapshot knows the fastest boot
+		// source: resume from the anchored snapshot and replay only the
+		// commits past its generation, rather than regenerating the dataset
+		// and replaying the whole log.
+		if a, ok, err := lona.ReadJournalAnchor(cfg.journalDir); err != nil {
+			return err
+		} else if ok {
+			if cfg.dataset != "" || cfg.graphPath != "" {
+				logger.Info("journal anchor overrides dataset flags", "snapshot", a.Snapshot)
+			}
+			cfg.snapshot = a.Snapshot
+			cfg.dataset, cfg.graphPath, cfg.scoresPath = "", "", ""
+			logger.Info("booting from journal anchor", "snapshot", a.Snapshot, "generation", a.Generation)
+		}
 	}
 
 	var (
@@ -289,9 +327,21 @@ func run(cfg config) error {
 		opts := lona.ServerOptions{
 			CacheBytes: cacheBytes, Workers: cfg.workers,
 			DisableStreaming: !cfg.stream, DisablePriming: !cfg.prime,
-			SlowQuery: cfg.slowQuery,
-			Logger:    logger,
-			SLO:       lona.ServerSLO{Latency: cfg.sloLatency, Target: cfg.sloTarget},
+			SlowQuery:         cfg.slowQuery,
+			Logger:            logger,
+			SLO:               lona.ServerSLO{Latency: cfg.sloLatency, Target: cfg.sloTarget},
+			RetainGenerations: cfg.journalRetain,
+		}
+		if cfg.journalDir != "" {
+			// The journal stays open for the life of the process; the server
+			// appends every applied batch and replayed the suffix at New.
+			jnl, err := lona.OpenJournal(cfg.journalDir)
+			if err != nil {
+				return err
+			}
+			opts.Journal = jnl
+			logger.Info("journal open", "dir", jnl.Dir(),
+				"depth", jnl.Depth(), "last_generation", jnl.LastGen())
 		}
 		if cfg.otlpEndpoint != "" {
 			exp = lona.NewOTLPExporter(cfg.otlpEndpoint, lona.OTLPExporterOptions{
@@ -342,7 +392,7 @@ func run(cfg config) error {
 		logger.Info("serving", "addr", ln.Addr().String(), "api", "shard protocol")
 	} else {
 		logger.Info("serving", "addr", ln.Addr().String(),
-			"api", "/v1/topk /v1/scores /v1/edges /v1/reshard /v1/stats /v1/health /metrics")
+			"api", "/v1/topk /v1/scores /v1/edges /v1/reshard /v1/catchup /v1/snapshot /v1/stats /v1/health /metrics")
 	}
 	err = serveUntilDone(sigCtx, logger, handler, ln, cfg.drain)
 	if exp != nil {

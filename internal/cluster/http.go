@@ -572,6 +572,7 @@ func (w *Worker) Handler() http.Handler {
 	mux.HandleFunc("/v1/shard/bound", w.handleBound)
 	mux.HandleFunc("/v1/shard/scores", w.handleScores)
 	mux.HandleFunc("/v1/shard/edits", w.handleEdits)
+	mux.HandleFunc("/v1/shard/replay", w.handleReplay)
 	mux.HandleFunc("/v1/shard/health", w.handleHealth)
 	return mux
 }
@@ -903,10 +904,35 @@ func (w *Worker) handleEdits(rw http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
+	rebuild, status, err := w.applyEditsLocked(edits)
+	if err != nil {
+		writeWireError(rw, status, err)
+		return
+	}
+	w.gen++
+	if we.Seq != 0 {
+		w.editSeq = we.Seq
+	}
+	writeJSON(rw, http.StatusOK, wireEdits{
+		Nodes:    w.g.NumNodes(),
+		Rebuilt:  rebuild,
+		Owned:    w.shard.OwnedCount(),
+		Boundary: w.shard.BoundaryNodes(),
+		Sketch:   w.shard.Sketch(),
+	})
+}
+
+// applyEditsLocked is the edit-apply core shared by the live fan-out
+// handler and journal replay: apply the batch to the full-graph
+// replica, grow the score vector and partitioning for minted nodes, and
+// rebuild the shard when the batch touches its h-hop closure. The
+// caller holds w.mu and owns all generation/sequence bookkeeping. On
+// error the old shard generation keeps serving; status carries the HTTP
+// classification (bad batch vs failed rebuild).
+func (w *Worker) applyEditsLocked(edits []graph.Edit) (rebuilt bool, status int, err error) {
 	newG, delta, err := w.g.ApplyEdits(edits)
 	if err != nil {
-		writeWireError(rw, http.StatusBadRequest, err)
-		return
+		return false, http.StatusBadRequest, err
 	}
 	for len(w.scores) < newG.NumNodes() {
 		w.scores = append(w.scores, 0)
@@ -914,34 +940,21 @@ func (w *Worker) handleEdits(rw http.ResponseWriter, r *http.Request) {
 	w.p.ExtendTo(newG.NumNodes())
 
 	affected := graph.AffectedNodes(w.g, newG, delta, w.h)
-	rebuild := false
 	for _, v := range affected {
 		if w.p.PartOf(v) == w.shard.Index() {
-			rebuild = true
+			rebuilt = true
 			break
 		}
 	}
-	if rebuild {
+	if rebuilt {
 		next, err := BuildShard(newG, w.scores, w.h, w.p, w.shard.Index())
 		if err != nil {
-			// Old generation keeps serving; the coordinator sees the error.
-			writeWireError(rw, http.StatusInternalServerError, err)
-			return
+			return false, http.StatusInternalServerError, err
 		}
 		w.shard = next
 	}
 	w.g = newG
-	w.gen++
-	if we.Seq != 0 {
-		w.editSeq = we.Seq
-	}
-	writeJSON(rw, http.StatusOK, wireEdits{
-		Nodes:    newG.NumNodes(),
-		Rebuilt:  rebuild,
-		Owned:    w.shard.OwnedCount(),
-		Boundary: w.shard.BoundaryNodes(),
-		Sketch:   w.shard.Sketch(),
-	})
+	return rebuilt, 0, nil
 }
 
 func (w *Worker) handleHealth(rw http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,196 @@
+package cluster
+
+// Journal replay over the wire: the coordinator's catch-up path for a
+// worker that restarted (or missed a fan-out leg) ships the journal
+// suffix the worker lacks instead of re-shipping the whole graph. Each
+// commit is one applied mutation batch, generation-stamped, and the
+// worker applies them in order through the same incremental score/edit
+// machinery the live fan-out uses — so a caught-up worker is
+// bit-identical to one that never went away.
+//
+// Replay deliberately does not touch the worker's editSeq: journaled
+// commits were fully fan-out-applied before they were journaled, so
+// they are never re-sent through /v1/shard/edits, and the only batch a
+// coordinator retries (the pending, unjournaled one) is exactly the
+// batch a caught-up worker has not seen yet.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/graph"
+)
+
+// ReplayCommit is one journaled mutation batch: a generation stamp plus
+// exactly one of a score-update batch or a structural edit batch.
+type ReplayCommit struct {
+	Gen     uint64
+	Updates []ScoreUpdate
+	Edits   []graph.Edit
+}
+
+// ReplayResult summarizes a worker's state after a replay: how many
+// commits it actually applied (commits at or below its generation are
+// skipped idempotently) and where it landed.
+type ReplayResult struct {
+	Applied    int
+	Generation uint64
+	Nodes      int
+}
+
+// Replayer is implemented by transports that can ship a journal suffix
+// to one worker. The in-process transport does not implement it: local
+// shards share the coordinator's state and can never fall behind.
+type Replayer interface {
+	Replay(ctx context.Context, shard int, commits []ReplayCommit) (ReplayResult, error)
+}
+
+// wireCommit is one ReplayCommit on the wire.
+type wireCommit struct {
+	Gen     uint64        `json:"gen"`
+	Updates []ScoreUpdate `json:"updates,omitempty"`
+	Edits   []wireEdit    `json:"edits,omitempty"`
+}
+
+// wireReplay is the /v1/shard/replay request and response.
+type wireReplay struct {
+	Commits []wireCommit `json:"commits,omitempty"`
+	// Response fields.
+	Applied    int     `json:"applied,omitempty"`
+	Generation uint64  `json:"generation,omitempty"`
+	Nodes      int     `json:"nodes,omitempty"`
+	Owned      int     `json:"owned,omitempty"`
+	Boundary   int     `json:"boundary,omitempty"`
+	Sketch     *Sketch `json:"sketch,omitempty"`
+}
+
+// handleReplay applies a generation-contiguous journal suffix. Commits
+// at or below the worker's generation are skipped (the coordinator may
+// ship a generous suffix); a gap above it is a hard error — replaying
+// across a hole would silently diverge the replica.
+func (w *Worker) handleReplay(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		rw.Header().Set("Allow", http.MethodPost)
+		writeWireError(rw, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(rw, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	var req wireReplay
+	if err := dec.Decode(&req); err != nil {
+		writeWireError(rw, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return
+	}
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.g == nil {
+		writeWireError(rw, http.StatusNotImplemented,
+			errors.New("worker was built from a bare shard and cannot replay structural history"))
+		return
+	}
+	applied := 0
+	for _, c := range req.Commits {
+		if c.Gen <= w.gen {
+			continue // already applied before the worker's boot state
+		}
+		if c.Gen != w.gen+1 {
+			writeWireError(rw, http.StatusConflict,
+				fmt.Errorf("replay gap: worker is at generation %d, next shipped commit is %d", w.gen, c.Gen))
+			return
+		}
+		if status, err := w.applyCommitLocked(c); err != nil {
+			writeWireError(rw, status, fmt.Errorf("commit for generation %d: %w", c.Gen, err))
+			return
+		}
+		w.gen = c.Gen
+		applied++
+	}
+	writeJSON(rw, http.StatusOK, wireReplay{
+		Applied:    applied,
+		Generation: w.gen,
+		Nodes:      w.g.NumNodes(),
+		Owned:      w.shard.OwnedCount(),
+		Boundary:   w.shard.BoundaryNodes(),
+		Sketch:     w.shard.Sketch(),
+	})
+}
+
+// applyCommitLocked applies one replayed commit's payload (the caller
+// owns the generation bookkeeping). It reuses the exact live paths:
+// Shard.WithUpdates for scores, applyEditsLocked for structure.
+func (w *Worker) applyCommitLocked(c wireCommit) (status int, err error) {
+	switch {
+	case len(c.Updates) > 0 && len(c.Edits) > 0:
+		return http.StatusBadRequest, errors.New("commit carries both scores and edits")
+	case len(c.Updates) > 0:
+		for _, u := range c.Updates {
+			if u.Node < 0 || u.Node >= len(w.scores) {
+				return http.StatusBadRequest,
+					fmt.Errorf("update node %d out of range [0,%d)", u.Node, len(w.scores))
+			}
+		}
+		next, _, err := w.shard.WithUpdates(c.Updates)
+		if err != nil {
+			return http.StatusBadRequest, err
+		}
+		w.shard = next
+		for _, u := range c.Updates {
+			w.scores[u.Node] = u.Score
+		}
+		return 0, nil
+	case len(c.Edits) > 0:
+		edits, err := decodeEdits(c.Edits)
+		if err != nil {
+			return http.StatusBadRequest, err
+		}
+		_, status, err := w.applyEditsLocked(edits)
+		return status, err
+	default:
+		return http.StatusBadRequest, errors.New("commit carries neither scores nor edits")
+	}
+}
+
+// Replay ships a journal suffix to one worker and reports where it
+// landed. Unlike the fan-outs this is a single leg: catch-up targets
+// exactly the workers a health probe found behind. The worker's
+// piggybacked sketch refreshes this transport's priming state; the
+// cached topology is left alone — journaled commits were fully applied
+// cluster-wide before journaling, so a successful replay lands the
+// worker on the shape the topology already records (the node-count
+// check below enforces exactly that).
+func (t *HTTP) Replay(ctx context.Context, shard int, commits []ReplayCommit) (ReplayResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if shard < 0 || shard >= len(t.workers) {
+		return ReplayResult{}, fmt.Errorf("cluster: replay shard %d out of range [0,%d)", shard, len(t.workers))
+	}
+	wire := make([]wireCommit, len(commits))
+	for i, c := range commits {
+		wire[i] = wireCommit{Gen: c.Gen, Updates: c.Updates}
+		if len(c.Edits) > 0 {
+			wire[i].Edits = encodeEdits(c.Edits)
+		}
+	}
+	var resp wireReplay
+	if err := t.post(ctx, t.workers[shard]+"/v1/shard/replay", wireReplay{Commits: wire}, &resp); err != nil {
+		return ReplayResult{}, fmt.Errorf("cluster: worker %d (%s): %w", shard, t.workers[shard], err)
+	}
+	t.mu.Lock()
+	if resp.Sketch != nil && shard < len(t.sketches) {
+		t.sketches[shard] = resp.Sketch
+	}
+	nodes := t.nodes
+	t.mu.Unlock()
+	if nodes != 0 && resp.Nodes != nodes {
+		return ReplayResult{}, fmt.Errorf("cluster: worker %d reports %d nodes after replay, coordinator expects %d — replica desynchronized",
+			shard, resp.Nodes, nodes)
+	}
+	return ReplayResult{Applied: resp.Applied, Generation: resp.Generation, Nodes: resp.Nodes}, nil
+}
+
+var _ Replayer = (*HTTP)(nil)

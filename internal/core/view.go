@@ -5,10 +5,10 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"slices"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/ds"
 	"repro/internal/graph"
 	"repro/internal/topk"
 	"repro/internal/trace"
@@ -208,15 +208,15 @@ func (v *View) ApplyEdits(ctx context.Context, edits []graph.Edit) (EditResult, 
 	}
 	affected := graph.AffectedNodes(v.g, newG, delta, v.h)
 
-	// Crossover: per-node incremental repair pays a BFS *plus a sort* per
-	// affected node, while a rebuild pays one distribution pass over the
-	// non-zero nodes plus one index build. Once the affected closure
-	// covers most of the graph (large edit batches; the S3 benchmark puts
-	// the crossover near batch≈16, where the closure approaches the whole
-	// graph), the rebuild is strictly cheaper — and it produces
-	// byte-identical state, since repair is defined to reproduce the
-	// rebuild's ascending-id summation order exactly.
-	if 3*len(affected) >= 2*newG.NumNodes() {
+	// Crossover: per-node incremental repair pays one BFS per affected
+	// node (the ascending-order accumulation rides the same pass via a
+	// bitset drain — no sort), while a rebuild pays one distribution pass
+	// over the non-zero nodes plus one index build. With the sort gone,
+	// repair stays cheaper until the affected closure covers nearly the
+	// whole graph, so the threshold sits at ⅚ rather than the old ⅔ —
+	// and the rebuild still produces byte-identical state, since repair
+	// reproduces its ascending-id summation order exactly.
+	if 6*len(affected) >= 5*newG.NumNodes() {
 		trace.FromContext(ctx).Emit(trace.KindRebuild, len(affected),
 			0, "affected closure covers most of the graph")
 		return v.rebuildFrom(ctx, newG, delta)
@@ -235,10 +235,11 @@ func (v *View) ApplyEdits(ctx context.Context, edits []graph.Edit) (EditResult, 
 
 	// Repair the affected nodes in parallel: one BFS per node serves the
 	// aggregate AND its N(v) entry (fusing what a separate index Repair
-	// would re-traverse), each worker with its own traverser, writing
-	// disjoint indices of the fresh arrays. Ascending id order inside
-	// each neighborhood reproduces the rebuild's summation order (the
-	// full pass distributes node masses in ascending u, and by undirected
+	// would re-traverse), each worker with its own traverser and marker
+	// bitset, writing disjoint indices of the fresh arrays. The bitset
+	// drain accumulates each neighborhood in ascending id order without
+	// sorting it, reproducing the rebuild's summation order (the full
+	// pass distributes node masses in ascending u, and by undirected
 	// symmetry u ∈ S_h(w) ⇔ w ∈ S_h(u)), so float bits cannot drift.
 	var cancelled atomic.Bool
 	var wg sync.WaitGroup
@@ -260,23 +261,13 @@ func (v *View) ApplyEdits(ctx context.Context, edits []graph.Edit) (EditResult, 
 		go func(part []int) {
 			defer wg.Done()
 			t := graph.NewTraverser(newG)
-			var hood []int32
+			bs := ds.NewBitset(n)
 			for i, w := range part {
 				if i%editPollEvery == 0 && (cancelled.Load() || ctx.Err() != nil) {
 					cancelled.Store(true)
 					return
 				}
-				hood = t.CollectWithin(w, v.h, hood[:0])
-				slices.Sort(hood)
-				var sum float64
-				var cnt int32
-				for _, u := range hood {
-					if s := scores[u]; s != 0 {
-						sum += s
-						cnt++
-					}
-				}
-				sums[w], counts[w], sizes[w] = sum, cnt, int32(len(hood))
+				sums[w], counts[w], sizes[w] = t.SumCountWithinOrdered(w, v.h, scores, bs)
 			}
 		}(affected[lo:hi])
 	}

@@ -27,8 +27,8 @@ func crossoverBatch(n int, seed int64) []graph.Edit {
 }
 
 // TestApplyEditsRebuildCrossover: past the repair/rebuild crossover
-// (affected closure ≥ ⅔ of the graph, where ROADMAP's S3 measurements
-// show rebuild wins), ApplyEdits auto-falls back to the full rebuild —
+// (affected closure ≥ ⅚ of the graph now that repair's per-node sort is
+// gone), ApplyEdits auto-falls back to the full rebuild —
 // reporting Repaired == n — and the resulting materialized state is
 // byte-identical to a view built fresh over the successor graph.
 func TestApplyEditsRebuildCrossover(t *testing.T) {
@@ -43,7 +43,7 @@ func TestApplyEditsRebuildCrossover(t *testing.T) {
 		t.Fatal(err)
 	}
 	affected := graph.AffectedNodes(g, newG, delta, h)
-	if 3*len(affected) < 2*n {
+	if 6*len(affected) < 5*n {
 		t.Fatalf("test setup: affected %d of %d does not cross the rebuild threshold", len(affected), n)
 	}
 

@@ -26,6 +26,11 @@ func (b *Bitset) Clear(id int) { b.words[id>>6] &^= 1 << uint(id&63) }
 // Test reports whether id is in the set.
 func (b *Bitset) Test(id int) bool { return b.words[id>>6]&(1<<uint(id&63)) != 0 }
 
+// Words exposes the backing word slice for flat ascending-order scans:
+// bit i of word w is id w*64+i. Callers that drain the set by zeroing
+// words leave the Bitset empty and reusable without a full Zero pass.
+func (b *Bitset) Words() []uint64 { return b.words }
+
 // Count returns the number of set bits.
 func (b *Bitset) Count() int {
 	total := 0

@@ -1,6 +1,8 @@
 package graph
 
 import (
+	"math/bits"
+
 	"repro/internal/ds"
 )
 
@@ -98,6 +100,74 @@ func (t *Traverser) CountWithin(src, h int) int {
 func (t *Traverser) CollectWithin(src, h int, buf []int32) []int32 {
 	t.VisitWithin(src, h, func(v, _ int) { buf = append(buf, int32(v)) })
 	return buf
+}
+
+// SumCountWithinOrdered returns Σ score[v] over S_h(src) accumulated in
+// ascending node-id order, the count of strictly positive-or-negative
+// (non-zero) scores among them, and |S_h(src)| — the fused form of
+// CollectWithin + sort + ascending accumulation that incremental view
+// repair needs for byte-identical float sums, without the sort. The BFS
+// marks members in bs (which must cover the graph's id range and be
+// empty); the drain then scans only the word span the neighborhood
+// actually touched, in ascending order, zeroing words as it goes — bs
+// comes back empty, ready for the caller's next node.
+func (t *Traverser) SumCountWithinOrdered(src, h int, score []float64, bs *ds.Bitset) (sum float64, cnt, size int32) {
+	if h < 0 {
+		return 0, 0, 0
+	}
+	t.seen.Reset()
+	t.queue = t.queue[:0]
+	t.seen.Mark(src)
+	t.queue = append(t.queue, int32(src))
+	words := bs.Words()
+	lo, hi := src>>6, src>>6
+	words[src>>6] |= 1 << uint(src&63)
+	adj, offsets := t.g.adj, t.g.offsets
+	levelStart := 0
+	for dist := 1; dist <= h; dist++ {
+		levelEnd := len(t.queue)
+		if levelStart == levelEnd {
+			break
+		}
+		for i := levelStart; i < levelEnd; i++ {
+			u := int(t.queue[i])
+			for _, v := range adj[offsets[u]:offsets[u+1]] {
+				if t.seen.Mark(int(v)) {
+					continue
+				}
+				t.queue = append(t.queue, v)
+				w := int(v) >> 6
+				words[w] |= 1 << uint(v&63)
+				if w < lo {
+					lo = w
+				} else if w > hi {
+					hi = w
+				}
+			}
+		}
+		levelStart = levelEnd
+	}
+	// Ascending drain: words low to high, bits low to high within each —
+	// exactly the summation order a sorted id list produces. Skipping
+	// zero scores keeps the adds identical to the sorted-loop's (which
+	// also skipped them), so the float bits cannot differ.
+	for w := lo; w <= hi; w++ {
+		word := words[w]
+		if word == 0 {
+			continue
+		}
+		words[w] = 0
+		base := w << 6
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &= word - 1
+			if s := score[base+b]; s != 0 {
+				sum += s
+				cnt++
+			}
+		}
+	}
+	return sum, cnt, int32(len(t.queue))
 }
 
 // SumWithin returns the sum of score[v] over v in S_h(src) together with

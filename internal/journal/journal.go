@@ -1,0 +1,533 @@
+// Package journal persists the server's mutation history as an
+// append-only, CRC-checked commit journal, turning the in-memory
+// generation machine into a durable, generation-addressed store.
+//
+// Every applied /v1/scores and /v1/edges batch becomes one commit
+// record tagged with the generation it PRODUCED: replaying commits
+// g+1..h on top of a snapshot taken at generation g reconstructs
+// generation h bit-identically, because replay drives the exact same
+// incremental ApplyEdits/Repair code path the live batch took.
+//
+// # On-disk layout
+//
+// A journal directory holds two files:
+//
+//	commits.lonaj   the append-only record log
+//	ANCHOR          JSON {snapshot, generation}, written atomically
+//	                (temp file + rename) whenever a snapshot is
+//	                persisted, naming the newest snapshot the journal
+//	                can replay forward from
+//
+// commits.lonaj starts with an 12-byte header (magic "LONAJRNL" +
+// uint32 LE version) followed by length-prefixed records:
+//
+//	[length uint32 LE] [crc32c uint32 LE] [payload]
+//
+// where the CRC covers the payload and the payload is
+//
+//	[gen uint64 LE] [kind uint8] [body]
+//
+// kind 1 (scores): body = [count uint32 LE] count × ([node uint32 LE]
+// [score float64 LE bits]). kind 2 (edits): body = the textual edit
+// script from graph.FormatEditScript — the same deterministic encoding
+// the cluster transport fingerprints, so a journal record is
+// byte-reproducible from the in-memory batch.
+//
+// A torn tail (crash mid-append) is detected at Open and truncated;
+// corruption BEFORE the last record is an error — the journal refuses
+// to silently skip history it cannot verify.
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+const (
+	logName    = "commits.lonaj"
+	anchorName = "ANCHOR"
+
+	magic   = "LONAJRNL"
+	version = 1
+
+	headerSize = 12 // 8 magic + 4 version
+
+	// KindScores and KindEdits tag the two commit payloads.
+	KindScores = 1
+	KindEdits  = 2
+
+	// maxRecordSize bounds a single record so a corrupt length prefix
+	// cannot drive an enormous allocation at Open.
+	maxRecordSize = 1 << 30
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func crc(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
+// ScoreUpdate mirrors server.ScoreUpdate without importing it (the
+// server imports this package, not the other way around).
+type ScoreUpdate struct {
+	Node  int
+	Score float64
+}
+
+// Commit is one applied mutation batch: exactly one of Scores or Edits
+// is non-empty, and Gen is the generation the batch produced (the
+// server's generation counter AFTER the bump).
+type Commit struct {
+	Gen    uint64
+	Scores []ScoreUpdate
+	Edits  []graph.Edit
+}
+
+// Kind reports the record kind this commit encodes as.
+func (c *Commit) Kind() int {
+	if len(c.Edits) > 0 {
+		return KindEdits
+	}
+	return KindScores
+}
+
+// Anchor names a snapshot the journal can replay forward from:
+// restoring Snapshot and applying every commit with Gen > Generation
+// reconstructs the newest generation.
+type Anchor struct {
+	Snapshot   string `json:"snapshot"`
+	Generation uint64 `json:"generation"`
+}
+
+// Journal is an open commit journal. All methods are safe for
+// concurrent use; Append calls are serialized.
+type Journal struct {
+	dir string
+
+	mu      sync.Mutex
+	f       *os.File
+	size    int64
+	commits []Commit
+}
+
+// Open opens (creating if needed) the journal in dir. The whole log is
+// scanned and CRC-verified up front; a torn final record is truncated
+// away, while corruption before the tail is an error.
+func Open(dir string) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	path := filepath.Join(dir, logName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j := &Journal{dir: dir, f: f}
+	if err := j.load(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+func (j *Journal) load() error {
+	info, err := j.f.Stat()
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if info.Size() == 0 {
+		var hdr [headerSize]byte
+		copy(hdr[:8], magic)
+		binary.LittleEndian.PutUint32(hdr[8:], version)
+		if _, err := j.f.Write(hdr[:]); err != nil {
+			return fmt.Errorf("journal: write header: %w", err)
+		}
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("journal: sync header: %w", err)
+		}
+		j.size = headerSize
+		return nil
+	}
+	data, err := os.ReadFile(filepath.Join(j.dir, logName))
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if len(data) < headerSize || string(data[:8]) != magic {
+		return fmt.Errorf("journal: %s is not a lona journal", logName)
+	}
+	if v := binary.LittleEndian.Uint32(data[8:12]); v != version {
+		return fmt.Errorf("journal: version %d not supported (want %d)", v, version)
+	}
+	off := int64(headerSize)
+	for off < int64(len(data)) {
+		rest := data[off:]
+		if len(rest) < 8 {
+			break // torn length/crc prefix
+		}
+		length := binary.LittleEndian.Uint32(rest[:4])
+		if length == 0 || int64(length) > maxRecordSize {
+			return fmt.Errorf("journal: corrupt record length %d at offset %d", length, off)
+		}
+		if int64(len(rest)) < 8+int64(length) {
+			break // torn payload
+		}
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		payload := rest[8 : 8+length]
+		if crc(payload) != sum {
+			if off+8+int64(length) == int64(len(data)) {
+				break // torn tail: final record half-written
+			}
+			return fmt.Errorf("journal: CRC mismatch at offset %d (mid-file corruption)", off)
+		}
+		c, err := decodePayload(payload)
+		if err != nil {
+			return fmt.Errorf("journal: offset %d: %w", off, err)
+		}
+		if n := len(j.commits); n > 0 && c.Gen <= j.commits[n-1].Gen {
+			return fmt.Errorf("journal: generation %d at offset %d does not advance past %d",
+				c.Gen, off, j.commits[n-1].Gen)
+		}
+		j.commits = append(j.commits, c)
+		off += 8 + int64(length)
+	}
+	if off < int64(len(data)) {
+		// Torn tail: drop the partial record so the next Append lands
+		// on a clean boundary.
+		if err := j.f.Truncate(off); err != nil {
+			return fmt.Errorf("journal: truncate torn tail: %w", err)
+		}
+	}
+	j.size = off
+	if _, err := j.f.Seek(j.size, io.SeekStart); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}
+
+// Close closes the underlying log file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// Dir returns the journal directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// Append durably writes one commit (record + fsync). Generations must
+// strictly increase across appends.
+func (j *Journal) Append(c Commit) error {
+	rec, err := EncodeRecord(c)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return errors.New("journal: closed")
+	}
+	if n := len(j.commits); n > 0 && c.Gen <= j.commits[n-1].Gen {
+		return fmt.Errorf("journal: append generation %d does not advance past %d",
+			c.Gen, j.commits[n-1].Gen)
+	}
+	if _, err := j.f.Write(rec); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: sync: %w", err)
+	}
+	j.size += int64(len(rec))
+	j.commits = append(j.commits, c)
+	return nil
+}
+
+// Depth returns the number of commits currently in the log.
+func (j *Journal) Depth() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.commits)
+}
+
+// LastGen returns the generation of the newest commit (0 if empty).
+func (j *Journal) LastGen() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if n := len(j.commits); n > 0 {
+		return j.commits[n-1].Gen
+	}
+	return 0
+}
+
+// Commits returns a copy of every commit in generation order.
+func (j *Journal) Commits() []Commit {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Commit, len(j.commits))
+	copy(out, j.commits)
+	return out
+}
+
+// Suffix returns a copy of every commit with Gen > afterGen, in order.
+// This is the replay payload for a worker (or a booting server) whose
+// state sits at afterGen.
+func (j *Journal) Suffix(afterGen uint64) []Commit {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	i := 0
+	for i < len(j.commits) && j.commits[i].Gen <= afterGen {
+		i++
+	}
+	out := make([]Commit, len(j.commits)-i)
+	copy(out, j.commits[i:])
+	return out
+}
+
+// WriteAnchor atomically records that snapshotPath holds generation
+// gen (temp file + rename, so a crash can never leave a half-written
+// anchor). The snapshot itself must already be durable.
+func (j *Journal) WriteAnchor(snapshotPath string, gen uint64) error {
+	a := Anchor{Snapshot: snapshotPath, Generation: gen}
+	data, err := json.Marshal(a)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(j.dir, anchorName+".tmp*")
+	if err != nil {
+		return fmt.Errorf("journal: anchor: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("journal: anchor: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("journal: anchor: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("journal: anchor: %w", err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(j.dir, anchorName)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("journal: anchor: %w", err)
+	}
+	return nil
+}
+
+// ReadAnchor returns the journal's anchor, or ok=false when none has
+// been written yet.
+func (j *Journal) ReadAnchor() (Anchor, bool, error) {
+	return ReadAnchor(j.dir)
+}
+
+// ReadAnchor reads the anchor from a journal directory without opening
+// the log (boot-time use, before the daemon decides what to load).
+func ReadAnchor(dir string) (Anchor, bool, error) {
+	data, err := os.ReadFile(filepath.Join(dir, anchorName))
+	if errors.Is(err, os.ErrNotExist) {
+		return Anchor{}, false, nil
+	}
+	if err != nil {
+		return Anchor{}, false, fmt.Errorf("journal: anchor: %w", err)
+	}
+	var a Anchor
+	if err := json.Unmarshal(data, &a); err != nil {
+		return Anchor{}, false, fmt.Errorf("journal: anchor: %w", err)
+	}
+	return a, true, nil
+}
+
+// Compact drops commits with Gen <= the anchored generation by
+// rewriting the log (temp file + rename). Commits past the anchor are
+// never dropped — without them the anchored snapshot could not reach
+// the newest generation. Compact is a no-op when no anchor exists.
+func (j *Journal) Compact() (dropped int, err error) {
+	a, ok, err := j.ReadAnchor()
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return 0, errors.New("journal: closed")
+	}
+	keepFrom := 0
+	for keepFrom < len(j.commits) && j.commits[keepFrom].Gen <= a.Generation {
+		keepFrom++
+	}
+	if keepFrom == 0 {
+		return 0, nil
+	}
+	tmp, err := os.CreateTemp(j.dir, logName+".tmp*")
+	if err != nil {
+		return 0, fmt.Errorf("journal: compact: %w", err)
+	}
+	tmpName := tmp.Name()
+	fail := func(e error) (int, error) {
+		tmp.Close()
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("journal: compact: %w", e)
+	}
+	var hdr [headerSize]byte
+	copy(hdr[:8], magic)
+	binary.LittleEndian.PutUint32(hdr[8:], version)
+	if _, err := tmp.Write(hdr[:]); err != nil {
+		return fail(err)
+	}
+	size := int64(headerSize)
+	for _, c := range j.commits[keepFrom:] {
+		rec, err := EncodeRecord(c)
+		if err != nil {
+			return fail(err)
+		}
+		if _, err := tmp.Write(rec); err != nil {
+			return fail(err)
+		}
+		size += int64(len(rec))
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("journal: compact: %w", err)
+	}
+	path := filepath.Join(j.dir, logName)
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("journal: compact: %w", err)
+	}
+	// Reopen the renamed file for appending; the old handle points at
+	// the unlinked inode.
+	nf, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("journal: compact: reopen: %w", err)
+	}
+	if _, err := nf.Seek(size, io.SeekStart); err != nil {
+		nf.Close()
+		return 0, fmt.Errorf("journal: compact: %w", err)
+	}
+	j.f.Close()
+	j.f = nf
+	j.size = size
+	dropped = keepFrom
+	j.commits = append([]Commit(nil), j.commits[keepFrom:]...)
+	return dropped, nil
+}
+
+// EncodeRecord renders one commit as a complete journal record
+// (length + CRC + payload). Exported for the fuzz target.
+func EncodeRecord(c Commit) ([]byte, error) {
+	if len(c.Scores) > 0 && len(c.Edits) > 0 {
+		return nil, errors.New("journal: commit carries both scores and edits")
+	}
+	var body []byte
+	kind := byte(KindScores)
+	if len(c.Edits) > 0 {
+		kind = KindEdits
+		body = []byte(graph.FormatEditScript(c.Edits))
+	} else {
+		body = make([]byte, 4+12*len(c.Scores))
+		binary.LittleEndian.PutUint32(body, uint32(len(c.Scores)))
+		off := 4
+		for _, u := range c.Scores {
+			if u.Node < 0 {
+				return nil, fmt.Errorf("journal: negative node %d", u.Node)
+			}
+			binary.LittleEndian.PutUint32(body[off:], uint32(u.Node))
+			binary.LittleEndian.PutUint64(body[off+4:], math.Float64bits(u.Score))
+			off += 12
+		}
+	}
+	payload := make([]byte, 9+len(body))
+	binary.LittleEndian.PutUint64(payload, c.Gen)
+	payload[8] = kind
+	copy(payload[9:], body)
+	rec := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(rec, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[4:], crc(payload))
+	copy(rec[8:], payload)
+	return rec, nil
+}
+
+// DecodeRecord parses one complete record (as produced by
+// EncodeRecord), verifying length and CRC. Exported for the fuzz
+// target.
+func DecodeRecord(rec []byte) (Commit, error) {
+	if len(rec) < 8 {
+		return Commit{}, errors.New("journal: record too short")
+	}
+	length := binary.LittleEndian.Uint32(rec[:4])
+	if int64(length) > maxRecordSize {
+		return Commit{}, fmt.Errorf("journal: record length %d too large", length)
+	}
+	if int(length) != len(rec)-8 {
+		return Commit{}, fmt.Errorf("journal: record length %d does not match %d payload bytes",
+			length, len(rec)-8)
+	}
+	payload := rec[8:]
+	if crc(payload) != binary.LittleEndian.Uint32(rec[4:8]) {
+		return Commit{}, errors.New("journal: CRC mismatch")
+	}
+	return decodePayload(payload)
+}
+
+func decodePayload(payload []byte) (Commit, error) {
+	if len(payload) < 9 {
+		return Commit{}, errors.New("journal: payload too short")
+	}
+	c := Commit{Gen: binary.LittleEndian.Uint64(payload)}
+	body := payload[9:]
+	switch payload[8] {
+	case KindScores:
+		if len(body) < 4 {
+			return Commit{}, errors.New("journal: scores body too short")
+		}
+		n := binary.LittleEndian.Uint32(body)
+		if int64(len(body)) != 4+12*int64(n) {
+			return Commit{}, fmt.Errorf("journal: scores body %d bytes, want %d for %d updates",
+				len(body), 4+12*int64(n), n)
+		}
+		c.Scores = make([]ScoreUpdate, n)
+		off := 4
+		for i := range c.Scores {
+			c.Scores[i] = ScoreUpdate{
+				Node:  int(binary.LittleEndian.Uint32(body[off:])),
+				Score: math.Float64frombits(binary.LittleEndian.Uint64(body[off+4:])),
+			}
+			off += 12
+		}
+	case KindEdits:
+		edits, err := graph.ParseEditScript(body)
+		if err != nil {
+			return Commit{}, fmt.Errorf("journal: edits body: %w", err)
+		}
+		if len(edits) == 0 {
+			return Commit{}, errors.New("journal: empty edit script")
+		}
+		c.Edits = edits
+	default:
+		return Commit{}, fmt.Errorf("journal: unknown record kind %d", payload[8])
+	}
+	return c, nil
+}

@@ -1,0 +1,231 @@
+package server
+
+// Temporal serving over the retained generation ring: validation of the
+// as_of/window request fields and the exact windowed top-k execution.
+//
+// A point query with as_of=g is served from the retained generation g's
+// engine (or the result cache — the answer a live query recorded at g).
+// A window query combines each node's per-generation aggregate across
+// the Window newest retained generations with "max" or "decay" and
+// returns the exact top-k of the combined series, using a
+// threshold-algorithm loop over per-generation top-m lists: any node
+// outside every list is bounded by the combined m-th values, so once
+// the k-th combined candidate meets that bound the answer is certified.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Window combiners.
+const (
+	windowAggMax   = "max"
+	windowAggDecay = "decay"
+)
+
+// defaultDecay is the per-generation decay factor when window_agg is
+// "decay" and the request names none.
+const defaultDecay = 0.5
+
+// normalizeTemporal validates and canonicalizes the as_of/window request
+// fields (normalize calls it after the point-query fields settle).
+func (r *QueryRequest) normalizeTemporal(s *Server) error {
+	if r.Window < 0 {
+		return fmt.Errorf("window %d is negative", r.Window)
+	}
+	r.WindowAgg = strings.ToLower(r.WindowAgg)
+	if r.Window <= 1 {
+		// A point query; zero the window triple so equivalent requests
+		// share one cache key.
+		if r.WindowAgg != "" {
+			return errors.New("window_agg requires window > 1")
+		}
+		if r.Decay != 0 {
+			return errors.New("decay requires window > 1")
+		}
+		r.Window = 0
+	} else {
+		switch r.WindowAgg {
+		case windowAggMax:
+			if r.Decay != 0 {
+				return errors.New(`decay only applies to window_agg "decay"`)
+			}
+		case windowAggDecay:
+			if r.Decay == 0 {
+				r.Decay = defaultDecay
+			}
+			if !(r.Decay > 0 && r.Decay <= 1) {
+				return fmt.Errorf("decay %v outside (0,1]", r.Decay)
+			}
+		case "":
+			return errors.New(`window > 1 requires window_agg ("max" or "decay")`)
+		default:
+			return fmt.Errorf("unknown window_agg %q (want max or decay)", r.WindowAgg)
+		}
+		if r.Budget != 0 {
+			return errors.New("budget is not supported with window queries (the window certificate needs exact per-generation answers)")
+		}
+	}
+	if (r.AsOf != 0 || r.Window > 1) && r.Algorithm == algoView {
+		return errors.New(`algorithm "view" serves only the live generation (drop as_of/window)`)
+	}
+	return nil
+}
+
+// engineQuery renders the request as a core query with K results — the
+// same mapping execute's auto/explicit branches use for point queries.
+func (r *QueryRequest) engineQuery(s *Server, agg core.Aggregate, order core.QueueOrder, k int) core.Query {
+	if r.Algorithm == "auto" {
+		return core.Query{Algorithm: core.AlgoAuto, K: k, Aggregate: agg}
+	}
+	algo, _ := ParseAlgorithm(r.Algorithm) // validated in normalize
+	opts := core.Options{Gamma: r.Gamma, Order: order, Workers: r.Workers}
+	if opts.Workers <= 0 {
+		opts.Workers = s.opts.Workers
+	}
+	return core.Query{Algorithm: algo, K: k, Aggregate: agg, Options: opts}
+}
+
+// runWindow answers a window query exactly. snap.gen anchors the newest
+// generation of the window (as_of already substituted by runCached);
+// every generation in [snap.gen-Window+1, snap.gen] must be retained.
+func (s *Server) runWindow(ctx context.Context, req QueryRequest, agg core.Aggregate, order core.QueueOrder,
+	snap snapshot, ans *Answer) error {
+
+	w := req.Window
+	if uint64(w-1) > snap.gen {
+		return fmt.Errorf("window %d reaches past generation 0 (anchor generation is %d)", w, snap.gen)
+	}
+	// entries[i] serves generation snap.gen-(w-1)+i; weights[i] is that
+	// generation's contribution factor under "decay" (age 0 = newest).
+	entries := make([]genEntry, w)
+	weights := make([]float64, w)
+	for i := 0; i < w; i++ {
+		gen := snap.gen - uint64(w-1-i)
+		e, oldest, ok := s.retained(gen)
+		if !ok {
+			return fmt.Errorf("window generation %d is not retained (oldest retained is %d; raise -journal-retain)",
+				gen, oldest)
+		}
+		entries[i] = e
+		if req.WindowAgg == windowAggDecay {
+			weights[i] = pow(req.Decay, w-1-i)
+		}
+	}
+
+	var stats core.QueryStats
+	accumulate := func(qs core.QueryStats) {
+		stats.Evaluated += qs.Evaluated
+		stats.Pruned += qs.Pruned
+		stats.Distributed += qs.Distributed
+		stats.Visited += qs.Visited
+	}
+
+	// combine folds one generation's exact value into a node's running
+	// combined value; bound folds the per-generation m-th values into
+	// the threshold certifying every unlisted node.
+	combine := func(acc, v float64, i int) float64 {
+		if req.WindowAgg == windowAggMax {
+			if v > acc {
+				return v
+			}
+			return acc
+		}
+		return acc + weights[i]*v
+	}
+
+	// The threshold-algorithm loop: take each generation's top-m, unite
+	// the candidates, evaluate every candidate exactly at every
+	// generation, and accept once the k-th combined value dominates the
+	// combined per-generation m-th values (the ceiling for any node
+	// outside all lists). Aggregates of scores in [0,1] are nonnegative,
+	// so an absent node contributes 0 and an enumerated-out generation
+	// bounds unlisted nodes by 0.
+	for m := req.K; ; m *= 2 {
+		var tau float64
+		allFull := true
+		seen := make(map[int]struct{})
+		for i := range entries {
+			q := req.engineQuery(s, agg, order, m)
+			q.Candidates = req.Candidates
+			res, err := entries[i].engine.Run(ctx, q)
+			if err != nil {
+				return err
+			}
+			accumulate(res.Stats)
+			for _, r := range res.Results {
+				seen[r.Node] = struct{}{}
+			}
+			if len(res.Results) >= m {
+				allFull = false
+				tau = combine(tau, res.Results[len(res.Results)-1].Value, i)
+			}
+		}
+		cand := make([]int, 0, len(seen))
+		for v := range seen {
+			cand = append(cand, v)
+		}
+		sort.Ints(cand)
+
+		combined := make(map[int]float64, len(cand))
+		for i := range entries {
+			// Nodes added after this generation don't exist in its
+			// engine; they contribute 0 there.
+			n := entries[i].g.NumNodes()
+			sub := cand
+			if len(sub) > 0 && sub[len(sub)-1] >= n {
+				j := sort.SearchInts(sub, n)
+				sub = sub[:j]
+			}
+			if len(sub) == 0 {
+				continue
+			}
+			q := req.engineQuery(s, agg, order, len(sub))
+			q.Candidates = sub
+			res, err := entries[i].engine.Run(ctx, q)
+			if err != nil {
+				return err
+			}
+			accumulate(res.Stats)
+			for _, r := range res.Results {
+				combined[r.Node] = combine(combined[r.Node], r.Value, i)
+			}
+		}
+
+		ranked := make([]core.Result, 0, len(combined))
+		for v, val := range combined {
+			ranked = append(ranked, core.Result{Node: v, Value: val})
+		}
+		sort.Slice(ranked, func(a, b int) bool {
+			if ranked[a].Value != ranked[b].Value {
+				return ranked[a].Value > ranked[b].Value
+			}
+			return ranked[a].Node < ranked[b].Node
+		})
+		if len(ranked) > req.K {
+			ranked = ranked[:req.K]
+		}
+		if allFull || (len(ranked) == req.K && ranked[req.K-1].Value >= tau) {
+			ans.Results, ans.Stats = ranked, stats
+			if req.Algorithm == "auto" {
+				ans.Planned = true
+			}
+			return nil
+		}
+	}
+}
+
+// pow is a tiny integer-exponent power (decay^age) that avoids the
+// math.Pow special-case table for the hot combine path.
+func pow(x float64, n int) float64 {
+	out := 1.0
+	for ; n > 0; n-- {
+		out *= x
+	}
+	return out
+}

@@ -1,0 +1,238 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// swappableWorker is an httptest-backed shard worker whose handler can
+// be atomically replaced mid-test — the moral equivalent of killing the
+// worker process and starting a fresh one on the same address. It also
+// records which endpoints the CURRENT incarnation has served, so tests
+// can prove catch-up went through /v1/shard/replay and not a re-send of
+// the original batches.
+type swappableWorker struct {
+	mu    sync.Mutex
+	h     http.Handler
+	paths map[string]int
+}
+
+func (sw *swappableWorker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	sw.mu.Lock()
+	h := sw.h
+	sw.paths[r.URL.Path]++
+	sw.mu.Unlock()
+	h.ServeHTTP(w, r)
+}
+
+// swap installs a new incarnation and resets its served-path record.
+func (sw *swappableWorker) swap(h http.Handler) {
+	sw.mu.Lock()
+	sw.h = h
+	sw.paths = make(map[string]int)
+	sw.mu.Unlock()
+}
+
+func (sw *swappableWorker) served(path string) int {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.paths[path]
+}
+
+// freshWorker builds a shard worker from the pristine boot inputs —
+// generation 0, exactly what a restarted lonad -shard-worker would serve
+// after re-mapping its boot shard snapshot.
+func freshWorker(t *testing.T, g0 []float64, seed int64, parts, index int) *cluster.Worker {
+	t.Helper()
+	graph0 := testGraph(300, 900, seed)
+	w, err := cluster.NewGraphWorker(graph0, g0, 2, parts, index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestWorkerCatchUpAfterRestart is the tentpole acceptance test: an HTTP
+// shard worker that "dies" and comes back at its boot generation is
+// brought to the coordinator's generation by replaying the journal
+// suffix over /v1/shard/replay — no graph re-shipment, no worker pool
+// restart — both via the explicit /v1/catchup pass and automatically
+// when a mutation fan-out trips over the stale worker.
+func TestWorkerCatchUpAfterRestart(t *testing.T) {
+	const seed, parts = 21, 3
+	g := testGraph(300, 900, seed)
+	scores := testScores(300, seed)
+	dir := t.TempDir()
+
+	proxies := make([]*swappableWorker, parts)
+	urls := make([]string, parts)
+	for i := 0; i < parts; i++ {
+		w, err := cluster.NewGraphWorker(g, append([]float64(nil), scores...), 2, parts, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proxies[i] = &swappableWorker{h: w.Handler(), paths: make(map[string]int)}
+		srv := httptest.NewServer(proxies[i])
+		defer srv.Close()
+		urls[i] = srv.URL
+	}
+
+	plain := mustServer(t, g, append([]float64(nil), scores...), 2, Options{SkipIndexes: true})
+	coord := mustServer(t, g, append([]float64(nil), scores...), 2,
+		Options{SkipIndexes: true, ShardWorkers: urls, Journal: mustJournal(t, dir)})
+
+	// Build journaled history with every worker healthy: scores, edits
+	// (adds node 300), scores on the new node.
+	apply := func(s *Server) {
+		t.Helper()
+		if _, err := s.ApplyUpdates([]ScoreUpdate{{Node: 5, Score: 0.9}, {Node: 250, Score: 0}}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.ApplyEdits(editBatch(s.Graph())); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.ApplyUpdates([]ScoreUpdate{{Node: 300, Score: 0.7}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	apply(plain)
+	apply(coord)
+	if coord.Generation() != 3 {
+		t.Fatalf("coordinator at generation %d, want 3", coord.Generation())
+	}
+
+	// Kill worker 1; the restart comes back at generation 0 with the
+	// 300-node boot graph.
+	proxies[1].swap(freshWorker(t, append([]float64(nil), scores...), seed, parts, 1).Handler())
+
+	res, err := coord.CatchUpWorkers(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Target != 3 || res.Probed != parts || res.CaughtUp != 1 || res.Commits != 3 {
+		t.Fatalf("catch-up result %+v", res)
+	}
+	for _, wc := range res.Workers {
+		switch wc.Shard {
+		case 1:
+			if wc.From != 0 || wc.To != 3 || wc.Applied != 3 || wc.Error != "" {
+				t.Fatalf("restarted worker outcome %+v", wc)
+			}
+		default:
+			if wc.Skipped == "" || wc.Applied != 0 {
+				t.Fatalf("healthy worker outcome %+v", wc)
+			}
+		}
+	}
+	// The restarted incarnation was caught up by replay alone: it never
+	// saw the original score/edit batches re-sent.
+	if proxies[1].served("/v1/shard/replay") == 0 {
+		t.Fatal("catch-up did not go through /v1/shard/replay")
+	}
+	if n := proxies[1].served("/v1/shard/edits"); n != 0 {
+		t.Fatalf("catch-up re-shipped %d edit batches instead of replaying", n)
+	}
+	if n := proxies[1].served("/v1/shard/scores"); n != 0 {
+		t.Fatalf("catch-up re-shipped %d score batches instead of replaying", n)
+	}
+
+	// Post-catch-up answers fan out across all three workers and match
+	// the unsharded oracle.
+	req := QueryRequest{K: 10, Aggregate: "sum", Algorithm: "base"}
+	want, err := plain.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := coord.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Results, want.Results) {
+		t.Fatal("post-catch-up results diverge from the unsharded oracle")
+	}
+	if got.Shards != parts {
+		t.Fatalf("answer reports %d shards, want %d", got.Shards, parts)
+	}
+
+	// Kill worker 1 AGAIN, and this time let a mutation batch trip over
+	// it: the stale incarnation rejects the update for node 300 (it only
+	// has 300 nodes), and the fan-out failure path must catch it up from
+	// the journal and retry — the caller never sees the crash.
+	proxies[1].swap(freshWorker(t, append([]float64(nil), scores...), seed, parts, 1).Handler())
+	ups := []ScoreUpdate{{Node: 300, Score: 0.4}}
+	if _, err := plain.ApplyUpdates(ups); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.ApplyUpdates(ups); err != nil {
+		t.Fatalf("fan-out over a restarted worker did not self-heal: %v", err)
+	}
+	if proxies[1].served("/v1/shard/replay") == 0 {
+		t.Fatal("self-heal did not go through /v1/shard/replay")
+	}
+	want, err = plain.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = coord.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Results, want.Results) {
+		t.Fatal("post-self-heal results diverge from the unsharded oracle")
+	}
+
+	js := coord.Stats().Journal
+	if js == nil || js.Catchups < 2 || js.CatchupCommits < 6 {
+		t.Fatalf("catch-up counters wrong: %+v", js)
+	}
+}
+
+// TestCatchUpEndpointAndPreconditions: POST /v1/catchup works over the
+// wire against healthy workers (a pure probe pass), and the topologies
+// that cannot fall behind are rejected with a useful error.
+func TestCatchUpEndpoint(t *testing.T) {
+	const seed, parts = 37, 2
+	g := testGraph(200, 600, seed)
+	scores := testScores(200, seed)
+
+	urls := make([]string, parts)
+	for i := 0; i < parts; i++ {
+		w, err := cluster.NewGraphWorker(g, append([]float64(nil), scores...), 2, parts, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(w.Handler())
+		defer srv.Close()
+		urls[i] = srv.URL
+	}
+	coord := mustServer(t, g, append([]float64(nil), scores...), 2,
+		Options{SkipIndexes: true, ShardWorkers: urls, Journal: mustJournal(t, t.TempDir())})
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	body := postJSON(t, srv.URL+"/v1/catchup", `{}`)
+	if !strings.Contains(body, `"probed":2`) || strings.Contains(body, `"caught_up":1`) {
+		t.Fatalf("healthy catch-up pass: %s", body)
+	}
+
+	// No journal: catch-up has nothing to replay from.
+	nojournal := mustServer(t, g, append([]float64(nil), scores...), 2,
+		Options{SkipIndexes: true, ShardWorkers: urls})
+	if _, err := nojournal.CatchUpWorkers(ctx); err == nil ||
+		!strings.Contains(err.Error(), "journal") {
+		t.Fatalf("journal-less catch-up: err = %v", err)
+	}
+	// In-process shards share the coordinator's state.
+	local := mustServer(t, g, append([]float64(nil), scores...), 2,
+		Options{SkipIndexes: true, Shards: 2, Journal: mustJournal(t, t.TempDir())})
+	if _, err := local.CatchUpWorkers(ctx); err == nil ||
+		!strings.Contains(err.Error(), "HTTP shard workers") {
+		t.Fatalf("in-process catch-up: err = %v", err)
+	}
+}

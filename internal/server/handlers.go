@@ -16,6 +16,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/scores", s.handleScores)
 	mux.HandleFunc("/v1/edges", s.handleEdges)
 	mux.HandleFunc("/v1/reshard", s.handleReshard)
+	mux.HandleFunc("/v1/catchup", s.handleCatchUp)
 	mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/health", s.handleHealth)

@@ -86,6 +86,27 @@ func (s *Server) renderMetrics() string {
 			"Time to map and validate the boot snapshot.", src.LoadDuration.Seconds())
 	}
 
+	if js := s.journalStats(); js != nil {
+		if js.Enabled {
+			writeGauge(&b, "lona_journal_depth", "Commits resident in the journal log.", float64(js.Depth))
+			writeGauge(&b, "lona_journal_last_generation", "Generation of the newest journaled commit.",
+				float64(js.LastGen))
+		}
+		writeCounter(&b, "lona_journal_appends_total", "Mutation batches durably appended to the journal.",
+			js.Appends)
+		writeCounter(&b, "lona_journal_replayed_commits_total",
+			"Journal commits replayed through the incremental apply path (boot catch-up).", js.Replayed)
+		writeGauge(&b, "lona_retained_generations", "Generations resident in the time-travel ring.",
+			float64(js.Retained))
+		writeCounter(&b, "lona_asof_queries_total", "Queries answered as of a retained past generation.",
+			js.AsOfQueries)
+		writeCounter(&b, "lona_asof_hits_total", "as_of queries served from the recorded live answer.",
+			js.AsOfHits)
+		writeCounter(&b, "lona_catchups_total", "Replay-based worker catch-up passes.", js.Catchups)
+		writeCounter(&b, "lona_catchup_commits_total", "Journal commits shipped to lagging workers.",
+			js.CatchupCommits)
+	}
+
 	writeCounter(&b, "lona_query_timeouts_total", "Queries abandoned at a deadline.", m.timeouts.Load())
 	writeCounter(&b, "lona_query_cancels_total", "Queries cancelled by the caller.", m.cancels.Load())
 	writeCounter(&b, "lona_slow_queries_total", "Executions at or over the slow-query threshold.",

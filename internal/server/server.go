@@ -74,6 +74,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/journal"
 	"repro/internal/otlp"
 	"repro/internal/trace"
 	"repro/internal/wideevent"
@@ -147,6 +148,16 @@ type Options struct {
 	// SnapshotPath is where POST /v1/snapshot persists when the request
 	// names no path (lonad -snapshot). Empty means requests must name one.
 	SnapshotPath string
+	// Journal, when non-nil, makes the server a versioned graph lake:
+	// every applied score/edit batch is appended as a durable commit
+	// (lonad -journal), New replays any journal suffix past the boot
+	// state's generation through the exact incremental apply paths, and
+	// POST /v1/snapshot anchors the journal to the written snapshot.
+	Journal *journal.Journal
+	// RetainGenerations bounds the in-memory ring of recent generations
+	// kept for as_of time travel and windowed temporal queries (default
+	// 8; 1 retains only the live generation, disabling time travel).
+	RetainGenerations int
 }
 
 // defaultCacheBytes is the result cache capacity when Options.CacheBytes
@@ -179,6 +190,13 @@ type Server struct {
 	view   *core.View   // materialized aggregates; nil for directed graphs
 	cl     *clusterState
 
+	// ring holds the most recent generations (newest last, always
+	// including the live one), guarded by mu. Each entry pins the
+	// immutable (graph, engine) pair of one generation so as_of queries
+	// and temporal windows can execute against retired generations
+	// without re-deriving them.
+	ring []genEntry
+
 	cache   *shardedCache // nil when caching is disabled
 	flight  flightGroup
 	metrics *metrics
@@ -186,6 +204,19 @@ type Server struct {
 	// discard logger so emit sites never nil-check.
 	log *slog.Logger
 }
+
+// genEntry is one retained generation: everything needed to answer a
+// query exactly as it would have been answered live at that generation.
+type genEntry struct {
+	gen    uint64
+	topo   uint64
+	g      *graph.Graph
+	engine *core.Engine
+}
+
+// retainDefault is the generation-ring depth when
+// Options.RetainGenerations is zero.
+const retainDefault = 8
 
 // clusterOptions maps the server's streaming and priming switches onto
 // the coordinator's.
@@ -293,6 +324,9 @@ func New(g *graph.Graph, scores []float64, h int, opts Options) (*Server, error)
 	if opts.CacheShards <= 0 {
 		opts.CacheShards = 16
 	}
+	if opts.RetainGenerations <= 0 {
+		opts.RetainGenerations = retainDefault
+	}
 	if opts.Shards > 1 && len(opts.ShardWorkers) > 0 {
 		return nil, errors.New("server: Shards and ShardWorkers are mutually exclusive")
 	}
@@ -334,6 +368,27 @@ func New(g *graph.Graph, scores []float64, h int, opts Options) (*Server, error)
 		// build per server lifetime, not per generation.
 		engine.PrepareNeighborhoodIndex(opts.Workers)
 		engine.PrepareDifferentialIndex(opts.Workers)
+	}
+	// The boot generation enters the retention ring first; any replayed
+	// commits below retain their own generations through the apply
+	// helpers, exactly like live batches.
+	s.retainGeneration()
+	if j := opts.Journal; j != nil {
+		// Replay the journal suffix past the boot state's generation
+		// through the exact incremental apply paths a live batch takes —
+		// snapshot@g + replay(g..h) reconstructs generation h
+		// bit-identically. This runs before the cluster is constructed,
+		// so replay never fans out (workers catch up by their own replay)
+		// and never re-appends.
+		for _, c := range j.Suffix(s.gen) {
+			if err := s.replayCommit(c); err != nil {
+				return nil, fmt.Errorf("server: journal replay to generation %d: %w", c.Gen, err)
+			}
+		}
+		// Replay may have advanced past the boot state; the cluster
+		// below must shard the CURRENT generation, not the one the
+		// caller handed in.
+		g, scores = s.g, s.engine.Scores()
 	}
 	switch {
 	case opts.Shards > 1:
@@ -477,6 +532,26 @@ type QueryRequest struct {
 	// singleflight collapse and is never cached, because its trace
 	// describes that one execution.
 	Trace bool `json:"trace,omitempty"`
+	// AsOf pins the query to a retained generation: the answer is
+	// byte-identical to what a live query would have returned at that
+	// generation (it IS the cached live answer when one is still
+	// resident — the time-travel fast path). 0 (and the live generation)
+	// mean "now"; generations outside the retention ring are rejected.
+	AsOf uint64 `json:"as_of,omitempty"`
+	// Window widens the query across the Window most recent retained
+	// generations ending at AsOf (or the live generation): each node's
+	// per-generation aggregates are combined by WindowAgg and the top-k
+	// of the combined series is returned exactly. 0 and 1 mean a point
+	// query.
+	Window int `json:"window,omitempty"`
+	// WindowAgg combines one node's values across the window: "max"
+	// (peak over the window) or "decay" (exponentially decayed sum,
+	// Σ decay^age · value, age 0 = the newest generation). Required when
+	// Window > 1.
+	WindowAgg string `json:"window_agg,omitempty"`
+	// Decay is the per-generation decay factor in (0,1] for
+	// WindowAgg "decay" (default 0.5).
+	Decay float64 `json:"decay,omitempty"`
 }
 
 // algoView is the extra serving-only "algorithm": answer from the
@@ -529,6 +604,9 @@ func (r *QueryRequest) normalize(s *Server) (agg core.Aggregate, order core.Queu
 		return 0, 0, fmt.Errorf("budget %d is negative", r.Budget)
 	}
 	if err := r.canonicalizeCandidates(s.numNodes()); err != nil {
+		return 0, 0, err
+	}
+	if err := r.normalizeTemporal(s); err != nil {
 		return 0, 0, err
 	}
 	// Canonicalize option fields the chosen path ignores, so equivalent
@@ -621,6 +699,15 @@ func (r *QueryRequest) cacheKey(gen, topo uint64) string {
 	b.WriteByte('|')
 	b.WriteString(strconv.Itoa(r.Budget))
 	b.WriteByte('|')
+	// The window triple, NOT as_of: a time-travel point query reuses the
+	// key the live query wrote at that generation (gen above IS as_of),
+	// which is exactly what makes retained cache entries the fast path.
+	b.WriteString(strconv.Itoa(r.Window))
+	b.WriteByte('|')
+	b.WriteString(r.WindowAgg)
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatFloat(r.Decay, 'g', -1, 64))
+	b.WriteByte('|')
 	for i, v := range r.Candidates {
 		if i > 0 {
 			b.WriteByte(',')
@@ -663,10 +750,28 @@ func (s *Server) runCached(ctx context.Context, req *QueryRequest) (*Answer, str
 	}
 
 	snap := s.snapshot()
+	asOf := req.AsOf != 0 && req.AsOf != snap.gen
+	if asOf {
+		// Time travel: swap the execution snapshot for the retained
+		// generation. The cache key below is built from the entry's
+		// (gen, topo), so a still-resident live answer from that
+		// generation serves this query byte-identically.
+		entry, oldest, ok := s.retained(req.AsOf)
+		if !ok {
+			return nil, wideevent.CacheBypass,
+				fmt.Errorf("as_of generation %d is not retained (oldest retained is %d, live is %d)",
+					req.AsOf, oldest, snap.gen)
+		}
+		s.metrics.asOfQueries.Add(1)
+		snap = snapshot{gen: entry.gen, topo: entry.topo, engine: entry.engine}
+	}
 
 	key := req.cacheKey(snap.gen, snap.topo)
 	if s.cache != nil {
 		if ans, ok := s.cache.get(key); ok {
+			if asOf {
+				s.metrics.asOfHits.Add(1)
+			}
 			s.metrics.hits.Add(1)
 			s.metrics.hist("cache").observe(0)
 			hit := *ans
@@ -806,6 +911,17 @@ func (s *Server) execute(ctx context.Context, req QueryRequest, agg core.Aggrega
 		}
 	}
 
+	if req.Window > 1 {
+		// Temporal window: combine per-generation aggregates across the
+		// retained ring (see runWindow). Executes on the retained
+		// engines directly — sharding never applies.
+		if err := s.runWindow(ctx, req, agg, order, snap, ans); err != nil {
+			return nil, err
+		}
+		s.finishExecute(ans, req, rec, start)
+		return ans, nil
+	}
+
 	switch req.Algorithm {
 	case algoView:
 		// The view is mutated in place by update batches, so hold the read
@@ -875,6 +991,13 @@ func (s *Server) execute(ctx context.Context, req QueryRequest, agg core.Aggrega
 		ans.Algorithm = algo.String()
 	}
 
+	s.finishExecute(ans, req, rec, start)
+	return ans, nil
+}
+
+// finishExecute settles one execution's timing, metrics, slow flag, and
+// trace assembly/export — the common tail of every execute path.
+func (s *Server) finishExecute(ans *Answer, req QueryRequest, rec *trace.Recorder, start time.Time) {
 	elapsed := time.Since(start)
 	ans.ElapsedUS = elapsed.Microseconds()
 	if ans.Results == nil {
@@ -903,7 +1026,6 @@ func (s *Server) execute(ctx context.Context, req QueryRequest, agg core.Aggrega
 			}), ans.slow)
 		}
 	}
-	return ans, nil
 }
 
 // dispatch runs an engine query on the snapshot: through the cluster
@@ -1047,11 +1169,43 @@ func (s *Server) ApplyUpdates(updates []ScoreUpdate) (res *UpdateResult, err err
 		err := s.cl.coord.Transport().ApplyScores(fanCtx, batch)
 		cancel()
 		if err != nil {
-			return nil, fmt.Errorf("shard update fan-out: %w", err)
+			// With a journal configured, a failed leg is often a worker
+			// that restarted and fell behind: catch it up by replaying the
+			// journal suffix it lacks, then re-send this batch once.
+			// Re-applying score writes is value-idempotent, so workers
+			// whose first leg did land converge to the same scores.
+			err = s.catchUpAndRetry(fmt.Errorf("shard update fan-out: %w", err),
+				func(ctx context.Context) error {
+					return s.cl.coord.Transport().ApplyScores(ctx, batch)
+				})
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 
-	res = &UpdateResult{Applied: len(updates)}
+	res, err = s.applyScoresLocked(updates)
+	if err != nil {
+		return nil, err
+	}
+	// Journal after the apply succeeded, so the log never records a batch
+	// the server rejected. An append failure is surfaced as a batch error
+	// even though the in-memory state advanced: the caller must know its
+	// mutation is not durable.
+	if err := s.journalAppendLocked(journal.Commit{Gen: s.gen, Scores: journalScores(updates)}); err != nil {
+		return nil, err
+	}
+	res.ElapsedUS = time.Since(start).Microseconds()
+	return res, nil
+}
+
+// applyScoresLocked is the score-apply core shared by the live
+// /v1/scores path and boot-time journal replay: view repair (or plain
+// writes), engine rebuild, generation bump, retention. Caller holds the
+// write lock (or exclusive access during New) and has validated the
+// batch; shard fan-out and journaling stay with the caller.
+func (s *Server) applyScoresLocked(updates []ScoreUpdate) (*UpdateResult, error) {
+	res := &UpdateResult{Applied: len(updates)}
 	var newScores []float64
 	if s.view != nil {
 		for _, u := range updates {
@@ -1077,10 +1231,99 @@ func (s *Server) ApplyUpdates(updates []ScoreUpdate) (res *UpdateResult, err err
 	s.engine = engine
 	s.gen++
 	res.Generation = s.gen
-	res.ElapsedUS = time.Since(start).Microseconds()
 	s.metrics.updates.Add(1)
 	s.metrics.mutations.Add(int64(len(updates)))
+	s.retainGeneration()
 	return res, nil
+}
+
+// journalScores converts a wire batch to journal form.
+func journalScores(updates []ScoreUpdate) []journal.ScoreUpdate {
+	out := make([]journal.ScoreUpdate, len(updates))
+	for i, u := range updates {
+		out[i] = journal.ScoreUpdate{Node: u.Node, Score: u.Score}
+	}
+	return out
+}
+
+// journalAppendLocked durably records one applied batch; a no-op
+// without a configured journal. Caller holds the write lock.
+func (s *Server) journalAppendLocked(c journal.Commit) error {
+	j := s.opts.Journal
+	if j == nil {
+		return nil
+	}
+	if err := j.Append(c); err != nil {
+		return fmt.Errorf("journal append: %w", err)
+	}
+	s.metrics.journalAppends.Add(1)
+	return nil
+}
+
+// replayCommit applies one journal commit during New, following the
+// journal's generation numbering. Exclusive access (pre-serving).
+func (s *Server) replayCommit(c journal.Commit) error {
+	if len(c.Edits) > 0 {
+		if _, err := s.applyEditsLocked(context.Background(), c.Edits, nil, nil); err != nil {
+			return err
+		}
+	} else {
+		n := s.g.NumNodes()
+		updates := make([]ScoreUpdate, len(c.Scores))
+		for i, u := range c.Scores {
+			if u.Node < 0 || u.Node >= n {
+				return fmt.Errorf("score update for node %d outside [0,%d)", u.Node, n)
+			}
+			if math.IsNaN(u.Score) || u.Score < 0 || u.Score > 1 {
+				return fmt.Errorf("score %v for node %d outside [0,1]", u.Score, u.Node)
+			}
+			updates[i] = ScoreUpdate{Node: u.Node, Score: u.Score}
+		}
+		if _, err := s.applyScoresLocked(updates); err != nil {
+			return err
+		}
+	}
+	if s.gen != c.Gen {
+		// The apply helpers advance one generation per batch; journals
+		// are appended the same way, so the numbering must line up.
+		return fmt.Errorf("replay produced generation %d, journal says %d (snapshot from a different lineage?)", s.gen, c.Gen)
+	}
+	s.metrics.journalReplayed.Add(1)
+	return nil
+}
+
+// retainGeneration pushes the current generation onto the retention
+// ring and trims it to the configured depth. Caller holds the write
+// lock (or exclusive access during New).
+func (s *Server) retainGeneration() {
+	s.ring = append(s.ring, genEntry{gen: s.gen, topo: s.topo, g: s.g, engine: s.engine})
+	if over := len(s.ring) - s.opts.RetainGenerations; over > 0 {
+		// Slide rather than re-slice so retired (graph, engine) pairs
+		// drop their references and can be collected.
+		copy(s.ring, s.ring[over:])
+		for i := len(s.ring) - over; i < len(s.ring); i++ {
+			s.ring[i] = genEntry{}
+		}
+		s.ring = s.ring[:len(s.ring)-over]
+	}
+}
+
+// retained looks up a retained generation (including the live one).
+// The second result names the oldest retained generation for error
+// messages; ok=false when gen is outside the ring.
+func (s *Server) retained(gen uint64) (entry genEntry, oldest uint64, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.ring) == 0 {
+		return genEntry{}, 0, false
+	}
+	oldest = s.ring[0].gen
+	for i := range s.ring {
+		if s.ring[i].gen == gen {
+			return s.ring[i], oldest, true
+		}
+	}
+	return genEntry{}, oldest, false
 }
 
 // EditRequest is one structural mutation of a /v1/edges batch. Op is a
@@ -1185,13 +1428,19 @@ func (s *Server) ApplyEdits(reqs []EditRequest) (res *EditsResult, err error) {
 		err := s.cl.coord.Transport().ApplyEdits(fanCtx, edits)
 		cancel()
 		if err != nil {
-			return nil, fmt.Errorf("shard edit fan-out: %w", err)
+			// Journal catch-up then one re-send, mirroring ApplyUpdates.
+			// The batch keeps its sequence number across the retry, so
+			// workers that already applied it answer idempotently.
+			err = s.catchUpAndRetry(fmt.Errorf("shard edit fan-out: %w", err),
+				func(ctx context.Context) error {
+					return s.cl.coord.Transport().ApplyEdits(ctx, edits)
+				})
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 
-	res = &EditsResult{}
-	h := s.engine.H()
-	var engine *core.Engine
 	// With slow-query escalation or OTLP export on, carry a recorder
 	// through the view's repair-vs-rebuild decision so a pathological
 	// batch can explain itself in the exported trace.
@@ -1200,6 +1449,33 @@ func (s *Server) ApplyEdits(reqs []EditRequest) (res *EditsResult, err error) {
 		rec = trace.New()
 		ectx = trace.NewContext(ectx, rec)
 	}
+	res, err = s.applyEditsLocked(ectx, edits, newG, delta)
+	if err != nil {
+		return nil, err
+	}
+	// Journal after the apply succeeded (see ApplyUpdates): an append
+	// failure surfaces as a batch error so the caller knows the mutation
+	// is not durable.
+	if err := s.journalAppendLocked(journal.Commit{Gen: s.gen, Edits: edits}); err != nil {
+		return nil, err
+	}
+	res.ElapsedUS = time.Since(start).Microseconds()
+	return res, nil
+}
+
+// applyEditsLocked is the edit-apply core shared by the live /v1/edges
+// path and boot-time journal replay: view (or engine-only) repair,
+// generation bump, retention. newG/delta may carry the caller's upfront
+// successor derivation for the engine-only path (nil = derive here);
+// the view path always derives its own, deterministically equal. Caller
+// holds the write lock (or exclusive access during New); shard fan-out
+// and journaling stay with the caller.
+func (s *Server) applyEditsLocked(ectx context.Context, edits []graph.Edit,
+	newG *graph.Graph, delta *graph.EditDelta) (*EditsResult, error) {
+
+	res := &EditsResult{}
+	h := s.engine.H()
+	var engine *core.Engine
 	if s.view != nil {
 		// The view derives the successor itself (deterministically equal
 		// to any pre-derivation above) and repairs its aggregates and
@@ -1225,6 +1501,12 @@ func (s *Server) ApplyEdits(reqs []EditRequest) (res *EditsResult, err error) {
 		}
 	} else {
 		// Directed graphs serve engine-only; added nodes start unscored.
+		if newG == nil {
+			var err error
+			if newG, delta, err = s.g.ApplyEdits(edits); err != nil {
+				return nil, err
+			}
+		}
 		res.NodesAdded = delta.NodesAdded
 		res.EdgesAdded = delta.EdgesAdded
 		res.EdgesRemoved = delta.EdgesRemoved
@@ -1252,7 +1534,6 @@ func (s *Server) ApplyEdits(reqs []EditRequest) (res *EditsResult, err error) {
 	s.gen++
 	res.Generation = s.gen
 	res.Nodes, res.Edges = newG.NumNodes(), newG.NumEdges()
-	res.ElapsedUS = time.Since(start).Microseconds()
 	s.metrics.editBatches.Add(1)
 	s.metrics.edgesAdded.Add(int64(res.EdgesAdded))
 	s.metrics.edgesRemoved.Add(int64(res.EdgesRemoved))
@@ -1261,6 +1542,7 @@ func (s *Server) ApplyEdits(reqs []EditRequest) (res *EditsResult, err error) {
 	if res.Rebuilt {
 		s.metrics.editRebuilds.Add(1)
 	}
+	s.retainGeneration()
 	return res, nil
 }
 
@@ -1329,6 +1611,7 @@ func (s *Server) Stats() Stats {
 		st.Cluster = cs
 	}
 	st.Snapshot = s.snapshotStats()
+	st.Journal = s.journalStats()
 	st.LatencyWindow = s.metrics.window.snapshot().summary()
 	st.SLO = s.sloStats()
 	if exp := s.opts.TraceExporter; exp != nil {
@@ -1336,6 +1619,30 @@ func (s *Server) Stats() Stats {
 		st.OTLP = &es
 	}
 	return st
+}
+
+// journalStats assembles the versioned-lake section of /v1/stats.
+func (s *Server) journalStats() *JournalStats {
+	js := &JournalStats{
+		Appends:        s.metrics.journalAppends.Load(),
+		Replayed:       s.metrics.journalReplayed.Load(),
+		AsOfQueries:    s.metrics.asOfQueries.Load(),
+		AsOfHits:       s.metrics.asOfHits.Load(),
+		Catchups:       s.metrics.catchups.Load(),
+		CatchupCommits: s.metrics.catchupCommits.Load(),
+	}
+	if j := s.opts.Journal; j != nil {
+		js.Enabled = true
+		js.Depth = j.Depth()
+		js.LastGen = j.LastGen()
+	}
+	s.mu.RLock()
+	js.Retained = len(s.ring)
+	if len(s.ring) > 0 {
+		js.OldestRetained = s.ring[0].gen
+	}
+	s.mu.RUnlock()
+	return js
 }
 
 // ParseAggregate maps the wire name of an aggregate to core's enum; the

@@ -2,6 +2,7 @@ package server
 
 import (
 	"errors"
+	"fmt"
 	"net/http"
 	"os"
 	"time"
@@ -59,6 +60,17 @@ func (s *Server) WriteSnapshot(path string) (*SnapshotResult, error) {
 	res := &SnapshotResult{Path: path, Generation: gen, ElapsedUS: time.Since(start).Microseconds()}
 	if fi, err := os.Stat(path); err == nil {
 		res.Bytes = fi.Size()
+	}
+	if j := s.opts.Journal; j != nil {
+		// Anchor the journal to the freshly persisted generation: the next
+		// boot opens the anchored snapshot and replays only commits past
+		// gen, and Compact may drop everything at or below it. Both writes
+		// are atomic (temp file + rename), and a crash between them merely
+		// leaves the previous anchor pointing at the older snapshot — still
+		// a valid replay base, never a torn one.
+		if err := j.WriteAnchor(path, gen); err != nil {
+			return nil, fmt.Errorf("snapshot written, but anchoring the journal failed: %w", err)
+		}
 	}
 	s.metrics.snapshotsWritten.Add(1)
 	return res, nil

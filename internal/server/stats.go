@@ -140,6 +140,18 @@ type metrics struct {
 	// or Server.WriteSnapshot.
 	snapshotsWritten atomic.Int64
 
+	// Versioned-lake counters: commits appended to the journal, commits
+	// replayed through the incremental apply paths at boot, time-travel
+	// queries (as_of naming a non-live retained generation) and the
+	// subset served straight from the result cache, and worker catch-up
+	// rounds (with the commits shipped for replay).
+	journalAppends  atomic.Int64
+	journalReplayed atomic.Int64
+	asOfQueries     atomic.Int64
+	asOfHits        atomic.Int64
+	catchups        atomic.Int64
+	catchupCommits  atomic.Int64
+
 	// Value histograms (log2-bucketed, unitless): λ raises per sharded
 	// query, and result items shipped per launched shard query — the
 	// message-size observation the adaptive-tuning roadmap items consume.
@@ -283,6 +295,37 @@ type ClusterStats struct {
 	PerShard      []ShardLatency `json:"per_shard"`
 }
 
+// JournalStats is the versioned-graph-lake section of /v1/stats: the
+// commit journal's shape plus the time-travel and catch-up counters.
+// Present whenever the server retains generations (always), with the
+// journal fields zero when no -journal is configured.
+type JournalStats struct {
+	// Enabled reports whether a commit journal is configured.
+	Enabled bool `json:"enabled"`
+	// Depth is the number of commits currently in the journal log;
+	// LastGen is the newest journaled generation.
+	Depth   int    `json:"depth"`
+	LastGen uint64 `json:"last_generation,omitempty"`
+	// Appends counts commits appended this process; Replayed counts
+	// commits replayed through the incremental apply paths at boot.
+	Appends  int64 `json:"appends"`
+	Replayed int64 `json:"replayed"`
+	// Retained is the current generation-ring depth (live generation
+	// included); OldestRetained is the oldest generation as_of can name.
+	Retained       int    `json:"retained"`
+	OldestRetained uint64 `json:"oldest_retained"`
+	// AsOfQueries counts queries that named a non-live retained
+	// generation; AsOfHits counts those served straight from the result
+	// cache (the recorded live answer).
+	AsOfQueries int64 `json:"as_of_queries"`
+	AsOfHits    int64 `json:"as_of_hits"`
+	// Catchups counts worker catch-up rounds that replayed a journal
+	// suffix into at least one stale worker; CatchupCommits sums the
+	// commits shipped.
+	Catchups       int64 `json:"catchups"`
+	CatchupCommits int64 `json:"catchup_commits"`
+}
+
 // Stats is the full /v1/stats response. Every counter and histogram is
 // cumulative since Since (the server's start): pair two scrapes' deltas
 // with the UptimeS delta to compute rates.
@@ -305,6 +348,7 @@ type Stats struct {
 	Engine        EngineStats               `json:"engine"`
 	Cluster       *ClusterStats             `json:"cluster,omitempty"`
 	Snapshot      *SnapshotStats            `json:"snapshot,omitempty"`
+	Journal       *JournalStats             `json:"journal,omitempty"`
 	Latency       map[string]LatencySummary `json:"latency"`
 	// LatencyWindow summarizes the rolling 120s window — "now", where
 	// Latency above is "since boot".

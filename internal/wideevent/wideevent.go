@@ -28,6 +28,7 @@ const (
 	EventQuery     = "query"      // one top-k query, any outcome
 	EventEditBatch = "edit_batch" // one ApplyUpdates/ApplyEdits batch
 	EventShardWarn = "shard_warn" // coordinator-observed shard anomaly
+	EventCatchUp   = "catchup"    // one replay-based worker catch-up pass
 )
 
 // Shared schema keys. Every wide event uses these names; never invent
@@ -69,6 +70,11 @@ const (
 	KeyDetail  = "detail"          // human-readable anomaly description
 	KeyWantGen = "want_generation" // coordinator's generation
 	KeyGotGen  = "got_generation"  // worker-reported generation
+
+	// Catch-up keys.
+	KeyProbed   = "probed"    // workers health-probed this pass
+	KeyCaughtUp = "caught_up" // workers that replayed at least one commit
+	KeyCommits  = "commits"   // journal commits applied across all workers
 )
 
 // Status values for KeyStatus.
@@ -242,6 +248,48 @@ func (w ShardWarn) Log(ctx context.Context, l *slog.Logger) {
 	l.LogAttrs(ctx, slog.LevelWarn, EventShardWarn, w.Attrs()...)
 }
 
+// CatchUp is the canonical per-catch-up-pass wide event: one record per
+// journal-replay sweep over the shard workers, whether triggered by an
+// operator (POST /v1/catchup) or by a fan-out failure's automatic
+// retry. Generation is the coordinator generation workers were brought
+// up to.
+type CatchUp struct {
+	TraceID    string
+	Generation uint64
+	Probed     int
+	CaughtUp   int
+	Commits    int
+	Duration   time.Duration
+	Status     string
+	Err        string
+}
+
+// Attrs renders the event as slog attributes in schema order.
+func (c CatchUp) Attrs() []slog.Attr {
+	attrs := []slog.Attr{
+		slog.String(KeyEvent, EventCatchUp),
+		slog.String(KeyTraceID, c.TraceID),
+		slog.String(KeyStatus, c.Status),
+		slog.Float64(KeyDurMS, durMS(c.Duration)),
+		slog.Uint64(KeyGeneration, c.Generation),
+		slog.Int(KeyProbed, c.Probed),
+		slog.Int(KeyCaughtUp, c.CaughtUp),
+		slog.Int(KeyCommits, c.Commits),
+	}
+	if c.Err != "" {
+		attrs = append(attrs, slog.String(KeyError, c.Err))
+	}
+	return attrs
+}
+
+// Log emits the catch-up event at its escalated severity.
+func (c CatchUp) Log(ctx context.Context, l *slog.Logger) {
+	if l == nil {
+		return
+	}
+	l.LogAttrs(ctx, level(c.Status, false), EventCatchUp, c.Attrs()...)
+}
+
 func durMS(d time.Duration) float64 {
 	return float64(d.Microseconds()) / 1000
 }
@@ -260,6 +308,10 @@ var requiredKeys = map[string][]string{
 	},
 	EventShardWarn: {
 		KeyTraceID, KeyShard, KeyWantGen, KeyGotGen, KeyDetail,
+	},
+	EventCatchUp: {
+		KeyTraceID, KeyStatus, KeyDurMS, KeyGeneration, KeyProbed,
+		KeyCaughtUp, KeyCommits,
 	},
 }
 

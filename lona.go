@@ -52,6 +52,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/journal"
 	"repro/internal/netio"
 	"repro/internal/otlp"
 	"repro/internal/relevance"
@@ -401,6 +402,29 @@ func NewEngineFromSnapshot(r *SnapshotReader) (*Engine, error) {
 // ServerSnapshotSource describes the snapshot a server booted from, for
 // ServerOptions.SnapshotSource (surfaced by /v1/stats and /metrics).
 type ServerSnapshotSource = server.SnapshotSource
+
+// Journal is an append-only, CRC-checked commit log recording every
+// applied score-update and structural-edit batch, generation-stamped.
+// Pass one to ServerOptions.Journal and the server journals each batch
+// it applies and replays the suffix past its boot generation on
+// construction — snapshot@g + replay(g..h) reconstructs generation h
+// bit-identically. A torn tail (crash mid-append) is truncated at Open;
+// mid-file corruption fails loudly.
+type Journal = journal.Journal
+
+// JournalAnchor names the snapshot a journal's history is anchored to:
+// boot from Anchor.Snapshot, replay commits past Anchor.Generation.
+type JournalAnchor = journal.Anchor
+
+// OpenJournal opens (or creates) the commit journal in dir, recovering
+// a torn tail if the last append was interrupted.
+func OpenJournal(dir string) (*Journal, error) { return journal.Open(dir) }
+
+// ReadJournalAnchor reports the snapshot anchor recorded in dir, with
+// ok=false when no anchor has been written yet. It does not open the
+// journal, so a daemon can decide its boot source before touching the
+// log.
+func ReadJournalAnchor(dir string) (JournalAnchor, bool, error) { return journal.ReadAnchor(dir) }
 
 // NewShardWorkerHandlerFromSnapshot mounts one shard restored from a
 // shard snapshot (lonagen -snapshot with -shards, or a previously
